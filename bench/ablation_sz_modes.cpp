@@ -1,0 +1,75 @@
+// Ablation: SZ bound-mode choice for delta compression.
+//
+// DESIGN.md §5: the library's SZ implements three bound modes.  Strict
+// pointwise-relative (log-transform, SZ 2.x style) destroys the
+// smoothness of zero-crossing deltas; the SZ 1.4-style block-relative
+// mode preserves it, which is why the factory uses it for the paper
+// configs.  This bench measures all three on an original field and on a
+// one-base delta.
+#include "bench_common.hpp"
+
+#include "compress/sz.hpp"
+#include "sim/datasets.hpp"
+#include "stats/metrics.hpp"
+
+namespace {
+
+using namespace rmp;
+
+void report(const char* what, std::span<const double> data,
+            const compress::Dims& dims) {
+  struct ModeRow {
+    const char* label;
+    compress::SzOptions options;
+  };
+  const ModeRow modes[] = {
+      {"abs(1e-4*rng)", {compress::SzMode::kAbsolute, 1.0, 16}},
+      {"pw-rel(1e-3)", {compress::SzMode::kPointwiseRelative, 1e-3, 16}},
+      {"block-rel(1e-3)", {compress::SzMode::kBlockRelative, 1e-3, 16}},
+  };
+  double lo = data[0], hi = data[0];
+  for (double v : data) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  for (const auto& mode : modes) {
+    compress::SzOptions options = mode.options;
+    if (options.mode == compress::SzMode::kAbsolute) {
+      options.bound = std::max((hi - lo) * 1e-4, 1e-300);
+    }
+    compress::SzCompressor codec(options);
+    const auto stream = codec.compress(data, dims);
+    const auto decoded = codec.decompress(stream);
+    std::printf("%-10s %-16s %9.2fx %12.3e\n", what, mode.label,
+                compress::compression_ratio(data.size(), stream.size()),
+                stats::rmse(data, decoded));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = bench::parse_scale(argc, argv);
+  bench::print_header("Ablation", "SZ bound modes on original vs delta");
+
+  const auto pair = sim::make_dataset(sim::DatasetId::kHeat3d, scale);
+  const auto& field = pair.full;
+
+  // One-base delta: subtract the mid plane from every plane.
+  sim::Field delta = field;
+  const std::size_t mid = field.nz() / 2;
+  for (std::size_t i = 0; i < field.nx(); ++i) {
+    for (std::size_t j = 0; j < field.ny(); ++j) {
+      const double base = field.at(i, j, mid);
+      for (std::size_t k = 0; k < field.nz(); ++k) {
+        delta.at(i, j, k) -= base;
+      }
+    }
+  }
+
+  std::printf("%-10s %-16s %10s %12s\n", "data", "mode", "ratio", "rmse");
+  const compress::Dims dims{field.nx(), field.ny(), field.nz()};
+  report("original", field.flat(), dims);
+  report("delta", delta.flat(), dims);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Shared helpers for the per-figure/table bench binaries.
+//
+// Every binary accepts an optional scale argument (argv[1], default from
+// RMP_BENCH_SCALE or 0.5).  Scale 1.0 is laptop-sized; ~4.0 approaches the
+// paper's dataset sizes.  Output is aligned text with a CSV-ish structure
+// so the series can be diffed against the paper's figures.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "compress/factory.hpp"
+#include "core/pipeline.hpp"
+
+namespace rmp::bench {
+
+inline double parse_scale(int argc, char** argv, double fallback = 0.5) {
+  if (argc > 1) return std::atof(argv[1]);
+  if (const char* env = std::getenv("RMP_BENCH_SCALE")) return std::atof(env);
+  return fallback;
+}
+
+/// Paper-configured codec pairs (§IV-B, §V-B).
+struct ZfpCodecs {
+  std::unique_ptr<compress::Compressor> reduced =
+      compress::make_zfp_original();
+  std::unique_ptr<compress::Compressor> delta = compress::make_zfp_delta();
+  core::CodecPair pair() const { return {reduced.get(), delta.get()}; }
+};
+
+struct SzCodecs {
+  std::unique_ptr<compress::Compressor> reduced = compress::make_sz_original();
+  std::unique_ptr<compress::Compressor> delta = compress::make_sz_delta();
+  core::CodecPair pair() const { return {reduced.get(), delta.get()}; }
+};
+
+struct FpcCodecs {
+  std::unique_ptr<compress::Compressor> reduced = compress::make_fpc();
+  std::unique_ptr<compress::Compressor> delta = compress::make_fpc();
+  core::CodecPair pair() const { return {reduced.get(), delta.get()}; }
+};
+
+inline void print_header(const char* figure, const char* what) {
+  std::printf("# %s -- %s\n", figure, what);
+}
+
+}  // namespace rmp::bench

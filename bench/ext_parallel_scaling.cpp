@@ -1,0 +1,63 @@
+// Extension: scaling behavior of the parallel substrates on this host --
+// the 3D-decomposed Heat3d solver (Algorithm 1's substrate) across rank
+// grids, and thread-parallel N-to-N compression across worker counts.
+// On a single-core container the times mostly show the runtime overhead;
+// on a real multicore they show the speedup.
+#include "bench_common.hpp"
+
+#include <array>
+#include <chrono>
+#include <functional>
+
+#include "core/parallel_compress.hpp"
+#include "sim/heat.hpp"
+
+namespace {
+
+double timed(const std::function<void()>& body) {
+  const auto start = std::chrono::steady_clock::now();
+  body();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rmp;
+  const double scale = bench::parse_scale(argc, argv);
+  bench::print_header("Extension", "parallel substrate scaling");
+
+  sim::HeatConfig config;
+  config.n = std::max<std::size_t>(16, static_cast<std::size_t>(32 * scale));
+  config.steps = 100;
+
+  std::printf("# Heat3d %zu^3, %zu steps, 3D rank grids\n", config.n,
+              config.steps);
+  std::printf("%-10s %10s\n", "grid", "seconds");
+  const std::array<std::array<int, 3>, 4> grids = {
+      {{1, 1, 1}, {2, 1, 1}, {2, 2, 1}, {2, 2, 2}}};
+  for (const auto& procs : grids) {
+    sim::Field result;
+    const double seconds = timed(
+        [&] { result = sim::heat3d_run_parallel_3d(config, procs); });
+    std::printf("%dx%dx%d      %10.4f\n", procs[0], procs[1], procs[2],
+                seconds);
+  }
+
+  std::printf("\n# N-to-N compression of one field, worker sweep\n");
+  std::printf("%-10s %10s %12s\n", "threads", "seconds", "bytes");
+  const sim::Field field = sim::heat3d_run(config);
+  bench::ZfpCodecs zfp;
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    io::Container container;
+    const double seconds = timed([&] {
+      container = core::compress_field_parallel(field, *zfp.reduced,
+                                                {8, threads});
+    });
+    std::printf("%-10zu %10.4f %12zu\n", threads, seconds,
+                container.payload_bytes());
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Fig. 1: data characteristics of full model vs reduced model for all
+// nine datasets -- CDF curves plus byte entropy / byte mean / serial
+// correlation.  The paper's claim: the two models share nearly identical
+// CDF trends and scalar characteristics.
+#include "bench_common.hpp"
+
+#include "sim/datasets.hpp"
+#include "stats/metrics.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rmp;
+  const double scale = bench::parse_scale(argc, argv);
+  bench::print_header("Fig. 1",
+                      "full vs reduced model data characteristics");
+
+  std::printf("%-14s %-8s %8s %10s %8s %8s\n", "dataset", "model", "ent",
+              "mean", "corr", "KS-dist");
+  for (sim::DatasetId id : sim::all_datasets()) {
+    const auto pair = sim::make_dataset(id, scale);
+    const auto full = stats::byte_characteristics(pair.full.flat());
+    const auto reduced = stats::byte_characteristics(pair.reduced.flat());
+    const double ks = stats::ks_distance(pair.full.flat(),
+                                         pair.reduced.flat());
+    std::printf("%-14s %-8s %8.4f %10.4f %8.4f %8.4f\n", pair.name.c_str(),
+                "full", full.entropy, full.mean, full.correlation, ks);
+    std::printf("%-14s %-8s %8.4f %10.4f %8.4f %8s\n", "", "reduced",
+                reduced.entropy, reduced.mean, reduced.correlation, "");
+
+    // CDF curves (8 sample points per model, value:probability pairs).
+    for (const char* which : {"full", "reduced"}) {
+      const auto& field =
+          std::string(which) == "full" ? pair.full : pair.reduced;
+      const auto cdf = stats::empirical_cdf(field.flat(), 8);
+      std::printf("  cdf[%-7s]", which);
+      for (const auto& point : cdf) {
+        std::printf(" %.3g:%.2f", point.value, point.probability);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

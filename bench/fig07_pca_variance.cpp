@@ -1,0 +1,31 @@
+// Fig. 7: proportion of variance captured by the leading principal
+// components, per dataset.  The paper correlates a dominant first
+// component with a large preconditioning win.
+#include "bench_common.hpp"
+
+#include "core/pca.hpp"
+#include "sim/datasets.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rmp;
+  const double scale = bench::parse_scale(argc, argv);
+  bench::print_header("Fig. 7", "PCA proportion of variance");
+
+  std::printf("%-14s %8s %8s %8s %8s %8s %10s\n", "dataset", "PC1", "PC2",
+              "PC3", "PC4", "PC5", "k(95%)");
+  for (sim::DatasetId id : sim::all_datasets()) {
+    const auto pair = sim::make_dataset(id, scale);
+    const auto proportions = core::pca_variance_proportions(pair.full);
+    std::printf("%-14s", pair.name.c_str());
+    for (std::size_t c = 0; c < 5; ++c) {
+      if (c < proportions.size()) {
+        std::printf(" %8.4f", proportions[c]);
+      } else {
+        std::printf(" %8s", "-");
+      }
+    }
+    std::printf(" %10zu\n",
+                core::components_for_target(proportions, 0.95));
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Fig. 8: proportion of the singular-value mass carried by the leading
+// singular values, per dataset (the SVD analogue of Fig. 7).
+#include "bench_common.hpp"
+
+#include "core/pca.hpp"  // components_for_target
+#include "core/svd_precond.hpp"
+#include "sim/datasets.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rmp;
+  const double scale = bench::parse_scale(argc, argv);
+  bench::print_header("Fig. 8", "SVD proportion of singular values");
+
+  std::printf("%-14s %8s %8s %8s %8s %8s %10s\n", "dataset", "SV1", "SV2",
+              "SV3", "SV4", "SV5", "k(95%)");
+  for (sim::DatasetId id : sim::all_datasets()) {
+    const auto pair = sim::make_dataset(id, scale);
+    const auto proportions = core::svd_singular_proportions(pair.full);
+    std::printf("%-14s", pair.name.c_str());
+    for (std::size_t c = 0; c < 5; ++c) {
+      if (c < proportions.size()) {
+        std::printf(" %8.4f", proportions[c]);
+      } else {
+        std::printf(" %8s", "-");
+      }
+    }
+    std::printf(" %10zu\n",
+                core::components_for_target(proportions, 0.95));
+  }
+  return 0;
+}

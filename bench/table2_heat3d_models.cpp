@@ -1,0 +1,45 @@
+// Table II: Heat3d full model vs projected-2D reduced model -- problem
+// setup plus the three byte characteristics.  The paper's claim: the
+// scalar characteristics of the two models are nearly the same.
+#include "bench_common.hpp"
+
+#include "sim/heat.hpp"
+#include "stats/metrics.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rmp;
+  const double scale = bench::parse_scale(argc, argv);
+  bench::print_header("Table II", "Heat3d full model vs reduced model");
+
+  sim::HeatConfig config;
+  config.n = static_cast<std::size_t>(48 * scale) < 16
+                 ? 16
+                 : static_cast<std::size_t>(48 * scale);
+  config.steps = 600;
+
+  const sim::Field full = sim::heat3d_run(config);
+  const sim::Field reduced = sim::heat2d_run(config);
+
+  const double h = 1.0 / static_cast<double>(config.n - 1);
+  const double dt3 =
+      config.cfl_safety * sim::heat_stable_dt(h, 3, config.kappa);
+  const double dt2 =
+      config.cfl_safety * sim::heat_stable_dt(h, 2, config.kappa);
+
+  const auto cf = stats::byte_characteristics(full.flat());
+  const auto cr = stats::byte_characteristics(reduced.flat());
+
+  std::printf("%-22s %-22s %-22s\n", "", "Full model", "Reduced model");
+  std::printf("%-22s %zux%zux%zu %13s %zux%zu\n", "Problem size", config.n,
+              config.n, config.n, "", config.n, config.n);
+  std::printf("%-22s %-22zu %-22zu\n", "# of steps", config.steps,
+              static_cast<std::size_t>(static_cast<double>(config.steps) *
+                                       dt3 / dt2));
+  std::printf("%-22s %-22.3e %-22.3e\n", "Time step", dt3, dt2);
+  std::printf("%-22s %-22.6f %-22.6f\n", "Byte entropy", cf.entropy,
+              cr.entropy);
+  std::printf("%-22s %-22.6f %-22.6f\n", "Byte mean", cf.mean, cr.mean);
+  std::printf("%-22s %-22.6f %-22.6f\n", "Serial correlation", cf.correlation,
+              cr.correlation);
+  return 0;
+}

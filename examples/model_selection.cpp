@@ -1,0 +1,33 @@
+// Model selection across the nine paper datasets (§VII future work):
+// evaluate every preconditioner on each dataset and report the winner --
+// demonstrating the paper's closing observation that no single reduced
+// model is best everywhere.
+//
+//   $ ./model_selection [scale=0.5]
+#include <cstdio>
+#include <cstdlib>
+
+#include "compress/factory.hpp"
+#include "core/model_select.hpp"
+#include "sim/datasets.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rmp;
+
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.5;
+
+  const auto reduced_codec = compress::make_sz_original();
+  const auto delta_codec = compress::make_sz_delta();
+  const core::CodecPair codecs{reduced_codec.get(), delta_codec.get()};
+
+  std::printf("%-14s %-10s %10s %12s\n", "dataset", "best", "ratio", "rmse");
+  for (sim::DatasetId id : sim::all_datasets()) {
+    const auto pair = sim::make_dataset(id, scale);
+    const auto selection = core::select_best_model(pair.full, codecs);
+    std::printf("%-14s %-10s %9.2fx %12.3e\n", pair.name.c_str(),
+                selection.best.c_str(),
+                selection.best_result.stats.compression_ratio,
+                selection.best_result.rmse);
+  }
+  return 0;
+}

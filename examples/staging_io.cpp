@@ -1,0 +1,57 @@
+// End-to-end I/O planning with the storage model (Table IV workflow):
+// measure this machine's real compression throughput per method on a
+// Heat3d field, then project the paper-scale scenario (64 writers x
+// 16.7 GB) through the analytic Lustre/staging model to decide whether
+// synchronous compression pays off or staging is needed.
+//
+//   $ ./staging_io [grid=32]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "compress/factory.hpp"
+#include "core/pipeline.hpp"
+#include "io/storage_model.hpp"
+#include "sim/heat.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rmp;
+
+  sim::HeatConfig config;
+  config.n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 32;
+  config.steps = 200;
+  const sim::Field field = sim::heat3d_run(config);
+  const double field_bytes = static_cast<double>(field.size()) * 8.0;
+
+  const auto zfp = compress::make_zfp_original();
+  const auto zfp_delta = compress::make_zfp_delta();
+  const core::CodecPair codecs{zfp.get(), zfp_delta.get()};
+
+  io::EndToEndScenario scenario;  // 64 writers x 16.7 GB, Titan-like model
+
+  auto project = [&](const char* label, const std::string& method) {
+    const auto preconditioner = core::make_preconditioner(method);
+    const auto result = core::run_pipeline(*preconditioner, field, codecs);
+    // Scale the measured per-byte compression cost up to the scenario.
+    const double seconds_per_byte = result.encode_seconds / field_bytes;
+    const double compression_time =
+        seconds_per_byte * scenario.bytes_per_writer;
+    const auto row = io::make_row(scenario, label, compression_time,
+                                  result.stats.compression_ratio);
+    std::printf("%-18s comp %8.2fs  io %7.2fs  total %8.2fs\n",
+                row.method.c_str(), row.compression_time, row.io_time,
+                row.total_time);
+  };
+
+  const auto baseline = io::make_baseline_row(scenario);
+  std::printf("%-18s comp %8s  io %7.2fs  total %8.2fs\n",
+              baseline.method.c_str(), "-", baseline.io_time,
+              baseline.total_time);
+  project("ZFP+I/O", "identity");
+  project("PCA(ZFP)+I/O", "pca");
+  const auto staging = io::make_staging_row(scenario, "Staging+PCA+I/O");
+  std::printf("%-18s comp %8s  io %7.2fs  total %8.2fs\n",
+              staging.method.c_str(), "-", staging.io_time,
+              staging.total_time);
+  return 0;
+}

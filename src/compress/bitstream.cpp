@@ -1,0 +1,96 @@
+#include "compress/bitstream.hpp"
+
+#include <stdexcept>
+
+namespace rmp::compress {
+
+void BitWriter::put_bit(bool bit) { put_bits(bit ? 1u : 0u, 1); }
+
+void BitWriter::put_bits(std::uint64_t value, unsigned count) {
+  if (count > 64) throw std::invalid_argument("put_bits: count > 64");
+  if (count == 0) return;
+  if (count < 64) value &= (std::uint64_t{1} << count) - 1;
+  accum_ |= value << accum_bits_;
+  // How many low bits of accum_ are now valid.  If the shift overflowed 64
+  // bits we spill full bytes first and then re-insert the remainder.
+  unsigned total = accum_bits_ + count;
+  if (total < 64) {
+    accum_bits_ = total;
+  } else {
+    // Spill the 64 accumulated bits as 8 bytes.
+    for (int i = 0; i < 8; ++i) {
+      bytes_.push_back(static_cast<std::uint8_t>(accum_ >> (8 * i)));
+    }
+    const unsigned spilled = 64 - accum_bits_;
+    accum_ = (spilled < 64) ? value >> spilled : 0;
+    accum_bits_ = total - 64;
+  }
+  bit_count_ += count;
+  // Opportunistically spill whole bytes to keep the accumulator small.
+  while (accum_bits_ >= 8) {
+    bytes_.push_back(static_cast<std::uint8_t>(accum_));
+    accum_ >>= 8;
+    accum_bits_ -= 8;
+  }
+}
+
+std::vector<std::uint8_t> BitWriter::take() {
+  if (accum_bits_ > 0) {
+    bytes_.push_back(static_cast<std::uint8_t>(accum_));
+    accum_ = 0;
+    accum_bits_ = 0;
+  }
+  return std::move(bytes_);
+}
+
+bool BitReader::get_bit() { return get_bits(1) != 0; }
+
+std::uint64_t BitReader::peek_bits(unsigned count) const {
+  if (count > 64) throw std::invalid_argument("peek_bits: count > 64");
+  std::uint64_t value = 0;
+  std::size_t pos = bit_pos_;
+  const std::size_t total = bytes_.size() * 8;
+  unsigned got = 0;
+  while (got < count && pos < total) {
+    const std::size_t byte_index = pos >> 3;
+    const unsigned bit_index = static_cast<unsigned>(pos & 7);
+    const unsigned take =
+        std::min<unsigned>(8 - bit_index,
+                           static_cast<unsigned>(
+                               std::min<std::size_t>(count - got, total - pos)));
+    const std::uint64_t chunk =
+        (static_cast<std::uint64_t>(bytes_[byte_index]) >> bit_index) &
+        ((std::uint64_t{1} << take) - 1);
+    value |= chunk << got;
+    got += take;
+    pos += take;
+  }
+  return value;  // missing tail bits stay zero
+}
+
+void BitReader::skip_bits(unsigned count) {
+  if (exhausted(count)) throw std::out_of_range("skip_bits: out of bits");
+  bit_pos_ += count;
+}
+
+std::uint64_t BitReader::get_bits(unsigned count) {
+  if (count > 64) throw std::invalid_argument("get_bits: count > 64");
+  if (count == 0) return 0;
+  if (exhausted(count)) throw std::out_of_range("BitReader: out of bits");
+  std::uint64_t value = 0;
+  unsigned got = 0;
+  while (got < count) {
+    const std::size_t byte_index = bit_pos_ >> 3;
+    const unsigned bit_index = static_cast<unsigned>(bit_pos_ & 7);
+    const unsigned take = std::min(8 - bit_index, count - got);
+    const std::uint64_t chunk =
+        (static_cast<std::uint64_t>(bytes_[byte_index]) >> bit_index) &
+        ((std::uint64_t{1} << take) - 1);
+    value |= chunk << got;
+    got += take;
+    bit_pos_ += take;
+  }
+  return value;
+}
+
+}  // namespace rmp::compress

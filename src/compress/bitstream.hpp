@@ -1,0 +1,63 @@
+// Bit-granular writer/reader used by the Huffman coder and the ZFP-like
+// embedded bit-plane coder.  Bits are packed LSB-first within each byte so
+// that write/read sequences of mixed widths round-trip exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rmp::compress {
+
+class BitWriter {
+ public:
+  void put_bit(bool bit);
+
+  /// Write the low `count` bits of `value`, LSB first.  count <= 64.
+  void put_bits(std::uint64_t value, unsigned count);
+
+  /// Number of bits written so far.
+  std::size_t bit_count() const noexcept { return bit_count_; }
+
+  /// Flush and take the byte buffer (final partial byte zero-padded).
+  std::vector<std::uint8_t> take();
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::uint64_t accum_ = 0;
+  unsigned accum_bits_ = 0;
+  std::size_t bit_count_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  bool get_bit();
+
+  /// Read `count` bits, LSB first.  count <= 64.
+  std::uint64_t get_bits(unsigned count);
+
+  /// Look at the next `count` bits without consuming them.  Unlike
+  /// get_bits this never throws: past-the-end bits read as zero (callers
+  /// validate after deciding how many bits they really need).
+  std::uint64_t peek_bits(unsigned count) const;
+
+  /// Advance by `count` bits (must not pass the end).
+  void skip_bits(unsigned count);
+
+  /// Bits consumed so far.
+  std::size_t bit_position() const noexcept { return bit_pos_; }
+
+  /// True if fewer than `count` bits remain.
+  bool exhausted(unsigned count = 1) const noexcept {
+    return bit_pos_ + count > bytes_.size() * 8;
+  }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t bit_pos_ = 0;
+};
+
+}  // namespace rmp::compress

@@ -1,0 +1,64 @@
+// Common interface for the floating-point (de)compressors.
+//
+// The pipeline layer (src/core) treats every codec uniformly: bytes in,
+// bytes out, with the logical grid shape carried alongside the data.  All
+// codecs are self-describing -- the shape is also embedded in the stream so
+// decompress() can validate it.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rmp::compress {
+
+/// Logical grid shape, up to 3 dimensions.  Unused trailing dimensions are 1.
+struct Dims {
+  std::size_t nx = 1;
+  std::size_t ny = 1;
+  std::size_t nz = 1;
+
+  std::size_t count() const noexcept { return nx * ny * nz; }
+  unsigned rank() const noexcept {
+    if (nz > 1) return 3;
+    if (ny > 1) return 2;
+    return 1;
+  }
+  bool operator==(const Dims&) const = default;
+
+  static Dims d1(std::size_t n) { return {n, 1, 1}; }
+  static Dims d2(std::size_t nx, std::size_t ny) { return {nx, ny, 1}; }
+  static Dims d3(std::size_t nx, std::size_t ny, std::size_t nz) {
+    return {nx, ny, nz};
+  }
+};
+
+class Compressor {
+ public:
+  virtual ~Compressor() = default;
+
+  virtual std::string name() const = 0;
+
+  /// True if decompress() reproduces the input bit-exactly.
+  virtual bool lossless() const = 0;
+
+  virtual std::vector<std::uint8_t> compress(std::span<const double> data,
+                                             const Dims& dims) const = 0;
+
+  virtual std::vector<double> decompress(
+      std::span<const std::uint8_t> stream) const = 0;
+};
+
+/// Compression ratio = original bytes / compressed bytes.
+inline double compression_ratio(std::size_t element_count,
+                                std::size_t compressed_bytes) {
+  if (compressed_bytes == 0) return 0.0;
+  return static_cast<double>(element_count * sizeof(double)) /
+         static_cast<double>(compressed_bytes);
+}
+
+}  // namespace rmp::compress

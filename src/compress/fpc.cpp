@@ -1,0 +1,183 @@
+#include "compress/fpc.hpp"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+namespace rmp::compress {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x31435046;  // "FPC1"
+
+struct Header {
+  std::uint32_t magic;
+  std::uint8_t table_bits;
+  std::uint8_t reserved[3];
+  std::uint64_t nx, ny, nz;
+};
+
+// Leading-zero-byte count of the XOR residual, with FPC's 3-bit encoding:
+// the rare count 4 is folded down to 3 (one extra residual byte stored).
+unsigned code_from_lzb(unsigned lzb) {
+  return lzb >= 4 ? lzb - 1 : lzb;  // 0,1,2,3,[4->3],5->4,6->5,7->6,8->7
+}
+unsigned lzb_from_code(unsigned code) {
+  return code >= 4 ? code + 1 : code;
+}
+
+unsigned leading_zero_bytes(std::uint64_t v) {
+  if (v == 0) return 8;
+  return static_cast<unsigned>(std::countl_zero(v)) / 8;
+}
+
+class PredictorPair {
+ public:
+  explicit PredictorPair(unsigned table_bits)
+      : mask_((std::uint64_t{1} << table_bits) - 1),
+        fcm_(mask_ + 1, 0),
+        dfcm_(mask_ + 1, 0) {}
+
+  std::uint64_t fcm_prediction() const { return fcm_[fcm_hash_]; }
+  std::uint64_t dfcm_prediction() const {
+    return dfcm_[dfcm_hash_] + last_value_;
+  }
+
+  void update(std::uint64_t actual) {
+    fcm_[fcm_hash_] = actual;
+    fcm_hash_ = ((fcm_hash_ << 6) ^ (actual >> 48)) & mask_;
+    const std::uint64_t delta = actual - last_value_;
+    dfcm_[dfcm_hash_] = delta;
+    dfcm_hash_ = ((dfcm_hash_ << 2) ^ (delta >> 40)) & mask_;
+    last_value_ = actual;
+  }
+
+ private:
+  std::uint64_t mask_;
+  std::vector<std::uint64_t> fcm_;
+  std::vector<std::uint64_t> dfcm_;
+  std::uint64_t fcm_hash_ = 0;
+  std::uint64_t dfcm_hash_ = 0;
+  std::uint64_t last_value_ = 0;
+};
+
+}  // namespace
+
+FpcCompressor::FpcCompressor(FpcOptions options) : options_(options) {
+  if (options_.table_bits < 4 || options_.table_bits > 26) {
+    throw std::invalid_argument("FpcCompressor: table_bits out of range");
+  }
+}
+
+std::vector<std::uint8_t> FpcCompressor::compress(std::span<const double> data,
+                                                  const Dims& dims) const {
+  if (data.size() != dims.count()) {
+    throw std::invalid_argument("FpcCompressor: data size does not match dims");
+  }
+  PredictorPair predictors(options_.table_bits);
+
+  // Layout: header | packed 4-bit codes (selector+lzb) | residual bytes.
+  std::vector<std::uint8_t> codes;
+  codes.reserve((data.size() + 1) / 2);
+  std::vector<std::uint8_t> residuals;
+  residuals.reserve(data.size() * 4);
+
+  std::uint8_t pending = 0;
+  bool half_full = false;
+  for (double value : data) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+
+    const std::uint64_t xor_fcm = bits ^ predictors.fcm_prediction();
+    const std::uint64_t xor_dfcm = bits ^ predictors.dfcm_prediction();
+    predictors.update(bits);
+
+    const bool use_dfcm = leading_zero_bytes(xor_dfcm) > leading_zero_bytes(xor_fcm);
+    const std::uint64_t residual = use_dfcm ? xor_dfcm : xor_fcm;
+    const unsigned lzb = lzb_from_code(code_from_lzb(leading_zero_bytes(residual)));
+    const unsigned code =
+        (use_dfcm ? 8u : 0u) | code_from_lzb(leading_zero_bytes(residual));
+
+    if (half_full) {
+      codes.push_back(static_cast<std::uint8_t>(pending | (code << 4)));
+      half_full = false;
+    } else {
+      pending = static_cast<std::uint8_t>(code);
+      half_full = true;
+    }
+    // Residual bytes, most significant non-zero byte first.
+    for (unsigned b = 8 - lzb; b-- > 0;) {
+      residuals.push_back(static_cast<std::uint8_t>(residual >> (8 * b)));
+    }
+  }
+  if (half_full) codes.push_back(pending);
+
+  std::vector<std::uint8_t> out;
+  Header header{kMagic,
+                static_cast<std::uint8_t>(options_.table_bits),
+                {0, 0, 0},
+                dims.nx,
+                dims.ny,
+                dims.nz};
+  const auto* hb = reinterpret_cast<const std::uint8_t*>(&header);
+  out.insert(out.end(), hb, hb + sizeof(header));
+  const std::uint64_t code_bytes = codes.size();
+  const auto* cb = reinterpret_cast<const std::uint8_t*>(&code_bytes);
+  out.insert(out.end(), cb, cb + sizeof(code_bytes));
+  out.insert(out.end(), codes.begin(), codes.end());
+  out.insert(out.end(), residuals.begin(), residuals.end());
+  return out;
+}
+
+std::vector<double> FpcCompressor::decompress(
+    std::span<const std::uint8_t> stream) const {
+  if (stream.size() < sizeof(Header) + sizeof(std::uint64_t)) {
+    throw std::runtime_error("FPC decode: truncated stream");
+  }
+  Header header;
+  std::memcpy(&header, stream.data(), sizeof(header));
+  if (header.magic != kMagic) {
+    throw std::runtime_error("FPC decode: bad magic");
+  }
+  const Dims dims{header.nx, header.ny, header.nz};
+  const std::size_t count = dims.count();
+
+  std::uint64_t code_bytes = 0;
+  std::memcpy(&code_bytes, stream.data() + sizeof(header), sizeof(code_bytes));
+  std::size_t code_offset = sizeof(header) + sizeof(code_bytes);
+  std::size_t residual_offset = code_offset + code_bytes;
+  if (residual_offset > stream.size()) {
+    throw std::runtime_error("FPC decode: truncated code section");
+  }
+
+  PredictorPair predictors(header.table_bits);
+  std::vector<double> out;
+  out.reserve(count);
+
+  for (std::size_t n = 0; n < count; ++n) {
+    const std::uint8_t packed = stream[code_offset + n / 2];
+    const unsigned code = (n % 2 == 0) ? (packed & 0x0f) : (packed >> 4);
+    const bool use_dfcm = (code & 8) != 0;
+    const unsigned lzb = lzb_from_code(code & 7);
+
+    std::uint64_t residual = 0;
+    const unsigned nbytes = 8 - lzb;
+    if (residual_offset + nbytes > stream.size()) {
+      throw std::runtime_error("FPC decode: truncated residuals");
+    }
+    for (unsigned b = 0; b < nbytes; ++b) {
+      residual = (residual << 8) | stream[residual_offset++];
+    }
+
+    const std::uint64_t prediction =
+        use_dfcm ? predictors.dfcm_prediction() : predictors.fcm_prediction();
+    const std::uint64_t bits = prediction ^ residual;
+    predictors.update(bits);
+
+    double value;
+    std::memcpy(&value, &bits, sizeof(value));
+    out.push_back(value);
+  }
+  return out;
+}
+
+}  // namespace rmp::compress

@@ -1,0 +1,282 @@
+#include "compress/huffman.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <queue>
+#include <stdexcept>
+
+namespace rmp::compress {
+namespace {
+
+constexpr unsigned kMaxCodeLength = 58;  // keeps codes within one uint64 write
+
+struct TreeNode {
+  std::uint64_t weight;
+  std::uint32_t tiebreak;  // deterministic ordering
+  std::int64_t symbol;     // -1 for internal nodes (int64: 0xffffffff is a
+                           // valid symbol and must not alias the sentinel)
+  std::int32_t left = -1;
+  std::int32_t right = -1;
+};
+
+// Compute code lengths from a frequency map via an explicit Huffman tree.
+// If the tree depth exceeds kMaxCodeLength, frequencies are flattened
+// (halved, floored at 1) and the tree rebuilt; this terminates because the
+// distribution converges to uniform.
+std::map<std::uint32_t, std::uint8_t> code_lengths(
+    std::map<std::uint32_t, std::uint64_t> freq) {
+  if (freq.empty()) return {};
+  if (freq.size() == 1) return {{freq.begin()->first, 1}};
+
+  for (;;) {
+    std::vector<TreeNode> nodes;
+    nodes.reserve(freq.size() * 2);
+    using QueueItem = std::pair<std::pair<std::uint64_t, std::uint32_t>, std::int32_t>;
+    std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> queue;
+    for (const auto& [symbol, count] : freq) {
+      nodes.push_back({count, symbol, static_cast<std::int64_t>(symbol)});
+      queue.push({{count, symbol}, static_cast<std::int32_t>(nodes.size() - 1)});
+    }
+    std::uint32_t internal_tiebreak = 0;
+    while (queue.size() > 1) {
+      const auto a = queue.top(); queue.pop();
+      const auto b = queue.top(); queue.pop();
+      nodes.push_back({a.first.first + b.first.first, internal_tiebreak++, -1,
+                       a.second, b.second});
+      queue.push({{nodes.back().weight, nodes.back().tiebreak},
+                  static_cast<std::int32_t>(nodes.size() - 1)});
+    }
+
+    std::map<std::uint32_t, std::uint8_t> lengths;
+    unsigned max_depth = 0;
+    // Iterative DFS to assign depths.
+    std::vector<std::pair<std::int32_t, unsigned>> stack{{queue.top().second, 0}};
+    while (!stack.empty()) {
+      const auto [index, depth] = stack.back();
+      stack.pop_back();
+      const TreeNode& node = nodes[index];
+      if (node.symbol >= 0) {
+        lengths[static_cast<std::uint32_t>(node.symbol)] =
+            static_cast<std::uint8_t>(std::max(1u, depth));
+        max_depth = std::max(max_depth, std::max(1u, depth));
+      } else {
+        stack.push_back({node.left, depth + 1});
+        stack.push_back({node.right, depth + 1});
+      }
+    }
+    if (max_depth <= kMaxCodeLength) return lengths;
+    for (auto& [symbol, count] : freq) count = std::max<std::uint64_t>(1, count >> 1);
+  }
+}
+
+}  // namespace
+
+HuffmanEncoder::HuffmanEncoder(std::span<const std::uint32_t> symbols) {
+  std::map<std::uint32_t, std::uint64_t> freq;
+  for (std::uint32_t s : symbols) ++freq[s];
+  const auto lengths = code_lengths(freq);
+
+  entries_.reserve(lengths.size());
+  for (const auto& [symbol, length] : lengths) {
+    entries_.push_back({symbol, length, 0});
+  }
+  std::sort(entries_.begin(), entries_.end(), [](const Entry& a, const Entry& b) {
+    return a.length != b.length ? a.length < b.length : a.symbol < b.symbol;
+  });
+
+  // Assign canonical codes.
+  std::uint64_t code = 0;
+  std::uint8_t previous_length = entries_.empty() ? 0 : entries_.front().length;
+  for (Entry& e : entries_) {
+    code <<= (e.length - previous_length);
+    e.code = code++;
+    previous_length = e.length;
+    max_length_ = std::max<unsigned>(max_length_, e.length);
+  }
+
+  // Dense lookup over the symbol range when compact, otherwise a sorted
+  // index (a sparse alphabet like {0, 0xffffffff} must not allocate a
+  // range-sized table).
+  if (!entries_.empty()) {
+    std::uint32_t lo = entries_.front().symbol, hi = lo;
+    for (const Entry& e : entries_) {
+      lo = std::min(lo, e.symbol);
+      hi = std::max(hi, e.symbol);
+    }
+    const std::uint64_t range = std::uint64_t{hi} - lo + 1;
+    if (range <= 4 * entries_.size() + 1024) {
+      lookup_base_ = lo;
+      lookup_.assign(static_cast<std::size_t>(range), -1);
+      for (std::size_t i = 0; i < entries_.size(); ++i) {
+        lookup_[entries_[i].symbol - lookup_base_] =
+            static_cast<std::int32_t>(i);
+      }
+    } else {
+      sparse_lookup_.reserve(entries_.size());
+      for (std::size_t i = 0; i < entries_.size(); ++i) {
+        sparse_lookup_.emplace_back(entries_[i].symbol,
+                                    static_cast<std::int32_t>(i));
+      }
+      std::sort(sparse_lookup_.begin(), sparse_lookup_.end());
+    }
+  }
+}
+
+const HuffmanEncoder::Entry* HuffmanEncoder::find(std::uint32_t symbol) const {
+  if (!lookup_.empty()) {
+    if (symbol < lookup_base_ || symbol - lookup_base_ >= lookup_.size()) {
+      return nullptr;
+    }
+    const std::int32_t index = lookup_[symbol - lookup_base_];
+    return index < 0 ? nullptr : &entries_[index];
+  }
+  const auto it = std::lower_bound(
+      sparse_lookup_.begin(), sparse_lookup_.end(),
+      std::make_pair(symbol, std::int32_t{0}),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (it == sparse_lookup_.end() || it->first != symbol) return nullptr;
+  return &entries_[it->second];
+}
+
+void HuffmanEncoder::write_table(BitWriter& writer) const {
+  writer.put_bits(entries_.size(), 32);
+  for (const Entry& e : entries_) {
+    writer.put_bits(e.symbol, 32);
+    writer.put_bits(e.length, 6);
+  }
+}
+
+void HuffmanEncoder::write_symbol(BitWriter& writer, std::uint32_t symbol) const {
+  const Entry* e = find(symbol);
+  if (e == nullptr) {
+    throw std::out_of_range("HuffmanEncoder: symbol not in code table");
+  }
+  // Codes are canonical MSB-first; emit bits from the top.
+  for (int bit = e->length - 1; bit >= 0; --bit) {
+    writer.put_bit((e->code >> bit) & 1);
+  }
+}
+
+HuffmanDecoder::HuffmanDecoder(BitReader& reader) {
+  const auto count = static_cast<std::size_t>(reader.get_bits(32));
+  struct Pair {
+    std::uint32_t symbol;
+    std::uint8_t length;
+  };
+  std::vector<Pair> pairs(count);
+  for (auto& p : pairs) {
+    p.symbol = static_cast<std::uint32_t>(reader.get_bits(32));
+    p.length = static_cast<std::uint8_t>(reader.get_bits(6));
+    max_length_ = std::max<unsigned>(max_length_, p.length);
+  }
+  std::sort(pairs.begin(), pairs.end(), [](const Pair& a, const Pair& b) {
+    return a.length != b.length ? a.length < b.length : a.symbol < b.symbol;
+  });
+
+  if (count == 1) {
+    single_symbol_ = true;
+    only_symbol_ = pairs.front().symbol;
+  }
+
+  first_code_.assign(max_length_ + 1, 0);
+  first_index_.assign(max_length_ + 1, 0);
+  std::vector<std::uint64_t> counts(max_length_ + 1, 0);
+  for (const auto& p : pairs) ++counts[p.length];
+
+  std::uint64_t code = 0, index = 0;
+  for (unsigned len = 1; len <= max_length_; ++len) {
+    code <<= 1;
+    first_code_[len] = code;
+    first_index_[len] = index;
+    code += counts[len];
+    index += counts[len];
+  }
+  symbols_.reserve(count);
+  for (const auto& p : pairs) symbols_.push_back(p.symbol);
+
+  // Build the fast table: every code of length <= kFastBits fills all
+  // entries sharing its (bit-reversed, LSB-first) prefix.
+  if (!single_symbol_ && count > 0) {
+    fast_table_.assign(std::size_t{1} << kFastBits, FastEntry{});
+    std::uint64_t canonical = 0;
+    std::uint8_t previous_length = pairs.front().length;
+    for (const auto& p : pairs) {
+      canonical <<= (p.length - previous_length);
+      previous_length = p.length;
+      const std::uint64_t code_value = canonical++;
+      if (p.length > kFastBits) continue;
+      // LSB-first index prefix = bit-reverse of the MSB-first code.
+      std::uint64_t reversed = 0;
+      for (unsigned b = 0; b < p.length; ++b) {
+        reversed |= ((code_value >> (p.length - 1 - b)) & 1u) << b;
+      }
+      const std::size_t suffixes = std::size_t{1}
+                                   << (kFastBits - p.length);
+      for (std::size_t s = 0; s < suffixes; ++s) {
+        fast_table_[reversed | (s << p.length)] = {p.symbol, p.length};
+      }
+    }
+  }
+}
+
+std::uint32_t HuffmanDecoder::read_symbol(BitReader& reader) const {
+  if (single_symbol_) {
+    reader.get_bit();  // consume the 1-bit placeholder code
+    return only_symbol_;
+  }
+  if (!fast_table_.empty()) {
+    const auto prefix =
+        static_cast<std::size_t>(reader.peek_bits(kFastBits));
+    const FastEntry& entry = fast_table_[prefix];
+    if (entry.length > 0) {
+      reader.skip_bits(entry.length);
+      return entry.symbol;
+    }
+  }
+  return read_symbol_slow(reader);
+}
+
+std::uint32_t HuffmanDecoder::read_symbol_slow(BitReader& reader) const {
+  std::uint64_t code = 0;
+  for (unsigned len = 1; len <= max_length_; ++len) {
+    code = (code << 1) | (reader.get_bit() ? 1 : 0);
+    // A code of length `len` is valid when it falls inside this length's
+    // canonical range.
+    const std::uint64_t offset = code - first_code_[len];
+    const std::uint64_t available =
+        (len < max_length_ ? first_index_[len + 1] : symbols_.size()) -
+        first_index_[len];
+    if (code >= first_code_[len] && offset < available) {
+      return symbols_[first_index_[len] + offset];
+    }
+  }
+  throw std::runtime_error("HuffmanDecoder: invalid code in stream");
+}
+
+std::vector<std::uint8_t> huffman_encode(std::span<const std::uint32_t> symbols) {
+  BitWriter writer;
+  writer.put_bits(symbols.size(), 64);
+  if (!symbols.empty()) {
+    HuffmanEncoder encoder(symbols);
+    encoder.write_table(writer);
+    for (std::uint32_t s : symbols) encoder.write_symbol(writer, s);
+  }
+  return writer.take();
+}
+
+std::vector<std::uint32_t> huffman_decode(std::span<const std::uint8_t> bytes) {
+  BitReader reader(bytes);
+  const auto count = static_cast<std::size_t>(reader.get_bits(64));
+  std::vector<std::uint32_t> symbols;
+  symbols.reserve(count);
+  if (count > 0) {
+    HuffmanDecoder decoder(reader);
+    for (std::size_t i = 0; i < count; ++i) {
+      symbols.push_back(decoder.read_symbol(reader));
+    }
+  }
+  return symbols;
+}
+
+}  // namespace rmp::compress

@@ -1,0 +1,87 @@
+// Canonical Huffman coding over an arbitrary uint32 symbol alphabet.
+//
+// Used twice in the library: to entropy-code the SZ-like quantization
+// codes (large alphabet, heavily skewed histogram) and as the token coder
+// inside the generic LZ77+Huffman lossless backend.
+//
+// The code table is serialized as (symbol, length) pairs for the symbols
+// actually present, and rebuilt canonically on decode, so skewed sparse
+// alphabets cost little header space.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "compress/bitstream.hpp"
+
+namespace rmp::compress {
+
+class HuffmanEncoder {
+ public:
+  /// Build a canonical code from symbol frequencies implied by `symbols`.
+  explicit HuffmanEncoder(std::span<const std::uint32_t> symbols);
+
+  /// Append the serialized code table to `writer`.
+  void write_table(BitWriter& writer) const;
+
+  /// Append the code for one symbol.  The symbol must have appeared in the
+  /// constructor sample; otherwise std::out_of_range is thrown.
+  void write_symbol(BitWriter& writer, std::uint32_t symbol) const;
+
+  /// Longest code length in bits (useful for tests/diagnostics).
+  unsigned max_code_length() const noexcept { return max_length_; }
+  std::size_t distinct_symbols() const noexcept { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::uint32_t symbol;
+    std::uint8_t length;
+    std::uint64_t code;  // canonical, MSB-first
+  };
+  std::vector<Entry> entries_;          // sorted by (length, symbol)
+  // Dense lookup when the symbol range is compact; otherwise a sorted
+  // (symbol -> entry) index searched by lower_bound (sparse alphabets
+  // like {0, 0xffffffff} must not allocate range-sized tables).
+  std::vector<std::int32_t> lookup_;
+  std::uint32_t lookup_base_ = 0;
+  std::vector<std::pair<std::uint32_t, std::int32_t>> sparse_lookup_;
+  unsigned max_length_ = 0;
+
+  const Entry* find(std::uint32_t symbol) const;
+};
+
+class HuffmanDecoder {
+ public:
+  /// Read the serialized code table produced by HuffmanEncoder::write_table.
+  explicit HuffmanDecoder(BitReader& reader);
+
+  std::uint32_t read_symbol(BitReader& reader) const;
+
+ private:
+  // Canonical decode tables indexed by code length.
+  std::vector<std::uint64_t> first_code_;   // first canonical code of length L
+  std::vector<std::uint64_t> first_index_;  // index of that code in symbols_
+  std::vector<std::uint32_t> symbols_;      // in canonical order
+  unsigned max_length_ = 0;
+  bool single_symbol_ = false;
+  std::uint32_t only_symbol_ = 0;
+
+  // Fast path: table indexed by the next kFastBits stream bits
+  // (LSB-first, as peek_bits returns them); entry length 0 means "code
+  // longer than kFastBits, take the bit-by-bit path".
+  static constexpr unsigned kFastBits = 12;
+  struct FastEntry {
+    std::uint32_t symbol = 0;
+    std::uint8_t length = 0;
+  };
+  std::vector<FastEntry> fast_table_;
+
+  std::uint32_t read_symbol_slow(BitReader& reader) const;
+};
+
+/// One-call helpers: encode a symbol sequence to bytes and back.
+std::vector<std::uint8_t> huffman_encode(std::span<const std::uint32_t> symbols);
+std::vector<std::uint32_t> huffman_decode(std::span<const std::uint8_t> bytes);
+
+}  // namespace rmp::compress

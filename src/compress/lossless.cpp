@@ -1,0 +1,216 @@
+#include "compress/lossless.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "compress/bitstream.hpp"
+#include "compress/huffman.hpp"
+
+namespace rmp::compress {
+namespace {
+
+constexpr std::uint8_t kModeRaw = 0;
+constexpr std::uint8_t kModeLz = 1;
+
+// Token alphabet: 0..255 literal bytes; 256 + b encodes a match whose
+// length bucket is b.  Length/distance extra bits follow the token inline.
+constexpr std::uint32_t kMatchBase = 256;
+constexpr std::uint32_t kLenBuckets = 16;   // bucket b covers lengths with b extra bits
+constexpr std::uint32_t kEndOfStream = kMatchBase + kLenBuckets;
+
+struct Token {
+  std::uint32_t symbol;
+  std::uint32_t extra;        // value of the extra bits
+  unsigned extra_bits;
+  std::uint32_t distance;     // 0 for literals
+};
+
+unsigned bit_width(std::uint32_t v) {
+  unsigned w = 0;
+  while (v > 0) {
+    ++w;
+    v >>= 1;
+  }
+  return w;
+}
+
+std::uint32_t hash3(const std::uint8_t* p) {
+  // Multiplicative hash of 3 bytes; 16-bit table index.
+  const std::uint32_t v = static_cast<std::uint32_t>(p[0]) |
+                          (static_cast<std::uint32_t>(p[1]) << 8) |
+                          (static_cast<std::uint32_t>(p[2]) << 16);
+  return (v * 2654435761u) >> 16;
+}
+
+std::vector<Token> parse_tokens(std::span<const std::uint8_t> input,
+                                const LosslessOptions& opts) {
+  std::vector<Token> tokens;
+  const std::size_t n = input.size();
+  // Hash-head + chain tables for match search.
+  std::vector<std::int64_t> head(1 << 16, -1);
+  std::vector<std::int64_t> prev(n, -1);
+
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t best_len = 0;
+    std::size_t best_dist = 0;
+    if (i + 3 <= n) {
+      const std::uint32_t h = hash3(input.data() + i);
+      std::int64_t candidate = head[h];
+      std::uint32_t probes = 0;
+      while (candidate >= 0 && probes < opts.max_chain &&
+             i - static_cast<std::size_t>(candidate) <= opts.window) {
+        const std::size_t pos = static_cast<std::size_t>(candidate);
+        std::size_t len = 0;
+        const std::size_t limit = n - i;
+        while (len < limit && input[pos + len] == input[i + len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_dist = i - pos;
+        }
+        candidate = prev[pos];
+        ++probes;
+      }
+    }
+
+    if (best_len >= opts.min_match) {
+      const std::uint32_t len_code =
+          static_cast<std::uint32_t>(best_len - opts.min_match);
+      const unsigned bucket = bit_width(len_code + 1) - 1;  // Elias-gamma bucket
+      const std::uint32_t extra =
+          len_code + 1 - (std::uint32_t{1} << bucket);      // offset in bucket
+      tokens.push_back({kMatchBase + bucket, extra, bucket,
+                        static_cast<std::uint32_t>(best_dist)});
+      // Insert hash entries for every covered position so later matches can
+      // reference them.
+      const std::size_t end = i + best_len;
+      while (i < end) {
+        if (i + 3 <= n) {
+          const std::uint32_t h = hash3(input.data() + i);
+          prev[i] = head[h];
+          head[h] = static_cast<std::int64_t>(i);
+        }
+        ++i;
+      }
+    } else {
+      tokens.push_back({input[i], 0, 0, 0});
+      if (i + 3 <= n) {
+        const std::uint32_t h = hash3(input.data() + i);
+        prev[i] = head[h];
+        head[h] = static_cast<std::int64_t>(i);
+      }
+      ++i;
+    }
+  }
+  tokens.push_back({kEndOfStream, 0, 0, 0});
+  return tokens;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> lossless_compress(std::span<const std::uint8_t> input,
+                                            const LosslessOptions& opts) {
+  std::vector<std::uint8_t> lz;
+  if (!input.empty()) {
+    const auto tokens = parse_tokens(input, opts);
+
+    std::vector<std::uint32_t> symbols;
+    symbols.reserve(tokens.size());
+    for (const Token& t : tokens) symbols.push_back(t.symbol);
+
+    BitWriter writer;
+    writer.put_bits(input.size(), 64);
+    writer.put_bits(opts.min_match, 8);
+    HuffmanEncoder encoder(symbols);
+    encoder.write_table(writer);
+    for (const Token& t : tokens) {
+      encoder.write_symbol(writer, t.symbol);
+      if (t.symbol >= kMatchBase && t.symbol < kEndOfStream) {
+        writer.put_bits(t.extra, t.extra_bits);
+        // Distances are coded as a 5-bit width followed by that many bits.
+        const unsigned dist_bits = bit_width(t.distance);
+        writer.put_bits(dist_bits, 5);
+        writer.put_bits(t.distance, dist_bits);
+      }
+    }
+    lz = writer.take();
+  } else {
+    BitWriter writer;
+    writer.put_bits(0, 64);
+    lz = writer.take();
+  }
+
+  std::vector<std::uint8_t> out;
+  if (lz.size() + 1 < input.size() + 1 && !input.empty()) {
+    out.reserve(lz.size() + 1);
+    out.push_back(kModeLz);
+    out.insert(out.end(), lz.begin(), lz.end());
+  } else {
+    out.reserve(input.size() + 9);
+    out.push_back(kModeRaw);
+    std::uint64_t size = input.size();
+    const auto* sz = reinterpret_cast<const std::uint8_t*>(&size);
+    out.insert(out.end(), sz, sz + 8);
+    out.insert(out.end(), input.begin(), input.end());
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> lossless_decompress(std::span<const std::uint8_t> input) {
+  if (input.empty()) throw std::runtime_error("lossless_decompress: empty input");
+  const std::uint8_t mode = input[0];
+  const auto payload = input.subspan(1);
+
+  if (mode == kModeRaw) {
+    if (payload.size() < 8) {
+      throw std::runtime_error("lossless_decompress: truncated raw header");
+    }
+    std::uint64_t size = 0;
+    std::memcpy(&size, payload.data(), 8);
+    if (payload.size() - 8 < size) {
+      throw std::runtime_error("lossless_decompress: truncated raw payload");
+    }
+    return {payload.begin() + 8, payload.begin() + 8 + size};
+  }
+  if (mode != kModeLz) {
+    throw std::runtime_error("lossless_decompress: unknown mode byte");
+  }
+
+  BitReader reader(payload);
+  const auto original_size = static_cast<std::size_t>(reader.get_bits(64));
+  std::vector<std::uint8_t> out;
+  out.reserve(original_size);
+  if (original_size == 0) return out;
+  const auto min_match = static_cast<std::uint32_t>(reader.get_bits(8));
+
+  HuffmanDecoder decoder(reader);
+  for (;;) {
+    const std::uint32_t symbol = decoder.read_symbol(reader);
+    if (symbol == kEndOfStream) break;
+    if (symbol < kMatchBase) {
+      out.push_back(static_cast<std::uint8_t>(symbol));
+      continue;
+    }
+    const unsigned bucket = symbol - kMatchBase;
+    const std::uint32_t extra =
+        static_cast<std::uint32_t>(reader.get_bits(bucket));
+    const std::uint32_t len_code = (std::uint32_t{1} << bucket) + extra - 1;
+    const unsigned dist_bits = static_cast<unsigned>(reader.get_bits(5));
+    const std::uint32_t distance =
+        static_cast<std::uint32_t>(reader.get_bits(dist_bits));
+    const std::size_t length = len_code + min_match;
+    if (distance == 0 || distance > out.size()) {
+      throw std::runtime_error("lossless_decompress: invalid match distance");
+    }
+    const std::size_t start = out.size() - distance;
+    for (std::size_t k = 0; k < length; ++k) {
+      out.push_back(out[start + k]);  // overlapping copies are intentional
+    }
+  }
+  if (out.size() != original_size) {
+    throw std::runtime_error("lossless_decompress: size mismatch");
+  }
+  return out;
+}
+
+}  // namespace rmp::compress

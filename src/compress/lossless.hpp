@@ -1,0 +1,30 @@
+// Generic byte-oriented lossless backend: LZ77 token parsing followed by
+// Huffman coding of the token stream (a "deflate-lite").
+//
+// This plays the role gzip/zlib plays behind SZ in the paper: it removes
+// the redundancy left in quantization-code streams and is also used to
+// squeeze container metadata.  If the compressed form would be larger than
+// the input, the input is stored raw (1-byte mode prefix decides).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rmp::compress {
+
+struct LosslessOptions {
+  /// Maximum backwards distance the matcher searches (window size).
+  std::uint32_t window = 1 << 16;
+  /// Minimum match length worth emitting as a copy token.
+  std::uint32_t min_match = 4;
+  /// Maximum chain positions probed per input position.
+  std::uint32_t max_chain = 32;
+};
+
+std::vector<std::uint8_t> lossless_compress(std::span<const std::uint8_t> input,
+                                            const LosslessOptions& opts = {});
+
+std::vector<std::uint8_t> lossless_decompress(std::span<const std::uint8_t> input);
+
+}  // namespace rmp::compress

@@ -1,0 +1,688 @@
+#include "compress/sz.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "compress/bitstream.hpp"
+#include "compress/huffman.hpp"
+#include "compress/lossless.hpp"
+
+namespace rmp::compress {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x315A5352;  // "RSZ1"
+// Values below this magnitude join the zero class in pointwise-relative
+// mode (a relative bound is meaningless at denormal scale).
+constexpr double kZeroClassThreshold = 1e-300;
+// Block length for the SZ 1.4-style block-relative mode.
+constexpr std::size_t kRelBlockSize = 1024;
+
+struct Header {
+  std::uint32_t magic;
+  std::uint8_t mode;
+  std::uint8_t quant_bits;
+  std::uint16_t reserved;
+  double bound;
+  std::uint64_t nx, ny, nz;
+};
+
+std::size_t flat_index(std::size_t i, std::size_t j, std::size_t k,
+                       const Dims& d) {
+  return (i * d.ny + j) * d.nz + k;
+}
+
+// Lorenzo prediction from already-decoded values.  Out-of-range neighbors
+// contribute 0, which makes the predictor exact for constant-0 boundaries
+// and merely suboptimal otherwise -- same convention as SZ.
+double lorenzo_predict(const std::vector<double>& u, std::size_t i,
+                       std::size_t j, std::size_t k, const Dims& d) {
+  auto at = [&](std::size_t a, std::size_t b, std::size_t c) -> double {
+    return u[flat_index(a, b, c, d)];
+  };
+  switch (d.rank()) {
+    case 1:
+      // 1D fields are shaped {n, 1, 1}, so the scan axis is i.  Order-2
+      // Lorenzo (linear extrapolation) leaves the second difference as
+      // the residual, which is what makes smooth 1D signals quantize
+      // into a handful of bins.
+      if (i >= 2) return 2.0 * at(i - 1, j, k) - at(i - 2, j, k);
+      return i == 1 ? at(0, j, k) : 0.0;
+    case 2: {
+      const double left = j > 0 ? at(i, j - 1, k) : 0.0;
+      const double up = i > 0 ? at(i - 1, j, k) : 0.0;
+      const double diag = (i > 0 && j > 0) ? at(i - 1, j - 1, k) : 0.0;
+      return left + up - diag;
+    }
+    default: {
+      const double x = i > 0 ? at(i - 1, j, k) : 0.0;
+      const double y = j > 0 ? at(i, j - 1, k) : 0.0;
+      const double z = k > 0 ? at(i, j, k - 1) : 0.0;
+      const double xy = (i > 0 && j > 0) ? at(i - 1, j - 1, k) : 0.0;
+      const double xz = (i > 0 && k > 0) ? at(i - 1, j, k - 1) : 0.0;
+      const double yz = (j > 0 && k > 0) ? at(i, j - 1, k - 1) : 0.0;
+      const double xyz = (i > 0 && j > 0 && k > 0) ? at(i - 1, j - 1, k - 1) : 0.0;
+      return x + y + z - xy - xz - yz + xyz;
+    }
+  }
+}
+
+struct QuantizedStream {
+  std::vector<std::uint32_t> codes;
+  std::vector<double> outliers;
+};
+
+// ---------------------------------------------------------------------------
+// SZ 2.x-style regression predictor (SzPredictor::kHybrid)
+
+// Prediction block edge per rank (SZ 2 uses 6^3 in 3D; larger 2D/1D
+// blocks amortize the stored-coefficient overhead).
+std::size_t regression_block_edge(unsigned rank) {
+  switch (rank) {
+    case 3: return 6;
+    case 2: return 16;
+    default: return 128;
+  }
+}
+
+// Per-array regression model: for each prediction block, either Lorenzo
+// (flag 0) or a fitted hyperplane v ~ b0 + b1*di + b2*dj + b3*dk in local
+// block coordinates (flag 1, 4 coefficients).
+struct RegressionModel {
+  std::size_t edge = 0;
+  std::size_t blocks_x = 1, blocks_y = 1, blocks_z = 1;
+  std::vector<std::uint8_t> use_regression;  // one per block
+  std::vector<double> coefficients;          // 4 per block (zeros if unused)
+
+  std::size_t block_count() const { return blocks_x * blocks_y * blocks_z; }
+  std::size_t block_of(std::size_t i, std::size_t j, std::size_t k) const {
+    return ((i / edge) * blocks_y + (j / edge)) * blocks_z + (k / edge);
+  }
+  double predict(std::size_t i, std::size_t j, std::size_t k,
+                 std::size_t block) const {
+    const double* c = &coefficients[4 * block];
+    return c[0] + c[1] * static_cast<double>(i % edge) +
+           c[2] * static_cast<double>(j % edge) +
+           c[3] * static_cast<double>(k % edge);
+  }
+};
+
+struct BoundTable;
+double bound_at(const BoundTable& table, std::size_t n);
+
+// Fit the model on the original data and choose per block between the
+// hyperplane and Lorenzo by comparing *estimated coded bits*: each
+// residual costs ~log2(1 + |r| / eb) bits after quantization, and a
+// regression block additionally pays for its four stored coefficients.
+// (Plain SSE is a poor proxy: spiky data has huge SSE under Lorenzo but
+// almost all-zero codes, which entropy coding loves.)
+RegressionModel fit_regression_model(std::span<const double> data,
+                                     const Dims& dims,
+                                     const BoundTable& bounds) {
+  RegressionModel model;
+  model.edge = regression_block_edge(dims.rank());
+  model.blocks_x = (dims.nx + model.edge - 1) / model.edge;
+  model.blocks_y = (dims.ny + model.edge - 1) / model.edge;
+  model.blocks_z = (dims.nz + model.edge - 1) / model.edge;
+  model.use_regression.assign(model.block_count(), 0);
+  model.coefficients.assign(4 * model.block_count(), 0.0);
+
+  auto value = [&](std::size_t i, std::size_t j, std::size_t k) {
+    return data[flat_index(i, j, k, dims)];
+  };
+
+  for (std::size_t bx = 0; bx < model.blocks_x; ++bx) {
+    for (std::size_t by = 0; by < model.blocks_y; ++by) {
+      for (std::size_t bz = 0; bz < model.blocks_z; ++bz) {
+        const std::size_t i0 = bx * model.edge;
+        const std::size_t j0 = by * model.edge;
+        const std::size_t k0 = bz * model.edge;
+        const std::size_t i1 = std::min(i0 + model.edge, dims.nx);
+        const std::size_t j1 = std::min(j0 + model.edge, dims.ny);
+        const std::size_t k1 = std::min(k0 + model.edge, dims.nz);
+        const double count =
+            static_cast<double>((i1 - i0) * (j1 - j0) * (k1 - k0));
+
+        // Separable least squares on the product grid: per-axis centered
+        // coordinates make the normal equations diagonal.
+        double mean_i = 0, mean_j = 0, mean_k = 0, mean_v = 0;
+        for (std::size_t i = i0; i < i1; ++i) mean_i += static_cast<double>(i - i0);
+        for (std::size_t j = j0; j < j1; ++j) mean_j += static_cast<double>(j - j0);
+        for (std::size_t k = k0; k < k1; ++k) mean_k += static_cast<double>(k - k0);
+        mean_i /= static_cast<double>(i1 - i0);
+        mean_j /= static_cast<double>(j1 - j0);
+        mean_k /= static_cast<double>(k1 - k0);
+
+        double sxx = 0, syy = 0, szz = 0;
+        double sxv = 0, syv = 0, szv = 0;
+        for (std::size_t i = i0; i < i1; ++i) {
+          for (std::size_t j = j0; j < j1; ++j) {
+            for (std::size_t k = k0; k < k1; ++k) {
+              const double v = value(i, j, k);
+              mean_v += v;
+              const double di = static_cast<double>(i - i0) - mean_i;
+              const double dj = static_cast<double>(j - j0) - mean_j;
+              const double dk = static_cast<double>(k - k0) - mean_k;
+              sxx += di * di;
+              syy += dj * dj;
+              szz += dk * dk;
+              sxv += di * v;
+              syv += dj * v;
+              szv += dk * v;
+            }
+          }
+        }
+        mean_v /= count;
+        const double b1 = sxx > 0 ? sxv / sxx : 0.0;
+        const double b2 = syy > 0 ? syv / syy : 0.0;
+        const double b3 = szz > 0 ? szv / szz : 0.0;
+        const double b0 = mean_v - b1 * mean_i - b2 * mean_j - b3 * mean_k;
+
+        // Residual comparison: estimated coded bits for regression vs
+        // Lorenzo on the originals.
+        double bits_regression = 0, bits_lorenzo = 0;
+        for (std::size_t i = i0; i < i1; ++i) {
+          for (std::size_t j = j0; j < j1; ++j) {
+            for (std::size_t k = k0; k < k1; ++k) {
+              const double v = value(i, j, k);
+              const double eb =
+                  std::max(bound_at(bounds, flat_index(i, j, k, dims)),
+                           1e-300);
+              const double reg = b0 + b1 * (static_cast<double>(i - i0)) +
+                                 b2 * (static_cast<double>(j - j0)) +
+                                 b3 * (static_cast<double>(k - k0));
+              bits_regression += std::log2(1.0 + std::fabs(v - reg) / eb);
+              // Lorenzo on originals (approximation of the decoded-value
+              // predictor, good enough for the selection decision).
+              double lorenzo;
+              switch (dims.rank()) {
+                case 1:
+                  lorenzo = i >= 2 ? 2.0 * value(i - 1, j, k) - value(i - 2, j, k)
+                                   : (i == 1 ? value(0, j, k) : 0.0);
+                  break;
+                case 2: {
+                  const double left = j > 0 ? value(i, j - 1, k) : 0.0;
+                  const double up = i > 0 ? value(i - 1, j, k) : 0.0;
+                  const double diag =
+                      (i > 0 && j > 0) ? value(i - 1, j - 1, k) : 0.0;
+                  lorenzo = left + up - diag;
+                  break;
+                }
+                default: {
+                  const double x = i > 0 ? value(i - 1, j, k) : 0.0;
+                  const double y = j > 0 ? value(i, j - 1, k) : 0.0;
+                  const double z = k > 0 ? value(i, j, k - 1) : 0.0;
+                  const double xy = (i > 0 && j > 0) ? value(i - 1, j - 1, k) : 0.0;
+                  const double xz = (i > 0 && k > 0) ? value(i - 1, j, k - 1) : 0.0;
+                  const double yz = (j > 0 && k > 0) ? value(i, j - 1, k - 1) : 0.0;
+                  const double xyz = (i > 0 && j > 0 && k > 0)
+                                         ? value(i - 1, j - 1, k - 1)
+                                         : 0.0;
+                  lorenzo = x + y + z - xy - xz - yz + xyz;
+                  break;
+                }
+              }
+              bits_lorenzo += std::log2(1.0 + std::fabs(v - lorenzo) / eb);
+            }
+          }
+        }
+
+        const std::size_t block = model.block_of(i0, j0, k0);
+        // Coefficients are stored as float32 (SZ 2 quantizes them too):
+        // 4 x 32 = 128 bits of model overhead per block.  Prediction must
+        // use the *rounded* values so encoder and decoder agree.
+        if (bits_regression + 128.0 < bits_lorenzo) {
+          model.use_regression[block] = 1;
+          model.coefficients[4 * block + 0] =
+              static_cast<double>(static_cast<float>(b0));
+          model.coefficients[4 * block + 1] =
+              static_cast<double>(static_cast<float>(b1));
+          model.coefficients[4 * block + 2] =
+              static_cast<double>(static_cast<float>(b2));
+          model.coefficients[4 * block + 3] =
+              static_cast<double>(static_cast<float>(b3));
+        }
+      }
+    }
+  }
+  return model;
+}
+
+// Per-point error bound: scalar in absolute mode, per-1024-block in
+// block-relative mode.
+struct BoundTable {
+  std::vector<double> bounds;  // one entry per block
+  std::size_t block_size = 0;  // 0 = scalar (bounds[0] applies everywhere)
+
+  double at(std::size_t n) const {
+    return block_size == 0 ? bounds[0] : bounds[n / block_size];
+  }
+};
+
+double bound_at(const BoundTable& table, std::size_t n) {
+  return table.at(n);
+}
+
+// Quantize `data` against the bound table, producing codes and the
+// decoded surrogate (needed because prediction runs on decoded values).
+// `model`, when non-null, supplies regression predictions for the blocks
+// it marked (SZ 2.x hybrid mode).
+QuantizedStream quantize(std::span<const double> data, const Dims& dims,
+                         const BoundTable& table, unsigned quant_bits,
+                         std::vector<double>& decoded,
+                         const RegressionModel* model = nullptr) {
+  QuantizedStream out;
+  out.codes.reserve(data.size());
+  decoded.assign(data.size(), 0.0);
+
+  const std::int64_t radius = std::int64_t{1} << (quant_bits - 1);
+
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < dims.nx; ++i) {
+    for (std::size_t j = 0; j < dims.ny; ++j) {
+      for (std::size_t k = 0; k < dims.nz; ++k, ++n) {
+        const double v = data[n];
+        const double bound = table.at(n);
+        const double step = 2.0 * bound;
+        double pred;
+        if (model != nullptr) {
+          const std::size_t block = model->block_of(i, j, k);
+          pred = model->use_regression[block]
+                     ? model->predict(i, j, k, block)
+                     : lorenzo_predict(decoded, i, j, k, dims);
+        } else {
+          pred = lorenzo_predict(decoded, i, j, k, dims);
+        }
+        const double diff = v - pred;
+        const double qd = std::round(diff / step);
+        bool hit = std::fabs(qd) < static_cast<double>(radius) &&
+                   std::isfinite(qd);
+        if (hit) {
+          const auto q = static_cast<std::int64_t>(qd);
+          const double rec = pred + static_cast<double>(q) * step;
+          if (std::fabs(rec - v) <= bound && std::isfinite(rec)) {
+            out.codes.push_back(static_cast<std::uint32_t>(q + radius));
+            decoded[n] = rec;
+            continue;
+          }
+        }
+        out.codes.push_back(0);  // miss: store verbatim
+        out.outliers.push_back(v);
+        decoded[n] = v;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> dequantize(const QuantizedStream& qs, const Dims& dims,
+                               const BoundTable& table, unsigned quant_bits,
+                               const RegressionModel* model = nullptr) {
+  std::vector<double> decoded(dims.count(), 0.0);
+  const std::int64_t radius = std::int64_t{1} << (quant_bits - 1);
+
+  std::size_t n = 0;
+  std::size_t outlier_index = 0;
+  for (std::size_t i = 0; i < dims.nx; ++i) {
+    for (std::size_t j = 0; j < dims.ny; ++j) {
+      for (std::size_t k = 0; k < dims.nz; ++k, ++n) {
+        const std::uint32_t code = qs.codes[n];
+        if (code == 0) {
+          if (outlier_index >= qs.outliers.size()) {
+            throw std::runtime_error("SZ decode: outlier list exhausted");
+          }
+          decoded[n] = qs.outliers[outlier_index++];
+        } else {
+          const double step = 2.0 * table.at(n);
+          double pred;
+          if (model != nullptr) {
+            const std::size_t block = model->block_of(i, j, k);
+            pred = model->use_regression[block]
+                       ? model->predict(i, j, k, block)
+                       : lorenzo_predict(decoded, i, j, k, dims);
+          } else {
+            pred = lorenzo_predict(decoded, i, j, k, dims);
+          }
+          const auto q = static_cast<std::int64_t>(code) - radius;
+          decoded[n] = pred + static_cast<double>(q) * step;
+        }
+      }
+    }
+  }
+  return decoded;
+}
+
+// Model (de)serialization: edge, block grid, flag bitmap, then 4 doubles
+// per regression block in block order.
+void append_model(std::vector<std::uint8_t>& payload,
+                  const RegressionModel& model);
+RegressionModel read_model(class ByteCursor& cursor);
+
+// Block-relative bound table: eb_block = rel * max|v| over each block of
+// kRelBlockSize values.  All-zero blocks fall back to the global range so
+// the step stays positive (value-range-relative semantics).
+BoundTable block_relative_bounds(std::span<const double> data, double rel) {
+  BoundTable table;
+  table.block_size = kRelBlockSize;
+  double global_max = 0.0;
+  for (double v : data) {
+    if (std::isfinite(v)) global_max = std::max(global_max, std::fabs(v));
+  }
+  const std::size_t blocks = (data.size() + kRelBlockSize - 1) / kRelBlockSize;
+  table.bounds.reserve(std::max<std::size_t>(blocks, 1));
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t begin = b * kRelBlockSize;
+    const std::size_t end = std::min(begin + kRelBlockSize, data.size());
+    double block_max = 0.0;
+    for (std::size_t n = begin; n < end; ++n) {
+      if (std::isfinite(data[n])) {
+        block_max = std::max(block_max, std::fabs(data[n]));
+      }
+    }
+    const double basis = block_max > 0.0 ? block_max : global_max;
+    table.bounds.push_back(basis > 0.0 ? rel * basis : 1.0);
+  }
+  if (table.bounds.empty()) table.bounds.push_back(1.0);
+  return table;
+}
+
+void append_bytes(std::vector<std::uint8_t>& out, const void* p, std::size_t n) {
+  const auto* b = static_cast<const std::uint8_t*>(p);
+  out.insert(out.end(), b, b + n);
+}
+
+void append_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  append_bytes(out, &v, sizeof(v));
+}
+
+class ByteCursor {
+ public:
+  explicit ByteCursor(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  void read(void* p, std::size_t n) {
+    if (offset_ + n > bytes_.size()) {
+      throw std::runtime_error("SZ decode: truncated stream");
+    }
+    std::memcpy(p, bytes_.data() + offset_, n);
+    offset_ += n;
+  }
+  std::uint64_t read_u64() {
+    std::uint64_t v;
+    read(&v, sizeof(v));
+    return v;
+  }
+  std::span<const std::uint8_t> read_block(std::size_t n) {
+    if (offset_ + n > bytes_.size()) {
+      throw std::runtime_error("SZ decode: truncated block");
+    }
+    auto s = bytes_.subspan(offset_, n);
+    offset_ += n;
+    return s;
+  }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t offset_ = 0;
+};
+
+std::vector<std::uint8_t> pack_bits(const std::vector<bool>& bits) {
+  std::vector<std::uint8_t> bytes((bits.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) bytes[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+  }
+  return bytes;
+}
+
+std::vector<bool> unpack_bits(std::span<const std::uint8_t> bytes,
+                              std::size_t count) {
+  std::vector<bool> bits(count, false);
+  for (std::size_t i = 0; i < count; ++i) {
+    bits[i] = (bytes[i / 8] >> (i % 8)) & 1;
+  }
+  return bits;
+}
+
+void append_model(std::vector<std::uint8_t>& payload,
+                  const RegressionModel& model) {
+  const std::uint64_t header[4] = {model.edge, model.blocks_x, model.blocks_y,
+                                   model.blocks_z};
+  append_bytes(payload, header, sizeof(header));
+  std::vector<bool> flags(model.use_regression.begin(),
+                          model.use_regression.end());
+  const auto flag_bytes = pack_bits(flags);
+  append_bytes(payload, flag_bytes.data(), flag_bytes.size());
+  for (std::size_t b = 0; b < model.block_count(); ++b) {
+    if (model.use_regression[b]) {
+      // Coefficients were rounded to float32 at fit time, so this is
+      // lossless with respect to the predictions both sides compute.
+      for (int c = 0; c < 4; ++c) {
+        const float value = static_cast<float>(model.coefficients[4 * b + c]);
+        append_bytes(payload, &value, sizeof(value));
+      }
+    }
+  }
+}
+
+RegressionModel read_model(ByteCursor& cursor) {
+  RegressionModel model;
+  std::uint64_t header[4];
+  cursor.read(header, sizeof(header));
+  model.edge = header[0];
+  model.blocks_x = header[1];
+  model.blocks_y = header[2];
+  model.blocks_z = header[3];
+  const std::size_t count = model.block_count();
+  const auto flag_bytes = cursor.read_block((count + 7) / 8);
+  const auto flags = unpack_bits(flag_bytes, count);
+  model.use_regression.assign(count, 0);
+  model.coefficients.assign(4 * count, 0.0);
+  for (std::size_t b = 0; b < count; ++b) {
+    if (flags[b]) {
+      model.use_regression[b] = 1;
+      for (int c = 0; c < 4; ++c) {
+        float value = 0.0f;
+        cursor.read(&value, sizeof(value));
+        model.coefficients[4 * b + c] = static_cast<double>(value);
+      }
+    }
+  }
+  return model;
+}
+
+}  // namespace
+
+SzCompressor::SzCompressor(SzOptions options) : options_(options) {
+  if (options_.bound <= 0.0) {
+    throw std::invalid_argument("SzCompressor: bound must be positive");
+  }
+  if (options_.quant_bits < 2 || options_.quant_bits > 30) {
+    throw std::invalid_argument("SzCompressor: quant_bits out of range");
+  }
+}
+
+std::string SzCompressor::name() const {
+  switch (options_.mode) {
+    case SzMode::kAbsolute: return "sz-abs";
+    case SzMode::kPointwiseRelative: return "sz-pwrel";
+    case SzMode::kBlockRelative: return "sz-rel";
+  }
+  return "sz";
+}
+
+std::vector<std::uint8_t> SzCompressor::compress(std::span<const double> data,
+                                                 const Dims& dims) const {
+  if (data.size() != dims.count()) {
+    throw std::invalid_argument("SzCompressor: data size does not match dims");
+  }
+
+  std::vector<std::uint8_t> payload;
+  Header header{kMagic,
+                static_cast<std::uint8_t>(options_.mode),
+                static_cast<std::uint8_t>(options_.quant_bits),
+                static_cast<std::uint16_t>(options_.predictor),
+                options_.bound,
+                dims.nx,
+                dims.ny,
+                dims.nz};
+  append_bytes(payload, &header, sizeof(header));
+
+  std::vector<double> work;
+  std::vector<bool> zero_mask, sign_mask;
+  std::span<const double> to_quantize = data;
+  BoundTable table;
+  table.bounds = {options_.bound};
+
+  if (options_.mode == SzMode::kBlockRelative) {
+    table = block_relative_bounds(data, options_.bound);
+  } else if (options_.mode == SzMode::kPointwiseRelative) {
+    // log2 transform: a relative bound on v becomes an absolute bound on
+    // log2|v|.  Zero-class values are masked out and reproduced exactly.
+    table.bounds = {std::log2(1.0 + options_.bound)};
+    work.resize(data.size());
+    zero_mask.resize(data.size());
+    sign_mask.resize(data.size());
+    double previous_log = 0.0;
+    for (std::size_t n = 0; n < data.size(); ++n) {
+      const double v = data[n];
+      if (!std::isfinite(v) || std::fabs(v) < kZeroClassThreshold) {
+        zero_mask[n] = true;
+        sign_mask[n] = false;
+        // Keep the prediction chain smooth through masked points.
+        work[n] = previous_log;
+      } else {
+        sign_mask[n] = v < 0.0;
+        work[n] = std::log2(std::fabs(v));
+        previous_log = work[n];
+      }
+    }
+    to_quantize = work;
+  }
+
+  RegressionModel model;
+  const bool hybrid = options_.predictor == SzPredictor::kHybrid;
+  if (hybrid) {
+    model = fit_regression_model(to_quantize, dims, table);
+  }
+
+  std::vector<double> decoded;
+  const QuantizedStream qs =
+      quantize(to_quantize, dims, table, options_.quant_bits, decoded,
+               hybrid ? &model : nullptr);
+
+  const auto code_bytes = huffman_encode(qs.codes);
+  append_u64(payload, code_bytes.size());
+  append_bytes(payload, code_bytes.data(), code_bytes.size());
+
+  append_u64(payload, qs.outliers.size());
+  append_bytes(payload, qs.outliers.data(), qs.outliers.size() * sizeof(double));
+
+  if (options_.mode == SzMode::kBlockRelative) {
+    append_u64(payload, table.bounds.size());
+    append_bytes(payload, table.bounds.data(),
+                 table.bounds.size() * sizeof(double));
+  }
+  if (hybrid) {
+    append_model(payload, model);
+  }
+
+  if (options_.mode == SzMode::kPointwiseRelative) {
+    const auto zero_bytes = pack_bits(zero_mask);
+    const auto sign_bytes = pack_bits(sign_mask);
+    append_u64(payload, zero_bytes.size());
+    append_bytes(payload, zero_bytes.data(), zero_bytes.size());
+    append_u64(payload, sign_bytes.size());
+    append_bytes(payload, sign_bytes.data(), sign_bytes.size());
+    // Masked points decode to 0.0 by default; any masked point whose value
+    // is not exactly zero (tiny denormals, NaN/Inf) is stored verbatim as a
+    // (position, value) exception so the round trip stays faithful.
+    std::vector<std::uint64_t> exact_pos;
+    std::vector<double> exact_val;
+    for (std::size_t n = 0; n < data.size(); ++n) {
+      if (zero_mask[n] && !(data[n] == 0.0)) {
+        exact_pos.push_back(n);
+        exact_val.push_back(data[n]);
+      }
+    }
+    append_u64(payload, exact_val.size());
+    append_bytes(payload, exact_pos.data(),
+                 exact_pos.size() * sizeof(std::uint64_t));
+    append_bytes(payload, exact_val.data(), exact_val.size() * sizeof(double));
+  }
+
+  return lossless_compress(payload);
+}
+
+std::vector<double> SzCompressor::decompress(
+    std::span<const std::uint8_t> stream) const {
+  const auto payload = lossless_decompress(stream);
+  ByteCursor cursor(payload);
+
+  Header header;
+  cursor.read(&header, sizeof(header));
+  if (header.magic != kMagic) {
+    throw std::runtime_error("SZ decode: bad magic");
+  }
+  const Dims dims{header.nx, header.ny, header.nz};
+  const auto mode = static_cast<SzMode>(header.mode);
+  const unsigned quant_bits = header.quant_bits;
+
+  QuantizedStream qs;
+  const std::size_t code_size = cursor.read_u64();
+  qs.codes = huffman_decode(cursor.read_block(code_size));
+  if (qs.codes.size() != dims.count()) {
+    throw std::runtime_error("SZ decode: code count mismatch");
+  }
+  const std::size_t outlier_count = cursor.read_u64();
+  qs.outliers.resize(outlier_count);
+  cursor.read(qs.outliers.data(), outlier_count * sizeof(double));
+
+  BoundTable table;
+  table.bounds = {header.bound};
+  if (mode == SzMode::kPointwiseRelative) {
+    table.bounds = {std::log2(1.0 + header.bound)};
+  } else if (mode == SzMode::kBlockRelative) {
+    const std::size_t bound_count = cursor.read_u64();
+    table.bounds.resize(bound_count);
+    cursor.read(table.bounds.data(), bound_count * sizeof(double));
+    table.block_size = kRelBlockSize;
+  }
+  RegressionModel model;
+  const bool hybrid =
+      static_cast<SzPredictor>(header.reserved) == SzPredictor::kHybrid;
+  if (hybrid) {
+    model = read_model(cursor);
+  }
+
+  std::vector<double> decoded =
+      dequantize(qs, dims, table, quant_bits, hybrid ? &model : nullptr);
+
+  if (mode == SzMode::kPointwiseRelative) {
+    const std::size_t zero_size = cursor.read_u64();
+    const auto zero_mask = unpack_bits(cursor.read_block(zero_size), dims.count());
+    const std::size_t sign_size = cursor.read_u64();
+    const auto sign_mask = unpack_bits(cursor.read_block(sign_size), dims.count());
+    const std::size_t exact_count = cursor.read_u64();
+    std::vector<std::uint64_t> exact_pos(exact_count);
+    cursor.read(exact_pos.data(), exact_count * sizeof(std::uint64_t));
+    std::vector<double> exact_val(exact_count);
+    cursor.read(exact_val.data(), exact_count * sizeof(double));
+
+    // The quantized stream holds log2 magnitudes; rebuild the values.
+    // Masked points are exactly 0.0 unless overridden by an exception.
+    for (std::size_t n = 0; n < dims.count(); ++n) {
+      if (zero_mask[n]) {
+        decoded[n] = 0.0;
+      } else {
+        const double magnitude = std::exp2(decoded[n]);
+        decoded[n] = sign_mask[n] ? -magnitude : magnitude;
+      }
+    }
+    for (std::size_t e = 0; e < exact_count; ++e) {
+      decoded[exact_pos[e]] = exact_val[e];
+    }
+  }
+  return decoded;
+}
+
+}  // namespace rmp::compress

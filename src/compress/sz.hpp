@@ -1,0 +1,68 @@
+// SZ-like error-bounded lossy compressor (paper §II-A).
+//
+// Faithful to the SZ design: each point is predicted from its previously
+// *decoded* neighbors with a Lorenzo (polynomial) predictor, the residual
+// is quantized into 2^16 bins against the error bound (a "prediction
+// hit"), misses are stored verbatim, and the quantization-code stream is
+// entropy coded (Huffman) and passed through the LZ backend.
+//
+// Two bound modes:
+//  * Absolute:            |v' - v| <= bound
+//  * PointwiseRelative:   |v' - v| <= bound * |v|   (log2-domain transform;
+//                         exact zeros round-trip exactly via a zero mask)
+#pragma once
+
+#include "compress/compressor.hpp"
+
+namespace rmp::compress {
+
+enum class SzMode {
+  kAbsolute,
+  /// Strict |v'-v| <= bound*|v| via a log2-domain transform (SZ 2.x).
+  kPointwiseRelative,
+  /// SZ 1.4-style value-range relative bound, applied per block of 1024
+  /// values: eb_block = bound * max|v| over the block.  Unlike the strict
+  /// log transform this keeps smooth zero-crossing data (deltas!) smooth,
+  /// which is what the paper's delta compression relies on.
+  kBlockRelative,
+};
+
+enum class SzPredictor {
+  /// Lorenzo only (SZ 1.4): predict from previously decoded neighbors.
+  kLorenzo,
+  /// SZ 2.x hybrid: per block, fit a linear (hyperplane) regression and
+  /// pick whichever of {regression, Lorenzo} has the lower residual.
+  /// Regression predictions are data-independent inside a block, which
+  /// beats Lorenzo on noisy-but-trending data.
+  kHybrid,
+};
+
+struct SzOptions {
+  SzMode mode = SzMode::kBlockRelative;
+  /// Error bound; interpretation depends on mode.  The paper's default for
+  /// original data is a pointwise relative bound of 1e-5.
+  double bound = 1e-5;
+  /// Quantization bin count is 2^quant_bits (code 0 reserved for misses).
+  unsigned quant_bits = 16;
+  SzPredictor predictor = SzPredictor::kLorenzo;
+};
+
+class SzCompressor final : public Compressor {
+ public:
+  explicit SzCompressor(SzOptions options = {});
+
+  std::string name() const override;
+  bool lossless() const override { return false; }
+
+  std::vector<std::uint8_t> compress(std::span<const double> data,
+                                     const Dims& dims) const override;
+  std::vector<double> decompress(
+      std::span<const std::uint8_t> stream) const override;
+
+  const SzOptions& options() const noexcept { return options_; }
+
+ private:
+  SzOptions options_;
+};
+
+}  // namespace rmp::compress

@@ -1,0 +1,507 @@
+#include "compress/zfp_like.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+
+#include "compress/bitstream.hpp"
+
+namespace rmp::compress {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x3150465A;  // "ZFP1"
+constexpr unsigned kIntPrec = 64;             // bit planes per coefficient
+constexpr int kExponentBias = 2048;           // 12-bit biased block exponent
+constexpr std::uint64_t kNbMask = 0xaaaaaaaaaaaaaaaaULL;
+
+struct Header {
+  std::uint32_t magic;
+  std::uint8_t mode;
+  std::uint8_t precision;
+  std::uint16_t reserved;
+  double tolerance;
+  std::uint64_t nx, ny, nz;
+};
+
+// ---------------------------------------------------------------------------
+// Fixed-point conversion
+
+int value_exponent(double v) {
+  if (v == 0.0) return -kExponentBias;
+  int e;
+  std::frexp(std::fabs(v), &e);
+  return e;
+}
+
+std::int64_t to_fixed(double v, int emax) {
+  // |v| < 2^emax implies |result| <= 2^61, leaving headroom for the
+  // transform's range expansion.
+  return static_cast<std::int64_t>(std::ldexp(v, 61 - emax));
+}
+
+double from_fixed(std::int64_t q, int emax) {
+  return std::ldexp(static_cast<double>(q), emax - 61);
+}
+
+// ---------------------------------------------------------------------------
+// ZFP lifting transform on 4-vectors (strided access into the block)
+
+void forward_lift(std::int64_t* p, std::size_t stride) {
+  std::int64_t x = p[0 * stride];
+  std::int64_t y = p[1 * stride];
+  std::int64_t z = p[2 * stride];
+  std::int64_t w = p[3 * stride];
+
+  x += w; x >>= 1; w -= x;
+  z += y; z >>= 1; y -= z;
+  x += z; x >>= 1; z -= x;
+  w += y; w >>= 1; y -= w;
+  w += y >> 1; y -= w >> 1;
+
+  p[0 * stride] = x;
+  p[1 * stride] = y;
+  p[2 * stride] = z;
+  p[3 * stride] = w;
+}
+
+void inverse_lift(std::int64_t* p, std::size_t stride) {
+  std::int64_t x = p[0 * stride];
+  std::int64_t y = p[1 * stride];
+  std::int64_t z = p[2 * stride];
+  std::int64_t w = p[3 * stride];
+
+  y += w >> 1; w -= y >> 1;
+  y += w; w <<= 1; w -= y;
+  z += x; x <<= 1; x -= z;
+  y += z; z <<= 1; z -= y;
+  w += x; x <<= 1; x -= w;
+
+  p[0 * stride] = x;
+  p[1 * stride] = y;
+  p[2 * stride] = z;
+  p[3 * stride] = w;
+}
+
+// Apply the lift along every axis of a 4^rank block (rank in 1..3).
+void forward_transform(std::int64_t* block, unsigned rank) {
+  if (rank == 1) {
+    forward_lift(block, 1);
+    return;
+  }
+  if (rank == 2) {
+    for (std::size_t row = 0; row < 4; ++row) forward_lift(block + 4 * row, 1);
+    for (std::size_t col = 0; col < 4; ++col) forward_lift(block + col, 4);
+    return;
+  }
+  for (std::size_t z = 0; z < 4; ++z)
+    for (std::size_t y = 0; y < 4; ++y)
+      forward_lift(block + 16 * z + 4 * y, 1);
+  for (std::size_t z = 0; z < 4; ++z)
+    for (std::size_t x = 0; x < 4; ++x)
+      forward_lift(block + 16 * z + x, 4);
+  for (std::size_t y = 0; y < 4; ++y)
+    for (std::size_t x = 0; x < 4; ++x)
+      forward_lift(block + 4 * y + x, 16);
+}
+
+void inverse_transform(std::int64_t* block, unsigned rank) {
+  if (rank == 1) {
+    inverse_lift(block, 1);
+    return;
+  }
+  if (rank == 2) {
+    for (std::size_t col = 0; col < 4; ++col) inverse_lift(block + col, 4);
+    for (std::size_t row = 0; row < 4; ++row) inverse_lift(block + 4 * row, 1);
+    return;
+  }
+  for (std::size_t y = 0; y < 4; ++y)
+    for (std::size_t x = 0; x < 4; ++x)
+      inverse_lift(block + 4 * y + x, 16);
+  for (std::size_t z = 0; z < 4; ++z)
+    for (std::size_t x = 0; x < 4; ++x)
+      inverse_lift(block + 16 * z + x, 4);
+  for (std::size_t z = 0; z < 4; ++z)
+    for (std::size_t y = 0; y < 4; ++y)
+      inverse_lift(block + 16 * z + 4 * y, 1);
+}
+
+// Coefficient visiting order: ascending total sequency (i+j+k), matching
+// ZFP's idea that low-frequency coefficients carry the energy.  Ties are
+// broken by flat index so encoder and decoder agree.
+std::vector<std::size_t> sequency_permutation(unsigned rank) {
+  const std::size_t size = std::size_t{1} << (2 * rank);
+  std::vector<std::size_t> perm(size);
+  std::iota(perm.begin(), perm.end(), 0);
+  auto sequency = [rank](std::size_t flat) {
+    unsigned s = 0;
+    for (unsigned d = 0; d < rank; ++d) {
+      s += static_cast<unsigned>(flat & 3);
+      flat >>= 2;
+    }
+    return s;
+  };
+  std::stable_sort(perm.begin(), perm.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return sequency(a) < sequency(b);
+                   });
+  return perm;
+}
+
+std::uint64_t to_negabinary(std::int64_t x) {
+  return (static_cast<std::uint64_t>(x) + kNbMask) ^ kNbMask;
+}
+
+std::int64_t from_negabinary(std::uint64_t u) {
+  return static_cast<std::int64_t>((u ^ kNbMask) - kNbMask);
+}
+
+// ---------------------------------------------------------------------------
+// Embedded bit-plane coding with group-testing significance passes.
+
+// Bit budget for fixed-rate blocks.  kUnlimited disables the cap (fixed
+// precision / accuracy modes).  Encoder and decoder run the identical
+// arithmetic, so exhausting the budget truncates both at the same point.
+constexpr std::size_t kUnlimited = static_cast<std::size_t>(-1);
+
+// Group-testing significance coding, transcribed from ZFP's encode loop.
+// `n` (the watermark of coefficients encoded verbatim) persists across
+// planes: once the scan has walked past a position, later planes carry its
+// bit verbatim.  Returns bits actually written.
+std::size_t encode_planes(BitWriter& writer, const std::uint64_t* coeffs,
+                          std::size_t size, unsigned planes,
+                          std::size_t budget = kUnlimited) {
+  std::size_t used = 0;
+  auto can = [&](std::size_t bits) { return used + bits <= budget; };
+  std::size_t n = 0;
+  for (unsigned k = kIntPrec; planes-- > 0 && k-- > 0 && used < budget;) {
+    // Gather bit plane k in visiting order (bit i of x = coefficient i).
+    std::uint64_t x = 0;
+    for (std::size_t i = 0; i < size; ++i) {
+      x |= ((coeffs[i] >> k) & 1u) << i;
+    }
+    // Verbatim bits for coefficients below the watermark (clipped to the
+    // budget, as in ZFP's "m = MIN(n, bits)").
+    const auto verbatim = static_cast<unsigned>(
+        std::min<std::size_t>(n, budget - used));
+    writer.put_bits(x, verbatim);
+    used += verbatim;
+    x >>= n;
+    // Remaining coefficients: group test ("any 1 left?"), then a unary
+    // scan to the next 1.  When only one coefficient remains after a
+    // positive group test, its 1 is implied and not emitted.
+    std::size_t i = n;
+    while (i < size && can(1)) {
+      const bool any = (x != 0);
+      writer.put_bit(any);
+      ++used;
+      if (!any) break;
+      while (i + 1 < size && can(1)) {
+        const bool bit = (x & 1) != 0;
+        writer.put_bit(bit);
+        ++used;
+        if (bit) break;
+        x >>= 1;
+        ++i;
+      }
+      // Consume the significant coefficient (explicit 1 or implied last).
+      x >>= 1;
+      ++i;
+    }
+    n = std::max(n, i);
+  }
+  return used;
+}
+
+std::size_t decode_planes(BitReader& reader, std::uint64_t* coeffs,
+                          std::size_t size, unsigned planes,
+                          std::size_t budget = kUnlimited) {
+  std::fill(coeffs, coeffs + size, 0);
+  std::size_t used = 0;
+  auto can = [&](std::size_t bits) { return used + bits <= budget; };
+  std::size_t n = 0;
+  for (unsigned k = kIntPrec; planes-- > 0 && k-- > 0 && used < budget;) {
+    const auto verbatim = static_cast<unsigned>(
+        std::min<std::size_t>(n, budget - used));
+    std::uint64_t x = reader.get_bits(verbatim);
+    used += verbatim;
+    std::size_t i = n;
+    while (i < size && can(1)) {
+      const bool any = reader.get_bit();
+      ++used;
+      if (!any) break;  // group test: no 1 remains
+      while (i + 1 < size && can(1)) {
+        const bool bit = reader.get_bit();
+        ++used;
+        if (bit) break;
+        ++i;
+      }
+      // Explicit 1, implied last coefficient, or budget truncation --
+      // in every case the watermark advances exactly as in the encoder.
+      x |= std::uint64_t{1} << i;
+      ++i;
+    }
+    n = std::max(n, i);
+    for (std::size_t j = 0; j < size; ++j, x >>= 1) {
+      if (x & 1) coeffs[j] |= std::uint64_t{1} << k;
+    }
+  }
+  return used;
+}
+
+// ---------------------------------------------------------------------------
+// Block gather/scatter with edge replication for partial blocks.
+
+struct BlockIndexer {
+  Dims dims;
+  unsigned rank;
+
+  std::size_t blocks_x() const { return (dims.nx + 3) / 4; }
+  std::size_t blocks_y() const { return rank >= 2 ? (dims.ny + 3) / 4 : 1; }
+  std::size_t blocks_z() const { return rank >= 3 ? (dims.nz + 3) / 4 : 1; }
+  std::size_t block_count() const {
+    return blocks_x() * blocks_y() * blocks_z();
+  }
+  std::size_t block_size() const { return std::size_t{1} << (2 * rank); }
+};
+
+void gather_block(std::span<const double> data, const BlockIndexer& bi,
+                  std::size_t bx, std::size_t by, std::size_t bz,
+                  double* block) {
+  const Dims& d = bi.dims;
+  const std::size_t ix0 = bx * 4, iy0 = by * 4, iz0 = bz * 4;
+  std::size_t out = 0;
+  const std::size_t zext = bi.rank >= 3 ? 4 : 1;
+  const std::size_t yext = bi.rank >= 2 ? 4 : 1;
+  for (std::size_t z = 0; z < zext; ++z) {
+    const std::size_t iz = std::min(iz0 + z, d.nz - 1);
+    for (std::size_t y = 0; y < yext; ++y) {
+      const std::size_t iy = std::min(iy0 + y, d.ny - 1);
+      for (std::size_t x = 0; x < 4; ++x) {
+        const std::size_t ix = std::min(ix0 + x, d.nx - 1);
+        block[out++] = data[(ix * d.ny + iy) * d.nz + iz];
+      }
+    }
+  }
+}
+
+void scatter_block(std::span<double> data, const BlockIndexer& bi,
+                   std::size_t bx, std::size_t by, std::size_t bz,
+                   const double* block) {
+  const Dims& d = bi.dims;
+  const std::size_t ix0 = bx * 4, iy0 = by * 4, iz0 = bz * 4;
+  std::size_t in = 0;
+  const std::size_t zext = bi.rank >= 3 ? 4 : 1;
+  const std::size_t yext = bi.rank >= 2 ? 4 : 1;
+  for (std::size_t z = 0; z < zext; ++z) {
+    for (std::size_t y = 0; y < yext; ++y) {
+      for (std::size_t x = 0; x < 4; ++x, ++in) {
+        const std::size_t ix = ix0 + x, iy = iy0 + y, iz = iz0 + z;
+        if (ix < d.nx && iy < d.ny && iz < d.nz) {
+          data[(ix * d.ny + iy) * d.nz + iz] = block[in];
+        }
+      }
+    }
+  }
+}
+
+unsigned planes_for_block(const ZfpOptions& opts, int emax) {
+  if (opts.mode == ZfpMode::kFixedPrecision) {
+    return std::min(opts.precision, kIntPrec);
+  }
+  if (opts.mode == ZfpMode::kFixedRate) {
+    return kIntPrec;  // the bit budget, not a plane count, truncates
+  }
+  // FixedAccuracy: the LSB of the fixed-point representation is worth
+  // 2^(emax - 61); keep planes down to the one whose weight is still above
+  // tolerance / 16 (4 bits of slack for negabinary truncation and the
+  // inverse transform's range expansion).
+  const double tol = std::max(opts.tolerance, 0.0);
+  if (tol <= 0.0) return kIntPrec;
+  const int tol_exp = value_exponent(tol);
+  const int lsb_exp = emax - 61;
+  const int keep = 64 - (tol_exp - 4 - lsb_exp);
+  return static_cast<unsigned>(std::clamp(keep, 1, static_cast<int>(kIntPrec)));
+}
+
+}  // namespace
+
+ZfpCompressor::ZfpCompressor(ZfpOptions options) : options_(options) {
+  if (options_.mode == ZfpMode::kFixedPrecision &&
+      (options_.precision == 0 || options_.precision > 62)) {
+    throw std::invalid_argument("ZfpCompressor: precision must be in 1..62");
+  }
+  if (options_.mode == ZfpMode::kFixedAccuracy && options_.tolerance <= 0.0) {
+    throw std::invalid_argument("ZfpCompressor: tolerance must be positive");
+  }
+  if (options_.mode == ZfpMode::kFixedRate &&
+      (options_.rate == 0 || options_.rate > 64)) {
+    throw std::invalid_argument("ZfpCompressor: rate must be in 1..64");
+  }
+}
+
+std::string ZfpCompressor::name() const {
+  switch (options_.mode) {
+    case ZfpMode::kFixedPrecision: return "zfp-prec";
+    case ZfpMode::kFixedAccuracy: return "zfp-acc";
+    case ZfpMode::kFixedRate: return "zfp-rate";
+  }
+  return "zfp";
+}
+
+std::vector<std::uint8_t> ZfpCompressor::compress(std::span<const double> data,
+                                                  const Dims& dims) const {
+  if (data.size() != dims.count()) {
+    throw std::invalid_argument("ZfpCompressor: data size does not match dims");
+  }
+  const unsigned rank = dims.rank();
+  const BlockIndexer bi{dims, rank};
+  const std::size_t bsize = bi.block_size();
+  const auto perm = sequency_permutation(rank);
+
+  BitWriter writer;
+  // The one-byte field carries the precision (fixed precision) or the
+  // rate (fixed rate); fixed accuracy uses the tolerance double instead.
+  std::uint8_t precision_or_rate = 0;
+  if (options_.mode == ZfpMode::kFixedPrecision) {
+    precision_or_rate = static_cast<std::uint8_t>(options_.precision);
+  } else if (options_.mode == ZfpMode::kFixedRate) {
+    precision_or_rate = static_cast<std::uint8_t>(options_.rate);
+  }
+  Header header{kMagic,
+                static_cast<std::uint8_t>(options_.mode),
+                precision_or_rate,
+                0,
+                options_.tolerance,
+                dims.nx,
+                dims.ny,
+                dims.nz};
+  const auto* hb = reinterpret_cast<const std::uint8_t*>(&header);
+  for (std::size_t i = 0; i < sizeof(header); ++i) writer.put_bits(hb[i], 8);
+
+  std::vector<double> block(bsize);
+  std::vector<std::int64_t> fixed(bsize);
+  std::vector<std::uint64_t> coeffs(bsize);
+
+  const bool fixed_rate = options_.mode == ZfpMode::kFixedRate;
+  const std::size_t block_budget =
+      fixed_rate ? static_cast<std::size_t>(options_.rate) * bsize : kUnlimited;
+  if (fixed_rate && block_budget < 14) {
+    throw std::invalid_argument(
+        "ZfpCompressor: rate too low for this rank (need >= 14 bits/block)");
+  }
+
+  for (std::size_t bz = 0; bz < bi.blocks_z(); ++bz) {
+    for (std::size_t by = 0; by < bi.blocks_y(); ++by) {
+      for (std::size_t bx = 0; bx < bi.blocks_x(); ++bx) {
+        gather_block(data, bi, bx, by, bz, block.data());
+
+        int emax = -kExponentBias;
+        bool finite = true;
+        for (double v : block) {
+          if (!std::isfinite(v)) finite = false;
+          emax = std::max(emax, value_exponent(v));
+        }
+        std::size_t used = 0;
+        if (!finite || emax == -kExponentBias) {
+          // All-zero (or non-finite, stored as zero) block: 1-bit flag.
+          writer.put_bit(false);
+          used = 1;
+        } else {
+          writer.put_bit(true);
+          writer.put_bits(static_cast<std::uint64_t>(emax + kExponentBias),
+                          12);
+          used = 13;
+
+          for (std::size_t i = 0; i < bsize; ++i) {
+            fixed[i] = to_fixed(block[i], emax);
+          }
+          forward_transform(fixed.data(), rank);
+          for (std::size_t i = 0; i < bsize; ++i) {
+            coeffs[i] = to_negabinary(fixed[perm[i]]);
+          }
+          used += encode_planes(
+              writer, coeffs.data(), bsize, planes_for_block(options_, emax),
+              fixed_rate ? block_budget - used : kUnlimited);
+        }
+        // Fixed rate: pad every block to exactly its budget.
+        for (; fixed_rate && used < block_budget; ++used) {
+          writer.put_bit(false);
+        }
+      }
+    }
+  }
+  return writer.take();
+}
+
+std::vector<double> ZfpCompressor::decompress(
+    std::span<const std::uint8_t> stream) const {
+  BitReader reader(stream);
+  Header header;
+  auto* hb = reinterpret_cast<std::uint8_t*>(&header);
+  for (std::size_t i = 0; i < sizeof(header); ++i) {
+    hb[i] = static_cast<std::uint8_t>(reader.get_bits(8));
+  }
+  if (header.magic != kMagic) {
+    throw std::runtime_error("ZFP decode: bad magic");
+  }
+  const Dims dims{header.nx, header.ny, header.nz};
+  ZfpOptions opts;
+  opts.mode = static_cast<ZfpMode>(header.mode);
+  opts.precision = header.precision;
+  opts.rate = header.precision;  // shared one-byte field, see compress()
+  opts.tolerance = header.tolerance;
+
+  const unsigned rank = dims.rank();
+  const BlockIndexer bi{dims, rank};
+  const std::size_t bsize = bi.block_size();
+  const auto perm = sequency_permutation(rank);
+
+  std::vector<double> out(dims.count(), 0.0);
+  std::vector<double> block(bsize);
+  std::vector<std::int64_t> fixed(bsize);
+  std::vector<std::uint64_t> coeffs(bsize);
+
+  const bool fixed_rate = opts.mode == ZfpMode::kFixedRate;
+  const std::size_t block_budget =
+      fixed_rate ? static_cast<std::size_t>(opts.rate) * bsize : kUnlimited;
+
+  for (std::size_t bz = 0; bz < bi.blocks_z(); ++bz) {
+    for (std::size_t by = 0; by < bi.blocks_y(); ++by) {
+      for (std::size_t bx = 0; bx < bi.blocks_x(); ++bx) {
+        std::size_t used = 0;
+        if (!reader.get_bit()) {
+          used = 1;
+          std::fill(block.begin(), block.end(), 0.0);
+        } else {
+          const int emax =
+              static_cast<int>(reader.get_bits(12)) - kExponentBias;
+          used = 13;
+          used += decode_planes(reader, coeffs.data(), bsize,
+                                planes_for_block(opts, emax),
+                                fixed_rate ? block_budget - used : kUnlimited);
+          for (std::size_t i = 0; i < bsize; ++i) {
+            fixed[perm[i]] = from_negabinary(coeffs[i]);
+          }
+          inverse_transform(fixed.data(), rank);
+          for (std::size_t i = 0; i < bsize; ++i) {
+            block[i] = from_fixed(fixed[i], emax);
+          }
+        }
+        // Fixed rate: skip the padding up to the block budget.
+        while (fixed_rate && used < block_budget) {
+          const auto chunk = static_cast<unsigned>(
+              std::min<std::size_t>(64, block_budget - used));
+          reader.get_bits(chunk);
+          used += chunk;
+        }
+        scatter_block(out, bi, bx, by, bz, block.data());
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace rmp::compress

@@ -1,0 +1,56 @@
+// ZFP-like transform-based lossy compressor (paper §II-A).
+//
+// Follows the published ZFP design: the array is partitioned into 4^d
+// blocks; each block is aligned to a common exponent and converted to
+// 62-bit fixed point, decorrelated with the ZFP lifting transform along
+// each dimension, mapped to negabinary, and bit planes are emitted
+// MSB-first with group-testing significance coding.
+//
+// Two modes:
+//  * FixedPrecision: keep exactly `precision` bit planes per block (the
+//    paper runs ZFP at 16 bits for originals, 8 bits for deltas).
+//  * FixedAccuracy: keep bit planes down to the one covering `tolerance`
+//    (absolute error bound).
+#pragma once
+
+#include "compress/compressor.hpp"
+
+namespace rmp::compress {
+
+enum class ZfpMode {
+  kFixedPrecision,
+  kFixedAccuracy,
+  /// ZFP's headline mode: every block gets exactly `rate` bits per value,
+  /// so the stream size is known a priori and blocks are random-access.
+  kFixedRate,
+};
+
+struct ZfpOptions {
+  ZfpMode mode = ZfpMode::kFixedPrecision;
+  /// Bit planes kept per block in FixedPrecision mode (1..62).
+  unsigned precision = 16;
+  /// Absolute error tolerance in FixedAccuracy mode.
+  double tolerance = 1e-6;
+  /// Bits per value in FixedRate mode (1..64).
+  unsigned rate = 16;
+};
+
+class ZfpCompressor final : public Compressor {
+ public:
+  explicit ZfpCompressor(ZfpOptions options = {});
+
+  std::string name() const override;
+  bool lossless() const override { return false; }
+
+  std::vector<std::uint8_t> compress(std::span<const double> data,
+                                     const Dims& dims) const override;
+  std::vector<double> decompress(
+      std::span<const std::uint8_t> stream) const override;
+
+  const ZfpOptions& options() const noexcept { return options_; }
+
+ private:
+  ZfpOptions options_;
+};
+
+}  // namespace rmp::compress

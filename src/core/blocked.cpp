@@ -1,0 +1,113 @@
+#include "core/blocked.hpp"
+
+#include <stdexcept>
+
+#include "core/reshape.hpp"
+#include "core/serialize.hpp"
+
+namespace rmp::core {
+namespace {
+
+struct RowBlock {
+  std::size_t begin, end;
+};
+
+std::vector<RowBlock> make_blocks(std::size_t rows, std::size_t count) {
+  std::vector<RowBlock> blocks;
+  blocks.reserve(count);
+  for (std::size_t b = 0; b < count; ++b) {
+    blocks.push_back({b * rows / count, (b + 1) * rows / count});
+  }
+  return blocks;
+}
+
+}  // namespace
+
+BlockedPreconditioner::BlockedPreconditioner(const std::string& inner,
+                                             std::size_t partitions)
+    : inner_name_(inner),
+      partitions_(partitions),
+      inner_(make_preconditioner(inner)) {
+  if (partitions_ == 0) {
+    throw std::invalid_argument("blocked: partitions must be positive");
+  }
+  if (inner.rfind("blocked-", 0) == 0 ||
+      inner.find('>') != std::string::npos) {
+    throw std::invalid_argument("blocked: inner stage cannot nest");
+  }
+}
+
+io::Container BlockedPreconditioner::encode(const sim::Field& field,
+                                            const CodecPair& codecs,
+                                            EncodeStats* stats) const {
+  const auto [rows, cols] = matrix_shape(field);
+  const std::size_t count = std::min(partitions_, rows);
+  const auto blocks = make_blocks(rows, count);
+  const auto flat = field.flat();
+
+  io::Container container;
+  container.method = name();
+  container.nx = field.nx();
+  container.ny = field.ny();
+  container.nz = field.nz();
+
+  std::size_t reduced_bytes = 0, delta_bytes = 0;
+  for (std::size_t b = 0; b < count; ++b) {
+    // Row block as a 2D field: contiguous in the canonical layout.
+    const std::size_t block_rows = blocks[b].end - blocks[b].begin;
+    sim::Field block = sim::Field::from_data(
+        block_rows, cols, 1,
+        std::vector<double>(flat.begin() + blocks[b].begin * cols,
+                            flat.begin() + blocks[b].end * cols));
+    EncodeStats block_stats;
+    const io::Container inner_container =
+        inner_->encode(block, codecs, &block_stats);
+    reduced_bytes += block_stats.reduced_bytes;
+    delta_bytes += block_stats.delta_bytes;
+    container.add("block" + std::to_string(b),
+                  io::serialize(inner_container));
+  }
+  const std::uint64_t meta[3] = {count, rows, cols};
+  container.add("meta", u64s_to_bytes(meta));
+
+  fill_stats(container, field.size(), stats);
+  if (stats != nullptr) {
+    stats->reduced_bytes = reduced_bytes;
+    stats->delta_bytes = delta_bytes;
+  }
+  return container;
+}
+
+sim::Field BlockedPreconditioner::decode(const io::Container& container,
+                                         const CodecPair& codecs,
+                                         const sim::Field*) const {
+  const auto* meta_section = container.find("meta");
+  if (meta_section == nullptr) {
+    throw std::runtime_error("blocked decode: missing meta");
+  }
+  const auto meta = bytes_to_u64s(meta_section->bytes);
+  const std::size_t count = meta.at(0);
+  const std::size_t rows = meta.at(1);
+  const std::size_t cols = meta.at(2);
+  const auto blocks = make_blocks(rows, count);
+
+  std::vector<double> values(rows * cols);
+  for (std::size_t b = 0; b < count; ++b) {
+    const auto* section = container.find("block" + std::to_string(b));
+    if (section == nullptr) {
+      throw std::runtime_error("blocked decode: missing block section");
+    }
+    const sim::Field block =
+        inner_->decode(io::deserialize(section->bytes), codecs, nullptr);
+    const std::size_t expected = (blocks[b].end - blocks[b].begin) * cols;
+    if (block.size() != expected) {
+      throw std::runtime_error("blocked decode: block size mismatch");
+    }
+    std::copy(block.flat().begin(), block.flat().end(),
+              values.begin() + blocks[b].begin * cols);
+  }
+  return sim::Field::from_data(container.nx, container.ny, container.nz,
+                               std::move(values));
+}
+
+}  // namespace rmp::core

@@ -1,0 +1,38 @@
+// Generic partitioned-matrix wrapper (paper future work #1, generalized):
+// split the canonical m x n matrix into row blocks and run *any* inner
+// preconditioner independently on each block, viewed as a 2D field.
+//
+// This is the second half of "implement the proposed reduced methods in
+// partitioned matrix": PartitionedPcaPreconditioner specializes PCA with
+// per-block rank adaptation; BlockedPreconditioner makes the same
+// transformation available to SVD, Wavelet, Tucker, ... (registry names:
+// "blocked-svd", "blocked-wavelet", ...).  Blocks parallelize and each
+// block's spectral work drops from O(m n^2) to O((m/p) n^2).
+#pragma once
+
+#include <memory>
+
+#include "core/preconditioner.hpp"
+
+namespace rmp::core {
+
+class BlockedPreconditioner final : public Preconditioner {
+ public:
+  /// `inner` is resolved by name ("svd", "wavelet", ...; must not itself
+  /// be blocked or a cascade).
+  BlockedPreconditioner(const std::string& inner, std::size_t partitions = 4);
+
+  std::string name() const override { return "blocked-" + inner_name_; }
+
+  io::Container encode(const sim::Field& field, const CodecPair& codecs,
+                       EncodeStats* stats) const override;
+  sim::Field decode(const io::Container& container, const CodecPair& codecs,
+                    const sim::Field* external_reduced) const override;
+
+ private:
+  std::string inner_name_;
+  std::size_t partitions_;
+  std::unique_ptr<Preconditioner> inner_;
+};
+
+}  // namespace rmp::core

@@ -1,0 +1,116 @@
+#include "core/cascade.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace rmp::core {
+namespace {
+
+// Delta codec for stage 1 that stores *nothing* (just the element count):
+// stage 1 contributes only its reduced representation, and stage 2
+// preconditions the full residual.
+class NullCodec final : public compress::Compressor {
+ public:
+  std::string name() const override { return "null"; }
+  bool lossless() const override { return false; }
+
+  std::vector<std::uint8_t> compress(std::span<const double> data,
+                                     const compress::Dims& dims) const override {
+    if (data.size() != dims.count()) {
+      throw std::invalid_argument("NullCodec: size mismatch");
+    }
+    std::vector<std::uint8_t> bytes(sizeof(std::uint64_t));
+    const std::uint64_t count = data.size();
+    std::memcpy(bytes.data(), &count, sizeof(count));
+    return bytes;
+  }
+
+  std::vector<double> decompress(
+      std::span<const std::uint8_t> stream) const override {
+    if (stream.size() != sizeof(std::uint64_t)) {
+      throw std::runtime_error("NullCodec: bad stream");
+    }
+    std::uint64_t count = 0;
+    std::memcpy(&count, stream.data(), sizeof(count));
+    return std::vector<double>(count, 0.0);
+  }
+};
+
+const NullCodec kNullCodec;
+
+}  // namespace
+
+CascadePreconditioner::CascadePreconditioner(const std::string& first,
+                                             const std::string& second)
+    : first_name_(first),
+      second_name_(second),
+      first_(make_preconditioner(first)),
+      second_(make_preconditioner(second)) {
+  if (first.find('>') != std::string::npos ||
+      second.find('>') != std::string::npos) {
+    throw std::invalid_argument("cascade: stages cannot themselves nest");
+  }
+}
+
+io::Container CascadePreconditioner::encode(const sim::Field& field,
+                                            const CodecPair& codecs,
+                                            EncodeStats* stats) const {
+  // Stage 1 stores only its reduced representation: its delta codec is a
+  // null codec (stores the count, decodes zeros), so decoding stage 1
+  // yields the pure reduced-model reconstruction.  Stage 2 then
+  // preconditions the full residual with the real codecs.
+  const CodecPair first_codecs{codecs.reduced, &kNullCodec};
+  EncodeStats first_stats;
+  io::Container first_container =
+      first_->encode(field, first_codecs, &first_stats);
+  const sim::Field first_decoded =
+      first_->decode(first_container, first_codecs, nullptr);
+  const sim::Field residual = subtract(field, first_decoded);
+
+  EncodeStats second_stats;
+  const io::Container second_container =
+      second_->encode(residual, codecs, &second_stats);
+
+  io::Container container;
+  container.method = name();
+  container.nx = field.nx();
+  container.ny = field.ny();
+  container.nz = field.nz();
+  container.add("stage1", io::serialize(first_container));
+  container.add("stage2", io::serialize(second_container));
+
+  fill_stats(container, field.size(), stats);
+  if (stats != nullptr) {
+    stats->reduced_bytes = first_stats.reduced_bytes + second_stats.reduced_bytes;
+    stats->delta_bytes = first_stats.delta_bytes + second_stats.delta_bytes;
+  }
+  return container;
+}
+
+sim::Field CascadePreconditioner::decode(const io::Container& container,
+                                         const CodecPair& codecs,
+                                         const sim::Field*) const {
+  const auto* stage1 = container.find("stage1");
+  const auto* stage2 = container.find("stage2");
+  if (stage1 == nullptr || stage2 == nullptr) {
+    throw std::runtime_error("cascade decode: missing stage sections");
+  }
+  const CodecPair first_codecs{codecs.reduced, &kNullCodec};
+  const sim::Field first_decoded =
+      first_->decode(io::deserialize(stage1->bytes), first_codecs, nullptr);
+  const sim::Field residual =
+      second_->decode(io::deserialize(stage2->bytes), codecs, nullptr);
+  return add(first_decoded, residual);
+}
+
+std::unique_ptr<Preconditioner> make_cascade(const std::string& spec) {
+  const auto split = spec.find('>');
+  if (split == std::string::npos || split == 0 || split + 1 == spec.size()) {
+    throw std::invalid_argument("make_cascade: want \"first>second\", got " +
+                                spec);
+  }
+  return std::make_unique<CascadePreconditioner>(spec.substr(0, split),
+                                                 spec.substr(split + 1));
+}
+
+}  // namespace rmp::core

@@ -1,0 +1,39 @@
+// Cascade preconditioning: run a second preconditioner on the *delta* of
+// the first.  The paper's closing observation -- no single reduced model
+// fits all data -- invites composition: e.g. one-base strips the
+// dominant Z structure and PCA then strips the remaining (x, y)
+// correlation from the residual.  The second stage's container is nested
+// verbatim inside the first stage's "delta slot".
+#pragma once
+
+#include <memory>
+
+#include "core/preconditioner.hpp"
+
+namespace rmp::core {
+
+class CascadePreconditioner final : public Preconditioner {
+ public:
+  /// Both stages are resolved by name via make_preconditioner so the
+  /// cascade itself can be reconstructed from the container ("a>b").
+  CascadePreconditioner(const std::string& first, const std::string& second);
+
+  std::string name() const override { return first_name_ + ">" + second_name_; }
+
+  io::Container encode(const sim::Field& field, const CodecPair& codecs,
+                       EncodeStats* stats) const override;
+  sim::Field decode(const io::Container& container, const CodecPair& codecs,
+                    const sim::Field* external_reduced) const override;
+
+ private:
+  std::string first_name_;
+  std::string second_name_;
+  std::unique_ptr<Preconditioner> first_;
+  std::unique_ptr<Preconditioner> second_;
+};
+
+/// Parse "first>second" into a cascade (used by make_preconditioner-style
+/// dispatch in decode paths and the CLI).
+std::unique_ptr<Preconditioner> make_cascade(const std::string& spec);
+
+}  // namespace rmp::core

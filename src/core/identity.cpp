@@ -1,0 +1,49 @@
+#include "core/identity.hpp"
+
+#include <stdexcept>
+
+namespace rmp::core {
+namespace {
+
+compress::Dims field_dims(const sim::Field& f) {
+  return {f.nx(), f.ny(), f.nz()};
+}
+
+}  // namespace
+
+io::Container IdentityPreconditioner::encode(const sim::Field& field,
+                                             const CodecPair& codecs,
+                                             EncodeStats* stats) const {
+  if (codecs.reduced == nullptr) {
+    throw std::invalid_argument("identity encode: reduced codec required");
+  }
+  io::Container container;
+  container.method = name();
+  container.nx = field.nx();
+  container.ny = field.ny();
+  container.nz = field.nz();
+  container.add("data",
+                codecs.reduced->compress(field.flat(), field_dims(field)));
+  fill_stats(container, field.size(), stats);
+  if (stats != nullptr) {
+    // The whole payload is "delta" in the identity case: there is no
+    // reduced representation.
+    stats->delta_bytes = stats->total_bytes;
+    stats->reduced_bytes = 0;
+  }
+  return container;
+}
+
+sim::Field IdentityPreconditioner::decode(const io::Container& container,
+                                          const CodecPair& codecs,
+                                          const sim::Field*) const {
+  const auto* section = container.find("data");
+  if (section == nullptr) {
+    throw std::runtime_error("identity decode: missing data section");
+  }
+  auto values = codecs.reduced->decompress(section->bytes);
+  return sim::Field::from_data(container.nx, container.ny, container.nz,
+                               std::move(values));
+}
+
+}  // namespace rmp::core

@@ -1,0 +1,21 @@
+// Identity "preconditioner": compress the data directly with the
+// original-grade codec.  This is the paper's baseline ("original") in
+// every figure, wrapped in the same interface so the benches treat all
+// methods uniformly.
+#pragma once
+
+#include "core/preconditioner.hpp"
+
+namespace rmp::core {
+
+class IdentityPreconditioner final : public Preconditioner {
+ public:
+  std::string name() const override { return "identity"; }
+
+  io::Container encode(const sim::Field& field, const CodecPair& codecs,
+                       EncodeStats* stats) const override;
+  sim::Field decode(const io::Container& container, const CodecPair& codecs,
+                    const sim::Field* external_reduced) const override;
+};
+
+}  // namespace rmp::core

@@ -1,0 +1,50 @@
+// Predictive model selection: the paper's §VII second future-work item
+// done without brute force.  select_best_model() compresses with every
+// candidate; this module instead extracts cheap statistics -- the same
+// signals the paper's analysis surfaces -- and picks a method *before*
+// any compression:
+//
+//  * zero fraction      -- Fish-like data (many exact zeros) is hurt by
+//                          every preconditioner (Fig. 6): pick identity.
+//  * mid-plane affinity -- how well the global mid Z-plane explains every
+//                          other plane (the §IV one-base signal).
+//  * PC1 dominance      -- proportion of variance in the first principal
+//                          component (the Fig. 7 signal: dominant PC1 =>
+//                          big PCA/SVD win), estimated on a row sample.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "sim/field.hpp"
+
+namespace rmp::core {
+
+struct ModelFeatures {
+  double zero_fraction = 0.0;      ///< exact zeros / size
+  double mid_plane_affinity = 0.0; ///< 0..1, 3D fields only (else 0)
+  double pc1_proportion = 0.0;     ///< variance share of PC1 (sampled)
+  double value_range = 0.0;
+};
+
+struct PredictOptions {
+  /// Row sample cap for the covariance estimate (keeps prediction O(n^2)).
+  std::size_t max_sample_rows = 256;
+  double zero_fraction_cutoff = 0.5;
+  double affinity_cutoff = 0.9;
+  double pc1_cutoff = 0.6;
+};
+
+struct ModelPrediction {
+  std::string method;  ///< "identity", "one-base" or "pca"
+  ModelFeatures features;
+};
+
+ModelFeatures extract_features(const sim::Field& field,
+                               const PredictOptions& options = {});
+
+/// Pick a preconditioner from the features alone (no compression runs).
+ModelPrediction predict_best_model(const sim::Field& field,
+                                   const PredictOptions& options = {});
+
+}  // namespace rmp::core

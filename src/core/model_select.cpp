@@ -1,0 +1,40 @@
+#include "core/model_select.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace rmp::core {
+
+SelectionResult select_best_model(const sim::Field& field,
+                                  const CodecPair& codecs,
+                                  const SelectionOptions& options) {
+  SelectionResult selection;
+  std::size_t best_bytes = std::numeric_limits<std::size_t>::max();
+
+  for (const auto& name : options.candidates) {
+    // Projection methods need a Z dimension to project along.
+    const bool needs_3d =
+        name == "one-base" || name == "multi-base" || name == "duomodel";
+    if (needs_3d && field.rank() != 3) continue;
+
+    const auto preconditioner = make_preconditioner(name);
+    PipelineResult result = run_pipeline(*preconditioner, field, codecs);
+    const bool within_budget =
+        !options.rmse_budget.has_value() ||
+        result.rmse <= *options.rmse_budget;
+    if (within_budget && result.stats.total_bytes < best_bytes) {
+      best_bytes = result.stats.total_bytes;
+      selection.best = name;
+      selection.best_result = result;
+    }
+    selection.all.push_back(std::move(result));
+  }
+
+  if (selection.best.empty()) {
+    throw std::runtime_error(
+        "select_best_model: no candidate met the constraints");
+  }
+  return selection;
+}
+
+}  // namespace rmp::core

@@ -1,0 +1,38 @@
+// Model selection (the paper's second future-work item, §VII): "there is
+// no single reduced method that is the best for all datasets", so try a
+// set of candidate preconditioners and keep the one with the smallest
+// stored payload (optionally subject to an RMSE budget).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+
+namespace rmp::core {
+
+struct SelectionOptions {
+  /// Candidate names resolved via make_preconditioner.  3D-only methods
+  /// are skipped automatically for lower-rank fields.
+  std::vector<std::string> candidates = {"identity", "one-base", "multi-base",
+                                         "pca", "svd", "wavelet", "tucker"};
+  /// When set, candidates whose round-trip RMSE exceeds this are rejected.
+  std::optional<double> rmse_budget;
+};
+
+struct SelectionResult {
+  std::string best;                       ///< winning method name
+  PipelineResult best_result;
+  std::vector<PipelineResult> all;        ///< every evaluated candidate
+};
+
+/// Evaluate every candidate on the field and pick the smallest container
+/// within the RMSE budget.  Throws std::runtime_error if no candidate
+/// qualifies.
+SelectionResult select_best_model(const sim::Field& field,
+                                  const CodecPair& codecs,
+                                  const SelectionOptions& options = {});
+
+}  // namespace rmp::core

@@ -1,0 +1,170 @@
+#include "core/one_base_parallel.hpp"
+
+#include <mutex>
+#include <stdexcept>
+
+#include "parallel/decomposition.hpp"
+
+namespace rmp::core {
+namespace {
+
+constexpr int kPlaneTag = 41;  // Algorithm 1 line 2: broadcast of u(m_z/2)
+
+// Slab of the global field owned by one rank: planes [begin, end).
+std::vector<double> slab_planes(const sim::Field& field, std::size_t begin,
+                                std::size_t end) {
+  std::vector<double> out;
+  out.reserve(field.nx() * field.ny() * (end - begin));
+  for (std::size_t i = 0; i < field.nx(); ++i) {
+    for (std::size_t j = 0; j < field.ny(); ++j) {
+      for (std::size_t k = begin; k < end; ++k) {
+        out.push_back(field.at(i, j, k));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::size_t DistributedOneBaseResult::total_bytes() const {
+  std::size_t total = plane_bytes.size();
+  for (const auto& container : rank_containers) {
+    total += container.payload_bytes();
+  }
+  return total;
+}
+
+DistributedOneBaseResult one_base_encode_parallel(const sim::Field& field,
+                                                  const CodecPair& codecs,
+                                                  int ranks) {
+  if (field.rank() != 3) {
+    throw std::invalid_argument("one_base_encode_parallel: field must be 3D");
+  }
+  if (ranks <= 0 || static_cast<std::size_t>(ranks) > field.nz()) {
+    throw std::invalid_argument("one_base_encode_parallel: bad rank count");
+  }
+
+  const std::size_t mid = field.nz() / 2;
+  parallel::CartesianDecomposition decomp({field.nz(), 1, 1}, {ranks, 1, 1});
+
+  DistributedOneBaseResult result;
+  result.nx = field.nx();
+  result.ny = field.ny();
+  result.nz = field.nz();
+  result.rank_containers.resize(ranks);
+  std::mutex result_mutex;
+
+  parallel::run_ranks(ranks, [&](parallel::Communicator& comm) {
+    const auto box = decomp.local_box(comm.rank());
+    const std::size_t z_low = box[0].begin;
+    const std::size_t z_high = box[0].end;
+
+    // --- Algorithm 1, lines 1-5: the owner of the mid-plane broadcasts it.
+    const bool owns_mid = mid >= z_low && mid < z_high;
+    std::vector<double> plane(field.nx() * field.ny());
+    if (owns_mid) {
+      for (std::size_t i = 0; i < field.nx(); ++i) {
+        for (std::size_t j = 0; j < field.ny(); ++j) {
+          plane[i * field.ny() + j] = field.at(i, j, mid);
+        }
+      }
+      for (int r = 0; r < comm.size(); ++r) {
+        if (r != comm.rank()) comm.send<double>(r, kPlaneTag, plane);
+      }
+      // Compress the reference plane once, on its owner.
+      auto bytes = codecs.reduced->compress(
+          plane, compress::Dims::d2(field.nx(), field.ny()));
+      std::lock_guard lock(result_mutex);
+      result.plane_bytes = std::move(bytes);
+    } else {
+      // Find the owner rank to receive from.
+      int owner = -1;
+      for (int r = 0; r < comm.size(); ++r) {
+        const auto rbox = decomp.local_box(r);
+        if (mid >= rbox[0].begin && mid < rbox[0].end) owner = r;
+      }
+      plane = comm.recv<double>(owner, kPlaneTag);
+    }
+
+    // --- Algorithm 1, lines 6-8: local delta against the broadcast plane.
+    std::vector<double> delta = slab_planes(field, z_low, z_high);
+    const std::size_t local_nz = z_high - z_low;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < field.nx(); ++i) {
+      for (std::size_t j = 0; j < field.ny(); ++j) {
+        const double base = plane[i * field.ny() + j];
+        for (std::size_t k = 0; k < local_nz; ++k, ++n) {
+          delta[n] -= base;
+        }
+      }
+    }
+
+    // --- Algorithm 1, line 9 ("gather the delta"), N-to-N style: each
+    // rank compresses its slab independently and deposits the container.
+    io::Container container;
+    container.method = "one-base-slab";
+    container.nx = field.nx();
+    container.ny = field.ny();
+    container.nz = local_nz;
+    container.add("delta",
+                  codecs.delta->compress(
+                      delta, {field.nx(), field.ny(), local_nz}));
+    {
+      std::lock_guard lock(result_mutex);
+      result.rank_containers[comm.rank()] = std::move(container);
+    }
+  });
+  return result;
+}
+
+sim::Field one_base_decode_parallel(const DistributedOneBaseResult& encoded,
+                                    const CodecPair& codecs, int ranks) {
+  if (encoded.rank_containers.size() != static_cast<std::size_t>(ranks)) {
+    throw std::invalid_argument(
+        "one_base_decode_parallel: rank count does not match containers");
+  }
+  parallel::CartesianDecomposition decomp({encoded.nz, 1, 1},
+                                          {ranks, 1, 1});
+
+  // The reference plane is decoded once, then shared read-only.
+  const auto plane = codecs.reduced->decompress(encoded.plane_bytes);
+  if (plane.size() != encoded.nx * encoded.ny) {
+    throw std::runtime_error("one_base_decode_parallel: bad plane size");
+  }
+
+  sim::Field out(encoded.nx, encoded.ny, encoded.nz);
+  std::mutex out_mutex;
+
+  parallel::run_ranks(ranks, [&](parallel::Communicator& comm) {
+    const auto box = decomp.local_box(comm.rank());
+    const std::size_t z_low = box[0].begin;
+    const std::size_t local_nz = box[0].count();
+
+    const auto& container = encoded.rank_containers[comm.rank()];
+    const auto* section = container.find("delta");
+    if (section == nullptr) {
+      throw std::runtime_error("one_base_decode_parallel: missing delta");
+    }
+    const auto delta = codecs.delta->decompress(section->bytes);
+    if (delta.size() != encoded.nx * encoded.ny * local_nz) {
+      throw std::runtime_error("one_base_decode_parallel: bad delta size");
+    }
+
+    // Ranks write disjoint slabs; the lock only guards the Field object's
+    // shared metadata view for the sanitizer's sake.
+    std::lock_guard lock(out_mutex);
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < encoded.nx; ++i) {
+      for (std::size_t j = 0; j < encoded.ny; ++j) {
+        const double base = plane[i * encoded.ny + j];
+        for (std::size_t k = 0; k < local_nz; ++k, ++n) {
+          out.at(i, j, z_low + k) = base + delta[n];
+        }
+      }
+    }
+  });
+  return out;
+}
+
+}  // namespace rmp::core

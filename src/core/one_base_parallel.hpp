@@ -1,0 +1,39 @@
+// Distributed one-base preconditioning: Algorithm 1 of the paper, run
+// verbatim over the in-process message-passing runtime.
+//
+// The global field is decomposed into Z slabs, one per rank.  The rank
+// owning the global mid-plane broadcasts it; every rank subtracts it from
+// its local planes and compresses its local delta independently (the
+// N-to-N pattern); rank 0 gathers the per-rank containers.  Decoding is
+// the inverse: scatter, decompress, add the plane back.
+#pragma once
+
+#include <vector>
+
+#include "core/preconditioner.hpp"
+#include "parallel/msgpass.hpp"
+
+namespace rmp::core {
+
+struct DistributedOneBaseResult {
+  /// One container per rank, in rank order (each holds that slab's delta).
+  std::vector<io::Container> rank_containers;
+  /// The compressed mid-plane (broadcast reference), stored once.
+  std::vector<std::uint8_t> plane_bytes;
+  std::size_t nx = 0, ny = 0, nz = 0;
+
+  std::size_t total_bytes() const;
+};
+
+/// Run Algorithm 1 with `ranks` ranks on `field` (must be 3D with
+/// nz >= ranks).  Every rank compresses its slab's delta with
+/// `codecs.delta`; the mid-plane is compressed once with `codecs.reduced`.
+DistributedOneBaseResult one_base_encode_parallel(const sim::Field& field,
+                                                  const CodecPair& codecs,
+                                                  int ranks);
+
+/// Inverse: reconstruct the full field from the per-rank containers.
+sim::Field one_base_decode_parallel(const DistributedOneBaseResult& encoded,
+                                    const CodecPair& codecs, int ranks);
+
+}  // namespace rmp::core

@@ -1,0 +1,138 @@
+#include "core/parallel_compress.hpp"
+
+#include <mutex>
+#include <stdexcept>
+
+#include "core/serialize.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace rmp::core {
+namespace {
+
+struct SlabExtent {
+  std::size_t begin, end;
+};
+
+std::vector<SlabExtent> slab_extents(std::size_t nz, std::size_t count) {
+  std::vector<SlabExtent> extents;
+  extents.reserve(count);
+  for (std::size_t s = 0; s < count; ++s) {
+    extents.push_back({s * nz / count, (s + 1) * nz / count});
+  }
+  return extents;
+}
+
+}  // namespace
+
+io::Container compress_field_parallel(const sim::Field& field,
+                                      const compress::Compressor& codec,
+                                      const ParallelCompressOptions& options) {
+  if (field.empty()) {
+    throw std::invalid_argument("compress_field_parallel: empty field");
+  }
+  const std::size_t slabs =
+      std::max<std::size_t>(1, std::min(options.slabs, field.nz()));
+  const auto extents = slab_extents(field.nz(), slabs);
+
+  io::Container container;
+  container.method = "parallel-slabs";
+  container.nx = field.nx();
+  container.ny = field.ny();
+  container.nz = field.nz();
+
+  std::vector<std::vector<std::uint8_t>> slab_bytes(slabs);
+  parallel::ThreadPool pool(std::max<std::size_t>(1, options.threads));
+  pool.parallel_for(slabs, [&](std::size_t s) {
+    const auto [z_low, z_high] = extents[s];
+    const std::size_t local_nz = z_high - z_low;
+    std::vector<double> slab;
+    slab.reserve(field.nx() * field.ny() * local_nz);
+    for (std::size_t i = 0; i < field.nx(); ++i) {
+      for (std::size_t j = 0; j < field.ny(); ++j) {
+        for (std::size_t k = z_low; k < z_high; ++k) {
+          slab.push_back(field.at(i, j, k));
+        }
+      }
+    }
+    slab_bytes[s] =
+        codec.compress(slab, {field.nx(), field.ny(), local_nz});
+  });
+
+  for (std::size_t s = 0; s < slabs; ++s) {
+    container.add("slab" + std::to_string(s), std::move(slab_bytes[s]));
+  }
+  const std::uint64_t meta[1] = {slabs};
+  container.add("meta", u64s_to_bytes(meta));
+  return container;
+}
+
+sim::Field decompress_field_parallel(const io::Container& container,
+                                     const compress::Compressor& codec,
+                                     std::size_t threads) {
+  const auto* meta_section = container.find("meta");
+  if (meta_section == nullptr) {
+    throw std::runtime_error("decompress_field_parallel: missing meta");
+  }
+  const std::size_t slabs = bytes_to_u64s(meta_section->bytes).at(0);
+  const auto extents = slab_extents(container.nz, slabs);
+
+  sim::Field out(container.nx, container.ny, container.nz);
+  std::mutex out_mutex;
+
+  parallel::ThreadPool pool(std::max<std::size_t>(1, threads));
+  pool.parallel_for(slabs, [&](std::size_t s) {
+    const auto* section = container.find("slab" + std::to_string(s));
+    if (section == nullptr) {
+      throw std::runtime_error("decompress_field_parallel: missing slab");
+    }
+    const auto slab = codec.decompress(section->bytes);
+    const auto [z_low, z_high] = extents[s];
+    const std::size_t local_nz = z_high - z_low;
+    if (slab.size() != container.nx * container.ny * local_nz) {
+      throw std::runtime_error("decompress_field_parallel: bad slab size");
+    }
+    std::lock_guard lock(out_mutex);  // slabs are disjoint; lock is belt+braces
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < container.nx; ++i) {
+      for (std::size_t j = 0; j < container.ny; ++j) {
+        for (std::size_t k = z_low; k < z_high; ++k, ++n) {
+          out.at(i, j, k) = slab[n];
+        }
+      }
+    }
+  });
+  return out;
+}
+
+std::size_t slab_count(const io::Container& container) {
+  const auto* meta_section = container.find("meta");
+  if (meta_section == nullptr) {
+    throw std::runtime_error("slab_count: missing meta");
+  }
+  return bytes_to_u64s(meta_section->bytes).at(0);
+}
+
+SlabView decompress_slab(const io::Container& container,
+                         const compress::Compressor& codec,
+                         std::size_t slab) {
+  const std::size_t slabs = slab_count(container);
+  if (slab >= slabs) {
+    throw std::out_of_range("decompress_slab: slab index out of range");
+  }
+  const auto extents = slab_extents(container.nz, slabs);
+  const auto* section = container.find("slab" + std::to_string(slab));
+  if (section == nullptr) {
+    throw std::runtime_error("decompress_slab: missing slab section");
+  }
+  const auto values = codec.decompress(section->bytes);
+  const auto [z_low, z_high] = extents[slab];
+  const std::size_t local_nz = z_high - z_low;
+  if (values.size() != container.nx * container.ny * local_nz) {
+    throw std::runtime_error("decompress_slab: bad slab size");
+  }
+  return {sim::Field::from_data(container.nx, container.ny, local_nz,
+                                values),
+          z_low};
+}
+
+}  // namespace rmp::core

@@ -1,0 +1,44 @@
+// Thread-parallel whole-field compression: the N-to-N pattern of the
+// paper's Table IV experiment ("each processor compresses and writes
+// independently"), mapped onto the thread pool.  The field is split into
+// Z slabs; each slab is compressed independently with the same codec and
+// stored as its own container section, so slabs can also be decompressed
+// selectively.
+#pragma once
+
+#include <cstddef>
+
+#include "compress/compressor.hpp"
+#include "io/container.hpp"
+#include "sim/field.hpp"
+
+namespace rmp::core {
+
+struct ParallelCompressOptions {
+  std::size_t slabs = 4;    ///< clamped to the Z extent
+  std::size_t threads = 4;  ///< worker threads in the pool
+};
+
+io::Container compress_field_parallel(const sim::Field& field,
+                                      const compress::Compressor& codec,
+                                      const ParallelCompressOptions& options = {});
+
+sim::Field decompress_field_parallel(const io::Container& container,
+                                     const compress::Compressor& codec,
+                                     std::size_t threads = 4);
+
+/// Region-of-interest decoding: decompress only slab `slab` of a
+/// parallel-slabs container.  Returns the slab as its own field together
+/// with its global Z offset -- analysis can pull one subdomain without
+/// paying for the rest.
+struct SlabView {
+  sim::Field field;      ///< shape (nx, ny, slab_nz)
+  std::size_t z_offset;  ///< global index of the slab's first Z plane
+};
+SlabView decompress_slab(const io::Container& container,
+                         const compress::Compressor& codec, std::size_t slab);
+
+/// Number of slabs stored in a parallel-slabs container.
+std::size_t slab_count(const io::Container& container);
+
+}  // namespace rmp::core

@@ -1,0 +1,182 @@
+#include "core/partitioned.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/pca.hpp"
+#include "core/reshape.hpp"
+#include "core/serialize.hpp"
+#include "la/covariance.hpp"
+#include "la/eigen.hpp"
+
+namespace rmp::core {
+namespace {
+
+struct RowBlock {
+  std::size_t begin, end;
+};
+
+std::vector<RowBlock> make_blocks(std::size_t rows, std::size_t count) {
+  std::vector<RowBlock> blocks;
+  blocks.reserve(count);
+  for (std::size_t b = 0; b < count; ++b) {
+    blocks.push_back({b * rows / count, (b + 1) * rows / count});
+  }
+  return blocks;
+}
+
+la::Matrix rows_of(const la::Matrix& m, const RowBlock& block) {
+  la::Matrix out(block.end - block.begin, m.cols());
+  for (std::size_t i = block.begin; i < block.end; ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      out(i - block.begin, j) = m(i, j);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+PartitionedPcaPreconditioner::PartitionedPcaPreconditioner(
+    PartitionedPcaOptions options)
+    : options_(options) {
+  if (options_.partitions == 0) {
+    throw std::invalid_argument("pca-part: partitions must be positive");
+  }
+  if (options_.variance_target <= 0.0 || options_.variance_target > 1.0) {
+    throw std::invalid_argument("pca-part: variance_target must be in (0, 1]");
+  }
+}
+
+io::Container PartitionedPcaPreconditioner::encode(const sim::Field& field,
+                                                   const CodecPair& codecs,
+                                                   EncodeStats* stats) const {
+  const la::Matrix a = as_matrix(field);
+  const std::size_t count = std::min(options_.partitions, a.rows());
+  const auto blocks = make_blocks(a.rows(), count);
+
+  la::Matrix reconstruction(a.rows(), a.cols());
+  std::vector<std::uint64_t> meta{count};
+
+  io::Container container;
+  container.method = name();
+  container.nx = field.nx();
+  container.ny = field.ny();
+  container.nz = field.nz();
+
+  std::size_t reduced_bytes = 0;
+  for (std::size_t b = 0; b < count; ++b) {
+    la::Matrix block = rows_of(a, blocks[b]);
+    const auto means = la::column_means(block);
+    la::Matrix centered = block;
+    la::center_columns(centered, means);
+
+    const auto eig = la::jacobi_eigen(la::covariance(block));
+    double total = 0.0;
+    for (double v : eig.values) total += std::max(v, 0.0);
+    std::vector<double> proportions;
+    proportions.reserve(eig.values.size());
+    for (double v : eig.values) {
+      proportions.push_back(total > 0.0 ? std::max(v, 0.0) / total : 0.0);
+    }
+    std::size_t k =
+        std::max<std::size_t>(1, components_for_target(
+                                     proportions, options_.variance_target));
+
+    la::Matrix basis(eig.vectors.rows(), k);
+    for (std::size_t i = 0; i < basis.rows(); ++i) {
+      for (std::size_t j = 0; j < k; ++j) basis(i, j) = eig.vectors(i, j);
+    }
+    const la::Matrix scores = centered * basis;
+
+    la::Matrix block_recon = scores * basis.transposed();
+    la::uncenter_columns(block_recon, means);
+    for (std::size_t i = blocks[b].begin; i < blocks[b].end; ++i) {
+      for (std::size_t j = 0; j < a.cols(); ++j) {
+        reconstruction(i, j) = block_recon(i - blocks[b].begin, j);
+      }
+    }
+
+    const std::string suffix = std::to_string(b);
+    const auto scores_bytes = codecs.reduced->compress(
+        scores.flat(), compress::Dims::d2(scores.rows(), scores.cols()));
+    reduced_bytes += scores_bytes.size();
+    container.add("scores" + suffix, scores_bytes);
+    auto basis_bytes = matrix_to_bytes(basis);
+    reduced_bytes += basis_bytes.size();
+    container.add("basis" + suffix, std::move(basis_bytes));
+    auto means_bytes = doubles_to_bytes(means);
+    reduced_bytes += means_bytes.size();
+    container.add("means" + suffix, std::move(means_bytes));
+    meta.push_back(k);
+    meta.push_back(scores.rows());
+  }
+
+  const sim::Field delta = subtract(
+      field,
+      matrix_to_field(reconstruction, field.nx(), field.ny(), field.nz()));
+  container.add("delta",
+                codecs.delta->compress(
+                    delta.flat(), {field.nx(), field.ny(), field.nz()}));
+  container.add("meta", u64s_to_bytes(meta));
+
+  fill_stats(container, field.size(), stats);
+  if (stats != nullptr) {
+    stats->reduced_bytes = reduced_bytes;
+    stats->delta_bytes = container.find("delta")->bytes.size();
+  }
+  return container;
+}
+
+sim::Field PartitionedPcaPreconditioner::decode(
+    const io::Container& container, const CodecPair& codecs,
+    const sim::Field*) const {
+  const auto* meta_section = container.find("meta");
+  const auto* delta_section = container.find("delta");
+  if (meta_section == nullptr || delta_section == nullptr) {
+    throw std::runtime_error("pca-part decode: missing sections");
+  }
+  const auto meta = bytes_to_u64s(meta_section->bytes);
+  const std::size_t count = meta.at(0);
+
+  // Total rows = sum of block rows recorded in the meta stream.
+  std::size_t total_rows = 0;
+  for (std::size_t b = 0; b < count; ++b) total_rows += meta.at(2 + 2 * b);
+  const std::size_t cols =
+      container.nx * container.ny * container.nz / total_rows;
+
+  la::Matrix reconstruction(total_rows, cols);
+  std::size_t row = 0;
+  for (std::size_t b = 0; b < count; ++b) {
+    const std::size_t k = meta.at(1 + 2 * b);
+    const std::size_t rows = meta.at(2 + 2 * b);
+    const std::string suffix = std::to_string(b);
+    const auto* scores_section = container.find("scores" + suffix);
+    const auto* basis_section = container.find("basis" + suffix);
+    const auto* means_section = container.find("means" + suffix);
+    if (scores_section == nullptr || basis_section == nullptr ||
+        means_section == nullptr) {
+      throw std::runtime_error("pca-part decode: missing block sections");
+    }
+    la::Matrix scores(rows, k,
+                      codecs.reduced->decompress(scores_section->bytes));
+    const la::Matrix basis = bytes_to_matrix(basis_section->bytes);
+    const auto means = bytes_to_doubles(means_section->bytes);
+
+    la::Matrix block_recon = scores * basis.transposed();
+    la::uncenter_columns(block_recon, means);
+    for (std::size_t i = 0; i < rows; ++i, ++row) {
+      for (std::size_t j = 0; j < cols; ++j) {
+        reconstruction(row, j) = block_recon(i, j);
+      }
+    }
+  }
+
+  const auto delta_values = codecs.delta->decompress(delta_section->bytes);
+  sim::Field out = sim::Field::from_data(container.nx, container.ny,
+                                         container.nz, delta_values);
+  return add(out, matrix_to_field(reconstruction, container.nx, container.ny,
+                                  container.nz));
+}
+
+}  // namespace rmp::core

@@ -1,0 +1,37 @@
+// Partitioned-matrix PCA (the paper's first future-work item, §VII):
+// split the canonical m x n matrix into `partitions` row blocks and run
+// PCA independently on each.  Covariance and eigen work stay O(n^3) per
+// block but the m n^2 score/reconstruction cost parallelizes and the
+// per-block k adapts to local structure, cutting the compression overhead
+// that dominates Fig. 12 / Table IV.
+#pragma once
+
+#include <cstddef>
+
+#include "core/preconditioner.hpp"
+
+namespace rmp::core {
+
+struct PartitionedPcaOptions {
+  std::size_t partitions = 4;
+  double variance_target = 0.95;
+};
+
+class PartitionedPcaPreconditioner final : public Preconditioner {
+ public:
+  explicit PartitionedPcaPreconditioner(PartitionedPcaOptions options = {});
+
+  std::string name() const override { return "pca-part"; }
+
+  io::Container encode(const sim::Field& field, const CodecPair& codecs,
+                       EncodeStats* stats) const override;
+  sim::Field decode(const io::Container& container, const CodecPair& codecs,
+                    const sim::Field* external_reduced) const override;
+
+  const PartitionedPcaOptions& options() const noexcept { return options_; }
+
+ private:
+  PartitionedPcaOptions options_;
+};
+
+}  // namespace rmp::core

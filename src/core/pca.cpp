@@ -1,0 +1,161 @@
+#include "core/pca.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/reshape.hpp"
+#include "core/serialize.hpp"
+#include "la/covariance.hpp"
+#include "la/eigen.hpp"
+
+namespace rmp::core {
+namespace {
+
+la::Matrix leading_columns(const la::Matrix& m, std::size_t k) {
+  la::Matrix out(m.rows(), k);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      out(i, j) = m(i, j);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::size_t components_for_target(const std::vector<double>& proportions,
+                                  double target) {
+  double cumulative = 0.0;
+  for (std::size_t k = 0; k < proportions.size(); ++k) {
+    cumulative += proportions[k];
+    if (cumulative >= target) return k + 1;
+  }
+  return proportions.empty() ? 0 : proportions.size();
+}
+
+std::vector<double> pca_variance_proportions(const sim::Field& field) {
+  const la::Matrix a = as_matrix(field);
+  const la::Matrix cov = la::covariance(a);
+  const auto eig = la::jacobi_eigen(cov);
+  double total = 0.0;
+  std::vector<double> clamped;
+  clamped.reserve(eig.values.size());
+  for (double v : eig.values) {
+    // Tiny negative eigenvalues are numerical noise.
+    clamped.push_back(std::max(v, 0.0));
+    total += clamped.back();
+  }
+  if (total <= 0.0) {
+    // Constant data: the first "component" trivially carries everything.
+    std::vector<double> proportions(clamped.size(), 0.0);
+    if (!proportions.empty()) proportions[0] = 1.0;
+    return proportions;
+  }
+  for (double& v : clamped) v /= total;
+  return clamped;
+}
+
+PcaPreconditioner::PcaPreconditioner(PcaOptions options) : options_(options) {
+  if (options_.variance_target <= 0.0 || options_.variance_target > 1.0) {
+    throw std::invalid_argument("pca: variance_target must be in (0, 1]");
+  }
+}
+
+io::Container PcaPreconditioner::encode(const sim::Field& field,
+                                        const CodecPair& codecs,
+                                        EncodeStats* stats) const {
+  la::Matrix a = as_matrix(field);
+  const auto means = la::column_means(a);
+  la::Matrix centered = a;
+  la::center_columns(centered, means);
+
+  const la::Matrix cov = la::covariance(a);
+  const auto eig = la::jacobi_eigen(cov);
+
+  // k components covering the variance target.
+  std::vector<double> proportions;
+  proportions.reserve(eig.values.size());
+  double total = 0.0;
+  for (double v : eig.values) total += std::max(v, 0.0);
+  for (double v : eig.values) {
+    proportions.push_back(total > 0.0 ? std::max(v, 0.0) / total : 0.0);
+  }
+  std::size_t k = components_for_target(proportions, options_.variance_target);
+  k = std::max<std::size_t>(1, k);
+
+  const la::Matrix basis = leading_columns(eig.vectors, k);  // n x k
+  const la::Matrix scores = centered * basis;                // m x k
+
+  const auto scores_bytes = codecs.reduced->compress(
+      scores.flat(), compress::Dims::d2(scores.rows(), scores.cols()));
+
+  // Reconstruction used for the delta: clean scores by default (the
+  // paper's pipeline), decoded scores when the ablation flag is set.
+  la::Matrix recon_scores = scores;
+  if (options_.delta_against_decoded) {
+    recon_scores = la::Matrix(scores.rows(), scores.cols(),
+                              codecs.reduced->decompress(scores_bytes));
+  }
+  la::Matrix reconstruction = recon_scores * basis.transposed();  // m x n
+  la::uncenter_columns(reconstruction, means);
+
+  sim::Field delta = subtract(
+      field, matrix_to_field(reconstruction, field.nx(), field.ny(),
+                             field.nz()));
+
+  io::Container container;
+  container.method = name();
+  container.nx = field.nx();
+  container.ny = field.ny();
+  container.nz = field.nz();
+  container.add("scores", scores_bytes);
+  container.add("basis", matrix_to_bytes(basis));
+  container.add("means", doubles_to_bytes(means));
+  container.add("delta",
+                codecs.delta->compress(
+                    delta.flat(), {field.nx(), field.ny(), field.nz()}));
+  const std::uint64_t meta[2] = {k, scores.rows()};
+  container.add("meta", u64s_to_bytes(meta));
+
+  fill_stats(container, field.size(), stats);
+  if (stats != nullptr) {
+    stats->reduced_bytes = container.find("scores")->bytes.size() +
+                           container.find("basis")->bytes.size() +
+                           container.find("means")->bytes.size();
+    stats->delta_bytes = container.find("delta")->bytes.size();
+  }
+  return container;
+}
+
+sim::Field PcaPreconditioner::decode(const io::Container& container,
+                                     const CodecPair& codecs,
+                                     const sim::Field*) const {
+  const auto* scores_section = container.find("scores");
+  const auto* basis_section = container.find("basis");
+  const auto* means_section = container.find("means");
+  const auto* delta_section = container.find("delta");
+  const auto* meta_section = container.find("meta");
+  if (scores_section == nullptr || basis_section == nullptr ||
+      means_section == nullptr || delta_section == nullptr ||
+      meta_section == nullptr) {
+    throw std::runtime_error("pca decode: missing sections");
+  }
+  const auto meta = bytes_to_u64s(meta_section->bytes);
+  const std::size_t k = meta.at(0);
+  const std::size_t m = meta.at(1);
+
+  const la::Matrix basis = bytes_to_matrix(basis_section->bytes);
+  const auto means = bytes_to_doubles(means_section->bytes);
+  la::Matrix scores(m, k, codecs.reduced->decompress(scores_section->bytes));
+
+  la::Matrix reconstruction = scores * basis.transposed();
+  la::uncenter_columns(reconstruction, means);
+
+  const auto delta_values = codecs.delta->decompress(delta_section->bytes);
+  sim::Field out = sim::Field::from_data(container.nx, container.ny,
+                                         container.nz, delta_values);
+  return add(out, matrix_to_field(reconstruction, container.nx, container.ny,
+                                  container.nz));
+}
+
+}  // namespace rmp::core

@@ -1,0 +1,44 @@
+#include "core/pipeline.hpp"
+
+#include <chrono>
+
+#include "stats/metrics.hpp"
+
+namespace rmp::core {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+PipelineResult run_pipeline(const Preconditioner& preconditioner,
+                            const sim::Field& field, const CodecPair& codecs,
+                            const sim::Field* external_reduced) {
+  PipelineResult result;
+  result.method = preconditioner.name();
+
+  const auto encode_start = std::chrono::steady_clock::now();
+  result.container = preconditioner.encode(field, codecs, &result.stats);
+  result.encode_seconds = seconds_since(encode_start);
+
+  const auto decode_start = std::chrono::steady_clock::now();
+  const sim::Field decoded =
+      preconditioner.decode(result.container, codecs, external_reduced);
+  result.decode_seconds = seconds_since(decode_start);
+
+  result.rmse = stats::rmse(field.flat(), decoded.flat());
+  result.max_error = stats::max_abs_error(field.flat(), decoded.flat());
+  return result;
+}
+
+sim::Field reconstruct(const io::Container& container, const CodecPair& codecs,
+                       const sim::Field* external_reduced) {
+  const auto preconditioner = make_preconditioner(container.method);
+  return preconditioner->decode(container, codecs, external_reduced);
+}
+
+}  // namespace rmp::core

@@ -1,0 +1,34 @@
+// End-to-end pipeline helpers: run (precondition -> compress) and
+// (decompress -> reconstruct) with wall-clock timing and quality metrics.
+// This is the surface the benches and examples talk to.
+#pragma once
+
+#include <string>
+
+#include "core/preconditioner.hpp"
+
+namespace rmp::core {
+
+struct PipelineResult {
+  std::string method;
+  EncodeStats stats;
+  double encode_seconds = 0.0;
+  double decode_seconds = 0.0;
+  double rmse = 0.0;
+  double max_error = 0.0;
+  io::Container container;
+};
+
+/// Encode, then decode, then compare against the input.  For methods whose
+/// reduced model is not stored (DuoModel with store_reduced = false), pass
+/// the re-computed reduced field via `external_reduced`.
+PipelineResult run_pipeline(const Preconditioner& preconditioner,
+                            const sim::Field& field, const CodecPair& codecs,
+                            const sim::Field* external_reduced = nullptr);
+
+/// Reconstruct from a container by dispatching on container.method with
+/// the default-constructed preconditioner of that name.
+sim::Field reconstruct(const io::Container& container, const CodecPair& codecs,
+                       const sim::Field* external_reduced = nullptr);
+
+}  // namespace rmp::core

@@ -1,0 +1,58 @@
+#include "core/preconditioner.hpp"
+
+#include <stdexcept>
+
+#include "core/blocked.hpp"
+#include "core/cascade.hpp"
+#include "core/identity.hpp"
+#include "core/partitioned.hpp"
+#include "core/pca.hpp"
+#include "core/projection.hpp"
+#include "core/svd_precond.hpp"
+#include "core/tucker.hpp"
+#include "core/wavelet_precond.hpp"
+
+namespace rmp::core {
+
+std::unique_ptr<Preconditioner> make_preconditioner(const std::string& name) {
+  // "first>second" composes two stages (core/cascade.hpp).
+  if (name.find('>') != std::string::npos) return make_cascade(name);
+  // "blocked-<inner>" partitions the canonical matrix (core/blocked.hpp).
+  if (name.rfind("blocked-", 0) == 0) {
+    return std::make_unique<BlockedPreconditioner>(name.substr(8));
+  }
+  if (name == "identity") return std::make_unique<IdentityPreconditioner>();
+  if (name == "one-base") return std::make_unique<OneBasePreconditioner>();
+  if (name == "multi-base") return std::make_unique<MultiBasePreconditioner>();
+  if (name == "duomodel") return std::make_unique<DuoModelPreconditioner>();
+  if (name == "pca") return std::make_unique<PcaPreconditioner>();
+  if (name == "svd") return std::make_unique<SvdPreconditioner>();
+  if (name == "wavelet") return std::make_unique<WaveletPreconditioner>();
+  if (name == "pca-part") {
+    return std::make_unique<PartitionedPcaPreconditioner>();
+  }
+  if (name == "tucker") return std::make_unique<TuckerPreconditioner>();
+  throw std::invalid_argument("make_preconditioner: unknown name " + name);
+}
+
+const std::vector<std::string>& preconditioner_names() {
+  static const std::vector<std::string> names = {
+      "identity", "one-base", "multi-base", "duomodel",
+      "pca",      "svd",      "wavelet",    "pca-part",
+      "tucker"};
+  return names;
+}
+
+void fill_stats(const io::Container& container, std::size_t element_count,
+                EncodeStats* stats) {
+  if (stats == nullptr) return;
+  stats->total_bytes = container.payload_bytes();
+  stats->original_bytes = element_count * sizeof(double);
+  stats->compression_ratio =
+      stats->total_bytes > 0
+          ? static_cast<double>(stats->original_bytes) /
+                static_cast<double>(stats->total_bytes)
+          : 0.0;
+}
+
+}  // namespace rmp::core

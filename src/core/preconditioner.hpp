@@ -1,0 +1,72 @@
+// The paper's central abstraction: a *preconditioner* identifies a latent
+// reduced model of a field, stores that reduced representation together
+// with the compressed delta (original minus the reconstruction from the
+// reduced model), and can rebuild the field from the two (Fig. 5).
+//
+// encode() produces a self-contained io::Container whose `method` names
+// the preconditioner; decode() inverts it.  Two codecs are involved, per
+// §V-B: the reduced representation is compressed at original-data grade,
+// the delta at the looser delta grade (its magnitude is much smaller).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compress/compressor.hpp"
+#include "io/container.hpp"
+#include "sim/field.hpp"
+
+namespace rmp::core {
+
+struct CodecPair {
+  /// Codec for the reduced representation (paper: ZFP 16 bit / SZ 1e-5).
+  const compress::Compressor* reduced;
+  /// Codec for the delta (paper: ZFP 8 bit / SZ 1e-3).
+  const compress::Compressor* delta;
+};
+
+struct EncodeStats {
+  std::size_t reduced_bytes = 0;  ///< reduced-representation payload
+  std::size_t delta_bytes = 0;    ///< compressed delta payload
+  std::size_t total_bytes = 0;    ///< full container payload
+  std::size_t original_bytes = 0;
+  double compression_ratio = 0.0;
+};
+
+class Preconditioner {
+ public:
+  virtual ~Preconditioner() = default;
+
+  /// Stable identifier stored in the container ("one-base", "pca", ...).
+  virtual std::string name() const = 0;
+
+  /// Precondition and compress.  `stats`, when non-null, receives the
+  /// size accounting used throughout the evaluation benches.
+  virtual io::Container encode(const sim::Field& field,
+                               const CodecPair& codecs,
+                               EncodeStats* stats = nullptr) const = 0;
+
+  /// Reconstruct the field.  `external_reduced` supplies a re-computed
+  /// reduced model for methods that do not store theirs (DuoModel re-runs
+  /// the light simulation instead of storing its output).
+  virtual sim::Field decode(const io::Container& container,
+                            const CodecPair& codecs,
+                            const sim::Field* external_reduced = nullptr)
+      const = 0;
+};
+
+/// Instantiate a preconditioner by its stable name; used to dispatch
+/// decoding from Container::method.  Throws std::invalid_argument for
+/// unknown names.
+std::unique_ptr<Preconditioner> make_preconditioner(const std::string& name);
+
+/// Names of every built-in preconditioner, in evaluation order:
+/// identity, one-base, multi-base, duomodel, pca, svd, wavelet.
+const std::vector<std::string>& preconditioner_names();
+
+/// Fill `stats` from a finished container (helper for implementations).
+void fill_stats(const io::Container& container, std::size_t element_count,
+                EncodeStats* stats);
+
+}  // namespace rmp::core

@@ -1,0 +1,310 @@
+#include "core/projection.hpp"
+
+#include <stdexcept>
+
+#include "core/serialize.hpp"
+
+namespace rmp::core {
+namespace {
+
+compress::Dims dims3(std::size_t nx, std::size_t ny, std::size_t nz) {
+  return {nx, ny, nz};
+}
+
+void require_3d(const sim::Field& field, const char* who) {
+  if (field.rank() != 3) {
+    throw std::invalid_argument(std::string(who) +
+                                ": projection methods need a 3D field");
+  }
+}
+
+void base_container(io::Container& container, const sim::Field& field) {
+  container.nx = field.nx();
+  container.ny = field.ny();
+  container.nz = field.nz();
+}
+
+/// Z-slab extents for multi-base: slab s covers [begin, end).
+struct Slab {
+  std::size_t begin, end, mid;
+};
+std::vector<Slab> make_slabs(std::size_t nz, std::size_t count) {
+  std::vector<Slab> slabs;
+  slabs.reserve(count);
+  for (std::size_t s = 0; s < count; ++s) {
+    const std::size_t begin = s * nz / count;
+    const std::size_t end = (s + 1) * nz / count;
+    slabs.push_back({begin, end, (begin + end) / 2});
+  }
+  return slabs;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// OneBase
+
+io::Container OneBasePreconditioner::encode(const sim::Field& field,
+                                            const CodecPair& codecs,
+                                            EncodeStats* stats) const {
+  require_3d(field, "one-base");
+  const std::size_t mid = field.nz() / 2;
+  const sim::Field plane = extract_z_plane(field, mid);
+
+  // Algorithm 1: every plane's delta against the (broadcast) mid-plane.
+  sim::Field delta(field.nx(), field.ny(), field.nz());
+  for (std::size_t i = 0; i < field.nx(); ++i) {
+    for (std::size_t j = 0; j < field.ny(); ++j) {
+      const double base = plane.at(i, j);
+      for (std::size_t k = 0; k < field.nz(); ++k) {
+        delta.at(i, j, k) = field.at(i, j, k) - base;
+      }
+    }
+  }
+
+  io::Container container;
+  container.method = name();
+  base_container(container, field);
+  container.add("reduced", codecs.reduced->compress(
+                               plane.flat(), dims3(field.nx(), field.ny(), 1)));
+  container.add("delta", codecs.delta->compress(
+                             delta.flat(),
+                             dims3(field.nx(), field.ny(), field.nz())));
+  const std::uint64_t meta[1] = {mid};
+  container.add("meta", u64s_to_bytes(meta));
+
+  fill_stats(container, field.size(), stats);
+  if (stats != nullptr) {
+    stats->reduced_bytes = container.find("reduced")->bytes.size();
+    stats->delta_bytes = container.find("delta")->bytes.size();
+  }
+  return container;
+}
+
+sim::Field OneBasePreconditioner::decode(const io::Container& container,
+                                         const CodecPair& codecs,
+                                         const sim::Field*) const {
+  const auto* reduced = container.find("reduced");
+  const auto* delta_section = container.find("delta");
+  if (reduced == nullptr || delta_section == nullptr) {
+    throw std::runtime_error("one-base decode: missing sections");
+  }
+  const auto plane_values = codecs.reduced->decompress(reduced->bytes);
+  const auto delta_values = codecs.delta->decompress(delta_section->bytes);
+  if (plane_values.size() != container.nx * container.ny ||
+      delta_values.size() != container.nx * container.ny * container.nz) {
+    throw std::runtime_error("one-base decode: section size mismatch");
+  }
+
+  sim::Field out(container.nx, container.ny, container.nz);
+  for (std::size_t i = 0; i < container.nx; ++i) {
+    for (std::size_t j = 0; j < container.ny; ++j) {
+      const double base = plane_values[i * container.ny + j];
+      for (std::size_t k = 0; k < container.nz; ++k) {
+        out.at(i, j, k) =
+            base +
+            delta_values[(i * container.ny + j) * container.nz + k];
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// MultiBase
+
+MultiBasePreconditioner::MultiBasePreconditioner(std::size_t slabs)
+    : slabs_(slabs) {
+  if (slabs_ == 0) {
+    throw std::invalid_argument("multi-base: slab count must be positive");
+  }
+}
+
+io::Container MultiBasePreconditioner::encode(const sim::Field& field,
+                                              const CodecPair& codecs,
+                                              EncodeStats* stats) const {
+  require_3d(field, "multi-base");
+  const std::size_t count = std::min(slabs_, field.nz());
+  const auto slabs = make_slabs(field.nz(), count);
+
+  // Reduced model: the stack of per-slab mid-planes, an (nx, ny, count)
+  // field -- no broadcast needed, each sub-domain is self-contained.
+  sim::Field planes(field.nx(), field.ny(), count);
+  for (std::size_t s = 0; s < count; ++s) {
+    for (std::size_t i = 0; i < field.nx(); ++i) {
+      for (std::size_t j = 0; j < field.ny(); ++j) {
+        planes.at(i, j, s) = field.at(i, j, slabs[s].mid);
+      }
+    }
+  }
+
+  sim::Field delta(field.nx(), field.ny(), field.nz());
+  for (std::size_t s = 0; s < count; ++s) {
+    for (std::size_t i = 0; i < field.nx(); ++i) {
+      for (std::size_t j = 0; j < field.ny(); ++j) {
+        const double base = planes.at(i, j, s);
+        for (std::size_t k = slabs[s].begin; k < slabs[s].end; ++k) {
+          delta.at(i, j, k) = field.at(i, j, k) - base;
+        }
+      }
+    }
+  }
+
+  io::Container container;
+  container.method = name();
+  base_container(container, field);
+  container.add("reduced",
+                codecs.reduced->compress(
+                    planes.flat(), dims3(field.nx(), field.ny(), count)));
+  container.add("delta", codecs.delta->compress(
+                             delta.flat(),
+                             dims3(field.nx(), field.ny(), field.nz())));
+  const std::uint64_t meta[1] = {count};
+  container.add("meta", u64s_to_bytes(meta));
+
+  fill_stats(container, field.size(), stats);
+  if (stats != nullptr) {
+    stats->reduced_bytes = container.find("reduced")->bytes.size();
+    stats->delta_bytes = container.find("delta")->bytes.size();
+  }
+  return container;
+}
+
+sim::Field MultiBasePreconditioner::decode(const io::Container& container,
+                                           const CodecPair& codecs,
+                                           const sim::Field*) const {
+  const auto* reduced = container.find("reduced");
+  const auto* delta_section = container.find("delta");
+  const auto* meta = container.find("meta");
+  if (reduced == nullptr || delta_section == nullptr || meta == nullptr) {
+    throw std::runtime_error("multi-base decode: missing sections");
+  }
+  const auto meta_values = bytes_to_u64s(meta->bytes);
+  const std::size_t count = meta_values.at(0);
+  const auto slabs = make_slabs(container.nz, count);
+
+  const auto plane_values = codecs.reduced->decompress(reduced->bytes);
+  const auto delta_values = codecs.delta->decompress(delta_section->bytes);
+  if (plane_values.size() != container.nx * container.ny * count) {
+    throw std::runtime_error("multi-base decode: reduced size mismatch");
+  }
+
+  sim::Field out(container.nx, container.ny, container.nz);
+  for (std::size_t s = 0; s < count; ++s) {
+    for (std::size_t i = 0; i < container.nx; ++i) {
+      for (std::size_t j = 0; j < container.ny; ++j) {
+        const double base =
+            plane_values[(i * container.ny + j) * count + s];
+        for (std::size_t k = slabs[s].begin; k < slabs[s].end; ++k) {
+          out.at(i, j, k) =
+              base +
+              delta_values[(i * container.ny + j) * container.nz + k];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// DuoModel
+
+DuoModelPreconditioner::DuoModelPreconditioner(std::size_t factor,
+                                               bool store_reduced)
+    : factor_(factor), store_reduced_(store_reduced) {
+  if (factor_ < 2) {
+    throw std::invalid_argument("duomodel: factor must be >= 2");
+  }
+}
+
+sim::Field DuoModelPreconditioner::make_reduced(const sim::Field& field) const {
+  return downsample(field, factor_,
+                    field.ny() > 1 ? factor_ : 1,
+                    field.nz() > 1 ? factor_ : 1);
+}
+
+io::Container DuoModelPreconditioner::encode(const sim::Field& field,
+                                             const CodecPair& codecs,
+                                             EncodeStats* stats) const {
+  return encode_with_reduced(field, make_reduced(field), codecs, stats);
+}
+
+io::Container DuoModelPreconditioner::encode_with_reduced(
+    const sim::Field& field, const sim::Field& reduced,
+    const CodecPair& codecs, EncodeStats* stats) const {
+  const sim::Field reconstruction =
+      upsample_linear(reduced, field.nx(), field.ny(), field.nz());
+  const sim::Field delta = subtract(field, reconstruction);
+
+  io::Container container;
+  container.method = name();
+  base_container(container, field);
+  container.add("delta", codecs.delta->compress(
+                             delta.flat(),
+                             dims3(field.nx(), field.ny(), field.nz())));
+  if (store_reduced_) {
+    container.add("reduced",
+                  codecs.reduced->compress(
+                      reduced.flat(),
+                      dims3(reduced.nx(), reduced.ny(), reduced.nz())));
+  }
+  const std::uint64_t meta[5] = {reduced.nx(), reduced.ny(), reduced.nz(),
+                                 factor_, store_reduced_ ? 1u : 0u};
+  container.add("meta", u64s_to_bytes(meta));
+
+  fill_stats(container, field.size(), stats);
+  if (stats != nullptr) {
+    const auto* r = container.find("reduced");
+    stats->reduced_bytes = r != nullptr ? r->bytes.size() : 0;
+    stats->delta_bytes = container.find("delta")->bytes.size();
+  }
+  return container;
+}
+
+sim::Field DuoModelPreconditioner::decode(
+    const io::Container& container, const CodecPair& codecs,
+    const sim::Field* external_reduced) const {
+  const auto* delta_section = container.find("delta");
+  const auto* meta = container.find("meta");
+  if (delta_section == nullptr || meta == nullptr) {
+    throw std::runtime_error("duomodel decode: missing sections");
+  }
+  const auto meta_values = bytes_to_u64s(meta->bytes);
+  const std::size_t rnx = meta_values.at(0);
+  const std::size_t rny = meta_values.at(1);
+  const std::size_t rnz = meta_values.at(2);
+  const bool stored = meta_values.at(4) != 0;
+
+  sim::Field reduced;
+  if (stored) {
+    const auto* reduced_section = container.find("reduced");
+    if (reduced_section == nullptr) {
+      throw std::runtime_error("duomodel decode: missing reduced section");
+    }
+    reduced = sim::Field::from_data(
+        rnx, rny, rnz, codecs.reduced->decompress(reduced_section->bytes));
+  } else {
+    // True DuoModel: the light simulation is re-run; the caller supplies
+    // its output.
+    if (external_reduced == nullptr) {
+      throw std::invalid_argument(
+          "duomodel decode: reduced model not stored; supply the re-computed "
+          "reduced field");
+    }
+    if (external_reduced->nx() != rnx || external_reduced->ny() != rny ||
+        external_reduced->nz() != rnz) {
+      throw std::invalid_argument(
+          "duomodel decode: external reduced field has the wrong shape");
+    }
+    reduced = *external_reduced;
+  }
+
+  const sim::Field reconstruction =
+      upsample_linear(reduced, container.nx, container.ny, container.nz);
+  const auto delta_values = codecs.delta->decompress(delta_section->bytes);
+  sim::Field out = sim::Field::from_data(container.nx, container.ny,
+                                         container.nz, delta_values);
+  return add(out, reconstruction);
+}
+
+}  // namespace rmp::core

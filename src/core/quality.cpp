@@ -1,0 +1,63 @@
+#include "core/quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "stats/metrics.hpp"
+
+namespace rmp::core {
+
+QualityReport compare_fields(const sim::Field& original,
+                             const sim::Field& reconstructed) {
+  QualityReport report;
+  report.rmse = stats::rmse(original.flat(), reconstructed.flat());
+  report.nrmse = stats::nrmse(original.flat(), reconstructed.flat());
+  report.max_error =
+      stats::max_abs_error(original.flat(), reconstructed.flat());
+  report.psnr_db = stats::psnr(original.flat(), reconstructed.flat());
+  report.gradient_rmse =
+      stats::gradient_rmse(original.flat(), reconstructed.flat());
+  report.decile_distance =
+      stats::decile_distance(original.flat(), reconstructed.flat());
+  report.original_bytes = original.size() * sizeof(double);
+  return report;
+}
+
+QualityReport assess_quality(const Preconditioner& preconditioner,
+                             const sim::Field& field, const CodecPair& codecs,
+                             const sim::Field* external_reduced) {
+  EncodeStats stats;
+  const io::Container container =
+      preconditioner.encode(field, codecs, &stats);
+  const sim::Field decoded =
+      preconditioner.decode(container, codecs, external_reduced);
+
+  QualityReport report = compare_fields(field, decoded);
+  report.method = preconditioner.name();
+  report.compression_ratio = stats.compression_ratio;
+  report.stored_bytes = stats.total_bytes;
+  return report;
+}
+
+std::string format_report(const QualityReport& report) {
+  char buffer[512];
+  const double psnr_shown =
+      std::isfinite(report.psnr_db) ? report.psnr_db : 999.0;
+  std::snprintf(buffer, sizeof buffer,
+                "method:            %s\n"
+                "compression ratio: %.2fx (%zu -> %zu bytes)\n"
+                "rmse:              %.6e  (nrmse %.3e)\n"
+                "max error:         %.6e\n"
+                "psnr:              %.1f dB\n"
+                "gradient rmse:     %.6e\n"
+                "decile distance:   %.6e\n",
+                report.method.c_str(), report.compression_ratio,
+                report.original_bytes, report.stored_bytes, report.rmse,
+                report.nrmse, report.max_error, psnr_shown,
+                report.gradient_rmse, report.decile_distance);
+  return buffer;
+}
+
+}  // namespace rmp::core

@@ -1,0 +1,41 @@
+// Reconstruction-quality report: the §II-B relevance requirements made
+// measurable.  Loss of accuracy (RMSE/max error within tolerance),
+// feature preservation (gradient error, distribution shape), and
+// complexity reduction (compression ratio) in one struct, with a
+// one-call assessment helper used by the benches, the CLI (`rmpc
+// verify`) and the tests.
+#pragma once
+
+#include <string>
+
+#include "core/preconditioner.hpp"
+
+namespace rmp::core {
+
+struct QualityReport {
+  std::string method;
+  double compression_ratio = 0.0;
+  double rmse = 0.0;
+  double nrmse = 0.0;           ///< RMSE / value range
+  double max_error = 0.0;
+  double psnr_db = 0.0;
+  double gradient_rmse = 0.0;   ///< first-difference error (features)
+  double decile_distance = 0.0; ///< distribution-shape drift
+  std::size_t stored_bytes = 0;
+  std::size_t original_bytes = 0;
+};
+
+/// Encode + decode `field` with `preconditioner` and measure everything.
+QualityReport assess_quality(const Preconditioner& preconditioner,
+                             const sim::Field& field, const CodecPair& codecs,
+                             const sim::Field* external_reduced = nullptr);
+
+/// Compare an already-reconstructed field against the original (no
+/// compression run; sizes must be supplied by the caller if wanted).
+QualityReport compare_fields(const sim::Field& original,
+                             const sim::Field& reconstructed);
+
+/// Render the report as aligned text lines (for the CLI).
+std::string format_report(const QualityReport& report);
+
+}  // namespace rmp::core

@@ -1,0 +1,24 @@
+// Byte-level helpers shared by the preconditioners when packing matrices
+// and vectors into container sections.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace rmp::core {
+
+std::vector<std::uint8_t> doubles_to_bytes(std::span<const double> values);
+std::vector<double> bytes_to_doubles(std::span<const std::uint8_t> bytes);
+
+/// Matrix serialization: rows, cols (u64 each) followed by row-major data.
+std::vector<std::uint8_t> matrix_to_bytes(const la::Matrix& m);
+la::Matrix bytes_to_matrix(std::span<const std::uint8_t> bytes);
+
+/// Little header helpers for fixed-size scalar metadata sections.
+std::vector<std::uint8_t> u64s_to_bytes(std::span<const std::uint64_t> values);
+std::vector<std::uint64_t> bytes_to_u64s(std::span<const std::uint8_t> bytes);
+
+}  // namespace rmp::core

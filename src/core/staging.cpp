@@ -1,0 +1,102 @@
+#include "core/staging.hpp"
+
+#include <chrono>
+
+namespace rmp::core {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+StagingNode::StagingNode(const core::CodecPair& codecs, StagingOptions options)
+    : codecs_(codecs), options_(std::move(options)) {
+  if (options_.max_queue == 0) options_.max_queue = 1;
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+StagingNode::~StagingNode() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  worker_.join();
+}
+
+std::size_t StagingNode::submit(sim::Field field) {
+  const auto start = std::chrono::steady_clock::now();
+  std::unique_lock lock(mutex_);
+  space_ready_.wait(lock, [this] {
+    return queue_.size() < options_.max_queue || stopping_;
+  });
+  if (stopping_) {
+    throw std::runtime_error("StagingNode: submit after shutdown");
+  }
+  const std::size_t id = stats_.fields_submitted++;
+  stats_.bytes_in += field.size() * sizeof(double);
+  stats_.submit_block_seconds += seconds_since(start);
+  queue_.emplace_back(id, std::move(field));
+  ++in_flight_;
+  lock.unlock();
+  work_ready_.notify_one();
+  return id;
+}
+
+void StagingNode::drain() {
+  std::unique_lock lock(mutex_);
+  drained_.wait(lock, [this] { return in_flight_ == 0 && queue_.empty(); });
+}
+
+StagingStats StagingNode::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+void StagingNode::worker_loop() {
+  const auto preconditioner = core::make_preconditioner(options_.method);
+  for (;;) {
+    std::pair<std::size_t, sim::Field> item;
+    {
+      std::unique_lock lock(mutex_);
+      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    space_ready_.notify_one();
+
+    const auto start = std::chrono::steady_clock::now();
+    core::EncodeStats encode_stats;
+    io::Container container =
+        preconditioner->encode(item.second, codecs_, &encode_stats);
+    const double elapsed = seconds_since(start);
+
+    if (options_.output_dir) {
+      io::write_container(*options_.output_dir /
+                          ("field_" + std::to_string(item.first) + ".rmp"),
+                      container);
+    }
+
+    {
+      std::lock_guard lock(mutex_);
+      stats_.fields_completed++;
+      stats_.bytes_out += encode_stats.total_bytes;
+      stats_.total_compress_seconds += elapsed;
+      if (!options_.output_dir) {
+        results_.push_back(std::move(container));
+      }
+      --in_flight_;
+    }
+    drained_.notify_all();
+  }
+}
+
+}  // namespace rmp::core

@@ -1,0 +1,86 @@
+// Asynchronous staging node (Table IV's winning configuration, §V-B.4):
+// the application hands its field to the staging service and returns to
+// computing immediately; a background worker preconditions, compresses
+// and "writes" (via the storage model or a real directory) off the
+// critical path.  This is the working-code counterpart of
+// make_staging_row()'s arithmetic.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <filesystem>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/preconditioner.hpp"
+#include "sim/field.hpp"
+
+namespace rmp::core {
+
+struct StagingOptions {
+  /// Preconditioner applied on the staging node ("pca" in the paper row).
+  std::string method = "pca";
+  /// Directory for the output containers; unset = keep in memory only.
+  std::optional<std::filesystem::path> output_dir;
+  /// Backpressure: enqueue blocks once this many fields are waiting.
+  std::size_t max_queue = 8;
+};
+
+struct StagingStats {
+  std::size_t fields_submitted = 0;
+  std::size_t fields_completed = 0;
+  std::size_t bytes_in = 0;
+  std::size_t bytes_out = 0;
+  double total_compress_seconds = 0.0;
+  /// Wall time the *submitter* spent blocked in submit() -- the only cost
+  /// on the application's critical path.
+  double submit_block_seconds = 0.0;
+};
+
+class StagingNode {
+ public:
+  /// Codecs must outlive the node.
+  StagingNode(const core::CodecPair& codecs, StagingOptions options = {});
+  ~StagingNode();
+
+  StagingNode(const StagingNode&) = delete;
+  StagingNode& operator=(const StagingNode&) = delete;
+
+  /// Hand a field to the staging service.  Returns the sequence id.
+  /// Blocks only when the queue is full (backpressure).
+  std::size_t submit(sim::Field field);
+
+  /// Wait until every submitted field has been processed.
+  void drain();
+
+  /// Snapshot of the statistics (valid any time; exact after drain()).
+  StagingStats stats() const;
+
+  /// In-memory results (when no output_dir was configured), in completion
+  /// order.  Call after drain().
+  const std::vector<io::Container>& results() const { return results_; }
+
+ private:
+  void worker_loop();
+
+  const core::CodecPair codecs_;
+  StagingOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable space_ready_;
+  std::condition_variable drained_;
+  std::deque<std::pair<std::size_t, sim::Field>> queue_;
+  bool stopping_ = false;
+  std::size_t in_flight_ = 0;
+
+  StagingStats stats_;
+  std::vector<io::Container> results_;
+  std::thread worker_;
+};
+
+}  // namespace rmp::core

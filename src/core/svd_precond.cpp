@@ -1,0 +1,144 @@
+#include "core/svd_precond.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/pca.hpp"  // components_for_target
+#include "core/reshape.hpp"
+#include "core/serialize.hpp"
+#include "la/svd.hpp"
+
+namespace rmp::core {
+namespace {
+
+// U_k scaled by the singular values: the "dimension-reduced data".
+la::Matrix scaled_leading(const la::SvdResult& svd, std::size_t k) {
+  la::Matrix p(svd.u.rows(), k);
+  for (std::size_t i = 0; i < svd.u.rows(); ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      p(i, j) = svd.u(i, j) * svd.sigma[j];
+    }
+  }
+  return p;
+}
+
+la::Matrix leading_v(const la::SvdResult& svd, std::size_t k) {
+  la::Matrix v(svd.v.rows(), k);
+  for (std::size_t i = 0; i < svd.v.rows(); ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      v(i, j) = svd.v(i, j);
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+std::vector<double> svd_singular_proportions(const sim::Field& field) {
+  la::Matrix a = as_matrix(field);
+  const auto svd = la::jacobi_svd(a);
+  double total = 0.0;
+  for (double s : svd.sigma) total += s;
+  std::vector<double> proportions(svd.sigma.size(), 0.0);
+  if (total > 0.0) {
+    for (std::size_t i = 0; i < svd.sigma.size(); ++i) {
+      proportions[i] = svd.sigma[i] / total;
+    }
+  } else if (!proportions.empty()) {
+    proportions[0] = 1.0;
+  }
+  return proportions;
+}
+
+SvdPreconditioner::SvdPreconditioner(SvdOptionsPre options)
+    : options_(options) {
+  if (options_.energy_target <= 0.0 || options_.energy_target > 1.0) {
+    throw std::invalid_argument("svd: energy_target must be in (0, 1]");
+  }
+}
+
+io::Container SvdPreconditioner::encode(const sim::Field& field,
+                                        const CodecPair& codecs,
+                                        EncodeStats* stats) const {
+  const la::Matrix a = as_matrix(field);
+  const auto svd = la::jacobi_svd(a);
+
+  double total = 0.0;
+  for (double s : svd.sigma) total += s;
+  std::vector<double> proportions(svd.sigma.size(), 0.0);
+  for (std::size_t i = 0; i < svd.sigma.size() && total > 0.0; ++i) {
+    proportions[i] = svd.sigma[i] / total;
+  }
+  std::size_t k = components_for_target(proportions, options_.energy_target);
+  k = std::max<std::size_t>(1, std::min(k, svd.sigma.size()));
+
+  const la::Matrix p = scaled_leading(svd, k);  // (rows of internal U) x k
+  const la::Matrix vk = leading_v(svd, k);
+
+  const auto p_bytes = codecs.reduced->compress(
+      p.flat(), compress::Dims::d2(p.rows(), p.cols()));
+
+  la::Matrix recon_p = p;
+  if (options_.delta_against_decoded) {
+    recon_p = la::Matrix(p.rows(), p.cols(),
+                         codecs.reduced->decompress(p_bytes));
+  }
+  la::Matrix reconstruction = recon_p * vk.transposed();
+  if (svd.transposed) reconstruction = reconstruction.transposed();
+
+  const sim::Field delta = subtract(
+      field,
+      matrix_to_field(reconstruction, field.nx(), field.ny(), field.nz()));
+
+  io::Container container;
+  container.method = name();
+  container.nx = field.nx();
+  container.ny = field.ny();
+  container.nz = field.nz();
+  container.add("u_sigma", p_bytes);
+  container.add("v", matrix_to_bytes(vk));
+  container.add("delta",
+                codecs.delta->compress(
+                    delta.flat(), {field.nx(), field.ny(), field.nz()}));
+  const std::uint64_t meta[3] = {k, p.rows(), svd.transposed ? 1u : 0u};
+  container.add("meta", u64s_to_bytes(meta));
+
+  fill_stats(container, field.size(), stats);
+  if (stats != nullptr) {
+    stats->reduced_bytes = container.find("u_sigma")->bytes.size() +
+                           container.find("v")->bytes.size();
+    stats->delta_bytes = container.find("delta")->bytes.size();
+  }
+  return container;
+}
+
+sim::Field SvdPreconditioner::decode(const io::Container& container,
+                                     const CodecPair& codecs,
+                                     const sim::Field*) const {
+  const auto* p_section = container.find("u_sigma");
+  const auto* v_section = container.find("v");
+  const auto* delta_section = container.find("delta");
+  const auto* meta_section = container.find("meta");
+  if (p_section == nullptr || v_section == nullptr ||
+      delta_section == nullptr || meta_section == nullptr) {
+    throw std::runtime_error("svd decode: missing sections");
+  }
+  const auto meta = bytes_to_u64s(meta_section->bytes);
+  const std::size_t k = meta.at(0);
+  const std::size_t rows = meta.at(1);
+  const bool transposed = meta.at(2) != 0;
+
+  const la::Matrix vk = bytes_to_matrix(v_section->bytes);
+  la::Matrix p(rows, k, codecs.reduced->decompress(p_section->bytes));
+
+  la::Matrix reconstruction = p * vk.transposed();
+  if (transposed) reconstruction = reconstruction.transposed();
+
+  const auto delta_values = codecs.delta->decompress(delta_section->bytes);
+  sim::Field out = sim::Field::from_data(container.nx, container.ny,
+                                         container.nz, delta_values);
+  return add(out, matrix_to_field(reconstruction, container.nx, container.ny,
+                                  container.nz));
+}
+
+}  // namespace rmp::core

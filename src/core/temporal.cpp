@@ -1,0 +1,118 @@
+#include "core/temporal.hpp"
+
+#include <stdexcept>
+
+namespace rmp::core {
+namespace {
+
+compress::Dims dims_of(const sim::Field& f) {
+  return {f.nx(), f.ny(), f.nz()};
+}
+
+io::Container encode_keyframe(const sim::Field& field,
+                              const CodecPair& codecs) {
+  io::Container container;
+  container.method = "temporal-key";
+  container.nx = field.nx();
+  container.ny = field.ny();
+  container.nz = field.nz();
+  container.add("data", codecs.reduced->compress(field.flat(), dims_of(field)));
+  return container;
+}
+
+io::Container encode_delta(const sim::Field& field,
+                           const sim::Field& reference,
+                           const CodecPair& codecs) {
+  io::Container container;
+  container.method = "temporal-delta";
+  container.nx = field.nx();
+  container.ny = field.ny();
+  container.nz = field.nz();
+  const sim::Field delta = subtract(field, reference);
+  container.add("delta",
+                codecs.delta->compress(delta.flat(), dims_of(field)));
+  return container;
+}
+
+}  // namespace
+
+std::size_t TemporalSequence::total_bytes() const {
+  std::size_t total = 0;
+  for (const auto& step : steps) total += step.payload_bytes();
+  return total;
+}
+
+TemporalSequence temporal_encode(const std::vector<sim::Field>& snapshots,
+                                 const CodecPair& codecs,
+                                 const TemporalOptions& options) {
+  TemporalSequence sequence;
+  if (snapshots.empty()) return sequence;
+  for (const auto& snapshot : snapshots) {
+    if (snapshot.nx() != snapshots.front().nx() ||
+        snapshot.ny() != snapshots.front().ny() ||
+        snapshot.nz() != snapshots.front().nz()) {
+      throw std::invalid_argument("temporal_encode: snapshot shapes differ");
+    }
+  }
+
+  sequence.steps.reserve(snapshots.size());
+  // The running reference is the *decoded* predecessor so decode-side
+  // drift never accumulates.
+  sim::Field reference;
+  for (std::size_t s = 0; s < snapshots.size(); ++s) {
+    const bool keyframe =
+        s == 0 || (options.keyframe_interval > 0 &&
+                   s % options.keyframe_interval == 0);
+    if (keyframe) {
+      auto container = encode_keyframe(snapshots[s], codecs);
+      reference = sim::Field::from_data(
+          snapshots[s].nx(), snapshots[s].ny(), snapshots[s].nz(),
+          codecs.reduced->decompress(container.find("data")->bytes));
+      sequence.steps.push_back(std::move(container));
+    } else {
+      auto container = encode_delta(snapshots[s], reference, codecs);
+      const auto delta_values =
+          codecs.delta->decompress(container.find("delta")->bytes);
+      sim::Field decoded_delta = sim::Field::from_data(
+          snapshots[s].nx(), snapshots[s].ny(), snapshots[s].nz(),
+          delta_values);
+      reference = add(reference, decoded_delta);
+      sequence.steps.push_back(std::move(container));
+    }
+  }
+  return sequence;
+}
+
+std::vector<sim::Field> temporal_decode(const TemporalSequence& sequence,
+                                        const CodecPair& codecs) {
+  std::vector<sim::Field> snapshots;
+  snapshots.reserve(sequence.steps.size());
+  sim::Field reference;
+  for (const auto& step : sequence.steps) {
+    if (step.method == "temporal-key") {
+      const auto* section = step.find("data");
+      if (section == nullptr) {
+        throw std::runtime_error("temporal_decode: missing keyframe data");
+      }
+      reference = sim::Field::from_data(
+          step.nx, step.ny, step.nz,
+          codecs.reduced->decompress(section->bytes));
+    } else if (step.method == "temporal-delta") {
+      const auto* section = step.find("delta");
+      if (section == nullptr) {
+        throw std::runtime_error("temporal_decode: missing delta data");
+      }
+      sim::Field delta = sim::Field::from_data(
+          step.nx, step.ny, step.nz,
+          codecs.delta->decompress(section->bytes));
+      reference = add(reference, delta);
+    } else {
+      throw std::runtime_error("temporal_decode: unexpected method " +
+                               step.method);
+    }
+    snapshots.push_back(reference);
+  }
+  return snapshots;
+}
+
+}  // namespace rmp::core

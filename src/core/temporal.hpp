@@ -1,0 +1,37 @@
+// Temporal preconditioning of snapshot sequences -- the time-axis
+// counterpart of one-base.  Scientific outputs "capture physical
+// quantities in both space and time" (§V); successive snapshots of the
+// same field are themselves an excellent reduced model of each other, so
+// a sequence is stored as one keyframe (original-grade) plus per-step
+// deltas against the *decoded* predecessor (delta-grade), keeping the
+// error from accumulating across steps.
+#pragma once
+
+#include <vector>
+
+#include "core/preconditioner.hpp"
+
+namespace rmp::core {
+
+struct TemporalSequence {
+  /// One container per snapshot; [0] is the keyframe.
+  std::vector<io::Container> steps;
+  std::size_t total_bytes() const;
+};
+
+struct TemporalOptions {
+  /// Insert a fresh keyframe every `keyframe_interval` snapshots (0 =
+  /// only the first snapshot is a keyframe).
+  std::size_t keyframe_interval = 0;
+};
+
+/// Encode a snapshot sequence (all snapshots must share a shape).
+TemporalSequence temporal_encode(const std::vector<sim::Field>& snapshots,
+                                 const CodecPair& codecs,
+                                 const TemporalOptions& options = {});
+
+/// Decode the full sequence.
+std::vector<sim::Field> temporal_decode(const TemporalSequence& sequence,
+                                        const CodecPair& codecs);
+
+}  // namespace rmp::core

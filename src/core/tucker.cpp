@@ -1,0 +1,273 @@
+#include "core/tucker.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/pca.hpp"  // components_for_target
+#include "core/reshape.hpp"
+#include "core/serialize.hpp"
+#include "la/eigen.hpp"
+
+namespace rmp::core {
+namespace {
+
+// Tensor stored flat with shape (d0, d1, d2), index (i*d1 + j)*d2 + k --
+// the Field layout.
+struct Shape3 {
+  std::size_t d0, d1, d2;
+  std::size_t count() const { return d0 * d1 * d2; }
+};
+
+std::size_t flat(const Shape3& s, std::size_t i, std::size_t j,
+                 std::size_t k) {
+  return (i * s.d1 + j) * s.d2 + k;
+}
+
+// Gram matrix of the mode-m unfolding: G(a, b) = sum over the other two
+// indices of T[a at mode m] * T[b at mode m].  Its eigenvectors are the
+// HOSVD factor matrix for that mode, eigenvalues the squared singular
+// values.
+la::Matrix mode_gram(const std::vector<double>& t, const Shape3& s,
+                     unsigned mode) {
+  const std::size_t n = mode == 0 ? s.d0 : (mode == 1 ? s.d1 : s.d2);
+  la::Matrix g(n, n);
+  // Fiber-wise accumulation: for every fixed off-mode position, gather
+  // the mode fiber and add its outer product, G += fiber * fiber^T.
+  const std::size_t strides[3] = {s.d1 * s.d2, s.d2, 1};
+  const std::size_t counts[3] = {s.d0, s.d1, s.d2};
+  const unsigned o1 = mode == 0 ? 1 : 0;
+  const unsigned o2 = mode == 2 ? 1 : 2;
+  std::vector<double> fiber(n);
+  for (std::size_t p = 0; p < counts[o1]; ++p) {
+    for (std::size_t q = 0; q < counts[o2]; ++q) {
+      const std::size_t base = p * strides[o1] + q * strides[o2];
+      for (std::size_t a = 0; a < n; ++a) {
+        fiber[a] = t[base + a * strides[mode]];
+      }
+      for (std::size_t a = 0; a < n; ++a) {
+        const double fa = fiber[a];
+        if (fa == 0.0) continue;
+        for (std::size_t b = a; b < n; ++b) {
+          g(a, b) += fa * fiber[b];
+        }
+      }
+    }
+  }
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < a; ++b) {
+      g(a, b) = g(b, a);
+    }
+  }
+  return g;
+}
+
+// Multiply tensor T by matrix M (r x d_mode) along `mode`; the mode's
+// extent becomes r.
+std::vector<double> mode_multiply(const std::vector<double>& t,
+                                  const Shape3& s, unsigned mode,
+                                  const la::Matrix& m, Shape3& out_shape) {
+  const std::size_t r = m.rows();
+  out_shape = s;
+  (mode == 0 ? out_shape.d0 : mode == 1 ? out_shape.d1 : out_shape.d2) = r;
+  std::vector<double> out(out_shape.count(), 0.0);
+
+  const std::size_t n = mode == 0 ? s.d0 : (mode == 1 ? s.d1 : s.d2);
+  for (std::size_t i = 0; i < out_shape.d0; ++i) {
+    for (std::size_t j = 0; j < out_shape.d1; ++j) {
+      for (std::size_t k = 0; k < out_shape.d2; ++k) {
+        double sum = 0.0;
+        const std::size_t row = mode == 0 ? i : (mode == 1 ? j : k);
+        for (std::size_t a = 0; a < n; ++a) {
+          const std::size_t si = mode == 0 ? a : i;
+          const std::size_t sj = mode == 1 ? a : j;
+          const std::size_t sk = mode == 2 ? a : k;
+          sum += m(row, a) * t[flat(s, si, sj, sk)];
+        }
+        out[flat(out_shape, i, j, k)] = sum;
+      }
+    }
+  }
+  return out;
+}
+
+// Leading-k eigenvector block, transposed into a (k x n) projection.
+la::Matrix projection_of(const la::EigenDecomposition& eig, std::size_t k) {
+  la::Matrix p(k, eig.vectors.rows());
+  for (std::size_t r = 0; r < k; ++r) {
+    for (std::size_t c = 0; c < eig.vectors.rows(); ++c) {
+      p(r, c) = eig.vectors(c, r);
+    }
+  }
+  return p;
+}
+
+std::vector<double> sigma_proportions(const la::EigenDecomposition& eig) {
+  std::vector<double> sigma;
+  sigma.reserve(eig.values.size());
+  double total = 0.0;
+  for (double v : eig.values) {
+    const double s = std::sqrt(std::max(v, 0.0));
+    sigma.push_back(s);
+    total += s;
+  }
+  if (total <= 0.0) {
+    std::vector<double> proportions(sigma.size(), 0.0);
+    if (!proportions.empty()) proportions[0] = 1.0;
+    return proportions;
+  }
+  for (double& s : sigma) s /= total;
+  return sigma;
+}
+
+Shape3 canonical_shape(const sim::Field& field) {
+  if (field.rank() == 3) return {field.nx(), field.ny(), field.nz()};
+  if (field.rank() == 2) return {field.nx(), field.ny(), 1};
+  const auto [m, n] = matrix_shape(field);
+  return {m, n, 1};
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> tucker_mode_proportions(
+    const sim::Field& field) {
+  const Shape3 shape = canonical_shape(field);
+  const std::vector<double> tensor(field.flat().begin(), field.flat().end());
+  std::vector<std::vector<double>> proportions;
+  for (unsigned mode = 0; mode < 3; ++mode) {
+    const auto eig = la::jacobi_eigen(mode_gram(tensor, shape, mode));
+    proportions.push_back(sigma_proportions(eig));
+  }
+  return proportions;
+}
+
+TuckerPreconditioner::TuckerPreconditioner(TuckerOptions options)
+    : options_(options) {
+  if (options_.energy_target <= 0.0 || options_.energy_target > 1.0) {
+    throw std::invalid_argument("tucker: energy_target must be in (0, 1]");
+  }
+}
+
+io::Container TuckerPreconditioner::encode(const sim::Field& field,
+                                           const CodecPair& codecs,
+                                           EncodeStats* stats) const {
+  const Shape3 shape = canonical_shape(field);
+  std::vector<double> tensor(field.flat().begin(), field.flat().end());
+
+  // Per-mode factors by Gram-matrix eigendecomposition.
+  std::array<la::Matrix, 3> factors;   // k_m x d_m projections
+  std::array<std::size_t, 3> ranks{};
+  for (unsigned mode = 0; mode < 3; ++mode) {
+    const std::size_t extent =
+        mode == 0 ? shape.d0 : (mode == 1 ? shape.d1 : shape.d2);
+    if (extent == 1) {
+      ranks[mode] = 1;
+      factors[mode] = la::Matrix::identity(1);
+      continue;
+    }
+    const auto eig = la::jacobi_eigen(mode_gram(tensor, shape, mode));
+    std::size_t k = components_for_target(sigma_proportions(eig),
+                                          options_.energy_target);
+    k = std::max<std::size_t>(1, k);
+    ranks[mode] = k;
+    factors[mode] = projection_of(eig, k);
+  }
+
+  // Core tensor: project along every mode.
+  Shape3 core_shape = shape;
+  std::vector<double> core = tensor;
+  for (unsigned mode = 0; mode < 3; ++mode) {
+    Shape3 next{};
+    core = mode_multiply(core, core_shape, mode, factors[mode], next);
+    core_shape = next;
+  }
+
+  const auto core_bytes = codecs.reduced->compress(
+      core, {core_shape.d0, core_shape.d1, core_shape.d2});
+
+  // Reconstruction (clean core, paper-style) and delta.
+  Shape3 recon_shape = core_shape;
+  std::vector<double> recon = core;
+  for (unsigned mode = 0; mode < 3; ++mode) {
+    Shape3 next{};
+    recon = mode_multiply(recon, recon_shape, mode,
+                          factors[mode].transposed(), next);
+    recon_shape = next;
+  }
+  sim::Field delta = field;
+  {
+    auto d = delta.flat();
+    for (std::size_t n = 0; n < d.size(); ++n) d[n] -= recon[n];
+  }
+
+  io::Container container;
+  container.method = name();
+  container.nx = field.nx();
+  container.ny = field.ny();
+  container.nz = field.nz();
+  container.add("core", core_bytes);
+  container.add("u0", matrix_to_bytes(factors[0]));
+  container.add("u1", matrix_to_bytes(factors[1]));
+  container.add("u2", matrix_to_bytes(factors[2]));
+  container.add("delta",
+                codecs.delta->compress(
+                    delta.flat(), {field.nx(), field.ny(), field.nz()}));
+  const std::uint64_t meta[6] = {ranks[0], ranks[1], ranks[2],
+                                 shape.d0,  shape.d1, shape.d2};
+  container.add("meta", u64s_to_bytes(meta));
+
+  fill_stats(container, field.size(), stats);
+  if (stats != nullptr) {
+    stats->reduced_bytes = container.find("core")->bytes.size() +
+                           container.find("u0")->bytes.size() +
+                           container.find("u1")->bytes.size() +
+                           container.find("u2")->bytes.size();
+    stats->delta_bytes = container.find("delta")->bytes.size();
+  }
+  return container;
+}
+
+sim::Field TuckerPreconditioner::decode(const io::Container& container,
+                                        const CodecPair& codecs,
+                                        const sim::Field*) const {
+  const auto* core_section = container.find("core");
+  const auto* delta_section = container.find("delta");
+  const auto* meta_section = container.find("meta");
+  if (core_section == nullptr || delta_section == nullptr ||
+      meta_section == nullptr) {
+    throw std::runtime_error("tucker decode: missing sections");
+  }
+  const auto meta = bytes_to_u64s(meta_section->bytes);
+  const Shape3 core_shape{meta.at(0), meta.at(1), meta.at(2)};
+
+  std::array<la::Matrix, 3> factors;
+  for (unsigned mode = 0; mode < 3; ++mode) {
+    const auto* section = container.find("u" + std::to_string(mode));
+    if (section == nullptr) {
+      throw std::runtime_error("tucker decode: missing factor");
+    }
+    factors[mode] = bytes_to_matrix(section->bytes);
+  }
+
+  std::vector<double> recon = codecs.reduced->decompress(core_section->bytes);
+  Shape3 shape = core_shape;
+  for (unsigned mode = 0; mode < 3; ++mode) {
+    Shape3 next{};
+    recon = mode_multiply(recon, shape, mode, factors[mode].transposed(),
+                          next);
+    shape = next;
+  }
+
+  const auto delta_values = codecs.delta->decompress(delta_section->bytes);
+  if (delta_values.size() != recon.size()) {
+    throw std::runtime_error("tucker decode: size mismatch");
+  }
+  std::vector<double> values(recon.size());
+  for (std::size_t n = 0; n < values.size(); ++n) {
+    values[n] = recon[n] + delta_values[n];
+  }
+  return sim::Field::from_data(container.nx, container.ny, container.nz,
+                               std::move(values));
+}
+
+}  // namespace rmp::core

@@ -1,0 +1,104 @@
+#include "core/wavelet_precond.hpp"
+
+#include <stdexcept>
+
+#include "compress/lossless.hpp"
+#include "core/reshape.hpp"
+#include "core/serialize.hpp"
+#include "la/sparse.hpp"
+#include "wavelet/haar.hpp"
+
+namespace rmp::core {
+
+WaveletPreconditioner::WaveletPreconditioner(WaveletOptions options)
+    : options_(options) {
+  if (options_.threshold_fraction < 0.0 || options_.threshold_fraction >= 1.0) {
+    throw std::invalid_argument("wavelet: threshold_fraction must be in [0, 1)");
+  }
+}
+
+io::Container WaveletPreconditioner::encode(const sim::Field& field,
+                                            const CodecPair& codecs,
+                                            EncodeStats* stats) const {
+  const bool use_3d = options_.transform_3d && field.rank() == 3;
+  la::Matrix coeffs = as_matrix(field);
+  if (use_3d) {
+    // Same memory layout: the canonical (nx*ny, nz) matrix view of the
+    // 3D coefficient array keeps the CSR machinery unchanged.
+    wavelet::haar_forward_3d(coeffs.flat(), field.nx(), field.ny(),
+                             field.nz());
+  } else {
+    wavelet::haar_forward_2d(coeffs);
+  }
+
+  const double theta =
+      options_.threshold_fraction * wavelet::max_abs_coefficient(coeffs);
+  wavelet::threshold_coefficients(coeffs, theta);
+
+  const la::CsrMatrix sparse = la::CsrMatrix::from_dense(coeffs);
+  const auto sparse_bytes = compress::lossless_compress(sparse.serialize());
+
+  // Reconstruction from the thresholded coefficients.
+  la::Matrix recon = coeffs;
+  if (use_3d) {
+    wavelet::haar_inverse_3d(recon.flat(), field.nx(), field.ny(),
+                             field.nz());
+  } else {
+    wavelet::haar_inverse_2d(recon);
+  }
+  const sim::Field delta = subtract(
+      field, matrix_to_field(recon, field.nx(), field.ny(), field.nz()));
+
+  io::Container container;
+  container.method = name();
+  container.nx = field.nx();
+  container.ny = field.ny();
+  container.nz = field.nz();
+  container.add("sparse", sparse_bytes);
+  container.add("delta",
+                codecs.delta->compress(
+                    delta.flat(), {field.nx(), field.ny(), field.nz()}));
+  const std::uint64_t meta[1] = {use_3d ? 1u : 0u};
+  container.add("meta", u64s_to_bytes(meta));
+
+  fill_stats(container, field.size(), stats);
+  if (stats != nullptr) {
+    stats->reduced_bytes = container.find("sparse")->bytes.size();
+    stats->delta_bytes = container.find("delta")->bytes.size();
+  }
+  return container;
+}
+
+sim::Field WaveletPreconditioner::decode(const io::Container& container,
+                                         const CodecPair& codecs,
+                                         const sim::Field*) const {
+  const auto* sparse_section = container.find("sparse");
+  const auto* delta_section = container.find("delta");
+  if (sparse_section == nullptr || delta_section == nullptr) {
+    throw std::runtime_error("wavelet decode: missing sections");
+  }
+  const auto raw = compress::lossless_decompress(sparse_section->bytes);
+  const la::CsrMatrix sparse = la::CsrMatrix::deserialize(raw.data(), raw.size());
+
+  bool use_3d = false;
+  if (const auto* meta_section = container.find("meta")) {
+    const auto meta = bytes_to_u64s(meta_section->bytes);
+    use_3d = !meta.empty() && meta[0] != 0;
+  }
+
+  la::Matrix recon = sparse.to_dense();
+  if (use_3d) {
+    wavelet::haar_inverse_3d(recon.flat(), container.nx, container.ny,
+                             container.nz);
+  } else {
+    wavelet::haar_inverse_2d(recon);
+  }
+
+  const auto delta_values = codecs.delta->decompress(delta_section->bytes);
+  sim::Field out = sim::Field::from_data(container.nx, container.ny,
+                                         container.nz, delta_values);
+  return add(out, matrix_to_field(recon, container.nx, container.ny,
+                                  container.nz));
+}
+
+}  // namespace rmp::core

@@ -1,0 +1,178 @@
+#include "io/container.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "io/checksum.hpp"
+
+namespace rmp::io {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x50434D52;  // "RMCP"
+constexpr std::uint32_t kVersion = 2;         // v2 appends a CRC-32 trailer
+
+void append_bytes(std::vector<std::uint8_t>& out, const void* p, std::size_t n) {
+  const auto* b = static_cast<const std::uint8_t*>(p);
+  out.insert(out.end(), b, b + n);
+}
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  append_bytes(out, &v, sizeof(v));
+}
+void append_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  append_bytes(out, &v, sizeof(v));
+}
+void append_string(std::vector<std::uint8_t>& out, const std::string& s) {
+  append_u32(out, static_cast<std::uint32_t>(s.size()));
+  append_bytes(out, s.data(), s.size());
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  void read(void* p, std::size_t n) {
+    if (offset_ + n > bytes_.size()) {
+      throw std::runtime_error("container: truncated input");
+    }
+    std::memcpy(p, bytes_.data() + offset_, n);
+    offset_ += n;
+  }
+  std::uint32_t read_u32() {
+    std::uint32_t v;
+    read(&v, sizeof(v));
+    return v;
+  }
+  std::uint64_t read_u64() {
+    std::uint64_t v;
+    read(&v, sizeof(v));
+    return v;
+  }
+  std::string read_string() {
+    const std::uint32_t n = read_u32();
+    std::string s(n, '\0');
+    read(s.data(), n);
+    return s;
+  }
+  std::vector<std::uint8_t> read_blob() {
+    const std::uint64_t n = read_u64();
+    if (offset_ + n > bytes_.size()) {
+      throw std::runtime_error("container: truncated section");
+    }
+    std::vector<std::uint8_t> blob(bytes_.begin() + offset_,
+                                   bytes_.begin() + offset_ + n);
+    offset_ += n;
+    return blob;
+  }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace
+
+std::size_t Container::payload_bytes() const {
+  std::size_t total = 0;
+  for (const auto& s : sections) total += s.bytes.size();
+  return total;
+}
+
+const Section* Container::find(const std::string& name) const {
+  for (const auto& s : sections) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+Section& Container::add(std::string name, std::vector<std::uint8_t> bytes) {
+  sections.push_back({std::move(name), std::move(bytes)});
+  return sections.back();
+}
+
+std::vector<std::uint8_t> serialize(const Container& container) {
+  std::vector<std::uint8_t> out;
+  append_u32(out, kMagic);
+  append_u32(out, kVersion);
+  append_string(out, container.method);
+  append_u64(out, container.nx);
+  append_u64(out, container.ny);
+  append_u64(out, container.nz);
+  append_u32(out, static_cast<std::uint32_t>(container.sections.size()));
+  for (const auto& section : container.sections) {
+    append_string(out, section.name);
+    append_u64(out, section.bytes.size());
+    append_bytes(out, section.bytes.data(), section.bytes.size());
+  }
+  // Integrity trailer over everything written so far.
+  append_u32(out, crc32(out));
+  return out;
+}
+
+Container deserialize(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < sizeof(std::uint32_t)) {
+    throw std::runtime_error("container: truncated input");
+  }
+  // Verify the CRC trailer before parsing anything.
+  const std::size_t body_size = bytes.size() - sizeof(std::uint32_t);
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + body_size, sizeof(stored_crc));
+  if (crc32(bytes.first(body_size)) != stored_crc) {
+    throw std::runtime_error("container: checksum mismatch (corrupt data)");
+  }
+
+  Cursor cursor(bytes.first(body_size));
+  if (cursor.read_u32() != kMagic) {
+    throw std::runtime_error("container: bad magic");
+  }
+  if (cursor.read_u32() != kVersion) {
+    throw std::runtime_error("container: unsupported version");
+  }
+  Container container;
+  container.method = cursor.read_string();
+  container.nx = cursor.read_u64();
+  container.ny = cursor.read_u64();
+  container.nz = cursor.read_u64();
+  const std::uint32_t count = cursor.read_u32();
+  container.sections.reserve(count);
+  for (std::uint32_t s = 0; s < count; ++s) {
+    Section section;
+    section.name = cursor.read_string();
+    section.bytes = cursor.read_blob();
+    container.sections.push_back(std::move(section));
+  }
+  return container;
+}
+
+void write_container(const std::filesystem::path& path,
+                     const Container& container) {
+  const auto bytes = serialize(container);
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    throw std::runtime_error("write_container: cannot open " + path.string());
+  }
+  file.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  if (!file) {
+    throw std::runtime_error("write_container: write failed");
+  }
+}
+
+Container read_container(const std::filesystem::path& path) {
+  std::ifstream file(path, std::ios::binary | std::ios::ate);
+  if (!file) {
+    throw std::runtime_error("read_container: cannot open " + path.string());
+  }
+  const auto size = static_cast<std::size_t>(file.tellg());
+  file.seekg(0);
+  std::vector<std::uint8_t> bytes(size);
+  file.read(reinterpret_cast<char*>(bytes.data()),
+            static_cast<std::streamsize>(size));
+  if (!file) {
+    throw std::runtime_error("read_container: read failed");
+  }
+  return deserialize(bytes);
+}
+
+}  // namespace rmp::io

@@ -1,0 +1,45 @@
+// On-disk container for preconditioned, compressed fields.
+//
+// A container is a small header (magic, version, method name, grid shape)
+// followed by named byte sections -- typically "reduced" (the reduced
+// representation) and "delta" (the compressed residual), but the format is
+// generic so preconditioners can add sections (means, masks, ...).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rmp::io {
+
+struct Section {
+  std::string name;
+  std::vector<std::uint8_t> bytes;
+};
+
+struct Container {
+  std::string method;  ///< preconditioner identifier, e.g. "pca"
+  std::uint64_t nx = 1, ny = 1, nz = 1;
+  std::vector<Section> sections;
+
+  /// Total payload bytes across all sections (the "compressed size" used
+  /// for compression-ratio accounting).
+  std::size_t payload_bytes() const;
+
+  const Section* find(const std::string& name) const;
+  Section& add(std::string name, std::vector<std::uint8_t> bytes);
+};
+
+/// Serialize to a flat byte buffer / parse back.  Throws on malformed input.
+std::vector<std::uint8_t> serialize(const Container& container);
+Container deserialize(std::span<const std::uint8_t> bytes);
+
+/// File round trip.
+void write_container(const std::filesystem::path& path,
+                     const Container& container);
+Container read_container(const std::filesystem::path& path);
+
+}  // namespace rmp::io

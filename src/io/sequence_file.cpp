@@ -1,0 +1,117 @@
+#include "io/sequence_file.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace rmp::io {
+namespace {
+
+constexpr std::uint64_t kSequenceMagic = 0x51455351504D5252ULL;  // "RRMPQSEQ"
+
+}  // namespace
+
+SequenceWriter::SequenceWriter(const std::filesystem::path& path)
+    : file_(path, std::ios::binary | std::ios::trunc), path_(path) {
+  if (!file_) {
+    throw std::runtime_error("SequenceWriter: cannot open " + path.string());
+  }
+}
+
+SequenceWriter::~SequenceWriter() {
+  if (!finished_) {
+    try {
+      finish();
+    } catch (...) {
+      // Destructors must not throw; an explicit finish() surfaces errors.
+    }
+  }
+}
+
+std::size_t SequenceWriter::append(const Container& container) {
+  if (finished_) {
+    throw std::logic_error("SequenceWriter: append after finish");
+  }
+  const auto bytes = serialize(container);
+  const auto offset = static_cast<std::uint64_t>(file_.tellp());
+  file_.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  if (!file_) {
+    throw std::runtime_error("SequenceWriter: write failed");
+  }
+  index_.push_back({offset, bytes.size()});
+  return index_.size() - 1;
+}
+
+void SequenceWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  for (const Entry& entry : index_) {
+    file_.write(reinterpret_cast<const char*>(&entry.offset), 8);
+    file_.write(reinterpret_cast<const char*>(&entry.size), 8);
+  }
+  const std::uint64_t count = index_.size();
+  file_.write(reinterpret_cast<const char*>(&count), 8);
+  file_.write(reinterpret_cast<const char*>(&kSequenceMagic), 8);
+  file_.flush();
+  if (!file_) {
+    throw std::runtime_error("SequenceWriter: finish failed");
+  }
+  file_.close();
+}
+
+SequenceReader::SequenceReader(const std::filesystem::path& path)
+    : file_(path, std::ios::binary | std::ios::ate) {
+  if (!file_) {
+    throw std::runtime_error("SequenceReader: cannot open " + path.string());
+  }
+  const auto file_size = static_cast<std::uint64_t>(file_.tellg());
+  if (file_size < 16) {
+    throw std::runtime_error("SequenceReader: file too small");
+  }
+  file_.seekg(static_cast<std::streamoff>(file_size - 16));
+  std::uint64_t count = 0, magic = 0;
+  file_.read(reinterpret_cast<char*>(&count), 8);
+  file_.read(reinterpret_cast<char*>(&magic), 8);
+  if (magic != kSequenceMagic) {
+    throw std::runtime_error("SequenceReader: bad trailer magic");
+  }
+  const std::uint64_t index_bytes = count * 16;
+  if (file_size < 16 + index_bytes) {
+    throw std::runtime_error("SequenceReader: truncated index");
+  }
+  file_.seekg(static_cast<std::streamoff>(file_size - 16 - index_bytes));
+  index_.resize(count);
+  for (auto& entry : index_) {
+    file_.read(reinterpret_cast<char*>(&entry.offset), 8);
+    file_.read(reinterpret_cast<char*>(&entry.size), 8);
+  }
+  if (!file_) {
+    throw std::runtime_error("SequenceReader: index read failed");
+  }
+}
+
+Container SequenceReader::read_step(std::size_t step) {
+  if (step >= index_.size()) {
+    throw std::out_of_range("SequenceReader: step out of range");
+  }
+  const Entry& entry = index_[step];
+  file_.seekg(static_cast<std::streamoff>(entry.offset));
+  std::vector<std::uint8_t> bytes(entry.size);
+  file_.read(reinterpret_cast<char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  if (!file_) {
+    throw std::runtime_error("SequenceReader: step read failed");
+  }
+  return deserialize(bytes);
+}
+
+std::vector<Container> SequenceReader::read_all() {
+  std::vector<Container> containers;
+  containers.reserve(index_.size());
+  for (std::size_t s = 0; s < index_.size(); ++s) {
+    containers.push_back(read_step(s));
+  }
+  return containers;
+}
+
+}  // namespace rmp::io

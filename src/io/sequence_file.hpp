@@ -1,0 +1,71 @@
+// Streaming multi-container archive: a sequence of containers (e.g. the
+// temporal pipeline's keyframe + delta steps) appended to a single file
+// with a trailing index, so individual steps can be read back without
+// scanning the whole file.
+//
+// Layout:  [container 0][container 1]...[index][index size u64][magic]
+// The index is a list of (offset, size) pairs.  Each embedded container
+// carries its own CRC (io/container.cpp), so corruption is detected at
+// step granularity.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "io/container.hpp"
+
+namespace rmp::io {
+
+class SequenceWriter {
+ public:
+  /// Opens (truncates) the file; throws on failure.
+  explicit SequenceWriter(const std::filesystem::path& path);
+  ~SequenceWriter();
+
+  SequenceWriter(const SequenceWriter&) = delete;
+  SequenceWriter& operator=(const SequenceWriter&) = delete;
+
+  /// Append one container; returns its step index.
+  std::size_t append(const Container& container);
+
+  /// Write the trailing index and close.  Called by the destructor if not
+  /// done explicitly; explicit calls surface errors.
+  void finish();
+
+  std::size_t steps_written() const noexcept { return index_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t offset;
+    std::uint64_t size;
+  };
+  std::ofstream file_;
+  std::filesystem::path path_;
+  std::vector<Entry> index_;
+  bool finished_ = false;
+};
+
+class SequenceReader {
+ public:
+  explicit SequenceReader(const std::filesystem::path& path);
+
+  std::size_t step_count() const noexcept { return index_.size(); }
+
+  /// Read one step (random access).  Throws on bad index or corruption.
+  Container read_step(std::size_t step);
+
+  /// Read all steps in order.
+  std::vector<Container> read_all();
+
+ private:
+  struct Entry {
+    std::uint64_t offset;
+    std::uint64_t size;
+  };
+  std::ifstream file_;
+  std::vector<Entry> index_;
+};
+
+}  // namespace rmp::io

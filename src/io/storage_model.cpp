@@ -1,0 +1,63 @@
+#include "io/storage_model.hpp"
+
+#include <stdexcept>
+
+namespace rmp::io {
+
+double StorageModel::io_time(std::size_t writers,
+                             double bytes_per_writer) const {
+  if (filesystem_bandwidth <= 0.0) {
+    throw std::invalid_argument("StorageModel: bandwidth must be positive");
+  }
+  const double total_bytes =
+      static_cast<double>(writers) * bytes_per_writer;
+  return write_latency + total_bytes / filesystem_bandwidth;
+}
+
+double StorageModel::staging_time(std::size_t writers,
+                                  double bytes_per_writer) const {
+  if (interconnect_bandwidth <= 0.0) {
+    throw std::invalid_argument("StorageModel: bandwidth must be positive");
+  }
+  const double total_bytes =
+      static_cast<double>(writers) * bytes_per_writer;
+  return total_bytes / interconnect_bandwidth;
+}
+
+EndToEndRow make_row(const EndToEndScenario& scenario,
+                     const std::string& method, double compression_time,
+                     double compression_ratio) {
+  if (compression_ratio <= 0.0) {
+    throw std::invalid_argument("make_row: ratio must be positive");
+  }
+  EndToEndRow row;
+  row.method = method;
+  row.compression_time = compression_time;
+  row.io_time = scenario.storage.io_time(
+      scenario.writers, scenario.bytes_per_writer / compression_ratio);
+  row.total_time = row.compression_time + row.io_time;
+  return row;
+}
+
+EndToEndRow make_baseline_row(const EndToEndScenario& scenario) {
+  EndToEndRow row;
+  row.method = "Baseline (I/O with no compression)";
+  row.compression_time = 0.0;
+  row.io_time =
+      scenario.storage.io_time(scenario.writers, scenario.bytes_per_writer);
+  row.total_time = row.io_time;
+  return row;
+}
+
+EndToEndRow make_staging_row(const EndToEndScenario& scenario,
+                             const std::string& method) {
+  EndToEndRow row;
+  row.method = method;
+  row.compression_time = 0.0;
+  row.io_time = scenario.storage.staging_time(scenario.writers,
+                                              scenario.bytes_per_writer);
+  row.total_time = row.io_time;
+  return row;
+}
+
+}  // namespace rmp::io

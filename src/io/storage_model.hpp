@@ -1,0 +1,70 @@
+// Analytic storage / staging time model for the Table IV end-to-end
+// experiment.
+//
+// The paper measures, on Titan + Lustre with 64 writers of 16.7 GB each:
+//   baseline (no compression)  I/O 52.48 s
+//   ZFP+I/O                    compress 12.09 s + I/O 20.39 s
+//   SZ+I/O                     compress  9.72 s + I/O 19.36 s
+//   PCA(ZFP)+I/O               compress 44.87 s + I/O  9.23 s
+//   PCA(SZ)+I/O                compress 42.95 s + I/O  9.00 s
+//   Staging+PCA+I/O            transfer-only total 13.17 s
+//
+// We cannot run Lustre here, so the substitution is a bandwidth/latency
+// model: every writer streams its (compressed) bytes at the file-system
+// bandwidth share; staging instead ships raw bytes to a staging node over
+// the interconnect and overlaps everything downstream.  Calibrated with
+// the defaults below, the model reproduces the paper's rows; the bench
+// feeds it compression times and ratios *measured* on this machine's
+// codecs, so the crossover structure (who wins, when staging pays) is
+// exercised rather than hard-coded.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rmp::io {
+
+struct StorageModel {
+  /// Aggregate parallel file-system bandwidth available to the job (B/s).
+  double filesystem_bandwidth = 20.0e9;
+  /// Per-write latency (metadata + open + sync), amortized per writer.
+  double write_latency = 0.05;
+  /// Interconnect bandwidth from compute to staging nodes (B/s).
+  double interconnect_bandwidth = 80.0e9;
+
+  /// Time for `writers` ranks to write `bytes_per_writer` each, N-to-N.
+  double io_time(std::size_t writers, double bytes_per_writer) const;
+
+  /// Time to ship data to the staging node; compression + file I/O then
+  /// happen asynchronously off the critical path.
+  double staging_time(std::size_t writers, double bytes_per_writer) const;
+};
+
+struct EndToEndRow {
+  std::string method;
+  double compression_time;  ///< seconds (0 for baseline / staging)
+  double io_time;           ///< seconds
+  double total_time;        ///< seconds
+};
+
+struct EndToEndScenario {
+  std::size_t writers = 64;
+  double bytes_per_writer = 16.7e9;
+  StorageModel storage;
+};
+
+/// Compose one Table IV row: synchronous compression followed by the
+/// write of the reduced-size data.
+EndToEndRow make_row(const EndToEndScenario& scenario,
+                     const std::string& method, double compression_time,
+                     double compression_ratio);
+
+/// Baseline row: raw write, no compression.
+EndToEndRow make_baseline_row(const EndToEndScenario& scenario);
+
+/// Staging row: only the transfer to the staging node is synchronous.
+EndToEndRow make_staging_row(const EndToEndScenario& scenario,
+                             const std::string& method);
+
+}  // namespace rmp::io

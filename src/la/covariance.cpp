@@ -1,0 +1,66 @@
+#include "la/covariance.hpp"
+
+#include <stdexcept>
+
+namespace rmp::la {
+
+std::vector<double> column_means(const Matrix& a) {
+  std::vector<double> means(a.cols(), 0.0);
+  if (a.rows() == 0) return means;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const auto row = a.row(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) means[j] += row[j];
+  }
+  const double inv = 1.0 / static_cast<double>(a.rows());
+  for (double& m : means) m *= inv;
+  return means;
+}
+
+void center_columns(Matrix& a, const std::vector<double>& means) {
+  if (means.size() != a.cols()) {
+    throw std::invalid_argument("center_columns: means size mismatch");
+  }
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const auto row = a.row(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) row[j] -= means[j];
+  }
+}
+
+void uncenter_columns(Matrix& a, const std::vector<double>& means) {
+  if (means.size() != a.cols()) {
+    throw std::invalid_argument("uncenter_columns: means size mismatch");
+  }
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const auto row = a.row(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) row[j] += means[j];
+  }
+}
+
+Matrix covariance(const Matrix& a) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  Matrix centered = a;
+  center_columns(centered, column_means(a));
+
+  Matrix c(n, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto row = centered.row(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double rj = row[j];
+      if (rj == 0.0) continue;
+      for (std::size_t k = j; k < n; ++k) {
+        c(j, k) += rj * row[k];
+      }
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(m > 1 ? m - 1 : 1);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t k = j; k < n; ++k) {
+      c(j, k) *= inv;
+      c(k, j) = c(j, k);
+    }
+  }
+  return c;
+}
+
+}  // namespace rmp::la

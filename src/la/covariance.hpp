@@ -1,0 +1,24 @@
+// Column statistics used by the PCA preconditioner: per-column means and
+// the n x n sample covariance of the columns of an m x n data matrix.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace rmp::la {
+
+/// Arithmetic mean of each column of `a` (size = a.cols()).
+std::vector<double> column_means(const Matrix& a);
+
+/// Subtract `means[j]` from every entry of column j, in place.
+void center_columns(Matrix& a, const std::vector<double>& means);
+
+/// Add `means[j]` back onto every entry of column j, in place.
+void uncenter_columns(Matrix& a, const std::vector<double>& means);
+
+/// Sample covariance C = X_c^T X_c / (m - 1) of the (centered internally)
+/// columns of `a`.  For m == 1 the divisor falls back to 1.
+Matrix covariance(const Matrix& a);
+
+}  // namespace rmp::la

@@ -1,0 +1,95 @@
+#include "la/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace rmp::la {
+namespace {
+
+double off_diagonal_norm(const Matrix& a) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      if (i != j) sum += a(i, j) * a(i, j);
+    }
+  }
+  return std::sqrt(sum);
+}
+
+// One Jacobi rotation zeroing a(p,q); updates A (both sides) and V (right).
+void rotate(Matrix& a, Matrix& v, std::size_t p, std::size_t q) {
+  const double apq = a(p, q);
+  if (apq == 0.0) return;
+  const double app = a(p, p);
+  const double aqq = a(q, q);
+  const double tau = (aqq - app) / (2.0 * apq);
+  // Smaller-magnitude root of t^2 + 2*tau*t - 1 = 0 for stability.
+  const double t = (tau >= 0.0) ? 1.0 / (tau + std::sqrt(1.0 + tau * tau))
+                                : 1.0 / (tau - std::sqrt(1.0 + tau * tau));
+  const double c = 1.0 / std::sqrt(1.0 + t * t);
+  const double s = t * c;
+
+  const std::size_t n = a.rows();
+  for (std::size_t k = 0; k < n; ++k) {
+    const double akp = a(k, p);
+    const double akq = a(k, q);
+    a(k, p) = c * akp - s * akq;
+    a(k, q) = s * akp + c * akq;
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    const double apk = a(p, k);
+    const double aqk = a(q, k);
+    a(p, k) = c * apk - s * aqk;
+    a(q, k) = s * apk + c * aqk;
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    const double vkp = v(k, p);
+    const double vkq = v(k, q);
+    v(k, p) = c * vkp - s * vkq;
+    v(k, q) = s * vkp + c * vkq;
+  }
+}
+
+}  // namespace
+
+EigenDecomposition jacobi_eigen(const Matrix& input, const JacobiOptions& opts) {
+  if (input.rows() != input.cols()) {
+    throw std::invalid_argument("jacobi_eigen: matrix must be square");
+  }
+  const std::size_t n = input.rows();
+  Matrix a = input;
+  Matrix v = Matrix::identity(n);
+
+  const double norm = a.frobenius_norm();
+  const double threshold = opts.tolerance * std::max(norm, 1e-300);
+
+  for (std::size_t sweep = 0; sweep < opts.max_sweeps; ++sweep) {
+    if (off_diagonal_norm(a) <= threshold) break;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        rotate(a, v, p, q);
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return a(x, x) > a(y, y); });
+
+  EigenDecomposition out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.values[j] = a(order[j], order[j]);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.vectors(i, j) = v(i, order[j]);
+    }
+  }
+  return out;
+}
+
+}  // namespace rmp::la

@@ -1,0 +1,34 @@
+// Symmetric eigendecomposition via the cyclic Jacobi rotation method.
+//
+// The PCA preconditioner diagonalizes the (small, n x n) covariance matrix
+// of the data columns.  Cyclic Jacobi is the right tool at that size: it is
+// unconditionally stable, needs no pivot heuristics, and converges
+// quadratically once the off-diagonal mass is small.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace rmp::la {
+
+struct EigenDecomposition {
+  /// Eigenvalues sorted in descending order.
+  std::vector<double> values;
+  /// Column j of `vectors` is the unit eigenvector for values[j].
+  Matrix vectors;
+};
+
+struct JacobiOptions {
+  std::size_t max_sweeps = 64;
+  /// Converged when the off-diagonal Frobenius norm falls below
+  /// tolerance * ||A||_F.
+  double tolerance = 1e-12;
+};
+
+/// Decompose a symmetric matrix A = V diag(values) V^T.
+/// Throws std::invalid_argument if A is not square.
+EigenDecomposition jacobi_eigen(const Matrix& a, const JacobiOptions& opts = {});
+
+}  // namespace rmp::la

@@ -1,0 +1,89 @@
+#include "la/sparse.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace rmp::la {
+
+CsrMatrix CsrMatrix::from_dense(const Matrix& dense, double drop_below) {
+  CsrMatrix csr;
+  csr.rows_ = dense.rows();
+  csr.cols_ = dense.cols();
+  csr.row_offsets_.resize(csr.rows_ + 1, 0);
+  for (std::size_t i = 0; i < csr.rows_; ++i) {
+    const auto row = dense.row(i);
+    for (std::size_t j = 0; j < csr.cols_; ++j) {
+      if (std::fabs(row[j]) > drop_below) {
+        csr.values_.push_back(row[j]);
+        csr.col_indices_.push_back(static_cast<std::uint32_t>(j));
+      }
+    }
+    csr.row_offsets_[i + 1] = csr.values_.size();
+  }
+  return csr;
+}
+
+Matrix CsrMatrix::to_dense() const {
+  Matrix dense(rows_, cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::uint64_t p = row_offsets_[i]; p < row_offsets_[i + 1]; ++p) {
+      dense(i, col_indices_[p]) = values_[p];
+    }
+  }
+  return dense;
+}
+
+std::size_t CsrMatrix::storage_bytes() const noexcept {
+  return values_.size() * sizeof(double) +
+         col_indices_.size() * sizeof(std::uint32_t) +
+         row_offsets_.size() * sizeof(std::uint64_t);
+}
+
+std::vector<std::uint8_t> CsrMatrix::serialize() const {
+  std::vector<std::uint8_t> out;
+  auto append = [&out](const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    out.insert(out.end(), b, b + n);
+  };
+  const std::uint64_t header[3] = {rows_, cols_, values_.size()};
+  append(header, sizeof(header));
+  append(row_offsets_.data(), row_offsets_.size() * sizeof(std::uint64_t));
+  append(col_indices_.data(), col_indices_.size() * sizeof(std::uint32_t));
+  append(values_.data(), values_.size() * sizeof(double));
+  return out;
+}
+
+CsrMatrix CsrMatrix::deserialize(const std::uint8_t* data, std::size_t size) {
+  auto need = [&](std::size_t offset, std::size_t n) {
+    if (offset + n > size) {
+      throw std::runtime_error("CsrMatrix::deserialize: truncated buffer");
+    }
+  };
+  std::uint64_t header[3];
+  need(0, sizeof(header));
+  std::memcpy(header, data, sizeof(header));
+  CsrMatrix csr;
+  csr.rows_ = header[0];
+  csr.cols_ = header[1];
+  const std::size_t nnz = header[2];
+  std::size_t off = sizeof(header);
+
+  csr.row_offsets_.resize(csr.rows_ + 1);
+  need(off, csr.row_offsets_.size() * sizeof(std::uint64_t));
+  std::memcpy(csr.row_offsets_.data(), data + off,
+              csr.row_offsets_.size() * sizeof(std::uint64_t));
+  off += csr.row_offsets_.size() * sizeof(std::uint64_t);
+
+  csr.col_indices_.resize(nnz);
+  need(off, nnz * sizeof(std::uint32_t));
+  std::memcpy(csr.col_indices_.data(), data + off, nnz * sizeof(std::uint32_t));
+  off += nnz * sizeof(std::uint32_t);
+
+  csr.values_.resize(nnz);
+  need(off, nnz * sizeof(double));
+  std::memcpy(csr.values_.data(), data + off, nnz * sizeof(double));
+  return csr;
+}
+
+}  // namespace rmp::la

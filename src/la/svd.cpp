@@ -1,0 +1,107 @@
+#include "la/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace rmp::la {
+namespace {
+
+// One-sided Jacobi: rotate columns j,k of `a` (and of the accumulating `v`)
+// so that they become orthogonal.  Returns the off-orthogonality |a_j.a_k|
+// measured before rotation, normalized by the column norms.
+double orthogonalize_pair(Matrix& a, Matrix& v, std::size_t j, std::size_t k) {
+  const double ajk = column_dot(a, j, k);
+  const double ajj = column_dot(a, j, j);
+  const double akk = column_dot(a, k, k);
+  const double denom = std::sqrt(ajj * akk);
+  if (denom == 0.0 || ajk == 0.0) return 0.0;
+
+  const double off = std::fabs(ajk) / denom;
+  const double tau = (akk - ajj) / (2.0 * ajk);
+  const double t = (tau >= 0.0) ? 1.0 / (tau + std::sqrt(1.0 + tau * tau))
+                                : 1.0 / (tau - std::sqrt(1.0 + tau * tau));
+  const double c = 1.0 / std::sqrt(1.0 + t * t);
+  const double s = t * c;
+
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double aij = a(i, j);
+    const double aik = a(i, k);
+    a(i, j) = c * aij - s * aik;
+    a(i, k) = s * aij + c * aik;
+  }
+  for (std::size_t i = 0; i < v.rows(); ++i) {
+    const double vij = v(i, j);
+    const double vik = v(i, k);
+    v(i, j) = c * vij - s * vik;
+    v(i, k) = s * vij + c * vik;
+  }
+  return off;
+}
+
+}  // namespace
+
+SvdResult jacobi_svd(const Matrix& input, const SvdOptions& opts) {
+  SvdResult out;
+  Matrix a = input;
+  if (a.rows() < a.cols()) {
+    a = a.transposed();
+    out.transposed = true;
+  }
+  const std::size_t n = a.cols();
+  Matrix v = Matrix::identity(n);
+
+  for (std::size_t sweep = 0; sweep < opts.max_sweeps; ++sweep) {
+    double max_off = 0.0;
+    for (std::size_t j = 0; j + 1 < n; ++j) {
+      for (std::size_t k = j + 1; k < n; ++k) {
+        max_off = std::max(max_off, orthogonalize_pair(a, v, j, k));
+      }
+    }
+    if (max_off <= opts.tolerance) break;
+  }
+
+  // Column norms are the singular values; normalized columns form U.
+  std::vector<double> sigma(n);
+  for (std::size_t j = 0; j < n; ++j) sigma[j] = column_norm(a, j);
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return sigma[x] > sigma[y]; });
+
+  out.sigma.resize(n);
+  out.u = Matrix(a.rows(), n);
+  out.v = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t src = order[j];
+    out.sigma[j] = sigma[src];
+    const double inv = (sigma[src] > 0.0) ? 1.0 / sigma[src] : 0.0;
+    for (std::size_t i = 0; i < a.rows(); ++i) out.u(i, j) = a(i, src) * inv;
+    for (std::size_t i = 0; i < n; ++i) out.v(i, j) = v(i, src);
+  }
+  return out;
+}
+
+Matrix svd_reconstruct(const SvdResult& svd, std::size_t k) {
+  const std::size_t n = svd.sigma.size();
+  if (k == 0 || k > n) k = n;
+  const std::size_t m = svd.u.rows();
+
+  // A ≈ sum_{j<k} sigma_j * u_j * v_j^T
+  Matrix a(m, svd.v.rows());
+  for (std::size_t j = 0; j < k; ++j) {
+    const double s = svd.sigma[j];
+    if (s == 0.0) continue;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double us = svd.u(i, j) * s;
+      if (us == 0.0) continue;
+      for (std::size_t c = 0; c < svd.v.rows(); ++c) {
+        a(i, c) += us * svd.v(c, j);
+      }
+    }
+  }
+  return svd.transposed ? a.transposed() : a;
+}
+
+}  // namespace rmp::la

@@ -1,0 +1,38 @@
+// Thin singular value decomposition via the one-sided Jacobi method.
+//
+// A (m x n, m >= n after an internal transpose) is decomposed as
+// A = U * diag(s) * V^T with U m x n column-orthonormal, V n x n orthogonal
+// and s sorted descending.  One-sided Jacobi orthogonalizes pairs of
+// columns of A directly, which keeps the working set at one matrix and is
+// accurate for the small column counts this library deals with.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace rmp::la {
+
+struct SvdResult {
+  Matrix u;                     ///< m x n, orthonormal columns
+  std::vector<double> sigma;    ///< n singular values, descending
+  Matrix v;                     ///< n x n orthogonal
+  bool transposed = false;      ///< true if the input was internally transposed
+};
+
+struct SvdOptions {
+  std::size_t max_sweeps = 60;
+  double tolerance = 1e-12;  ///< relative column-orthogonality tolerance
+};
+
+/// Thin SVD of an arbitrary (possibly wide) matrix.  For wide inputs the
+/// matrix is transposed internally and U/V swap roles; `transposed` records
+/// that so reconstruct() stays shape-correct.
+SvdResult jacobi_svd(const Matrix& a, const SvdOptions& opts = {});
+
+/// Rebuild (an approximation of) the original matrix from the leading k
+/// triplets; k == 0 or k > rank uses all of them.
+Matrix svd_reconstruct(const SvdResult& svd, std::size_t k = 0);
+
+}  // namespace rmp::la

@@ -1,0 +1,70 @@
+#include "parallel/decomposition.hpp"
+
+#include <stdexcept>
+
+namespace rmp::parallel {
+
+CartesianDecomposition::CartesianDecomposition(
+    std::array<std::size_t, 3> global, std::array<int, 3> procs)
+    : global_(global), procs_(procs) {
+  for (std::size_t d = 0; d < 3; ++d) {
+    if (procs_[d] <= 0) {
+      throw std::invalid_argument("CartesianDecomposition: procs must be >= 1");
+    }
+    if (static_cast<std::size_t>(procs_[d]) > global_[d]) {
+      throw std::invalid_argument(
+          "CartesianDecomposition: more processors than grid points");
+    }
+  }
+}
+
+int CartesianDecomposition::world_size() const noexcept {
+  return procs_[0] * procs_[1] * procs_[2];
+}
+
+std::array<int, 3> CartesianDecomposition::coords_of(int rank) const {
+  if (rank < 0 || rank >= world_size()) {
+    throw std::out_of_range("coords_of: rank out of range");
+  }
+  // Rank layout: x slowest, z fastest (row-major over the processor grid).
+  const int z = rank % procs_[2];
+  const int y = (rank / procs_[2]) % procs_[1];
+  const int x = rank / (procs_[1] * procs_[2]);
+  return {x, y, z};
+}
+
+int CartesianDecomposition::rank_of(std::array<int, 3> coords) const {
+  for (std::size_t d = 0; d < 3; ++d) {
+    if (coords[d] < 0 || coords[d] >= procs_[d]) {
+      throw std::out_of_range("rank_of: coordinate out of range");
+    }
+  }
+  return (coords[0] * procs_[1] + coords[1]) * procs_[2] + coords[2];
+}
+
+Extent CartesianDecomposition::extent(std::size_t dim, int coord) const {
+  const std::size_t n = global_[dim];
+  const std::size_t p = static_cast<std::size_t>(procs_[dim]);
+  const std::size_t c = static_cast<std::size_t>(coord);
+  const std::size_t base = n / p;
+  const std::size_t extra = n % p;
+  // The first `extra` processors get one extra point.
+  const std::size_t begin = c * base + std::min(c, extra);
+  const std::size_t count = base + (c < extra ? 1 : 0);
+  return {begin, begin + count};
+}
+
+std::array<Extent, 3> CartesianDecomposition::local_box(int rank) const {
+  const auto coords = coords_of(rank);
+  return {extent(0, coords[0]), extent(1, coords[1]), extent(2, coords[2])};
+}
+
+int CartesianDecomposition::neighbor(int rank, std::size_t dim, int step) const {
+  auto coords = coords_of(rank);
+  const int target = coords[dim] + step;
+  if (target < 0 || target >= procs_[dim]) return -1;
+  coords[dim] = target;
+  return rank_of(coords);
+}
+
+}  // namespace rmp::parallel

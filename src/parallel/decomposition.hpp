@@ -1,0 +1,47 @@
+// Cartesian domain decomposition: maps a global 1/2/3-D grid onto a
+// processor grid, with remainder cells spread over the leading ranks
+// (block distribution).  Used by the parallel Heat3d solver and by the
+// multi-base preconditioner, whose reduced model is per-subdomain.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace rmp::parallel {
+
+struct Extent {
+  std::size_t begin = 0;
+  std::size_t end = 0;  ///< exclusive
+  std::size_t count() const noexcept { return end - begin; }
+};
+
+class CartesianDecomposition {
+ public:
+  /// global = grid points per dimension; procs = processor grid (product is
+  /// the world size).  Dimensions not decomposed should use procs = 1.
+  CartesianDecomposition(std::array<std::size_t, 3> global,
+                         std::array<int, 3> procs);
+
+  int world_size() const noexcept;
+
+  std::array<int, 3> coords_of(int rank) const;
+  int rank_of(std::array<int, 3> coords) const;
+
+  /// Local extent of dimension `dim` for the processor at `coord` along it.
+  Extent extent(std::size_t dim, int coord) const;
+
+  /// All three extents for a rank.
+  std::array<Extent, 3> local_box(int rank) const;
+
+  /// Neighbor rank one step along `dim` (+1 or -1); -1 if at the boundary.
+  int neighbor(int rank, std::size_t dim, int step) const;
+
+  std::array<std::size_t, 3> global() const noexcept { return global_; }
+  std::array<int, 3> procs() const noexcept { return procs_; }
+
+ private:
+  std::array<std::size_t, 3> global_;
+  std::array<int, 3> procs_;
+};
+
+}  // namespace rmp::parallel

@@ -1,0 +1,114 @@
+#include "parallel/msgpass.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+namespace rmp::parallel {
+
+namespace detail {
+
+World::World(int size) : size_(size), mailboxes_(size) {
+  if (size <= 0) throw std::invalid_argument("World: size must be positive");
+}
+
+void World::post(int dest, Message message) {
+  if (dest < 0 || dest >= size_) {
+    throw std::invalid_argument("post: destination rank out of range");
+  }
+  Mailbox& box = mailboxes_[dest];
+  {
+    std::lock_guard lock(box.mutex);
+    box.messages.push_back(std::move(message));
+  }
+  box.ready.notify_all();
+}
+
+Message World::match(int self, int source, int tag) {
+  Mailbox& box = mailboxes_[self];
+  std::unique_lock lock(box.mutex);
+  for (;;) {
+    const auto it = std::find_if(
+        box.messages.begin(), box.messages.end(), [&](const Message& m) {
+          return m.source == source && m.tag == tag;
+        });
+    if (it != box.messages.end()) {
+      Message message = std::move(*it);
+      box.messages.erase(it);
+      return message;
+    }
+    box.ready.wait(lock);
+  }
+}
+
+void World::barrier() {
+  std::unique_lock lock(barrier_mutex_);
+  const std::uint64_t generation = barrier_generation_;
+  if (++barrier_count_ == size_) {
+    barrier_count_ = 0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+  } else {
+    barrier_cv_.wait(lock, [&] { return barrier_generation_ != generation; });
+  }
+}
+
+}  // namespace detail
+
+void Communicator::send_bytes(int dest, int tag,
+                              std::span<const std::uint8_t> bytes) {
+  world_.post(dest, {rank_, tag, {bytes.begin(), bytes.end()}});
+}
+
+std::vector<std::uint8_t> Communicator::recv_bytes(int source, int tag) {
+  return world_.match(rank_, source, tag).payload;
+}
+
+double Communicator::allreduce_sum(double value) {
+  std::vector<double> mine{value};
+  auto all = gather<double>(mine, 0);
+  double result = 0.0;
+  if (rank_ == 0) {
+    for (double v : all) result += v;
+  }
+  std::vector<double> out{result};
+  broadcast(out, 0);
+  return out[0];
+}
+
+double Communicator::allreduce_max(double value) {
+  std::vector<double> mine{value};
+  auto all = gather<double>(mine, 0);
+  double result = value;
+  if (rank_ == 0) {
+    for (double v : all) result = std::max(result, v);
+  }
+  std::vector<double> out{result};
+  broadcast(out, 0);
+  return out[0];
+}
+
+void run_ranks(int world_size,
+               const std::function<void(Communicator&)>& body) {
+  detail::World world(world_size);
+  std::vector<std::thread> threads;
+  threads.reserve(world_size);
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  for (int r = 0; r < world_size; ++r) {
+    threads.emplace_back([&world, &body, &error_mutex, &first_error, r] {
+      Communicator comm(world, r);
+      try {
+        body(comm);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace rmp::parallel

@@ -1,0 +1,48 @@
+// Minimal fixed-size thread pool with a parallel_for helper.
+//
+// Used to compress independent subdomains concurrently (the N-to-N
+// pattern of Table IV).  On a single-core host it degrades gracefully to
+// near-serial execution.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace rmp::parallel {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t workers = std::thread::hardware_concurrency());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; the returned future reports completion/exceptions.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Run body(i) for i in [0, count), blocking until all complete.  Any
+  /// exception from a body is rethrown (first one wins).
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  bool stopping_ = false;
+};
+
+}  // namespace rmp::parallel

@@ -1,0 +1,212 @@
+#include "sim/datasets.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/heat.hpp"
+#include "sim/laplace.hpp"
+#include "sim/md.hpp"
+#include "sim/sedov.hpp"
+#include "sim/synthetic.hpp"
+#include "sim/wave.hpp"
+
+namespace rmp::sim {
+namespace {
+
+std::size_t scaled(std::size_t base, double scale, std::size_t minimum) {
+  const auto value =
+      static_cast<std::size_t>(std::lround(static_cast<double>(base) * scale));
+  return std::max(minimum, value);
+}
+
+HeatConfig heat_config(double scale) {
+  HeatConfig config;
+  config.n = scaled(48, scale, 16);
+  config.steps = scaled(800, scale, 100);
+  // Off-center blob: the solution is no longer mid-plane symmetric, so
+  // one-base deltas are large in magnitude but smooth -- the regime the
+  // paper's production Heat3d data lives in.
+  config.hot_center_z = 0.62;
+  return config;
+}
+
+LaplaceConfig laplace_config(double scale) {
+  LaplaceConfig config;
+  config.n = scaled(48, scale, 16);
+  config.max_sweeps = scaled(1200, scale, 100);
+  return config;
+}
+
+WaveConfig wave_config(double scale) {
+  WaveConfig config;
+  config.n = scaled(4096, scale, 256);
+  config.steps = scaled(1500, scale, 100);
+  return config;
+}
+
+MdConfig md_config(double scale, bool umbrella, bool virtual_sites) {
+  MdConfig config;
+  config.atoms = scaled(512, scale, 128);
+  config.steps = scaled(150, scale, 40);
+  config.umbrella = umbrella;
+  config.virtual_sites = virtual_sites;
+  return config;
+}
+
+}  // namespace
+
+HeatConfig registry_heat_config(double scale) { return heat_config(scale); }
+
+LaplaceConfig registry_laplace_config(double scale) {
+  return laplace_config(scale);
+}
+
+const std::vector<DatasetId>& all_datasets() {
+  static const std::vector<DatasetId> ids = {
+      DatasetId::kHeat3d,   DatasetId::kLaplace,      DatasetId::kWave,
+      DatasetId::kUmbrella, DatasetId::kVirtualSites, DatasetId::kAstro,
+      DatasetId::kFish,     DatasetId::kSedovPres,    DatasetId::kYf17Temp};
+  return ids;
+}
+
+std::string dataset_name(DatasetId id) {
+  switch (id) {
+    case DatasetId::kHeat3d: return "Heat3d";
+    case DatasetId::kLaplace: return "Laplace";
+    case DatasetId::kWave: return "Wave";
+    case DatasetId::kUmbrella: return "Umbrella";
+    case DatasetId::kVirtualSites: return "Virtual_sites";
+    case DatasetId::kAstro: return "Astro";
+    case DatasetId::kFish: return "Fish";
+    case DatasetId::kSedovPres: return "Sedov_pres";
+    case DatasetId::kYf17Temp: return "Yf17_temp";
+  }
+  throw std::invalid_argument("dataset_name: unknown id");
+}
+
+DatasetPair make_dataset(DatasetId id, double scale) {
+  DatasetPair pair;
+  pair.id = id;
+  pair.name = dataset_name(id);
+
+  switch (id) {
+    case DatasetId::kHeat3d: {
+      // Reduced model: problem size scaled down 4x per dimension.
+      HeatConfig full = heat_config(scale);
+      pair.full = heat3d_run(full);
+      HeatConfig reduced = full;
+      reduced.n = std::max<std::size_t>(8, full.n / 4);
+      reduced.steps = std::max<std::size_t>(25, full.steps / 16);
+      pair.reduced = heat3d_run(reduced);
+      break;
+    }
+    case DatasetId::kLaplace: {
+      LaplaceConfig full = laplace_config(scale);
+      pair.full = laplace3d_run(full);
+      LaplaceConfig reduced = full;
+      reduced.n = std::max<std::size_t>(8, full.n / 4);
+      pair.reduced = laplace3d_run(reduced);
+      break;
+    }
+    case DatasetId::kWave: {
+      WaveConfig full = wave_config(scale);
+      pair.full = wave1d_run(full);
+      WaveConfig reduced = full;
+      reduced.n = std::max<std::size_t>(64, full.n / 4);
+      reduced.steps = std::max<std::size_t>(25, full.steps / 4);
+      pair.reduced = wave1d_run(reduced);
+      break;
+    }
+    case DatasetId::kUmbrella: {
+      // Reduced model: a quarter of the atoms (paper: 1960 vs 490).
+      MdConfig full = md_config(scale, /*umbrella=*/true, false);
+      pair.full = md_run_positions(full);
+      MdConfig reduced = full;
+      reduced.atoms = std::max<std::size_t>(64, full.atoms / 4);
+      pair.reduced = md_run_positions(reduced);
+      break;
+    }
+    case DatasetId::kVirtualSites: {
+      MdConfig full = md_config(scale, false, /*virtual_sites=*/true);
+      pair.full = md_run_positions(full);
+      MdConfig reduced = full;
+      reduced.atoms = std::max<std::size_t>(64, full.atoms / 4);
+      pair.reduced = md_run_positions(reduced);
+      break;
+    }
+    case DatasetId::kAstro: {
+      AstroConfig full;
+      full.n = scaled(48, scale, 16);
+      pair.full = astro_velocity_field(full);
+      AstroConfig reduced = full;
+      reduced.n = std::max<std::size_t>(8, full.n / 2);
+      reduced.domain = 0.5;
+      reduced.time = 0.5;
+      pair.reduced = astro_velocity_field(reduced);
+      break;
+    }
+    case DatasetId::kFish: {
+      FishConfig full;
+      full.n = scaled(48, scale, 16);
+      pair.full = fish_velocity_field(full);
+      FishConfig reduced = full;
+      reduced.n = std::max<std::size_t>(8, full.n / 2);
+      reduced.domain = 0.5;
+      reduced.time = 0.5;
+      pair.reduced = fish_velocity_field(reduced);
+      break;
+    }
+    case DatasetId::kSedovPres: {
+      SedovConfig full;
+      full.n = scaled(48, scale, 16);
+      full.domain = 1.0;
+      full.time = 1.0;  // paper: 20000 steps
+      pair.full = sedov_pressure_field(full);
+      SedovConfig reduced = full;
+      reduced.n = std::max<std::size_t>(8, full.n / 2);
+      reduced.domain = 0.5;  // paper: (0.5, 0.5, 0.5)
+      reduced.time = 0.5;    // paper: 10000 steps
+      pair.reduced = sedov_pressure_field(reduced);
+      break;
+    }
+    case DatasetId::kYf17Temp: {
+      Yf17Config full;
+      full.n = scaled(48, scale, 16);
+      pair.full = yf17_temperature_field(full);
+      Yf17Config reduced = full;
+      reduced.n = std::max<std::size_t>(8, full.n / 2);
+      reduced.domain = 0.5;
+      reduced.time = 0.5;
+      pair.reduced = yf17_temperature_field(reduced);
+      break;
+    }
+  }
+  return pair;
+}
+
+std::vector<DatasetPair> make_all_datasets(double scale) {
+  std::vector<DatasetPair> pairs;
+  pairs.reserve(all_datasets().size());
+  for (DatasetId id : all_datasets()) {
+    pairs.push_back(make_dataset(id, scale));
+  }
+  return pairs;
+}
+
+std::vector<Field> make_snapshots(DatasetId id, std::size_t count,
+                                  double scale) {
+  switch (id) {
+    case DatasetId::kHeat3d:
+      return heat3d_snapshots(heat_config(scale), count);
+    case DatasetId::kLaplace:
+      return laplace3d_snapshots(laplace_config(scale), count);
+    case DatasetId::kWave:
+      return wave1d_snapshots(wave_config(scale), count);
+    default:
+      throw std::invalid_argument(
+          "make_snapshots: only Heat3d/Laplace/Wave evolve in time");
+  }
+}
+
+}  // namespace rmp::sim

@@ -1,0 +1,129 @@
+#include "sim/field.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rmp::sim {
+
+Field Field::from_data(std::size_t nx, std::size_t ny, std::size_t nz,
+                       std::vector<double> data) {
+  if (data.size() != nx * ny * nz) {
+    throw std::invalid_argument("Field::from_data: size does not match shape");
+  }
+  Field f;
+  f.nx_ = nx;
+  f.ny_ = ny;
+  f.nz_ = nz;
+  f.data_ = std::move(data);
+  return f;
+}
+
+Field extract_z_plane(const Field& f, std::size_t k) {
+  if (k >= f.nz()) {
+    throw std::out_of_range("extract_z_plane: k out of range");
+  }
+  Field plane(f.nx(), f.ny(), 1);
+  for (std::size_t i = 0; i < f.nx(); ++i) {
+    for (std::size_t j = 0; j < f.ny(); ++j) {
+      plane.at(i, j) = f.at(i, j, k);
+    }
+  }
+  return plane;
+}
+
+namespace {
+
+void check_same_shape(const Field& a, const Field& b, const char* what) {
+  if (a.nx() != b.nx() || a.ny() != b.ny() || a.nz() != b.nz()) {
+    throw std::invalid_argument(std::string(what) + ": shapes differ");
+  }
+}
+
+}  // namespace
+
+Field subtract(const Field& a, const Field& b) {
+  check_same_shape(a, b, "subtract");
+  Field out = a;
+  auto ob = out.flat();
+  const auto bb = b.flat();
+  for (std::size_t n = 0; n < ob.size(); ++n) ob[n] -= bb[n];
+  return out;
+}
+
+Field add(const Field& a, const Field& b) {
+  check_same_shape(a, b, "add");
+  Field out = a;
+  auto ob = out.flat();
+  const auto bb = b.flat();
+  for (std::size_t n = 0; n < ob.size(); ++n) ob[n] += bb[n];
+  return out;
+}
+
+Field downsample(const Field& f, std::size_t fx, std::size_t fy,
+                 std::size_t fz) {
+  if (fx == 0 || fy == 0 || fz == 0) {
+    throw std::invalid_argument("downsample: zero factor");
+  }
+  // Ceil division keeps the last grid point in range, which aligns the
+  // coarse grid with upsample_linear's endpoint-stretch mapping.
+  const std::size_t nx = std::max<std::size_t>(1, (f.nx() + fx - 1) / fx);
+  const std::size_t ny = std::max<std::size_t>(1, (f.ny() + fy - 1) / fy);
+  const std::size_t nz = std::max<std::size_t>(1, (f.nz() + fz - 1) / fz);
+  Field out(nx, ny, nz);
+  for (std::size_t i = 0; i < nx; ++i) {
+    for (std::size_t j = 0; j < ny; ++j) {
+      for (std::size_t k = 0; k < nz; ++k) {
+        out.at(i, j, k) = f.at(std::min(i * fx, f.nx() - 1),
+                               std::min(j * fy, f.ny() - 1),
+                               std::min(k * fz, f.nz() - 1));
+      }
+    }
+  }
+  return out;
+}
+
+Field upsample_linear(const Field& f, std::size_t nx, std::size_t ny,
+                      std::size_t nz) {
+  if (f.empty()) throw std::invalid_argument("upsample_linear: empty field");
+  Field out(nx, ny, nz);
+
+  auto sample_axis = [](std::size_t out_i, std::size_t out_n, std::size_t in_n)
+      -> std::pair<std::size_t, double> {
+    if (in_n <= 1 || out_n <= 1) return {0, 0.0};
+    // Map output index to continuous input coordinate covering the range.
+    const double pos = static_cast<double>(out_i) *
+                       static_cast<double>(in_n - 1) /
+                       static_cast<double>(out_n - 1);
+    const std::size_t i0 = std::min(static_cast<std::size_t>(pos), in_n - 2);
+    return {i0, pos - static_cast<double>(i0)};
+  };
+
+  for (std::size_t i = 0; i < nx; ++i) {
+    const auto [x0, tx] = sample_axis(i, nx, f.nx());
+    for (std::size_t j = 0; j < ny; ++j) {
+      const auto [y0, ty] = sample_axis(j, ny, f.ny());
+      for (std::size_t k = 0; k < nz; ++k) {
+        const auto [z0, tz] = sample_axis(k, nz, f.nz());
+        const std::size_t x1 = std::min(x0 + 1, f.nx() - 1);
+        const std::size_t y1 = std::min(y0 + 1, f.ny() - 1);
+        const std::size_t z1 = std::min(z0 + 1, f.nz() - 1);
+        // Trilinear blend of the 8 surrounding samples.
+        const double c000 = f.at(x0, y0, z0), c001 = f.at(x0, y0, z1);
+        const double c010 = f.at(x0, y1, z0), c011 = f.at(x0, y1, z1);
+        const double c100 = f.at(x1, y0, z0), c101 = f.at(x1, y0, z1);
+        const double c110 = f.at(x1, y1, z0), c111 = f.at(x1, y1, z1);
+        const double c00 = c000 * (1 - tz) + c001 * tz;
+        const double c01 = c010 * (1 - tz) + c011 * tz;
+        const double c10 = c100 * (1 - tz) + c101 * tz;
+        const double c11 = c110 * (1 - tz) + c111 * tz;
+        const double c0 = c00 * (1 - ty) + c01 * ty;
+        const double c1 = c10 * (1 - ty) + c11 * ty;
+        out.at(i, j, k) = c0 * (1 - tx) + c1 * tx;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace rmp::sim

@@ -1,0 +1,71 @@
+// Regular-grid scalar field: the common output type of every data
+// generator in src/sim and the input type of every preconditioner.
+//
+// Layout is row-major with z fastest: index = (i*ny + j)*nz + k.  1D and
+// 2D fields simply use ny == 1 / nz == 1.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rmp::sim {
+
+class Field {
+ public:
+  Field() = default;
+  Field(std::size_t nx, std::size_t ny, std::size_t nz, double init = 0.0)
+      : nx_(nx), ny_(ny), nz_(nz), data_(nx * ny * nz, init) {}
+
+  static Field from_data(std::size_t nx, std::size_t ny, std::size_t nz,
+                         std::vector<double> data);
+
+  std::size_t nx() const noexcept { return nx_; }
+  std::size_t ny() const noexcept { return ny_; }
+  std::size_t nz() const noexcept { return nz_; }
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  unsigned rank() const noexcept {
+    if (nz_ > 1) return 3;
+    if (ny_ > 1) return 2;
+    return 1;
+  }
+
+  double& at(std::size_t i, std::size_t j = 0, std::size_t k = 0) noexcept {
+    return data_[(i * ny_ + j) * nz_ + k];
+  }
+  double at(std::size_t i, std::size_t j = 0, std::size_t k = 0) const noexcept {
+    return data_[(i * ny_ + j) * nz_ + k];
+  }
+
+  std::span<double> flat() noexcept { return data_; }
+  std::span<const double> flat() const noexcept { return data_; }
+  std::vector<double>& storage() noexcept { return data_; }
+  const std::vector<double>& storage() const noexcept { return data_; }
+
+ private:
+  std::size_t nx_ = 0;
+  std::size_t ny_ = 1;
+  std::size_t nz_ = 1;
+  std::vector<double> data_;
+};
+
+/// Extract the z = k plane of a 3D field as an nx x ny 2D field.
+Field extract_z_plane(const Field& f, std::size_t k);
+
+/// Element-wise a - b; shapes must match.
+Field subtract(const Field& a, const Field& b);
+
+/// Element-wise a + b; shapes must match.
+Field add(const Field& a, const Field& b);
+
+/// Downsample by integer factors (point sampling).
+Field downsample(const Field& f, std::size_t fx, std::size_t fy, std::size_t fz);
+
+/// Upsample to an explicit target shape with (tri)linear interpolation --
+/// the reconstruction step of the DuoModel baseline.
+Field upsample_linear(const Field& f, std::size_t nx, std::size_t ny,
+                      std::size_t nz);
+
+}  // namespace rmp::sim

@@ -1,0 +1,447 @@
+#include "sim/heat.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+
+#include "parallel/decomposition.hpp"
+#include "parallel/msgpass.hpp"
+
+namespace rmp::sim {
+namespace {
+
+double sq(double v) { return v * v; }
+
+// One explicit 3D diffusion step on the interior; boundaries stay fixed.
+void step3d(const Field& u, Field& next, double coeff) {
+  const std::size_t n = u.nx();
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    for (std::size_t j = 1; j + 1 < n; ++j) {
+      for (std::size_t k = 1; k + 1 < n; ++k) {
+        const double center = u.at(i, j, k);
+        const double lap = u.at(i + 1, j, k) + u.at(i - 1, j, k) +
+                           u.at(i, j + 1, k) + u.at(i, j - 1, k) +
+                           u.at(i, j, k + 1) + u.at(i, j, k - 1) -
+                           6.0 * center;
+        next.at(i, j, k) = center + coeff * lap;
+      }
+    }
+  }
+}
+
+void step2d(const Field& u, Field& next, double coeff) {
+  const std::size_t n = u.nx();
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    for (std::size_t j = 1; j + 1 < n; ++j) {
+      const double center = u.at(i, j);
+      const double lap = u.at(i + 1, j) + u.at(i - 1, j) + u.at(i, j + 1) +
+                         u.at(i, j - 1) - 4.0 * center;
+      next.at(i, j) = center + coeff * lap;
+    }
+  }
+}
+
+}  // namespace
+
+double heat_stable_dt(double h, unsigned dimensions, double kappa) {
+  return h * h / (2.0 * static_cast<double>(dimensions) * kappa);
+}
+
+namespace {
+
+// Centered coordinate that is *bitwise* symmetric under i -> n-1-i: the
+// numerator 2i-(n-1) is an exact integer, so mirrored grid points get
+// exactly opposite values and the initial hot sphere is exactly
+// reflection-symmetric (the physics tests rely on this).
+double centered(std::size_t i, std::size_t n) {
+  return static_cast<double>(2 * static_cast<std::ptrdiff_t>(i) -
+                             static_cast<std::ptrdiff_t>(n - 1)) /
+         (2.0 * static_cast<double>(n - 1));
+}
+
+}  // namespace
+
+Field heat3d_initial(const HeatConfig& config) {
+  const std::size_t n = config.n;
+  Field u(n, n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t k = 0; k < n; ++k) {
+        // Same exact-symmetry treatment along z (an offset of zero keeps
+        // the mid-plane an exact symmetry plane, §IV's premise).
+        const double dz = centered(k, n) - (config.hot_center_z - 0.5);
+        const double r2 =
+            sq(centered(i, n)) + sq(centered(j, n)) + sq(dz);
+        if (r2 <= sq(config.hot_radius)) u.at(i, j, k) = config.hot_value;
+      }
+    }
+  }
+  return u;
+}
+
+Field heat2d_initial(const HeatConfig& config) {
+  const std::size_t n = config.n;
+  Field u(n, n, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double r2 = sq(centered(i, n)) + sq(centered(j, n));
+      if (r2 <= sq(config.hot_radius)) u.at(i, j) = config.hot_value;
+    }
+  }
+  return u;
+}
+
+Field heat3d_run(const HeatConfig& config) {
+  Field u = heat3d_initial(config);
+  Field next = u;
+  const double h = 1.0 / static_cast<double>(config.n - 1);
+  const double dt = config.cfl_safety * heat_stable_dt(h, 3, config.kappa);
+  const double coeff = config.kappa * dt / (h * h);
+  for (std::size_t s = 0; s < config.steps; ++s) {
+    step3d(u, next, coeff);
+    std::swap(u, next);
+  }
+  return u;
+}
+
+Field heat2d_run(const HeatConfig& config) {
+  Field u = heat2d_initial(config);
+  Field next = u;
+  const double h = 1.0 / static_cast<double>(config.n - 1);
+  const double dt3 = config.cfl_safety * heat_stable_dt(h, 3, config.kappa);
+  const double dt2 = config.cfl_safety * heat_stable_dt(h, 2, config.kappa);
+  // Cover the same physical time horizon as the 3D run with larger steps.
+  const double horizon = dt3 * static_cast<double>(config.steps);
+  const auto steps2 =
+      static_cast<std::size_t>(std::ceil(horizon / dt2));
+  const double dt = horizon / static_cast<double>(steps2 == 0 ? 1 : steps2);
+  const double coeff = config.kappa * dt / (h * h);
+  for (std::size_t s = 0; s < steps2; ++s) {
+    step2d(u, next, coeff);
+    std::swap(u, next);
+  }
+  return u;
+}
+
+std::vector<Field> heat3d_snapshots(const HeatConfig& config,
+                                    std::size_t count) {
+  if (count == 0) return {};
+  std::vector<Field> snapshots;
+  snapshots.reserve(count);
+
+  Field u = heat3d_initial(config);
+  Field next = u;
+  const double h = 1.0 / static_cast<double>(config.n - 1);
+  const double dt = config.cfl_safety * heat_stable_dt(h, 3, config.kappa);
+  const double coeff = config.kappa * dt / (h * h);
+
+  // Snapshot after ceil(steps * (s+1)/count) steps, covering the lifetime.
+  std::size_t taken = 0;
+  for (std::size_t s = 0; s < config.steps; ++s) {
+    step3d(u, next, coeff);
+    std::swap(u, next);
+    const std::size_t due =
+        (s + 1) * count / (config.steps == 0 ? 1 : config.steps);
+    while (taken < due && taken < count) {
+      snapshots.push_back(u);
+      ++taken;
+    }
+  }
+  while (taken < count) {
+    snapshots.push_back(u);
+    ++taken;
+  }
+  return snapshots;
+}
+
+std::vector<Field> heat3d_coarse_snapshots(const HeatConfig& config,
+                                           std::size_t factor,
+                                           std::size_t count) {
+  HeatConfig coarse = config;
+  coarse.n = std::max<std::size_t>(8, config.n / std::max<std::size_t>(1, factor));
+  // Match the physical horizon: steps' = horizon / dt'.
+  const double h_full = 1.0 / static_cast<double>(config.n - 1);
+  const double h_coarse = 1.0 / static_cast<double>(coarse.n - 1);
+  const double dt_full =
+      config.cfl_safety * heat_stable_dt(h_full, 3, config.kappa);
+  const double dt_coarse =
+      coarse.cfl_safety * heat_stable_dt(h_coarse, 3, coarse.kappa);
+  const double horizon = dt_full * static_cast<double>(config.steps);
+  coarse.steps = std::max<std::size_t>(
+      count, static_cast<std::size_t>(std::ceil(horizon / dt_coarse)));
+  return heat3d_snapshots(coarse, count);
+}
+
+Field heat3d_run_parallel(const HeatConfig& config, int ranks) {
+  const std::size_t n = config.n;
+  if (ranks <= 0 || static_cast<std::size_t>(ranks) > n - 2) {
+    throw std::invalid_argument("heat3d_run_parallel: bad rank count");
+  }
+  const Field initial = heat3d_initial(config);
+  const double h = 1.0 / static_cast<double>(n - 1);
+  const double dt = config.cfl_safety * heat_stable_dt(h, 3, config.kappa);
+  const double coeff = config.kappa * dt / (h * h);
+
+  parallel::CartesianDecomposition decomp({n, n, n},
+                                          {ranks, 1, 1});
+  Field result(n, n, n);
+
+  parallel::run_ranks(ranks, [&](parallel::Communicator& comm) {
+    const auto box = decomp.local_box(comm.rank());
+    const std::size_t x0 = box[0].begin;
+    const std::size_t local_nx = box[0].count();
+    // Local slab with one halo layer on each X side.
+    const std::size_t hx = local_nx + 2;
+    Field u(hx, n, n);
+    Field next(hx, n, n);
+    // Fill from the global initial condition (halo included when interior).
+    for (std::size_t li = 0; li < hx; ++li) {
+      const std::ptrdiff_t gi =
+          static_cast<std::ptrdiff_t>(x0 + li) - 1;
+      if (gi < 0 || gi >= static_cast<std::ptrdiff_t>(n)) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t k = 0; k < n; ++k) {
+          u.at(li, j, k) = initial.at(static_cast<std::size_t>(gi), j, k);
+        }
+      }
+    }
+    next = u;
+
+    const int left = decomp.neighbor(comm.rank(), 0, -1);
+    const int right = decomp.neighbor(comm.rank(), 0, +1);
+    const std::size_t plane_size = n * n;
+    std::vector<double> plane(plane_size);
+
+    auto copy_plane_out = [&](std::size_t li, std::vector<double>& buffer) {
+      for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t k = 0; k < n; ++k) {
+          buffer[j * n + k] = u.at(li, j, k);
+        }
+      }
+    };
+    auto copy_plane_in = [&](std::size_t li, const std::vector<double>& buffer) {
+      for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t k = 0; k < n; ++k) {
+          u.at(li, j, k) = buffer[j * n + k];
+        }
+      }
+    };
+
+    for (std::size_t s = 0; s < config.steps; ++s) {
+      // Halo exchange: even ranks send first to avoid send/recv cycles...
+      // the runtime buffers sends, so a simple send-then-recv works.
+      if (left >= 0) {
+        copy_plane_out(1, plane);
+        comm.send<double>(left, 10, plane);
+      }
+      if (right >= 0) {
+        copy_plane_out(hx - 2, plane);
+        comm.send<double>(right, 11, plane);
+      }
+      if (left >= 0) {
+        const auto in = comm.recv<double>(left, 11);
+        copy_plane_in(0, in);
+      }
+      if (right >= 0) {
+        const auto in = comm.recv<double>(right, 10);
+        copy_plane_in(hx - 1, in);
+      }
+
+      // Update interior.  Global boundary planes (x = 0 and x = n-1) are
+      // Dirichlet and must not be touched.
+      for (std::size_t li = 1; li + 1 < hx; ++li) {
+        const std::size_t gi = x0 + li - 1;
+        if (gi == 0 || gi == n - 1) continue;
+        for (std::size_t j = 1; j + 1 < n; ++j) {
+          for (std::size_t k = 1; k + 1 < n; ++k) {
+            const double center = u.at(li, j, k);
+            const double lap = u.at(li + 1, j, k) + u.at(li - 1, j, k) +
+                               u.at(li, j + 1, k) + u.at(li, j - 1, k) +
+                               u.at(li, j, k + 1) + u.at(li, j, k - 1) -
+                               6.0 * center;
+            next.at(li, j, k) = center + coeff * lap;
+          }
+        }
+      }
+      // Keep boundary/halo cells consistent in `next` before the swap.
+      for (std::size_t li = 0; li < hx; ++li) {
+        const std::size_t gi = x0 + li;
+        const bool boundary_plane = (li == 0 || li == hx - 1) ||
+                                    (gi - 1 == 0) || (gi - 1 == n - 1);
+        if (!boundary_plane) continue;
+        for (std::size_t j = 0; j < n; ++j) {
+          for (std::size_t k = 0; k < n; ++k) {
+            next.at(li, j, k) = u.at(li, j, k);
+          }
+        }
+      }
+      // Edge columns (j or k boundaries) stay fixed as well.
+      for (std::size_t li = 1; li + 1 < hx; ++li) {
+        for (std::size_t j = 0; j < n; ++j) {
+          next.at(li, j, 0) = u.at(li, j, 0);
+          next.at(li, j, n - 1) = u.at(li, j, n - 1);
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          next.at(li, 0, k) = u.at(li, 0, k);
+          next.at(li, n - 1, k) = u.at(li, n - 1, k);
+        }
+      }
+      std::swap(u, next);
+    }
+
+    // Gather local interiors at rank 0.
+    std::vector<double> local(local_nx * plane_size);
+    for (std::size_t li = 0; li < local_nx; ++li) {
+      for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t k = 0; k < n; ++k) {
+          local[(li * n + j) * n + k] = u.at(li + 1, j, k);
+        }
+      }
+    }
+    const auto all = comm.gather<double>(local, 0);
+    if (comm.rank() == 0) {
+      result = Field::from_data(n, n, n, all);
+    }
+  });
+  return result;
+}
+
+Field heat3d_run_parallel_3d(const HeatConfig& config,
+                             std::array<int, 3> procs) {
+  const std::size_t n = config.n;
+  const int ranks = procs[0] * procs[1] * procs[2];
+  for (int p : procs) {
+    if (p <= 0 || static_cast<std::size_t>(p) > n - 2) {
+      throw std::invalid_argument("heat3d_run_parallel_3d: bad proc grid");
+    }
+  }
+  const Field initial = heat3d_initial(config);
+  const double h = 1.0 / static_cast<double>(n - 1);
+  const double dt = config.cfl_safety * heat_stable_dt(h, 3, config.kappa);
+  const double coeff = config.kappa * dt / (h * h);
+
+  parallel::CartesianDecomposition decomp({n, n, n}, procs);
+  Field result(n, n, n);
+  std::mutex result_mutex;
+
+  parallel::run_ranks(ranks, [&](parallel::Communicator& comm) {
+    const auto box = decomp.local_box(comm.rank());
+    const std::size_t ox = box[0].begin, oy = box[1].begin, oz = box[2].begin;
+    const std::size_t lx = box[0].count(), ly = box[1].count(),
+                      lz = box[2].count();
+    // Local box plus one halo layer on every side.
+    const std::size_t hx = lx + 2, hy = ly + 2, hz = lz + 2;
+    Field u(hx, hy, hz);
+    for (std::size_t i = 0; i < hx; ++i) {
+      const std::ptrdiff_t gi = static_cast<std::ptrdiff_t>(ox + i) - 1;
+      if (gi < 0 || gi >= static_cast<std::ptrdiff_t>(n)) continue;
+      for (std::size_t j = 0; j < hy; ++j) {
+        const std::ptrdiff_t gj = static_cast<std::ptrdiff_t>(oy + j) - 1;
+        if (gj < 0 || gj >= static_cast<std::ptrdiff_t>(n)) continue;
+        for (std::size_t k = 0; k < hz; ++k) {
+          const std::ptrdiff_t gk = static_cast<std::ptrdiff_t>(oz + k) - 1;
+          if (gk < 0 || gk >= static_cast<std::ptrdiff_t>(n)) continue;
+          u.at(i, j, k) = initial.at(static_cast<std::size_t>(gi),
+                                     static_cast<std::size_t>(gj),
+                                     static_cast<std::size_t>(gk));
+        }
+      }
+    }
+    Field next = u;
+
+    // Face extents (local coordinates, interior region 1..l*).
+    struct Face {
+      std::size_t dim;   // 0=x, 1=y, 2=z
+      int step;          // -1 or +1
+      int tag;
+    };
+    const Face faces[6] = {{0, -1, 20}, {0, +1, 21}, {1, -1, 22},
+                           {1, +1, 23}, {2, -1, 24}, {2, +1, 25}};
+
+    auto face_plane = [&](std::size_t dim, std::size_t fixed,
+                          std::vector<double>& buffer, bool read) {
+      // Gather or scatter the plane at local index `fixed` along `dim`.
+      const std::size_t da = dim == 0 ? hy : hx;
+      const std::size_t db = dim == 2 ? hy : hz;
+      buffer.resize(da * db);
+      std::size_t idx = 0;
+      for (std::size_t a = 0; a < da; ++a) {
+        for (std::size_t b = 0; b < db; ++b, ++idx) {
+          std::size_t i = dim == 0 ? fixed : a;
+          std::size_t j = dim == 1 ? fixed : (dim == 0 ? a : b);
+          std::size_t k = dim == 2 ? fixed : b;
+          if (read) {
+            buffer[idx] = u.at(i, j, k);
+          } else {
+            u.at(i, j, k) = buffer[idx];
+          }
+        }
+      }
+    };
+
+    std::vector<double> buffer;
+    for (std::size_t s = 0; s < config.steps; ++s) {
+      // Halo exchange on every face with a neighbor; the runtime buffers
+      // sends, so send-all-then-receive-all is deadlock-free.
+      for (const Face& face : faces) {
+        const int neighbor = decomp.neighbor(comm.rank(), face.dim, face.step);
+        if (neighbor < 0) continue;
+        const std::size_t extent =
+            face.dim == 0 ? lx : (face.dim == 1 ? ly : lz);
+        const std::size_t inner = face.step < 0 ? 1 : extent;
+        face_plane(face.dim, inner, buffer, /*read=*/true);
+        comm.send<double>(neighbor, face.tag, buffer);
+      }
+      for (const Face& face : faces) {
+        const int neighbor = decomp.neighbor(comm.rank(), face.dim, face.step);
+        if (neighbor < 0) continue;
+        const std::size_t extent =
+            face.dim == 0 ? lx : (face.dim == 1 ? ly : lz);
+        const std::size_t halo = face.step < 0 ? 0 : extent + 1;
+        // Matching tag: the neighbor sent from its opposite face.
+        const int matching_tag = face.step < 0 ? face.tag + 1 : face.tag - 1;
+        auto incoming = comm.recv_bytes(neighbor, matching_tag);
+        buffer.resize(incoming.size() / sizeof(double));
+        std::memcpy(buffer.data(), incoming.data(), incoming.size());
+        face_plane(face.dim, halo, buffer, /*read=*/false);
+      }
+
+      // Interior update; global Dirichlet boundaries stay fixed.
+      for (std::size_t i = 1; i <= lx; ++i) {
+        const std::size_t gi = ox + i - 1;
+        for (std::size_t j = 1; j <= ly; ++j) {
+          const std::size_t gj = oy + j - 1;
+          for (std::size_t k = 1; k <= lz; ++k) {
+            const std::size_t gk = oz + k - 1;
+            if (gi == 0 || gi == n - 1 || gj == 0 || gj == n - 1 ||
+                gk == 0 || gk == n - 1) {
+              next.at(i, j, k) = u.at(i, j, k);
+              continue;
+            }
+            const double center = u.at(i, j, k);
+            const double lap = u.at(i + 1, j, k) + u.at(i - 1, j, k) +
+                               u.at(i, j + 1, k) + u.at(i, j - 1, k) +
+                               u.at(i, j, k + 1) + u.at(i, j, k - 1) -
+                               6.0 * center;
+            next.at(i, j, k) = center + coeff * lap;
+          }
+        }
+      }
+      std::swap(u, next);
+    }
+
+    // Deposit the local interior into the shared result (disjoint boxes).
+    std::lock_guard lock(result_mutex);
+    for (std::size_t i = 1; i <= lx; ++i) {
+      for (std::size_t j = 1; j <= ly; ++j) {
+        for (std::size_t k = 1; k <= lz; ++k) {
+          result.at(ox + i - 1, oy + j - 1, oz + k - 1) = u.at(i, j, k);
+        }
+      }
+    }
+  });
+  return result;
+}
+
+}  // namespace rmp::sim

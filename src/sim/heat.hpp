@@ -1,0 +1,75 @@
+// Heat equation solvers (paper §IV-A).
+//
+// Full model: 3D explicit central-difference diffusion on a unit cube,
+// Dirichlet-0 boundaries, initial hot sphere in the center.  Reduced
+// model: the projection of the same problem onto 2D (Z conduction
+// dropped), exactly the paper's equation (3).  The time step honors the
+// stability condition; the 2D model takes correspondingly larger steps.
+//
+// run_parallel() executes the same full model over the in-process
+// message-passing runtime with a 1D slab decomposition and halo exchange,
+// mirroring the MPI structure of the paper's Heat3d.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "sim/field.hpp"
+
+namespace rmp::sim {
+
+struct HeatConfig {
+  std::size_t n = 48;        ///< grid points per dimension
+  double kappa = 1.0;        ///< thermal conductivity
+  double hot_radius = 0.25;  ///< radius of the initial hot sphere (unit cube)
+  double hot_value = 100.0;
+  /// Z coordinate of the hot-sphere center.  0.5 gives the perfectly
+  /// mid-plane-symmetric solution of the §IV case study; the dataset
+  /// registry offsets it so one-base deltas are "large in absolute value
+  /// but small in variation" like the paper's production Heat3d.
+  double hot_center_z = 0.5;
+  std::size_t steps = 2000;
+  /// Safety factor applied to the stability-limited time step.
+  double cfl_safety = 0.9;
+};
+
+/// Stability-limited explicit time step for a d-dimensional grid with
+/// spacing h: dt <= h^2 / (2 * d * kappa).
+double heat_stable_dt(double h, unsigned dimensions, double kappa);
+
+/// Initial condition of the full (3D) model.
+Field heat3d_initial(const HeatConfig& config);
+
+/// Initial condition of the projected (2D) model.
+Field heat2d_initial(const HeatConfig& config);
+
+/// Advance the full model `steps` steps; returns the final state.
+Field heat3d_run(const HeatConfig& config);
+
+/// Advance the projected 2D model over the same physical time horizon as
+/// heat3d_run (larger dt, fewer steps).
+Field heat2d_run(const HeatConfig& config);
+
+/// `count` snapshots of the 3D run, uniformly spaced over the lifetime
+/// (used by Fig. 3/4, which average over 20 outputs).
+std::vector<Field> heat3d_snapshots(const HeatConfig& config, std::size_t count);
+
+/// Same full model, computed with `ranks` processes (slab decomposition
+/// along X with halo exchange).  Bit-compatible with heat3d_run.
+Field heat3d_run_parallel(const HeatConfig& config, int ranks);
+
+/// Full 3D Cartesian decomposition (the paper runs 8x8x8 ranks): every
+/// rank owns a box and exchanges halos on up to six faces per step.
+/// Bit-compatible with heat3d_run.
+Field heat3d_run_parallel_3d(const HeatConfig& config,
+                             std::array<int, 3> procs);
+
+/// Snapshots of a coarse (n/factor grid) 3D run covering the same
+/// physical-time horizon as heat3d_snapshots(config, count) -- the
+/// "light" simulation DuoModel re-runs instead of storing its output.
+std::vector<Field> heat3d_coarse_snapshots(const HeatConfig& config,
+                                           std::size_t factor,
+                                           std::size_t count);
+
+}  // namespace rmp::sim

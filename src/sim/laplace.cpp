@@ -1,0 +1,253 @@
+#include "sim/laplace.hpp"
+
+#include <cmath>
+#include <mutex>
+#include <numbers>
+#include <stdexcept>
+
+#include "parallel/decomposition.hpp"
+#include "parallel/msgpass.hpp"
+
+namespace rmp::sim {
+namespace {
+
+void apply_boundary_3d(Field& u, const LaplaceConfig& config) {
+  const std::size_t n = u.nx();
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t k = 0; k < n; ++k) {
+      // Heated patch: central band of the x = 0 face, z-modulated.
+      const double y = static_cast<double>(j) / static_cast<double>(n - 1);
+      const double z = static_cast<double>(k) / static_cast<double>(n - 1);
+      const bool in_band = y > 0.25 && y < 0.75;
+      const double amplitude =
+          config.hot_value *
+          (1.0 + config.z_modulation * std::sin(std::numbers::pi * z));
+      u.at(0, j, k) = in_band ? amplitude : 0.0;
+    }
+  }
+}
+
+void apply_boundary_2d(Field& u, const LaplaceConfig& config) {
+  const std::size_t n = u.nx();
+  for (std::size_t j = 0; j < n; ++j) {
+    const double y = static_cast<double>(j) / static_cast<double>(n - 1);
+    const bool in_band = y > 0.25 && y < 0.75;
+    u.at(0, j) = in_band ? config.hot_value : 0.0;
+  }
+}
+
+double jacobi_sweep_3d(const Field& u, Field& next) {
+  const std::size_t n = u.nx();
+  double max_change = 0.0;
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    for (std::size_t j = 1; j + 1 < n; ++j) {
+      for (std::size_t k = 1; k + 1 < n; ++k) {
+        const double value = (u.at(i + 1, j, k) + u.at(i - 1, j, k) +
+                              u.at(i, j + 1, k) + u.at(i, j - 1, k) +
+                              u.at(i, j, k + 1) + u.at(i, j, k - 1)) /
+                             6.0;
+        max_change = std::max(max_change, std::fabs(value - u.at(i, j, k)));
+        next.at(i, j, k) = value;
+      }
+    }
+  }
+  return max_change;
+}
+
+double jacobi_sweep_2d(const Field& u, Field& next) {
+  const std::size_t n = u.nx();
+  double max_change = 0.0;
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    for (std::size_t j = 1; j + 1 < n; ++j) {
+      const double value = (u.at(i + 1, j) + u.at(i - 1, j) + u.at(i, j + 1) +
+                            u.at(i, j - 1)) /
+                           4.0;
+      max_change = std::max(max_change, std::fabs(value - u.at(i, j)));
+      next.at(i, j) = value;
+    }
+  }
+  return max_change;
+}
+
+}  // namespace
+
+Field laplace3d_run(const LaplaceConfig& config) {
+  Field u(config.n, config.n, config.n);
+  apply_boundary_3d(u, config);
+  Field next = u;
+  for (std::size_t s = 0; s < config.max_sweeps; ++s) {
+    const double change = jacobi_sweep_3d(u, next);
+    std::swap(u, next);
+    if (change < config.tolerance) break;
+  }
+  return u;
+}
+
+Field laplace2d_run(const LaplaceConfig& config) {
+  Field u(config.n, config.n, 1);
+  apply_boundary_2d(u, config);
+  Field next = u;
+  for (std::size_t s = 0; s < config.max_sweeps; ++s) {
+    const double change = jacobi_sweep_2d(u, next);
+    std::swap(u, next);
+    if (change < config.tolerance) break;
+  }
+  return u;
+}
+
+std::vector<Field> laplace3d_coarse_snapshots(const LaplaceConfig& config,
+                                              std::size_t factor,
+                                              std::size_t count) {
+  LaplaceConfig coarse = config;
+  coarse.n =
+      std::max<std::size_t>(8, config.n / std::max<std::size_t>(1, factor));
+  // Jacobi error decays like exp(-c * sweeps / n^2): scale the sweep
+  // budget so the coarse run reaches the same convergence fractions.
+  const double ratio = static_cast<double>(coarse.n * coarse.n) /
+                       static_cast<double>(config.n * config.n);
+  coarse.max_sweeps = std::max<std::size_t>(
+      count, static_cast<std::size_t>(
+                 static_cast<double>(config.max_sweeps) * ratio));
+  coarse.tolerance = 0.0;  // run the full sweep budget for matched fractions
+  return laplace3d_snapshots(coarse, count);
+}
+
+std::vector<Field> laplace3d_snapshots(const LaplaceConfig& config,
+                                       std::size_t count) {
+  if (count == 0) return {};
+  std::vector<Field> snapshots;
+  snapshots.reserve(count);
+
+  Field u(config.n, config.n, config.n);
+  apply_boundary_3d(u, config);
+  Field next = u;
+  std::size_t taken = 0;
+  for (std::size_t s = 0; s < config.max_sweeps; ++s) {
+    jacobi_sweep_3d(u, next);
+    std::swap(u, next);
+    const std::size_t due = (s + 1) * count / config.max_sweeps;
+    while (taken < due && taken < count) {
+      snapshots.push_back(u);
+      ++taken;
+    }
+  }
+  while (taken < count) {
+    snapshots.push_back(u);
+    ++taken;
+  }
+  return snapshots;
+}
+
+Field laplace3d_run_parallel(const LaplaceConfig& config, int ranks) {
+  const std::size_t n = config.n;
+  if (ranks <= 0 || static_cast<std::size_t>(ranks) > n - 2) {
+    throw std::invalid_argument("laplace3d_run_parallel: bad rank count");
+  }
+  // The full boundary state: every rank initializes its slab from it.
+  Field initial(n, n, n);
+  apply_boundary_3d(initial, config);
+
+  parallel::CartesianDecomposition decomp({n, n, n}, {ranks, 1, 1});
+  Field result(n, n, n);
+  std::mutex result_mutex;
+
+  parallel::run_ranks(ranks, [&](parallel::Communicator& comm) {
+    const auto box = decomp.local_box(comm.rank());
+    const std::size_t x0 = box[0].begin;
+    const std::size_t lx = box[0].count();
+    const std::size_t hx = lx + 2;
+    Field u(hx, n, n);
+    for (std::size_t li = 0; li < hx; ++li) {
+      const std::ptrdiff_t gi = static_cast<std::ptrdiff_t>(x0 + li) - 1;
+      if (gi < 0 || gi >= static_cast<std::ptrdiff_t>(n)) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t k = 0; k < n; ++k) {
+          u.at(li, j, k) = initial.at(static_cast<std::size_t>(gi), j, k);
+        }
+      }
+    }
+    Field next = u;
+
+    const int left = decomp.neighbor(comm.rank(), 0, -1);
+    const int right = decomp.neighbor(comm.rank(), 0, +1);
+    std::vector<double> plane(n * n);
+    auto plane_out = [&](std::size_t li) {
+      for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t k = 0; k < n; ++k) plane[j * n + k] = u.at(li, j, k);
+      }
+    };
+    auto plane_in = [&](std::size_t li, const std::vector<double>& buffer) {
+      for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t k = 0; k < n; ++k) u.at(li, j, k) = buffer[j * n + k];
+      }
+    };
+
+    for (std::size_t s = 0; s < config.max_sweeps; ++s) {
+      if (left >= 0) {
+        plane_out(1);
+        comm.send<double>(left, 30, plane);
+      }
+      if (right >= 0) {
+        plane_out(hx - 2);
+        comm.send<double>(right, 31, plane);
+      }
+      if (left >= 0) plane_in(0, comm.recv<double>(left, 31));
+      if (right >= 0) plane_in(hx - 1, comm.recv<double>(right, 30));
+
+      double local_change = 0.0;
+      for (std::size_t li = 1; li + 1 < hx; ++li) {
+        const std::size_t gi = x0 + li - 1;
+        if (gi == 0 || gi == n - 1) {
+          for (std::size_t j = 0; j < n; ++j) {
+            for (std::size_t k = 0; k < n; ++k) {
+              next.at(li, j, k) = u.at(li, j, k);
+            }
+          }
+          continue;
+        }
+        for (std::size_t j = 0; j < n; ++j) {
+          for (std::size_t k = 0; k < n; ++k) {
+            if (j == 0 || j == n - 1 || k == 0 || k == n - 1) {
+              next.at(li, j, k) = u.at(li, j, k);
+              continue;
+            }
+            const double value =
+                (u.at(li + 1, j, k) + u.at(li - 1, j, k) +
+                 u.at(li, j + 1, k) + u.at(li, j - 1, k) +
+                 u.at(li, j, k + 1) + u.at(li, j, k - 1)) /
+                6.0;
+            local_change =
+                std::max(local_change, std::fabs(value - u.at(li, j, k)));
+            next.at(li, j, k) = value;
+          }
+        }
+      }
+      // Keep halo planes consistent before the swap.
+      for (std::size_t li : {std::size_t{0}, hx - 1}) {
+        for (std::size_t j = 0; j < n; ++j) {
+          for (std::size_t k = 0; k < n; ++k) {
+            next.at(li, j, k) = u.at(li, j, k);
+          }
+        }
+      }
+      std::swap(u, next);
+
+      // Global convergence decision must be collective so every rank
+      // stops at the same sweep (matching the serial run's criterion).
+      const double global_change = comm.allreduce_max(local_change);
+      if (global_change < config.tolerance) break;
+    }
+
+    std::lock_guard lock(result_mutex);
+    for (std::size_t li = 1; li + 1 < hx; ++li) {
+      for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t k = 0; k < n; ++k) {
+          result.at(x0 + li - 1, j, k) = u.at(li, j, k);
+        }
+      }
+    }
+  });
+  return result;
+}
+
+}  // namespace rmp::sim

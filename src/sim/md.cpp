@@ -1,0 +1,312 @@
+#include "sim/md.hpp"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace rmp::sim {
+namespace {
+
+constexpr double kLjEpsilon = 1.0;
+constexpr double kLjSigma = 1.0;
+
+}  // namespace
+
+MdSimulation::MdSimulation(const MdConfig& config) : config_(config) {
+  if (config_.atoms < 4) {
+    throw std::invalid_argument("MdSimulation: need at least 4 atoms");
+  }
+  box_ = std::cbrt(static_cast<double>(config_.atoms) / config_.density);
+  // Minimum-image convention needs cutoff <= box/2; clamp for small
+  // (reduced-model) systems instead of rejecting them.
+  config_.cutoff = std::min(config_.cutoff, 0.5 * box_);
+  pos_.resize(config_.atoms * 3);
+  vel_.resize(config_.atoms * 3);
+  force_.resize(config_.atoms * 3);
+
+  // Simple-cubic lattice with jitter, then Maxwell velocities.
+  std::mt19937 rng(config_.seed);
+  std::normal_distribution<double> gauss(0.0, std::sqrt(config_.temperature));
+  std::uniform_real_distribution<double> jitter(-0.05, 0.05);
+
+  const auto per_side = static_cast<std::size_t>(
+      std::ceil(std::cbrt(static_cast<double>(config_.atoms))));
+  const double spacing = box_ / static_cast<double>(per_side);
+  std::size_t placed = 0;
+  for (std::size_t i = 0; i < per_side && placed < config_.atoms; ++i) {
+    for (std::size_t j = 0; j < per_side && placed < config_.atoms; ++j) {
+      for (std::size_t k = 0; k < per_side && placed < config_.atoms; ++k) {
+        pos_[placed * 3 + 0] = (static_cast<double>(i) + 0.5) * spacing +
+                               jitter(rng);
+        pos_[placed * 3 + 1] = (static_cast<double>(j) + 0.5) * spacing +
+                               jitter(rng);
+        pos_[placed * 3 + 2] = (static_cast<double>(k) + 0.5) * spacing +
+                               jitter(rng);
+        ++placed;
+      }
+    }
+  }
+  double momentum[3] = {0.0, 0.0, 0.0};
+  for (std::size_t a = 0; a < config_.atoms; ++a) {
+    for (std::size_t d = 0; d < 3; ++d) {
+      vel_[a * 3 + d] = gauss(rng);
+      momentum[d] += vel_[a * 3 + d];
+    }
+  }
+  // Remove center-of-mass drift.
+  for (std::size_t a = 0; a < config_.atoms; ++a) {
+    for (std::size_t d = 0; d < 3; ++d) {
+      vel_[a * 3 + d] -= momentum[d] / static_cast<double>(config_.atoms);
+    }
+  }
+
+  if (config_.virtual_sites) {
+    for (std::size_t a = 0; a + 1 < config_.atoms;
+         a += config_.site_stride * 2) {
+      sites_.push_back({a, a + 1, 0.5});
+    }
+  }
+  compute_forces();
+}
+
+double MdSimulation::minimum_image(double d) const {
+  while (d > 0.5 * box_) d -= box_;
+  while (d < -0.5 * box_) d += box_;
+  return d;
+}
+
+void MdSimulation::build_cells() {
+  cells_per_side_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(box_ / config_.cutoff));
+  cells_.assign(cells_per_side_ * cells_per_side_ * cells_per_side_, {});
+  const double inv_cell = static_cast<double>(cells_per_side_) / box_;
+  for (std::size_t a = 0; a < config_.atoms; ++a) {
+    auto cell_of = [&](double x) {
+      auto c = static_cast<std::ptrdiff_t>(x * inv_cell);
+      const auto side = static_cast<std::ptrdiff_t>(cells_per_side_);
+      c %= side;
+      if (c < 0) c += side;
+      return static_cast<std::size_t>(c);
+    };
+    const std::size_t cx = cell_of(pos_[a * 3 + 0]);
+    const std::size_t cy = cell_of(pos_[a * 3 + 1]);
+    const std::size_t cz = cell_of(pos_[a * 3 + 2]);
+    cells_[(cx * cells_per_side_ + cy) * cells_per_side_ + cz].push_back(
+        static_cast<std::uint32_t>(a));
+  }
+}
+
+void MdSimulation::compute_forces() {
+  std::fill(force_.begin(), force_.end(), 0.0);
+  potential_ = 0.0;
+  build_cells();
+
+  const double rc2 = config_.cutoff * config_.cutoff;
+  // Energy shift so the potential is continuous at the cutoff.
+  const double inv_rc6 = 1.0 / (rc2 * rc2 * rc2);
+  const double shift = 4.0 * kLjEpsilon * (inv_rc6 * inv_rc6 - inv_rc6);
+
+  auto pair_force = [&](std::size_t a, std::size_t b) {
+    double dx = minimum_image(pos_[a * 3 + 0] - pos_[b * 3 + 0]);
+    double dy = minimum_image(pos_[a * 3 + 1] - pos_[b * 3 + 1]);
+    double dz = minimum_image(pos_[a * 3 + 2] - pos_[b * 3 + 2]);
+    const double r2 = dx * dx + dy * dy + dz * dz;
+    if (r2 >= rc2 || r2 < 1e-12) return;
+    const double s2 = kLjSigma * kLjSigma / r2;
+    const double s6 = s2 * s2 * s2;
+    const double s12 = s6 * s6;
+    potential_ += 4.0 * kLjEpsilon * (s12 - s6) - shift;
+    const double magnitude = 24.0 * kLjEpsilon * (2.0 * s12 - s6) / r2;
+    force_[a * 3 + 0] += magnitude * dx;
+    force_[a * 3 + 1] += magnitude * dy;
+    force_[a * 3 + 2] += magnitude * dz;
+    force_[b * 3 + 0] -= magnitude * dx;
+    force_[b * 3 + 1] -= magnitude * dy;
+    force_[b * 3 + 2] -= magnitude * dz;
+  };
+
+  const auto side = static_cast<std::ptrdiff_t>(cells_per_side_);
+  if (side < 3) {
+    // With fewer than 3 cells per side the wrapped stencil would alias and
+    // double-count cell pairs; fall back to all-pairs.
+    for (std::size_t a = 0; a < config_.atoms; ++a) {
+      for (std::size_t b = a + 1; b < config_.atoms; ++b) {
+        pair_force(a, b);
+      }
+    }
+  } else {
+  auto cell_index = [&](std::ptrdiff_t x, std::ptrdiff_t y, std::ptrdiff_t z) {
+    x = (x % side + side) % side;
+    y = (y % side + side) % side;
+    z = (z % side + side) % side;
+    return static_cast<std::size_t>((x * side + y) * side + z);
+  };
+
+  for (std::ptrdiff_t cx = 0; cx < side; ++cx) {
+    for (std::ptrdiff_t cy = 0; cy < side; ++cy) {
+      for (std::ptrdiff_t cz = 0; cz < side; ++cz) {
+        const auto& home = cells_[cell_index(cx, cy, cz)];
+        // Pairs within the home cell.
+        for (std::size_t p = 0; p < home.size(); ++p) {
+          for (std::size_t q = p + 1; q < home.size(); ++q) {
+            pair_force(home[p], home[q]);
+          }
+        }
+        // Pairs with forward half of the neighbor stencil (each cell pair
+        // visited once).
+        static constexpr std::ptrdiff_t kHalfStencil[13][3] = {
+            {1, 0, 0},  {0, 1, 0},  {0, 0, 1},  {1, 1, 0},   {1, -1, 0},
+            {1, 0, 1},  {1, 0, -1}, {0, 1, 1},  {0, 1, -1},  {1, 1, 1},
+            {1, 1, -1}, {1, -1, 1}, {1, -1, -1}};
+        for (const auto& offset : kHalfStencil) {
+          const std::size_t other =
+              cell_index(cx + offset[0], cy + offset[1], cz + offset[2]);
+          if (other == cell_index(cx, cy, cz)) continue;  // tiny boxes
+          for (std::uint32_t a : home) {
+            for (std::uint32_t b : cells_[other]) {
+              pair_force(a, b);
+            }
+          }
+        }
+      }
+    }
+  }
+  }
+
+  // Umbrella bias between atoms 0 and 1.
+  if (config_.umbrella) {
+    double dx = minimum_image(pos_[0] - pos_[3]);
+    double dy = minimum_image(pos_[1] - pos_[4]);
+    double dz = minimum_image(pos_[2] - pos_[5]);
+    const double r = std::sqrt(dx * dx + dy * dy + dz * dz);
+    if (r > 1e-9) {
+      const double dev = r - config_.umbrella_r0;
+      potential_ += 0.5 * config_.umbrella_k * dev * dev;
+      const double magnitude = -config_.umbrella_k * dev / r;
+      force_[0] += magnitude * dx;
+      force_[1] += magnitude * dy;
+      force_[2] += magnitude * dz;
+      force_[3] -= magnitude * dx;
+      force_[4] -= magnitude * dy;
+      force_[5] -= magnitude * dz;
+    }
+  }
+
+  // Virtual sites: each site interacts with every atom via LJ; the force
+  // on the (massless) site is redistributed to its parents by weight.
+  if (!sites_.empty()) {
+    for (const auto& site : sites_) {
+      double sx = 0, sy = 0, sz = 0;
+      {
+        const double ax = pos_[site.parent_a * 3 + 0];
+        const double ay = pos_[site.parent_a * 3 + 1];
+        const double az = pos_[site.parent_a * 3 + 2];
+        const double bx = ax + minimum_image(pos_[site.parent_b * 3 + 0] - ax);
+        const double by = ay + minimum_image(pos_[site.parent_b * 3 + 1] - ay);
+        const double bz = az + minimum_image(pos_[site.parent_b * 3 + 2] - az);
+        sx = (1.0 - site.weight) * ax + site.weight * bx;
+        sy = (1.0 - site.weight) * ay + site.weight * by;
+        sz = (1.0 - site.weight) * az + site.weight * bz;
+      }
+      // A soft repulsive interaction with nearby atoms keeps the site from
+      // overlapping third parties (parents excluded).
+      for (std::size_t b = 0; b < config_.atoms; ++b) {
+        if (b == site.parent_a || b == site.parent_b) continue;
+        double dx = minimum_image(sx - pos_[b * 3 + 0]);
+        double dy = minimum_image(sy - pos_[b * 3 + 1]);
+        double dz = minimum_image(sz - pos_[b * 3 + 2]);
+        const double r2 = dx * dx + dy * dy + dz * dz;
+        if (r2 >= rc2 || r2 < 1e-12) continue;
+        const double s2 = 0.25 / r2;  // smaller effective sigma
+        const double s6 = s2 * s2 * s2;
+        const double s12 = s6 * s6;
+        potential_ += 4.0 * kLjEpsilon * s12;
+        const double magnitude = 24.0 * kLjEpsilon * 2.0 * s12 / r2;
+        const double fx = magnitude * dx, fy = magnitude * dy,
+                     fz = magnitude * dz;
+        force_[site.parent_a * 3 + 0] += (1.0 - site.weight) * fx;
+        force_[site.parent_a * 3 + 1] += (1.0 - site.weight) * fy;
+        force_[site.parent_a * 3 + 2] += (1.0 - site.weight) * fz;
+        force_[site.parent_b * 3 + 0] += site.weight * fx;
+        force_[site.parent_b * 3 + 1] += site.weight * fy;
+        force_[site.parent_b * 3 + 2] += site.weight * fz;
+        force_[b * 3 + 0] -= fx;
+        force_[b * 3 + 1] -= fy;
+        force_[b * 3 + 2] -= fz;
+      }
+    }
+  }
+}
+
+double MdSimulation::temperature() const {
+  double kinetic = 0.0;
+  for (double v : vel_) kinetic += v * v;
+  // 3N degrees of freedom (mass = 1): T = 2K / (3N).
+  return kinetic / (3.0 * static_cast<double>(config_.atoms));
+}
+
+double MdSimulation::reaction_coordinate() const {
+  const double dx = minimum_image(pos_[0] - pos_[3]);
+  const double dy = minimum_image(pos_[1] - pos_[4]);
+  const double dz = minimum_image(pos_[2] - pos_[5]);
+  return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+
+std::vector<double> MdSimulation::virtual_site_positions() const {
+  std::vector<double> out;
+  out.reserve(sites_.size() * 3);
+  for (const auto& site : sites_) {
+    const double ax = pos_[site.parent_a * 3 + 0];
+    const double ay = pos_[site.parent_a * 3 + 1];
+    const double az = pos_[site.parent_a * 3 + 2];
+    const double bx = ax + minimum_image(pos_[site.parent_b * 3 + 0] - ax);
+    const double by = ay + minimum_image(pos_[site.parent_b * 3 + 1] - ay);
+    const double bz = az + minimum_image(pos_[site.parent_b * 3 + 2] - az);
+    out.push_back((1.0 - site.weight) * ax + site.weight * bx);
+    out.push_back((1.0 - site.weight) * ay + site.weight * by);
+    out.push_back((1.0 - site.weight) * az + site.weight * bz);
+  }
+  return out;
+}
+
+void MdSimulation::apply_thermostat() {
+  const double current = temperature();
+  if (current <= 0.0) return;
+  const double scale = std::sqrt(config_.temperature / current);
+  for (double& v : vel_) v *= scale;
+}
+
+void MdSimulation::step() {
+  const double dt = config_.dt;
+  const double half = 0.5 * dt;
+  for (std::size_t i = 0; i < vel_.size(); ++i) {
+    vel_[i] += half * force_[i];
+    pos_[i] += dt * vel_[i];
+  }
+  // Wrap positions into the primary box.
+  for (double& x : pos_) {
+    x = std::fmod(x, box_);
+    if (x < 0.0) x += box_;
+  }
+  compute_forces();
+  for (std::size_t i = 0; i < vel_.size(); ++i) {
+    vel_[i] += half * force_[i];
+  }
+  ++steps_done_;
+  if (config_.thermostat_interval > 0 &&
+      steps_done_ % config_.thermostat_interval == 0) {
+    apply_thermostat();
+  }
+}
+
+void MdSimulation::run(std::size_t steps) {
+  for (std::size_t s = 0; s < steps; ++s) step();
+}
+
+Field md_run_positions(const MdConfig& config) {
+  MdSimulation simulation(config);
+  simulation.run(config.steps);
+  return Field::from_data(config.atoms, 3, 1, simulation.positions());
+}
+
+}  // namespace rmp::sim

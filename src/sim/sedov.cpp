@@ -1,0 +1,70 @@
+#include "sim/sedov.hpp"
+
+#include <cmath>
+
+namespace rmp::sim {
+namespace {
+
+// Dimensionless energy integral alpha for the 3D blast; 0.851 is the
+// standard value for gamma = 1.4 (Sedov 1959).
+double alpha_for(double gamma) {
+  // Linear fit around the tabulated values (gamma in [1.2, 5/3]):
+  // alpha(1.4) = 0.851, alpha(5/3) = 0.493.
+  const double g0 = 1.4, a0 = 0.851;
+  const double g1 = 5.0 / 3.0, a1 = 0.493;
+  const double t = (gamma - g0) / (g1 - g0);
+  return a0 + t * (a1 - a0);
+}
+
+// Interior pressure profile p(x)/p_shock for x = r/R in [0, 1]: flat core
+// at ~0.306 of the post-shock pressure rising steeply near the front.
+double interior_profile(double x, double gamma) {
+  const double core = 0.306;                       // p(0)/p2 for gamma=1.4
+  const double exponent = 3.0 * gamma;             // steep rise at the front
+  return core + (1.0 - core) * std::pow(x, exponent);
+}
+
+}  // namespace
+
+double sedov_shock_radius(const SedovConfig& config) {
+  return std::pow(config.energy * config.time * config.time /
+                      (alpha_for(config.gamma) * config.rho0),
+                  0.2);
+}
+
+double sedov_shock_pressure(const SedovConfig& config) {
+  const double r = sedov_shock_radius(config);
+  // Shock speed dR/dt = (2/5) R / t; strong-shock pressure jump.
+  const double us = 0.4 * r / config.time;
+  return 2.0 / (config.gamma + 1.0) * config.rho0 * us * us;
+}
+
+Field sedov_pressure_field(const SedovConfig& config) {
+  const std::size_t n = config.n;
+  Field p(n, n, n);
+  const double shock_r = sedov_shock_radius(config);
+  const double shock_p = sedov_shock_pressure(config);
+  const double h = config.domain / static_cast<double>(n - 1);
+  const double cx = 0.5 * config.domain;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t k = 0; k < n; ++k) {
+        const double x = static_cast<double>(i) * h - cx;
+        const double y = static_cast<double>(j) * h - cx;
+        const double z = static_cast<double>(k) * h - cx;
+        const double r = std::sqrt(x * x + y * y + z * z);
+        if (r < shock_r) {
+          p.at(i, j, k) =
+              config.p0 +
+              shock_p * interior_profile(r / shock_r, config.gamma);
+        } else {
+          p.at(i, j, k) = config.p0;
+        }
+      }
+    }
+  }
+  return p;
+}
+
+}  // namespace rmp::sim

@@ -1,0 +1,170 @@
+#include "sim/synthetic.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <random>
+#include <vector>
+
+namespace rmp::sim {
+namespace {
+
+using std::numbers::pi;
+
+// Smooth random field as a sum of random-phase plane waves; amplitude
+// falls off with wavenumber like a Kolmogorov-ish spectrum.
+class TurbulenceField {
+ public:
+  TurbulenceField(unsigned seed, std::size_t modes) {
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> phase(0.0, 2.0 * pi);
+    std::uniform_real_distribution<double> direction(-1.0, 1.0);
+    std::uniform_real_distribution<double> wavenumber(1.0, 6.0);
+    modes_.reserve(modes);
+    for (std::size_t m = 0; m < modes; ++m) {
+      Mode mode;
+      double nx = direction(rng), ny = direction(rng), nz = direction(rng);
+      const double len = std::sqrt(nx * nx + ny * ny + nz * nz) + 1e-12;
+      const double k = wavenumber(rng);
+      mode.kx = 2.0 * pi * k * nx / len;
+      mode.ky = 2.0 * pi * k * ny / len;
+      mode.kz = 2.0 * pi * k * nz / len;
+      mode.phase = phase(rng);
+      mode.amplitude = std::pow(k, -5.0 / 6.0);  // ~Kolmogorov velocity
+      norm_ += mode.amplitude;
+      modes_.push_back(mode);
+    }
+  }
+
+  /// Value in roughly [-1, 1] at a point in the unit cube.
+  double operator()(double x, double y, double z) const {
+    double v = 0.0;
+    for (const auto& m : modes_) {
+      v += m.amplitude * std::sin(m.kx * x + m.ky * y + m.kz * z + m.phase);
+    }
+    return norm_ > 0.0 ? v / norm_ : 0.0;
+  }
+
+ private:
+  struct Mode {
+    double kx, ky, kz, phase, amplitude;
+  };
+  std::vector<Mode> modes_;
+  double norm_ = 0.0;
+};
+
+}  // namespace
+
+Field astro_velocity_field(const AstroConfig& config) {
+  const std::size_t n = config.n;
+  Field v(n, n, n);
+  const TurbulenceField turbulence(config.seed, config.modes);
+
+  const double shell_radius =
+      std::min(0.48, config.shell_speed * config.time);  // stay in-domain
+  const double shell_width = 0.12 * shell_radius;
+  const double h = 1.0 / static_cast<double>(n - 1);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t k = 0; k < n; ++k) {
+        const double x = static_cast<double>(i) * h;
+        const double y = static_cast<double>(j) * h;
+        const double z = static_cast<double>(k) * h;
+        const double r = std::sqrt((x - 0.5) * (x - 0.5) +
+                                   (y - 0.5) * (y - 0.5) +
+                                   (z - 0.5) * (z - 0.5));
+        double speed;
+        if (r <= shell_radius) {
+          // Homologous expansion of the ejecta.
+          speed = config.vmax * (r / shell_radius);
+        } else {
+          // Shocked ambient medium decays past the shell.
+          speed = config.vmax *
+                  std::exp(-(r - shell_radius) / (shell_width + 1e-12));
+        }
+        const double wrinkle =
+            1.0 + config.turbulence * turbulence(x, y, z);
+        v.at(i, j, k) = speed * wrinkle;
+      }
+    }
+  }
+  return v;
+}
+
+Field fish_velocity_field(const FishConfig& config) {
+  const std::size_t n = config.n;
+  Field v(n, n, n);
+  const double h = 1.0 / static_cast<double>(n - 1);
+  // Jet enters at the center of the x = 0 wall, axis along +x; penetration
+  // depth grows with time (self-similar round jet: centerline speed falls
+  // off as 1/x past the potential core).
+  const double core_length = 0.08 * config.domain;
+  const double penetration = std::min(1.0, 0.5 * config.time + 0.3);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t k = 0; k < n; ++k) {
+        const double x = static_cast<double>(i) * h;
+        const double y = static_cast<double>(j) * h - 0.5;
+        const double z = static_cast<double>(k) * h - 0.5;
+        double speed = 0.0;
+        if (x <= penetration) {
+          const double centerline =
+              x <= core_length
+                  ? config.inlet_speed
+                  : config.inlet_speed * core_length / x;
+          const double width = config.spread * (x + core_length);
+          const double radial2 = (y * y + z * z) / (width * width);
+          speed = centerline * std::exp(-radial2);
+        }
+        // Stagnant tank: clamp crawling flow to exactly zero -- the
+        // many-zeros property of the original Fish dataset.
+        if (speed < config.zero_threshold * config.inlet_speed) speed = 0.0;
+        v.at(i, j, k) = speed;
+      }
+    }
+  }
+  return v;
+}
+
+Field yf17_temperature_field(const Yf17Config& config) {
+  const std::size_t n = config.n;
+  Field t(n, n, n);
+  const double h = 1.0 / static_cast<double>(n - 1);
+  // Ellipsoidal body centered upstream; wake trails in +x.
+  const double bx = 0.35, by = 0.5, bz = 0.5;
+  const double ax = 0.18, ay = 0.06, az = 0.10;  // semi-axes
+  const double wake_length = std::min(0.9, 0.4 * config.time + 0.2);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t k = 0; k < n; ++k) {
+        const double x = static_cast<double>(i) * h;
+        const double y = static_cast<double>(j) * h;
+        const double z = static_cast<double>(k) * h;
+        // Signed "distance" to the ellipsoid surface in normalized units.
+        const double q = std::sqrt(((x - bx) / ax) * ((x - bx) / ax) +
+                                   ((y - by) / ay) * ((y - by) / ay) +
+                                   ((z - bz) / az) * ((z - bz) / az));
+        double temp = config.freestream_temp;
+        // Boundary-layer heating decays away from the surface.
+        const double surface_distance = std::fabs(q - 1.0);
+        temp += config.surface_heating * std::exp(-8.0 * surface_distance);
+        // Wake heating: a widening warm region downstream of the body.
+        if (x > bx) {
+          const double wx = (x - bx) / wake_length;
+          if (wx < 1.0) {
+            const double wake_width = 0.06 + 0.10 * wx;
+            const double r2 = ((y - by) * (y - by) + (z - bz) * (z - bz)) /
+                              (wake_width * wake_width);
+            temp += config.wake_heating * (1.0 - wx) * std::exp(-r2);
+          }
+        }
+        t.at(i, j, k) = temp;
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace rmp::sim

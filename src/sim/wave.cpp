@@ -1,0 +1,75 @@
+#include "sim/wave.hpp"
+
+#include <cmath>
+
+namespace rmp::sim {
+namespace {
+
+Field initial_pulse(const WaveConfig& config) {
+  Field u(config.n, 1, 1);
+  for (std::size_t i = 0; i < config.n; ++i) {
+    const double x = static_cast<double>(i) / static_cast<double>(config.n - 1);
+    const double d = (x - config.pulse_center) / config.pulse_width;
+    u.at(i) = std::exp(-d * d);
+  }
+  u.at(0) = 0.0;
+  u.at(config.n - 1) = 0.0;
+  return u;
+}
+
+}  // namespace
+
+Field wave1d_run(const WaveConfig& config) {
+  Field prev = initial_pulse(config);
+  Field curr = prev;  // zero initial velocity: u(t=-dt) == u(t=0)
+  Field next(config.n, 1, 1);
+  const double r2 = config.cfl * config.cfl;  // (c dt / h)^2
+
+  for (std::size_t s = 0; s < config.steps; ++s) {
+    for (std::size_t i = 1; i + 1 < config.n; ++i) {
+      next.at(i) = 2.0 * curr.at(i) - prev.at(i) +
+                   r2 * (curr.at(i + 1) - 2.0 * curr.at(i) + curr.at(i - 1));
+    }
+    next.at(0) = 0.0;
+    next.at(config.n - 1) = 0.0;
+    prev = curr;
+    std::swap(curr, next);
+  }
+  return curr;
+}
+
+std::vector<Field> wave1d_snapshots(const WaveConfig& config,
+                                    std::size_t count) {
+  if (count == 0) return {};
+  std::vector<Field> snapshots;
+  snapshots.reserve(count);
+
+  Field prev = initial_pulse(config);
+  Field curr = prev;
+  Field next(config.n, 1, 1);
+  const double r2 = config.cfl * config.cfl;
+
+  std::size_t taken = 0;
+  for (std::size_t s = 0; s < config.steps; ++s) {
+    for (std::size_t i = 1; i + 1 < config.n; ++i) {
+      next.at(i) = 2.0 * curr.at(i) - prev.at(i) +
+                   r2 * (curr.at(i + 1) - 2.0 * curr.at(i) + curr.at(i - 1));
+    }
+    next.at(0) = 0.0;
+    next.at(config.n - 1) = 0.0;
+    prev = curr;
+    std::swap(curr, next);
+    const std::size_t due = (s + 1) * count / config.steps;
+    while (taken < due && taken < count) {
+      snapshots.push_back(curr);
+      ++taken;
+    }
+  }
+  while (taken < count) {
+    snapshots.push_back(curr);
+    ++taken;
+  }
+  return snapshots;
+}
+
+}  // namespace rmp::sim

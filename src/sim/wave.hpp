@@ -1,0 +1,26 @@
+// 1D wave equation (dataset "Wave" in Table I): u_tt = c^2 u_xx,
+// leapfrog scheme, Gaussian pulse initial condition, fixed ends.  The
+// reduced model scales the problem size down (fewer grid points).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/field.hpp"
+
+namespace rmp::sim {
+
+struct WaveConfig {
+  std::size_t n = 4096;
+  double c = 1.0;          ///< wave speed
+  double cfl = 0.9;        ///< Courant number (must be <= 1 for stability)
+  double pulse_center = 0.3;
+  double pulse_width = 0.05;
+  std::size_t steps = 2000;
+};
+
+Field wave1d_run(const WaveConfig& config);
+
+std::vector<Field> wave1d_snapshots(const WaveConfig& config, std::size_t count);
+
+}  // namespace rmp::sim

@@ -1,0 +1,211 @@
+#include "stats/metrics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rmp::stats {
+namespace {
+
+std::array<std::uint64_t, 256> histogram(std::span<const std::uint8_t> bytes) {
+  std::array<std::uint64_t, 256> h{};
+  for (std::uint8_t b : bytes) ++h[b];
+  return h;
+}
+
+double value_range(std::span<const double> a) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -lo;
+  for (double v : a) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  return (a.empty() || hi < lo) ? 0.0 : hi - lo;
+}
+
+}  // namespace
+
+double byte_entropy(std::span<const std::uint8_t> bytes) {
+  if (bytes.empty()) return 0.0;
+  const auto h = histogram(bytes);
+  const double n = static_cast<double>(bytes.size());
+  double entropy = 0.0;
+  for (std::uint64_t count : h) {
+    if (count == 0) continue;
+    const double p = static_cast<double>(count) / n;
+    entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+double byte_mean(std::span<const std::uint8_t> bytes) {
+  if (bytes.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::uint8_t b : bytes) sum += b;
+  return sum / static_cast<double>(bytes.size());
+}
+
+double serial_correlation(std::span<const std::uint8_t> bytes) {
+  // Lag-1 autocorrelation in the style of the `ent` tool: correlate the
+  // sequence with itself shifted by one, wrapping the last byte around.
+  const std::size_t n = bytes.size();
+  if (n < 2) return 0.0;
+  double sum_x = 0.0, sum_x2 = 0.0, sum_xy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = bytes[i];
+    const double y = bytes[(i + 1) % n];
+    sum_x += x;
+    sum_x2 += x * x;
+    sum_xy += x * y;
+  }
+  const double nn = static_cast<double>(n);
+  const double num = nn * sum_xy - sum_x * sum_x;
+  const double den = nn * sum_x2 - sum_x * sum_x;
+  if (den == 0.0) return 0.0;
+  return num / den;
+}
+
+std::span<const std::uint8_t> as_bytes(std::span<const double> values) {
+  return {reinterpret_cast<const std::uint8_t*>(values.data()),
+          values.size_bytes()};
+}
+
+double byte_entropy(std::span<const double> values) {
+  return byte_entropy(as_bytes(values));
+}
+double byte_mean(std::span<const double> values) {
+  return byte_mean(as_bytes(values));
+}
+double serial_correlation(std::span<const double> values) {
+  return serial_correlation(as_bytes(values));
+}
+
+double rmse(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("rmse: size mismatch");
+  }
+  if (a.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum / static_cast<double>(a.size()));
+}
+
+double nrmse(std::span<const double> a, std::span<const double> b) {
+  const double range = value_range(a);
+  if (range == 0.0) return 0.0;
+  return rmse(a, b) / range;
+}
+
+double psnr(std::span<const double> a, std::span<const double> b) {
+  const double e = rmse(a, b);
+  const double range = value_range(a);
+  if (e == 0.0) return std::numeric_limits<double>::infinity();
+  if (range == 0.0) return -std::numeric_limits<double>::infinity();
+  return 20.0 * std::log10(range / e);
+}
+
+double max_abs_error(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("max_abs_error: size mismatch");
+  }
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  }
+  return m;
+}
+
+std::vector<CdfPoint> empirical_cdf(std::span<const double> values,
+                                    std::size_t points) {
+  std::vector<CdfPoint> cdf;
+  if (values.empty() || points == 0) return cdf;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double lo = sorted.front();
+  const double hi = sorted.back();
+  cdf.reserve(points);
+  for (std::size_t p = 0; p < points; ++p) {
+    const double frac =
+        points == 1 ? 1.0 : static_cast<double>(p) / static_cast<double>(points - 1);
+    const double level = lo + frac * (hi - lo);
+    const auto it = std::upper_bound(sorted.begin(), sorted.end(), level);
+    const double prob = static_cast<double>(it - sorted.begin()) /
+                        static_cast<double>(sorted.size());
+    cdf.push_back({level, prob});
+  }
+  return cdf;
+}
+
+double ks_distance(std::span<const double> a, std::span<const double> b) {
+  if (a.empty() || b.empty()) return a.empty() == b.empty() ? 0.0 : 1.0;
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  std::size_t i = 0, j = 0;
+  double d = 0.0;
+  while (i < sa.size() && j < sb.size()) {
+    const double x = std::min(sa[i], sb[j]);
+    while (i < sa.size() && sa[i] <= x) ++i;
+    while (j < sb.size() && sb[j] <= x) ++j;
+    const double fa = static_cast<double>(i) / static_cast<double>(sa.size());
+    const double fb = static_cast<double>(j) / static_cast<double>(sb.size());
+    d = std::max(d, std::fabs(fa - fb));
+  }
+  return d;
+}
+
+ByteCharacteristics byte_characteristics(std::span<const double> values) {
+  const auto bytes = as_bytes(values);
+  return {byte_entropy(bytes), byte_mean(bytes), serial_correlation(bytes)};
+}
+
+double gradient_rmse(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("gradient_rmse: size mismatch");
+  }
+  if (a.size() < 2) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    const double ga = a[i] - a[i - 1];
+    const double gb = b[i] - b[i - 1];
+    sum += (ga - gb) * (ga - gb);
+  }
+  return std::sqrt(sum / static_cast<double>(a.size() - 1));
+}
+
+double quantile(std::span<const double> values, double q) {
+  if (values.empty()) {
+    throw std::invalid_argument("quantile: empty sample");
+  }
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("quantile: q must be in [0, 1]");
+  }
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  // Linear interpolation between closest ranks.
+  const double position = q * static_cast<double>(sorted.size() - 1);
+  const auto low = static_cast<std::size_t>(position);
+  const std::size_t high = std::min(low + 1, sorted.size() - 1);
+  const double frac = position - static_cast<double>(low);
+  return sorted[low] * (1.0 - frac) + sorted[high] * frac;
+}
+
+double decile_distance(std::span<const double> a, std::span<const double> b) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("decile_distance: empty sample");
+  }
+  double distance = 0.0;
+  for (int d = 1; d <= 9; ++d) {
+    const double q = static_cast<double>(d) / 10.0;
+    distance = std::max(distance, std::fabs(quantile(a, q) - quantile(b, q)));
+  }
+  return distance;
+}
+
+}  // namespace rmp::stats

@@ -1,0 +1,78 @@
+// Data-characteristic and error metrics used throughout the evaluation.
+//
+// byte_entropy / byte_mean / serial_correlation are the three scalar
+// quantities from Fig. 1 / Table II of the paper: they operate on the raw
+// byte stream of the double-precision data (as `ent`, `mean`, `corr` do in
+// the authors' methodology, which follows the classic `ent` tool).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rmp::stats {
+
+/// Shannon entropy of the byte histogram, in bits per byte (range [0, 8]).
+double byte_entropy(std::span<const std::uint8_t> bytes);
+
+/// Arithmetic mean of the bytes (random data -> ~127.5).
+double byte_mean(std::span<const std::uint8_t> bytes);
+
+/// Lag-1 Pearson correlation between consecutive bytes (range [-1, 1]).
+double serial_correlation(std::span<const std::uint8_t> bytes);
+
+/// View a double array as its raw bytes (host byte order).
+std::span<const std::uint8_t> as_bytes(std::span<const double> values);
+
+/// Convenience overloads applying the byte metrics to double data.
+double byte_entropy(std::span<const double> values);
+double byte_mean(std::span<const double> values);
+double serial_correlation(std::span<const double> values);
+
+/// Root mean square error between two equal-length arrays.
+double rmse(std::span<const double> a, std::span<const double> b);
+
+/// RMSE normalized by the value range of `a` (0 if the range is 0).
+double nrmse(std::span<const double> a, std::span<const double> b);
+
+/// Peak signal-to-noise ratio in dB, using the range of `a` as peak.
+double psnr(std::span<const double> a, std::span<const double> b);
+
+double max_abs_error(std::span<const double> a, std::span<const double> b);
+
+/// Empirical CDF of `values` sampled at `points` equally spaced value
+/// levels between min and max.  Returns {value, probability} pairs; used to
+/// draw the Fig. 1 curves.
+struct CdfPoint {
+  double value;
+  double probability;
+};
+std::vector<CdfPoint> empirical_cdf(std::span<const double> values,
+                                    std::size_t points = 64);
+
+/// Maximum vertical distance between the empirical CDFs of two samples
+/// (two-sample Kolmogorov-Smirnov statistic) -- quantifies the Fig. 1
+/// "nearly identical trends" claim.
+double ks_distance(std::span<const double> a, std::span<const double> b);
+
+struct ByteCharacteristics {
+  double entropy;
+  double mean;
+  double correlation;
+};
+ByteCharacteristics byte_characteristics(std::span<const double> values);
+
+/// RMSE between the first differences of two equal-length sequences --
+/// a feature-preservation metric (§II-B requirement 2: analysis features
+/// like gradients must survive reduction).  Empty/1-element inputs give 0.
+double gradient_rmse(std::span<const double> a, std::span<const double> b);
+
+/// Value at the q-th quantile (q in [0, 1]) of the sample, by sorting.
+double quantile(std::span<const double> values, double q);
+
+/// Maximum absolute difference between the two samples' deciles -- a
+/// robust distribution-shape distance complementing ks_distance.
+double decile_distance(std::span<const double> a, std::span<const double> b);
+
+}  // namespace rmp::stats

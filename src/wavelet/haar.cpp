@@ -1,0 +1,202 @@
+#include "wavelet/haar.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace rmp::wavelet {
+namespace {
+
+const double kInvSqrt2 = 1.0 / std::sqrt(2.0);
+
+// One forward cascade step over the first `length` entries: sums (and an
+// odd straggler) move to the front, differences fill the back half.
+void forward_step(std::span<double> data, std::size_t length,
+                  std::vector<double>& scratch) {
+  const std::size_t pairs = length / 2;
+  const bool odd = (length % 2) != 0;
+  scratch.resize(length);
+  for (std::size_t p = 0; p < pairs; ++p) {
+    const double a = data[2 * p];
+    const double b = data[2 * p + 1];
+    scratch[p] = (a + b) * kInvSqrt2;
+    scratch[pairs + (odd ? 1 : 0) + p] = (a - b) * kInvSqrt2;
+  }
+  if (odd) scratch[pairs] = data[length - 1];
+  for (std::size_t i = 0; i < length; ++i) data[i] = scratch[i];
+}
+
+void inverse_step(std::span<double> data, std::size_t length,
+                  std::vector<double>& scratch) {
+  const std::size_t pairs = length / 2;
+  const bool odd = (length % 2) != 0;
+  scratch.resize(length);
+  for (std::size_t p = 0; p < pairs; ++p) {
+    const double s = data[p];
+    const double d = data[pairs + (odd ? 1 : 0) + p];
+    scratch[2 * p] = (s + d) * kInvSqrt2;
+    scratch[2 * p + 1] = (s - d) * kInvSqrt2;
+  }
+  if (odd) scratch[length - 1] = data[pairs];
+  for (std::size_t i = 0; i < length; ++i) data[i] = scratch[i];
+}
+
+std::size_t resolve_levels(std::size_t n, std::size_t levels) {
+  const std::size_t limit = max_levels(n);
+  if (levels == 0) return limit;
+  if (levels > limit) {
+    throw std::invalid_argument("haar: too many levels for signal length");
+  }
+  return levels;
+}
+
+// Length of the sum region after each level (ceil halving sequence).
+std::vector<std::size_t> level_lengths(std::size_t n, std::size_t levels) {
+  std::vector<std::size_t> lengths;
+  lengths.reserve(levels);
+  std::size_t current = n;
+  for (std::size_t l = 0; l < levels && current >= 2; ++l) {
+    lengths.push_back(current);
+    current = (current + 1) / 2;
+  }
+  return lengths;
+}
+
+}  // namespace
+
+std::size_t max_levels(std::size_t n) {
+  std::size_t levels = 0;
+  while (n >= 2) {
+    ++levels;
+    n = (n + 1) / 2;
+  }
+  return levels;
+}
+
+void haar_forward_1d(std::span<double> data, std::size_t levels) {
+  levels = resolve_levels(data.size(), levels);
+  std::vector<double> scratch;
+  for (std::size_t length : level_lengths(data.size(), levels)) {
+    forward_step(data, length, scratch);
+  }
+}
+
+void haar_inverse_1d(std::span<double> data, std::size_t levels) {
+  levels = resolve_levels(data.size(), levels);
+  const auto lengths = level_lengths(data.size(), levels);
+  std::vector<double> scratch;
+  for (auto it = lengths.rbegin(); it != lengths.rend(); ++it) {
+    inverse_step(data, *it, scratch);
+  }
+}
+
+void haar_forward_2d(rmp::la::Matrix& m, std::size_t row_levels,
+                     std::size_t col_levels) {
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    haar_forward_1d(m.row(i), row_levels);
+  }
+  std::vector<double> column(m.rows());
+  for (std::size_t j = 0; j < m.cols(); ++j) {
+    for (std::size_t i = 0; i < m.rows(); ++i) column[i] = m(i, j);
+    haar_forward_1d(column, col_levels);
+    for (std::size_t i = 0; i < m.rows(); ++i) m(i, j) = column[i];
+  }
+}
+
+void haar_inverse_2d(rmp::la::Matrix& m, std::size_t row_levels,
+                     std::size_t col_levels) {
+  std::vector<double> column(m.rows());
+  for (std::size_t j = 0; j < m.cols(); ++j) {
+    for (std::size_t i = 0; i < m.rows(); ++i) column[i] = m(i, j);
+    haar_inverse_1d(column, col_levels);
+    for (std::size_t i = 0; i < m.rows(); ++i) m(i, j) = column[i];
+  }
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    haar_inverse_1d(m.row(i), row_levels);
+  }
+}
+
+namespace {
+
+// Apply the full 1D transform to every line along one axis of a 3D array.
+// stride = distance between consecutive elements of a line; count =
+// elements per line; the outer loops enumerate line origins.
+template <typename Transform>
+void for_each_line(std::span<double> data, std::size_t nx, std::size_t ny,
+                   std::size_t nz, std::size_t axis, Transform&& transform) {
+  std::vector<double> line;
+  auto index = [&](std::size_t i, std::size_t j, std::size_t k) {
+    return (i * ny + j) * nz + k;
+  };
+  if (axis == 2) {  // z lines are contiguous
+    for (std::size_t i = 0; i < nx; ++i) {
+      for (std::size_t j = 0; j < ny; ++j) {
+        transform(data.subspan(index(i, j, 0), nz));
+      }
+    }
+    return;
+  }
+  const std::size_t count = axis == 0 ? nx : ny;
+  line.resize(count);
+  if (axis == 1) {
+    for (std::size_t i = 0; i < nx; ++i) {
+      for (std::size_t k = 0; k < nz; ++k) {
+        for (std::size_t j = 0; j < ny; ++j) line[j] = data[index(i, j, k)];
+        transform(std::span<double>(line));
+        for (std::size_t j = 0; j < ny; ++j) data[index(i, j, k)] = line[j];
+      }
+    }
+  } else {
+    for (std::size_t j = 0; j < ny; ++j) {
+      for (std::size_t k = 0; k < nz; ++k) {
+        for (std::size_t i = 0; i < nx; ++i) line[i] = data[index(i, j, k)];
+        transform(std::span<double>(line));
+        for (std::size_t i = 0; i < nx; ++i) data[index(i, j, k)] = line[i];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void haar_forward_3d(std::span<double> data, std::size_t nx, std::size_t ny,
+                     std::size_t nz) {
+  if (data.size() != nx * ny * nz) {
+    throw std::invalid_argument("haar_forward_3d: size mismatch");
+  }
+  for (std::size_t axis : {std::size_t{2}, std::size_t{1}, std::size_t{0}}) {
+    for_each_line(data, nx, ny, nz, axis,
+                  [](std::span<double> line) { haar_forward_1d(line); });
+  }
+}
+
+void haar_inverse_3d(std::span<double> data, std::size_t nx, std::size_t ny,
+                     std::size_t nz) {
+  if (data.size() != nx * ny * nz) {
+    throw std::invalid_argument("haar_inverse_3d: size mismatch");
+  }
+  for (std::size_t axis : {std::size_t{0}, std::size_t{1}, std::size_t{2}}) {
+    for_each_line(data, nx, ny, nz, axis,
+                  [](std::span<double> line) { haar_inverse_1d(line); });
+  }
+}
+
+std::size_t threshold_coefficients(rmp::la::Matrix& m, double threshold) {
+  std::size_t kept = 0;
+  for (double& v : m.flat()) {
+    if (std::fabs(v) <= threshold) {
+      v = 0.0;
+    } else {
+      ++kept;
+    }
+  }
+  return kept;
+}
+
+double max_abs_coefficient(const rmp::la::Matrix& m) {
+  double mx = 0.0;
+  for (double v : m.flat()) mx = std::max(mx, std::fabs(v));
+  return mx;
+}
+
+}  // namespace rmp::wavelet

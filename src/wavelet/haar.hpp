@@ -1,0 +1,50 @@
+// Orthonormal Haar discrete wavelet transform (paper §V-A.3).
+//
+// The paper's construction is the "standard decomposition": every row is
+// fully transformed (recursively: pairwise sums cascade, differences
+// stay), then every column of the result.  We use the orthonormal
+// normalization (s,d) = ((a+b)/sqrt2, (a-b)/sqrt2) so that thresholding
+// small coefficients has a controlled energy impact.
+//
+// Arbitrary lengths are supported: at each level an odd trailing element
+// is carried into the next level's sum region untouched, which keeps the
+// transform perfectly invertible for any n.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "la/matrix.hpp"
+
+namespace rmp::wavelet {
+
+/// Number of cascade levels a length-n signal admits (floor(log2(n))).
+std::size_t max_levels(std::size_t n);
+
+/// In-place forward/inverse 1D transform.  levels == 0 means "as many as
+/// possible".  Throws std::invalid_argument if levels exceeds max_levels.
+void haar_forward_1d(std::span<double> data, std::size_t levels = 0);
+void haar_inverse_1d(std::span<double> data, std::size_t levels = 0);
+
+/// Standard decomposition of a matrix: full 1D transform of each row,
+/// then of each column (and the reverse for the inverse).
+void haar_forward_2d(rmp::la::Matrix& m, std::size_t row_levels = 0,
+                     std::size_t col_levels = 0);
+void haar_inverse_2d(rmp::la::Matrix& m, std::size_t row_levels = 0,
+                     std::size_t col_levels = 0);
+
+/// Standard decomposition of a 3D array (shape nx x ny x nz, z fastest):
+/// full 1D transform along z, then y, then x (inverse in reverse order).
+/// Data is modified in place.
+void haar_forward_3d(std::span<double> data, std::size_t nx, std::size_t ny,
+                     std::size_t nz);
+void haar_inverse_3d(std::span<double> data, std::size_t nx, std::size_t ny,
+                     std::size_t nz);
+
+/// Zero every entry with |value| <= threshold; returns how many survive.
+std::size_t threshold_coefficients(rmp::la::Matrix& m, double threshold);
+
+/// Largest absolute coefficient (0 for an empty matrix).
+double max_abs_coefficient(const rmp::la::Matrix& m);
+
+}  // namespace rmp::wavelet

@@ -1,0 +1,169 @@
+#include "compress/bitstream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace rmp::compress {
+namespace {
+
+TEST(BitStream, SingleBitsRoundTrip) {
+  BitWriter writer;
+  const bool pattern[] = {true, false, true, true, false, false, true};
+  for (bool b : pattern) writer.put_bit(b);
+  const auto bytes = writer.take();
+
+  BitReader reader(bytes);
+  for (bool b : pattern) EXPECT_EQ(reader.get_bit(), b);
+}
+
+TEST(BitStream, MixedWidthRoundTrip) {
+  BitWriter writer;
+  writer.put_bits(0x5, 3);
+  writer.put_bits(0xABCD, 16);
+  writer.put_bits(0x1, 1);
+  writer.put_bits(0xDEADBEEFCAFEBABEULL, 64);
+  writer.put_bits(0x7F, 7);
+  const auto bytes = writer.take();
+
+  BitReader reader(bytes);
+  EXPECT_EQ(reader.get_bits(3), 0x5u);
+  EXPECT_EQ(reader.get_bits(16), 0xABCDu);
+  EXPECT_EQ(reader.get_bits(1), 0x1u);
+  EXPECT_EQ(reader.get_bits(64), 0xDEADBEEFCAFEBABEULL);
+  EXPECT_EQ(reader.get_bits(7), 0x7Fu);
+}
+
+TEST(BitStream, ZeroWidthWriteIsNoop) {
+  BitWriter writer;
+  writer.put_bits(0xFF, 0);
+  EXPECT_EQ(writer.bit_count(), 0u);
+  writer.put_bits(0x3, 2);
+  EXPECT_EQ(writer.bit_count(), 2u);
+}
+
+TEST(BitStream, ValueIsMaskedToWidth) {
+  BitWriter writer;
+  writer.put_bits(0xFF, 4);  // only low 4 bits should be kept
+  writer.put_bits(0x0, 4);
+  const auto bytes = writer.take();
+  BitReader reader(bytes);
+  EXPECT_EQ(reader.get_bits(4), 0xFu);
+  EXPECT_EQ(reader.get_bits(4), 0x0u);
+}
+
+TEST(BitStream, BitCountTracksWrites) {
+  BitWriter writer;
+  writer.put_bits(1, 1);
+  writer.put_bits(0xFFFF, 16);
+  writer.put_bits(0, 64);
+  EXPECT_EQ(writer.bit_count(), 81u);
+}
+
+TEST(BitStream, ReaderThrowsPastEnd) {
+  BitWriter writer;
+  writer.put_bits(0xAB, 8);
+  const auto bytes = writer.take();
+  BitReader reader(bytes);
+  reader.get_bits(8);
+  EXPECT_THROW(reader.get_bit(), std::out_of_range);
+}
+
+TEST(BitStream, WriterRejectsOversizedWidth) {
+  BitWriter writer;
+  EXPECT_THROW(writer.put_bits(0, 65), std::invalid_argument);
+}
+
+TEST(BitStream, RandomizedRoundTrip) {
+  std::mt19937_64 rng(1234);
+  std::uniform_int_distribution<unsigned> width_dist(1, 64);
+
+  std::vector<std::pair<std::uint64_t, unsigned>> writes;
+  BitWriter writer;
+  for (int i = 0; i < 5000; ++i) {
+    const unsigned width = width_dist(rng);
+    const std::uint64_t value =
+        width == 64 ? rng() : rng() & ((std::uint64_t{1} << width) - 1);
+    writes.emplace_back(value, width);
+    writer.put_bits(value, width);
+  }
+  const auto bytes = writer.take();
+
+  BitReader reader(bytes);
+  for (const auto& [value, width] : writes) {
+    ASSERT_EQ(reader.get_bits(width), value);
+  }
+}
+
+TEST(BitStream, PeekDoesNotAdvance) {
+  BitWriter writer;
+  writer.put_bits(0xABCD, 16);
+  const auto bytes = writer.take();
+  BitReader reader(bytes);
+  EXPECT_EQ(reader.peek_bits(8), 0xCDu);
+  EXPECT_EQ(reader.peek_bits(16), 0xABCDu);
+  EXPECT_EQ(reader.bit_position(), 0u);
+  EXPECT_EQ(reader.get_bits(16), 0xABCDu);
+}
+
+TEST(BitStream, PeekPastEndZeroPads) {
+  BitWriter writer;
+  writer.put_bits(0x3, 2);  // only 2 meaningful bits; take() pads to 8
+  const auto bytes = writer.take();
+  BitReader reader(bytes);
+  // Peeking 16 bits over an 8-bit stream: high bits must read as zero.
+  EXPECT_EQ(reader.peek_bits(16), 0x03u);
+  reader.skip_bits(2);
+  EXPECT_EQ(reader.peek_bits(16), 0x0u);
+}
+
+TEST(BitStream, SkipAdvancesExactly) {
+  BitWriter writer;
+  writer.put_bits(0b10110100, 8);
+  writer.put_bits(0xFF, 8);
+  const auto bytes = writer.take();
+  BitReader reader(bytes);
+  reader.skip_bits(3);
+  EXPECT_EQ(reader.bit_position(), 3u);
+  EXPECT_EQ(reader.get_bits(5), 0b10110u);
+  EXPECT_EQ(reader.get_bits(8), 0xFFu);
+}
+
+TEST(BitStream, SkipPastEndThrows) {
+  BitWriter writer;
+  writer.put_bits(0x1, 4);
+  const auto bytes = writer.take();  // one byte
+  BitReader reader(bytes);
+  EXPECT_THROW(reader.skip_bits(9), std::out_of_range);
+  reader.skip_bits(8);  // exactly to the end is fine
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(BitStream, PeekSkipMatchesGetBitsSequence) {
+  std::mt19937_64 rng(77);
+  BitWriter writer;
+  std::vector<std::pair<std::uint64_t, unsigned>> writes;
+  for (int i = 0; i < 500; ++i) {
+    const unsigned width = 1 + rng() % 24;
+    const std::uint64_t value = rng() & ((std::uint64_t{1} << width) - 1);
+    writes.emplace_back(value, width);
+    writer.put_bits(value, width);
+  }
+  const auto bytes = writer.take();
+  BitReader reader(bytes);
+  for (const auto& [value, width] : writes) {
+    ASSERT_EQ(reader.peek_bits(width), value);
+    reader.skip_bits(width);
+  }
+}
+
+TEST(BitStream, PartialByteIsZeroPadded) {
+  BitWriter writer;
+  writer.put_bits(0x1, 1);
+  const auto bytes = writer.take();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0x01);
+}
+
+}  // namespace
+}  // namespace rmp::compress

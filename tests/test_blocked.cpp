@@ -1,0 +1,93 @@
+#include "core/blocked.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compress/factory.hpp"
+#include "core/pipeline.hpp"
+#include "sim/heat.hpp"
+#include "stats/metrics.hpp"
+
+namespace rmp::core {
+namespace {
+
+struct Codecs {
+  std::unique_ptr<compress::Compressor> reduced = compress::make_zfp_original();
+  std::unique_ptr<compress::Compressor> delta = compress::make_zfp_delta();
+  CodecPair pair() const { return {reduced.get(), delta.get()}; }
+};
+
+sim::Field heat_field() {
+  sim::HeatConfig config;
+  config.n = 14;
+  config.steps = 100;
+  config.hot_center_z = 0.6;
+  return sim::heat3d_run(config);
+}
+
+class BlockedInnerSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BlockedInnerSweep, RoundTripWithinError) {
+  Codecs codecs;
+  BlockedPreconditioner blocked(GetParam(), 4);
+  const sim::Field f = heat_field();
+  const auto container = blocked.encode(f, codecs.pair(), nullptr);
+  const auto decoded = blocked.decode(container, codecs.pair(), nullptr);
+  EXPECT_LT(stats::rmse(f.flat(), decoded.flat()), 1.0) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Inners, BlockedInnerSweep,
+                         ::testing::Values("identity", "pca", "svd",
+                                           "wavelet", "tucker"));
+
+TEST(Blocked, RegistryDispatch) {
+  Codecs codecs;
+  const sim::Field f = heat_field();
+  const auto blocked = make_preconditioner("blocked-svd");
+  EXPECT_EQ(blocked->name(), "blocked-svd");
+  const auto container = blocked->encode(f, codecs.pair(), nullptr);
+  const sim::Field decoded = reconstruct(container, codecs.pair());
+  EXPECT_LT(stats::rmse(f.flat(), decoded.flat()), 1.0);
+}
+
+TEST(Blocked, PartitionCountClampedToRows) {
+  Codecs codecs;
+  BlockedPreconditioner blocked("identity", 1000);
+  sim::Field tiny(6, 4, 1);
+  for (std::size_t n = 0; n < tiny.size(); ++n) {
+    tiny.flat()[n] = static_cast<double>(n);
+  }
+  const auto container = blocked.encode(tiny, codecs.pair(), nullptr);
+  const auto decoded = blocked.decode(container, codecs.pair(), nullptr);
+  EXPECT_LT(stats::max_abs_error(tiny.flat(), decoded.flat()), 1e-3);
+}
+
+TEST(Blocked, StatsAggregateAcrossBlocks) {
+  Codecs codecs;
+  BlockedPreconditioner blocked("svd", 3);
+  EncodeStats stats;
+  blocked.encode(heat_field(), codecs.pair(), &stats);
+  EXPECT_GT(stats.reduced_bytes, 0u);
+  EXPECT_GT(stats.delta_bytes, 0u);
+  EXPECT_GT(stats.compression_ratio, 1.0);
+}
+
+TEST(Blocked, RejectsNesting) {
+  EXPECT_THROW(BlockedPreconditioner("blocked-pca", 2),
+               std::invalid_argument);
+  EXPECT_THROW(BlockedPreconditioner("pca>svd", 2), std::invalid_argument);
+  EXPECT_THROW(BlockedPreconditioner("identity", 0), std::invalid_argument);
+}
+
+TEST(Blocked, DecodeRejectsMissingSections) {
+  Codecs codecs;
+  BlockedPreconditioner blocked("pca", 2);
+  io::Container empty;
+  empty.method = "blocked-pca";
+  EXPECT_THROW(blocked.decode(empty, codecs.pair(), nullptr),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rmp::core

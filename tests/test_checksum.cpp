@@ -1,0 +1,72 @@
+#include "io/checksum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "io/container.hpp"
+
+namespace rmp::io {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Crc32, KnownVectors) {
+  // Standard zlib test vectors.
+  EXPECT_EQ(crc32({}), 0x00000000u);
+  const auto check = bytes_of("123456789");
+  EXPECT_EQ(crc32(check), 0xCBF43926u);
+  const auto hello = bytes_of("hello world");
+  EXPECT_EQ(crc32(hello), 0x0D4A1185u);
+}
+
+TEST(Crc32, SensitiveToSingleBitFlip) {
+  auto data = bytes_of("the quick brown fox");
+  const std::uint32_t original = crc32(data);
+  data[5] ^= 0x01;
+  EXPECT_NE(crc32(data), original);
+}
+
+TEST(Crc32, SeedChaining) {
+  const auto full = bytes_of("abcdef");
+  const auto first = bytes_of("abc");
+  const auto second = bytes_of("def");
+  EXPECT_EQ(crc32(second, crc32(first)), crc32(full));
+}
+
+TEST(ContainerIntegrity, DetectsSectionCorruption) {
+  Container c;
+  c.method = "pca";
+  c.nx = 2;
+  c.add("delta", {10, 20, 30, 40, 50});
+  auto bytes = serialize(c);
+  // Flip a byte in the middle of the payload.
+  bytes[bytes.size() / 2] ^= 0xFF;
+  EXPECT_THROW(deserialize(bytes), std::runtime_error);
+}
+
+TEST(ContainerIntegrity, DetectsTrailerCorruption) {
+  Container c;
+  c.method = "svd";
+  c.add("delta", {1, 2, 3});
+  auto bytes = serialize(c);
+  bytes.back() ^= 0x01;
+  EXPECT_THROW(deserialize(bytes), std::runtime_error);
+}
+
+TEST(ContainerIntegrity, CleanRoundTripStillWorks) {
+  Container c;
+  c.method = "wavelet";
+  c.nx = 3;
+  c.ny = 4;
+  c.nz = 5;
+  c.add("sparse", {9, 8, 7});
+  const Container back = deserialize(serialize(c));
+  EXPECT_EQ(back.method, "wavelet");
+  EXPECT_EQ(back.find("sparse")->bytes, (std::vector<std::uint8_t>{9, 8, 7}));
+}
+
+}  // namespace
+}  // namespace rmp::io

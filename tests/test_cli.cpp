@@ -1,0 +1,174 @@
+// End-to-end smoke tests of the rmpc command-line tool: write a raw
+// float64 field, compress it with several methods, decompress, and check
+// the round trip on disk.  RMPC_BINARY is injected by CMake.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+#ifndef RMPC_BINARY
+#error "RMPC_BINARY must be defined by the build"
+#endif
+
+std::string quoted(const fs::path& p) { return "\"" + p.string() + "\""; }
+
+int run_rmpc(const std::string& args) {
+  const std::string command =
+      std::string(RMPC_BINARY) + " " + args + " > /dev/null 2>&1";
+  return std::system(command.c_str());
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "rmpc_cli_test";
+    fs::create_directories(dir_);
+    // A 16x16x16 smooth field.
+    data_.resize(16 * 16 * 16);
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+      data_[i] = std::sin(0.01 * static_cast<double>(i)) * 40.0;
+    }
+    input_ = dir_ / "input.f64";
+    std::ofstream file(input_, std::ios::binary);
+    file.write(reinterpret_cast<const char*>(data_.data()),
+               static_cast<std::streamsize>(data_.size() * sizeof(double)));
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::vector<double> read_back(const fs::path& path) {
+    std::ifstream file(path, std::ios::binary | std::ios::ate);
+    const auto bytes = static_cast<std::size_t>(file.tellg());
+    std::vector<double> values(bytes / sizeof(double));
+    file.seekg(0);
+    file.read(reinterpret_cast<char*>(values.data()),
+              static_cast<std::streamsize>(bytes));
+    return values;
+  }
+
+  fs::path dir_;
+  fs::path input_;
+  std::vector<double> data_;
+};
+
+TEST_F(CliTest, CompressDecompressRoundTrip) {
+  const fs::path archive = dir_ / "field.rmp";
+  const fs::path output = dir_ / "output.f64";
+  ASSERT_EQ(run_rmpc("compress " + quoted(input_) + " " + quoted(archive) +
+                     " --dims 16,16,16 --method pca --codec sz"),
+            0);
+  ASSERT_TRUE(fs::exists(archive));
+  EXPECT_LT(fs::file_size(archive), fs::file_size(input_));
+
+  ASSERT_EQ(run_rmpc("decompress " + quoted(archive) + " " + quoted(output) +
+                     " --codec sz"),
+            0);
+  const auto decoded = read_back(output);
+  ASSERT_EQ(decoded.size(), data_.size());
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    ASSERT_NEAR(decoded[i], data_[i], 0.05) << i;
+  }
+}
+
+TEST_F(CliTest, EveryMethodCompresses) {
+  for (const std::string method :
+       {"identity", "one-base", "multi-base", "pca", "svd", "wavelet",
+        "tucker"}) {
+    const fs::path archive = dir_ / (method + ".rmp");
+    EXPECT_EQ(run_rmpc("compress " + quoted(input_) + " " + quoted(archive) +
+                       " --dims 16,16,16 --method " + method),
+              0)
+        << method;
+    EXPECT_TRUE(fs::exists(archive)) << method;
+  }
+}
+
+TEST_F(CliTest, AutoMethodSelection) {
+  const fs::path archive = dir_ / "auto.rmp";
+  EXPECT_EQ(run_rmpc("compress " + quoted(input_) + " " + quoted(archive) +
+                     " --dims 16,16,16 --method auto"),
+            0);
+  EXPECT_TRUE(fs::exists(archive));
+}
+
+TEST_F(CliTest, InfoAndStatsAndPredictSucceed) {
+  const fs::path archive = dir_ / "info.rmp";
+  ASSERT_EQ(run_rmpc("compress " + quoted(input_) + " " + quoted(archive) +
+                     " --dims 16,16,16"),
+            0);
+  EXPECT_EQ(run_rmpc("info " + quoted(archive)), 0);
+  EXPECT_EQ(run_rmpc("predict " + quoted(input_) + " --dims 16,16,16"), 0);
+  EXPECT_EQ(run_rmpc("stats " + quoted(input_) + " --dims 16,16,16"), 0);
+}
+
+TEST_F(CliTest, BadInvocationsFail) {
+  EXPECT_NE(run_rmpc(""), 0);
+  EXPECT_NE(run_rmpc("frobnicate x y"), 0);
+  // Wrong dims (size mismatch).
+  EXPECT_NE(run_rmpc("compress " + quoted(input_) + " " +
+                     quoted(dir_ / "x.rmp") + " --dims 7,7,7"),
+            0);
+  // Missing file.
+  EXPECT_NE(run_rmpc("decompress " + quoted(dir_ / "missing.rmp") + " " +
+                     quoted(dir_ / "y.f64")),
+            0);
+  // Unknown codec.
+  EXPECT_NE(run_rmpc("compress " + quoted(input_) + " " +
+                     quoted(dir_ / "z.rmp") + " --dims 16,16,16 --codec gzip"),
+            0);
+}
+
+#ifdef RMPGEN_BINARY
+TEST_F(CliTest, RmpgenToRmpcPipeline) {
+  // Generate a dataset with rmpgen, then compress it with rmpc.
+  const fs::path raw = dir_ / "gen.f64";
+  const std::string gen = std::string(RMPGEN_BINARY) + " Sedov_pres " +
+                          quoted(raw) + " --scale 0.4 > /dev/null 2>&1";
+  ASSERT_EQ(std::system(gen.c_str()), 0);
+  ASSERT_TRUE(fs::exists(raw));
+  const auto doubles = fs::file_size(raw) / sizeof(double);
+  const auto n = static_cast<std::size_t>(std::lround(
+      std::cbrt(static_cast<double>(doubles))));
+  ASSERT_EQ(n * n * n, doubles);
+
+  const std::string dims = std::to_string(n) + "," + std::to_string(n) +
+                           "," + std::to_string(n);
+  EXPECT_EQ(run_rmpc("compress " + quoted(raw) + " " +
+                     quoted(dir_ / "gen.rmp") + " --dims " + dims +
+                     " --method auto"),
+            0);
+}
+
+TEST_F(CliTest, RmpgenListAndErrors) {
+  ASSERT_EQ(std::system((std::string(RMPGEN_BINARY) +
+                         " list > /dev/null 2>&1")
+                            .c_str()),
+            0);
+  EXPECT_NE(std::system((std::string(RMPGEN_BINARY) +
+                         " NotADataset /tmp/x.f64 > /dev/null 2>&1")
+                            .c_str()),
+            0);
+}
+#endif
+
+TEST_F(CliTest, ZfpCodecPathWorks) {
+  const fs::path archive = dir_ / "zfp.rmp";
+  const fs::path output = dir_ / "zfp_out.f64";
+  ASSERT_EQ(run_rmpc("compress " + quoted(input_) + " " + quoted(archive) +
+                     " --dims 16,16,16 --method svd --codec zfp"),
+            0);
+  ASSERT_EQ(run_rmpc("decompress " + quoted(archive) + " " + quoted(output) +
+                     " --codec zfp"),
+            0);
+  const auto decoded = read_back(output);
+  ASSERT_EQ(decoded.size(), data_.size());
+}
+
+}  // namespace

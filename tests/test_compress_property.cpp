@@ -1,0 +1,273 @@
+// Property sweeps over the three codecs: round-trip validity, error-bound
+// compliance and monotonicity across a grid of shapes, sizes and data
+// families that unit tests don't reach.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <random>
+#include <tuple>
+
+#include "compress/fpc.hpp"
+#include "compress/sz.hpp"
+#include "compress/zfp_like.hpp"
+
+namespace rmp::compress {
+namespace {
+
+enum class DataFamily { kSmooth, kNoisy, kSteppy, kSparseZero, kHugeRange };
+
+std::string family_name(DataFamily family) {
+  switch (family) {
+    case DataFamily::kSmooth: return "smooth";
+    case DataFamily::kNoisy: return "noisy";
+    case DataFamily::kSteppy: return "steppy";
+    case DataFamily::kSparseZero: return "sparsezero";
+    case DataFamily::kHugeRange: return "hugerange";
+  }
+  return "?";
+}
+
+std::vector<double> make_data(DataFamily family, std::size_t count,
+                              unsigned seed) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  std::vector<double> data(count);
+  switch (family) {
+    case DataFamily::kSmooth:
+      for (std::size_t i = 0; i < count; ++i) {
+        data[i] = 3.0 * std::sin(0.02 * static_cast<double>(i)) +
+                  std::cos(0.005 * static_cast<double>(i));
+      }
+      break;
+    case DataFamily::kNoisy:
+      for (double& v : data) v = gauss(rng);
+      break;
+    case DataFamily::kSteppy:
+      for (std::size_t i = 0; i < count; ++i) {
+        data[i] = static_cast<double>((i / 100) % 7) * 10.0;
+      }
+      break;
+    case DataFamily::kSparseZero:
+      for (std::size_t i = 0; i < count; ++i) {
+        data[i] = (i % 13 == 0) ? gauss(rng) * 5.0 : 0.0;
+      }
+      break;
+    case DataFamily::kHugeRange:
+      for (std::size_t i = 0; i < count; ++i) {
+        data[i] = std::ldexp(gauss(rng), static_cast<int>(i % 120) - 60);
+      }
+      break;
+  }
+  return data;
+}
+
+using Param = std::tuple<DataFamily, std::size_t>;
+
+class SzProperty : public ::testing::TestWithParam<Param> {};
+
+TEST_P(SzProperty, AbsoluteBoundHolds) {
+  const auto& [family, count] = GetParam();
+  const auto data = make_data(family, count, 1);
+  double range = 0;
+  for (double v : data) range = std::max(range, std::fabs(v));
+  const double bound = std::max(range, 1.0) * 1e-6;
+
+  SzCompressor codec({SzMode::kAbsolute, bound, 16});
+  const auto decoded =
+      codec.decompress(codec.compress(data, Dims::d1(count)));
+  ASSERT_EQ(decoded.size(), count);
+  for (std::size_t i = 0; i < count; ++i) {
+    ASSERT_LE(std::fabs(decoded[i] - data[i]), bound) << i;
+  }
+}
+
+TEST_P(SzProperty, BlockRelativeBoundHolds) {
+  const auto& [family, count] = GetParam();
+  const auto data = make_data(family, count, 2);
+  double global_max = 0;
+  for (double v : data) global_max = std::max(global_max, std::fabs(v));
+  const double rel = 1e-4;
+
+  SzCompressor codec({SzMode::kBlockRelative, rel, 16});
+  const auto decoded =
+      codec.decompress(codec.compress(data, Dims::d1(count)));
+  for (std::size_t i = 0; i < count; ++i) {
+    ASSERT_LE(std::fabs(decoded[i] - data[i]),
+              rel * std::max(global_max, 1.0) * 1.0001)
+        << i;
+  }
+}
+
+TEST_P(SzProperty, TighterBoundNeverSmaller) {
+  const auto& [family, count] = GetParam();
+  const auto data = make_data(family, count, 3);
+  double range = 0;
+  for (double v : data) range = std::max(range, std::fabs(v));
+  range = std::max(range, 1.0);
+
+  SzCompressor loose({SzMode::kAbsolute, range * 1e-3, 16});
+  SzCompressor tight({SzMode::kAbsolute, range * 1e-9, 16});
+  const auto loose_bytes = loose.compress(data, Dims::d1(count)).size();
+  const auto tight_bytes = tight.compress(data, Dims::d1(count)).size();
+  // Tighter bounds compress approximately no better.  (Not strictly
+  // monotone: outliers stored verbatim can be *more* LZ-compressible
+  // than quantization codes, e.g. step functions of round values.)
+  EXPECT_LE(loose_bytes, 2 * tight_bytes + 64);
+}
+
+TEST_P(SzProperty, HybridPredictorBoundHolds) {
+  const auto& [family, count] = GetParam();
+  const auto data = make_data(family, count, 8);
+  double range = 0;
+  for (double v : data) range = std::max(range, std::fabs(v));
+  const double bound = std::max(range, 1.0) * 1e-6;
+
+  SzCompressor codec({SzMode::kAbsolute, bound, 16, SzPredictor::kHybrid});
+  const auto decoded =
+      codec.decompress(codec.compress(data, Dims::d1(count)));
+  ASSERT_EQ(decoded.size(), count);
+  for (std::size_t i = 0; i < count; ++i) {
+    ASSERT_LE(std::fabs(decoded[i] - data[i]), bound) << i;
+  }
+}
+
+TEST_P(SzProperty, HybridNeverMuchWorseThanLorenzo) {
+  const auto& [family, count] = GetParam();
+  const auto data = make_data(family, count, 9);
+  double range = 0;
+  for (double v : data) range = std::max(range, std::fabs(v));
+  const double bound = std::max(range, 1.0) * 1e-5;
+
+  SzCompressor lorenzo({SzMode::kAbsolute, bound, 16, SzPredictor::kLorenzo});
+  SzCompressor hybrid({SzMode::kAbsolute, bound, 16, SzPredictor::kHybrid});
+  const auto lorenzo_bytes = lorenzo.compress(data, Dims::d1(count)).size();
+  const auto hybrid_bytes = hybrid.compress(data, Dims::d1(count)).size();
+  // Hybrid falls back to Lorenzo per block, so its only possible loss is
+  // the model header (flag bitmap + coefficients).
+  EXPECT_LE(hybrid_bytes, lorenzo_bytes + count / 8 + 256);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, SzProperty,
+    ::testing::Combine(::testing::Values(DataFamily::kSmooth,
+                                         DataFamily::kNoisy,
+                                         DataFamily::kSteppy,
+                                         DataFamily::kSparseZero,
+                                         DataFamily::kHugeRange),
+                       ::testing::Values(17, 1000, 4099)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return family_name(std::get<0>(info.param)) + "_" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+class ZfpProperty : public ::testing::TestWithParam<Param> {};
+
+TEST_P(ZfpProperty, FixedAccuracyBoundHolds) {
+  const auto& [family, count] = GetParam();
+  if (family == DataFamily::kHugeRange) {
+    GTEST_SKIP() << "per-block exponent mode: tolerance is per-block here";
+  }
+  const auto data = make_data(family, count, 4);
+  double range = 0;
+  for (double v : data) range = std::max(range, std::fabs(v));
+  const double tolerance = std::max(range, 1.0) * 1e-7;
+
+  ZfpCompressor codec({ZfpMode::kFixedAccuracy, 0, tolerance});
+  const auto decoded =
+      codec.decompress(codec.compress(data, Dims::d1(count)));
+  for (std::size_t i = 0; i < count; ++i) {
+    ASSERT_LE(std::fabs(decoded[i] - data[i]), tolerance) << i;
+  }
+}
+
+TEST_P(ZfpProperty, PrecisionMonotonicity) {
+  const auto& [family, count] = GetParam();
+  const auto data = make_data(family, count, 5);
+  double previous_error = std::numeric_limits<double>::infinity();
+  for (unsigned precision : {10u, 20u, 40u}) {
+    ZfpCompressor codec({ZfpMode::kFixedPrecision, precision, 0.0});
+    const auto decoded =
+        codec.decompress(codec.compress(data, Dims::d1(count)));
+    double err = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      err = std::max(err, std::fabs(decoded[i] - data[i]));
+    }
+    EXPECT_LE(err, previous_error * 1.0001 + 1e-300) << precision;
+    previous_error = err;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, ZfpProperty,
+    ::testing::Combine(::testing::Values(DataFamily::kSmooth,
+                                         DataFamily::kNoisy,
+                                         DataFamily::kSteppy,
+                                         DataFamily::kSparseZero,
+                                         DataFamily::kHugeRange),
+                       ::testing::Values(16, 333, 4096)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return family_name(std::get<0>(info.param)) + "_" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+class FpcProperty : public ::testing::TestWithParam<Param> {};
+
+TEST_P(FpcProperty, BitExactRoundTrip) {
+  const auto& [family, count] = GetParam();
+  const auto data = make_data(family, count, 6);
+  FpcCompressor codec({16});
+  const auto decoded =
+      codec.decompress(codec.compress(data, Dims::d1(count)));
+  ASSERT_EQ(decoded.size(), count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t a, b;
+    std::memcpy(&a, &data[i], 8);
+    std::memcpy(&b, &decoded[i], 8);
+    ASSERT_EQ(a, b) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, FpcProperty,
+    ::testing::Combine(::testing::Values(DataFamily::kSmooth,
+                                         DataFamily::kNoisy,
+                                         DataFamily::kSteppy,
+                                         DataFamily::kSparseZero,
+                                         DataFamily::kHugeRange),
+                       ::testing::Values(1, 255, 2048)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return family_name(std::get<0>(info.param)) + "_" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// 2D/3D shape sweep: partial blocks in every dimension combination.
+class ZfpShapeSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t,
+                                                 std::size_t>> {};
+
+TEST_P(ZfpShapeSweep, PartialBlocksEverywhere) {
+  const auto& [nx, ny, nz] = GetParam();
+  std::vector<double> data(nx * ny * nz);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = std::sin(0.1 * static_cast<double>(i)) * 7.0;
+  }
+  ZfpCompressor codec({ZfpMode::kFixedPrecision, 62, 0.0});
+  const auto decoded =
+      codec.decompress(codec.compress(data, {nx, ny, nz}));
+  ASSERT_EQ(decoded.size(), data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_NEAR(decoded[i], data[i], 1e-12) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ZfpShapeSweep,
+    ::testing::Values(std::make_tuple(1u, 1u, 1u), std::make_tuple(3u, 1u, 1u),
+                      std::make_tuple(4u, 4u, 1u), std::make_tuple(5u, 5u, 1u),
+                      std::make_tuple(7u, 3u, 1u), std::make_tuple(4u, 4u, 4u),
+                      std::make_tuple(5u, 6u, 7u),
+                      std::make_tuple(9u, 2u, 11u)));
+
+}  // namespace
+}  // namespace rmp::compress

@@ -1,0 +1,115 @@
+#include "io/container.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "io/storage_model.hpp"
+
+namespace rmp::io {
+namespace {
+
+Container sample() {
+  Container c;
+  c.method = "pca";
+  c.nx = 4;
+  c.ny = 5;
+  c.nz = 6;
+  c.add("reduced", {1, 2, 3});
+  c.add("delta", {4, 5, 6, 7});
+  c.add("meta", {});
+  return c;
+}
+
+TEST(Container, PayloadBytes) {
+  EXPECT_EQ(sample().payload_bytes(), 7u);
+}
+
+TEST(Container, FindSections) {
+  const Container c = sample();
+  ASSERT_NE(c.find("delta"), nullptr);
+  EXPECT_EQ(c.find("delta")->bytes.size(), 4u);
+  EXPECT_EQ(c.find("missing"), nullptr);
+}
+
+TEST(Container, SerializeRoundTrip) {
+  const Container c = sample();
+  const auto bytes = serialize(c);
+  const Container back = deserialize(bytes);
+  EXPECT_EQ(back.method, c.method);
+  EXPECT_EQ(back.nx, c.nx);
+  EXPECT_EQ(back.ny, c.ny);
+  EXPECT_EQ(back.nz, c.nz);
+  ASSERT_EQ(back.sections.size(), c.sections.size());
+  for (std::size_t i = 0; i < c.sections.size(); ++i) {
+    EXPECT_EQ(back.sections[i].name, c.sections[i].name);
+    EXPECT_EQ(back.sections[i].bytes, c.sections[i].bytes);
+  }
+}
+
+TEST(Container, DeserializeRejectsGarbage) {
+  std::vector<std::uint8_t> garbage = {1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_THROW(deserialize(garbage), std::runtime_error);
+}
+
+TEST(Container, DeserializeRejectsTruncation) {
+  auto bytes = serialize(sample());
+  bytes.resize(bytes.size() - 2);
+  EXPECT_THROW(deserialize(bytes), std::runtime_error);
+}
+
+TEST(Container, FileRoundTrip) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "rmp_container_test.bin";
+  const Container c = sample();
+  write_container(path, c);
+  const Container back = read_container(path);
+  EXPECT_EQ(back.method, c.method);
+  EXPECT_EQ(back.payload_bytes(), c.payload_bytes());
+  std::filesystem::remove(path);
+}
+
+TEST(Container, ReadMissingFileThrows) {
+  EXPECT_THROW(read_container("/nonexistent/rmp.bin"), std::runtime_error);
+}
+
+TEST(StorageModel, IoTimeScalesWithBytes) {
+  StorageModel model;
+  model.filesystem_bandwidth = 1e9;
+  model.write_latency = 0.0;
+  EXPECT_NEAR(model.io_time(1, 1e9), 1.0, 1e-12);
+  EXPECT_NEAR(model.io_time(4, 1e9), 4.0, 1e-12);
+}
+
+TEST(StorageModel, CompressionShrinksIoTime) {
+  EndToEndScenario scenario;
+  const auto baseline = make_baseline_row(scenario);
+  const auto zfp = make_row(scenario, "ZFP+I/O", 12.0, 4.0);
+  EXPECT_LT(zfp.io_time, baseline.io_time);
+  EXPECT_NEAR(zfp.io_time * 4.0, baseline.io_time,
+              baseline.io_time * 0.05 + 4 * scenario.storage.write_latency);
+}
+
+TEST(StorageModel, HighOverheadMethodCanLose) {
+  // The Table IV effect: PCA's compression time can cancel its I/O win.
+  EndToEndScenario scenario;
+  const auto baseline = make_baseline_row(scenario);
+  const auto pca = make_row(scenario, "PCA(ZFP)+I/O", 45.0, 12.0);
+  EXPECT_GT(pca.total_time, baseline.total_time * 0.9);
+}
+
+TEST(StorageModel, StagingBeatsSynchronousPipelines) {
+  EndToEndScenario scenario;
+  const auto staging = make_staging_row(scenario, "Staging+PCA+I/O");
+  const auto pca = make_row(scenario, "PCA(ZFP)+I/O", 45.0, 12.0);
+  EXPECT_LT(staging.total_time, pca.total_time);
+}
+
+TEST(StorageModel, RejectsNonPositiveRatio) {
+  EndToEndScenario scenario;
+  EXPECT_THROW(make_row(scenario, "bad", 1.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rmp::io

@@ -1,0 +1,117 @@
+// Negative-path sweep: every preconditioner must reject malformed
+// containers with a clean exception -- missing sections, wrong method
+// dispatch, mutilated metadata -- instead of crashing or fabricating
+// output.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compress/factory.hpp"
+#include "core/pipeline.hpp"
+
+namespace rmp::core {
+namespace {
+
+struct Codecs {
+  std::unique_ptr<compress::Compressor> reduced = compress::make_zfp_original();
+  std::unique_ptr<compress::Compressor> delta = compress::make_zfp_delta();
+  CodecPair pair() const { return {reduced.get(), delta.get()}; }
+};
+
+sim::Field field3d() {
+  sim::Field f(8, 8, 8);
+  for (std::size_t n = 0; n < f.size(); ++n) {
+    f.flat()[n] = std::sin(0.1 * static_cast<double>(n));
+  }
+  return f;
+}
+
+class DecodeErrors : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DecodeErrors, EmptyContainerThrows) {
+  Codecs codecs;
+  const auto preconditioner = make_preconditioner(GetParam());
+  io::Container empty;
+  empty.method = GetParam();
+  empty.nx = 8;
+  empty.ny = 8;
+  empty.nz = 8;
+  EXPECT_ANY_THROW(preconditioner->decode(empty, codecs.pair(), nullptr));
+}
+
+// one-base's and wavelet's "meta" sections are provenance only: decode
+// reconstructs without them (one-base's mid index is implicit; wavelet
+// defaults to the 2D transform).  Every other section is load-bearing.
+bool section_is_advisory(const std::string& method,
+                         const std::string& section) {
+  return section == "meta" && (method == "one-base" || method == "wavelet");
+}
+
+TEST_P(DecodeErrors, DroppingAnySectionThrows) {
+  Codecs codecs;
+  const auto preconditioner = make_preconditioner(GetParam());
+  const io::Container complete =
+      preconditioner->encode(field3d(), codecs.pair(), nullptr);
+
+  for (std::size_t drop = 0; drop < complete.sections.size(); ++drop) {
+    if (section_is_advisory(GetParam(), complete.sections[drop].name)) {
+      continue;
+    }
+    io::Container mutilated = complete;
+    mutilated.sections.erase(mutilated.sections.begin() +
+                             static_cast<std::ptrdiff_t>(drop));
+    EXPECT_ANY_THROW(preconditioner->decode(mutilated, codecs.pair(), nullptr))
+        << "dropped section " << complete.sections[drop].name;
+  }
+}
+
+TEST_P(DecodeErrors, CorruptedSectionBytesThrow) {
+  Codecs codecs;
+  const auto preconditioner = make_preconditioner(GetParam());
+  io::Container container =
+      preconditioner->encode(field3d(), codecs.pair(), nullptr);
+
+  for (auto& section : container.sections) {
+    if (section.bytes.size() < 8) continue;
+    if (section_is_advisory(GetParam(), section.name)) continue;
+    auto saved = section.bytes;
+    // Truncate the section hard: decoders must notice.
+    section.bytes.resize(4);
+    EXPECT_ANY_THROW(preconditioner->decode(container, codecs.pair(), nullptr))
+        << "truncated section " << section.name;
+    section.bytes = saved;
+  }
+}
+
+TEST_P(DecodeErrors, RoundTripStillWorksAfterNegativeTests) {
+  // Guard against the negative tests hiding a broken happy path.
+  Codecs codecs;
+  const auto preconditioner = make_preconditioner(GetParam());
+  const sim::Field f = field3d();
+  const auto container = preconditioner->encode(f, codecs.pair(), nullptr);
+  const auto decoded = preconditioner->decode(container, codecs.pair(), nullptr);
+  EXPECT_EQ(decoded.size(), f.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, DecodeErrors,
+                         ::testing::Values("identity", "one-base",
+                                           "multi-base", "duomodel", "pca",
+                                           "svd", "wavelet", "pca-part",
+                                           "tucker"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(DecodeErrors, ReconstructRejectsUnknownMethod) {
+  Codecs codecs;
+  io::Container container;
+  container.method = "martian";
+  EXPECT_THROW(reconstruct(container, codecs.pair()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rmp::core

@@ -1,0 +1,129 @@
+#include "sim/field.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rmp::sim {
+namespace {
+
+TEST(Field, ShapeAndRank) {
+  EXPECT_EQ(Field(8, 1, 1).rank(), 1u);
+  EXPECT_EQ(Field(8, 8, 1).rank(), 2u);
+  EXPECT_EQ(Field(8, 8, 8).rank(), 3u);
+  EXPECT_EQ(Field(8, 8, 8).size(), 512u);
+}
+
+TEST(Field, IndexingLayoutZFastest) {
+  Field f(2, 3, 4);
+  f.at(1, 2, 3) = 42.0;
+  EXPECT_DOUBLE_EQ(f.flat()[(1 * 3 + 2) * 4 + 3], 42.0);
+}
+
+TEST(Field, FromDataValidatesSize) {
+  EXPECT_THROW(Field::from_data(2, 2, 2, std::vector<double>(7)),
+               std::invalid_argument);
+  const Field f = Field::from_data(2, 2, 2, std::vector<double>(8, 1.0));
+  EXPECT_DOUBLE_EQ(f.at(1, 1, 1), 1.0);
+}
+
+TEST(Field, ExtractZPlane) {
+  Field f(2, 2, 3);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      for (std::size_t k = 0; k < 3; ++k) {
+        f.at(i, j, k) = static_cast<double>(100 * i + 10 * j + k);
+      }
+    }
+  }
+  const Field plane = extract_z_plane(f, 1);
+  EXPECT_EQ(plane.rank(), 2u);
+  EXPECT_DOUBLE_EQ(plane.at(1, 1), 111.0);
+  EXPECT_THROW(extract_z_plane(f, 3), std::out_of_range);
+}
+
+TEST(Field, AddSubtractInverse) {
+  Field a(3, 3, 3, 2.0);
+  Field b(3, 3, 3, 0.5);
+  const Field d = subtract(a, b);
+  const Field restored = add(d, b);
+  for (std::size_t n = 0; n < a.size(); ++n) {
+    EXPECT_DOUBLE_EQ(restored.flat()[n], a.flat()[n]);
+  }
+  EXPECT_THROW(subtract(a, Field(2, 2, 2)), std::invalid_argument);
+}
+
+TEST(Field, DownsampleShapes) {
+  Field f(16, 16, 16, 1.0);
+  const Field d = downsample(f, 4, 4, 4);
+  EXPECT_EQ(d.nx(), 4u);
+  EXPECT_EQ(d.ny(), 4u);
+  EXPECT_EQ(d.nz(), 4u);
+  EXPECT_THROW(downsample(f, 0, 1, 1), std::invalid_argument);
+}
+
+TEST(Field, DownsamplePicksGridPoints) {
+  Field f(8, 1, 1);
+  for (std::size_t i = 0; i < 8; ++i) f.at(i) = static_cast<double>(i);
+  const Field d = downsample(f, 2, 1, 1);
+  EXPECT_DOUBLE_EQ(d.at(0), 0.0);
+  EXPECT_DOUBLE_EQ(d.at(1), 2.0);
+  EXPECT_DOUBLE_EQ(d.at(3), 6.0);
+}
+
+TEST(Field, UpsampleLinearExactOnLinearData) {
+  // Linear data must be reproduced exactly by (tri)linear interpolation.
+  Field coarse(5, 1, 1);
+  for (std::size_t i = 0; i < 5; ++i) coarse.at(i) = 2.0 * static_cast<double>(i);
+  const Field fine = upsample_linear(coarse, 9, 1, 1);
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_NEAR(fine.at(i), static_cast<double>(i), 1e-12);
+  }
+}
+
+TEST(Field, UpsampleLinear3dExactOnTrilinear) {
+  Field coarse(3, 3, 3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      for (std::size_t k = 0; k < 3; ++k) {
+        coarse.at(i, j, k) = 1.0 * static_cast<double>(i) +
+                             2.0 * static_cast<double>(j) +
+                             3.0 * static_cast<double>(k);
+      }
+    }
+  }
+  const Field fine = upsample_linear(coarse, 5, 5, 5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      for (std::size_t k = 0; k < 5; ++k) {
+        const double expect = 0.5 * static_cast<double>(i) +
+                              1.0 * static_cast<double>(j) +
+                              1.5 * static_cast<double>(k);
+        ASSERT_NEAR(fine.at(i, j, k), expect, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Field, DownUpRoundTripApproximatesSmooth) {
+  Field f(17, 17, 17);
+  for (std::size_t i = 0; i < 17; ++i) {
+    for (std::size_t j = 0; j < 17; ++j) {
+      for (std::size_t k = 0; k < 17; ++k) {
+        f.at(i, j, k) = std::sin(0.3 * static_cast<double>(i)) *
+                        std::cos(0.2 * static_cast<double>(j)) +
+                        0.1 * static_cast<double>(k);
+      }
+    }
+  }
+  const Field d = downsample(f, 2, 2, 2);
+  const Field u = upsample_linear(d, 17, 17, 17);
+  double max_err = 0;
+  for (std::size_t n = 0; n < f.size(); ++n) {
+    max_err = std::max(max_err, std::fabs(u.flat()[n] - f.flat()[n]));
+  }
+  EXPECT_LT(max_err, 0.2);  // smooth field, coarse grid: small residual
+}
+
+}  // namespace
+}  // namespace rmp::sim

@@ -1,0 +1,110 @@
+#include "compress/fpc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <random>
+
+namespace rmp::compress {
+namespace {
+
+TEST(Fpc, ExactRoundTripSmooth) {
+  FpcCompressor codec;
+  std::vector<double> data(5000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = std::sin(0.001 * static_cast<double>(i)) * 42.0;
+  }
+  const auto decoded = codec.decompress(codec.compress(data, Dims::d1(5000)));
+  EXPECT_EQ(decoded, data);
+}
+
+TEST(Fpc, ExactRoundTripRandom) {
+  FpcCompressor codec;
+  std::mt19937_64 rng(11);
+  std::vector<double> data(3000);
+  for (auto& v : data) {
+    std::uint64_t bits = rng();
+    std::memcpy(&v, &bits, sizeof(v));
+    if (std::isnan(v)) v = 0.0;  // NaN payloads compare unequal via ==
+  }
+  const auto decoded = codec.decompress(codec.compress(data, Dims::d1(3000)));
+  ASSERT_EQ(decoded.size(), data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    std::uint64_t a, b;
+    std::memcpy(&a, &data[i], 8);
+    std::memcpy(&b, &decoded[i], 8);
+    ASSERT_EQ(a, b) << "bit mismatch at " << i;
+  }
+}
+
+TEST(Fpc, BitExactIncludingSpecials) {
+  FpcCompressor codec;
+  std::vector<double> data = {0.0,
+                              -0.0,
+                              std::numeric_limits<double>::infinity(),
+                              -std::numeric_limits<double>::infinity(),
+                              std::numeric_limits<double>::denorm_min(),
+                              std::numeric_limits<double>::max(),
+                              std::nan("")};
+  const auto decoded =
+      codec.decompress(codec.compress(data, Dims::d1(data.size())));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    std::uint64_t a, b;
+    std::memcpy(&a, &data[i], 8);
+    std::memcpy(&b, &decoded[i], 8);
+    EXPECT_EQ(a, b) << "at " << i;
+  }
+}
+
+TEST(Fpc, OddCountPacksNibbles) {
+  FpcCompressor codec;
+  std::vector<double> data = {1.0, 2.0, 3.0};
+  const auto decoded = codec.decompress(codec.compress(data, Dims::d1(3)));
+  EXPECT_EQ(decoded, data);
+}
+
+TEST(Fpc, RepetitiveDataCompresses) {
+  FpcCompressor codec;
+  std::vector<double> data(10000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<double>(i % 16);
+  }
+  const auto stream = codec.compress(data, Dims::d1(10000));
+  EXPECT_GT(compression_ratio(data.size(), stream.size()), 2.0);
+  EXPECT_EQ(codec.decompress(stream), data);
+}
+
+TEST(Fpc, EmptyInput) {
+  FpcCompressor codec;
+  std::vector<double> data;
+  const auto stream = codec.compress(data, Dims{0, 1, 1});
+  EXPECT_TRUE(codec.decompress(stream).empty());
+}
+
+TEST(Fpc, RejectsBadTableBits) {
+  EXPECT_THROW(FpcCompressor({2}), std::invalid_argument);
+  EXPECT_THROW(FpcCompressor({30}), std::invalid_argument);
+}
+
+TEST(Fpc, IsLossless) {
+  FpcCompressor codec;
+  EXPECT_TRUE(codec.lossless());
+}
+
+class FpcTableSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FpcTableSweep, RoundTripAtTableSize) {
+  FpcCompressor codec({GetParam()});
+  std::vector<double> data(2000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = std::cos(0.01 * static_cast<double>(i)) * 1e5;
+  }
+  EXPECT_EQ(codec.decompress(codec.compress(data, Dims::d1(2000))), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Tables, FpcTableSweep,
+                         ::testing::Values(4, 8, 12, 16, 20, 24));
+
+}  // namespace
+}  // namespace rmp::compress

@@ -1,0 +1,121 @@
+#include "compress/huffman.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+namespace rmp::compress {
+namespace {
+
+TEST(Huffman, EmptyInput) {
+  const auto bytes = huffman_encode({});
+  EXPECT_TRUE(huffman_decode(bytes).empty());
+}
+
+TEST(Huffman, SingleDistinctSymbol) {
+  std::vector<std::uint32_t> symbols(100, 42);
+  const auto bytes = huffman_encode(symbols);
+  EXPECT_EQ(huffman_decode(bytes), symbols);
+}
+
+TEST(Huffman, TwoSymbols) {
+  std::vector<std::uint32_t> symbols = {1, 2, 1, 1, 2, 1};
+  EXPECT_EQ(huffman_decode(huffman_encode(symbols)), symbols);
+}
+
+TEST(Huffman, SkewedDistributionCompresses) {
+  // 95% of one symbol: the coded size should be far below 32 bits/symbol.
+  std::mt19937 rng(7);
+  std::vector<std::uint32_t> symbols;
+  for (int i = 0; i < 20000; ++i) {
+    symbols.push_back(rng() % 100 < 95 ? 7u : rng() % 256);
+  }
+  const auto bytes = huffman_encode(symbols);
+  EXPECT_LT(bytes.size(), symbols.size());  // < 8 bits/symbol
+  EXPECT_EQ(huffman_decode(bytes), symbols);
+}
+
+TEST(Huffman, LargeAlphabetRoundTrip) {
+  std::mt19937 rng(99);
+  std::vector<std::uint32_t> symbols;
+  for (int i = 0; i < 5000; ++i) symbols.push_back(rng() % 65536);
+  EXPECT_EQ(huffman_decode(huffman_encode(symbols)), symbols);
+}
+
+TEST(Huffman, SparseHugeSymbolValues) {
+  std::vector<std::uint32_t> symbols = {0xFFFFFFFF, 0, 0xFFFFFFFF, 123456789,
+                                        0xFFFFFFFF, 0, 123456789};
+  EXPECT_EQ(huffman_decode(huffman_encode(symbols)), symbols);
+}
+
+TEST(Huffman, EncoderRejectsUnknownSymbol) {
+  std::vector<std::uint32_t> sample = {1, 2, 3};
+  HuffmanEncoder encoder(sample);
+  BitWriter writer;
+  EXPECT_THROW(encoder.write_symbol(writer, 4), std::out_of_range);
+}
+
+TEST(Huffman, CodeLengthsAreBounded) {
+  // A Fibonacci-like frequency profile drives plain Huffman depth up; the
+  // encoder must rebalance below its 58-bit write limit.
+  std::vector<std::uint32_t> symbols;
+  std::uint64_t a = 1, b = 1;
+  for (std::uint32_t s = 0; s < 40; ++s) {
+    for (std::uint64_t i = 0; i < std::min<std::uint64_t>(a, 100000); ++i) {
+      symbols.push_back(s);
+    }
+    const std::uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  HuffmanEncoder encoder(symbols);
+  EXPECT_LE(encoder.max_code_length(), 58u);
+  EXPECT_EQ(huffman_decode(huffman_encode(symbols)), symbols);
+}
+
+TEST(Huffman, MixedShortAndLongCodesRoundTrip) {
+  // Fibonacci-ish weights force code lengths well beyond the 12-bit fast
+  // table, so decoding exercises both the table and the bit-by-bit path
+  // in one stream.
+  std::vector<std::uint32_t> symbols;
+  std::uint64_t weight = 1;
+  for (std::uint32_t s = 0; s < 24; ++s) {
+    for (std::uint64_t i = 0; i < std::min<std::uint64_t>(weight, 3000); ++i) {
+      symbols.push_back(s);
+    }
+    weight = weight * 3 / 2 + 1;
+  }
+  // Shuffle deterministically so long and short codes interleave.
+  std::mt19937 rng(4);
+  std::shuffle(symbols.begin(), symbols.end(), rng);
+  EXPECT_EQ(huffman_decode(huffman_encode(symbols)), symbols);
+}
+
+TEST(Huffman, FastPathHandlesStreamTail) {
+  // A single symbol at the very end of the stream: the fast table's peek
+  // pads with zeros and must still resolve the correct final code.
+  std::vector<std::uint32_t> symbols;
+  for (int i = 0; i < 100; ++i) symbols.push_back(i % 3);
+  symbols.push_back(2);
+  EXPECT_EQ(huffman_decode(huffman_encode(symbols)), symbols);
+}
+
+class HuffmanSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HuffmanSizeSweep, RoundTripAtSize) {
+  std::mt19937 rng(GetParam());
+  std::vector<std::uint32_t> symbols;
+  symbols.reserve(GetParam());
+  for (std::size_t i = 0; i < GetParam(); ++i) {
+    symbols.push_back(rng() % 97);
+  }
+  EXPECT_EQ(huffman_decode(huffman_encode(symbols)), symbols);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HuffmanSizeSweep,
+                         ::testing::Values(1, 2, 3, 7, 64, 255, 256, 1000,
+                                           4096));
+
+}  // namespace
+}  // namespace rmp::compress

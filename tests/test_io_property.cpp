@@ -1,0 +1,110 @@
+// Robustness properties of the container format and storage model:
+// truncation at *every* byte boundary must throw cleanly (never crash or
+// return garbage), random section layouts must round-trip, and the
+// storage model must behave monotonically in its inputs.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "io/container.hpp"
+#include "io/storage_model.hpp"
+
+namespace rmp::io {
+namespace {
+
+Container random_container(unsigned seed) {
+  std::mt19937 rng(seed);
+  Container c;
+  c.method = "m" + std::to_string(rng() % 1000);
+  c.nx = 1 + rng() % 100;
+  c.ny = 1 + rng() % 100;
+  c.nz = 1 + rng() % 100;
+  const std::size_t sections = rng() % 6;
+  for (std::size_t s = 0; s < sections; ++s) {
+    std::vector<std::uint8_t> bytes(rng() % 300);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng());
+    c.add("section" + std::to_string(s), std::move(bytes));
+  }
+  return c;
+}
+
+class ContainerFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ContainerFuzz, RoundTripRandomLayout) {
+  const Container c = random_container(GetParam());
+  const Container back = deserialize(serialize(c));
+  EXPECT_EQ(back.method, c.method);
+  EXPECT_EQ(back.nx, c.nx);
+  EXPECT_EQ(back.ny, c.ny);
+  EXPECT_EQ(back.nz, c.nz);
+  ASSERT_EQ(back.sections.size(), c.sections.size());
+  for (std::size_t s = 0; s < c.sections.size(); ++s) {
+    EXPECT_EQ(back.sections[s].name, c.sections[s].name);
+    EXPECT_EQ(back.sections[s].bytes, c.sections[s].bytes);
+  }
+}
+
+TEST_P(ContainerFuzz, EveryTruncationThrowsCleanly) {
+  const auto bytes = serialize(random_container(GetParam()));
+  // Step through truncation points (every byte for small containers,
+  // strided for large ones to keep runtime sane).
+  const std::size_t stride = bytes.size() > 512 ? 7 : 1;
+  for (std::size_t cut = 0; cut < bytes.size(); cut += stride) {
+    std::vector<std::uint8_t> truncated(bytes.begin(), bytes.begin() + cut);
+    EXPECT_THROW(deserialize(truncated), std::runtime_error) << cut;
+  }
+}
+
+TEST_P(ContainerFuzz, EverySingleBitFlipIsDetected) {
+  const auto bytes = serialize(random_container(GetParam()));
+  std::mt19937 rng(GetParam() * 31 + 1);
+  // Sample positions (all positions for small payloads).
+  for (int trial = 0; trial < 40; ++trial) {
+    auto corrupted = bytes;
+    const std::size_t byte_index = rng() % corrupted.size();
+    corrupted[byte_index] ^= static_cast<std::uint8_t>(1u << (rng() % 8));
+    EXPECT_THROW(deserialize(corrupted), std::runtime_error)
+        << "flip at byte " << byte_index;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContainerFuzz, ::testing::Range(0u, 8u));
+
+TEST(StorageModelProperty, IoTimeMonotoneInBytes) {
+  StorageModel model;
+  double previous = 0.0;
+  for (double bytes : {1e6, 1e8, 1e10, 1e12}) {
+    const double t = model.io_time(8, bytes);
+    EXPECT_GT(t, previous);
+    previous = t;
+  }
+}
+
+TEST(StorageModelProperty, RatioMonotoneInRowTime) {
+  EndToEndScenario scenario;
+  double previous = 1e300;
+  for (double ratio : {1.0, 2.0, 8.0, 64.0}) {
+    const auto row = make_row(scenario, "x", 10.0, ratio);
+    EXPECT_LT(row.io_time, previous);
+    previous = row.io_time;
+  }
+}
+
+TEST(StorageModelProperty, StagingIndependentOfCompression) {
+  EndToEndScenario scenario;
+  const auto a = make_staging_row(scenario, "s");
+  scenario.storage.filesystem_bandwidth /= 10.0;  // slower FS
+  const auto b = make_staging_row(scenario, "s");
+  EXPECT_DOUBLE_EQ(a.total_time, b.total_time);  // staging bypasses the FS
+}
+
+TEST(StorageModelProperty, LatencyAddsConstantOffset) {
+  StorageModel model;
+  model.write_latency = 0.0;
+  const double base = model.io_time(4, 1e9);
+  model.write_latency = 2.5;
+  EXPECT_NEAR(model.io_time(4, 1e9), base + 2.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace rmp::io

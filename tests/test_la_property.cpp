@@ -1,0 +1,130 @@
+// Parameterized property sweeps for the linear algebra kernels: the
+// eigensolver and SVD must satisfy their defining identities across a
+// grid of shapes and seeds, not just on hand-picked matrices.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <tuple>
+
+#include "la/covariance.hpp"
+#include "la/eigen.hpp"
+#include "la/svd.hpp"
+
+namespace rmp::la {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  Matrix m(rows, cols);
+  for (double& v : m.flat()) v = dist(rng);
+  return m;
+}
+
+Matrix symmetrize(const Matrix& m) {
+  Matrix s(m.rows(), m.rows());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.rows(); ++j) {
+      s(i, j) = 0.5 * (m(i, j) + m(j, i));
+    }
+  }
+  return s;
+}
+
+class EigenSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, unsigned>> {};
+
+TEST_P(EigenSweep, DecompositionIdentities) {
+  const auto& [n, seed] = GetParam();
+  const Matrix a = symmetrize(random_matrix(n, n, seed));
+  const auto eig = jacobi_eigen(a);
+
+  // Descending eigenvalues.
+  for (std::size_t i = 1; i < n; ++i) {
+    EXPECT_GE(eig.values[i - 1], eig.values[i] - 1e-12);
+  }
+  // Orthonormal eigenvectors.
+  const Matrix vtv = eig.vectors.transposed() * eig.vectors;
+  EXPECT_LT(Matrix::max_abs_diff(vtv, Matrix::identity(n)), 1e-9);
+  // A v_i = lambda_i v_i.
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double av = 0;
+      for (std::size_t k = 0; k < n; ++k) av += a(i, k) * eig.vectors(k, j);
+      EXPECT_NEAR(av, eig.values[j] * eig.vectors(i, j), 1e-8);
+    }
+  }
+  // Trace preserved.
+  double trace = 0, sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    trace += a(i, i);
+    sum += eig.values[i];
+  }
+  EXPECT_NEAR(trace, sum, 1e-9 * std::max(1.0, std::fabs(trace)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, EigenSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8, 13, 21),
+                       ::testing::Values(7u, 77u)));
+
+class SvdSweep
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, unsigned>> {};
+
+TEST_P(SvdSweep, DecompositionIdentities) {
+  const auto& [rows, cols, seed] = GetParam();
+  const Matrix a = random_matrix(rows, cols, seed);
+  const auto svd = jacobi_svd(a);
+
+  // Full reconstruction.
+  EXPECT_LT(Matrix::max_abs_diff(svd_reconstruct(svd), a), 1e-9);
+  // Non-negative, descending singular values.
+  for (std::size_t i = 0; i < svd.sigma.size(); ++i) {
+    EXPECT_GE(svd.sigma[i], 0.0);
+    if (i > 0) EXPECT_GE(svd.sigma[i - 1], svd.sigma[i] - 1e-12);
+  }
+  // Frobenius norm preserved: ||A||_F^2 == sum sigma_i^2.
+  double sigma2 = 0;
+  for (double s : svd.sigma) sigma2 += s * s;
+  EXPECT_NEAR(a.frobenius_norm() * a.frobenius_norm(), sigma2,
+              1e-8 * std::max(1.0, sigma2));
+  // V orthogonal.
+  const Matrix vtv = svd.v.transposed() * svd.v;
+  EXPECT_LT(Matrix::max_abs_diff(vtv, Matrix::identity(svd.v.rows())), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SvdSweep,
+    ::testing::Combine(::testing::Values(1, 2, 5, 16, 40),
+                       ::testing::Values(1, 2, 5, 12),
+                       ::testing::Values(3u, 33u)));
+
+class CovarianceSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(CovarianceSweep, PositiveSemiDefiniteAndSymmetric) {
+  const auto& [rows, cols] = GetParam();
+  const Matrix a = random_matrix(rows, cols, 11);
+  const Matrix c = covariance(a);
+  ASSERT_EQ(c.rows(), cols);
+  ASSERT_EQ(c.cols(), cols);
+  for (std::size_t i = 0; i < cols; ++i) {
+    EXPECT_GE(c(i, i), -1e-12);  // variances are non-negative
+    for (std::size_t j = 0; j < cols; ++j) {
+      EXPECT_NEAR(c(i, j), c(j, i), 1e-12);
+    }
+  }
+  // All eigenvalues >= 0 (PSD).
+  const auto eig = jacobi_eigen(c);
+  for (double v : eig.values) EXPECT_GE(v, -1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, CovarianceSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 10, 64),
+                                            ::testing::Values(1, 3, 9)));
+
+}  // namespace
+}  // namespace rmp::la

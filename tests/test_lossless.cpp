@@ -1,0 +1,141 @@
+#include "compress/lossless.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <tuple>
+
+namespace rmp::compress {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Lossless, EmptyInput) {
+  const auto compressed = lossless_compress({});
+  EXPECT_TRUE(lossless_decompress(compressed).empty());
+}
+
+TEST(Lossless, ShortLiteralOnly) {
+  const auto input = bytes_of("abc");
+  EXPECT_EQ(lossless_decompress(lossless_compress(input)), input);
+}
+
+TEST(Lossless, RepetitiveInputCompressesWell) {
+  std::vector<std::uint8_t> input;
+  for (int i = 0; i < 1000; ++i) {
+    const auto chunk = bytes_of("the quick brown fox ");
+    input.insert(input.end(), chunk.begin(), chunk.end());
+  }
+  const auto compressed = lossless_compress(input);
+  EXPECT_LT(compressed.size(), input.size() / 10);
+  EXPECT_EQ(lossless_decompress(compressed), input);
+}
+
+TEST(Lossless, IncompressibleFallsBackToRaw) {
+  std::mt19937 rng(5);
+  std::vector<std::uint8_t> input(4096);
+  for (auto& b : input) b = static_cast<std::uint8_t>(rng());
+  const auto compressed = lossless_compress(input);
+  // Raw mode overhead is 9 bytes.
+  EXPECT_LE(compressed.size(), input.size() + 9);
+  EXPECT_EQ(lossless_decompress(compressed), input);
+}
+
+TEST(Lossless, OverlappingMatchRunLength) {
+  // "aaaa..." forces overlapping copies (distance 1, long length).
+  std::vector<std::uint8_t> input(10000, 'a');
+  const auto compressed = lossless_compress(input);
+  EXPECT_LT(compressed.size(), 200u);
+  EXPECT_EQ(lossless_decompress(compressed), input);
+}
+
+TEST(Lossless, AllByteValues) {
+  std::vector<std::uint8_t> input;
+  for (int round = 0; round < 8; ++round) {
+    for (int b = 0; b < 256; ++b) input.push_back(static_cast<std::uint8_t>(b));
+  }
+  EXPECT_EQ(lossless_decompress(lossless_compress(input)), input);
+}
+
+TEST(Lossless, RejectsGarbage) {
+  std::vector<std::uint8_t> garbage = {0x77, 1, 2, 3};
+  EXPECT_THROW(lossless_decompress(garbage), std::runtime_error);
+  EXPECT_THROW(lossless_decompress({}), std::runtime_error);
+}
+
+class LosslessOptionsSweep
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned, unsigned>> {
+};
+
+TEST_P(LosslessOptionsSweep, RoundTripUnderAnyTuning) {
+  const auto& [window_bits, min_match, max_chain] = GetParam();
+  LosslessOptions options;
+  options.window = 1u << window_bits;
+  options.min_match = min_match;
+  options.max_chain = max_chain;
+
+  std::vector<std::uint8_t> input;
+  for (int i = 0; i < 2000; ++i) {
+    // Structured but not trivial: repeated motifs at varying distances.
+    input.push_back(static_cast<std::uint8_t>((i * 7) % 251));
+    if (i % 5 == 0) {
+      const auto motif = bytes_of("motif");
+      input.insert(input.end(), motif.begin(), motif.end());
+    }
+  }
+  const auto compressed = lossless_compress(input, options);
+  EXPECT_EQ(lossless_decompress(compressed), input);
+}
+
+TEST_P(LosslessOptionsSweep, SmallerWindowNeverDecodesWrong) {
+  const auto& [window_bits, min_match, max_chain] = GetParam();
+  LosslessOptions options;
+  options.window = 1u << window_bits;
+  options.min_match = min_match;
+  options.max_chain = max_chain;
+  // Matches farther than the window must simply not be used.
+  std::vector<std::uint8_t> input;
+  const auto chunk = bytes_of("abcdefghijklmnopqrstuvwxyz0123456789");
+  for (int rep = 0; rep < 40; ++rep) {
+    input.insert(input.end(), chunk.begin(), chunk.end());
+    input.push_back(static_cast<std::uint8_t>(rep));
+  }
+  EXPECT_EQ(lossless_decompress(lossless_compress(input, options)), input);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Tunings, LosslessOptionsSweep,
+    ::testing::Combine(::testing::Values(6u, 10u, 16u),
+                       ::testing::Values(4u, 8u),
+                       ::testing::Values(1u, 8u, 64u)));
+
+class LosslessRandomized : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LosslessRandomized, StructuredRandomRoundTrip) {
+  std::mt19937 rng(GetParam());
+  // Mix of random runs and repeated motifs, the typical shape of
+  // quantization-code byte streams.
+  std::vector<std::uint8_t> input;
+  for (int block = 0; block < 50; ++block) {
+    if (rng() % 2 == 0) {
+      const std::uint8_t value = static_cast<std::uint8_t>(rng());
+      const std::size_t run = rng() % 300;
+      input.insert(input.end(), run, value);
+    } else {
+      const std::size_t run = rng() % 100;
+      for (std::size_t i = 0; i < run; ++i) {
+        input.push_back(static_cast<std::uint8_t>(rng()));
+      }
+    }
+  }
+  EXPECT_EQ(lossless_decompress(lossless_compress(input)), input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LosslessRandomized,
+                         ::testing::Range(0u, 10u));
+
+}  // namespace
+}  // namespace rmp::compress

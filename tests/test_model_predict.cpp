@@ -1,0 +1,125 @@
+#include "core/model_predict.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/heat.hpp"
+#include "sim/synthetic.hpp"
+
+namespace rmp::core {
+namespace {
+
+TEST(Features, ZeroFraction) {
+  sim::Field f(10, 1, 1);
+  for (std::size_t i = 0; i < 5; ++i) f.at(i) = 1.0;
+  const auto features = extract_features(f);
+  EXPECT_DOUBLE_EQ(features.zero_fraction, 0.5);
+}
+
+TEST(Features, ValueRange) {
+  sim::Field f(4, 1, 1);
+  f.at(0) = -2.0;
+  f.at(3) = 6.0;
+  EXPECT_DOUBLE_EQ(extract_features(f).value_range, 8.0);
+}
+
+TEST(Features, MidPlaneAffinityPerfectForZInvariant) {
+  // A field constant along Z is exactly explained by its mid plane.
+  sim::Field f(8, 8, 8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      for (std::size_t k = 0; k < 8; ++k) {
+        f.at(i, j, k) = static_cast<double>(i * j);
+      }
+    }
+  }
+  EXPECT_NEAR(extract_features(f).mid_plane_affinity, 1.0, 1e-12);
+}
+
+TEST(Features, MidPlaneAffinityZeroForNon3d) {
+  sim::Field f(64, 1, 1, 1.0);
+  EXPECT_DOUBLE_EQ(extract_features(f).mid_plane_affinity, 0.0);
+}
+
+TEST(Features, Pc1DominantForRankOneData) {
+  // Every column is a multiple of the same profile: PC1 carries all.
+  sim::Field f(32, 32, 1);
+  for (std::size_t i = 0; i < 32; ++i) {
+    for (std::size_t j = 0; j < 32; ++j) {
+      f.at(i, j) = std::sin(0.2 * static_cast<double>(i)) *
+                   (1.0 + static_cast<double>(j));
+    }
+  }
+  EXPECT_GT(extract_features(f).pc1_proportion, 0.95);
+}
+
+TEST(Features, Pc1LowForWhiteNoise) {
+  sim::Field f(64, 16, 1);
+  std::uint64_t state = 88172645463325252ull;  // xorshift
+  for (double& v : f.storage()) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    v = static_cast<double>(state % 1000) / 1000.0;
+  }
+  EXPECT_LT(extract_features(f).pc1_proportion, 0.5);
+}
+
+TEST(Predict, ManyZerosPicksIdentity) {
+  // The Fish regime.
+  sim::Field f(16, 16, 16);
+  f.at(3, 3, 3) = 5.0;  // a single non-zero
+  EXPECT_EQ(predict_best_model(f).method, "identity");
+}
+
+TEST(Predict, ZSimilarPicksOneBase) {
+  sim::Field f(12, 12, 12);
+  for (std::size_t i = 0; i < 12; ++i) {
+    for (std::size_t j = 0; j < 12; ++j) {
+      for (std::size_t k = 0; k < 12; ++k) {
+        // Strong (x, y) structure, tiny z perturbation.
+        f.at(i, j, k) = std::sin(0.5 * static_cast<double>(i)) *
+                            static_cast<double>(j + 1) +
+                        1e-4 * static_cast<double>(k);
+      }
+    }
+  }
+  EXPECT_EQ(predict_best_model(f).method, "one-base");
+}
+
+TEST(Predict, FishFieldPicksIdentity) {
+  sim::FishConfig config;
+  config.n = 20;
+  const sim::Field f = sim::fish_velocity_field(config);
+  const auto prediction = predict_best_model(f);
+  EXPECT_EQ(prediction.method, "identity");
+  EXPECT_GT(prediction.features.zero_fraction, 0.3);
+}
+
+TEST(Predict, RespectsCutoffOptions) {
+  sim::Field f(16, 1, 1, 1.0);
+  f.at(0) = 0.0;  // 1/16 zeros
+  PredictOptions options;
+  options.zero_fraction_cutoff = 0.01;  // absurdly strict
+  EXPECT_EQ(predict_best_model(f, options).method, "identity");
+}
+
+TEST(Predict, SampledPc1MatchesFullComputation) {
+  sim::HeatConfig config;
+  config.n = 16;
+  config.steps = 80;
+  const sim::Field f = sim::heat3d_run(config);
+
+  PredictOptions small_sample;
+  small_sample.max_sample_rows = 32;
+  PredictOptions big_sample;
+  big_sample.max_sample_rows = 100000;  // effectively all rows
+
+  const double sampled = extract_features(f, small_sample).pc1_proportion;
+  const double full = extract_features(f, big_sample).pc1_proportion;
+  EXPECT_NEAR(sampled, full, 0.15);
+}
+
+}  // namespace
+}  // namespace rmp::core

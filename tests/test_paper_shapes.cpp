@@ -1,0 +1,147 @@
+// Integration tests that pin the *paper's headline shapes* in CI: if a
+// refactor breaks "preconditioning helps Heat3d" or "Fish loses", these
+// fail even though every unit invariant still holds.  Each test names
+// the figure it guards.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compress/factory.hpp"
+#include "core/pca.hpp"
+#include "core/pipeline.hpp"
+#include "sim/datasets.hpp"
+#include "stats/metrics.hpp"
+
+namespace rmp::core {
+namespace {
+
+constexpr double kScale = 0.4;  // small but structurally representative
+
+struct Codecs {
+  std::unique_ptr<compress::Compressor> sz_reduced =
+      compress::make_sz_original();
+  std::unique_ptr<compress::Compressor> sz_delta = compress::make_sz_delta();
+  std::unique_ptr<compress::Compressor> zfp_reduced =
+      compress::make_zfp_original();
+  std::unique_ptr<compress::Compressor> zfp_delta =
+      compress::make_zfp_delta();
+  CodecPair sz() const { return {sz_reduced.get(), sz_delta.get()}; }
+  CodecPair zfp() const { return {zfp_reduced.get(), zfp_delta.get()}; }
+};
+
+double ratio_of(const std::string& method, const sim::Field& field,
+                const CodecPair& codecs) {
+  EncodeStats stats;
+  make_preconditioner(method)->encode(field, codecs, &stats);
+  return stats.compression_ratio;
+}
+
+TEST(PaperShapes, Fig3OneBaseLiftsLossyCodecsOnHeat3d) {
+  Codecs codecs;
+  const auto pair = sim::make_dataset(sim::DatasetId::kHeat3d, kScale);
+  // Paper: ZFP 4x -> >15x, SZ 17x -> >40x; shape = multiples, not values.
+  EXPECT_GT(ratio_of("one-base", pair.full, codecs.zfp()),
+            1.5 * ratio_of("identity", pair.full, codecs.zfp()));
+  EXPECT_GT(ratio_of("one-base", pair.full, codecs.sz()),
+            1.5 * ratio_of("identity", pair.full, codecs.sz()));
+}
+
+TEST(PaperShapes, Fig3OneBaseBeatsMultiBase) {
+  // §IV-B: multi-base's extra stored planes offset its better deltas.
+  Codecs codecs;
+  const auto pair = sim::make_dataset(sim::DatasetId::kHeat3d, kScale);
+  EXPECT_GE(ratio_of("one-base", pair.full, codecs.zfp()),
+            ratio_of("multi-base", pair.full, codecs.zfp()));
+}
+
+TEST(PaperShapes, Fig6PcaSvdLiftHeat3dAndLaplace) {
+  Codecs codecs;
+  for (sim::DatasetId id :
+       {sim::DatasetId::kHeat3d, sim::DatasetId::kLaplace}) {
+    const auto pair = sim::make_dataset(id, kScale);
+    const double direct = ratio_of("identity", pair.full, codecs.zfp());
+    EXPECT_GT(ratio_of("pca", pair.full, codecs.zfp()), direct)
+        << sim::dataset_name(id);
+  }
+}
+
+TEST(PaperShapes, Fig6FishLosesUnderEveryPreconditioner) {
+  // §V-B.1: Fish's exact zeros become less-compressible near-zero deltas.
+  Codecs codecs;
+  const auto pair = sim::make_dataset(sim::DatasetId::kFish, kScale);
+  const double direct = ratio_of("identity", pair.full, codecs.zfp());
+  for (const char* method : {"pca", "svd", "wavelet"}) {
+    EXPECT_LT(ratio_of(method, pair.full, codecs.zfp()), direct) << method;
+  }
+}
+
+TEST(PaperShapes, Fig7Pc1DominanceTracksImprovement) {
+  // The paper's rule: the more dominant PC1, the bigger the PCA win.
+  // Heat3d (PC1 ~ 1.0) must improve; Umbrella (PC1 ~ 0.37) must not.
+  Codecs codecs;
+  const auto heat = sim::make_dataset(sim::DatasetId::kHeat3d, kScale);
+  const auto md = sim::make_dataset(sim::DatasetId::kUmbrella, kScale);
+
+  const double heat_pc1 = pca_variance_proportions(heat.full).front();
+  const double md_pc1 = pca_variance_proportions(md.full).front();
+  ASSERT_GT(heat_pc1, md_pc1);
+
+  const double heat_gain =
+      ratio_of("pca", heat.full, codecs.zfp()) /
+      ratio_of("identity", heat.full, codecs.zfp());
+  const double md_gain = ratio_of("pca", md.full, codecs.zfp()) /
+                         ratio_of("identity", md.full, codecs.zfp());
+  EXPECT_GT(heat_gain, 1.0);
+  EXPECT_GT(heat_gain, md_gain);
+}
+
+TEST(PaperShapes, Fig9WaveletReducedRepLargerThanPcaOnHeat3d) {
+  Codecs codecs;
+  const auto pair = sim::make_dataset(sim::DatasetId::kHeat3d, kScale);
+  EncodeStats pca, wavelet;
+  make_preconditioner("pca")->encode(pair.full, codecs.zfp(), &pca);
+  make_preconditioner("wavelet")->encode(pair.full, codecs.zfp(), &wavelet);
+  EXPECT_GT(wavelet.reduced_bytes, pca.reduced_bytes);
+}
+
+TEST(PaperShapes, Fig10WaveletRmseWorstOnLaplace) {
+  Codecs codecs;
+  const auto pair = sim::make_dataset(sim::DatasetId::kLaplace, kScale);
+  const auto direct = run_pipeline(*make_preconditioner("identity"),
+                                   pair.full, codecs.zfp());
+  const auto wavelet = run_pipeline(*make_preconditioner("wavelet"),
+                                    pair.full, codecs.zfp());
+  EXPECT_GT(wavelet.rmse, direct.rmse);
+}
+
+TEST(PaperShapes, Fig11PcaWinsAtMatchedRmseOnHeat3d) {
+  // At comparable RMSE, PCA must reach a higher ratio than direct ZFP on
+  // strongly reducible data: compare PCA@16 bits vs direct@16 bits and
+  // check PCA is both more accurate *and* smaller, or trade one for a
+  // clear win in the other.
+  Codecs codecs;
+  const auto pair = sim::make_dataset(sim::DatasetId::kHeat3d, kScale);
+  const auto direct = run_pipeline(*make_preconditioner("identity"),
+                                   pair.full, codecs.zfp());
+  const auto pca = run_pipeline(*make_preconditioner("pca"), pair.full,
+                                codecs.zfp());
+  const bool better_both = pca.stats.compression_ratio >
+                               direct.stats.compression_ratio &&
+                           pca.rmse <= direct.rmse * 2.0;
+  EXPECT_TRUE(better_both)
+      << "pca: " << pca.stats.compression_ratio << "x rmse " << pca.rmse
+      << " vs direct " << direct.stats.compression_ratio << "x rmse "
+      << direct.rmse;
+}
+
+TEST(PaperShapes, Fig1FullAndReducedShareByteCharacteristics) {
+  // Spot-check a PDE dataset: entropy within 2 bits, correlation same sign.
+  const auto pair = sim::make_dataset(sim::DatasetId::kLaplace, kScale);
+  const auto full = stats::byte_characteristics(pair.full.flat());
+  const auto reduced = stats::byte_characteristics(pair.reduced.flat());
+  EXPECT_NEAR(full.entropy, reduced.entropy, 2.5);
+  EXPECT_GT(full.correlation * reduced.correlation, 0.0);
+}
+
+}  // namespace
+}  // namespace rmp::core

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "parallel/decomposition.hpp"
+#include "parallel/msgpass.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace rmp::parallel {
+namespace {
+
+TEST(MsgPass, PointToPoint) {
+  run_ranks(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      std::vector<double> payload = {1.0, 2.0, 3.0};
+      comm.send<double>(1, 7, payload);
+    } else {
+      const auto received = comm.recv<double>(0, 7);
+      EXPECT_EQ(received, (std::vector<double>{1.0, 2.0, 3.0}));
+    }
+  });
+}
+
+TEST(MsgPass, TagMatching) {
+  // Messages with different tags must be matched independently of their
+  // arrival order.
+  run_ranks(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send<int>(1, 1, std::vector<int>{11});
+      comm.send<int>(1, 2, std::vector<int>{22});
+    } else {
+      const auto second = comm.recv<int>(0, 2);
+      const auto first = comm.recv<int>(0, 1);
+      EXPECT_EQ(second[0], 22);
+      EXPECT_EQ(first[0], 11);
+    }
+  });
+}
+
+TEST(MsgPass, FifoWithinSourceAndTag) {
+  run_ranks(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 10; ++i) {
+        comm.send<int>(1, 5, std::vector<int>{i});
+      }
+    } else {
+      for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(comm.recv<int>(0, 5)[0], i);
+      }
+    }
+  });
+}
+
+TEST(MsgPass, Broadcast) {
+  run_ranks(4, [](Communicator& comm) {
+    std::vector<double> data;
+    if (comm.rank() == 1) data = {3.5, 4.5};
+    comm.broadcast(data, 1);
+    EXPECT_EQ(data, (std::vector<double>{3.5, 4.5}));
+  });
+}
+
+TEST(MsgPass, GatherInRankOrder) {
+  run_ranks(4, [](Communicator& comm) {
+    std::vector<int> mine = {comm.rank() * 10, comm.rank() * 10 + 1};
+    const auto all = comm.gather<int>(mine, 0);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(all, (std::vector<int>{0, 1, 10, 11, 20, 21, 30, 31}));
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST(MsgPass, AllreduceSumAndMax) {
+  run_ranks(5, [](Communicator& comm) {
+    const double sum = comm.allreduce_sum(static_cast<double>(comm.rank()));
+    EXPECT_DOUBLE_EQ(sum, 10.0);  // 0+1+2+3+4
+    const double mx = comm.allreduce_max(static_cast<double>(comm.rank() % 3));
+    EXPECT_DOUBLE_EQ(mx, 2.0);
+  });
+}
+
+TEST(MsgPass, BarrierSynchronizes) {
+  std::atomic<int> phase_one{0};
+  run_ranks(4, [&](Communicator& comm) {
+    phase_one.fetch_add(1);
+    comm.barrier();
+    // After the barrier every rank must observe all four increments.
+    EXPECT_EQ(phase_one.load(), 4);
+    comm.barrier();
+  });
+}
+
+TEST(MsgPass, ExceptionPropagates) {
+  EXPECT_THROW(run_ranks(2,
+                         [](Communicator& comm) {
+                           comm.barrier();
+                           if (comm.rank() == 1) {
+                             throw std::runtime_error("rank failure");
+                           }
+                         }),
+               std::runtime_error);
+}
+
+TEST(Decomposition, EvenSplit) {
+  CartesianDecomposition d({12, 1, 1}, {4, 1, 1});
+  EXPECT_EQ(d.world_size(), 4);
+  for (int r = 0; r < 4; ++r) {
+    const auto box = d.local_box(r);
+    EXPECT_EQ(box[0].count(), 3u);
+  }
+  EXPECT_EQ(d.extent(0, 0).begin, 0u);
+  EXPECT_EQ(d.extent(0, 3).end, 12u);
+}
+
+TEST(Decomposition, RemainderGoesToLeadingRanks) {
+  CartesianDecomposition d({10, 1, 1}, {3, 1, 1});
+  EXPECT_EQ(d.extent(0, 0).count(), 4u);
+  EXPECT_EQ(d.extent(0, 1).count(), 3u);
+  EXPECT_EQ(d.extent(0, 2).count(), 3u);
+  // Extents tile the domain without gaps.
+  EXPECT_EQ(d.extent(0, 0).end, d.extent(0, 1).begin);
+  EXPECT_EQ(d.extent(0, 1).end, d.extent(0, 2).begin);
+}
+
+TEST(Decomposition, RankCoordsRoundTrip) {
+  CartesianDecomposition d({8, 8, 8}, {2, 2, 2});
+  for (int r = 0; r < d.world_size(); ++r) {
+    EXPECT_EQ(d.rank_of(d.coords_of(r)), r);
+  }
+}
+
+TEST(Decomposition, Neighbors) {
+  CartesianDecomposition d({8, 8, 8}, {2, 2, 2});
+  const int rank = d.rank_of({0, 0, 0});
+  EXPECT_EQ(d.neighbor(rank, 0, -1), -1);   // boundary
+  EXPECT_EQ(d.neighbor(rank, 0, +1), d.rank_of({1, 0, 0}));
+  EXPECT_EQ(d.neighbor(rank, 2, +1), d.rank_of({0, 0, 1}));
+}
+
+TEST(Decomposition, RejectsBadConfigs) {
+  EXPECT_THROW(CartesianDecomposition({4, 4, 4}, {0, 1, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(CartesianDecomposition({4, 4, 4}, {5, 1, 1}),
+               std::invalid_argument);
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<int> hits(500, 0);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i] = 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 500);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [](std::size_t i) {
+                                   if (i == 7) {
+                                     throw std::logic_error("boom");
+                                   }
+                                 }),
+               std::logic_error);
+}
+
+TEST(ThreadPool, FutureCarriesException) {
+  ThreadPool pool(1);
+  auto future = pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rmp::parallel

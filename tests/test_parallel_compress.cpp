@@ -1,0 +1,130 @@
+#include "core/parallel_compress.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compress/factory.hpp"
+#include "stats/metrics.hpp"
+
+namespace rmp::core {
+namespace {
+
+sim::Field wavy_field(std::size_t nx, std::size_t ny, std::size_t nz) {
+  sim::Field f(nx, ny, nz);
+  for (std::size_t i = 0; i < nx; ++i) {
+    for (std::size_t j = 0; j < ny; ++j) {
+      for (std::size_t k = 0; k < nz; ++k) {
+        f.at(i, j, k) = std::sin(0.2 * static_cast<double>(i)) +
+                        std::cos(0.3 * static_cast<double>(j)) *
+                            static_cast<double>(k + 1);
+      }
+    }
+  }
+  return f;
+}
+
+TEST(ParallelCompress, RoundTripLossless) {
+  const auto codec = compress::make_fpc();
+  const sim::Field f = wavy_field(8, 8, 16);
+  const auto container = compress_field_parallel(f, *codec, {4, 2});
+  const sim::Field decoded = decompress_field_parallel(container, *codec, 2);
+  for (std::size_t n = 0; n < f.size(); ++n) {
+    ASSERT_EQ(decoded.flat()[n], f.flat()[n]);
+  }
+}
+
+TEST(ParallelCompress, RoundTripLossyWithinBound) {
+  const auto codec = compress::make_zfp_original();
+  const sim::Field f = wavy_field(12, 12, 12);
+  const auto container = compress_field_parallel(f, *codec, {3, 2});
+  const sim::Field decoded = decompress_field_parallel(container, *codec, 2);
+  EXPECT_LT(stats::rmse(f.flat(), decoded.flat()), 1e-2);
+}
+
+TEST(ParallelCompress, SlabCountClampedToZ) {
+  const auto codec = compress::make_fpc();
+  const sim::Field f = wavy_field(4, 4, 3);
+  const auto container = compress_field_parallel(f, *codec, {16, 2});
+  // Only 3 slabs possible.
+  EXPECT_NE(container.find("slab2"), nullptr);
+  EXPECT_EQ(container.find("slab3"), nullptr);
+  const sim::Field decoded = decompress_field_parallel(container, *codec, 2);
+  for (std::size_t n = 0; n < f.size(); ++n) {
+    ASSERT_EQ(decoded.flat()[n], f.flat()[n]);
+  }
+}
+
+TEST(ParallelCompress, SingleSlabSingleThread) {
+  const auto codec = compress::make_fpc();
+  const sim::Field f = wavy_field(6, 6, 6);
+  const auto container = compress_field_parallel(f, *codec, {1, 1});
+  const sim::Field decoded = decompress_field_parallel(container, *codec, 1);
+  for (std::size_t n = 0; n < f.size(); ++n) {
+    ASSERT_EQ(decoded.flat()[n], f.flat()[n]);
+  }
+}
+
+TEST(ParallelCompress, ThreadCountDoesNotChangeBytes) {
+  const auto codec = compress::make_zfp_original();
+  const sim::Field f = wavy_field(10, 10, 12);
+  const auto c1 = compress_field_parallel(f, *codec, {4, 1});
+  const auto c4 = compress_field_parallel(f, *codec, {4, 4});
+  ASSERT_EQ(c1.sections.size(), c4.sections.size());
+  for (std::size_t s = 0; s < c1.sections.size(); ++s) {
+    EXPECT_EQ(c1.sections[s].bytes, c4.sections[s].bytes) << s;
+  }
+}
+
+TEST(ParallelCompress, SlabCountMatchesRequest) {
+  const auto codec = compress::make_fpc();
+  const sim::Field f = wavy_field(6, 6, 12);
+  const auto container = compress_field_parallel(f, *codec, {3, 1});
+  EXPECT_EQ(slab_count(container), 3u);
+}
+
+TEST(ParallelCompress, RoiSlabMatchesFullDecode) {
+  const auto codec = compress::make_fpc();
+  const sim::Field f = wavy_field(6, 6, 13);  // uneven slabs
+  const auto container = compress_field_parallel(f, *codec, {4, 2});
+  const sim::Field full = decompress_field_parallel(container, *codec, 2);
+
+  std::size_t covered = 0;
+  for (std::size_t s = 0; s < slab_count(container); ++s) {
+    const SlabView view = decompress_slab(container, *codec, s);
+    for (std::size_t i = 0; i < f.nx(); ++i) {
+      for (std::size_t j = 0; j < f.ny(); ++j) {
+        for (std::size_t k = 0; k < view.field.nz(); ++k) {
+          ASSERT_EQ(view.field.at(i, j, k),
+                    full.at(i, j, view.z_offset + k));
+        }
+      }
+    }
+    covered += view.field.nz();
+  }
+  EXPECT_EQ(covered, f.nz());  // slabs tile the Z extent exactly
+}
+
+TEST(ParallelCompress, RoiRejectsBadIndex) {
+  const auto codec = compress::make_fpc();
+  const sim::Field f = wavy_field(4, 4, 8);
+  const auto container = compress_field_parallel(f, *codec, {2, 1});
+  EXPECT_THROW(decompress_slab(container, *codec, 2), std::out_of_range);
+}
+
+TEST(ParallelCompress, RejectsEmptyField) {
+  const auto codec = compress::make_fpc();
+  EXPECT_THROW(compress_field_parallel(sim::Field(), *codec, {2, 2}),
+               std::invalid_argument);
+}
+
+TEST(ParallelCompress, DecompressRejectsMissingMeta) {
+  const auto codec = compress::make_fpc();
+  io::Container container;
+  container.method = "parallel-slabs";
+  EXPECT_THROW(decompress_field_parallel(container, *codec, 2),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rmp::core

@@ -1,0 +1,159 @@
+// Deeper physical-invariant tests for the simulation substrate: momentum
+// conservation in MD, diffusion self-similarity in Heat3d, wave-equation
+// reflection symmetry, and determinism guarantees the dataset registry
+// depends on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/datasets.hpp"
+#include "sim/heat.hpp"
+#include "sim/md.hpp"
+#include "sim/wave.hpp"
+
+namespace rmp::sim {
+namespace {
+
+TEST(MdInvariants, MomentumNearZeroWithoutBias) {
+  // Pair forces obey Newton's third law and the initial drift is removed,
+  // so total momentum stays ~0 between thermostat rescalings (rescaling
+  // preserves p = 0 exactly).
+  MdConfig config;
+  config.atoms = 128;
+  config.steps = 40;
+  config.thermostat_interval = 0;  // no rescaling: pure NVE
+  MdSimulation simulation(config);
+  simulation.run(config.steps);
+  double px = 0, py = 0, pz = 0;
+  const auto& v = simulation.velocities();
+  for (std::size_t a = 0; a < config.atoms; ++a) {
+    px += v[a * 3 + 0];
+    py += v[a * 3 + 1];
+    pz += v[a * 3 + 2];
+  }
+  EXPECT_NEAR(px, 0.0, 1e-8);
+  EXPECT_NEAR(py, 0.0, 1e-8);
+  EXPECT_NEAR(pz, 0.0, 1e-8);
+}
+
+TEST(MdInvariants, UmbrellaBreaksMomentumButStaysFinite) {
+  MdConfig config;
+  config.atoms = 128;
+  config.steps = 40;
+  config.umbrella = true;
+  MdSimulation simulation(config);
+  simulation.run(config.steps);
+  for (double x : simulation.velocities()) {
+    ASSERT_TRUE(std::isfinite(x));
+  }
+}
+
+TEST(MdInvariants, EnergyDriftBoundedInNve) {
+  MdConfig config;
+  config.atoms = 128;
+  config.steps = 100;
+  config.dt = 0.002;
+  config.thermostat_interval = 0;
+  MdSimulation simulation(config);
+  const double e0 = simulation.potential_energy() +
+                    1.5 * static_cast<double>(config.atoms) *
+                        simulation.temperature();
+  simulation.run(config.steps);
+  const double e1 = simulation.potential_energy() +
+                    1.5 * static_cast<double>(config.atoms) *
+                        simulation.temperature();
+  // Velocity Verlet conserves energy to O(dt^2); allow a loose 20%.
+  EXPECT_NEAR(e1, e0, std::fabs(e0) * 0.2 + 10.0);
+}
+
+TEST(HeatInvariants, SymmetricInXAndY) {
+  // The initial condition is centered in x and y regardless of the z
+  // offset, so those reflections remain exact symmetries.
+  HeatConfig config;
+  config.n = 16;
+  config.steps = 60;
+  config.hot_center_z = 0.65;
+  const Field u = heat3d_run(config);
+  const std::size_t n = config.n;
+  double asym = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t k = 0; k < n; ++k) {
+        asym = std::max(asym,
+                        std::fabs(u.at(i, j, k) - u.at(n - 1 - i, j, k)));
+        asym = std::max(asym,
+                        std::fabs(u.at(i, j, k) - u.at(i, n - 1 - j, k)));
+      }
+    }
+  }
+  EXPECT_LT(asym, 1e-9);
+}
+
+TEST(HeatInvariants, FinerGridConvergesTowardSameState) {
+  // Halving h at matched physical time must change the solution only by
+  // the discretization error, so coarse-vs-fine (sampled) differences
+  // shrink with resolution.
+  HeatConfig coarse;
+  coarse.n = 12;
+  coarse.steps = 40;
+  const double horizon =
+      static_cast<double>(coarse.steps) * coarse.cfl_safety *
+      heat_stable_dt(1.0 / static_cast<double>(coarse.n - 1), 3, 1.0);
+
+  HeatConfig fine = coarse;
+  fine.n = 23;  // h/2 (matching grid points at even indices)
+  const double fine_dt = fine.cfl_safety *
+                         heat_stable_dt(1.0 / static_cast<double>(fine.n - 1),
+                                        3, 1.0);
+  fine.steps = static_cast<std::size_t>(std::lround(horizon / fine_dt));
+
+  const Field uc = heat3d_run(coarse);
+  const Field uf = heat3d_run(fine);
+  double diff = 0.0, scale = 0.0;
+  for (std::size_t i = 0; i < coarse.n; ++i) {
+    for (std::size_t j = 0; j < coarse.n; ++j) {
+      for (std::size_t k = 0; k < coarse.n; ++k) {
+        diff += std::fabs(uf.at(2 * i, 2 * j, 2 * k) - uc.at(i, j, k));
+        scale += std::fabs(uc.at(i, j, k));
+      }
+    }
+  }
+  EXPECT_LT(diff, scale * 0.5 + 1e-9);  // same solution family
+}
+
+TEST(WaveInvariants, PulseReflectsOffFixedEnd) {
+  // A fixed end inverts the pulse: after traveling to the boundary and
+  // back, the displacement near the starting point has opposite sign.
+  WaveConfig config;
+  config.n = 400;
+  config.cfl = 1.0;  // exact propagation on the grid
+  config.pulse_center = 0.5;
+  config.pulse_width = 0.03;
+  // Travel 0.5 to the right end and 0.5 back: distance 1.0 = n-1 steps.
+  config.steps = config.n - 1;
+  const Field u = wave1d_run(config);
+  // The split pulse (half left, half right) returns inverted at center.
+  const std::size_t center = config.n / 2;
+  EXPECT_LT(u.at(center), -0.2);
+}
+
+TEST(RegistryInvariants, DatasetsAreDeterministic) {
+  for (DatasetId id : {DatasetId::kAstro, DatasetId::kFish,
+                       DatasetId::kUmbrella, DatasetId::kSedovPres}) {
+    const auto a = make_dataset(id, 0.4);
+    const auto b = make_dataset(id, 0.4);
+    ASSERT_EQ(a.full.size(), b.full.size());
+    for (std::size_t n = 0; n < a.full.size(); ++n) {
+      ASSERT_EQ(a.full.flat()[n], b.full.flat()[n]) << a.name;
+    }
+  }
+}
+
+TEST(RegistryInvariants, ScaleGrowsProblemSize) {
+  const auto small = make_dataset(DatasetId::kHeat3d, 0.4);
+  const auto large = make_dataset(DatasetId::kHeat3d, 0.7);
+  EXPECT_LT(small.full.size(), large.full.size());
+}
+
+}  // namespace
+}  // namespace rmp::sim

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "compress/factory.hpp"
+#include "core/model_select.hpp"
+#include "core/pipeline.hpp"
+#include "sim/heat.hpp"
+#include "stats/metrics.hpp"
+
+namespace rmp::core {
+namespace {
+
+sim::Field heat_field() {
+  sim::HeatConfig config;
+  config.n = 16;
+  config.steps = 120;
+  return sim::heat3d_run(config);
+}
+
+struct Codecs {
+  std::unique_ptr<compress::Compressor> reduced = compress::make_sz_original();
+  std::unique_ptr<compress::Compressor> delta = compress::make_sz_delta();
+  CodecPair pair() const { return {reduced.get(), delta.get()}; }
+};
+
+TEST(Pipeline, RunPipelineFillsAllFields) {
+  Codecs codecs;
+  const sim::Field f = heat_field();
+  const auto result =
+      run_pipeline(*make_preconditioner("one-base"), f, codecs.pair());
+  EXPECT_EQ(result.method, "one-base");
+  EXPECT_GT(result.stats.total_bytes, 0u);
+  EXPECT_GT(result.stats.compression_ratio, 1.0);
+  EXPECT_GE(result.encode_seconds, 0.0);
+  EXPECT_GE(result.decode_seconds, 0.0);
+  EXPECT_GE(result.max_error, result.rmse);
+}
+
+TEST(Pipeline, ReconstructDispatchesOnMethod) {
+  Codecs codecs;
+  const sim::Field f = heat_field();
+  for (const std::string name : {"identity", "one-base", "pca", "wavelet"}) {
+    const auto p = make_preconditioner(name);
+    const auto container = p->encode(f, codecs.pair(), nullptr);
+    const sim::Field decoded = reconstruct(container, codecs.pair());
+    EXPECT_LT(stats::rmse(f.flat(), decoded.flat()), 1.0) << name;
+  }
+}
+
+TEST(Pipeline, ContainerSurvivesFileRoundTrip) {
+  Codecs codecs;
+  const sim::Field f = heat_field();
+  const auto p = make_preconditioner("pca");
+  const auto container = p->encode(f, codecs.pair(), nullptr);
+
+  const auto path =
+      std::filesystem::temp_directory_path() / "rmp_pipeline_test.bin";
+  io::write_container(path, container);
+  const auto loaded = io::read_container(path);
+  std::filesystem::remove(path);
+
+  const sim::Field decoded = reconstruct(loaded, codecs.pair());
+  EXPECT_LT(stats::rmse(f.flat(), decoded.flat()), 1.0);
+}
+
+TEST(ModelSelect, PicksSmallestContainer) {
+  Codecs codecs;
+  const sim::Field f = heat_field();
+  const auto selection = select_best_model(f, codecs.pair());
+  ASSERT_FALSE(selection.best.empty());
+  for (const auto& result : selection.all) {
+    EXPECT_GE(result.stats.total_bytes,
+              selection.best_result.stats.total_bytes)
+        << result.method;
+  }
+}
+
+TEST(ModelSelect, SkipsProjectionFor1dData) {
+  Codecs codecs;
+  sim::Field f(256, 1, 1);
+  for (std::size_t i = 0; i < 256; ++i) {
+    f.at(i) = std::sin(0.1 * static_cast<double>(i));
+  }
+  const auto selection = select_best_model(f, codecs.pair());
+  for (const auto& result : selection.all) {
+    EXPECT_NE(result.method, "one-base");
+    EXPECT_NE(result.method, "multi-base");
+  }
+}
+
+TEST(ModelSelect, RmseBudgetFiltersCandidates) {
+  Codecs codecs;
+  const sim::Field f = heat_field();
+  SelectionOptions options;
+  options.rmse_budget = 1e9;  // everything qualifies
+  const auto loose = select_best_model(f, codecs.pair(), options);
+  EXPECT_FALSE(loose.best.empty());
+
+  options.rmse_budget = 0.0;  // nothing qualifies (lossy codecs)
+  options.candidates = {"pca"};
+  EXPECT_THROW(select_best_model(f, codecs.pair(), options),
+               std::runtime_error);
+}
+
+TEST(ModelSelect, HonorsCandidateList) {
+  Codecs codecs;
+  const sim::Field f = heat_field();
+  SelectionOptions options;
+  options.candidates = {"identity", "wavelet"};
+  const auto selection = select_best_model(f, codecs.pair(), options);
+  EXPECT_EQ(selection.all.size(), 2u);
+}
+
+}  // namespace
+}  // namespace rmp::core

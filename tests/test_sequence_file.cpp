@@ -1,0 +1,154 @@
+#include "io/sequence_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "compress/factory.hpp"
+#include "core/temporal.hpp"
+#include "sim/heat.hpp"
+#include "stats/metrics.hpp"
+
+namespace rmp::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+class SequenceFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = fs::temp_directory_path() /
+            ("rmp_seq_" + std::to_string(::getpid()) + ".rmps");
+  }
+  void TearDown() override { fs::remove(path_); }
+
+  static Container sample(int i) {
+    Container c;
+    c.method = "step" + std::to_string(i);
+    c.nx = static_cast<std::uint64_t>(i + 1);
+    c.add("data", std::vector<std::uint8_t>(static_cast<std::size_t>(i * 3),
+                                            static_cast<std::uint8_t>(i)));
+    return c;
+  }
+
+  fs::path path_;
+};
+
+TEST_F(SequenceFileTest, WriteReadRoundTrip) {
+  {
+    SequenceWriter writer(path_);
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_EQ(writer.append(sample(i)), static_cast<std::size_t>(i));
+    }
+    writer.finish();
+  }
+  SequenceReader reader(path_);
+  ASSERT_EQ(reader.step_count(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    const Container c = reader.read_step(static_cast<std::size_t>(i));
+    EXPECT_EQ(c.method, "step" + std::to_string(i));
+    EXPECT_EQ(c.nx, static_cast<std::uint64_t>(i + 1));
+    EXPECT_EQ(c.find("data")->bytes.size(), static_cast<std::size_t>(i * 3));
+  }
+}
+
+TEST_F(SequenceFileTest, RandomAccessOutOfOrder) {
+  {
+    SequenceWriter writer(path_);
+    for (int i = 0; i < 8; ++i) writer.append(sample(i));
+    writer.finish();
+  }
+  SequenceReader reader(path_);
+  EXPECT_EQ(reader.read_step(6).method, "step6");
+  EXPECT_EQ(reader.read_step(0).method, "step0");
+  EXPECT_EQ(reader.read_step(7).method, "step7");
+  EXPECT_THROW(reader.read_step(8), std::out_of_range);
+}
+
+TEST_F(SequenceFileTest, EmptySequence) {
+  {
+    SequenceWriter writer(path_);
+    writer.finish();
+  }
+  SequenceReader reader(path_);
+  EXPECT_EQ(reader.step_count(), 0u);
+  EXPECT_TRUE(reader.read_all().empty());
+}
+
+TEST_F(SequenceFileTest, DestructorFinishes) {
+  { SequenceWriter writer(path_); writer.append(sample(1)); }
+  SequenceReader reader(path_);
+  EXPECT_EQ(reader.step_count(), 1u);
+}
+
+TEST_F(SequenceFileTest, AppendAfterFinishThrows) {
+  SequenceWriter writer(path_);
+  writer.finish();
+  EXPECT_THROW(writer.append(sample(0)), std::logic_error);
+}
+
+TEST_F(SequenceFileTest, RejectsGarbageFile) {
+  {
+    std::ofstream file(path_, std::ios::binary);
+    file << "this is not a sequence file at all, not even close";
+  }
+  EXPECT_THROW(SequenceReader reader(path_), std::runtime_error);
+}
+
+TEST_F(SequenceFileTest, RejectsMissingFile) {
+  EXPECT_THROW(SequenceReader reader(path_ / "nope"), std::runtime_error);
+}
+
+TEST_F(SequenceFileTest, CorruptedStepIsDetected) {
+  {
+    SequenceWriter writer(path_);
+    writer.append(sample(3));
+    writer.finish();
+  }
+  // Flip a byte inside the first container's payload region.
+  {
+    std::fstream file(path_, std::ios::binary | std::ios::in | std::ios::out);
+    file.seekp(10);
+    char b;
+    file.seekg(10);
+    file.read(&b, 1);
+    b = static_cast<char>(b ^ 0x10);
+    file.seekp(10);
+    file.write(&b, 1);
+  }
+  SequenceReader reader(path_);
+  EXPECT_THROW(reader.read_step(0), std::runtime_error);
+}
+
+TEST_F(SequenceFileTest, TemporalPipelineEndToEnd) {
+  // Full workflow: snapshots -> temporal encode -> sequence file ->
+  // read back -> temporal decode.
+  sim::HeatConfig config;
+  config.n = 12;
+  config.steps = 80;
+  const auto snapshots = sim::heat3d_snapshots(config, 4);
+
+  const auto reduced = compress::make_zfp_original();
+  const auto delta = compress::make_zfp_delta();
+  const core::CodecPair codecs{reduced.get(), delta.get()};
+  const auto sequence = core::temporal_encode(snapshots, codecs);
+
+  {
+    SequenceWriter writer(path_);
+    for (const auto& step : sequence.steps) writer.append(step);
+    writer.finish();
+  }
+
+  SequenceReader reader(path_);
+  core::TemporalSequence loaded;
+  loaded.steps = reader.read_all();
+  const auto decoded = core::temporal_decode(loaded, codecs);
+  ASSERT_EQ(decoded.size(), snapshots.size());
+  for (std::size_t s = 0; s < snapshots.size(); ++s) {
+    EXPECT_LT(stats::rmse(snapshots[s].flat(), decoded[s].flat()), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace rmp::io

@@ -1,0 +1,417 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "sim/datasets.hpp"
+#include "sim/heat.hpp"
+#include "sim/laplace.hpp"
+#include "sim/md.hpp"
+#include "sim/sedov.hpp"
+#include "sim/synthetic.hpp"
+#include "sim/wave.hpp"
+#include "stats/metrics.hpp"
+
+namespace rmp::sim {
+namespace {
+
+HeatConfig small_heat() {
+  HeatConfig config;
+  config.n = 20;
+  config.steps = 100;
+  return config;
+}
+
+TEST(Heat, StableDtFormula) {
+  EXPECT_DOUBLE_EQ(heat_stable_dt(0.1, 3, 1.0), 0.01 / 6.0);
+  EXPECT_DOUBLE_EQ(heat_stable_dt(0.1, 2, 2.0), 0.01 / 8.0);
+}
+
+TEST(Heat, TemperatureStaysBounded) {
+  // Explicit diffusion under the CFL limit satisfies a maximum principle.
+  const HeatConfig config = small_heat();
+  const Field u = heat3d_run(config);
+  for (double v : u.flat()) {
+    EXPECT_GE(v, -1e-9);
+    EXPECT_LE(v, config.hot_value + 1e-9);
+  }
+}
+
+TEST(Heat, HeatDiffusesFromCenter) {
+  const HeatConfig config = small_heat();
+  const Field initial = heat3d_initial(config);
+  const Field u = heat3d_run(config);
+  const std::size_t c = config.n / 2;
+  // Center cools, near-boundary interior warms.
+  EXPECT_LT(u.at(c, c, c), initial.at(c, c, c));
+  EXPECT_GT(u.at(2, c, c), initial.at(2, c, c));
+}
+
+TEST(Heat, BoundariesStayDirichletZero) {
+  const Field u = heat3d_run(small_heat());
+  const std::size_t n = u.nx();
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      EXPECT_EQ(u.at(0, a, b), 0.0);
+      EXPECT_EQ(u.at(n - 1, a, b), 0.0);
+      EXPECT_EQ(u.at(a, 0, b), 0.0);
+      EXPECT_EQ(u.at(a, b, n - 1), 0.0);
+    }
+  }
+}
+
+TEST(Heat, MidPlaneIsSymmetryPlane) {
+  // The paper's one-base insight: the solution is symmetric about the mid
+  // Z-plane, so planes equidistant from it match.
+  const HeatConfig config = small_heat();
+  const Field u = heat3d_run(config);
+  const std::size_t n = config.n;
+  double max_asym = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t k = 0; k < n / 2; ++k) {
+        max_asym = std::max(
+            max_asym, std::fabs(u.at(i, j, k) - u.at(i, j, n - 1 - k)));
+      }
+    }
+  }
+  EXPECT_LT(max_asym, 1e-9);
+}
+
+TEST(Heat, ParallelMatchesSerial) {
+  const HeatConfig config = small_heat();
+  const Field serial = heat3d_run(config);
+  for (int ranks : {1, 2, 3, 4}) {
+    const Field parallel = heat3d_run_parallel(config, ranks);
+    double max_diff = 0.0;
+    for (std::size_t n = 0; n < serial.size(); ++n) {
+      max_diff = std::max(
+          max_diff, std::fabs(parallel.flat()[n] - serial.flat()[n]));
+    }
+    EXPECT_LT(max_diff, 1e-12) << "ranks=" << ranks;
+  }
+}
+
+TEST(Heat, Parallel3dMatchesSerial) {
+  const HeatConfig config = small_heat();
+  const Field serial = heat3d_run(config);
+  const std::array<std::array<int, 3>, 4> grids = {
+      {{1, 1, 1}, {2, 1, 1}, {1, 2, 2}, {2, 2, 2}}};
+  for (const auto& procs : grids) {
+    const Field parallel = heat3d_run_parallel_3d(config, procs);
+    double max_diff = 0.0;
+    for (std::size_t n = 0; n < serial.size(); ++n) {
+      max_diff = std::max(
+          max_diff, std::fabs(parallel.flat()[n] - serial.flat()[n]));
+    }
+    EXPECT_LT(max_diff, 1e-12)
+        << procs[0] << "x" << procs[1] << "x" << procs[2];
+  }
+}
+
+TEST(Heat, Parallel3dRejectsBadGrid) {
+  HeatConfig config = small_heat();
+  EXPECT_THROW(heat3d_run_parallel_3d(config, {0, 1, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(heat3d_run_parallel_3d(config, {100, 1, 1}),
+               std::invalid_argument);
+}
+
+TEST(Heat, CoarseSnapshotsMatchTimes) {
+  // Coarse run covers the same physical horizon: its final snapshot must
+  // resemble (upsampled) the full run's final snapshot.
+  HeatConfig config = small_heat();
+  const auto full = heat3d_snapshots(config, 4);
+  const auto coarse = heat3d_coarse_snapshots(config, 2, 4);
+  ASSERT_EQ(coarse.size(), 4u);
+  const Field up = upsample_linear(coarse.back(), config.n, config.n,
+                                   config.n);
+  // Cosine similarity of the final states.
+  double dot = 0, na = 0, nb = 0;
+  for (std::size_t n = 0; n < up.size(); ++n) {
+    dot += up.flat()[n] * full.back().flat()[n];
+    na += up.flat()[n] * up.flat()[n];
+    nb += full.back().flat()[n] * full.back().flat()[n];
+  }
+  EXPECT_GT(dot / std::sqrt(na * nb + 1e-300), 0.97);
+}
+
+TEST(Heat, SnapshotsCoverLifetime) {
+  const auto snapshots = heat3d_snapshots(small_heat(), 5);
+  ASSERT_EQ(snapshots.size(), 5u);
+  // Total heat decreases monotonically (Dirichlet losses at the walls).
+  double previous = 1e300;
+  for (const auto& s : snapshots) {
+    double total = 0;
+    for (double v : s.flat()) total += v;
+    EXPECT_LT(total, previous);
+    previous = total;
+  }
+}
+
+TEST(Heat, ReducedModelResemblesMidPlane) {
+  const HeatConfig config = small_heat();
+  const Field full = heat3d_run(config);
+  const Field reduced = heat2d_run(config);
+  const Field mid = extract_z_plane(full, config.n / 2);
+  // The projected 2D model should correlate strongly with the mid plane
+  // (it decays slower since Z losses are dropped, so compare shapes).
+  double dot = 0, nm = 0, nr = 0;
+  for (std::size_t n = 0; n < mid.size(); ++n) {
+    dot += mid.flat()[n] * reduced.flat()[n];
+    nm += mid.flat()[n] * mid.flat()[n];
+    nr += reduced.flat()[n] * reduced.flat()[n];
+  }
+  const double cosine = dot / std::sqrt(nm * nr + 1e-300);
+  EXPECT_GT(cosine, 0.95);
+}
+
+TEST(Laplace, SolutionBoundedByBoundaryValues) {
+  LaplaceConfig config;
+  config.n = 16;
+  config.max_sweeps = 300;
+  const Field u = laplace3d_run(config);
+  const double cap = config.hot_value * (1.0 + config.z_modulation) + 1e-9;
+  for (double v : u.flat()) {
+    EXPECT_GE(v, -1e-9);
+    EXPECT_LE(v, cap);
+  }
+}
+
+TEST(Laplace, InteriorIsHarmonicAtConvergence) {
+  LaplaceConfig config;
+  config.n = 12;
+  config.max_sweeps = 20000;
+  config.tolerance = 1e-12;
+  const Field u = laplace3d_run(config);
+  // Residual of the 6-point stencil should be tiny.
+  double max_residual = 0;
+  for (std::size_t i = 1; i + 1 < u.nx(); ++i) {
+    for (std::size_t j = 1; j + 1 < u.ny(); ++j) {
+      for (std::size_t k = 1; k + 1 < u.nz(); ++k) {
+        const double avg = (u.at(i + 1, j, k) + u.at(i - 1, j, k) +
+                            u.at(i, j + 1, k) + u.at(i, j - 1, k) +
+                            u.at(i, j, k + 1) + u.at(i, j, k - 1)) /
+                           6.0;
+        max_residual = std::max(max_residual, std::fabs(avg - u.at(i, j, k)));
+      }
+    }
+  }
+  EXPECT_LT(max_residual, 1e-8);
+}
+
+TEST(Laplace, ParallelMatchesSerial) {
+  LaplaceConfig config;
+  config.n = 14;
+  config.max_sweeps = 120;
+  config.tolerance = 0.0;  // fixed sweep count for exact comparability
+  const Field serial = laplace3d_run(config);
+  for (int ranks : {1, 2, 3}) {
+    const Field parallel = laplace3d_run_parallel(config, ranks);
+    double max_diff = 0.0;
+    for (std::size_t n = 0; n < serial.size(); ++n) {
+      max_diff = std::max(
+          max_diff, std::fabs(parallel.flat()[n] - serial.flat()[n]));
+    }
+    EXPECT_LT(max_diff, 1e-12) << "ranks=" << ranks;
+  }
+}
+
+TEST(Laplace, ParallelConvergenceIsCollective) {
+  // With a loose tolerance every rank must stop at the same sweep; the
+  // result still matches a serial run with the same tolerance.
+  LaplaceConfig config;
+  config.n = 12;
+  config.max_sweeps = 5000;
+  config.tolerance = 1e-4;
+  const Field serial = laplace3d_run(config);
+  const Field parallel = laplace3d_run_parallel(config, 3);
+  double max_diff = 0.0;
+  for (std::size_t n = 0; n < serial.size(); ++n) {
+    max_diff = std::max(max_diff,
+                        std::fabs(parallel.flat()[n] - serial.flat()[n]));
+  }
+  EXPECT_LT(max_diff, 1e-10);
+}
+
+TEST(Wave, PulsePropagates) {
+  WaveConfig config;
+  config.n = 512;
+  config.steps = 200;
+  const Field u = wave1d_run(config);
+  // Energy is still present somewhere.
+  double peak = 0;
+  for (double v : u.flat()) peak = std::max(peak, std::fabs(v));
+  EXPECT_GT(peak, 0.1);
+}
+
+TEST(Wave, FixedEndsStayZero) {
+  WaveConfig config;
+  config.n = 256;
+  config.steps = 500;
+  const Field u = wave1d_run(config);
+  EXPECT_EQ(u.at(0), 0.0);
+  EXPECT_EQ(u.at(config.n - 1), 0.0);
+}
+
+TEST(Wave, AmplitudeBoundedForStableCfl) {
+  WaveConfig config;
+  config.n = 256;
+  config.steps = 2000;
+  config.cfl = 0.95;
+  const Field u = wave1d_run(config);
+  for (double v : u.flat()) EXPECT_LE(std::fabs(v), 2.5);
+}
+
+TEST(Md, EnergyAndTemperatureSane) {
+  MdConfig config;
+  config.atoms = 128;
+  config.steps = 50;
+  MdSimulation simulation(config);
+  simulation.run(config.steps);
+  // Thermostat keeps kinetic temperature near the target.
+  EXPECT_NEAR(simulation.temperature(), config.temperature, 0.5);
+  EXPECT_TRUE(std::isfinite(simulation.potential_energy()));
+}
+
+TEST(Md, PositionsStayInBox) {
+  MdConfig config;
+  config.atoms = 128;
+  config.steps = 60;
+  MdSimulation simulation(config);
+  simulation.run(config.steps);
+  for (double x : simulation.positions()) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, simulation.box_length());
+  }
+}
+
+TEST(Md, UmbrellaBiasPullsReactionCoordinate) {
+  MdConfig config;
+  config.atoms = 128;
+  config.steps = 300;
+  config.umbrella = true;
+  config.umbrella_k = 400.0;
+  config.umbrella_r0 = 1.3;
+  MdSimulation simulation(config);
+  simulation.run(config.steps);
+  EXPECT_NEAR(simulation.reaction_coordinate(), config.umbrella_r0, 0.6);
+}
+
+TEST(Md, VirtualSitesLieBetweenParents) {
+  MdConfig config;
+  config.atoms = 128;
+  config.steps = 20;
+  config.virtual_sites = true;
+  MdSimulation simulation(config);
+  simulation.run(config.steps);
+  const auto sites = simulation.virtual_site_positions();
+  EXPECT_FALSE(sites.empty());
+  EXPECT_EQ(sites.size() % 3, 0u);
+  for (double s : sites) EXPECT_TRUE(std::isfinite(s));
+}
+
+TEST(Md, DeterministicForFixedSeed) {
+  MdConfig config;
+  config.atoms = 128;
+  config.steps = 30;
+  const Field a = md_run_positions(config);
+  const Field b = md_run_positions(config);
+  for (std::size_t n = 0; n < a.size(); ++n) {
+    ASSERT_EQ(a.flat()[n], b.flat()[n]);
+  }
+}
+
+TEST(Sedov, ShockRadiusGrowsAsTwoFifths) {
+  SedovConfig config;
+  const double r1 = sedov_shock_radius(config);
+  config.time = 32.0;
+  const double r32 = sedov_shock_radius(config);
+  EXPECT_NEAR(r32 / r1, std::pow(32.0, 0.4), 1e-9);
+}
+
+TEST(Sedov, PressureFieldHasShockStructure) {
+  SedovConfig config;
+  config.n = 24;
+  config.time = 1.0;
+  const Field p = sedov_pressure_field(config);
+  const std::size_t c = config.n / 2;
+  // Pressure behind the shock is orders of magnitude above ambient, and
+  // the far corner sits at ambient pressure.
+  EXPECT_GT(p.at(c, c, c), 100.0 * config.p0);
+  EXPECT_DOUBLE_EQ(p.at(0, 0, 0), config.p0);
+}
+
+TEST(Fish, HasManyExactZeros) {
+  FishConfig config;
+  config.n = 24;
+  const Field v = fish_velocity_field(config);
+  std::size_t zeros = 0;
+  for (double x : v.flat()) {
+    if (x == 0.0) ++zeros;
+  }
+  // The defining Fish property (paper §V-B.1): a large zero fraction.
+  EXPECT_GT(static_cast<double>(zeros) / static_cast<double>(v.size()), 0.3);
+}
+
+TEST(Astro, VelocityNonNegativeAndPeaked) {
+  AstroConfig config;
+  config.n = 24;
+  const Field v = astro_velocity_field(config);
+  double peak = 0;
+  for (double x : v.flat()) {
+    EXPECT_GE(x, 0.0);
+    peak = std::max(peak, x);
+  }
+  EXPECT_GT(peak, 0.5 * config.vmax);
+}
+
+TEST(Yf17, TemperatureAboveFreestreamNearBody) {
+  Yf17Config config;
+  config.n = 24;
+  const Field t = yf17_temperature_field(config);
+  double peak = 0;
+  for (double x : t.flat()) {
+    EXPECT_GE(x, config.freestream_temp - 1e-9);
+    peak = std::max(peak, x);
+  }
+  EXPECT_GT(peak, config.freestream_temp + 0.5 * config.surface_heating);
+}
+
+TEST(Datasets, AllNineBuildAtSmallScale) {
+  for (DatasetId id : all_datasets()) {
+    const auto pair = make_dataset(id, 0.5);
+    EXPECT_FALSE(pair.full.empty()) << pair.name;
+    EXPECT_FALSE(pair.reduced.empty()) << pair.name;
+    EXPECT_LT(pair.reduced.size(), pair.full.size()) << pair.name;
+  }
+}
+
+TEST(Datasets, FullAndReducedShareCharacteristics) {
+  // The Fig. 1 similarity claim, spot-checked via the KS distance of the
+  // value distributions for a PDE dataset.
+  const auto pair = make_dataset(DatasetId::kSedovPres, 0.5);
+  // Normalize value ranges first: the reduced model evolves for half the
+  // time, so absolute magnitudes differ while the distribution *shape*
+  // (the Fig. 1 CDF claim) is preserved.
+  auto normalized = [](const Field& f) {
+    std::vector<double> out(f.flat().begin(), f.flat().end());
+    const auto [lo, hi] = std::minmax_element(out.begin(), out.end());
+    const double range = *hi - *lo;
+    for (double& v : out) v = range > 0 ? (v - *lo) / range : 0.0;
+    return out;
+  };
+  EXPECT_LT(stats::ks_distance(normalized(pair.full),
+                               normalized(pair.reduced)),
+            0.5);
+}
+
+TEST(Datasets, SnapshotsOnlyForTimeEvolvingSets) {
+  EXPECT_NO_THROW(make_snapshots(DatasetId::kWave, 3, 0.25));
+  EXPECT_THROW(make_snapshots(DatasetId::kFish, 3, 0.25),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rmp::sim

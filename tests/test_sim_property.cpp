@@ -1,0 +1,235 @@
+// Parameterized physical-invariant sweeps across the data generators:
+// every configuration the registry or a bench might use must produce
+// physically sane fields, not just the defaults the unit tests cover.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "sim/heat.hpp"
+#include "sim/laplace.hpp"
+#include "sim/md.hpp"
+#include "sim/sedov.hpp"
+#include "sim/synthetic.hpp"
+#include "sim/wave.hpp"
+
+namespace rmp::sim {
+namespace {
+
+class HeatSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(HeatSweep, MaximumPrincipleHolds) {
+  const auto& [n, steps] = GetParam();
+  HeatConfig config;
+  config.n = n;
+  config.steps = steps;
+  const Field u = heat3d_run(config);
+  for (double v : u.flat()) {
+    ASSERT_GE(v, -1e-9);
+    ASSERT_LE(v, config.hot_value + 1e-9);
+  }
+}
+
+TEST_P(HeatSweep, TotalHeatDecreases) {
+  const auto& [n, steps] = GetParam();
+  HeatConfig config;
+  config.n = n;
+  config.steps = steps;
+  const Field initial = heat3d_initial(config);
+  const Field final_state = heat3d_run(config);
+  double before = 0, after = 0;
+  for (double v : initial.flat()) before += v;
+  for (double v : final_state.flat()) after += v;
+  EXPECT_LT(after, before);
+  EXPECT_GT(after, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, HeatSweep,
+                         ::testing::Combine(::testing::Values(12, 16, 24),
+                                            ::testing::Values(50, 200)));
+
+class HeatOffsetSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(HeatOffsetSweep, OffCenterBlobBreaksSymmetryProportionally) {
+  HeatConfig config;
+  config.n = 16;
+  config.steps = 80;
+  config.hot_center_z = GetParam();
+  const Field u = heat3d_run(config);
+  double asym = 0.0;
+  for (std::size_t i = 0; i < config.n; ++i) {
+    for (std::size_t j = 0; j < config.n; ++j) {
+      for (std::size_t k = 0; k < config.n / 2; ++k) {
+        asym = std::max(asym, std::fabs(u.at(i, j, k) -
+                                        u.at(i, j, config.n - 1 - k)));
+      }
+    }
+  }
+  if (GetParam() == 0.5) {
+    EXPECT_LT(asym, 1e-9);
+  } else {
+    EXPECT_GT(asym, 1e-3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Centers, HeatOffsetSweep,
+                         ::testing::Values(0.5, 0.55, 0.62, 0.7));
+
+class LaplaceSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LaplaceSweep, PeakBoundaryValueScalesWithModulation) {
+  LaplaceConfig config;
+  config.n = 14;
+  config.max_sweeps = 400;
+  config.z_modulation = GetParam();
+  const Field u = laplace3d_run(config);
+  // The heated patch's amplitude peaks at hot * (1 + modulation) at the
+  // z-midpoint of the x = 0 face, and the maximum principle caps the
+  // whole field by it.
+  double peak = 0.0;
+  for (double v : u.flat()) {
+    ASSERT_GE(v, -1e-9);
+    peak = std::max(peak, v);
+  }
+  const double expected = config.hot_value * (1.0 + config.z_modulation);
+  EXPECT_LE(peak, expected + 1e-9);
+  EXPECT_GT(peak, config.hot_value * 0.99);  // the patch itself is in-field
+}
+
+INSTANTIATE_TEST_SUITE_P(Modulations, LaplaceSweep,
+                         ::testing::Values(0.0, 0.05, 0.1, 0.3));
+
+class WaveSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(WaveSweep, StableCflKeepsEnergyBounded) {
+  WaveConfig config;
+  config.n = 200;
+  config.steps = 1500;
+  config.cfl = GetParam();
+  const Field u = wave1d_run(config);
+  for (double v : u.flat()) {
+    ASSERT_LE(std::fabs(v), 3.0) << "cfl=" << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Courant, WaveSweep,
+                         ::testing::Values(0.3, 0.5, 0.8, 1.0));
+
+class SedovSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(SedovSweep, PressureProfileRisesToShockThenAmbient) {
+  const auto& [time, gamma] = GetParam();
+  SedovConfig config;
+  config.n = 20;
+  config.time = time;
+  config.gamma = gamma;
+  const Field p = sedov_pressure_field(config);
+  // Along the +x axis from the center: the interior profile rises
+  // monotonically toward the shock front, and beyond it everything is
+  // exactly ambient.
+  const std::size_t c = config.n / 2;
+  double previous = p.at(c, c, c);
+  bool inside = true;
+  for (std::size_t i = c + 1; i < config.n; ++i) {
+    const double value = p.at(i, c, c);
+    if (value <= config.p0 * 1.0001) inside = false;
+    if (inside) {
+      EXPECT_GE(value, previous - 1e-12) << "i=" << i;
+    } else {
+      EXPECT_NEAR(value, config.p0, config.p0 * 1e-6);
+    }
+    previous = value;
+  }
+}
+
+TEST_P(SedovSweep, AmbientOutsideShock) {
+  const auto& [time, gamma] = GetParam();
+  SedovConfig config;
+  config.n = 20;
+  config.time = time;
+  config.gamma = gamma;
+  const double radius = sedov_shock_radius(config);
+  const Field p = sedov_pressure_field(config);
+  const double h = config.domain / static_cast<double>(config.n - 1);
+  for (std::size_t i = 0; i < config.n; ++i) {
+    for (std::size_t j = 0; j < config.n; ++j) {
+      for (std::size_t k = 0; k < config.n; ++k) {
+        const double x = static_cast<double>(i) * h - 0.5 * config.domain;
+        const double y = static_cast<double>(j) * h - 0.5 * config.domain;
+        const double z = static_cast<double>(k) * h - 0.5 * config.domain;
+        if (std::sqrt(x * x + y * y + z * z) > radius * 1.001) {
+          ASSERT_DOUBLE_EQ(p.at(i, j, k), config.p0);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Times, SedovSweep,
+    ::testing::Combine(::testing::Values(0.25, 0.5, 1.0),
+                       ::testing::Values(1.4, 5.0 / 3.0)));
+
+class FishSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FishSweep, ZeroFractionGrowsWithThreshold) {
+  FishConfig config;
+  config.n = 20;
+  config.zero_threshold = GetParam();
+  const Field v = fish_velocity_field(config);
+  std::size_t zeros = 0;
+  for (double x : v.flat()) {
+    ASSERT_GE(x, 0.0);
+    if (x == 0.0) ++zeros;
+  }
+  // Higher threshold -> at least as many zeros as the smallest setting.
+  EXPECT_GT(zeros, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, FishSweep,
+                         ::testing::Values(1e-4, 1e-3, 1e-2, 1e-1));
+
+class AstroSeedSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AstroSeedSweep, TurbulenceIsSeededAndBounded) {
+  AstroConfig config;
+  config.n = 16;
+  config.seed = GetParam();
+  const Field a = astro_velocity_field(config);
+  const Field b = astro_velocity_field(config);
+  for (std::size_t n = 0; n < a.size(); ++n) {
+    ASSERT_EQ(a.flat()[n], b.flat()[n]);  // deterministic
+    ASSERT_GE(a.flat()[n], 0.0);
+    ASSERT_LE(a.flat()[n], config.vmax * (1.0 + config.turbulence) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AstroSeedSweep, ::testing::Values(1, 7, 99));
+
+class MdSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+TEST_P(MdSweep, ThermostatTracksTarget) {
+  const auto& [atoms, temperature] = GetParam();
+  MdConfig config;
+  config.atoms = atoms;
+  config.temperature = temperature;
+  config.steps = 80;
+  MdSimulation simulation(config);
+  simulation.run(config.steps);
+  EXPECT_NEAR(simulation.temperature(), temperature, temperature * 0.6);
+  for (double x : simulation.positions()) {
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, simulation.box_length());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, MdSweep,
+                         ::testing::Combine(::testing::Values(64, 128, 256),
+                                            ::testing::Values(0.5, 1.0)));
+
+}  // namespace
+}  // namespace rmp::sim

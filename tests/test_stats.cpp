@@ -1,0 +1,205 @@
+#include "stats/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace rmp::stats {
+namespace {
+
+TEST(ByteMetrics, EntropyOfConstantBytesIsZero) {
+  std::vector<std::uint8_t> bytes(1000, 0x42);
+  EXPECT_DOUBLE_EQ(byte_entropy(std::span<const std::uint8_t>(bytes)), 0.0);
+}
+
+TEST(ByteMetrics, EntropyOfUniformBytesIsEight) {
+  std::vector<std::uint8_t> bytes;
+  for (int r = 0; r < 4; ++r) {
+    for (int b = 0; b < 256; ++b) bytes.push_back(static_cast<std::uint8_t>(b));
+  }
+  EXPECT_NEAR(byte_entropy(std::span<const std::uint8_t>(bytes)), 8.0, 1e-12);
+}
+
+TEST(ByteMetrics, EntropyOfTwoSymbols) {
+  std::vector<std::uint8_t> bytes(100, 0);
+  for (int i = 0; i < 50; ++i) bytes[i] = 1;
+  EXPECT_NEAR(byte_entropy(std::span<const std::uint8_t>(bytes)), 1.0, 1e-12);
+}
+
+TEST(ByteMetrics, MeanOfUniformBytes) {
+  std::vector<std::uint8_t> bytes;
+  for (int b = 0; b < 256; ++b) bytes.push_back(static_cast<std::uint8_t>(b));
+  EXPECT_NEAR(byte_mean(std::span<const std::uint8_t>(bytes)), 127.5, 1e-12);
+}
+
+TEST(ByteMetrics, SerialCorrelationOfAlternating) {
+  // 0,255,0,255,... is maximally anti-correlated.
+  std::vector<std::uint8_t> bytes(1000);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    bytes[i] = (i % 2 == 0) ? 0 : 255;
+  }
+  EXPECT_NEAR(serial_correlation(std::span<const std::uint8_t>(bytes)), -1.0,
+              1e-9);
+}
+
+TEST(ByteMetrics, SerialCorrelationOfRamp) {
+  // A slow ramp is highly positively correlated.
+  std::vector<std::uint8_t> bytes(4096);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    bytes[i] = static_cast<std::uint8_t>(i / 16);
+  }
+  EXPECT_GT(serial_correlation(std::span<const std::uint8_t>(bytes)), 0.9);
+}
+
+TEST(ByteMetrics, RandomBytesNearIdealValues) {
+  std::mt19937 rng(17);
+  std::vector<std::uint8_t> bytes(200000);
+  for (auto& b : bytes) b = static_cast<std::uint8_t>(rng());
+  EXPECT_GT(byte_entropy(std::span<const std::uint8_t>(bytes)), 7.99);
+  EXPECT_NEAR(byte_mean(std::span<const std::uint8_t>(bytes)), 127.5, 1.0);
+  EXPECT_NEAR(serial_correlation(std::span<const std::uint8_t>(bytes)), 0.0,
+              0.02);
+}
+
+TEST(ErrorMetrics, RmseKnownValues) {
+  std::vector<double> a = {1.0, 2.0, 3.0};
+  std::vector<double> b = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(rmse(a, b), 0.0);
+  b[2] = 6.0;
+  EXPECT_NEAR(rmse(a, b), std::sqrt(9.0 / 3.0), 1e-14);
+}
+
+TEST(ErrorMetrics, RmseRejectsSizeMismatch) {
+  std::vector<double> a = {1.0};
+  std::vector<double> b = {1.0, 2.0};
+  EXPECT_THROW(rmse(a, b), std::invalid_argument);
+}
+
+TEST(ErrorMetrics, MaxAbsError) {
+  std::vector<double> a = {0.0, 5.0, -2.0};
+  std::vector<double> b = {0.5, 5.0, -4.0};
+  EXPECT_DOUBLE_EQ(max_abs_error(a, b), 2.0);
+}
+
+TEST(ErrorMetrics, PsnrInfiniteForIdentical) {
+  std::vector<double> a = {1.0, 2.0};
+  EXPECT_TRUE(std::isinf(psnr(a, a)));
+}
+
+TEST(ErrorMetrics, NrmseNormalizesByRange) {
+  std::vector<double> a = {0.0, 10.0};
+  std::vector<double> b = {1.0, 10.0};
+  EXPECT_NEAR(nrmse(a, b), std::sqrt(0.5) / 10.0, 1e-14);
+}
+
+TEST(Cdf, MonotoneAndEndsAtOne) {
+  std::mt19937 rng(23);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> values(5000);
+  for (double& v : values) v = dist(rng);
+  const auto cdf = empirical_cdf(values, 32);
+  ASSERT_EQ(cdf.size(), 32u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].probability, cdf[i - 1].probability);
+    EXPECT_GE(cdf[i].value, cdf[i - 1].value);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().probability, 1.0);
+}
+
+TEST(Cdf, EmptyInput) {
+  EXPECT_TRUE(empirical_cdf({}, 16).empty());
+}
+
+TEST(Ks, IdenticalSamplesHaveZeroDistance) {
+  std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(ks_distance(a, a), 0.0);
+}
+
+TEST(Ks, DisjointSamplesHaveDistanceOne) {
+  std::vector<double> a = {1.0, 2.0};
+  std::vector<double> b = {10.0, 20.0};
+  EXPECT_DOUBLE_EQ(ks_distance(a, b), 1.0);
+}
+
+TEST(Ks, SimilarDistributionsHaveSmallDistance) {
+  std::mt19937 rng(29);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> a(4000), b(4000);
+  for (double& v : a) v = dist(rng);
+  for (double& v : b) v = dist(rng);
+  EXPECT_LT(ks_distance(a, b), 0.06);
+}
+
+TEST(Gradient, ZeroForIdentical) {
+  std::vector<double> a = {1.0, 3.0, 2.0, 5.0};
+  EXPECT_DOUBLE_EQ(gradient_rmse(a, a), 0.0);
+}
+
+TEST(Gradient, DetectsSlopeChange) {
+  std::vector<double> a = {0.0, 1.0, 2.0, 3.0};  // slope 1
+  std::vector<double> b = {0.0, 2.0, 4.0, 6.0};  // slope 2
+  EXPECT_NEAR(gradient_rmse(a, b), 1.0, 1e-12);
+}
+
+TEST(Gradient, InsensitiveToConstantOffset) {
+  std::vector<double> a = {1.0, 2.0, 4.0, 8.0};
+  std::vector<double> b = {11.0, 12.0, 14.0, 18.0};
+  EXPECT_DOUBLE_EQ(gradient_rmse(a, b), 0.0);
+}
+
+TEST(Gradient, DegenerateInputs) {
+  std::vector<double> one = {5.0};
+  EXPECT_DOUBLE_EQ(gradient_rmse(one, one), 0.0);
+  std::vector<double> a = {1.0, 2.0};
+  std::vector<double> b = {1.0};
+  EXPECT_THROW(gradient_rmse(a, b), std::invalid_argument);
+}
+
+TEST(Quantile, KnownValues) {
+  std::vector<double> v = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);  // interpolated median
+}
+
+TEST(Quantile, SingleElement) {
+  std::vector<double> v = {7.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 7.0);
+}
+
+TEST(Quantile, RejectsBadInput) {
+  std::vector<double> v = {1.0};
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(quantile(v, -0.1), std::invalid_argument);
+  EXPECT_THROW(quantile(v, 1.1), std::invalid_argument);
+}
+
+TEST(DecileDistance, ZeroForIdenticalSamples) {
+  std::vector<double> v = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(decile_distance(v, v), 0.0);
+}
+
+TEST(DecileDistance, ShiftDetected) {
+  std::vector<double> a(100), b(100);
+  for (int i = 0; i < 100; ++i) {
+    a[i] = static_cast<double>(i);
+    b[i] = static_cast<double>(i) + 5.0;
+  }
+  EXPECT_NEAR(decile_distance(a, b), 5.0, 1e-9);
+}
+
+TEST(Characteristics, BundleMatchesIndividualMetrics) {
+  std::vector<double> values(512);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = std::sin(0.1 * static_cast<double>(i));
+  }
+  const auto c = byte_characteristics(values);
+  EXPECT_DOUBLE_EQ(c.entropy, byte_entropy(std::span<const double>(values)));
+  EXPECT_DOUBLE_EQ(c.mean, byte_mean(std::span<const double>(values)));
+  EXPECT_DOUBLE_EQ(c.correlation,
+                   serial_correlation(std::span<const double>(values)));
+}
+
+}  // namespace
+}  // namespace rmp::stats

@@ -1,0 +1,251 @@
+#include "wavelet/haar.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace rmp::wavelet {
+namespace {
+
+using rmp::la::Matrix;
+
+std::vector<double> random_signal(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> v(n);
+  for (double& x : v) x = dist(rng);
+  return v;
+}
+
+TEST(Haar, MaxLevels) {
+  EXPECT_EQ(max_levels(1), 0u);
+  EXPECT_EQ(max_levels(2), 1u);
+  EXPECT_EQ(max_levels(4), 2u);
+  EXPECT_EQ(max_levels(8), 3u);
+  EXPECT_EQ(max_levels(9), 4u);  // ceil-halving: 9 -> 5 -> 3 -> 2 -> 1
+}
+
+TEST(Haar, KnownTwoPointTransform) {
+  std::vector<double> v = {3.0, 1.0};
+  haar_forward_1d(v);
+  const double s = std::sqrt(2.0);
+  EXPECT_NEAR(v[0], 4.0 / s, 1e-14);  // sum / sqrt2
+  EXPECT_NEAR(v[1], 2.0 / s, 1e-14);  // diff / sqrt2
+  haar_inverse_1d(v);
+  EXPECT_NEAR(v[0], 3.0, 1e-14);
+  EXPECT_NEAR(v[1], 1.0, 1e-14);
+}
+
+TEST(Haar, PerfectReconstruction1dPow2) {
+  auto v = random_signal(256, 1);
+  const auto original = v;
+  haar_forward_1d(v);
+  haar_inverse_1d(v);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(v[i], original[i], 1e-12);
+  }
+}
+
+TEST(Haar, PerfectReconstructionOddLengths) {
+  for (std::size_t n : {3u, 5u, 7u, 9u, 17u, 33u, 100u, 101u}) {
+    auto v = random_signal(n, static_cast<unsigned>(n));
+    const auto original = v;
+    haar_forward_1d(v);
+    haar_inverse_1d(v);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      ASSERT_NEAR(v[i], original[i], 1e-12) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(Haar, EnergyPreserved) {
+  // Orthonormal transform preserves the L2 norm (odd stragglers pass
+  // through untouched, so this holds for any n).
+  auto v = random_signal(300, 3);
+  double before = 0;
+  for (double x : v) before += x * x;
+  haar_forward_1d(v);
+  double after = 0;
+  for (double x : v) after += x * x;
+  EXPECT_NEAR(before, after, 1e-9);
+}
+
+TEST(Haar, ConstantSignalConcentrates) {
+  std::vector<double> v(64, 5.0);
+  haar_forward_1d(v);
+  // All energy in the single scaling coefficient; details are zero.
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    EXPECT_NEAR(v[i], 0.0, 1e-12);
+  }
+  EXPECT_NEAR(v[0], 5.0 * 8.0, 1e-12);  // 5 * sqrt(64)
+}
+
+TEST(Haar, PartialLevels) {
+  auto v = random_signal(64, 4);
+  const auto original = v;
+  haar_forward_1d(v, 2);
+  haar_inverse_1d(v, 2);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(v[i], original[i], 1e-12);
+  }
+}
+
+TEST(Haar, TooManyLevelsThrows) {
+  std::vector<double> v(8);
+  EXPECT_THROW(haar_forward_1d(v, 4), std::invalid_argument);
+}
+
+TEST(Haar2d, PerfectReconstruction) {
+  Matrix m(33, 47);
+  std::mt19937 rng(5);
+  std::normal_distribution<double> dist(0.0, 2.0);
+  for (double& v : m.flat()) v = dist(rng);
+  const Matrix original = m;
+  haar_forward_2d(m);
+  haar_inverse_2d(m);
+  EXPECT_LT(Matrix::max_abs_diff(m, original), 1e-11);
+}
+
+TEST(Haar2d, SmoothImageSparsifies) {
+  Matrix m(64, 64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    for (std::size_t j = 0; j < 64; ++j) {
+      m(i, j) = std::sin(0.1 * static_cast<double>(i)) +
+                std::cos(0.07 * static_cast<double>(j));
+    }
+  }
+  haar_forward_2d(m);
+  const double theta = 0.01 * max_abs_coefficient(m);
+  Matrix t = m;
+  const std::size_t kept = threshold_coefficients(t, theta);
+  // A smooth image should concentrate energy in few coefficients.
+  EXPECT_LT(kept, 64 * 64 / 4);
+}
+
+TEST(Haar2d, ThresholdingBoundsError) {
+  Matrix m(32, 32);
+  std::mt19937 rng(6);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  for (double& v : m.flat()) v = dist(rng);
+  const Matrix original = m;
+
+  haar_forward_2d(m);
+  threshold_coefficients(m, 0.05 * max_abs_coefficient(m));
+  haar_inverse_2d(m);
+
+  // Dropping coefficients with |c| <= theta changes the result, but the
+  // Frobenius error is bounded by sqrt(#dropped) * theta.
+  const double err = (m - original).frobenius_norm();
+  EXPECT_LT(err, 32.0 * 0.05 * 10.0);
+  EXPECT_GT(err, 0.0);
+}
+
+TEST(Haar, ThresholdCountsSurvivors) {
+  Matrix m(2, 2);
+  m(0, 0) = 1.0;
+  m(0, 1) = 0.05;
+  m(1, 0) = -0.2;
+  m(1, 1) = 0.0;
+  EXPECT_EQ(threshold_coefficients(m, 0.1), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), -0.2);
+}
+
+TEST(Haar, MaxAbsCoefficient) {
+  Matrix m(2, 3);
+  m(0, 0) = -7.0;
+  m(1, 2) = 3.0;
+  EXPECT_DOUBLE_EQ(max_abs_coefficient(m), 7.0);
+}
+
+TEST(Haar3d, PerfectReconstruction) {
+  const std::size_t nx = 9, ny = 12, nz = 7;
+  std::vector<double> data(nx * ny * nz);
+  std::mt19937 rng(31);
+  std::normal_distribution<double> dist(0.0, 3.0);
+  for (double& v : data) v = dist(rng);
+  const auto original = data;
+  haar_forward_3d(data, nx, ny, nz);
+  haar_inverse_3d(data, nx, ny, nz);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_NEAR(data[i], original[i], 1e-11);
+  }
+}
+
+TEST(Haar3d, EnergyPreserved) {
+  const std::size_t n = 8;
+  std::vector<double> data(n * n * n);
+  std::mt19937 rng(32);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  for (double& v : data) v = dist(rng);
+  double before = 0;
+  for (double v : data) before += v * v;
+  haar_forward_3d(data, n, n, n);
+  double after = 0;
+  for (double v : data) after += v * v;
+  EXPECT_NEAR(before, after, 1e-9);
+}
+
+TEST(Haar3d, ConstantFieldConcentratesToOneCoefficient) {
+  const std::size_t n = 8;
+  std::vector<double> data(n * n * n, 2.0);
+  haar_forward_3d(data, n, n, n);
+  std::size_t nonzero = 0;
+  for (double v : data) {
+    if (std::fabs(v) > 1e-10) ++nonzero;
+  }
+  EXPECT_EQ(nonzero, 1u);
+  // The scaling coefficient is 2 * sqrt(512).
+  EXPECT_NEAR(data[0], 2.0 * std::sqrt(512.0), 1e-10);
+}
+
+TEST(Haar3d, SeparableMatchesAxisOrderInvariantEnergy) {
+  // Transform of a product function should decorrelate every axis:
+  // a field linear in z has only two distinct coefficient magnitudes per
+  // z-line after the z pass.  Sanity check: most coefficients are tiny.
+  const std::size_t n = 16;
+  std::vector<double> data(n * n * n);
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t k = 0; k < n; ++k, ++idx) {
+        data[idx] = static_cast<double>(i) + 2.0 * static_cast<double>(j) +
+                    3.0 * static_cast<double>(k);
+      }
+    }
+  }
+  haar_forward_3d(data, n, n, n);
+  std::size_t significant = 0;
+  double peak = 0;
+  for (double v : data) peak = std::max(peak, std::fabs(v));
+  for (double v : data) {
+    if (std::fabs(v) > 1e-3 * peak) ++significant;
+  }
+  EXPECT_LT(significant, data.size() / 10);
+}
+
+TEST(Haar3d, RejectsSizeMismatch) {
+  std::vector<double> data(10);
+  EXPECT_THROW(haar_forward_3d(data, 2, 2, 2), std::invalid_argument);
+  EXPECT_THROW(haar_inverse_3d(data, 3, 3, 3), std::invalid_argument);
+}
+
+class HaarLengthSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HaarLengthSweep, RoundTrip) {
+  auto v = random_signal(GetParam(), 42);
+  const auto original = v;
+  haar_forward_1d(v);
+  haar_inverse_1d(v);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    ASSERT_NEAR(v[i], original[i], 1e-11);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, HaarLengthSweep,
+                         ::testing::Values(2, 3, 4, 6, 8, 15, 16, 31, 64, 127,
+                                           128, 1000));
+
+}  // namespace
+}  // namespace rmp::wavelet

@@ -1,0 +1,267 @@
+#include "compress/zfp_like.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace rmp::compress {
+namespace {
+
+std::vector<double> smooth_3d(std::size_t n) {
+  std::vector<double> data(n * n * n);
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t k = 0; k < n; ++k, ++idx) {
+        const double x = static_cast<double>(i) / static_cast<double>(n);
+        const double y = static_cast<double>(j) / static_cast<double>(n);
+        const double z = static_cast<double>(k) / static_cast<double>(n);
+        data[idx] = std::sin(3 * x) + std::cos(2 * y) * z + x * y;
+      }
+    }
+  }
+  return data;
+}
+
+TEST(Zfp, HighPrecisionNearLossless1d) {
+  ZfpCompressor codec({ZfpMode::kFixedPrecision, 62, 0.0});
+  std::vector<double> data(64);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = std::sin(0.3 * static_cast<double>(i));
+  }
+  const auto decoded = codec.decompress(codec.compress(data, Dims::d1(64)));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(decoded[i], data[i], 1e-14);
+  }
+}
+
+TEST(Zfp, HighPrecisionNearLossless2d) {
+  ZfpCompressor codec({ZfpMode::kFixedPrecision, 62, 0.0});
+  std::vector<double> data(32 * 32);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = std::cos(0.05 * static_cast<double>(i)) * 100.0;
+  }
+  const auto decoded =
+      codec.decompress(codec.compress(data, Dims::d2(32, 32)));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(decoded[i], data[i], 1e-12);
+  }
+}
+
+TEST(Zfp, HighPrecisionNearLossless3d) {
+  ZfpCompressor codec({ZfpMode::kFixedPrecision, 62, 0.0});
+  const auto data = smooth_3d(8);
+  const auto decoded =
+      codec.decompress(codec.compress(data, Dims::d3(8, 8, 8)));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(decoded[i], data[i], 1e-13);
+  }
+}
+
+TEST(Zfp, SixteenBitPrecisionHasModestError) {
+  ZfpCompressor codec({ZfpMode::kFixedPrecision, 16, 0.0});
+  const auto data = smooth_3d(16);
+  const auto stream = codec.compress(data, Dims::d3(16, 16, 16));
+  const auto decoded = codec.decompress(stream);
+  // ~16 bit planes of a range-2 signal: error well below 1e-2.
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_NEAR(decoded[i], data[i], 1e-2);
+  }
+  // And the stream should be well under 25% of the input.
+  EXPECT_LT(stream.size(), data.size() * sizeof(double) / 4);
+}
+
+TEST(Zfp, LowerPrecisionIsSmallerAndWorse) {
+  const auto data = smooth_3d(16);
+  ZfpCompressor p8({ZfpMode::kFixedPrecision, 8, 0.0});
+  ZfpCompressor p24({ZfpMode::kFixedPrecision, 24, 0.0});
+  const auto s8 = p8.compress(data, Dims::d3(16, 16, 16));
+  const auto s24 = p24.compress(data, Dims::d3(16, 16, 16));
+  EXPECT_LT(s8.size(), s24.size());
+
+  const auto d8 = p8.decompress(s8);
+  const auto d24 = p24.decompress(s24);
+  double e8 = 0, e24 = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    e8 = std::max(e8, std::fabs(d8[i] - data[i]));
+    e24 = std::max(e24, std::fabs(d24[i] - data[i]));
+  }
+  EXPECT_LT(e24, e8);
+}
+
+TEST(Zfp, FixedAccuracyModeRespectsTolerance) {
+  const double tol = 1e-6;
+  ZfpCompressor codec({ZfpMode::kFixedAccuracy, 0, tol});
+  const auto data = smooth_3d(12);
+  const auto decoded =
+      codec.decompress(codec.compress(data, Dims::d3(12, 12, 12)));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_LE(std::fabs(decoded[i] - data[i]), tol) << "at " << i;
+  }
+}
+
+TEST(Zfp, AllZeroBlocksAreOneFlagBit) {
+  ZfpCompressor codec({ZfpMode::kFixedPrecision, 16, 0.0});
+  std::vector<double> data(64 * 64, 0.0);
+  const auto stream = codec.compress(data, Dims::d2(64, 64));
+  // 256 blocks, 1 bit each + header: comfortably under 100 bytes.
+  EXPECT_LT(stream.size(), 100u);
+  const auto decoded = codec.decompress(stream);
+  for (double v : decoded) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Zfp, PartialBlocksRoundTrip) {
+  ZfpCompressor codec({ZfpMode::kFixedPrecision, 62, 0.0});
+  // 5x7x9: every dimension has a partial final block.
+  std::vector<double> data(5 * 7 * 9);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = 0.1 * static_cast<double>(i) - 3.0;
+  }
+  const auto decoded =
+      codec.decompress(codec.compress(data, Dims::d3(5, 7, 9)));
+  ASSERT_EQ(decoded.size(), data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(decoded[i], data[i], 1e-12);
+  }
+}
+
+TEST(Zfp, MixedMagnitudeBlocks) {
+  ZfpCompressor codec({ZfpMode::kFixedPrecision, 30, 0.0});
+  std::vector<double> data(16 * 16);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = (i < 128) ? 1e-9 * static_cast<double>(i)
+                        : 1e9 * static_cast<double>(i);
+  }
+  const auto decoded =
+      codec.decompress(codec.compress(data, Dims::d2(16, 16)));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const double scale = std::max(1.0, std::fabs(data[i]));
+    EXPECT_NEAR(decoded[i] / scale, data[i] / scale, 1e-6);
+  }
+}
+
+TEST(Zfp, NegativeValues) {
+  ZfpCompressor codec({ZfpMode::kFixedPrecision, 40, 0.0});
+  std::vector<double> data(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    data[i] = -50.0 + static_cast<double>(i) * 1.7;
+  }
+  const auto decoded = codec.decompress(codec.compress(data, Dims::d1(64)));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(decoded[i], data[i], 1e-8);
+  }
+}
+
+TEST(Zfp, RejectsBadConstruction) {
+  EXPECT_THROW(ZfpCompressor({ZfpMode::kFixedPrecision, 0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(ZfpCompressor({ZfpMode::kFixedPrecision, 63, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(ZfpCompressor({ZfpMode::kFixedAccuracy, 16, -1.0}),
+               std::invalid_argument);
+}
+
+TEST(ZfpFixedRate, StreamSizeIsExactlyRate) {
+  // 3D: 4^3 = 64 values per block; rate 16 -> 1024 bits = 128 B per block.
+  ZfpCompressor codec({ZfpMode::kFixedRate, 0, 0.0, 16});
+  const auto data = smooth_3d(16);  // 64 blocks
+  const auto stream = codec.compress(data, Dims::d3(16, 16, 16));
+  const std::size_t header = 4 + 1 + 1 + 2 + 8 + 24;  // see zfp_like.cpp
+  EXPECT_EQ(stream.size(), header + 64 * 128);
+}
+
+TEST(ZfpFixedRate, RoundTripWithinExpectedError) {
+  ZfpCompressor codec({ZfpMode::kFixedRate, 0, 0.0, 24});
+  const auto data = smooth_3d(12);
+  const auto decoded =
+      codec.decompress(codec.compress(data, Dims::d3(12, 12, 12)));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_NEAR(decoded[i], data[i], 1e-3);
+  }
+}
+
+TEST(ZfpFixedRate, HigherRateIsMoreAccurate) {
+  const auto data = smooth_3d(8);
+  double previous_error = 1e300;
+  for (unsigned rate : {8, 16, 32, 48}) {
+    ZfpCompressor codec({ZfpMode::kFixedRate, 0, 0.0, rate});
+    const auto decoded =
+        codec.decompress(codec.compress(data, Dims::d3(8, 8, 8)));
+    double err = 0;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      err = std::max(err, std::fabs(decoded[i] - data[i]));
+    }
+    EXPECT_LE(err, previous_error) << "rate " << rate;
+    previous_error = err;
+  }
+}
+
+TEST(ZfpFixedRate, ZeroBlocksStillConsumeBudget) {
+  // Fixed rate trades ratio for random access: zeros cost rate too.
+  ZfpCompressor codec({ZfpMode::kFixedRate, 0, 0.0, 8});
+  std::vector<double> data(16 * 16, 0.0);
+  const auto stream = codec.compress(data, Dims::d2(16, 16));
+  // 16 blocks x 16 values x 8 bits = 256 B + header.
+  EXPECT_GE(stream.size(), 256u);
+  const auto decoded = codec.decompress(stream);
+  for (double v : decoded) EXPECT_EQ(v, 0.0);
+}
+
+TEST(ZfpFixedRate, RejectsRateTooLowForRank) {
+  // 1D blocks have 4 values: rate 2 -> 8 bits/block < 14-bit header.
+  ZfpCompressor codec({ZfpMode::kFixedRate, 0, 0.0, 2});
+  std::vector<double> data(16, 1.0);
+  EXPECT_THROW(codec.compress(data, Dims::d1(16)), std::invalid_argument);
+}
+
+TEST(ZfpFixedRate, RejectsBadRate) {
+  EXPECT_THROW(ZfpCompressor({ZfpMode::kFixedRate, 0, 0.0, 0}),
+               std::invalid_argument);
+  EXPECT_THROW(ZfpCompressor({ZfpMode::kFixedRate, 0, 0.0, 65}),
+               std::invalid_argument);
+}
+
+class ZfpRateSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ZfpRateSweep, RoundTripAndExactSizeAtRate) {
+  const unsigned rate = GetParam();
+  ZfpCompressor codec({ZfpMode::kFixedRate, 0, 0.0, rate});
+  const auto data = smooth_3d(8);  // 8 blocks of 64 values
+  const auto stream = codec.compress(data, Dims::d3(8, 8, 8));
+  // 8 blocks x 64 values x rate bits, always a whole number of bytes.
+  const std::size_t header = 40;
+  EXPECT_EQ(stream.size(), header + 64 * rate);
+  const auto decoded = codec.decompress(stream);
+  ASSERT_EQ(decoded.size(), data.size());
+  // Coarse sanity: error below the block value range at any rate.
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_NEAR(decoded[i], data[i], 2.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, ZfpRateSweep,
+                         ::testing::Values(4, 8, 12, 16, 24, 32, 40, 64));
+
+class ZfpPrecisionSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ZfpPrecisionSweep, ErrorShrinksMonotonically) {
+  const auto data = smooth_3d(8);
+  ZfpCompressor codec({ZfpMode::kFixedPrecision, GetParam(), 0.0});
+  const auto decoded =
+      codec.decompress(codec.compress(data, Dims::d3(8, 8, 8)));
+  double max_err = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    max_err = std::max(max_err, std::fabs(decoded[i] - data[i]));
+  }
+  // Each kept plane halves the worst-case quantization error; allow a
+  // generous transform-amplification constant.
+  const double budget = 64.0 * std::ldexp(4.0, -static_cast<int>(GetParam()));
+  EXPECT_LE(max_err, budget);
+}
+
+INSTANTIATE_TEST_SUITE_P(Precisions, ZfpPrecisionSweep,
+                         ::testing::Values(8, 12, 16, 20, 24, 32, 40));
+
+}  // namespace
+}  // namespace rmp::compress

@@ -1,0 +1,259 @@
+// rmpc -- command-line front end for the reduced-model preconditioning
+// pipeline.  Operates on raw little-endian float64 arrays, the common
+// interchange format for scientific data dumps.
+//
+//   rmpc compress   <in.f64> <out.rmp> --dims NX[,NY[,NZ]]
+//                   [--method identity|one-base|multi-base|duomodel|pca|
+//                             svd|wavelet|pca-part|tucker|auto|a>b]
+//                   [--codec sz|zfp]
+//   rmpc decompress <in.rmp> <out.f64> [--codec sz|zfp]
+//   rmpc info       <in.rmp>
+//   rmpc predict    <in.f64> --dims NX[,NY[,NZ]]
+//   rmpc stats      <in.f64> --dims NX[,NY[,NZ]]
+//   rmpc verify     <in.f64> --dims NX[,NY[,NZ]] [--method NAME]
+//                   [--codec sz|zfp]
+//
+// `--method auto` runs the predictive selector (no trial compression).
+// `stats` prints the Fig. 1 data characteristics (byte entropy / mean /
+// serial correlation) plus a coarse CDF.  `verify` runs the full
+// compress + reconstruct round trip and prints a quality report.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compress/factory.hpp"
+#include "core/model_predict.hpp"
+#include "core/pipeline.hpp"
+#include "core/quality.hpp"
+#include "stats/metrics.hpp"
+
+namespace {
+
+using namespace rmp;
+
+[[noreturn]] void usage_and_exit() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  rmpc compress   <in.f64> <out.rmp> --dims NX[,NY[,NZ]] "
+               "[--method NAME|auto] [--codec sz|zfp]\n"
+               "  rmpc decompress <in.rmp> <out.f64> [--codec sz|zfp]\n"
+               "  rmpc info       <in.rmp>\n"
+               "  rmpc predict    <in.f64> --dims NX[,NY[,NZ]]\n"
+               "  rmpc stats      <in.f64> --dims NX[,NY[,NZ]]\n"
+               "  rmpc verify     <in.f64> --dims NX[,NY[,NZ]] "
+               "[--method NAME] [--codec sz|zfp]\n");
+  std::exit(2);
+}
+
+std::vector<double> read_doubles(const std::string& path) {
+  std::ifstream file(path, std::ios::binary | std::ios::ate);
+  if (!file) {
+    std::fprintf(stderr, "rmpc: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  const auto bytes = static_cast<std::size_t>(file.tellg());
+  if (bytes % sizeof(double) != 0) {
+    std::fprintf(stderr, "rmpc: %s is not a float64 array\n", path.c_str());
+    std::exit(1);
+  }
+  std::vector<double> data(bytes / sizeof(double));
+  file.seekg(0);
+  file.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(bytes));
+  return data;
+}
+
+void write_doubles(const std::string& path, const std::vector<double>& data) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    std::fprintf(stderr, "rmpc: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  file.write(reinterpret_cast<const char*>(data.data()),
+             static_cast<std::streamsize>(data.size() * sizeof(double)));
+}
+
+struct Args {
+  std::vector<std::string> positional;
+  std::optional<std::string> dims;
+  std::string method = "pca";
+  std::string codec = "sz";
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage_and_exit();
+      return argv[++i];
+    };
+    if (arg == "--dims") {
+      args.dims = next();
+    } else if (arg == "--method") {
+      args.method = next();
+    } else if (arg == "--codec") {
+      args.codec = next();
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "rmpc: unknown flag %s\n", arg.c_str());
+      usage_and_exit();
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+sim::Field field_from_file(const std::string& path, const std::string& dims) {
+  std::size_t nx = 0, ny = 1, nz = 1;
+  if (std::sscanf(dims.c_str(), "%zu,%zu,%zu", &nx, &ny, &nz) < 1) {
+    std::fprintf(stderr, "rmpc: bad --dims %s\n", dims.c_str());
+    std::exit(1);
+  }
+  auto data = read_doubles(path);
+  if (data.size() != nx * ny * nz) {
+    std::fprintf(stderr,
+                 "rmpc: %s holds %zu doubles but --dims says %zux%zux%zu\n",
+                 path.c_str(), data.size(), nx, ny, nz);
+    std::exit(1);
+  }
+  return sim::Field::from_data(nx, ny, nz, std::move(data));
+}
+
+struct Codecs {
+  std::unique_ptr<compress::Compressor> reduced;
+  std::unique_ptr<compress::Compressor> delta;
+};
+
+Codecs make_codecs(const std::string& name) {
+  if (name == "sz") {
+    return {compress::make_sz_original(), compress::make_sz_delta()};
+  }
+  if (name == "zfp") {
+    return {compress::make_zfp_original(), compress::make_zfp_delta()};
+  }
+  std::fprintf(stderr, "rmpc: unknown codec %s (want sz|zfp)\n", name.c_str());
+  std::exit(1);
+}
+
+int cmd_compress(const Args& args) {
+  if (args.positional.size() != 2 || !args.dims) usage_and_exit();
+  const sim::Field field = field_from_file(args.positional[0], *args.dims);
+  const Codecs codecs = make_codecs(args.codec);
+  const core::CodecPair pair{codecs.reduced.get(), codecs.delta.get()};
+
+  std::string method = args.method;
+  if (method == "auto") {
+    const auto prediction = core::predict_best_model(field);
+    method = prediction.method;
+    std::printf("auto-selected method: %s (zeros %.2f, affinity %.2f, "
+                "pc1 %.2f)\n",
+                method.c_str(), prediction.features.zero_fraction,
+                prediction.features.mid_plane_affinity,
+                prediction.features.pc1_proportion);
+  }
+
+  const auto preconditioner = core::make_preconditioner(method);
+  core::EncodeStats stats;
+  const auto container = preconditioner->encode(field, pair, &stats);
+  io::write_container(args.positional[1], container);
+  std::printf("%s: %zu -> %zu bytes (%.2fx) via %s+%s\n",
+              args.positional[1].c_str(), stats.original_bytes,
+              stats.total_bytes, stats.compression_ratio, method.c_str(),
+              args.codec.c_str());
+  return 0;
+}
+
+int cmd_decompress(const Args& args) {
+  if (args.positional.size() != 2) usage_and_exit();
+  const auto container = io::read_container(args.positional[0]);
+  const Codecs codecs = make_codecs(args.codec);
+  const core::CodecPair pair{codecs.reduced.get(), codecs.delta.get()};
+  const sim::Field field = core::reconstruct(container, pair);
+  write_doubles(args.positional[1],
+                {field.flat().begin(), field.flat().end()});
+  std::printf("%s: %zux%zux%zu doubles via %s\n", args.positional[1].c_str(),
+              field.nx(), field.ny(), field.nz(),
+              container.method.c_str());
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  if (args.positional.size() != 1) usage_and_exit();
+  const auto container = io::read_container(args.positional[0]);
+  std::printf("method: %s\n", container.method.c_str());
+  std::printf("shape:  %llu x %llu x %llu\n",
+              static_cast<unsigned long long>(container.nx),
+              static_cast<unsigned long long>(container.ny),
+              static_cast<unsigned long long>(container.nz));
+  std::printf("payload: %zu bytes in %zu sections\n",
+              container.payload_bytes(), container.sections.size());
+  for (const auto& section : container.sections) {
+    std::printf("  %-12s %10zu bytes\n", section.name.c_str(),
+                section.bytes.size());
+  }
+  return 0;
+}
+
+int cmd_stats(const Args& args) {
+  if (args.positional.size() != 1 || !args.dims) usage_and_exit();
+  const sim::Field field = field_from_file(args.positional[0], *args.dims);
+  const auto c = stats::byte_characteristics(field.flat());
+  std::printf("byte entropy:       %.6f\n", c.entropy);
+  std::printf("byte mean:          %.6f\n", c.mean);
+  std::printf("serial correlation: %.6f\n", c.correlation);
+  std::printf("cdf:");
+  for (const auto& point : stats::empirical_cdf(field.flat(), 10)) {
+    std::printf(" %.4g:%.2f", point.value, point.probability);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_verify(const Args& args) {
+  if (args.positional.size() != 1 || !args.dims) usage_and_exit();
+  const sim::Field field = field_from_file(args.positional[0], *args.dims);
+  const Codecs codecs = make_codecs(args.codec);
+  const core::CodecPair pair{codecs.reduced.get(), codecs.delta.get()};
+  const auto preconditioner = core::make_preconditioner(args.method);
+  const auto report = core::assess_quality(*preconditioner, field, pair);
+  std::fputs(core::format_report(report).c_str(), stdout);
+  return 0;
+}
+
+int cmd_predict(const Args& args) {
+  if (args.positional.size() != 1 || !args.dims) usage_and_exit();
+  const sim::Field field = field_from_file(args.positional[0], *args.dims);
+  const auto prediction = core::predict_best_model(field);
+  std::printf("predicted method: %s\n", prediction.method.c_str());
+  std::printf("  zero fraction:      %.4f\n",
+              prediction.features.zero_fraction);
+  std::printf("  mid-plane affinity: %.4f\n",
+              prediction.features.mid_plane_affinity);
+  std::printf("  PC1 proportion:     %.4f\n",
+              prediction.features.pc1_proportion);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage_and_exit();
+  const std::string command = argv[1];
+  const Args args = parse_args(argc, argv);
+  try {
+    if (command == "compress") return cmd_compress(args);
+    if (command == "decompress") return cmd_decompress(args);
+    if (command == "info") return cmd_info(args);
+    if (command == "predict") return cmd_predict(args);
+    if (command == "stats") return cmd_stats(args);
+    if (command == "verify") return cmd_verify(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rmpc: %s\n", e.what());
+    return 1;
+  }
+  usage_and_exit();
+}
