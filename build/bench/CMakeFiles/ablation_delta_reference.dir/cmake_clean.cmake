@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_delta_reference.dir/ablation_delta_reference.cpp.o"
+  "CMakeFiles/ablation_delta_reference.dir/ablation_delta_reference.cpp.o.d"
+  "ablation_delta_reference"
+  "ablation_delta_reference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_delta_reference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

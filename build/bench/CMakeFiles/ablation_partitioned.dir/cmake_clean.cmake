@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_partitioned.dir/ablation_partitioned.cpp.o"
+  "CMakeFiles/ablation_partitioned.dir/ablation_partitioned.cpp.o.d"
+  "ablation_partitioned"
+  "ablation_partitioned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_partitioned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_predict.dir/ablation_predict.cpp.o"
+  "CMakeFiles/ablation_predict.dir/ablation_predict.cpp.o.d"
+  "ablation_predict"
+  "ablation_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sz_modes.dir/ablation_sz_modes.cpp.o"
+  "CMakeFiles/ablation_sz_modes.dir/ablation_sz_modes.cpp.o.d"
+  "ablation_sz_modes"
+  "ablation_sz_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sz_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

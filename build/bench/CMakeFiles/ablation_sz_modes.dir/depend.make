@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_sz_modes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_cascade.dir/ext_cascade.cpp.o"
+  "CMakeFiles/ext_cascade.dir/ext_cascade.cpp.o.d"
+  "ext_cascade"
+  "ext_cascade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cascade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

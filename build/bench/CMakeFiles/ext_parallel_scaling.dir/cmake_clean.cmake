@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_parallel_scaling.dir/ext_parallel_scaling.cpp.o"
+  "CMakeFiles/ext_parallel_scaling.dir/ext_parallel_scaling.cpp.o.d"
+  "ext_parallel_scaling"
+  "ext_parallel_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_parallel_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_tucker.dir/ext_tucker.cpp.o"
+  "CMakeFiles/ext_tucker.dir/ext_tucker.cpp.o.d"
+  "ext_tucker"
+  "ext_tucker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_tucker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_characteristics.dir/fig01_characteristics.cpp.o"
+  "CMakeFiles/fig01_characteristics.dir/fig01_characteristics.cpp.o.d"
+  "fig01_characteristics"
+  "fig01_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_projection_ratios.dir/fig03_projection_ratios.cpp.o"
+  "CMakeFiles/fig03_projection_ratios.dir/fig03_projection_ratios.cpp.o.d"
+  "fig03_projection_ratios"
+  "fig03_projection_ratios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_projection_ratios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_dimreduction_ratios.dir/fig06_dimreduction_ratios.cpp.o"
+  "CMakeFiles/fig06_dimreduction_ratios.dir/fig06_dimreduction_ratios.cpp.o.d"
+  "fig06_dimreduction_ratios"
+  "fig06_dimreduction_ratios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_dimreduction_ratios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_pca_variance.dir/fig07_pca_variance.cpp.o"
+  "CMakeFiles/fig07_pca_variance.dir/fig07_pca_variance.cpp.o.d"
+  "fig07_pca_variance"
+  "fig07_pca_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_pca_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

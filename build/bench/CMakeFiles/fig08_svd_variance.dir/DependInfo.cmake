@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig08_svd_variance.cpp" "bench/CMakeFiles/fig08_svd_variance.dir/fig08_svd_variance.cpp.o" "gcc" "bench/CMakeFiles/fig08_svd_variance.dir/fig08_svd_variance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rmp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rmp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/rmp_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/rmp_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/wavelet/CMakeFiles/rmp_wavelet.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/rmp_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/rmp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rmp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

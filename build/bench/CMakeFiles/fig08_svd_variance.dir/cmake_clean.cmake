@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_svd_variance.dir/fig08_svd_variance.cpp.o"
+  "CMakeFiles/fig08_svd_variance.dir/fig08_svd_variance.cpp.o.d"
+  "fig08_svd_variance"
+  "fig08_svd_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_svd_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_reduced_sizes.dir/fig09_reduced_sizes.cpp.o"
+  "CMakeFiles/fig09_reduced_sizes.dir/fig09_reduced_sizes.cpp.o.d"
+  "fig09_reduced_sizes"
+  "fig09_reduced_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_reduced_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_rmse.dir/fig10_rmse.cpp.o"
+  "CMakeFiles/fig10_rmse.dir/fig10_rmse.cpp.o.d"
+  "fig10_rmse"
+  "fig10_rmse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_rmse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_ratio_vs_rmse.dir/fig11_ratio_vs_rmse.cpp.o"
+  "CMakeFiles/fig11_ratio_vs_rmse.dir/fig11_ratio_vs_rmse.cpp.o.d"
+  "fig11_ratio_vs_rmse"
+  "fig11_ratio_vs_rmse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_ratio_vs_rmse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat3d_pipeline.dir/heat3d_pipeline.cpp.o"
+  "CMakeFiles/heat3d_pipeline.dir/heat3d_pipeline.cpp.o.d"
+  "heat3d_pipeline"
+  "heat3d_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat3d_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staging_io.dir/staging_io.cpp.o"
+  "CMakeFiles/staging_io.dir/staging_io.cpp.o.d"
+  "staging_io"
+  "staging_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staging_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

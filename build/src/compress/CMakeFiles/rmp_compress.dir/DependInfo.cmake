@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/bitstream.cpp" "src/compress/CMakeFiles/rmp_compress.dir/bitstream.cpp.o" "gcc" "src/compress/CMakeFiles/rmp_compress.dir/bitstream.cpp.o.d"
+  "/root/repo/src/compress/factory.cpp" "src/compress/CMakeFiles/rmp_compress.dir/factory.cpp.o" "gcc" "src/compress/CMakeFiles/rmp_compress.dir/factory.cpp.o.d"
+  "/root/repo/src/compress/fpc.cpp" "src/compress/CMakeFiles/rmp_compress.dir/fpc.cpp.o" "gcc" "src/compress/CMakeFiles/rmp_compress.dir/fpc.cpp.o.d"
+  "/root/repo/src/compress/huffman.cpp" "src/compress/CMakeFiles/rmp_compress.dir/huffman.cpp.o" "gcc" "src/compress/CMakeFiles/rmp_compress.dir/huffman.cpp.o.d"
+  "/root/repo/src/compress/lossless.cpp" "src/compress/CMakeFiles/rmp_compress.dir/lossless.cpp.o" "gcc" "src/compress/CMakeFiles/rmp_compress.dir/lossless.cpp.o.d"
+  "/root/repo/src/compress/sz.cpp" "src/compress/CMakeFiles/rmp_compress.dir/sz.cpp.o" "gcc" "src/compress/CMakeFiles/rmp_compress.dir/sz.cpp.o.d"
+  "/root/repo/src/compress/zfp_like.cpp" "src/compress/CMakeFiles/rmp_compress.dir/zfp_like.cpp.o" "gcc" "src/compress/CMakeFiles/rmp_compress.dir/zfp_like.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

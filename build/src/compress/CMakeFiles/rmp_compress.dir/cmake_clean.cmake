@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmp_compress.dir/bitstream.cpp.o"
+  "CMakeFiles/rmp_compress.dir/bitstream.cpp.o.d"
+  "CMakeFiles/rmp_compress.dir/factory.cpp.o"
+  "CMakeFiles/rmp_compress.dir/factory.cpp.o.d"
+  "CMakeFiles/rmp_compress.dir/fpc.cpp.o"
+  "CMakeFiles/rmp_compress.dir/fpc.cpp.o.d"
+  "CMakeFiles/rmp_compress.dir/huffman.cpp.o"
+  "CMakeFiles/rmp_compress.dir/huffman.cpp.o.d"
+  "CMakeFiles/rmp_compress.dir/lossless.cpp.o"
+  "CMakeFiles/rmp_compress.dir/lossless.cpp.o.d"
+  "CMakeFiles/rmp_compress.dir/sz.cpp.o"
+  "CMakeFiles/rmp_compress.dir/sz.cpp.o.d"
+  "CMakeFiles/rmp_compress.dir/zfp_like.cpp.o"
+  "CMakeFiles/rmp_compress.dir/zfp_like.cpp.o.d"
+  "librmp_compress.a"
+  "librmp_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmp_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librmp_compress.a"
+)

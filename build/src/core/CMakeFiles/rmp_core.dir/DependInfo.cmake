@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/blocked.cpp" "src/core/CMakeFiles/rmp_core.dir/blocked.cpp.o" "gcc" "src/core/CMakeFiles/rmp_core.dir/blocked.cpp.o.d"
+  "/root/repo/src/core/cascade.cpp" "src/core/CMakeFiles/rmp_core.dir/cascade.cpp.o" "gcc" "src/core/CMakeFiles/rmp_core.dir/cascade.cpp.o.d"
+  "/root/repo/src/core/identity.cpp" "src/core/CMakeFiles/rmp_core.dir/identity.cpp.o" "gcc" "src/core/CMakeFiles/rmp_core.dir/identity.cpp.o.d"
+  "/root/repo/src/core/model_predict.cpp" "src/core/CMakeFiles/rmp_core.dir/model_predict.cpp.o" "gcc" "src/core/CMakeFiles/rmp_core.dir/model_predict.cpp.o.d"
+  "/root/repo/src/core/model_select.cpp" "src/core/CMakeFiles/rmp_core.dir/model_select.cpp.o" "gcc" "src/core/CMakeFiles/rmp_core.dir/model_select.cpp.o.d"
+  "/root/repo/src/core/one_base_parallel.cpp" "src/core/CMakeFiles/rmp_core.dir/one_base_parallel.cpp.o" "gcc" "src/core/CMakeFiles/rmp_core.dir/one_base_parallel.cpp.o.d"
+  "/root/repo/src/core/parallel_compress.cpp" "src/core/CMakeFiles/rmp_core.dir/parallel_compress.cpp.o" "gcc" "src/core/CMakeFiles/rmp_core.dir/parallel_compress.cpp.o.d"
+  "/root/repo/src/core/partitioned.cpp" "src/core/CMakeFiles/rmp_core.dir/partitioned.cpp.o" "gcc" "src/core/CMakeFiles/rmp_core.dir/partitioned.cpp.o.d"
+  "/root/repo/src/core/pca.cpp" "src/core/CMakeFiles/rmp_core.dir/pca.cpp.o" "gcc" "src/core/CMakeFiles/rmp_core.dir/pca.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/rmp_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/rmp_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/preconditioner.cpp" "src/core/CMakeFiles/rmp_core.dir/preconditioner.cpp.o" "gcc" "src/core/CMakeFiles/rmp_core.dir/preconditioner.cpp.o.d"
+  "/root/repo/src/core/projection.cpp" "src/core/CMakeFiles/rmp_core.dir/projection.cpp.o" "gcc" "src/core/CMakeFiles/rmp_core.dir/projection.cpp.o.d"
+  "/root/repo/src/core/quality.cpp" "src/core/CMakeFiles/rmp_core.dir/quality.cpp.o" "gcc" "src/core/CMakeFiles/rmp_core.dir/quality.cpp.o.d"
+  "/root/repo/src/core/reshape.cpp" "src/core/CMakeFiles/rmp_core.dir/reshape.cpp.o" "gcc" "src/core/CMakeFiles/rmp_core.dir/reshape.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "src/core/CMakeFiles/rmp_core.dir/serialize.cpp.o" "gcc" "src/core/CMakeFiles/rmp_core.dir/serialize.cpp.o.d"
+  "/root/repo/src/core/staging.cpp" "src/core/CMakeFiles/rmp_core.dir/staging.cpp.o" "gcc" "src/core/CMakeFiles/rmp_core.dir/staging.cpp.o.d"
+  "/root/repo/src/core/svd_precond.cpp" "src/core/CMakeFiles/rmp_core.dir/svd_precond.cpp.o" "gcc" "src/core/CMakeFiles/rmp_core.dir/svd_precond.cpp.o.d"
+  "/root/repo/src/core/temporal.cpp" "src/core/CMakeFiles/rmp_core.dir/temporal.cpp.o" "gcc" "src/core/CMakeFiles/rmp_core.dir/temporal.cpp.o.d"
+  "/root/repo/src/core/tucker.cpp" "src/core/CMakeFiles/rmp_core.dir/tucker.cpp.o" "gcc" "src/core/CMakeFiles/rmp_core.dir/tucker.cpp.o.d"
+  "/root/repo/src/core/wavelet_precond.cpp" "src/core/CMakeFiles/rmp_core.dir/wavelet_precond.cpp.o" "gcc" "src/core/CMakeFiles/rmp_core.dir/wavelet_precond.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/rmp_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/rmp_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/wavelet/CMakeFiles/rmp_wavelet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rmp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/rmp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rmp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/rmp_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/checksum.cpp" "src/io/CMakeFiles/rmp_io.dir/checksum.cpp.o" "gcc" "src/io/CMakeFiles/rmp_io.dir/checksum.cpp.o.d"
+  "/root/repo/src/io/container.cpp" "src/io/CMakeFiles/rmp_io.dir/container.cpp.o" "gcc" "src/io/CMakeFiles/rmp_io.dir/container.cpp.o.d"
+  "/root/repo/src/io/sequence_file.cpp" "src/io/CMakeFiles/rmp_io.dir/sequence_file.cpp.o" "gcc" "src/io/CMakeFiles/rmp_io.dir/sequence_file.cpp.o.d"
+  "/root/repo/src/io/storage_model.cpp" "src/io/CMakeFiles/rmp_io.dir/storage_model.cpp.o" "gcc" "src/io/CMakeFiles/rmp_io.dir/storage_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmp_io.dir/checksum.cpp.o"
+  "CMakeFiles/rmp_io.dir/checksum.cpp.o.d"
+  "CMakeFiles/rmp_io.dir/container.cpp.o"
+  "CMakeFiles/rmp_io.dir/container.cpp.o.d"
+  "CMakeFiles/rmp_io.dir/sequence_file.cpp.o"
+  "CMakeFiles/rmp_io.dir/sequence_file.cpp.o.d"
+  "CMakeFiles/rmp_io.dir/storage_model.cpp.o"
+  "CMakeFiles/rmp_io.dir/storage_model.cpp.o.d"
+  "librmp_io.a"
+  "librmp_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmp_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/la/covariance.cpp" "src/la/CMakeFiles/rmp_la.dir/covariance.cpp.o" "gcc" "src/la/CMakeFiles/rmp_la.dir/covariance.cpp.o.d"
+  "/root/repo/src/la/eigen.cpp" "src/la/CMakeFiles/rmp_la.dir/eigen.cpp.o" "gcc" "src/la/CMakeFiles/rmp_la.dir/eigen.cpp.o.d"
+  "/root/repo/src/la/matrix.cpp" "src/la/CMakeFiles/rmp_la.dir/matrix.cpp.o" "gcc" "src/la/CMakeFiles/rmp_la.dir/matrix.cpp.o.d"
+  "/root/repo/src/la/sparse.cpp" "src/la/CMakeFiles/rmp_la.dir/sparse.cpp.o" "gcc" "src/la/CMakeFiles/rmp_la.dir/sparse.cpp.o.d"
+  "/root/repo/src/la/svd.cpp" "src/la/CMakeFiles/rmp_la.dir/svd.cpp.o" "gcc" "src/la/CMakeFiles/rmp_la.dir/svd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

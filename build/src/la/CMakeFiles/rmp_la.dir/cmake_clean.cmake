@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmp_la.dir/covariance.cpp.o"
+  "CMakeFiles/rmp_la.dir/covariance.cpp.o.d"
+  "CMakeFiles/rmp_la.dir/eigen.cpp.o"
+  "CMakeFiles/rmp_la.dir/eigen.cpp.o.d"
+  "CMakeFiles/rmp_la.dir/matrix.cpp.o"
+  "CMakeFiles/rmp_la.dir/matrix.cpp.o.d"
+  "CMakeFiles/rmp_la.dir/sparse.cpp.o"
+  "CMakeFiles/rmp_la.dir/sparse.cpp.o.d"
+  "CMakeFiles/rmp_la.dir/svd.cpp.o"
+  "CMakeFiles/rmp_la.dir/svd.cpp.o.d"
+  "librmp_la.a"
+  "librmp_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmp_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

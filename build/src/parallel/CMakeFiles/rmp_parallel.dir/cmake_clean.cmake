@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmp_parallel.dir/decomposition.cpp.o"
+  "CMakeFiles/rmp_parallel.dir/decomposition.cpp.o.d"
+  "CMakeFiles/rmp_parallel.dir/msgpass.cpp.o"
+  "CMakeFiles/rmp_parallel.dir/msgpass.cpp.o.d"
+  "CMakeFiles/rmp_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/rmp_parallel.dir/thread_pool.cpp.o.d"
+  "librmp_parallel.a"
+  "librmp_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmp_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/datasets.cpp" "src/sim/CMakeFiles/rmp_sim.dir/datasets.cpp.o" "gcc" "src/sim/CMakeFiles/rmp_sim.dir/datasets.cpp.o.d"
+  "/root/repo/src/sim/field.cpp" "src/sim/CMakeFiles/rmp_sim.dir/field.cpp.o" "gcc" "src/sim/CMakeFiles/rmp_sim.dir/field.cpp.o.d"
+  "/root/repo/src/sim/heat.cpp" "src/sim/CMakeFiles/rmp_sim.dir/heat.cpp.o" "gcc" "src/sim/CMakeFiles/rmp_sim.dir/heat.cpp.o.d"
+  "/root/repo/src/sim/laplace.cpp" "src/sim/CMakeFiles/rmp_sim.dir/laplace.cpp.o" "gcc" "src/sim/CMakeFiles/rmp_sim.dir/laplace.cpp.o.d"
+  "/root/repo/src/sim/md.cpp" "src/sim/CMakeFiles/rmp_sim.dir/md.cpp.o" "gcc" "src/sim/CMakeFiles/rmp_sim.dir/md.cpp.o.d"
+  "/root/repo/src/sim/sedov.cpp" "src/sim/CMakeFiles/rmp_sim.dir/sedov.cpp.o" "gcc" "src/sim/CMakeFiles/rmp_sim.dir/sedov.cpp.o.d"
+  "/root/repo/src/sim/synthetic.cpp" "src/sim/CMakeFiles/rmp_sim.dir/synthetic.cpp.o" "gcc" "src/sim/CMakeFiles/rmp_sim.dir/synthetic.cpp.o.d"
+  "/root/repo/src/sim/wave.cpp" "src/sim/CMakeFiles/rmp_sim.dir/wave.cpp.o" "gcc" "src/sim/CMakeFiles/rmp_sim.dir/wave.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parallel/CMakeFiles/rmp_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

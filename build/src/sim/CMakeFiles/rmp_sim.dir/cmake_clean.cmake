@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmp_sim.dir/datasets.cpp.o"
+  "CMakeFiles/rmp_sim.dir/datasets.cpp.o.d"
+  "CMakeFiles/rmp_sim.dir/field.cpp.o"
+  "CMakeFiles/rmp_sim.dir/field.cpp.o.d"
+  "CMakeFiles/rmp_sim.dir/heat.cpp.o"
+  "CMakeFiles/rmp_sim.dir/heat.cpp.o.d"
+  "CMakeFiles/rmp_sim.dir/laplace.cpp.o"
+  "CMakeFiles/rmp_sim.dir/laplace.cpp.o.d"
+  "CMakeFiles/rmp_sim.dir/md.cpp.o"
+  "CMakeFiles/rmp_sim.dir/md.cpp.o.d"
+  "CMakeFiles/rmp_sim.dir/sedov.cpp.o"
+  "CMakeFiles/rmp_sim.dir/sedov.cpp.o.d"
+  "CMakeFiles/rmp_sim.dir/synthetic.cpp.o"
+  "CMakeFiles/rmp_sim.dir/synthetic.cpp.o.d"
+  "CMakeFiles/rmp_sim.dir/wave.cpp.o"
+  "CMakeFiles/rmp_sim.dir/wave.cpp.o.d"
+  "librmp_sim.a"
+  "librmp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

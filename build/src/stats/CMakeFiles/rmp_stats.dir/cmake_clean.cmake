@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmp_stats.dir/metrics.cpp.o"
+  "CMakeFiles/rmp_stats.dir/metrics.cpp.o.d"
+  "librmp_stats.a"
+  "librmp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmp_wavelet.dir/haar.cpp.o"
+  "CMakeFiles/rmp_wavelet.dir/haar.cpp.o.d"
+  "librmp_wavelet.a"
+  "librmp_wavelet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmp_wavelet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

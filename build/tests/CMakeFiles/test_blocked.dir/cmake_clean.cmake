@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blocked.dir/test_blocked.cpp.o"
+  "CMakeFiles/test_blocked.dir/test_blocked.cpp.o.d"
+  "test_blocked"
+  "test_blocked.pdb"
+  "test_blocked[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blocked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compress_property.dir/test_compress_property.cpp.o"
+  "CMakeFiles/test_compress_property.dir/test_compress_property.cpp.o.d"
+  "test_compress_property"
+  "test_compress_property.pdb"
+  "test_compress_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compress_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

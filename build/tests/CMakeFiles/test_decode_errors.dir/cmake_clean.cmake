@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_decode_errors.dir/test_decode_errors.cpp.o"
+  "CMakeFiles/test_decode_errors.dir/test_decode_errors.cpp.o.d"
+  "test_decode_errors"
+  "test_decode_errors.pdb"
+  "test_decode_errors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_decode_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

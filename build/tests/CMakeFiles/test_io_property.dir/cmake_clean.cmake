@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_property.dir/test_io_property.cpp.o"
+  "CMakeFiles/test_io_property.dir/test_io_property.cpp.o.d"
+  "test_io_property"
+  "test_io_property.pdb"
+  "test_io_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

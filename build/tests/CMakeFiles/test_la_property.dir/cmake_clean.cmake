@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_la_property.dir/test_la_property.cpp.o"
+  "CMakeFiles/test_la_property.dir/test_la_property.cpp.o.d"
+  "test_la_property"
+  "test_la_property.pdb"
+  "test_la_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_la_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

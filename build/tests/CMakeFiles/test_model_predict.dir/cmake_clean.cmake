@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_predict.dir/test_model_predict.cpp.o"
+  "CMakeFiles/test_model_predict.dir/test_model_predict.cpp.o.d"
+  "test_model_predict"
+  "test_model_predict.pdb"
+  "test_model_predict[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

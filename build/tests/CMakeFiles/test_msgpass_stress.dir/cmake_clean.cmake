@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_msgpass_stress.dir/test_msgpass_stress.cpp.o"
+  "CMakeFiles/test_msgpass_stress.dir/test_msgpass_stress.cpp.o.d"
+  "test_msgpass_stress"
+  "test_msgpass_stress.pdb"
+  "test_msgpass_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_msgpass_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_one_base_parallel.dir/test_one_base_parallel.cpp.o"
+  "CMakeFiles/test_one_base_parallel.dir/test_one_base_parallel.cpp.o.d"
+  "test_one_base_parallel"
+  "test_one_base_parallel.pdb"
+  "test_one_base_parallel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_one_base_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_compress.dir/test_parallel_compress.cpp.o"
+  "CMakeFiles/test_parallel_compress.dir/test_parallel_compress.cpp.o.d"
+  "test_parallel_compress"
+  "test_parallel_compress.pdb"
+  "test_parallel_compress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

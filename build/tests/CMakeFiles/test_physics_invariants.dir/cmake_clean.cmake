@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_physics_invariants.dir/test_physics_invariants.cpp.o"
+  "CMakeFiles/test_physics_invariants.dir/test_physics_invariants.cpp.o.d"
+  "test_physics_invariants"
+  "test_physics_invariants.pdb"
+  "test_physics_invariants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_physics_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

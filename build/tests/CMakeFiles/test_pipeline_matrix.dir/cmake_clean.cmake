@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_matrix.dir/test_pipeline_matrix.cpp.o"
+  "CMakeFiles/test_pipeline_matrix.dir/test_pipeline_matrix.cpp.o.d"
+  "test_pipeline_matrix"
+  "test_pipeline_matrix.pdb"
+  "test_pipeline_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

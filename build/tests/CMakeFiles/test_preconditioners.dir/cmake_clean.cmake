@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_preconditioners.dir/test_preconditioners.cpp.o"
+  "CMakeFiles/test_preconditioners.dir/test_preconditioners.cpp.o.d"
+  "test_preconditioners"
+  "test_preconditioners.pdb"
+  "test_preconditioners[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_preconditioners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

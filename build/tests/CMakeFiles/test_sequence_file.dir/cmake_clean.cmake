@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sequence_file.dir/test_sequence_file.cpp.o"
+  "CMakeFiles/test_sequence_file.dir/test_sequence_file.cpp.o.d"
+  "test_sequence_file"
+  "test_sequence_file.pdb"
+  "test_sequence_file[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sequence_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

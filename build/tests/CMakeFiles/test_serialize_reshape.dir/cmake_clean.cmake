@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_serialize_reshape.dir/test_serialize_reshape.cpp.o"
+  "CMakeFiles/test_serialize_reshape.dir/test_serialize_reshape.cpp.o.d"
+  "test_serialize_reshape"
+  "test_serialize_reshape.pdb"
+  "test_serialize_reshape[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_serialize_reshape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmpc.dir/rmpc.cpp.o"
+  "CMakeFiles/rmpc.dir/rmpc.cpp.o.d"
+  "rmpc"
+  "rmpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmpgen.dir/rmpgen.cpp.o"
+  "CMakeFiles/rmpgen.dir/rmpgen.cpp.o.d"
+  "rmpgen"
+  "rmpgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmpgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
