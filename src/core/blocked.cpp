@@ -81,11 +81,8 @@ io::Container BlockedPreconditioner::encode(const sim::Field& field,
 sim::Field BlockedPreconditioner::decode(const io::Container& container,
                                          const CodecPair& codecs,
                                          const sim::Field*) const {
-  const auto* meta_section = container.find("meta");
-  if (meta_section == nullptr) {
-    throw std::runtime_error("blocked decode: missing meta");
-  }
-  const auto meta = bytes_to_u64s(meta_section->bytes);
+  const auto& meta_section = require_section(container, "meta", "blocked");
+  const auto meta = bytes_to_u64s(meta_section.bytes);
   const std::size_t count = meta.at(0);
   const std::size_t rows = meta.at(1);
   const std::size_t cols = meta.at(2);
@@ -93,15 +90,15 @@ sim::Field BlockedPreconditioner::decode(const io::Container& container,
 
   std::vector<double> values(rows * cols);
   for (std::size_t b = 0; b < count; ++b) {
-    const auto* section = container.find("block" + std::to_string(b));
-    if (section == nullptr) {
-      throw std::runtime_error("blocked decode: missing block section");
-    }
+    const std::string block_name = "block" + std::to_string(b);
+    const auto& section = require_section(container, block_name, "blocked");
     const sim::Field block =
-        inner_->decode(io::deserialize(section->bytes), codecs, nullptr);
+        inner_->decode(io::deserialize(section.bytes), codecs, nullptr);
     const std::size_t expected = (blocks[b].end - blocks[b].begin) * cols;
     if (block.size() != expected) {
-      throw std::runtime_error("blocked decode: block size mismatch");
+      throw io::ContainerError(io::ContainerErrc::kSectionMalformed,
+                               "blocked decode: block size mismatch",
+                               block_name);
     }
     std::copy(block.flat().begin(), block.flat().end(),
               values.begin() + blocks[b].begin * cols);

@@ -90,16 +90,13 @@ io::Container CascadePreconditioner::encode(const sim::Field& field,
 sim::Field CascadePreconditioner::decode(const io::Container& container,
                                          const CodecPair& codecs,
                                          const sim::Field*) const {
-  const auto* stage1 = container.find("stage1");
-  const auto* stage2 = container.find("stage2");
-  if (stage1 == nullptr || stage2 == nullptr) {
-    throw std::runtime_error("cascade decode: missing stage sections");
-  }
+  const auto& stage1 = require_section(container, "stage1", "cascade");
+  const auto& stage2 = require_section(container, "stage2", "cascade");
   const CodecPair first_codecs{codecs.reduced, &kNullCodec};
   const sim::Field first_decoded =
-      first_->decode(io::deserialize(stage1->bytes), first_codecs, nullptr);
+      first_->decode(io::deserialize(stage1.bytes), first_codecs, nullptr);
   const sim::Field residual =
-      second_->decode(io::deserialize(stage2->bytes), codecs, nullptr);
+      second_->decode(io::deserialize(stage2.bytes), codecs, nullptr);
   return add(first_decoded, residual);
 }
 

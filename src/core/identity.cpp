@@ -37,11 +37,8 @@ io::Container IdentityPreconditioner::encode(const sim::Field& field,
 sim::Field IdentityPreconditioner::decode(const io::Container& container,
                                           const CodecPair& codecs,
                                           const sim::Field*) const {
-  const auto* section = container.find("data");
-  if (section == nullptr) {
-    throw std::runtime_error("identity decode: missing data section");
-  }
-  auto values = codecs.reduced->decompress(section->bytes);
+  const auto& section = require_section(container, "data", "identity");
+  auto values = codecs.reduced->decompress(section.bytes);
   return sim::Field::from_data(container.nx, container.ny, container.nz,
                                std::move(values));
 }

@@ -142,13 +142,13 @@ sim::Field one_base_decode_parallel(const DistributedOneBaseResult& encoded,
     const std::size_t local_nz = box[0].count();
 
     const auto& container = encoded.rank_containers[comm.rank()];
-    const auto* section = container.find("delta");
-    if (section == nullptr) {
-      throw std::runtime_error("one_base_decode_parallel: missing delta");
-    }
-    const auto delta = codecs.delta->decompress(section->bytes);
+    const auto& section =
+        require_section(container, "delta", "one_base_decode_parallel");
+    const auto delta = codecs.delta->decompress(section.bytes);
     if (delta.size() != encoded.nx * encoded.ny * local_nz) {
-      throw std::runtime_error("one_base_decode_parallel: bad delta size");
+      throw io::ContainerError(io::ContainerErrc::kSectionMalformed,
+                               "one_base_decode_parallel: bad delta size",
+                               "delta");
     }
 
     // Ranks write disjoint slabs; the lock only guards the Field object's

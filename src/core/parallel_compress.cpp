@@ -3,6 +3,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "core/preconditioner.hpp"
 #include "core/serialize.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -69,11 +70,9 @@ io::Container compress_field_parallel(const sim::Field& field,
 sim::Field decompress_field_parallel(const io::Container& container,
                                      const compress::Compressor& codec,
                                      std::size_t threads) {
-  const auto* meta_section = container.find("meta");
-  if (meta_section == nullptr) {
-    throw std::runtime_error("decompress_field_parallel: missing meta");
-  }
-  const std::size_t slabs = bytes_to_u64s(meta_section->bytes).at(0);
+  const auto& meta_section =
+      require_section(container, "meta", "decompress_field_parallel");
+  const std::size_t slabs = bytes_to_u64s(meta_section.bytes).at(0);
   const auto extents = slab_extents(container.nz, slabs);
 
   sim::Field out(container.nx, container.ny, container.nz);
@@ -81,15 +80,16 @@ sim::Field decompress_field_parallel(const io::Container& container,
 
   parallel::ThreadPool pool(std::max<std::size_t>(1, threads));
   pool.parallel_for(slabs, [&](std::size_t s) {
-    const auto* section = container.find("slab" + std::to_string(s));
-    if (section == nullptr) {
-      throw std::runtime_error("decompress_field_parallel: missing slab");
-    }
-    const auto slab = codec.decompress(section->bytes);
+    const std::string slab_name = "slab" + std::to_string(s);
+    const auto& section =
+        require_section(container, slab_name, "decompress_field_parallel");
+    const auto slab = codec.decompress(section.bytes);
     const auto [z_low, z_high] = extents[s];
     const std::size_t local_nz = z_high - z_low;
     if (slab.size() != container.nx * container.ny * local_nz) {
-      throw std::runtime_error("decompress_field_parallel: bad slab size");
+      throw io::ContainerError(io::ContainerErrc::kSectionMalformed,
+                               "decompress_field_parallel: bad slab size",
+                               slab_name);
     }
     std::lock_guard lock(out_mutex);  // slabs are disjoint; lock is belt+braces
     std::size_t n = 0;
@@ -105,11 +105,8 @@ sim::Field decompress_field_parallel(const io::Container& container,
 }
 
 std::size_t slab_count(const io::Container& container) {
-  const auto* meta_section = container.find("meta");
-  if (meta_section == nullptr) {
-    throw std::runtime_error("slab_count: missing meta");
-  }
-  return bytes_to_u64s(meta_section->bytes).at(0);
+  const auto& meta_section = require_section(container, "meta", "slab_count");
+  return bytes_to_u64s(meta_section.bytes).at(0);
 }
 
 SlabView decompress_slab(const io::Container& container,
@@ -120,15 +117,15 @@ SlabView decompress_slab(const io::Container& container,
     throw std::out_of_range("decompress_slab: slab index out of range");
   }
   const auto extents = slab_extents(container.nz, slabs);
-  const auto* section = container.find("slab" + std::to_string(slab));
-  if (section == nullptr) {
-    throw std::runtime_error("decompress_slab: missing slab section");
-  }
-  const auto values = codec.decompress(section->bytes);
+  const std::string slab_name = "slab" + std::to_string(slab);
+  const auto& section =
+      require_section(container, slab_name, "decompress_slab");
+  const auto values = codec.decompress(section.bytes);
   const auto [z_low, z_high] = extents[slab];
   const std::size_t local_nz = z_high - z_low;
   if (values.size() != container.nx * container.ny * local_nz) {
-    throw std::runtime_error("decompress_slab: bad slab size");
+    throw io::ContainerError(io::ContainerErrc::kSectionMalformed,
+                             "decompress_slab: bad slab size", slab_name);
   }
   return {sim::Field::from_data(container.nx, container.ny, local_nz,
                                 values),

@@ -131,12 +131,9 @@ io::Container PartitionedPcaPreconditioner::encode(const sim::Field& field,
 sim::Field PartitionedPcaPreconditioner::decode(
     const io::Container& container, const CodecPair& codecs,
     const sim::Field*) const {
-  const auto* meta_section = container.find("meta");
-  const auto* delta_section = container.find("delta");
-  if (meta_section == nullptr || delta_section == nullptr) {
-    throw std::runtime_error("pca-part decode: missing sections");
-  }
-  const auto meta = bytes_to_u64s(meta_section->bytes);
+  const auto& meta_section = require_section(container, "meta", "pca-part");
+  const auto& delta_section = require_section(container, "delta", "pca-part");
+  const auto meta = bytes_to_u64s(meta_section.bytes);
   const std::size_t count = meta.at(0);
 
   // Total rows = sum of block rows recorded in the meta stream.
@@ -151,17 +148,16 @@ sim::Field PartitionedPcaPreconditioner::decode(
     const std::size_t k = meta.at(1 + 2 * b);
     const std::size_t rows = meta.at(2 + 2 * b);
     const std::string suffix = std::to_string(b);
-    const auto* scores_section = container.find("scores" + suffix);
-    const auto* basis_section = container.find("basis" + suffix);
-    const auto* means_section = container.find("means" + suffix);
-    if (scores_section == nullptr || basis_section == nullptr ||
-        means_section == nullptr) {
-      throw std::runtime_error("pca-part decode: missing block sections");
-    }
+    const auto& scores_section =
+        require_section(container, "scores" + suffix, "pca-part");
+    const auto& basis_section =
+        require_section(container, "basis" + suffix, "pca-part");
+    const auto& means_section =
+        require_section(container, "means" + suffix, "pca-part");
     la::Matrix scores(rows, k,
-                      codecs.reduced->decompress(scores_section->bytes));
-    const la::Matrix basis = bytes_to_matrix(basis_section->bytes);
-    const auto means = bytes_to_doubles(means_section->bytes);
+                      codecs.reduced->decompress(scores_section.bytes));
+    const la::Matrix basis = bytes_to_matrix(basis_section.bytes);
+    const auto means = bytes_to_doubles(means_section.bytes);
 
     la::Matrix block_recon = scores * basis.transposed();
     la::uncenter_columns(block_recon, means);
@@ -172,7 +168,7 @@ sim::Field PartitionedPcaPreconditioner::decode(
     }
   }
 
-  const auto delta_values = codecs.delta->decompress(delta_section->bytes);
+  const auto delta_values = codecs.delta->decompress(delta_section.bytes);
   sim::Field out = sim::Field::from_data(container.nx, container.ny,
                                          container.nz, delta_values);
   return add(out, matrix_to_field(reconstruction, container.nx, container.ny,

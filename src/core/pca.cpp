@@ -130,28 +130,23 @@ io::Container PcaPreconditioner::encode(const sim::Field& field,
 sim::Field PcaPreconditioner::decode(const io::Container& container,
                                      const CodecPair& codecs,
                                      const sim::Field*) const {
-  const auto* scores_section = container.find("scores");
-  const auto* basis_section = container.find("basis");
-  const auto* means_section = container.find("means");
-  const auto* delta_section = container.find("delta");
-  const auto* meta_section = container.find("meta");
-  if (scores_section == nullptr || basis_section == nullptr ||
-      means_section == nullptr || delta_section == nullptr ||
-      meta_section == nullptr) {
-    throw std::runtime_error("pca decode: missing sections");
-  }
-  const auto meta = bytes_to_u64s(meta_section->bytes);
+  const auto& scores_section = require_section(container, "scores", "pca");
+  const auto& basis_section = require_section(container, "basis", "pca");
+  const auto& means_section = require_section(container, "means", "pca");
+  const auto& delta_section = require_section(container, "delta", "pca");
+  const auto& meta_section = require_section(container, "meta", "pca");
+  const auto meta = bytes_to_u64s(meta_section.bytes);
   const std::size_t k = meta.at(0);
   const std::size_t m = meta.at(1);
 
-  const la::Matrix basis = bytes_to_matrix(basis_section->bytes);
-  const auto means = bytes_to_doubles(means_section->bytes);
-  la::Matrix scores(m, k, codecs.reduced->decompress(scores_section->bytes));
+  const la::Matrix basis = bytes_to_matrix(basis_section.bytes);
+  const auto means = bytes_to_doubles(means_section.bytes);
+  la::Matrix scores(m, k, codecs.reduced->decompress(scores_section.bytes));
 
   la::Matrix reconstruction = scores * basis.transposed();
   la::uncenter_columns(reconstruction, means);
 
-  const auto delta_values = codecs.delta->decompress(delta_section->bytes);
+  const auto delta_values = codecs.delta->decompress(delta_section.bytes);
   sim::Field out = sim::Field::from_data(container.nx, container.ny,
                                          container.nz, delta_values);
   return add(out, matrix_to_field(reconstruction, container.nx, container.ny,

@@ -1,5 +1,6 @@
 #include "core/pipeline.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "stats/metrics.hpp"
@@ -11,6 +12,15 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
       .count();
+}
+
+std::string join(const std::vector<std::string>& names) {
+  std::string out;
+  for (const auto& name : names) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
 }
 
 }  // namespace
@@ -39,6 +49,64 @@ sim::Field reconstruct(const io::Container& container, const CodecPair& codecs,
                        const sim::Field* external_reduced) {
   const auto preconditioner = make_preconditioner(container.method);
   return preconditioner->decode(container, codecs, external_reduced);
+}
+
+BestEffortResult reconstruct_best_effort(const io::Container& container,
+                                         const io::ReadReport& report,
+                                         const CodecPair& codecs,
+                                         const sim::Field* external_reduced) {
+  BestEffortResult result;
+  result.damaged_sections = report.damaged();
+
+  if (result.damaged_sections.empty()) {
+    result.field = reconstruct(container, codecs, external_reduced);
+    result.exact = true;
+    result.detail = report.repaired()
+                        ? "intact (single-section damage repaired via parity)"
+                        : "intact";
+    return result;
+  }
+
+  // The delta is the one payload we can substitute: dropping it yields the
+  // pure reduced-model approximation, exactly the quality the paper's
+  // reduced representation guarantees on its own.
+  io::Container patched = container;
+  const bool delta_lost =
+      std::find(result.damaged_sections.begin(), result.damaged_sections.end(),
+                "delta") != result.damaged_sections.end() &&
+      container.find("delta") == nullptr;
+  if (delta_lost && codecs.delta != nullptr) {
+    const sim::Field zeros(container.nx, container.ny, container.nz);
+    patched.add("delta",
+                codecs.delta->compress(
+                    zeros.flat(), {container.nx, container.ny, container.nz}));
+  }
+
+  try {
+    result.field = reconstruct(patched, codecs, external_reduced);
+  } catch (const io::ContainerError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw io::ContainerError(
+        io::ContainerErrc::kUnrecoverable,
+        "best-effort decode failed after losing section(s) " +
+            join(result.damaged_sections) + ": " + e.what());
+  }
+  result.approximate = true;
+  result.detail = delta_lost
+                      ? "reduced-model-only approximation (delta section "
+                        "unrecoverable, treated as zero)"
+                      : "decoded without damaged advisory section(s): " +
+                            join(result.damaged_sections);
+  return result;
+}
+
+BestEffortResult reconstruct_best_effort(std::span<const std::uint8_t> bytes,
+                                         const CodecPair& codecs,
+                                         const sim::Field* external_reduced) {
+  io::ReadReport report;
+  const io::Container container = io::deserialize_salvage(bytes, &report);
+  return reconstruct_best_effort(container, report, codecs, external_reduced);
 }
 
 }  // namespace rmp::core

@@ -3,7 +3,9 @@
 // This is the surface the benches and examples talk to.
 #pragma once
 
+#include <span>
 #include <string>
+#include <vector>
 
 #include "core/preconditioner.hpp"
 
@@ -30,5 +32,33 @@ PipelineResult run_pipeline(const Preconditioner& preconditioner,
 /// the default-constructed preconditioner of that name.
 sim::Field reconstruct(const io::Container& container, const CodecPair& codecs,
                        const sim::Field* external_reduced = nullptr);
+
+/// Outcome of a graceful-degradation reconstruction.
+struct BestEffortResult {
+  sim::Field field;
+  /// The archive decoded bit-for-bit (possibly after a parity repair).
+  bool exact = false;
+  /// Some payload was lost; `field` is an approximation (typically the
+  /// reduced-model-only reconstruction with the delta treated as zero).
+  bool approximate = false;
+  /// Sections that were unrecoverable, from the read report.
+  std::vector<std::string> damaged_sections;
+  /// Human-readable damage/quality note for reports and CLI output.
+  std::string detail;
+};
+
+/// Graceful degradation: decode as much as the damage allows.  A complete
+/// (or parity-repaired) container decodes exactly; a container whose
+/// "delta" section is unrecoverable falls back to the reduced-model-only
+/// approximation; anything else throws io::ContainerError.  `container`
+/// is a salvage read (damaged sections dropped) described by `report`.
+BestEffortResult reconstruct_best_effort(
+    const io::Container& container, const io::ReadReport& report,
+    const CodecPair& codecs, const sim::Field* external_reduced = nullptr);
+
+/// Convenience overload: salvage-parse `bytes` first.
+BestEffortResult reconstruct_best_effort(
+    std::span<const std::uint8_t> bytes, const CodecPair& codecs,
+    const sim::Field* external_reduced = nullptr);
 
 }  // namespace rmp::core

@@ -43,6 +43,19 @@ const std::vector<std::string>& preconditioner_names() {
   return names;
 }
 
+const io::Section& require_section(const io::Container& container,
+                                   const std::string& name,
+                                   const char* decoder) {
+  const io::Section* section = container.find(name);
+  if (section == nullptr) {
+    throw io::ContainerError(io::ContainerErrc::kMissingSection,
+                             std::string(decoder) +
+                                 " decode: required section absent",
+                             name);
+  }
+  return *section;
+}
+
 void fill_stats(const io::Container& container, std::size_t element_count,
                 EncodeStats* stats) {
   if (stats == nullptr) return;

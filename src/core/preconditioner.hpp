@@ -69,4 +69,10 @@ const std::vector<std::string>& preconditioner_names();
 void fill_stats(const io::Container& container, std::size_t element_count,
                 EncodeStats* stats);
 
+/// Fetch a required section or throw io::ContainerError(kMissingSection)
+/// naming both the decoder and the absent section (helper for decoders).
+const io::Section& require_section(const io::Container& container,
+                                   const std::string& name,
+                                   const char* decoder);
+
 }  // namespace rmp::core

@@ -84,16 +84,18 @@ io::Container OneBasePreconditioner::encode(const sim::Field& field,
 sim::Field OneBasePreconditioner::decode(const io::Container& container,
                                          const CodecPair& codecs,
                                          const sim::Field*) const {
-  const auto* reduced = container.find("reduced");
-  const auto* delta_section = container.find("delta");
-  if (reduced == nullptr || delta_section == nullptr) {
-    throw std::runtime_error("one-base decode: missing sections");
+  const auto& reduced = require_section(container, "reduced", "one-base");
+  const auto& delta_section = require_section(container, "delta", "one-base");
+  const auto plane_values = codecs.reduced->decompress(reduced.bytes);
+  const auto delta_values = codecs.delta->decompress(delta_section.bytes);
+  if (plane_values.size() != container.nx * container.ny) {
+    throw io::ContainerError(io::ContainerErrc::kSectionMalformed,
+                             "one-base decode: reduced plane size mismatch",
+                             "reduced");
   }
-  const auto plane_values = codecs.reduced->decompress(reduced->bytes);
-  const auto delta_values = codecs.delta->decompress(delta_section->bytes);
-  if (plane_values.size() != container.nx * container.ny ||
-      delta_values.size() != container.nx * container.ny * container.nz) {
-    throw std::runtime_error("one-base decode: section size mismatch");
+  if (delta_values.size() != container.nx * container.ny * container.nz) {
+    throw io::ContainerError(io::ContainerErrc::kSectionMalformed,
+                             "one-base decode: delta size mismatch", "delta");
   }
 
   sim::Field out(container.nx, container.ny, container.nz);
@@ -173,20 +175,20 @@ io::Container MultiBasePreconditioner::encode(const sim::Field& field,
 sim::Field MultiBasePreconditioner::decode(const io::Container& container,
                                            const CodecPair& codecs,
                                            const sim::Field*) const {
-  const auto* reduced = container.find("reduced");
-  const auto* delta_section = container.find("delta");
-  const auto* meta = container.find("meta");
-  if (reduced == nullptr || delta_section == nullptr || meta == nullptr) {
-    throw std::runtime_error("multi-base decode: missing sections");
-  }
-  const auto meta_values = bytes_to_u64s(meta->bytes);
+  const auto& reduced = require_section(container, "reduced", "multi-base");
+  const auto& delta_section =
+      require_section(container, "delta", "multi-base");
+  const auto& meta = require_section(container, "meta", "multi-base");
+  const auto meta_values = bytes_to_u64s(meta.bytes);
   const std::size_t count = meta_values.at(0);
   const auto slabs = make_slabs(container.nz, count);
 
-  const auto plane_values = codecs.reduced->decompress(reduced->bytes);
-  const auto delta_values = codecs.delta->decompress(delta_section->bytes);
+  const auto plane_values = codecs.reduced->decompress(reduced.bytes);
+  const auto delta_values = codecs.delta->decompress(delta_section.bytes);
   if (plane_values.size() != container.nx * container.ny * count) {
-    throw std::runtime_error("multi-base decode: reduced size mismatch");
+    throw io::ContainerError(io::ContainerErrc::kSectionMalformed,
+                             "multi-base decode: reduced size mismatch",
+                             "reduced");
   }
 
   sim::Field out(container.nx, container.ny, container.nz);
@@ -264,12 +266,9 @@ io::Container DuoModelPreconditioner::encode_with_reduced(
 sim::Field DuoModelPreconditioner::decode(
     const io::Container& container, const CodecPair& codecs,
     const sim::Field* external_reduced) const {
-  const auto* delta_section = container.find("delta");
-  const auto* meta = container.find("meta");
-  if (delta_section == nullptr || meta == nullptr) {
-    throw std::runtime_error("duomodel decode: missing sections");
-  }
-  const auto meta_values = bytes_to_u64s(meta->bytes);
+  const auto& delta_section = require_section(container, "delta", "duomodel");
+  const auto& meta = require_section(container, "meta", "duomodel");
+  const auto meta_values = bytes_to_u64s(meta.bytes);
   const std::size_t rnx = meta_values.at(0);
   const std::size_t rny = meta_values.at(1);
   const std::size_t rnz = meta_values.at(2);
@@ -277,12 +276,10 @@ sim::Field DuoModelPreconditioner::decode(
 
   sim::Field reduced;
   if (stored) {
-    const auto* reduced_section = container.find("reduced");
-    if (reduced_section == nullptr) {
-      throw std::runtime_error("duomodel decode: missing reduced section");
-    }
+    const auto& reduced_section =
+        require_section(container, "reduced", "duomodel");
     reduced = sim::Field::from_data(
-        rnx, rny, rnz, codecs.reduced->decompress(reduced_section->bytes));
+        rnx, rny, rnz, codecs.reduced->decompress(reduced_section.bytes));
   } else {
     // True DuoModel: the light simulation is re-run; the caller supplies
     // its output.
@@ -301,7 +298,7 @@ sim::Field DuoModelPreconditioner::decode(
 
   const sim::Field reconstruction =
       upsample_linear(reduced, container.nx, container.ny, container.nz);
-  const auto delta_values = codecs.delta->decompress(delta_section->bytes);
+  const auto delta_values = codecs.delta->decompress(delta_section.bytes);
   sim::Field out = sim::Field::from_data(container.nx, container.ny,
                                          container.nz, delta_values);
   return add(out, reconstruction);

@@ -115,26 +115,22 @@ io::Container SvdPreconditioner::encode(const sim::Field& field,
 sim::Field SvdPreconditioner::decode(const io::Container& container,
                                      const CodecPair& codecs,
                                      const sim::Field*) const {
-  const auto* p_section = container.find("u_sigma");
-  const auto* v_section = container.find("v");
-  const auto* delta_section = container.find("delta");
-  const auto* meta_section = container.find("meta");
-  if (p_section == nullptr || v_section == nullptr ||
-      delta_section == nullptr || meta_section == nullptr) {
-    throw std::runtime_error("svd decode: missing sections");
-  }
-  const auto meta = bytes_to_u64s(meta_section->bytes);
+  const auto& p_section = require_section(container, "u_sigma", "svd");
+  const auto& v_section = require_section(container, "v", "svd");
+  const auto& delta_section = require_section(container, "delta", "svd");
+  const auto& meta_section = require_section(container, "meta", "svd");
+  const auto meta = bytes_to_u64s(meta_section.bytes);
   const std::size_t k = meta.at(0);
   const std::size_t rows = meta.at(1);
   const bool transposed = meta.at(2) != 0;
 
-  const la::Matrix vk = bytes_to_matrix(v_section->bytes);
-  la::Matrix p(rows, k, codecs.reduced->decompress(p_section->bytes));
+  const la::Matrix vk = bytes_to_matrix(v_section.bytes);
+  la::Matrix p(rows, k, codecs.reduced->decompress(p_section.bytes));
 
   la::Matrix reconstruction = p * vk.transposed();
   if (transposed) reconstruction = reconstruction.transposed();
 
-  const auto delta_values = codecs.delta->decompress(delta_section->bytes);
+  const auto delta_values = codecs.delta->decompress(delta_section.bytes);
   sim::Field out = sim::Field::from_data(container.nx, container.ny,
                                          container.nz, delta_values);
   return add(out, matrix_to_field(reconstruction, container.nx, container.ny,

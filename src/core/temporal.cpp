@@ -90,21 +90,15 @@ std::vector<sim::Field> temporal_decode(const TemporalSequence& sequence,
   sim::Field reference;
   for (const auto& step : sequence.steps) {
     if (step.method == "temporal-key") {
-      const auto* section = step.find("data");
-      if (section == nullptr) {
-        throw std::runtime_error("temporal_decode: missing keyframe data");
-      }
+      const auto& section = require_section(step, "data", "temporal_decode");
       reference = sim::Field::from_data(
           step.nx, step.ny, step.nz,
-          codecs.reduced->decompress(section->bytes));
+          codecs.reduced->decompress(section.bytes));
     } else if (step.method == "temporal-delta") {
-      const auto* section = step.find("delta");
-      if (section == nullptr) {
-        throw std::runtime_error("temporal_decode: missing delta data");
-      }
+      const auto& section = require_section(step, "delta", "temporal_decode");
       sim::Field delta = sim::Field::from_data(
           step.nx, step.ny, step.nz,
-          codecs.delta->decompress(section->bytes));
+          codecs.delta->decompress(section.bytes));
       reference = add(reference, delta);
     } else {
       throw std::runtime_error("temporal_decode: unexpected method " +

@@ -230,26 +230,20 @@ io::Container TuckerPreconditioner::encode(const sim::Field& field,
 sim::Field TuckerPreconditioner::decode(const io::Container& container,
                                         const CodecPair& codecs,
                                         const sim::Field*) const {
-  const auto* core_section = container.find("core");
-  const auto* delta_section = container.find("delta");
-  const auto* meta_section = container.find("meta");
-  if (core_section == nullptr || delta_section == nullptr ||
-      meta_section == nullptr) {
-    throw std::runtime_error("tucker decode: missing sections");
-  }
-  const auto meta = bytes_to_u64s(meta_section->bytes);
+  const auto& core_section = require_section(container, "core", "tucker");
+  const auto& delta_section = require_section(container, "delta", "tucker");
+  const auto& meta_section = require_section(container, "meta", "tucker");
+  const auto meta = bytes_to_u64s(meta_section.bytes);
   const Shape3 core_shape{meta.at(0), meta.at(1), meta.at(2)};
 
   std::array<la::Matrix, 3> factors;
   for (unsigned mode = 0; mode < 3; ++mode) {
-    const auto* section = container.find("u" + std::to_string(mode));
-    if (section == nullptr) {
-      throw std::runtime_error("tucker decode: missing factor");
-    }
-    factors[mode] = bytes_to_matrix(section->bytes);
+    const auto& section =
+        require_section(container, "u" + std::to_string(mode), "tucker");
+    factors[mode] = bytes_to_matrix(section.bytes);
   }
 
-  std::vector<double> recon = codecs.reduced->decompress(core_section->bytes);
+  std::vector<double> recon = codecs.reduced->decompress(core_section.bytes);
   Shape3 shape = core_shape;
   for (unsigned mode = 0; mode < 3; ++mode) {
     Shape3 next{};
@@ -258,9 +252,10 @@ sim::Field TuckerPreconditioner::decode(const io::Container& container,
     shape = next;
   }
 
-  const auto delta_values = codecs.delta->decompress(delta_section->bytes);
+  const auto delta_values = codecs.delta->decompress(delta_section.bytes);
   if (delta_values.size() != recon.size()) {
-    throw std::runtime_error("tucker decode: size mismatch");
+    throw io::ContainerError(io::ContainerErrc::kSectionMalformed,
+                             "tucker decode: delta size mismatch", "delta");
   }
   std::vector<double> values(recon.size());
   for (std::size_t n = 0; n < values.size(); ++n) {

@@ -72,12 +72,9 @@ io::Container WaveletPreconditioner::encode(const sim::Field& field,
 sim::Field WaveletPreconditioner::decode(const io::Container& container,
                                          const CodecPair& codecs,
                                          const sim::Field*) const {
-  const auto* sparse_section = container.find("sparse");
-  const auto* delta_section = container.find("delta");
-  if (sparse_section == nullptr || delta_section == nullptr) {
-    throw std::runtime_error("wavelet decode: missing sections");
-  }
-  const auto raw = compress::lossless_decompress(sparse_section->bytes);
+  const auto& sparse_section = require_section(container, "sparse", "wavelet");
+  const auto& delta_section = require_section(container, "delta", "wavelet");
+  const auto raw = compress::lossless_decompress(sparse_section.bytes);
   const la::CsrMatrix sparse = la::CsrMatrix::deserialize(raw.data(), raw.size());
 
   bool use_3d = false;
@@ -94,7 +91,7 @@ sim::Field WaveletPreconditioner::decode(const io::Container& container,
     wavelet::haar_inverse_2d(recon);
   }
 
-  const auto delta_values = codecs.delta->decompress(delta_section->bytes);
+  const auto delta_values = codecs.delta->decompress(delta_section.bytes);
   sim::Field out = sim::Field::from_data(container.nx, container.ny,
                                          container.nz, delta_values);
   return add(out, matrix_to_field(recon, container.nx, container.ny,

@@ -1,8 +1,9 @@
 #include "io/container.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
-#include <stdexcept>
+#include <limits>
 
 #include "io/checksum.hpp"
 
@@ -10,7 +11,9 @@ namespace rmp::io {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x50434D52;  // "RMCP"
-constexpr std::uint32_t kVersion = 2;         // v2 appends a CRC-32 trailer
+constexpr std::uint32_t kVersionV2 = 2;       // whole-file CRC trailer
+constexpr std::uint32_t kVersionV3 = 3;       // per-section CRC + parity
+constexpr std::uint32_t kFlagParity = 1u << 0;
 
 void append_bytes(std::vector<std::uint8_t>& out, const void* p, std::size_t n) {
   const auto* b = static_cast<const std::uint8_t*>(p);
@@ -32,12 +35,26 @@ class Cursor {
  public:
   explicit Cursor(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
 
+  std::size_t offset() const noexcept { return offset_; }
+  std::size_t remaining() const noexcept { return bytes_.size() - offset_; }
+
   void read(void* p, std::size_t n) {
-    if (offset_ + n > bytes_.size()) {
-      throw std::runtime_error("container: truncated input");
+    // Compare against the remaining budget, never `offset_ + n`: the sum
+    // wraps for adversarial n near UINT64_MAX and would pass the check.
+    if (n > remaining()) {
+      throw ContainerError(ContainerErrc::kTruncated,
+                           "truncated input (need " + std::to_string(n) +
+                               " bytes, have " + std::to_string(remaining()) +
+                               ")");
     }
     std::memcpy(p, bytes_.data() + offset_, n);
     offset_ += n;
+  }
+  void skip(std::uint64_t n) {
+    if (n > remaining()) {
+      throw ContainerError(ContainerErrc::kTruncated, "truncated input");
+    }
+    offset_ += static_cast<std::size_t>(n);
   }
   std::uint32_t read_u32() {
     std::uint32_t v;
@@ -51,18 +68,29 @@ class Cursor {
   }
   std::string read_string() {
     const std::uint32_t n = read_u32();
+    // Validate against the remaining bytes *before* allocating: a corrupt
+    // length must not trigger a multi-GiB allocation.
+    if (n > remaining()) {
+      throw ContainerError(ContainerErrc::kTruncated,
+                           "string length " + std::to_string(n) +
+                               " exceeds remaining " +
+                               std::to_string(remaining()) + " bytes");
+    }
     std::string s(n, '\0');
     read(s.data(), n);
     return s;
   }
   std::vector<std::uint8_t> read_blob() {
     const std::uint64_t n = read_u64();
-    if (offset_ + n > bytes_.size()) {
-      throw std::runtime_error("container: truncated section");
+    if (n > remaining()) {
+      throw ContainerError(ContainerErrc::kTruncated,
+                           "section length " + std::to_string(n) +
+                               " exceeds remaining " +
+                               std::to_string(remaining()) + " bytes");
     }
     std::vector<std::uint8_t> blob(bytes_.begin() + offset_,
                                    bytes_.begin() + offset_ + n);
-    offset_ += n;
+    offset_ += static_cast<std::size_t>(n);
     return blob;
   }
 
@@ -70,6 +98,293 @@ class Cursor {
   std::span<const std::uint8_t> bytes_;
   std::size_t offset_ = 0;
 };
+
+std::size_t max_section_size(const Container& container) {
+  std::size_t max = 0;
+  for (const auto& s : container.sections) max = std::max(max, s.bytes.size());
+  return max;
+}
+
+// ---------------------------------------------------------------------------
+// v3: [magic, version, flags, method, dims, count,
+//      directory {name, size, crc}*, (parity_size, parity_crc)?, header_crc]
+//     [payload 0]...[payload n-1][parity bytes?]
+
+struct DirEntry {
+  std::string name;
+  std::uint64_t size = 0;
+  std::uint32_t crc = 0;
+};
+
+struct HeaderV3 {
+  Container shell;  ///< method + dims, sections empty
+  std::vector<DirEntry> dir;
+  bool parity = false;
+  std::uint64_t parity_size = 0;
+  std::uint32_t parity_crc = 0;
+  std::size_t payload_offset = 0;  ///< first payload byte
+  std::size_t total_size = 0;      ///< full container footprint
+};
+
+HeaderV3 parse_v3_header(std::span<const std::uint8_t> bytes) {
+  Cursor cursor(bytes);
+  if (cursor.read_u32() != kMagic) {
+    throw ContainerError(ContainerErrc::kBadMagic, "bad magic");
+  }
+  if (cursor.read_u32() != kVersionV3) {
+    throw ContainerError(ContainerErrc::kBadVersion, "not a v3 container");
+  }
+  HeaderV3 header;
+  const std::uint32_t flags = cursor.read_u32();
+  if ((flags & ~kFlagParity) != 0) {
+    throw ContainerError(ContainerErrc::kHeaderCorrupt,
+                         "unknown flag bits set");
+  }
+  header.parity = (flags & kFlagParity) != 0;
+  header.shell.method = cursor.read_string();
+  header.shell.nx = cursor.read_u64();
+  header.shell.ny = cursor.read_u64();
+  header.shell.nz = cursor.read_u64();
+  const std::uint32_t count = cursor.read_u32();
+  // A directory entry occupies at least 16 bytes, so a count that cannot
+  // fit in the remaining input is corruption -- reject before reserving.
+  if (count > cursor.remaining() / 16) {
+    throw ContainerError(ContainerErrc::kTruncated,
+                         "section directory larger than input");
+  }
+  header.dir.reserve(count);
+  for (std::uint32_t s = 0; s < count; ++s) {
+    DirEntry entry;
+    entry.name = cursor.read_string();
+    entry.size = cursor.read_u64();
+    entry.crc = cursor.read_u32();
+    header.dir.push_back(std::move(entry));
+  }
+  if (header.parity) {
+    header.parity_size = cursor.read_u64();
+    header.parity_crc = cursor.read_u32();
+  }
+  const std::size_t crc_offset = cursor.offset();
+  const std::uint32_t stored_crc = cursor.read_u32();
+  if (crc32(bytes.first(crc_offset)) != stored_crc) {
+    throw ContainerError(ContainerErrc::kHeaderCorrupt,
+                         "header checksum mismatch");
+  }
+  header.payload_offset = cursor.offset();
+
+  // Overflow-safe footprint: sizes are attacker-controlled u64s.
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t need = 0;
+  for (const DirEntry& entry : header.dir) {
+    if (entry.size > kMax - need) {
+      throw ContainerError(ContainerErrc::kTruncated,
+                           "section sizes overflow");
+    }
+    need += entry.size;
+  }
+  if (header.parity) {
+    if (header.parity_size > kMax - need) {
+      throw ContainerError(ContainerErrc::kTruncated,
+                           "parity size overflows");
+    }
+    need += header.parity_size;
+  }
+  if (need > bytes.size() - header.payload_offset) {
+    throw ContainerError(ContainerErrc::kTruncated,
+                         "payloads extend past end of input");
+  }
+  header.total_size = header.payload_offset + static_cast<std::size_t>(need);
+  return header;
+}
+
+struct ParsedV3 {
+  Container container;
+  ReadReport report;
+};
+
+/// Shared strict/salvage v3 reader.  In strict mode an unrepaired section
+/// throws; in salvage mode it is dropped and recorded in the report.
+ParsedV3 read_v3(std::span<const std::uint8_t> bytes, bool strict) {
+  const HeaderV3 header = parse_v3_header(bytes);
+  if (bytes.size() < header.total_size) {
+    throw ContainerError(ContainerErrc::kTruncated,
+                         "input shorter than container footprint");
+  }
+  if (bytes.size() > header.total_size) {
+    throw ContainerError(ContainerErrc::kTrailingGarbage,
+                         "input extends past container footprint");
+  }
+
+  std::vector<std::span<const std::uint8_t>> payloads;
+  payloads.reserve(header.dir.size());
+  std::size_t offset = header.payload_offset;
+  std::size_t expected_parity = 0;
+  for (const DirEntry& entry : header.dir) {
+    payloads.push_back(
+        bytes.subspan(offset, static_cast<std::size_t>(entry.size)));
+    offset += static_cast<std::size_t>(entry.size);
+    expected_parity =
+        std::max(expected_parity, static_cast<std::size_t>(entry.size));
+  }
+  const std::span<const std::uint8_t> parity =
+      header.parity
+          ? bytes.subspan(offset, static_cast<std::size_t>(header.parity_size))
+          : std::span<const std::uint8_t>{};
+
+  ParsedV3 result;
+  result.report.version = kVersionV3;
+  result.report.parity_present = header.parity;
+  result.report.parity_valid =
+      header.parity && header.parity_size == expected_parity &&
+      crc32(parity) == header.parity_crc;
+
+  std::vector<bool> intact(header.dir.size(), true);
+  std::size_t damaged_count = 0;
+  for (std::size_t s = 0; s < header.dir.size(); ++s) {
+    intact[s] = crc32(payloads[s]) == header.dir[s].crc;
+    if (!intact[s]) ++damaged_count;
+  }
+
+  // A single damaged section can be rebuilt from parity XOR the others.
+  std::optional<std::size_t> repaired_index;
+  std::vector<std::uint8_t> repaired_bytes;
+  if (damaged_count == 1 && result.report.parity_valid) {
+    const std::size_t target = static_cast<std::size_t>(
+        std::find(intact.begin(), intact.end(), false) - intact.begin());
+    repaired_bytes.assign(parity.begin(), parity.end());
+    for (std::size_t s = 0; s < payloads.size(); ++s) {
+      if (s == target) continue;
+      for (std::size_t k = 0; k < payloads[s].size(); ++k) {
+        repaired_bytes[k] ^= payloads[s][k];
+      }
+    }
+    repaired_bytes.resize(static_cast<std::size_t>(header.dir[target].size));
+    if (crc32(repaired_bytes) == header.dir[target].crc) {
+      repaired_index = target;
+    }
+  }
+
+  result.container = header.shell;
+  for (std::size_t s = 0; s < header.dir.size(); ++s) {
+    SectionHealth health;
+    health.name = header.dir[s].name;
+    health.bytes = header.dir[s].size;
+    if (intact[s]) {
+      health.state = SectionState::kOk;
+      result.container.add(header.dir[s].name,
+                           {payloads[s].begin(), payloads[s].end()});
+    } else if (repaired_index && *repaired_index == s) {
+      health.state = SectionState::kRepaired;
+      result.container.add(header.dir[s].name, repaired_bytes);
+    } else {
+      health.state = SectionState::kDamaged;
+      if (strict) {
+        throw ContainerError(ContainerErrc::kSectionCorrupt,
+                             "payload checksum mismatch", header.dir[s].name);
+      }
+    }
+    result.report.sections.push_back(std::move(health));
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// v2 (legacy): [magic, version, method, dims, count,
+//               {name, size, bytes}*][whole-file crc]
+
+Container deserialize_v2(std::span<const std::uint8_t> bytes,
+                         ReadReport* report) {
+  if (bytes.size() < sizeof(std::uint32_t)) {
+    throw ContainerError(ContainerErrc::kTruncated, "truncated input");
+  }
+  const std::size_t body_size = bytes.size() - sizeof(std::uint32_t);
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + body_size, sizeof(stored_crc));
+  if (crc32(bytes.first(body_size)) != stored_crc) {
+    throw ContainerError(ContainerErrc::kChecksumMismatch,
+                         "v2 whole-file checksum mismatch (corrupt data)");
+  }
+
+  Cursor cursor(bytes.first(body_size));
+  if (cursor.read_u32() != kMagic) {
+    throw ContainerError(ContainerErrc::kBadMagic, "bad magic");
+  }
+  if (cursor.read_u32() != kVersionV2) {
+    throw ContainerError(ContainerErrc::kBadVersion, "not a v2 container");
+  }
+  Container container;
+  container.method = cursor.read_string();
+  container.nx = cursor.read_u64();
+  container.ny = cursor.read_u64();
+  container.nz = cursor.read_u64();
+  const std::uint32_t count = cursor.read_u32();
+  if (count > cursor.remaining() / 12) {
+    throw ContainerError(ContainerErrc::kTruncated,
+                         "section count larger than input");
+  }
+  container.sections.reserve(count);
+  for (std::uint32_t s = 0; s < count; ++s) {
+    Section section;
+    section.name = cursor.read_string();
+    section.bytes = cursor.read_blob();
+    container.sections.push_back(std::move(section));
+  }
+  if (cursor.remaining() != 0) {
+    throw ContainerError(ContainerErrc::kTrailingGarbage,
+                         "v2 body extends past last section");
+  }
+  if (report != nullptr) {
+    *report = ReadReport{};
+    report->version = kVersionV2;
+    for (const auto& section : container.sections) {
+      report->sections.push_back(
+          {section.name, SectionState::kOk, section.bytes.size()});
+    }
+  }
+  return container;
+}
+
+std::uint32_t peek_version(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 2 * sizeof(std::uint32_t)) {
+    throw ContainerError(ContainerErrc::kTruncated, "truncated input");
+  }
+  std::uint32_t magic = 0, version = 0;
+  std::memcpy(&magic, bytes.data(), sizeof(magic));
+  std::memcpy(&version, bytes.data() + sizeof(magic), sizeof(version));
+  if (magic != kMagic) {
+    throw ContainerError(ContainerErrc::kBadMagic, "bad magic");
+  }
+  return version;
+}
+
+std::vector<std::uint8_t> read_file_bytes(const std::filesystem::path& path,
+                                          const char* who) {
+  std::ifstream file(path, std::ios::binary | std::ios::ate);
+  if (!file) {
+    throw ContainerError(ContainerErrc::kIoError,
+                         std::string(who) + ": cannot open " + path.string());
+  }
+  const std::streamoff end = file.tellg();
+  if (end < 0) {
+    throw ContainerError(ContainerErrc::kIoError,
+                         std::string(who) + ": cannot stat " + path.string());
+  }
+  if (end == 0) {
+    throw ContainerError(ContainerErrc::kTruncated,
+                         std::string(who) + ": " + path.string() +
+                             " is empty");
+  }
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(end));
+  file.seekg(0);
+  file.read(reinterpret_cast<char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!file) {
+    throw ContainerError(ContainerErrc::kIoError,
+                         std::string(who) + ": read failed on " +
+                             path.string());
+  }
+  return bytes;
+}
 
 }  // namespace
 
@@ -91,10 +406,45 @@ Section& Container::add(std::string name, std::vector<std::uint8_t> bytes) {
   return sections.back();
 }
 
-std::vector<std::uint8_t> serialize(const Container& container) {
+bool ReadReport::complete() const {
+  return std::none_of(sections.begin(), sections.end(), [](const auto& s) {
+    return s.state == SectionState::kDamaged;
+  });
+}
+
+bool ReadReport::repaired() const {
+  return std::any_of(sections.begin(), sections.end(), [](const auto& s) {
+    return s.state == SectionState::kRepaired;
+  });
+}
+
+std::vector<std::string> ReadReport::damaged() const {
+  std::vector<std::string> names;
+  for (const auto& s : sections) {
+    if (s.state == SectionState::kDamaged) names.push_back(s.name);
+  }
+  return names;
+}
+
+std::vector<std::uint8_t> serialize(const Container& container,
+                                    const SerializeOptions& options) {
+  // Parity = byte-wise XOR of all payloads, each zero-padded to the size
+  // of the largest section; XOR-ing parity with all-but-one payload
+  // reconstructs the missing one.
+  std::vector<std::uint8_t> parity;
+  if (options.with_parity) {
+    parity.assign(max_section_size(container), 0);
+    for (const auto& section : container.sections) {
+      for (std::size_t k = 0; k < section.bytes.size(); ++k) {
+        parity[k] ^= section.bytes[k];
+      }
+    }
+  }
+
   std::vector<std::uint8_t> out;
   append_u32(out, kMagic);
-  append_u32(out, kVersion);
+  append_u32(out, kVersionV3);
+  append_u32(out, options.with_parity ? kFlagParity : 0u);
   append_string(out, container.method);
   append_u64(out, container.nx);
   append_u64(out, container.ny);
@@ -103,76 +453,119 @@ std::vector<std::uint8_t> serialize(const Container& container) {
   for (const auto& section : container.sections) {
     append_string(out, section.name);
     append_u64(out, section.bytes.size());
+    append_u32(out, crc32(section.bytes));
+  }
+  if (options.with_parity) {
+    append_u64(out, parity.size());
+    append_u32(out, crc32(parity));
+  }
+  append_u32(out, crc32(out));  // header CRC
+
+  for (const auto& section : container.sections) {
     append_bytes(out, section.bytes.data(), section.bytes.size());
   }
-  // Integrity trailer over everything written so far.
-  append_u32(out, crc32(out));
+  append_bytes(out, parity.data(), parity.size());
   return out;
 }
 
-Container deserialize(std::span<const std::uint8_t> bytes) {
-  if (bytes.size() < sizeof(std::uint32_t)) {
-    throw std::runtime_error("container: truncated input");
+Container deserialize(std::span<const std::uint8_t> bytes,
+                      ReadReport* report) {
+  const std::uint32_t version = peek_version(bytes);
+  if (version == kVersionV2) return deserialize_v2(bytes, report);
+  if (version == kVersionV3) {
+    ParsedV3 parsed = read_v3(bytes, /*strict=*/true);
+    if (report != nullptr) *report = std::move(parsed.report);
+    return std::move(parsed.container);
   }
-  // Verify the CRC trailer before parsing anything.
-  const std::size_t body_size = bytes.size() - sizeof(std::uint32_t);
-  std::uint32_t stored_crc = 0;
-  std::memcpy(&stored_crc, bytes.data() + body_size, sizeof(stored_crc));
-  if (crc32(bytes.first(body_size)) != stored_crc) {
-    throw std::runtime_error("container: checksum mismatch (corrupt data)");
-  }
+  throw ContainerError(ContainerErrc::kBadVersion,
+                       "unsupported version " + std::to_string(version));
+}
 
-  Cursor cursor(bytes.first(body_size));
-  if (cursor.read_u32() != kMagic) {
-    throw std::runtime_error("container: bad magic");
+Container deserialize_salvage(std::span<const std::uint8_t> bytes,
+                              ReadReport* report) {
+  const std::uint32_t version = peek_version(bytes);
+  // v2 has a single integrity domain: a checksum mismatch cannot be
+  // localized, so salvage degenerates to the strict read.
+  if (version == kVersionV2) return deserialize_v2(bytes, report);
+  if (version == kVersionV3) {
+    ParsedV3 parsed = read_v3(bytes, /*strict=*/false);
+    if (report != nullptr) *report = std::move(parsed.report);
+    return std::move(parsed.container);
   }
-  if (cursor.read_u32() != kVersion) {
-    throw std::runtime_error("container: unsupported version");
+  throw ContainerError(ContainerErrc::kBadVersion,
+                       "unsupported version " + std::to_string(version));
+}
+
+std::optional<std::size_t> probe_container(
+    std::span<const std::uint8_t> bytes) noexcept {
+  try {
+    const std::uint32_t version = peek_version(bytes);
+    if (version == kVersionV3) {
+      return parse_v3_header(bytes).total_size;
+    }
+    if (version == kVersionV2) {
+      // Walk the structure to find the candidate end, then demand the
+      // whole-file CRC holds -- a corrupt length field would otherwise
+      // send the walk (and the scan resting on it) anywhere.
+      Cursor cursor(bytes);
+      cursor.skip(2 * sizeof(std::uint32_t));
+      (void)cursor.read_string();          // method
+      cursor.skip(3 * sizeof(std::uint64_t));
+      const std::uint32_t count = cursor.read_u32();
+      if (count > cursor.remaining() / 12) return std::nullopt;
+      for (std::uint32_t s = 0; s < count; ++s) {
+        (void)cursor.read_string();
+        cursor.skip(cursor.read_u64());
+      }
+      const std::size_t body = cursor.offset();
+      const std::uint32_t stored = cursor.read_u32();
+      if (crc32(bytes.first(body)) != stored) return std::nullopt;
+      return cursor.offset();
+    }
+    return std::nullopt;
+  } catch (const ContainerError&) {
+    return std::nullopt;
   }
-  Container container;
-  container.method = cursor.read_string();
-  container.nx = cursor.read_u64();
-  container.ny = cursor.read_u64();
-  container.nz = cursor.read_u64();
-  const std::uint32_t count = cursor.read_u32();
-  container.sections.reserve(count);
-  for (std::uint32_t s = 0; s < count; ++s) {
-    Section section;
-    section.name = cursor.read_string();
-    section.bytes = cursor.read_blob();
-    container.sections.push_back(std::move(section));
-  }
-  return container;
 }
 
 void write_container(const std::filesystem::path& path,
-                     const Container& container) {
-  const auto bytes = serialize(container);
-  std::ofstream file(path, std::ios::binary | std::ios::trunc);
-  if (!file) {
-    throw std::runtime_error("write_container: cannot open " + path.string());
+                     const Container& container,
+                     const SerializeOptions& options) {
+  const auto bytes = serialize(container, options);
+  std::filesystem::path tmp = path;
+  tmp += ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    if (!file) {
+      throw ContainerError(ContainerErrc::kIoError,
+                           "write_container: cannot open " + tmp.string());
+    }
+    file.write(reinterpret_cast<const char*>(bytes.data()),
+               static_cast<std::streamsize>(bytes.size()));
+    file.flush();
+    if (!file) {
+      throw ContainerError(ContainerErrc::kIoError,
+                           "write_container: write failed on " + tmp.string());
+    }
   }
-  file.write(reinterpret_cast<const char*>(bytes.data()),
-             static_cast<std::streamsize>(bytes.size()));
-  if (!file) {
-    throw std::runtime_error("write_container: write failed");
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    throw ContainerError(ContainerErrc::kIoError,
+                         "write_container: cannot rename into " +
+                             path.string());
   }
 }
 
 Container read_container(const std::filesystem::path& path) {
-  std::ifstream file(path, std::ios::binary | std::ios::ate);
-  if (!file) {
-    throw std::runtime_error("read_container: cannot open " + path.string());
-  }
-  const auto size = static_cast<std::size_t>(file.tellg());
-  file.seekg(0);
-  std::vector<std::uint8_t> bytes(size);
-  file.read(reinterpret_cast<char*>(bytes.data()),
-            static_cast<std::streamsize>(size));
-  if (!file) {
-    throw std::runtime_error("read_container: read failed");
-  }
-  return deserialize(bytes);
+  return deserialize(read_file_bytes(path, "read_container"));
+}
+
+Container read_container_salvage(const std::filesystem::path& path,
+                                 ReadReport* report) {
+  return deserialize_salvage(read_file_bytes(path, "read_container_salvage"),
+                             report);
 }
 
 }  // namespace rmp::io

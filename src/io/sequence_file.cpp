@@ -1,19 +1,33 @@
 #include "io/sequence_file.hpp"
 
+#include <algorithm>
 #include <cstring>
-#include <stdexcept>
 
 namespace rmp::io {
 namespace {
 
 constexpr std::uint64_t kSequenceMagic = 0x51455351504D5252ULL;  // "RRMPQSEQ"
 
+// Little-endian byte pattern of the container magic ("RMCP" as u32
+// 0x50434D52), used by the forward-scan index rebuild.
+constexpr std::uint8_t kContainerMagicBytes[4] = {0x52, 0x4D, 0x43, 0x50};
+
 }  // namespace
 
-SequenceWriter::SequenceWriter(const std::filesystem::path& path)
-    : file_(path, std::ios::binary | std::ios::trunc), path_(path) {
+std::size_t SequenceScanReport::ok_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(steps.begin(), steps.end(),
+                    [](const StepHealth& s) { return s.ok; }));
+}
+
+SequenceWriter::SequenceWriter(const std::filesystem::path& path,
+                               const SerializeOptions& options)
+    : path_(path), tmp_path_(path), options_(options) {
+  tmp_path_ += ".tmp";
+  file_.open(tmp_path_, std::ios::binary | std::ios::trunc);
   if (!file_) {
-    throw std::runtime_error("SequenceWriter: cannot open " + path.string());
+    throw ContainerError(ContainerErrc::kIoError,
+                         "SequenceWriter: cannot open " + tmp_path_.string());
   }
 }
 
@@ -31,12 +45,13 @@ std::size_t SequenceWriter::append(const Container& container) {
   if (finished_) {
     throw std::logic_error("SequenceWriter: append after finish");
   }
-  const auto bytes = serialize(container);
+  const auto bytes = serialize(container, options_);
   const auto offset = static_cast<std::uint64_t>(file_.tellp());
   file_.write(reinterpret_cast<const char*>(bytes.data()),
               static_cast<std::streamsize>(bytes.size()));
   if (!file_) {
-    throw std::runtime_error("SequenceWriter: write failed");
+    throw ContainerError(ContainerErrc::kIoError,
+                         "SequenceWriter: write failed");
   }
   index_.push_back({offset, bytes.size()});
   return index_.size() - 1;
@@ -54,55 +69,133 @@ void SequenceWriter::finish() {
   file_.write(reinterpret_cast<const char*>(&kSequenceMagic), 8);
   file_.flush();
   if (!file_) {
-    throw std::runtime_error("SequenceWriter: finish failed");
+    throw ContainerError(ContainerErrc::kIoError,
+                         "SequenceWriter: finish failed");
   }
   file_.close();
+  // Atomic publish: the destination either keeps its previous content or
+  // becomes the complete new archive, never a torn intermediate.
+  std::error_code ec;
+  std::filesystem::rename(tmp_path_, path_, ec);
+  if (ec) {
+    throw ContainerError(ContainerErrc::kIoError,
+                         "SequenceWriter: cannot rename " +
+                             tmp_path_.string() + " into " + path_.string());
+  }
 }
 
-SequenceReader::SequenceReader(const std::filesystem::path& path)
+SequenceReader::SequenceReader(const std::filesystem::path& path,
+                               const SequenceReadOptions& options)
     : file_(path, std::ios::binary | std::ios::ate) {
   if (!file_) {
-    throw std::runtime_error("SequenceReader: cannot open " + path.string());
+    throw ContainerError(ContainerErrc::kIoError,
+                         "SequenceReader: cannot open " + path.string());
   }
   const auto file_size = static_cast<std::uint64_t>(file_.tellg());
+
+  // Try the trailing index first; fall back to a forward scan whenever it
+  // is missing or implausible (crashed writer, truncated copy, corrupt
+  // trailer bytes).
+  std::string index_problem;
   if (file_size < 16) {
-    throw std::runtime_error("SequenceReader: file too small");
+    index_problem = "file too small for a trailer";
+  } else {
+    file_.seekg(static_cast<std::streamoff>(file_size - 16));
+    std::uint64_t count = 0, magic = 0;
+    file_.read(reinterpret_cast<char*>(&count), 8);
+    file_.read(reinterpret_cast<char*>(&magic), 8);
+    if (!file_ || magic != kSequenceMagic) {
+      index_problem = "bad trailer magic";
+    } else if (count > (file_size - 16) / 16) {
+      index_problem = "index count larger than file";
+    } else {
+      const std::uint64_t index_bytes = count * 16;
+      const std::uint64_t data_end = file_size - 16 - index_bytes;
+      file_.seekg(static_cast<std::streamoff>(data_end));
+      index_.resize(count);
+      for (auto& entry : index_) {
+        file_.read(reinterpret_cast<char*>(&entry.offset), 8);
+        file_.read(reinterpret_cast<char*>(&entry.size), 8);
+      }
+      if (!file_) {
+        index_problem = "index read failed";
+        index_.clear();
+      } else {
+        // Every entry must lie inside the data region (overflow-safe).
+        for (const Entry& entry : index_) {
+          if (entry.offset > data_end || entry.size > data_end - entry.offset) {
+            index_problem = "index entry out of bounds";
+            index_.clear();
+            break;
+          }
+        }
+      }
+    }
   }
-  file_.seekg(static_cast<std::streamoff>(file_size - 16));
-  std::uint64_t count = 0, magic = 0;
-  file_.read(reinterpret_cast<char*>(&count), 8);
-  file_.read(reinterpret_cast<char*>(&magic), 8);
-  if (magic != kSequenceMagic) {
-    throw std::runtime_error("SequenceReader: bad trailer magic");
-  }
-  const std::uint64_t index_bytes = count * 16;
-  if (file_size < 16 + index_bytes) {
-    throw std::runtime_error("SequenceReader: truncated index");
-  }
-  file_.seekg(static_cast<std::streamoff>(file_size - 16 - index_bytes));
-  index_.resize(count);
-  for (auto& entry : index_) {
-    file_.read(reinterpret_cast<char*>(&entry.offset), 8);
-    file_.read(reinterpret_cast<char*>(&entry.size), 8);
-  }
-  if (!file_) {
-    throw std::runtime_error("SequenceReader: index read failed");
+  if (!index_problem.empty()) {
+    file_.clear();
+    if (!options.allow_index_rebuild) {
+      throw ContainerError(ContainerErrc::kIndexCorrupt,
+                           "SequenceReader: " + index_problem);
+    }
+    rebuild_index(file_size);
+    rebuilt_ = true;
   }
 }
 
-Container SequenceReader::read_step(std::size_t step) {
+void SequenceReader::rebuild_index(std::uint64_t file_size) {
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(file_size));
+  file_.seekg(0);
+  file_.read(reinterpret_cast<char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  if (!file_) {
+    throw ContainerError(ContainerErrc::kIoError,
+                         "SequenceReader: cannot read file for index rebuild");
+  }
+  const std::span<const std::uint8_t> span(bytes);
+  std::size_t pos = 0;
+  while (pos + sizeof(kContainerMagicBytes) <= bytes.size()) {
+    const auto it = std::search(bytes.begin() + static_cast<std::ptrdiff_t>(pos),
+                                bytes.end(), std::begin(kContainerMagicBytes),
+                                std::end(kContainerMagicBytes));
+    if (it == bytes.end()) break;
+    const auto candidate =
+        static_cast<std::size_t>(it - bytes.begin());
+    if (const auto size = probe_container(span.subspan(candidate))) {
+      index_.push_back({candidate, *size});
+      pos = candidate + *size;
+    } else {
+      // Not (or no longer) a readable container here; resume scanning one
+      // byte further so later steps are still recovered.
+      pos = candidate + 1;
+    }
+  }
+  if (index_.empty()) {
+    throw ContainerError(
+        ContainerErrc::kIndexCorrupt,
+        "SequenceReader: no trailing index and no recoverable steps");
+  }
+}
+
+std::vector<std::uint8_t> SequenceReader::read_step_bytes(std::size_t step) {
   if (step >= index_.size()) {
     throw std::out_of_range("SequenceReader: step out of range");
   }
   const Entry& entry = index_[step];
   file_.seekg(static_cast<std::streamoff>(entry.offset));
-  std::vector<std::uint8_t> bytes(entry.size);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(entry.size));
   file_.read(reinterpret_cast<char*>(bytes.data()),
              static_cast<std::streamsize>(bytes.size()));
   if (!file_) {
-    throw std::runtime_error("SequenceReader: step read failed");
+    file_.clear();
+    throw ContainerError(ContainerErrc::kIoError,
+                         "SequenceReader: step read failed");
   }
-  return deserialize(bytes);
+  return bytes;
+}
+
+Container SequenceReader::read_step(std::size_t step) {
+  return deserialize(read_step_bytes(step));
 }
 
 std::vector<Container> SequenceReader::read_all() {
@@ -110,6 +203,29 @@ std::vector<Container> SequenceReader::read_all() {
   containers.reserve(index_.size());
   for (std::size_t s = 0; s < index_.size(); ++s) {
     containers.push_back(read_step(s));
+  }
+  return containers;
+}
+
+std::vector<Container> SequenceReader::read_all_salvage(
+    SequenceScanReport* report) {
+  if (report != nullptr) {
+    *report = SequenceScanReport{};
+    report->index_rebuilt = rebuilt_;
+  }
+  std::vector<Container> containers;
+  containers.reserve(index_.size());
+  for (std::size_t s = 0; s < index_.size(); ++s) {
+    StepHealth health;
+    health.step = s;
+    try {
+      containers.push_back(read_step(s));
+      health.ok = true;
+    } catch (const std::exception& e) {
+      health.ok = false;
+      health.error = e.what();
+    }
+    if (report != nullptr) report->steps.push_back(std::move(health));
   }
   return containers;
 }

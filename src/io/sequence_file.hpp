@@ -5,13 +5,22 @@
 //
 // Layout:  [container 0][container 1]...[index][index size u64][magic]
 // The index is a list of (offset, size) pairs.  Each embedded container
-// carries its own CRC (io/container.cpp), so corruption is detected at
-// step granularity.
+// carries its own integrity metadata (io/container.cpp), so corruption is
+// detected -- and, with parity, repaired -- at step granularity.
+//
+// Robustness: the writer stages everything in a temp file and renames it
+// into place on finish(), so a crashed writer never leaves a torn archive
+// at the destination.  The reader, when the trailer is missing or the
+// index is implausible (e.g. a recovered temp file from a crashed
+// writer), rebuilds the index by forward-scanning for container headers,
+// and read_all_salvage() skips-and-reports corrupt steps instead of
+// aborting.
 #pragma once
 
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <string>
 #include <vector>
 
 #include "io/container.hpp"
@@ -20,8 +29,10 @@ namespace rmp::io {
 
 class SequenceWriter {
  public:
-  /// Opens (truncates) the file; throws on failure.
-  explicit SequenceWriter(const std::filesystem::path& path);
+  /// Opens (truncates) a staging temp file; throws on failure.  The
+  /// destination only appears once finish() renames the temp over it.
+  explicit SequenceWriter(const std::filesystem::path& path,
+                          const SerializeOptions& options = {});
   ~SequenceWriter();
 
   SequenceWriter(const SequenceWriter&) = delete;
@@ -30,8 +41,9 @@ class SequenceWriter {
   /// Append one container; returns its step index.
   std::size_t append(const Container& container);
 
-  /// Write the trailing index and close.  Called by the destructor if not
-  /// done explicitly; explicit calls surface errors.
+  /// Write the trailing index, close, and atomically rename into place.
+  /// Called by the destructor if not done explicitly; explicit calls
+  /// surface errors.
   void finish();
 
   std::size_t steps_written() const noexcept { return index_.size(); }
@@ -43,29 +55,67 @@ class SequenceWriter {
   };
   std::ofstream file_;
   std::filesystem::path path_;
+  std::filesystem::path tmp_path_;
+  SerializeOptions options_;
   std::vector<Entry> index_;
   bool finished_ = false;
 };
 
+struct SequenceReadOptions {
+  /// When the trailing index is missing or implausible, forward-scan the
+  /// file for container headers instead of failing (crashed-writer
+  /// recovery).  The reader still throws if no step can be located.
+  bool allow_index_rebuild = true;
+};
+
+/// Per-step verdict from a salvage pass.
+struct StepHealth {
+  std::size_t step = 0;
+  bool ok = false;
+  std::string error;  ///< empty when ok
+};
+
+struct SequenceScanReport {
+  bool index_rebuilt = false;
+  std::vector<StepHealth> steps;
+  std::size_t ok_count() const;
+};
+
 class SequenceReader {
  public:
-  explicit SequenceReader(const std::filesystem::path& path);
+  explicit SequenceReader(const std::filesystem::path& path,
+                          const SequenceReadOptions& options = {});
 
   std::size_t step_count() const noexcept { return index_.size(); }
 
-  /// Read one step (random access).  Throws on bad index or corruption.
+  /// True when the trailing index was unusable and the step table was
+  /// reconstructed by forward-scanning the file.
+  bool index_rebuilt() const noexcept { return rebuilt_; }
+
+  /// Read one step (random access).  Throws ContainerError on corruption
+  /// (repairing single-section damage via parity when present) and
+  /// std::out_of_range on a bad step number.
   Container read_step(std::size_t step);
 
-  /// Read all steps in order.
+  /// Read all steps in order; throws on the first unreadable step.
   std::vector<Container> read_all();
+
+  /// Read every step that can be decoded, skipping corrupt ones.  The
+  /// optional report records a verdict for each step.
+  std::vector<Container> read_all_salvage(SequenceScanReport* report = nullptr);
 
  private:
   struct Entry {
     std::uint64_t offset;
     std::uint64_t size;
   };
+
+  std::vector<std::uint8_t> read_step_bytes(std::size_t step);
+  void rebuild_index(std::uint64_t file_size);
+
   std::ifstream file_;
   std::vector<Entry> index_;
+  bool rebuilt_ = false;
 };
 
 }  // namespace rmp::io

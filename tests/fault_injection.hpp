@@ -1,0 +1,80 @@
+// Deterministic fault-injection helpers for the robustness suites: seeded
+// bit flips, truncations and targeted section corruption against the v3
+// container layout (payloads concatenated at the end of the buffer, parity
+// block last).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "io/container.hpp"
+
+namespace rmp::testing {
+
+inline void flip_bit(std::vector<std::uint8_t>& bytes, std::size_t bit) {
+  bytes.at(bit / 8) ^= static_cast<std::uint8_t>(1u << (bit % 8));
+}
+
+inline std::size_t flip_random_bit(std::vector<std::uint8_t>& bytes,
+                                   std::mt19937_64& rng) {
+  std::uniform_int_distribution<std::size_t> dist(0, bytes.size() * 8 - 1);
+  const std::size_t bit = dist(rng);
+  flip_bit(bytes, bit);
+  return bit;
+}
+
+inline std::vector<std::uint8_t> truncated(std::span<const std::uint8_t> bytes,
+                                           std::size_t keep) {
+  keep = std::min(keep, bytes.size());
+  return {bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(keep)};
+}
+
+/// Size of the v3 parity block for `container` (the largest section).
+inline std::size_t parity_bytes(const io::Container& container,
+                                bool with_parity) {
+  if (!with_parity) return 0;
+  std::size_t max = 0;
+  for (const auto& section : container.sections) {
+    max = std::max(max, section.bytes.size());
+  }
+  return max;
+}
+
+/// Offset of the first section payload inside a v3 buffer of
+/// `serialized_size` bytes: payloads sit at the very end, before only the
+/// optional parity block.
+inline std::size_t payload_region_start(std::size_t serialized_size,
+                                        const io::Container& container,
+                                        bool with_parity) {
+  return serialized_size - container.payload_bytes() -
+         parity_bytes(container, with_parity);
+}
+
+/// Offset of section `index`'s payload (sections are concatenated in
+/// directory order).
+inline std::size_t section_payload_offset(std::size_t serialized_size,
+                                          const io::Container& container,
+                                          bool with_parity,
+                                          std::size_t index) {
+  std::size_t offset =
+      payload_region_start(serialized_size, container, with_parity);
+  for (std::size_t i = 0; i < index; ++i) {
+    offset += container.sections[i].bytes.size();
+  }
+  return offset;
+}
+
+/// Invert a byte in the middle of section `index`'s payload.
+inline void corrupt_section(std::vector<std::uint8_t>& bytes,
+                            const io::Container& container, bool with_parity,
+                            std::size_t index) {
+  const auto& section = container.sections.at(index);
+  const std::size_t offset =
+      section_payload_offset(bytes.size(), container, with_parity, index);
+  bytes.at(offset + section.bytes.size() / 2) ^= 0xFFu;
+}
+
+}  // namespace rmp::testing

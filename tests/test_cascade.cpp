@@ -70,8 +70,9 @@ TEST(Cascade, StageOneStoresOnlyReducedRep) {
   cascade.encode(f, codecs.pair(), &cascade_stats);
   make_preconditioner("one-base")->encode(f, codecs.pair(), &plain_stats);
   // "one-base>identity" == one-base with the residual compressed at
-  // original grade; sizes must be in the same ballpark.
-  EXPECT_LT(cascade_stats.total_bytes, plain_stats.total_bytes * 4);
+  // original grade; sizes must be in the same ballpark (the nested v3
+  // container headers add a few bytes of per-section checksum overhead).
+  EXPECT_LE(cascade_stats.total_bytes, plain_stats.total_bytes * 4);
 }
 
 TEST(Cascade, RejectsMalformedSpecs) {

@@ -3,7 +3,9 @@
 // the round trip on disk.  RMPC_BINARY is injected by CMake.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -157,6 +159,87 @@ TEST_F(CliTest, RmpgenListAndErrors) {
             0);
 }
 #endif
+
+void corrupt_byte(const fs::path& path, std::uintmax_t offset) {
+  std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+  file.seekg(static_cast<std::streamoff>(offset));
+  char b = 0;
+  file.read(&b, 1);
+  b = static_cast<char>(b ^ 0x2A);
+  file.seekp(static_cast<std::streamoff>(offset));
+  file.write(&b, 1);
+}
+
+TEST_F(CliTest, VerifyArchiveModeReportsHealthy) {
+  const fs::path archive = dir_ / "healthy.rmp";
+  ASSERT_EQ(run_rmpc("compress " + quoted(input_) + " " + quoted(archive) +
+                     " --dims 16,16,16 --method pca"),
+            0);
+  EXPECT_EQ(run_rmpc("verify " + quoted(archive)), 0);
+}
+
+TEST_F(CliTest, ParityRepairsCorruptionEndToEnd) {
+  const fs::path archive = dir_ / "damaged.rmp";
+  const fs::path repaired = dir_ / "repaired.rmp";
+  const fs::path output = dir_ / "repaired.f64";
+  // Parity is on by default; flip a byte in the middle of the file, which
+  // lands inside exactly one section payload.
+  ASSERT_EQ(run_rmpc("compress " + quoted(input_) + " " + quoted(archive) +
+                     " --dims 16,16,16 --method pca"),
+            0);
+  corrupt_byte(archive, fs::file_size(archive) / 2);
+
+  EXPECT_EQ(run_rmpc("verify " + quoted(archive)), 0);  // repairable => OK
+  ASSERT_EQ(run_rmpc("repair " + quoted(archive) + " " + quoted(repaired)), 0);
+  EXPECT_EQ(run_rmpc("verify " + quoted(repaired)), 0);
+  ASSERT_EQ(run_rmpc("decompress " + quoted(repaired) + " " + quoted(output)),
+            0);
+  const auto decoded = read_back(output);
+  ASSERT_EQ(decoded.size(), data_.size());
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    ASSERT_NEAR(decoded[i], data_[i], 0.05) << i;
+  }
+}
+
+TEST_F(CliTest, UnprotectedCorruptionFailsVerifyAndRepair) {
+  const fs::path archive = dir_ / "noparity.rmp";
+  ASSERT_EQ(run_rmpc("compress " + quoted(input_) + " " + quoted(archive) +
+                     " --dims 16,16,16 --method pca --no-parity"),
+            0);
+  // v3 keeps payloads at the end; the 16-byte "meta" section is last, so
+  // offset size-20 lands inside the "delta" payload.
+  corrupt_byte(archive, fs::file_size(archive) - 20);
+
+  EXPECT_NE(run_rmpc("verify " + quoted(archive)), 0);
+  EXPECT_NE(run_rmpc("repair " + quoted(archive) + " " +
+                     quoted(dir_ / "cant.rmp")),
+            0);
+  EXPECT_NE(run_rmpc("decompress " + quoted(archive) + " " +
+                     quoted(dir_ / "cant.f64")),
+            0);
+}
+
+TEST_F(CliTest, BestEffortDecompressSurvivesDeltaLoss) {
+  const fs::path archive = dir_ / "salvage.rmp";
+  const fs::path output = dir_ / "salvage.f64";
+  ASSERT_EQ(run_rmpc("compress " + quoted(input_) + " " + quoted(archive) +
+                     " --dims 16,16,16 --method pca --no-parity"),
+            0);
+  corrupt_byte(archive, fs::file_size(archive) - 20);  // delta payload
+
+  ASSERT_EQ(run_rmpc("decompress " + quoted(archive) + " " + quoted(output) +
+                     " --best-effort"),
+            0);
+  const auto decoded = read_back(output);
+  ASSERT_EQ(decoded.size(), data_.size());
+  // The reduced-model-only approximation is lossier than the full decode
+  // but must still track the data.
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    max_err = std::max(max_err, std::abs(decoded[i] - data_[i]));
+  }
+  EXPECT_LT(max_err, 40.0);
+}
 
 TEST_F(CliTest, ZfpCodecPathWorks) {
   const fs::path archive = dir_ / "zfp.rmp";

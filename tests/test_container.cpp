@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
 
+#include "io/checksum.hpp"
 #include "io/storage_model.hpp"
 
 namespace rmp::io {
@@ -72,6 +75,101 @@ TEST(Container, FileRoundTrip) {
 
 TEST(Container, ReadMissingFileThrows) {
   EXPECT_THROW(read_container("/nonexistent/rmp.bin"), std::runtime_error);
+}
+
+TEST(Container, ReadEmptyFileThrowsTyped) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "rmp_container_empty.bin";
+  { std::ofstream out(path, std::ios::binary | std::ios::trunc); }
+  try {
+    read_container(path);
+    FAIL() << "empty file accepted";
+  } catch (const ContainerError& e) {
+    EXPECT_EQ(e.code(), ContainerErrc::kTruncated);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Container, WriteLeavesNoTempFileBehind) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto path = dir / "rmp_container_atomic.bin";
+  write_container(path, sample());
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(dir / "rmp_container_atomic.bin.tmp"));
+  std::filesystem::remove(path);
+}
+
+// Helpers replaying the legacy v2 byte layout so the adversarial-length
+// tests can hand-craft inputs whose whole-file CRC still checks out.
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  out.insert(out.end(), p, p + sizeof(v));
+}
+void append_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  out.insert(out.end(), p, p + sizeof(v));
+}
+void append_str(std::vector<std::uint8_t>& out, const std::string& s) {
+  append_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+std::vector<std::uint8_t> v2_header(std::uint32_t section_count) {
+  std::vector<std::uint8_t> out;
+  append_u32(out, 0x50434D52u);
+  append_u32(out, 2u);
+  append_str(out, "pca");
+  append_u64(out, 4);
+  append_u64(out, 5);
+  append_u64(out, 6);
+  append_u32(out, section_count);
+  return out;
+}
+
+// A blob length near UINT64_MAX must not wrap the cursor bounds check
+// into a bogus success (or a giant allocation).
+TEST(Container, AdversarialBlobLengthRejectedWithoutOverflow) {
+  auto bytes = v2_header(1);
+  append_str(bytes, "delta");
+  append_u64(bytes, UINT64_MAX - 7);  // offset + n wraps past zero
+  append_u32(bytes, crc32(bytes));
+  try {
+    deserialize(bytes);
+    FAIL() << "wrapping blob length accepted";
+  } catch (const ContainerError& e) {
+    EXPECT_EQ(e.code(), ContainerErrc::kTruncated);
+  }
+}
+
+// A 4 GiB string length must be bounds-checked before any allocation.
+TEST(Container, AdversarialStringLengthRejectedBeforeAllocation) {
+  std::vector<std::uint8_t> bytes;
+  append_u32(bytes, 0x50434D52u);
+  append_u32(bytes, 2u);
+  append_u32(bytes, 0xFFFFFFFFu);  // method-string length
+  append_u32(bytes, crc32(bytes));
+  try {
+    deserialize(bytes);
+    FAIL() << "oversized string length accepted";
+  } catch (const ContainerError& e) {
+    EXPECT_EQ(e.code(), ContainerErrc::kTruncated);
+  }
+}
+
+TEST(Container, TrailingGarbageIsRejected) {
+  auto bytes = serialize(sample());
+  bytes.push_back(0xAB);
+  EXPECT_THROW(deserialize(bytes), ContainerError);
+}
+
+TEST(Container, ProbeFindsFootprintAndRejectsGarbage) {
+  const auto bytes = serialize(sample(), {.with_parity = true});
+  const auto footprint = probe_container(bytes);
+  ASSERT_TRUE(footprint.has_value());
+  EXPECT_EQ(*footprint, bytes.size());
+
+  std::vector<std::uint8_t> garbage(64, 0x5A);
+  EXPECT_FALSE(probe_container(garbage).has_value());
+  EXPECT_FALSE(probe_container({}).has_value());
 }
 
 TEST(StorageModel, IoTimeScalesWithBytes) {

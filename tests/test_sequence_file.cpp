@@ -121,6 +121,115 @@ TEST_F(SequenceFileTest, CorruptedStepIsDetected) {
   EXPECT_THROW(reader.read_step(0), std::runtime_error);
 }
 
+TEST_F(SequenceFileTest, WriterLeavesNoTempFileBehind) {
+  {
+    SequenceWriter writer(path_);
+    writer.append(sample(2));
+    writer.finish();
+  }
+  EXPECT_TRUE(fs::exists(path_));
+  fs::path tmp = path_;
+  tmp += ".tmp";
+  EXPECT_FALSE(fs::exists(tmp));
+}
+
+TEST_F(SequenceFileTest, MissingTrailerIndexIsRebuilt) {
+  {
+    SequenceWriter writer(path_);
+    for (int i = 0; i < 4; ++i) writer.append(sample(i));
+    writer.finish();
+  }
+  // Chop off the index + trailer, as if the writer crashed mid-finish.
+  const auto full = fs::file_size(path_);
+  fs::resize_file(path_, full - (16 + 4 * 16));
+
+  SequenceReader reader(path_);
+  EXPECT_TRUE(reader.index_rebuilt());
+  ASSERT_EQ(reader.step_count(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(reader.read_step(static_cast<std::size_t>(i)).method,
+              "step" + std::to_string(i));
+  }
+}
+
+TEST_F(SequenceFileTest, RebuildCanBeDisabled) {
+  {
+    SequenceWriter writer(path_);
+    writer.append(sample(1));
+    writer.finish();
+  }
+  fs::resize_file(path_, fs::file_size(path_) - (16 + 16));
+  try {
+    SequenceReader reader(path_, {.allow_index_rebuild = false});
+    FAIL() << "reader accepted a trailer-less file with rebuild disabled";
+  } catch (const ContainerError& e) {
+    EXPECT_EQ(e.code(), ContainerErrc::kIndexCorrupt);
+  }
+}
+
+TEST_F(SequenceFileTest, CorruptMiddleStepIsSkippedAndReported) {
+  {
+    SequenceWriter writer(path_);
+    for (int i = 1; i <= 3; ++i) writer.append(sample(i));
+    writer.finish();
+  }
+  // Flip the last payload byte of step 1 (v3 keeps payloads at the end of
+  // each serialized container, so the step's final byte is section data).
+  const auto step0_size = serialize(sample(1)).size();
+  const auto step1_size = serialize(sample(2)).size();
+  {
+    std::fstream file(path_, std::ios::binary | std::ios::in | std::ios::out);
+    const auto target =
+        static_cast<std::streamoff>(step0_size + step1_size - 1);
+    file.seekg(target);
+    char b = 0;
+    file.read(&b, 1);
+    b = static_cast<char>(b ^ 0x40);
+    file.seekp(target);
+    file.write(&b, 1);
+  }
+
+  SequenceReader reader(path_);
+  SequenceScanReport report;
+  const auto steps = reader.read_all_salvage(&report);
+  ASSERT_EQ(report.steps.size(), 3u);
+  EXPECT_EQ(report.ok_count(), 2u);
+  EXPECT_TRUE(report.steps[0].ok);
+  EXPECT_FALSE(report.steps[1].ok);
+  EXPECT_TRUE(report.steps[2].ok);
+  ASSERT_EQ(steps.size(), 2u);
+  EXPECT_EQ(steps[0].method, "step1");
+  EXPECT_EQ(steps[1].method, "step3");
+}
+
+TEST_F(SequenceFileTest, TruncatedMidWriteRecoversCompletePrefix) {
+  // Simulate a crash mid-append: three whole containers, then half of a
+  // fourth, and no trailer.
+  {
+    std::ofstream file(path_, std::ios::binary | std::ios::trunc);
+    for (int i = 0; i < 3; ++i) {
+      const auto bytes = serialize(sample(i));
+      file.write(reinterpret_cast<const char*>(bytes.data()),
+                 static_cast<std::streamsize>(bytes.size()));
+    }
+    const auto partial = serialize(sample(7));
+    file.write(reinterpret_cast<const char*>(partial.data()),
+               static_cast<std::streamsize>(partial.size() / 2));
+  }
+
+  SequenceReader reader(path_);
+  EXPECT_TRUE(reader.index_rebuilt());
+  ASSERT_EQ(reader.step_count(), 3u);
+  SequenceScanReport report;
+  const auto steps = reader.read_all_salvage(&report);
+  ASSERT_EQ(steps.size(), 3u);
+  EXPECT_EQ(report.ok_count(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(steps[static_cast<std::size_t>(i)].method,
+              "step" + std::to_string(i));
+  }
+}
+
 TEST_F(SequenceFileTest, TemporalPipelineEndToEnd) {
   // Full workflow: snapshots -> temporal encode -> sequence file ->
   // read back -> temporal decode.

@@ -5,18 +5,23 @@
 //   rmpc compress   <in.f64> <out.rmp> --dims NX[,NY[,NZ]]
 //                   [--method identity|one-base|multi-base|duomodel|pca|
 //                             svd|wavelet|pca-part|tucker|auto|a>b]
-//                   [--codec sz|zfp]
-//   rmpc decompress <in.rmp> <out.f64> [--codec sz|zfp]
+//                   [--codec sz|zfp] [--no-parity]
+//   rmpc decompress <in.rmp> <out.f64> [--codec sz|zfp] [--best-effort]
 //   rmpc info       <in.rmp>
 //   rmpc predict    <in.f64> --dims NX[,NY[,NZ]]
 //   rmpc stats      <in.f64> --dims NX[,NY[,NZ]]
 //   rmpc verify     <in.f64> --dims NX[,NY[,NZ]] [--method NAME]
 //                   [--codec sz|zfp]
+//   rmpc verify     <in.rmp>
+//   rmpc repair     <in.rmp> <out.rmp>
 //
 // `--method auto` runs the predictive selector (no trial compression).
 // `stats` prints the Fig. 1 data characteristics (byte entropy / mean /
-// serial correlation) plus a coarse CDF.  `verify` runs the full
-// compress + reconstruct round trip and prints a quality report.
+// serial correlation) plus a coarse CDF.  `verify` with --dims runs the
+// full compress + reconstruct round trip and prints a quality report;
+// without --dims it checks an archive's integrity (checksums + parity)
+// and exits non-zero when sections are unrecoverable.  `repair` rewrites
+// a damaged-but-recoverable archive as a clean v3 file with parity.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -28,6 +33,7 @@
 #include "core/model_predict.hpp"
 #include "core/pipeline.hpp"
 #include "core/quality.hpp"
+#include "io/container.hpp"
 #include "stats/metrics.hpp"
 
 namespace {
@@ -38,13 +44,16 @@ using namespace rmp;
   std::fprintf(stderr,
                "usage:\n"
                "  rmpc compress   <in.f64> <out.rmp> --dims NX[,NY[,NZ]] "
-               "[--method NAME|auto] [--codec sz|zfp]\n"
-               "  rmpc decompress <in.rmp> <out.f64> [--codec sz|zfp]\n"
+               "[--method NAME|auto] [--codec sz|zfp] [--no-parity]\n"
+               "  rmpc decompress <in.rmp> <out.f64> [--codec sz|zfp] "
+               "[--best-effort]\n"
                "  rmpc info       <in.rmp>\n"
                "  rmpc predict    <in.f64> --dims NX[,NY[,NZ]]\n"
                "  rmpc stats      <in.f64> --dims NX[,NY[,NZ]]\n"
                "  rmpc verify     <in.f64> --dims NX[,NY[,NZ]] "
-               "[--method NAME] [--codec sz|zfp]\n");
+               "[--method NAME] [--codec sz|zfp]\n"
+               "  rmpc verify     <in.rmp>\n"
+               "  rmpc repair     <in.rmp> <out.rmp>\n");
   std::exit(2);
 }
 
@@ -81,6 +90,8 @@ struct Args {
   std::optional<std::string> dims;
   std::string method = "pca";
   std::string codec = "sz";
+  bool no_parity = false;
+  bool best_effort = false;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -97,6 +108,10 @@ Args parse_args(int argc, char** argv) {
       args.method = next();
     } else if (arg == "--codec") {
       args.codec = next();
+    } else if (arg == "--no-parity") {
+      args.no_parity = true;
+    } else if (arg == "--best-effort") {
+      args.best_effort = true;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "rmpc: unknown flag %s\n", arg.c_str());
       usage_and_exit();
@@ -159,19 +174,36 @@ int cmd_compress(const Args& args) {
   const auto preconditioner = core::make_preconditioner(method);
   core::EncodeStats stats;
   const auto container = preconditioner->encode(field, pair, &stats);
-  io::write_container(args.positional[1], container);
-  std::printf("%s: %zu -> %zu bytes (%.2fx) via %s+%s\n",
+  io::SerializeOptions options;
+  options.with_parity = !args.no_parity;
+  io::write_container(args.positional[1], container, options);
+  std::printf("%s: %zu -> %zu bytes (%.2fx) via %s+%s%s\n",
               args.positional[1].c_str(), stats.original_bytes,
               stats.total_bytes, stats.compression_ratio, method.c_str(),
-              args.codec.c_str());
+              args.codec.c_str(), args.no_parity ? "" : " (+parity)");
   return 0;
 }
 
 int cmd_decompress(const Args& args) {
   if (args.positional.size() != 2) usage_and_exit();
-  const auto container = io::read_container(args.positional[0]);
   const Codecs codecs = make_codecs(args.codec);
   const core::CodecPair pair{codecs.reduced.get(), codecs.delta.get()};
+
+  if (args.best_effort) {
+    io::ReadReport report;
+    const auto container =
+        io::read_container_salvage(args.positional[0], &report);
+    const auto result = core::reconstruct_best_effort(container, report, pair);
+    write_doubles(args.positional[1],
+                  {result.field.flat().begin(), result.field.flat().end()});
+    std::printf("%s: %zux%zux%zu doubles via %s (%s)\n",
+                args.positional[1].c_str(), result.field.nx(),
+                result.field.ny(), result.field.nz(),
+                container.method.c_str(), result.detail.c_str());
+    return 0;
+  }
+
+  const auto container = io::read_container(args.positional[0]);
   const sim::Field field = core::reconstruct(container, pair);
   write_doubles(args.positional[1],
                 {field.flat().begin(), field.flat().end()});
@@ -213,14 +245,82 @@ int cmd_stats(const Args& args) {
   return 0;
 }
 
+const char* section_state_name(io::SectionState state) {
+  switch (state) {
+    case io::SectionState::kOk:
+      return "ok";
+    case io::SectionState::kRepaired:
+      return "repaired";
+    case io::SectionState::kDamaged:
+      return "DAMAGED";
+  }
+  return "?";
+}
+
+/// Archive-integrity verify (`rmpc verify <in.rmp>`, no --dims): checks
+/// every checksum, attempts parity repair, and reports per-section state.
+int cmd_verify_archive(const Args& args) {
+  io::ReadReport report;
+  try {
+    io::read_container_salvage(args.positional[0], &report);
+  } catch (const io::ContainerError& e) {
+    std::printf("%s: UNREADABLE (%s)\n", args.positional[0].c_str(), e.what());
+    return 1;
+  }
+  std::printf("%s: container v%u, parity %s\n", args.positional[0].c_str(),
+              report.version,
+              !report.parity_present ? "absent"
+              : report.parity_valid  ? "present"
+                                     : "present (invalid)");
+  for (const auto& section : report.sections) {
+    std::printf("  %-12s %10llu bytes  %s\n", section.name.c_str(),
+                static_cast<unsigned long long>(section.bytes),
+                section_state_name(section.state));
+  }
+  if (report.complete()) {
+    std::printf(report.repaired() ? "verify: OK (parity repair applied)\n"
+                                  : "verify: OK\n");
+    return 0;
+  }
+  std::printf("verify: FAILED (%zu unrecoverable section(s))\n",
+              report.damaged().size());
+  return 1;
+}
+
 int cmd_verify(const Args& args) {
-  if (args.positional.size() != 1 || !args.dims) usage_and_exit();
+  if (args.positional.size() != 1) usage_and_exit();
+  if (!args.dims) return cmd_verify_archive(args);
   const sim::Field field = field_from_file(args.positional[0], *args.dims);
   const Codecs codecs = make_codecs(args.codec);
   const core::CodecPair pair{codecs.reduced.get(), codecs.delta.get()};
   const auto preconditioner = core::make_preconditioner(args.method);
   const auto report = core::assess_quality(*preconditioner, field, pair);
   std::fputs(core::format_report(report).c_str(), stdout);
+  return 0;
+}
+
+/// `rmpc repair <in.rmp> <out.rmp>`: re-write a damaged-but-recoverable
+/// archive as a clean v3 container with fresh checksums and parity.
+int cmd_repair(const Args& args) {
+  if (args.positional.size() != 2) usage_and_exit();
+  io::ReadReport report;
+  const auto container =
+      io::read_container_salvage(args.positional[0], &report);
+  if (!report.complete()) {
+    std::fprintf(stderr,
+                 "rmpc: %s is not recoverable (%zu damaged section(s))\n",
+                 args.positional[0].c_str(), report.damaged().size());
+    for (const auto& name : report.damaged()) {
+      std::fprintf(stderr, "  damaged: %s\n", name.c_str());
+    }
+    return 1;
+  }
+  io::SerializeOptions options;
+  options.with_parity = !args.no_parity;
+  io::write_container(args.positional[1], container, options);
+  std::printf("%s: %s -> clean v3 archive%s\n", args.positional[1].c_str(),
+              report.repaired() ? "repaired via parity" : "already intact",
+              args.no_parity ? "" : " (+parity)");
   return 0;
 }
 
@@ -251,6 +351,7 @@ int main(int argc, char** argv) {
     if (command == "predict") return cmd_predict(args);
     if (command == "stats") return cmd_stats(args);
     if (command == "verify") return cmd_verify(args);
+    if (command == "repair") return cmd_repair(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "rmpc: %s\n", e.what());
     return 1;
