@@ -188,7 +188,9 @@ std::size_t encode_planes(BitWriter& writer, const std::uint64_t* coeffs,
         std::min<std::size_t>(n, budget - used));
     writer.put_bits(x, verbatim);
     used += verbatim;
-    x >>= n;
+    // n can reach 64 once every coefficient is significant; shifting a
+    // 64-bit value by 64 is undefined, so clamp to "all bits consumed".
+    x = n < 64 ? x >> n : 0;
     // Remaining coefficients: group test ("any 1 left?"), then a unary
     // scan to the next 1.  When only one coefficient remains after a
     // positive group test, its 1 is implied and not emitted.

@@ -4,6 +4,7 @@
 
 #include "core/reshape.hpp"
 #include "core/serialize.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace rmp::core {
 namespace {
@@ -51,21 +52,26 @@ io::Container BlockedPreconditioner::encode(const sim::Field& field,
   container.ny = field.ny();
   container.nz = field.nz();
 
-  std::size_t reduced_bytes = 0, delta_bytes = 0;
-  for (std::size_t b = 0; b < count; ++b) {
+  // Blocks are independent: encode them on the shared pool, then append
+  // the serialized results in block order so the container layout (and
+  // its bytes) is the same at every thread count.
+  std::vector<std::vector<std::uint8_t>> encoded(count);
+  std::vector<EncodeStats> block_stats(count);
+  parallel::parallel_for(count, [&](std::size_t b) {
     // Row block as a 2D field: contiguous in the canonical layout.
     const std::size_t block_rows = blocks[b].end - blocks[b].begin;
     sim::Field block = sim::Field::from_data(
         block_rows, cols, 1,
         std::vector<double>(flat.begin() + blocks[b].begin * cols,
                             flat.begin() + blocks[b].end * cols));
-    EncodeStats block_stats;
-    const io::Container inner_container =
-        inner_->encode(block, codecs, &block_stats);
-    reduced_bytes += block_stats.reduced_bytes;
-    delta_bytes += block_stats.delta_bytes;
-    container.add("block" + std::to_string(b),
-                  io::serialize(inner_container));
+    encoded[b] = io::serialize(inner_->encode(block, codecs, &block_stats[b]));
+  });
+
+  std::size_t reduced_bytes = 0, delta_bytes = 0;
+  for (std::size_t b = 0; b < count; ++b) {
+    reduced_bytes += block_stats[b].reduced_bytes;
+    delta_bytes += block_stats[b].delta_bytes;
+    container.add("block" + std::to_string(b), std::move(encoded[b]));
   }
   const std::uint64_t meta[3] = {count, rows, cols};
   container.add("meta", u64s_to_bytes(meta));
@@ -88,8 +94,10 @@ sim::Field BlockedPreconditioner::decode(const io::Container& container,
   const std::size_t cols = meta.at(2);
   const auto blocks = make_blocks(rows, count);
 
+  // Block row ranges are disjoint, so each task scatters into its own
+  // region of `values`; decode errors propagate out of parallel_for.
   std::vector<double> values(rows * cols);
-  for (std::size_t b = 0; b < count; ++b) {
+  parallel::parallel_for(count, [&](std::size_t b) {
     const std::string block_name = "block" + std::to_string(b);
     const auto& section = require_section(container, block_name, "blocked");
     const sim::Field block =
@@ -102,7 +110,7 @@ sim::Field BlockedPreconditioner::decode(const io::Container& container,
     }
     std::copy(block.flat().begin(), block.flat().end(),
               values.begin() + blocks[b].begin * cols);
-  }
+  });
   return sim::Field::from_data(container.nx, container.ny, container.nz,
                                std::move(values));
 }

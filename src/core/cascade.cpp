@@ -3,6 +3,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "parallel/thread_pool.hpp"
+
 namespace rmp::core {
 namespace {
 
@@ -93,10 +95,17 @@ sim::Field CascadePreconditioner::decode(const io::Container& container,
   const auto& stage1 = require_section(container, "stage1", "cascade");
   const auto& stage2 = require_section(container, "stage2", "cascade");
   const CodecPair first_codecs{codecs.reduced, &kNullCodec};
-  const sim::Field first_decoded =
-      first_->decode(io::deserialize(stage1.bytes), first_codecs, nullptr);
-  const sim::Field residual =
-      second_->decode(io::deserialize(stage2.bytes), codecs, nullptr);
+  // The two stage decodes share no state, so they run as two pool tasks
+  // (each stage may fan out further; nested calls run inline).
+  sim::Field first_decoded, residual;
+  parallel::parallel_for(2, [&](std::size_t stage) {
+    if (stage == 0) {
+      first_decoded =
+          first_->decode(io::deserialize(stage1.bytes), first_codecs, nullptr);
+    } else {
+      residual = second_->decode(io::deserialize(stage2.bytes), codecs, nullptr);
+    }
+  });
   return add(first_decoded, residual);
 }
 

@@ -1,6 +1,5 @@
 #include "core/parallel_compress.hpp"
 
-#include <mutex>
 #include <stdexcept>
 
 #include "core/preconditioner.hpp"
@@ -23,6 +22,48 @@ std::vector<SlabExtent> slab_extents(std::size_t nz, std::size_t count) {
   return extents;
 }
 
+// Read and validate the slab count from the meta section.  The container
+// may come off disk, so the value is untrusted: 0 would silently decode
+// an all-zero field, and a huge value would drive unbounded section
+// lookups -- both are malformed, not crashes.
+std::size_t validated_slab_count(const io::Container& container,
+                                 const char* who) {
+  const auto& meta_section = require_section(container, "meta", who);
+  std::vector<std::uint64_t> values;
+  try {
+    values = bytes_to_u64s(meta_section.bytes);
+  } catch (const std::exception&) {
+    throw io::ContainerError(io::ContainerErrc::kSectionMalformed,
+                             std::string(who) + ": meta does not parse",
+                             "meta");
+  }
+  if (values.empty()) {
+    throw io::ContainerError(io::ContainerErrc::kSectionMalformed,
+                             std::string(who) + ": meta is empty", "meta");
+  }
+  const std::uint64_t slabs = values[0];
+  if (slabs == 0 || slabs > container.nz) {
+    throw io::ContainerError(
+        io::ContainerErrc::kSectionMalformed,
+        std::string(who) + ": slab count " + std::to_string(slabs) +
+            " outside [1, nz=" + std::to_string(container.nz) + "]",
+        "meta");
+  }
+  return static_cast<std::size_t>(slabs);
+}
+
+// Per-slab loops run serially when the caller asks for one thread,
+// otherwise on the shared pool (parallel::global_pool(), or the pool a
+// ScopedPoolOverride installed) -- no per-call thread spawn/join.
+void for_each_slab(std::size_t slabs, std::size_t threads,
+                   const std::function<void(std::size_t)>& body) {
+  if (threads <= 1) {
+    for (std::size_t s = 0; s < slabs; ++s) body(s);
+  } else {
+    parallel::parallel_for(slabs, body);
+  }
+}
+
 }  // namespace
 
 io::Container compress_field_parallel(const sim::Field& field,
@@ -42,8 +83,7 @@ io::Container compress_field_parallel(const sim::Field& field,
   container.nz = field.nz();
 
   std::vector<std::vector<std::uint8_t>> slab_bytes(slabs);
-  parallel::ThreadPool pool(std::max<std::size_t>(1, options.threads));
-  pool.parallel_for(slabs, [&](std::size_t s) {
+  for_each_slab(slabs, options.threads, [&](std::size_t s) {
     const auto [z_low, z_high] = extents[s];
     const std::size_t local_nz = z_high - z_low;
     std::vector<double> slab;
@@ -70,16 +110,13 @@ io::Container compress_field_parallel(const sim::Field& field,
 sim::Field decompress_field_parallel(const io::Container& container,
                                      const compress::Compressor& codec,
                                      std::size_t threads) {
-  const auto& meta_section =
-      require_section(container, "meta", "decompress_field_parallel");
-  const std::size_t slabs = bytes_to_u64s(meta_section.bytes).at(0);
+  const std::size_t slabs =
+      validated_slab_count(container, "decompress_field_parallel");
   const auto extents = slab_extents(container.nz, slabs);
 
   sim::Field out(container.nx, container.ny, container.nz);
-  std::mutex out_mutex;
 
-  parallel::ThreadPool pool(std::max<std::size_t>(1, threads));
-  pool.parallel_for(slabs, [&](std::size_t s) {
+  for_each_slab(slabs, threads, [&](std::size_t s) {
     const std::string slab_name = "slab" + std::to_string(s);
     const auto& section =
         require_section(container, slab_name, "decompress_field_parallel");
@@ -91,7 +128,9 @@ sim::Field decompress_field_parallel(const io::Container& container,
                                "decompress_field_parallel: bad slab size",
                                slab_name);
     }
-    std::lock_guard lock(out_mutex);  // slabs are disjoint; lock is belt+braces
+    // Slab Z-ranges tile [0, nz) without overlap, so every (i, j, k)
+    // below is written by exactly one task -- no lock needed, and decode
+    // scales with the slab count.
     std::size_t n = 0;
     for (std::size_t i = 0; i < container.nx; ++i) {
       for (std::size_t j = 0; j < container.ny; ++j) {
@@ -105,8 +144,7 @@ sim::Field decompress_field_parallel(const io::Container& container,
 }
 
 std::size_t slab_count(const io::Container& container) {
-  const auto& meta_section = require_section(container, "meta", "slab_count");
-  return bytes_to_u64s(meta_section.bytes).at(0);
+  return validated_slab_count(container, "slab_count");
 }
 
 SlabView decompress_slab(const io::Container& container,

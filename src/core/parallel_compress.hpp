@@ -16,7 +16,11 @@ namespace rmp::core {
 
 struct ParallelCompressOptions {
   std::size_t slabs = 4;    ///< clamped to the Z extent
-  std::size_t threads = 4;  ///< worker threads in the pool
+  /// threads <= 1 runs the per-slab loop inline (serial baseline);
+  /// anything larger fans out onto the shared pool (parallel::global_pool,
+  /// or a ScopedPoolOverride) -- the pool's worker count, not this value,
+  /// bounds the actual parallelism.  Output bytes are identical either way.
+  std::size_t threads = 4;
 };
 
 io::Container compress_field_parallel(const sim::Field& field,

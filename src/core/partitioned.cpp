@@ -8,6 +8,7 @@
 #include "core/serialize.hpp"
 #include "la/covariance.hpp"
 #include "la/eigen.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace rmp::core {
 namespace {
@@ -56,7 +57,8 @@ io::Container PartitionedPcaPreconditioner::encode(const sim::Field& field,
   const auto blocks = make_blocks(a.rows(), count);
 
   la::Matrix reconstruction(a.rows(), a.cols());
-  std::vector<std::uint64_t> meta{count};
+  std::vector<std::uint64_t> meta(1 + 2 * count);
+  meta[0] = count;
 
   io::Container container;
   container.method = name();
@@ -64,8 +66,15 @@ io::Container PartitionedPcaPreconditioner::encode(const sim::Field& field,
   container.ny = field.ny();
   container.nz = field.nz();
 
-  std::size_t reduced_bytes = 0;
-  for (std::size_t b = 0; b < count; ++b) {
+  // Each block runs its whole PCA (covariance, Jacobi sweep, projection)
+  // independently and writes a disjoint row range of `reconstruction`;
+  // the serialized sections are collected per block and appended in block
+  // order afterwards so the container is identical at every thread count.
+  struct BlockSections {
+    std::vector<std::uint8_t> scores, basis, means;
+  };
+  std::vector<BlockSections> sections(count);
+  parallel::parallel_for(count, [&](std::size_t b) {
     la::Matrix block = rows_of(a, blocks[b]);
     const auto means = la::column_means(block);
     la::Matrix centered = block;
@@ -97,19 +106,22 @@ io::Container PartitionedPcaPreconditioner::encode(const sim::Field& field,
       }
     }
 
-    const std::string suffix = std::to_string(b);
-    const auto scores_bytes = codecs.reduced->compress(
+    sections[b].scores = codecs.reduced->compress(
         scores.flat(), compress::Dims::d2(scores.rows(), scores.cols()));
-    reduced_bytes += scores_bytes.size();
-    container.add("scores" + suffix, scores_bytes);
-    auto basis_bytes = matrix_to_bytes(basis);
-    reduced_bytes += basis_bytes.size();
-    container.add("basis" + suffix, std::move(basis_bytes));
-    auto means_bytes = doubles_to_bytes(means);
-    reduced_bytes += means_bytes.size();
-    container.add("means" + suffix, std::move(means_bytes));
-    meta.push_back(k);
-    meta.push_back(scores.rows());
+    sections[b].basis = matrix_to_bytes(basis);
+    sections[b].means = doubles_to_bytes(means);
+    meta[1 + 2 * b] = k;
+    meta[2 + 2 * b] = scores.rows();
+  });
+
+  std::size_t reduced_bytes = 0;
+  for (std::size_t b = 0; b < count; ++b) {
+    const std::string suffix = std::to_string(b);
+    reduced_bytes += sections[b].scores.size() + sections[b].basis.size() +
+                     sections[b].means.size();
+    container.add("scores" + suffix, std::move(sections[b].scores));
+    container.add("basis" + suffix, std::move(sections[b].basis));
+    container.add("means" + suffix, std::move(sections[b].means));
   }
 
   const sim::Field delta = subtract(
@@ -142,9 +154,15 @@ sim::Field PartitionedPcaPreconditioner::decode(
   const std::size_t cols =
       container.nx * container.ny * container.nz / total_rows;
 
+  // First row of each block: prefix sums of the per-block row counts, so
+  // the per-block decodes can scatter into disjoint ranges concurrently.
+  std::vector<std::size_t> row_offset(count, 0);
+  for (std::size_t b = 1; b < count; ++b) {
+    row_offset[b] = row_offset[b - 1] + meta.at(2 + 2 * (b - 1));
+  }
+
   la::Matrix reconstruction(total_rows, cols);
-  std::size_t row = 0;
-  for (std::size_t b = 0; b < count; ++b) {
+  parallel::parallel_for(count, [&](std::size_t b) {
     const std::size_t k = meta.at(1 + 2 * b);
     const std::size_t rows = meta.at(2 + 2 * b);
     const std::string suffix = std::to_string(b);
@@ -161,12 +179,12 @@ sim::Field PartitionedPcaPreconditioner::decode(
 
     la::Matrix block_recon = scores * basis.transposed();
     la::uncenter_columns(block_recon, means);
-    for (std::size_t i = 0; i < rows; ++i, ++row) {
+    for (std::size_t i = 0; i < rows; ++i) {
       for (std::size_t j = 0; j < cols; ++j) {
-        reconstruction(row, j) = block_recon(i, j);
+        reconstruction(row_offset[b] + i, j) = block_recon(i, j);
       }
     }
-  }
+  });
 
   const auto delta_values = codecs.delta->decompress(delta_section.bytes);
   sim::Field out = sim::Field::from_data(container.nx, container.ny,

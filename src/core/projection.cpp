@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/serialize.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace rmp::core {
 namespace {
@@ -22,6 +23,19 @@ void base_container(io::Container& container, const sim::Field& field) {
   container.nx = field.nx();
   container.ny = field.ny();
   container.nz = field.nz();
+}
+
+// Per-plane loops fan out over X ranges once the field is big enough for
+// the pool dispatch to pay for itself; below the cutoff they run inline.
+constexpr std::size_t kParallelElementCutoff = 1u << 14;
+
+void for_x_ranges(std::size_t nx, std::size_t total_elements,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+  if (total_elements < kParallelElementCutoff) {
+    body(0, nx);
+  } else {
+    parallel::parallel_for_ranges(nx, body);
+  }
 }
 
 /// Z-slab extents for multi-base: slab s covers [begin, end).
@@ -52,15 +66,20 @@ io::Container OneBasePreconditioner::encode(const sim::Field& field,
   const sim::Field plane = extract_z_plane(field, mid);
 
   // Algorithm 1: every plane's delta against the (broadcast) mid-plane.
+  // X-ranges write disjoint regions of `delta`, so they fan out onto the
+  // shared pool.
   sim::Field delta(field.nx(), field.ny(), field.nz());
-  for (std::size_t i = 0; i < field.nx(); ++i) {
-    for (std::size_t j = 0; j < field.ny(); ++j) {
-      const double base = plane.at(i, j);
-      for (std::size_t k = 0; k < field.nz(); ++k) {
-        delta.at(i, j, k) = field.at(i, j, k) - base;
-      }
-    }
-  }
+  for_x_ranges(
+      field.nx(), field.size(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          for (std::size_t j = 0; j < field.ny(); ++j) {
+            const double base = plane.at(i, j);
+            for (std::size_t k = 0; k < field.nz(); ++k) {
+              delta.at(i, j, k) = field.at(i, j, k) - base;
+            }
+          }
+        }
+      });
 
   io::Container container;
   container.method = name();
@@ -99,16 +118,20 @@ sim::Field OneBasePreconditioner::decode(const io::Container& container,
   }
 
   sim::Field out(container.nx, container.ny, container.nz);
-  for (std::size_t i = 0; i < container.nx; ++i) {
-    for (std::size_t j = 0; j < container.ny; ++j) {
-      const double base = plane_values[i * container.ny + j];
-      for (std::size_t k = 0; k < container.nz; ++k) {
-        out.at(i, j, k) =
-            base +
-            delta_values[(i * container.ny + j) * container.nz + k];
-      }
-    }
-  }
+  for_x_ranges(
+      container.nx, container.nx * container.ny * container.nz,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          for (std::size_t j = 0; j < container.ny; ++j) {
+            const double base = plane_values[i * container.ny + j];
+            for (std::size_t k = 0; k < container.nz; ++k) {
+              out.at(i, j, k) =
+                  base +
+                  delta_values[(i * container.ny + j) * container.nz + k];
+            }
+          }
+        }
+      });
   return out;
 }
 
@@ -140,17 +163,22 @@ io::Container MultiBasePreconditioner::encode(const sim::Field& field,
     }
   }
 
+  // X is the outer parallel axis (disjoint writes per i); each task walks
+  // all slabs for its rows, which keeps the (i, j) plane lookups local.
   sim::Field delta(field.nx(), field.ny(), field.nz());
-  for (std::size_t s = 0; s < count; ++s) {
-    for (std::size_t i = 0; i < field.nx(); ++i) {
-      for (std::size_t j = 0; j < field.ny(); ++j) {
-        const double base = planes.at(i, j, s);
-        for (std::size_t k = slabs[s].begin; k < slabs[s].end; ++k) {
-          delta.at(i, j, k) = field.at(i, j, k) - base;
+  for_x_ranges(
+      field.nx(), field.size(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          for (std::size_t s = 0; s < count; ++s) {
+            for (std::size_t j = 0; j < field.ny(); ++j) {
+              const double base = planes.at(i, j, s);
+              for (std::size_t k = slabs[s].begin; k < slabs[s].end; ++k) {
+                delta.at(i, j, k) = field.at(i, j, k) - base;
+              }
+            }
+          }
         }
-      }
-    }
-  }
+      });
 
   io::Container container;
   container.method = name();
@@ -192,19 +220,23 @@ sim::Field MultiBasePreconditioner::decode(const io::Container& container,
   }
 
   sim::Field out(container.nx, container.ny, container.nz);
-  for (std::size_t s = 0; s < count; ++s) {
-    for (std::size_t i = 0; i < container.nx; ++i) {
-      for (std::size_t j = 0; j < container.ny; ++j) {
-        const double base =
-            plane_values[(i * container.ny + j) * count + s];
-        for (std::size_t k = slabs[s].begin; k < slabs[s].end; ++k) {
-          out.at(i, j, k) =
-              base +
-              delta_values[(i * container.ny + j) * container.nz + k];
+  for_x_ranges(
+      container.nx, container.nx * container.ny * container.nz,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          for (std::size_t s = 0; s < count; ++s) {
+            for (std::size_t j = 0; j < container.ny; ++j) {
+              const double base =
+                  plane_values[(i * container.ny + j) * count + s];
+              for (std::size_t k = slabs[s].begin; k < slabs[s].end; ++k) {
+                out.at(i, j, k) =
+                    base +
+                    delta_values[(i * container.ny + j) * container.nz + k];
+              }
+            }
+          }
         }
-      }
-    }
-  }
+      });
   return out;
 }
 

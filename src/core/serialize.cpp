@@ -5,9 +5,19 @@
 
 namespace rmp::core {
 
+namespace {
+
+// memcpy with a null pointer is undefined even for zero sizes, and empty
+// vectors/spans hand out null data() -- every copy goes through this guard.
+void copy_bytes(void* dst, const void* src, std::size_t count) {
+  if (count != 0) std::memcpy(dst, src, count);
+}
+
+}  // namespace
+
 std::vector<std::uint8_t> doubles_to_bytes(std::span<const double> values) {
   std::vector<std::uint8_t> bytes(values.size_bytes());
-  std::memcpy(bytes.data(), values.data(), bytes.size());
+  copy_bytes(bytes.data(), values.data(), bytes.size());
   return bytes;
 }
 
@@ -16,7 +26,7 @@ std::vector<double> bytes_to_doubles(std::span<const std::uint8_t> bytes) {
     throw std::invalid_argument("bytes_to_doubles: size not a multiple of 8");
   }
   std::vector<double> values(bytes.size() / sizeof(double));
-  std::memcpy(values.data(), bytes.data(), bytes.size());
+  copy_bytes(values.data(), bytes.data(), bytes.size());
   return values;
 }
 
@@ -25,8 +35,8 @@ std::vector<std::uint8_t> matrix_to_bytes(const la::Matrix& m) {
                                   m.size() * sizeof(double));
   const std::uint64_t header[2] = {m.rows(), m.cols()};
   std::memcpy(bytes.data(), header, sizeof(header));
-  std::memcpy(bytes.data() + sizeof(header), m.flat().data(),
-              m.size() * sizeof(double));
+  copy_bytes(bytes.data() + sizeof(header), m.flat().data(),
+             m.size() * sizeof(double));
   return bytes;
 }
 
@@ -42,14 +52,14 @@ la::Matrix bytes_to_matrix(std::span<const std::uint8_t> bytes) {
     throw std::invalid_argument("bytes_to_matrix: size mismatch");
   }
   std::vector<double> data(rows * cols);
-  std::memcpy(data.data(), bytes.data() + sizeof(header),
-              data.size() * sizeof(double));
+  copy_bytes(data.data(), bytes.data() + sizeof(header),
+             data.size() * sizeof(double));
   return la::Matrix(rows, cols, std::move(data));
 }
 
 std::vector<std::uint8_t> u64s_to_bytes(std::span<const std::uint64_t> values) {
   std::vector<std::uint8_t> bytes(values.size_bytes());
-  std::memcpy(bytes.data(), values.data(), bytes.size());
+  copy_bytes(bytes.data(), values.data(), bytes.size());
   return bytes;
 }
 
@@ -58,7 +68,7 @@ std::vector<std::uint64_t> bytes_to_u64s(std::span<const std::uint8_t> bytes) {
     throw std::invalid_argument("bytes_to_u64s: size not a multiple of 8");
   }
   std::vector<std::uint64_t> values(bytes.size() / sizeof(std::uint64_t));
-  std::memcpy(values.data(), bytes.data(), bytes.size());
+  copy_bytes(values.data(), bytes.data(), bytes.size());
   return values;
 }
 

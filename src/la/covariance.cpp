@@ -2,7 +2,15 @@
 
 #include <stdexcept>
 
+#include "parallel/thread_pool.hpp"
+
 namespace rmp::la {
+namespace {
+
+// Same dispatch-overhead cutoff as the matrix product (see matrix.cpp).
+constexpr std::size_t kParallelFlopCutoff = 1u << 15;
+
+}  // namespace
 
 std::vector<double> column_means(const Matrix& a) {
   std::vector<double> means(a.cols(), 0.0);
@@ -43,15 +51,25 @@ Matrix covariance(const Matrix& a) {
   center_columns(centered, column_means(a));
 
   Matrix c(n, n);
-  for (std::size_t i = 0; i < m; ++i) {
-    const auto row = centered.row(i);
-    for (std::size_t j = 0; j < n; ++j) {
-      const double rj = row[j];
-      if (rj == 0.0) continue;
-      for (std::size_t k = j; k < n; ++k) {
-        c(j, k) += rj * row[k];
+  // Each thread owns a disjoint range of output rows j; every thread scans
+  // the centered matrix top-to-bottom, so each c(j, k) accumulates over i
+  // in ascending order regardless of thread count -- bit-reproducible.
+  const auto accumulate_rows = [&](std::size_t j_begin, std::size_t j_end) {
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto row = centered.row(i);
+      for (std::size_t j = j_begin; j < j_end; ++j) {
+        const double rj = row[j];
+        if (rj == 0.0) continue;
+        for (std::size_t k = j; k < n; ++k) {
+          c(j, k) += rj * row[k];
+        }
       }
     }
+  };
+  if (m * n * n < kParallelFlopCutoff) {
+    accumulate_rows(0, n);
+  } else {
+    parallel::parallel_for_ranges(n, accumulate_rows);
   }
   const double inv = 1.0 / static_cast<double>(m > 1 ? m - 1 : 1);
   for (std::size_t j = 0; j < n; ++j) {

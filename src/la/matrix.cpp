@@ -3,7 +3,17 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "parallel/thread_pool.hpp"
+
 namespace rmp::la {
+namespace {
+
+// Below this many multiply-adds the pool dispatch overhead dominates;
+// run serially.  Matrices in the preconditioners are often tiny (z-extent
+// columns), so the cutoff keeps those on the fast inline path.
+constexpr std::size_t kParallelFlopCutoff = 1u << 15;
+
+}  // namespace
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<double> data)
     : rows_(rows), cols_(cols), data_(std::move(data)) {
@@ -34,16 +44,26 @@ Matrix Matrix::operator*(const Matrix& other) const {
   }
   Matrix out(rows_, other.cols_);
   // i-k-j loop order keeps the inner loop contiguous in both operands.
-  for (std::size_t i = 0; i < rows_; ++i) {
-    for (std::size_t k = 0; k < cols_; ++k) {
-      const double aik = (*this)(i, k);
-      if (aik == 0.0) continue;
-      const double* brow = other.data_.data() + k * other.cols_;
-      double* orow = out.data_.data() + i * other.cols_;
-      for (std::size_t j = 0; j < other.cols_; ++j) {
-        orow[j] += aik * brow[j];
+  // Output rows are disjoint per i, so row ranges parallelize cleanly and
+  // the per-element accumulation order (k ascending) is identical serial
+  // or parallel -- results are bit-reproducible at any thread count.
+  const auto multiply_rows = [&](std::size_t row_begin, std::size_t row_end) {
+    for (std::size_t i = row_begin; i < row_end; ++i) {
+      for (std::size_t k = 0; k < cols_; ++k) {
+        const double aik = (*this)(i, k);
+        if (aik == 0.0) continue;
+        const double* brow = other.data_.data() + k * other.cols_;
+        double* orow = out.data_.data() + i * other.cols_;
+        for (std::size_t j = 0; j < other.cols_; ++j) {
+          orow[j] += aik * brow[j];
+        }
       }
     }
+  };
+  if (rows_ * cols_ * other.cols_ < kParallelFlopCutoff) {
+    multiply_rows(0, rows_);
+  } else {
+    parallel::parallel_for_ranges(rows_, multiply_rows);
   }
   return out;
 }

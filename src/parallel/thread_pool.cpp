@@ -1,8 +1,25 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
 
 namespace rmp::parallel {
+namespace {
+
+// Identifies, inside a task body, which pool the current thread belongs
+// to.  parallel_for compares it against `this` to detect re-entrant calls.
+thread_local ThreadPool* tls_worker_pool = nullptr;
+
+// Pool installed by ScopedPoolOverride; read by the free-function helpers.
+std::atomic<ThreadPool*> g_pool_override{nullptr};
+
+// Target number of chunks per worker: enough slack that uneven chunk
+// costs balance out, few enough that queue traffic stays negligible.
+constexpr std::size_t kChunksPerWorker = 4;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t workers) {
   workers = std::max<std::size_t>(1, workers);
@@ -32,12 +49,31 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   return future;
 }
 
-void ThreadPool::parallel_for(std::size_t count,
-                              const std::function<void(std::size_t)>& body) {
+std::size_t ThreadPool::chunk_size(std::size_t count, std::size_t grain) const {
+  const std::size_t target_chunks =
+      std::max<std::size_t>(1, workers_.size() * kChunksPerWorker);
+  const std::size_t balanced = (count + target_chunks - 1) / target_chunks;
+  return std::max({std::size_t{1}, grain, balanced});
+}
+
+void ThreadPool::parallel_for_ranges(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t grain) {
+  if (count == 0) return;
+  const std::size_t chunk = chunk_size(count, grain);
+  // Inline when parallelism cannot help (one worker / one chunk) or must
+  // not be attempted (re-entrant call from one of our own workers, which
+  // would deadlock once all workers block waiting on nested tasks).
+  if (workers_.size() == 1 || chunk >= count || tls_worker_pool == this) {
+    body(0, count);
+    return;
+  }
   std::vector<std::future<void>> futures;
-  futures.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    futures.push_back(submit([&body, i] { body(i); }));
+  futures.reserve((count + chunk - 1) / chunk);
+  for (std::size_t begin = 0; begin < count; begin += chunk) {
+    const std::size_t end = std::min(count, begin + chunk);
+    futures.push_back(submit([&body, begin, end] { body(begin, end); }));
   }
   std::exception_ptr first_error;
   for (auto& f : futures) {
@@ -50,7 +86,19 @@ void ThreadPool::parallel_for(std::size_t count,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body,
+                              std::size_t grain) {
+  parallel_for_ranges(
+      count,
+      [&body](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      },
+      grain);
+}
+
 void ThreadPool::worker_loop() {
+  tls_worker_pool = this;
   for (;;) {
     std::packaged_task<void()> task;
     {
@@ -62,6 +110,52 @@ void ThreadPool::worker_loop() {
     }
     task();
   }
+}
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("RMP_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool(default_thread_count());
+  return pool;
+}
+
+namespace {
+
+ThreadPool& active_pool() {
+  if (ThreadPool* override_pool = g_pool_override.load(std::memory_order_acquire)) {
+    return *override_pool;
+  }
+  return global_pool();
+}
+
+}  // namespace
+
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain) {
+  active_pool().parallel_for(count, body, grain);
+}
+
+void parallel_for_ranges(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t grain) {
+  active_pool().parallel_for_ranges(count, body, grain);
+}
+
+std::size_t active_thread_count() { return active_pool().worker_count(); }
+
+ScopedPoolOverride::ScopedPoolOverride(ThreadPool& pool)
+    : previous_(g_pool_override.exchange(&pool, std::memory_order_acq_rel)) {}
+
+ScopedPoolOverride::~ScopedPoolOverride() {
+  g_pool_override.store(previous_, std::memory_order_release);
 }
 
 }  // namespace rmp::parallel

@@ -4,10 +4,17 @@
 #include <stdexcept>
 #include <vector>
 
+#include "parallel/thread_pool.hpp"
+
 namespace rmp::wavelet {
 namespace {
 
 const double kInvSqrt2 = 1.0 / std::sqrt(2.0);
+
+// Lines (rows/columns) are transformed independently, so the per-line
+// loops fan out onto the shared pool once the total element count makes
+// the dispatch worthwhile.
+constexpr std::size_t kParallelElementCutoff = 1u << 14;
 
 // One forward cascade step over the first `length` entries: sums (and an
 // odd straggler) move to the front, differences fill the back half.
@@ -90,30 +97,54 @@ void haar_inverse_1d(std::span<double> data, std::size_t levels) {
   }
 }
 
+namespace {
+
+// Rows then columns (or the reverse) of the separable 2D transform.  Each
+// line is independent; line ranges go to the pool when the matrix is big
+// enough.  Scratch buffers live inside the range body, one per chunk.
+void transform_rows(rmp::la::Matrix& m, std::size_t levels,
+                    void (*line_transform)(std::span<double>, std::size_t)) {
+  const auto body = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      line_transform(m.row(i), levels);
+    }
+  };
+  if (m.size() < kParallelElementCutoff) {
+    body(0, m.rows());
+  } else {
+    rmp::parallel::parallel_for_ranges(m.rows(), body);
+  }
+}
+
+void transform_cols(rmp::la::Matrix& m, std::size_t levels,
+                    void (*line_transform)(std::span<double>, std::size_t)) {
+  const auto body = [&](std::size_t begin, std::size_t end) {
+    std::vector<double> column(m.rows());
+    for (std::size_t j = begin; j < end; ++j) {
+      for (std::size_t i = 0; i < m.rows(); ++i) column[i] = m(i, j);
+      line_transform(column, levels);
+      for (std::size_t i = 0; i < m.rows(); ++i) m(i, j) = column[i];
+    }
+  };
+  if (m.size() < kParallelElementCutoff) {
+    body(0, m.cols());
+  } else {
+    rmp::parallel::parallel_for_ranges(m.cols(), body);
+  }
+}
+
+}  // namespace
+
 void haar_forward_2d(rmp::la::Matrix& m, std::size_t row_levels,
                      std::size_t col_levels) {
-  for (std::size_t i = 0; i < m.rows(); ++i) {
-    haar_forward_1d(m.row(i), row_levels);
-  }
-  std::vector<double> column(m.rows());
-  for (std::size_t j = 0; j < m.cols(); ++j) {
-    for (std::size_t i = 0; i < m.rows(); ++i) column[i] = m(i, j);
-    haar_forward_1d(column, col_levels);
-    for (std::size_t i = 0; i < m.rows(); ++i) m(i, j) = column[i];
-  }
+  transform_rows(m, row_levels, &haar_forward_1d);
+  transform_cols(m, col_levels, &haar_forward_1d);
 }
 
 void haar_inverse_2d(rmp::la::Matrix& m, std::size_t row_levels,
                      std::size_t col_levels) {
-  std::vector<double> column(m.rows());
-  for (std::size_t j = 0; j < m.cols(); ++j) {
-    for (std::size_t i = 0; i < m.rows(); ++i) column[i] = m(i, j);
-    haar_inverse_1d(column, col_levels);
-    for (std::size_t i = 0; i < m.rows(); ++i) m(i, j) = column[i];
-  }
-  for (std::size_t i = 0; i < m.rows(); ++i) {
-    haar_inverse_1d(m.row(i), row_levels);
-  }
+  transform_cols(m, col_levels, &haar_inverse_1d);
+  transform_rows(m, row_levels, &haar_inverse_1d);
 }
 
 namespace {
@@ -121,39 +152,55 @@ namespace {
 // Apply the full 1D transform to every line along one axis of a 3D array.
 // stride = distance between consecutive elements of a line; count =
 // elements per line; the outer loops enumerate line origins.
+// Lines along one axis never overlap, so the outer loop (over x planes,
+// or y planes for axis 0) fans out onto the shared pool; each chunk keeps
+// its own gather/scatter buffer.
 template <typename Transform>
 void for_each_line(std::span<double> data, std::size_t nx, std::size_t ny,
                    std::size_t nz, std::size_t axis, Transform&& transform) {
-  std::vector<double> line;
-  auto index = [&](std::size_t i, std::size_t j, std::size_t k) {
+  auto index = [=](std::size_t i, std::size_t j, std::size_t k) {
     return (i * ny + j) * nz + k;
   };
-  if (axis == 2) {  // z lines are contiguous
-    for (std::size_t i = 0; i < nx; ++i) {
-      for (std::size_t j = 0; j < ny; ++j) {
-        transform(data.subspan(index(i, j, 0), nz));
-      }
+  const auto run = [&](std::size_t planes,
+                       const std::function<void(std::size_t, std::size_t)>& body) {
+    if (data.size() < kParallelElementCutoff) {
+      body(0, planes);
+    } else {
+      rmp::parallel::parallel_for_ranges(planes, body);
     }
+  };
+  if (axis == 2) {  // z lines are contiguous
+    run(nx, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        for (std::size_t j = 0; j < ny; ++j) {
+          transform(data.subspan(index(i, j, 0), nz));
+        }
+      }
+    });
     return;
   }
-  const std::size_t count = axis == 0 ? nx : ny;
-  line.resize(count);
   if (axis == 1) {
-    for (std::size_t i = 0; i < nx; ++i) {
-      for (std::size_t k = 0; k < nz; ++k) {
-        for (std::size_t j = 0; j < ny; ++j) line[j] = data[index(i, j, k)];
-        transform(std::span<double>(line));
-        for (std::size_t j = 0; j < ny; ++j) data[index(i, j, k)] = line[j];
+    run(nx, [&](std::size_t begin, std::size_t end) {
+      std::vector<double> line(ny);
+      for (std::size_t i = begin; i < end; ++i) {
+        for (std::size_t k = 0; k < nz; ++k) {
+          for (std::size_t j = 0; j < ny; ++j) line[j] = data[index(i, j, k)];
+          transform(std::span<double>(line));
+          for (std::size_t j = 0; j < ny; ++j) data[index(i, j, k)] = line[j];
+        }
       }
-    }
+    });
   } else {
-    for (std::size_t j = 0; j < ny; ++j) {
-      for (std::size_t k = 0; k < nz; ++k) {
-        for (std::size_t i = 0; i < nx; ++i) line[i] = data[index(i, j, k)];
-        transform(std::span<double>(line));
-        for (std::size_t i = 0; i < nx; ++i) data[index(i, j, k)] = line[i];
+    run(ny, [&](std::size_t begin, std::size_t end) {
+      std::vector<double> line(nx);
+      for (std::size_t j = begin; j < end; ++j) {
+        for (std::size_t k = 0; k < nz; ++k) {
+          for (std::size_t i = 0; i < nx; ++i) line[i] = data[index(i, j, k)];
+          transform(std::span<double>(line));
+          for (std::size_t i = 0; i < nx; ++i) data[index(i, j, k)] = line[i];
+        }
       }
-    }
+    });
   }
 }
 

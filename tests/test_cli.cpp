@@ -31,7 +31,11 @@ int run_rmpc(const std::string& args) {
 class CliTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "rmpc_cli_test";
+    // Unique per test case: ctest runs the discovered cases concurrently,
+    // so a shared directory would let one TearDown delete another's files.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           (std::string("rmpc_cli_test_") + info->name());
     fs::create_directories(dir_);
     // A 16x16x16 smooth field.
     data_.resize(16 * 16 * 16);

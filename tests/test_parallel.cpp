@@ -182,5 +182,102 @@ TEST(ThreadPool, FutureCarriesException) {
   EXPECT_THROW(future.get(), std::runtime_error);
 }
 
+TEST(ThreadPool, ParallelForRangesTilesExactly) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for_ranges(hits.size(), [&](std::size_t begin, std::size_t end) {
+    ASSERT_LE(begin, end);
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);  // no gap, no overlap
+}
+
+TEST(ThreadPool, GrainBoundsChunkSize) {
+  ThreadPool pool(4);
+  std::mutex m;
+  std::vector<std::size_t> chunk_sizes;
+  pool.parallel_for_ranges(
+      100,
+      [&](std::size_t begin, std::size_t end) {
+        std::lock_guard lock(m);
+        chunk_sizes.push_back(end - begin);
+      },
+      /*grain=*/32);
+  // ceil(100/32) = 4 chunks; every chunk except possibly the last >= grain.
+  ASSERT_FALSE(chunk_sizes.empty());
+  EXPECT_LE(chunk_sizes.size(), 4u);
+  std::size_t total = 0;
+  for (std::size_t c : chunk_sizes) total += c;
+  EXPECT_EQ(total, 100u);
+}
+
+// Regression: a body calling parallel_for on the same pool used to
+// deadlock once every worker blocked waiting for tasks only they could
+// run.  The nested call must detect re-entrancy and run inline.
+TEST(ThreadPool, NestedParallelForCompletes) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) { counter.fetch_add(1); },
+                      /*grain=*/1);
+  }, /*grain=*/1);
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, NestedParallelForOnGlobalPoolCompletes) {
+  std::atomic<int> counter{0};
+  parallel_for(4, [&](std::size_t) {
+    parallel_for(4, [&](std::size_t) { counter.fetch_add(1); }, 1);
+  }, 1);
+  EXPECT_EQ(counter.load(), 16);
+}
+
+// Regression: a mid-loop throw must neither deadlock the call nor leave
+// stale tasks queued behind the pool -- the pool stays fully usable.
+TEST(ThreadPool, ThrowMidLoopLeavesPoolUsable) {
+  ThreadPool pool(2);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [&](std::size_t i) {
+                                   executed.fetch_add(1);
+                                   if (i == 3) throw std::logic_error("boom");
+                                 },
+                                 /*grain=*/1),
+               std::logic_error);
+  // All queued chunks were drained (none executed after destruction or
+  // left pending): a fresh parallel_for sees a clean queue and completes.
+  std::atomic<int> after{0};
+  pool.parallel_for(100, [&](std::size_t) { after.fetch_add(1); }, 1);
+  EXPECT_EQ(after.load(), 100);
+  EXPECT_LE(executed.load(), 64);
+}
+
+TEST(ThreadPool, GlobalPoolIsShared) {
+  ThreadPool& a = global_pool();
+  ThreadPool& b = global_pool();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.worker_count(), 1u);
+}
+
+TEST(ThreadPool, ScopedPoolOverrideRoutesFreeFunctions) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  {
+    ScopedPoolOverride guard(pool);
+    EXPECT_EQ(active_thread_count(), 2u);
+    parallel_for(50, [&](std::size_t) { counter.fetch_add(1); }, 1);
+  }
+  EXPECT_EQ(counter.load(), 50);
+  EXPECT_EQ(active_thread_count(), global_pool().worker_count());
+}
+
+TEST(ThreadPool, SingleWorkerRunsInline) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  pool.parallel_for_ranges(10, [&](std::size_t, std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
 }  // namespace
 }  // namespace rmp::parallel

@@ -1,0 +1,142 @@
+// Fault injection for the parallel-slabs container path: the meta section
+// comes off disk and must not be trusted.  A corrupt slab count used to
+// either silently return an all-zero field (slabs == 0) or drive
+// unvalidated loops and section lookups (huge slabs); both must surface
+// as io::ContainerError{kSectionMalformed}.  Also pins down determinism:
+// the encoded bytes may not depend on the thread count.
+#include "core/parallel_compress.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "compress/factory.hpp"
+#include "core/serialize.hpp"
+#include "io/container.hpp"
+#include "io/container_error.hpp"
+
+namespace rmp::core {
+namespace {
+
+sim::Field wavy_field(std::size_t nx, std::size_t ny, std::size_t nz) {
+  sim::Field f(nx, ny, nz);
+  for (std::size_t n = 0; n < f.size(); ++n) {
+    f.flat()[n] = std::sin(0.05 * static_cast<double>(n));
+  }
+  return f;
+}
+
+io::Container encoded_container() {
+  const auto codec = compress::make_fpc();
+  return compress_field_parallel(wavy_field(6, 6, 8), *codec, {4, 2});
+}
+
+void overwrite_meta(io::Container& container, std::uint64_t slabs) {
+  for (auto& section : container.sections) {
+    if (section.name == "meta") {
+      const std::uint64_t meta[1] = {slabs};
+      section.bytes = u64s_to_bytes(meta);
+      return;
+    }
+  }
+  FAIL() << "container has no meta section";
+}
+
+TEST(ParallelSlabsFault, ZeroSlabCountIsMalformedNotZeroField) {
+  const auto codec = compress::make_fpc();
+  auto container = encoded_container();
+  overwrite_meta(container, 0);
+  try {
+    decompress_field_parallel(container, *codec, 2);
+    FAIL() << "corrupt slabs == 0 decoded without error";
+  } catch (const io::ContainerError& e) {
+    EXPECT_EQ(e.code(), io::ContainerErrc::kSectionMalformed);
+    EXPECT_EQ(e.section(), "meta");
+  }
+}
+
+TEST(ParallelSlabsFault, HugeSlabCountIsMalformed) {
+  const auto codec = compress::make_fpc();
+  auto container = encoded_container();
+  overwrite_meta(container, 1u << 20);  // far beyond nz == 8
+  try {
+    decompress_field_parallel(container, *codec, 2);
+    FAIL() << "corrupt huge slab count decoded without error";
+  } catch (const io::ContainerError& e) {
+    EXPECT_EQ(e.code(), io::ContainerErrc::kSectionMalformed);
+    EXPECT_EQ(e.section(), "meta");
+  }
+}
+
+TEST(ParallelSlabsFault, SlabCountJustPastNzIsMalformed) {
+  const auto codec = compress::make_fpc();
+  auto container = encoded_container();
+  overwrite_meta(container, container.nz + 1);
+  EXPECT_THROW(decompress_field_parallel(container, *codec, 2),
+               io::ContainerError);
+  EXPECT_THROW(slab_count(container), io::ContainerError);
+}
+
+TEST(ParallelSlabsFault, EmptyMetaIsMalformed) {
+  const auto codec = compress::make_fpc();
+  auto container = encoded_container();
+  for (auto& section : container.sections) {
+    if (section.name == "meta") section.bytes.clear();
+  }
+  EXPECT_THROW(decompress_field_parallel(container, *codec, 2),
+               io::ContainerError);
+  EXPECT_THROW(slab_count(container), io::ContainerError);
+}
+
+TEST(ParallelSlabsFault, TruncatedMetaIsMalformed) {
+  const auto codec = compress::make_fpc();
+  auto container = encoded_container();
+  for (auto& section : container.sections) {
+    if (section.name == "meta") section.bytes.resize(3);  // not a whole u64
+  }
+  EXPECT_THROW(decompress_field_parallel(container, *codec, 2),
+               io::ContainerError);
+}
+
+TEST(ParallelSlabsFault, SlabCountValidatesBeforeRoiDecode) {
+  const auto codec = compress::make_fpc();
+  auto container = encoded_container();
+  overwrite_meta(container, 0);
+  EXPECT_THROW(decompress_slab(container, *codec, 0), io::ContainerError);
+}
+
+TEST(ParallelSlabsFault, ValidContainerStillDecodes) {
+  const auto codec = compress::make_fpc();
+  const sim::Field f = wavy_field(6, 6, 8);
+  const auto container = compress_field_parallel(f, *codec, {4, 2});
+  const sim::Field decoded = decompress_field_parallel(container, *codec, 2);
+  for (std::size_t n = 0; n < f.size(); ++n) {
+    ASSERT_EQ(decoded.flat()[n], f.flat()[n]);
+  }
+}
+
+// Determinism across thread counts: the container -- sections, order, and
+// serialized bytes -- must be a pure function of the field and codec.
+TEST(ParallelSlabsFault, EncodeIsByteIdenticalAcrossThreadCounts) {
+  const auto codec = compress::make_zfp_original();
+  const sim::Field f = wavy_field(10, 10, 16);
+  const auto reference = io::serialize(
+      compress_field_parallel(f, *codec, {8, 1}));
+  for (std::size_t threads : {2u, 4u, 8u}) {
+    const auto bytes = io::serialize(
+        compress_field_parallel(f, *codec, {8, threads}));
+    EXPECT_EQ(bytes, reference) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelSlabsFault, RepeatedEncodeIsByteIdentical) {
+  const auto codec = compress::make_zfp_original();
+  const sim::Field f = wavy_field(10, 10, 16);
+  const auto first = io::serialize(compress_field_parallel(f, *codec, {8, 4}));
+  const auto second = io::serialize(compress_field_parallel(f, *codec, {8, 4}));
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace rmp::core
