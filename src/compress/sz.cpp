@@ -404,7 +404,7 @@ class ByteCursor {
     if (offset_ + n > bytes_.size()) {
       throw std::runtime_error("SZ decode: truncated stream");
     }
-    std::memcpy(p, bytes_.data() + offset_, n);
+    if (n > 0) std::memcpy(p, bytes_.data() + offset_, n);
     offset_ += n;
   }
   std::uint64_t read_u64() {

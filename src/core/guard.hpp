@@ -1,0 +1,175 @@
+// Guard layer: degenerate-input hardening, NaN/Inf masking and a
+// bound-verified fallback chain around the precondition -> compress
+// pipeline.
+//
+// The paper's guarantee is a pointwise error bound on the reconstruction;
+// this layer makes it enforceable end to end:
+//
+//   audit -> mask -> encode -> verify -> (demote and retry) -> provenance
+//
+// 1. *Audit*: a pre-flight census of the field (NaN/Inf/denormal counts,
+//    constant-field and degenerate-shape detection) -- `DataAudit`.
+// 2. *Mask*: nonfinite cells are lifted into a losslessly stored
+//    "nanmask" container section and replaced by a neighbor-mean fill so
+//    the covariance/Jacobi/SVD path only ever sees finite data; decode
+//    restores every masked cell bit-exactly.
+// 3. *Verify + demote*: after each candidate encode the container is
+//    decoded back and |decoded - original| is checked on every finite
+//    cell.  A failed bound, a thrown PreconditionError (eigen/SVD
+//    non-convergence, rank failure) or any other data-shaped throw demotes
+//    the request down a fallback chain that terminates at `raw` (lossless,
+//    zero error) -- guarded_encode never throws for data-shaped reasons.
+// 4. *Provenance*: the container records which model actually ran, every
+//    demotion and why, and the verified max error, in a "guard" section
+//    surfaced by `rmpc info` / `rmpc verify`.
+//
+// Containers without the new sections (all pre-guard archives) read back
+// unchanged; the sections are advisory for every decoder except the
+// nanmask restore applied by core::reconstruct.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/precond_error.hpp"
+#include "core/preconditioner.hpp"
+
+namespace rmp::core {
+
+// ---------------------------------------------------------------------------
+// Pre-flight data audit
+
+struct DataAudit {
+  std::size_t total = 0;
+  std::size_t finite = 0;     ///< finite cells (subnormals included)
+  std::size_t nans = 0;
+  std::size_t pos_infs = 0;
+  std::size_t neg_infs = 0;
+  std::size_t denormals = 0;  ///< subnormal cells (they are finite)
+  double finite_min = 0.0;    ///< over finite cells; 0 when none
+  double finite_max = 0.0;
+  double finite_mean = 0.0;
+  bool constant_field = false;   ///< >= 1 finite cell and all of them equal
+  bool degenerate_shape = false; ///< fewer than 2 cells
+
+  std::size_t nonfinite() const noexcept { return nans + pos_infs + neg_infs; }
+  bool all_nonfinite() const noexcept { return total > 0 && finite == 0; }
+};
+
+DataAudit audit_field(const sim::Field& field);
+
+// ---------------------------------------------------------------------------
+// Nonfinite masking
+
+/// The exact IEEE-754 payloads of the nonfinite cells, keyed by flat index.
+/// Round-trips bit-exactly (NaN payload bits included).
+struct NanMask {
+  std::vector<std::uint64_t> indices;
+  std::vector<std::uint64_t> bits;
+
+  bool empty() const noexcept { return indices.empty(); }
+  std::size_t size() const noexcept { return indices.size(); }
+};
+
+/// Lift every nonfinite cell of `field` into the returned mask and replace
+/// it in place with the mean of its finite grid neighbors (falling back to
+/// the global finite mean, then 0.0).  The filled field is finite
+/// everywhere.
+NanMask extract_nonfinite(sim::Field& field);
+
+/// Restore the masked cells bit-exactly.  Throws io::ContainerError
+/// (kSectionMalformed) if an index is out of range for the field.
+void apply_nanmask(sim::Field& field, const NanMask& mask);
+
+/// Section payload codec for the "nanmask" section (losslessly compressed).
+std::vector<std::uint8_t> nanmask_to_bytes(const NanMask& mask);
+NanMask nanmask_from_bytes(std::span<const std::uint8_t> bytes);
+
+/// Name of the container section holding the mask.
+inline constexpr const char* kNanMaskSection = "nanmask";
+/// Name of the container section holding the guard provenance record.
+inline constexpr const char* kGuardSection = "guard";
+
+// ---------------------------------------------------------------------------
+// Provenance
+
+struct Demotion {
+  std::string from;    ///< method that was abandoned
+  std::string reason;  ///< why (typed error slug or bound-verification text)
+};
+
+struct GuardProvenance {
+  std::string requested;            ///< method the caller asked for
+  std::string actual;               ///< method that produced the payload
+  std::vector<Demotion> demotions;  ///< every step down the chain, in order
+  std::size_t masked_cells = 0;     ///< nonfinite cells lifted into nanmask
+  bool bound_checked = false;       ///< a bound-verification pass ran
+  double bound = 0.0;               ///< the requested absolute bound
+  bool bound_satisfied = false;     ///< |decoded - original| <= bound held
+  double verified_max_error = 0.0;  ///< measured max error on finite cells
+};
+
+std::vector<std::uint8_t> provenance_to_bytes(const GuardProvenance& prov);
+GuardProvenance provenance_from_bytes(std::span<const std::uint8_t> bytes);
+
+/// Aligned text rendering for `rmpc info` / `rmpc verify`.
+std::string format_provenance(const GuardProvenance& prov);
+
+/// Parse the "guard" section of a container, if present.
+std::optional<GuardProvenance> read_provenance(const io::Container& container);
+
+// ---------------------------------------------------------------------------
+// Guarded encode / decode
+
+struct GuardOptions {
+  /// Requested preconditioner.
+  std::string method = "pca";
+  /// Fallback chain appended after `method`; "raw" (lossless, zero error)
+  /// is always ensured as the terminal entry so the chain cannot fail.
+  std::vector<std::string> fallbacks = {"identity", "raw"};
+  /// Absolute pointwise bound verified on every finite cell after each
+  /// candidate encode; violation demotes.  Unset skips the demote-on-bound
+  /// step but the achieved max error is still measured and recorded.
+  std::optional<double> error_bound;
+  /// Lift NaN/Inf cells into the nanmask section (on by default; turning
+  /// it off hands nonfinite data straight to the preconditioner).
+  bool mask_nonfinite = true;
+  /// Preconditioner factory, overridable so tests can inject failing
+  /// instances (e.g. a PCA with a zero eigen sweep budget).
+  std::function<std::unique_ptr<Preconditioner>(const std::string&)> factory;
+};
+
+struct GuardedEncodeResult {
+  io::Container container;
+  GuardProvenance provenance;
+  DataAudit audit;
+  EncodeStats stats;
+};
+
+/// Audit, mask, encode with the first chain candidate that passes bound
+/// verification, and stamp provenance.  Never throws for data-shaped
+/// reasons (degenerate fields, non-convergence, bound violations); the
+/// chain terminates at `raw` which always succeeds.  Throws
+/// std::invalid_argument only for caller errors (unknown method names,
+/// null codecs) and PreconditionError(kDegenerateInput) for empty fields.
+///
+/// Test hook: the environment variable RMP_GUARD_INJECT ("eigen", "svd" or
+/// "bound") makes the *first* candidate fail with the corresponding
+/// failure so the demotion path can be exercised end to end.
+GuardedEncodeResult guarded_encode(const sim::Field& field,
+                                   const CodecPair& codecs,
+                                   const GuardOptions& options = {});
+
+/// Decode a (possibly guarded) container: dispatch on container.method,
+/// then restore the nanmask bit-exactly when present.  Equivalent to
+/// core::reconstruct, re-exported here for symmetry.
+sim::Field guarded_decode(const io::Container& container,
+                          const CodecPair& codecs,
+                          const sim::Field* external_reduced = nullptr);
+
+}  // namespace rmp::core

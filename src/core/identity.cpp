@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "compress/lossless.hpp"
+#include "core/serialize.hpp"
+
 namespace rmp::core {
 namespace {
 
@@ -39,6 +42,47 @@ sim::Field IdentityPreconditioner::decode(const io::Container& container,
                                           const sim::Field*) const {
   const auto& section = require_section(container, "data", "identity");
   auto values = codecs.reduced->decompress(section.bytes);
+  return sim::Field::from_data(container.nx, container.ny, container.nz,
+                               std::move(values));
+}
+
+io::Container RawPreconditioner::encode(const sim::Field& field,
+                                        const CodecPair&,
+                                        EncodeStats* stats) const {
+  io::Container container;
+  container.method = name();
+  container.nx = field.nx();
+  container.ny = field.ny();
+  container.nz = field.nz();
+  container.add("data",
+                compress::lossless_compress(doubles_to_bytes(field.flat())));
+  fill_stats(container, field.size(), stats);
+  if (stats != nullptr) {
+    stats->delta_bytes = stats->total_bytes;
+    stats->reduced_bytes = 0;
+  }
+  return container;
+}
+
+sim::Field RawPreconditioner::decode(const io::Container& container,
+                                     const CodecPair&,
+                                     const sim::Field*) const {
+  const auto& section = require_section(container, "data", "raw");
+  std::vector<double> values;
+  try {
+    values = bytes_to_doubles(compress::lossless_decompress(section.bytes));
+  } catch (const std::exception& e) {
+    throw io::ContainerError(io::ContainerErrc::kSectionMalformed,
+                             std::string("raw decode: ") + e.what(), "data");
+  }
+  const std::size_t expected = static_cast<std::size_t>(container.nx) *
+                               container.ny * container.nz;
+  if (values.size() != expected) {
+    throw io::ContainerError(
+        io::ContainerErrc::kSectionMalformed,
+        "raw decode: payload cell count disagrees with the header shape",
+        "data");
+  }
   return sim::Field::from_data(container.nx, container.ny, container.nz,
                                std::move(values));
 }

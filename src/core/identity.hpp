@@ -18,4 +18,19 @@ class IdentityPreconditioner final : public Preconditioner {
                     const sim::Field* external_reduced) const override;
 };
 
+/// Lossless terminal of the guard layer's fallback chain: the raw IEEE-754
+/// bytes run through the generic LZ+Huffman backend, ignoring both codecs.
+/// Round-trips bit-exactly (NaN payloads included), never fails for
+/// data-shaped reasons, and guarantees a zero pointwise error -- the one
+/// model that can always honor a bound.
+class RawPreconditioner final : public Preconditioner {
+ public:
+  std::string name() const override { return "raw"; }
+
+  io::Container encode(const sim::Field& field, const CodecPair& codecs,
+                       EncodeStats* stats) const override;
+  sim::Field decode(const io::Container& container, const CodecPair& codecs,
+                    const sim::Field* external_reduced) const override;
+};
+
 }  // namespace rmp::core

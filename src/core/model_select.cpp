@@ -1,15 +1,22 @@
 #include "core/model_select.hpp"
 
 #include <limits>
-#include <stdexcept>
+
+#include "core/precond_error.hpp"
 
 namespace rmp::core {
 
 SelectionResult select_best_model(const sim::Field& field,
                                   const CodecPair& codecs,
                                   const SelectionOptions& options) {
+  if (field.size() == 0) {
+    throw PreconditionError(PrecondErrc::kDegenerateInput,
+                            "select_best_model: empty field");
+  }
+
   SelectionResult selection;
   std::size_t best_bytes = std::numeric_limits<std::size_t>::max();
+  std::size_t identity_index = std::numeric_limits<std::size_t>::max();
 
   for (const auto& name : options.candidates) {
     // Projection methods need a Z dimension to project along.
@@ -17,22 +24,53 @@ SelectionResult select_best_model(const sim::Field& field,
         name == "one-base" || name == "multi-base" || name == "duomodel";
     if (needs_3d && field.rank() != 3) continue;
 
-    const auto preconditioner = make_preconditioner(name);
-    PipelineResult result = run_pipeline(*preconditioner, field, codecs);
+    PipelineResult result;
+    try {
+      const auto preconditioner = make_preconditioner(name);
+      result = run_pipeline(*preconditioner, field, codecs);
+    } catch (const std::invalid_argument&) {
+      throw;  // unknown candidate name is a caller bug, not a data problem
+    } catch (const std::exception& e) {
+      selection.rejections.push_back(name + ": " + e.what());
+      continue;
+    }
+
     const bool within_budget =
-        !options.rmse_budget.has_value() ||
-        result.rmse <= *options.rmse_budget;
-    if (within_budget && result.stats.total_bytes < best_bytes) {
+        !options.rmse_budget.has_value() || result.rmse <= *options.rmse_budget;
+    if (!within_budget) {
+      selection.rejections.push_back(
+          name + ": rmse " + std::to_string(result.rmse) +
+          " exceeds budget " + std::to_string(*options.rmse_budget));
+    } else if (result.stats.total_bytes < best_bytes) {
       best_bytes = result.stats.total_bytes;
       selection.best = name;
       selection.best_result = result;
     }
     selection.all.push_back(std::move(result));
+    if (name == "identity") identity_index = selection.all.size() - 1;
   }
 
   if (selection.best.empty()) {
-    throw std::runtime_error(
-        "select_best_model: no candidate met the constraints");
+    // Nothing qualified: degrade to the identity baseline with the
+    // rejection record intact rather than throwing for a data-shaped
+    // outcome.  Reuse the evaluated run when identity was a candidate.
+    selection.fell_back = true;
+    if (identity_index != std::numeric_limits<std::size_t>::max()) {
+      selection.best = "identity";
+      selection.best_result = selection.all[identity_index];
+      return selection;
+    }
+    try {
+      selection.best_result =
+          run_pipeline(*make_preconditioner("identity"), field, codecs);
+    } catch (const std::exception& e) {
+      throw PreconditionError(
+          PrecondErrc::kDegenerateInput,
+          std::string("select_best_model: every candidate failed and the "
+                      "identity fallback did too: ") +
+              e.what());
+    }
+    selection.best = "identity";
   }
   return selection;
 }

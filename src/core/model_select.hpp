@@ -26,11 +26,21 @@ struct SelectionResult {
   std::string best;                       ///< winning method name
   PipelineResult best_result;
   std::vector<PipelineResult> all;        ///< every evaluated candidate
+  /// "name: reason" for every candidate that was rejected (over budget) or
+  /// failed outright (non-convergence, shape mismatch); empty on a clean
+  /// selection.
+  std::vector<std::string> rejections;
+  /// True when no candidate qualified and the identity baseline was used
+  /// instead of throwing -- `rejections` records why each one fell.
+  bool fell_back = false;
 };
 
 /// Evaluate every candidate on the field and pick the smallest container
-/// within the RMSE budget.  Throws std::runtime_error if no candidate
-/// qualifies.
+/// within the RMSE budget.  A candidate that throws for data-shaped
+/// reasons is recorded in `rejections` and skipped; when *no* candidate
+/// qualifies the selection degrades to the identity baseline
+/// (fell_back = true) instead of throwing.  Only genuinely impossible
+/// inputs raise PreconditionError(kDegenerateInput).
 SelectionResult select_best_model(const sim::Field& field,
                                   const CodecPair& codecs,
                                   const SelectionOptions& options = {});

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/precond_error.hpp"
 #include "core/reshape.hpp"
 #include "core/serialize.hpp"
 #include "la/covariance.hpp"
@@ -70,7 +71,14 @@ io::Container PcaPreconditioner::encode(const sim::Field& field,
   la::center_columns(centered, means);
 
   const la::Matrix cov = la::covariance(a);
-  const auto eig = la::jacobi_eigen(cov);
+  const auto eig = la::jacobi_eigen(cov, options_.jacobi);
+  if (!eig.converged) {
+    throw PreconditionError(
+        PrecondErrc::kEigenNonConvergence,
+        "pca: covariance eigendecomposition left off-diagonal residual " +
+            std::to_string(eig.off_diagonal_residual) + " after " +
+            std::to_string(options_.jacobi.max_sweeps) + " sweep(s)");
+  }
 
   // k components covering the variance target.
   std::vector<double> proportions;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/preconditioner.hpp"
+#include "la/eigen.hpp"
 
 namespace rmp::core {
 
@@ -23,6 +24,11 @@ struct PcaOptions {
   /// reconstruction (false), which is what amplifies RMSE in Fig. 10; the
   /// ablation bench flips this.
   bool delta_against_decoded = false;
+  /// Eigensolver budget for the covariance diagonalization.  Exposed so
+  /// tests (and cautious callers) can tighten it; a non-converged solve
+  /// raises PreconditionError(kEigenNonConvergence) instead of encoding
+  /// with a half-rotated basis.
+  la::JacobiOptions jacobi = {};
 };
 
 class PcaPreconditioner final : public Preconditioner {

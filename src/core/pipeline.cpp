@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "core/guard.hpp"
 #include "stats/metrics.hpp"
 
 namespace rmp::core {
@@ -48,7 +49,15 @@ PipelineResult run_pipeline(const Preconditioner& preconditioner,
 sim::Field reconstruct(const io::Container& container, const CodecPair& codecs,
                        const sim::Field* external_reduced) {
   const auto preconditioner = make_preconditioner(container.method);
-  return preconditioner->decode(container, codecs, external_reduced);
+  sim::Field field =
+      preconditioner->decode(container, codecs, external_reduced);
+  // Guarded archives carry the original nonfinite cells in a lossless
+  // side section; restore them bit-exactly.  Pre-guard archives have no
+  // such section and decode unchanged.
+  if (const io::Section* section = container.find(kNanMaskSection)) {
+    apply_nanmask(field, nanmask_from_bytes(section->bytes));
+  }
+  return field;
 }
 
 BestEffortResult reconstruct_best_effort(const io::Container& container,

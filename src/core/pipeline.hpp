@@ -29,7 +29,9 @@ PipelineResult run_pipeline(const Preconditioner& preconditioner,
                             const sim::Field* external_reduced = nullptr);
 
 /// Reconstruct from a container by dispatching on container.method with
-/// the default-constructed preconditioner of that name.
+/// the default-constructed preconditioner of that name.  When the
+/// container carries a guard-layer "nanmask" section, the original
+/// nonfinite cells are restored bit-exactly after the decode.
 sim::Field reconstruct(const io::Container& container, const CodecPair& codecs,
                        const sim::Field* external_reduced = nullptr);
 

@@ -1,0 +1,52 @@
+// Typed error taxonomy for data-shaped preconditioner failures.
+//
+// A PreconditionError means "this model cannot faithfully represent this
+// data" -- eigen/SVD sweeps that ran out before converging, rank selection
+// collapsing to nothing, inputs too degenerate to factor.  It is the
+// signal the guard layer (core/guard.hpp) listens for to demote a request
+// down its fallback chain instead of surfacing an exception to the user;
+// genuinely impossible inputs (empty fields) use kDegenerateInput, which
+// the guard also absorbs but model selection re-throws.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rmp::core {
+
+enum class PrecondErrc {
+  kEigenNonConvergence,  ///< Jacobi eigen sweep budget exhausted
+  kSvdNonConvergence,    ///< one-sided Jacobi SVD sweep budget exhausted
+  kRankFailure,          ///< rank/component selection produced nothing usable
+  kDegenerateInput,      ///< input has no usable data (empty, zero-extent)
+};
+
+/// Human-readable slug for logs and provenance records.
+inline const char* precond_errc_name(PrecondErrc code) {
+  switch (code) {
+    case PrecondErrc::kEigenNonConvergence:
+      return "eigen-non-convergence";
+    case PrecondErrc::kSvdNonConvergence:
+      return "svd-non-convergence";
+    case PrecondErrc::kRankFailure:
+      return "rank-failure";
+    case PrecondErrc::kDegenerateInput:
+      return "degenerate-input";
+  }
+  return "unknown";
+}
+
+class PreconditionError : public std::runtime_error {
+ public:
+  PreconditionError(PrecondErrc code, const std::string& message)
+      : std::runtime_error(std::string(precond_errc_name(code)) + ": " +
+                           message),
+        code_(code) {}
+
+  PrecondErrc code() const noexcept { return code_; }
+
+ private:
+  PrecondErrc code_;
+};
+
+}  // namespace rmp::core

@@ -22,6 +22,7 @@ std::unique_ptr<Preconditioner> make_preconditioner(const std::string& name) {
     return std::make_unique<BlockedPreconditioner>(name.substr(8));
   }
   if (name == "identity") return std::make_unique<IdentityPreconditioner>();
+  if (name == "raw") return std::make_unique<RawPreconditioner>();
   if (name == "one-base") return std::make_unique<OneBasePreconditioner>();
   if (name == "multi-base") return std::make_unique<MultiBasePreconditioner>();
   if (name == "duomodel") return std::make_unique<DuoModelPreconditioner>();
@@ -37,9 +38,8 @@ std::unique_ptr<Preconditioner> make_preconditioner(const std::string& name) {
 
 const std::vector<std::string>& preconditioner_names() {
   static const std::vector<std::string> names = {
-      "identity", "one-base", "multi-base", "duomodel",
-      "pca",      "svd",      "wavelet",    "pca-part",
-      "tucker"};
+      "identity", "raw",     "one-base", "multi-base", "duomodel",
+      "pca",      "svd",     "wavelet",  "pca-part",   "tucker"};
   return names;
 }
 

@@ -62,7 +62,8 @@ class Preconditioner {
 std::unique_ptr<Preconditioner> make_preconditioner(const std::string& name);
 
 /// Names of every built-in preconditioner, in evaluation order:
-/// identity, one-base, multi-base, duomodel, pca, svd, wavelet.
+/// identity, raw (lossless guard terminal), one-base, multi-base,
+/// duomodel, pca, svd, wavelet, pca-part, tucker.
 const std::vector<std::string>& preconditioner_names();
 
 /// Fill `stats` from a finished container (helper for implementations).

@@ -12,16 +12,50 @@ namespace rmp::core {
 QualityReport compare_fields(const sim::Field& original,
                              const sim::Field& reconstructed) {
   QualityReport report;
-  report.rmse = stats::rmse(original.flat(), reconstructed.flat());
-  report.nrmse = stats::nrmse(original.flat(), reconstructed.flat());
-  report.max_error =
-      stats::max_abs_error(original.flat(), reconstructed.flat());
-  report.psnr_db = stats::psnr(original.flat(), reconstructed.flat());
-  report.gradient_rmse =
-      stats::gradient_rmse(original.flat(), reconstructed.flat());
-  report.decile_distance =
-      stats::decile_distance(original.flat(), reconstructed.flat());
+  report.nonfinite_original =
+      stats::nonfinite_census(original.flat()).nonfinite();
+  report.nonfinite_reconstructed =
+      stats::nonfinite_census(reconstructed.flat()).nonfinite();
   report.original_bytes = original.size() * sizeof(double);
+
+  if (report.nonfinite_original == 0 && report.nonfinite_reconstructed == 0) {
+    report.rmse = stats::rmse(original.flat(), reconstructed.flat());
+    report.nrmse = stats::nrmse(original.flat(), reconstructed.flat());
+    report.max_error =
+        stats::max_abs_error(original.flat(), reconstructed.flat());
+    report.psnr_db = stats::psnr(original.flat(), reconstructed.flat());
+    report.gradient_rmse =
+        stats::gradient_rmse(original.flat(), reconstructed.flat());
+    report.decile_distance =
+        stats::decile_distance(original.flat(), reconstructed.flat());
+    return report;
+  }
+
+  // Nonfinite-aware path: pointwise errors honor the "finite original
+  // cell broken into NaN/Inf = infinite error" convention; the shape and
+  // range metrics are computed over the pairs where both sides are finite
+  // (empty set -> zeros).
+  report.rmse = stats::finite_rmse(original.flat(), reconstructed.flat());
+  report.max_error =
+      stats::finite_max_abs_error(original.flat(), reconstructed.flat());
+
+  std::vector<double> fa, fb;
+  fa.reserve(original.size());
+  fb.reserve(original.size());
+  for (std::size_t n = 0; n < original.size(); ++n) {
+    const double a = original.flat()[n];
+    const double b = reconstructed.flat()[n];
+    if (std::isfinite(a) && std::isfinite(b)) {
+      fa.push_back(a);
+      fb.push_back(b);
+    }
+  }
+  if (!fa.empty()) {
+    report.nrmse = stats::nrmse(fa, fb);
+    report.psnr_db = stats::psnr(fa, fb);
+    report.gradient_rmse = stats::gradient_rmse(fa, fb);
+    report.decile_distance = stats::decile_distance(fa, fb);
+  }
   return report;
 }
 
@@ -43,21 +77,43 @@ QualityReport assess_quality(const Preconditioner& preconditioner,
 
 std::string format_report(const QualityReport& report) {
   char buffer[512];
-  const double psnr_shown =
-      std::isfinite(report.psnr_db) ? report.psnr_db : 999.0;
   std::snprintf(buffer, sizeof buffer,
                 "method:            %s\n"
                 "compression ratio: %.2fx (%zu -> %zu bytes)\n"
                 "rmse:              %.6e  (nrmse %.3e)\n"
-                "max error:         %.6e\n"
-                "psnr:              %.1f dB\n"
-                "gradient rmse:     %.6e\n"
-                "decile distance:   %.6e\n",
+                "max error:         %.6e\n",
                 report.method.c_str(), report.compression_ratio,
                 report.original_bytes, report.stored_bytes, report.rmse,
-                report.nrmse, report.max_error, psnr_shown,
+                report.nrmse, report.max_error);
+  std::string text = buffer;
+
+  // A non-finite PSNR is printed for what it is: "inf" means a bit-exact
+  // reconstruction, "undefined" a degenerate comparison.  Masking either
+  // as a large decibel number would read as "excellent" -- a lie.
+  if (std::isnan(report.psnr_db)) {
+    text += "psnr:              undefined\n";
+  } else if (std::isinf(report.psnr_db)) {
+    text += report.psnr_db > 0.0 ? "psnr:              inf (exact)\n"
+                                 : "psnr:              -inf\n";
+  } else {
+    std::snprintf(buffer, sizeof buffer, "psnr:              %.1f dB\n",
+                  report.psnr_db);
+    text += buffer;
+  }
+
+  std::snprintf(buffer, sizeof buffer,
+                "gradient rmse:     %.6e\n"
+                "decile distance:   %.6e\n",
                 report.gradient_rmse, report.decile_distance);
-  return buffer;
+  text += buffer;
+
+  if (report.nonfinite_original > 0 || report.nonfinite_reconstructed > 0) {
+    std::snprintf(buffer, sizeof buffer,
+                  "nonfinite samples: %zu original, %zu reconstructed\n",
+                  report.nonfinite_original, report.nonfinite_reconstructed);
+    text += buffer;
+  }
+  return text;
 }
 
 }  // namespace rmp::core

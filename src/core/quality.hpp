@@ -23,6 +23,12 @@ struct QualityReport {
   double decile_distance = 0.0; ///< distribution-shape drift
   std::size_t stored_bytes = 0;
   std::size_t original_bytes = 0;
+  /// NaN/Inf sample counts.  When either is nonzero the error metrics
+  /// above are computed over the finite pairs only (a finite original cell
+  /// reconstructed as nonfinite still drives max_error to infinity) so a
+  /// single NaN cannot silently poison the whole report.
+  std::size_t nonfinite_original = 0;
+  std::size_t nonfinite_reconstructed = 0;
 };
 
 /// Encode + decode `field` with `preconditioner` and measure everything.

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/pca.hpp"  // components_for_target
+#include "core/precond_error.hpp"
 #include "core/reshape.hpp"
 #include "core/serialize.hpp"
 #include "la/svd.hpp"
@@ -61,7 +62,14 @@ io::Container SvdPreconditioner::encode(const sim::Field& field,
                                         const CodecPair& codecs,
                                         EncodeStats* stats) const {
   const la::Matrix a = as_matrix(field);
-  const auto svd = la::jacobi_svd(a);
+  const auto svd = la::jacobi_svd(a, options_.svd);
+  if (!svd.converged) {
+    throw PreconditionError(
+        PrecondErrc::kSvdNonConvergence,
+        "svd: column pairs still non-orthogonal (residual " +
+            std::to_string(svd.max_off_orthogonality) + ") after " +
+            std::to_string(options_.svd.max_sweeps) + " sweep(s)");
+  }
 
   double total = 0.0;
   for (double s : svd.sigma) total += s;

@@ -11,12 +11,17 @@
 #include <vector>
 
 #include "core/preconditioner.hpp"
+#include "la/svd.hpp"
 
 namespace rmp::core {
 
 struct SvdOptionsPre {
   double energy_target = 0.95;
   bool delta_against_decoded = false;  ///< see PcaOptions
+  /// Sweep budget for the one-sided Jacobi SVD; a non-converged solve
+  /// raises PreconditionError(kSvdNonConvergence) instead of storing
+  /// unreliable triplets.
+  la::SvdOptions svd = {};
 };
 
 class SvdPreconditioner final : public Preconditioner {

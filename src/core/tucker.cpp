@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/pca.hpp"  // components_for_target
+#include "core/precond_error.hpp"
 #include "core/reshape.hpp"
 #include "core/serialize.hpp"
 #include "la/eigen.hpp"
@@ -166,9 +167,20 @@ io::Container TuckerPreconditioner::encode(const sim::Field& field,
       continue;
     }
     const auto eig = la::jacobi_eigen(mode_gram(tensor, shape, mode));
+    if (!eig.converged) {
+      throw PreconditionError(
+          PrecondErrc::kEigenNonConvergence,
+          "tucker: mode-" + std::to_string(mode) +
+              " gram eigendecomposition left off-diagonal residual " +
+              std::to_string(eig.off_diagonal_residual));
+    }
     std::size_t k = components_for_target(sigma_proportions(eig),
                                           options_.energy_target);
-    k = std::max<std::size_t>(1, k);
+    if (k == 0) {
+      throw PreconditionError(PrecondErrc::kRankFailure,
+                              "tucker: mode-" + std::to_string(mode) +
+                                  " rank selection produced no components");
+    }
     ranks[mode] = k;
     factors[mode] = projection_of(eig, k);
   }

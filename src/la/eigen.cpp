@@ -65,13 +65,15 @@ EigenDecomposition jacobi_eigen(const Matrix& input, const JacobiOptions& opts) 
   const double norm = a.frobenius_norm();
   const double threshold = opts.tolerance * std::max(norm, 1e-300);
 
-  for (std::size_t sweep = 0; sweep < opts.max_sweeps; ++sweep) {
-    if (off_diagonal_norm(a) <= threshold) break;
+  double off = off_diagonal_norm(a);
+  for (std::size_t sweep = 0; sweep < opts.max_sweeps && off > threshold;
+       ++sweep) {
     for (std::size_t p = 0; p + 1 < n; ++p) {
       for (std::size_t q = p + 1; q < n; ++q) {
         rotate(a, v, p, q);
       }
     }
+    off = off_diagonal_norm(a);
   }
 
   // Sort eigenpairs by descending eigenvalue.
@@ -81,6 +83,8 @@ EigenDecomposition jacobi_eigen(const Matrix& input, const JacobiOptions& opts) 
             [&](std::size_t x, std::size_t y) { return a(x, x) > a(y, y); });
 
   EigenDecomposition out;
+  out.converged = off <= threshold;
+  out.off_diagonal_residual = off / std::max(norm, 1e-300);
   out.values.resize(n);
   out.vectors = Matrix(n, n);
   for (std::size_t j = 0; j < n; ++j) {

@@ -18,6 +18,14 @@ struct EigenDecomposition {
   std::vector<double> values;
   /// Column j of `vectors` is the unit eigenvector for values[j].
   Matrix vectors;
+  /// False when the sweep budget ran out before the off-diagonal mass fell
+  /// under tolerance.  A non-converged basis is half-rotated junk: callers
+  /// (PCA, Tucker) must not consume it silently -- the guard layer demotes
+  /// to a cheaper model instead.
+  bool converged = true;
+  /// Off-diagonal Frobenius norm at exit, relative to ||A||_F (0 for a
+  /// diagonal input); compare against JacobiOptions::tolerance.
+  double off_diagonal_residual = 0.0;
 };
 
 struct JacobiOptions {

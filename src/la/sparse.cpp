@@ -77,12 +77,17 @@ CsrMatrix CsrMatrix::deserialize(const std::uint8_t* data, std::size_t size) {
 
   csr.col_indices_.resize(nnz);
   need(off, nnz * sizeof(std::uint32_t));
-  std::memcpy(csr.col_indices_.data(), data + off, nnz * sizeof(std::uint32_t));
+  if (nnz > 0) {
+    std::memcpy(csr.col_indices_.data(), data + off,
+                nnz * sizeof(std::uint32_t));
+  }
   off += nnz * sizeof(std::uint32_t);
 
   csr.values_.resize(nnz);
   need(off, nnz * sizeof(double));
-  std::memcpy(csr.values_.data(), data + off, nnz * sizeof(double));
+  if (nnz > 0) {
+    std::memcpy(csr.values_.data(), data + off, nnz * sizeof(double));
+  }
   return csr;
 }
 

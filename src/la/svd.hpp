@@ -19,6 +19,13 @@ struct SvdResult {
   std::vector<double> sigma;    ///< n singular values, descending
   Matrix v;                     ///< n x n orthogonal
   bool transposed = false;      ///< true if the input was internally transposed
+  /// False when the sweep budget ran out before every column pair became
+  /// orthogonal to tolerance; `u`/`sigma` are then unreliable and callers
+  /// in the guard chain should demote rather than store them.
+  bool converged = true;
+  /// Largest normalized |a_j . a_k| over all column pairs at exit; compare
+  /// against SvdOptions::tolerance.
+  double max_off_orthogonality = 0.0;
 };
 
 struct SvdOptions {

@@ -95,6 +95,61 @@ double rmse(std::span<const double> a, std::span<const double> b) {
   return std::sqrt(sum / static_cast<double>(a.size()));
 }
 
+NonfiniteCensus nonfinite_census(std::span<const double> values) {
+  NonfiniteCensus census;
+  for (double v : values) {
+    switch (std::fpclassify(v)) {
+      case FP_NAN:
+        ++census.nans;
+        break;
+      case FP_INFINITE:
+        ++(v > 0.0 ? census.pos_infs : census.neg_infs);
+        break;
+      case FP_SUBNORMAL:
+        ++census.denormals;
+        break;
+      default:
+        break;
+    }
+  }
+  return census;
+}
+
+double finite_rmse(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("finite_rmse: size mismatch");
+  }
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!std::isfinite(a[i])) continue;
+    if (!std::isfinite(b[i])) {
+      return std::numeric_limits<double>::infinity();
+    }
+    const double d = a[i] - b[i];
+    sum += d * d;
+    ++count;
+  }
+  if (count == 0) return 0.0;
+  return std::sqrt(sum / static_cast<double>(count));
+}
+
+double finite_max_abs_error(std::span<const double> a,
+                            std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("finite_max_abs_error: size mismatch");
+  }
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!std::isfinite(a[i])) continue;
+    if (!std::isfinite(b[i])) {
+      return std::numeric_limits<double>::infinity();
+    }
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  }
+  return m;
+}
+
 double nrmse(std::span<const double> a, std::span<const double> b) {
   const double range = value_range(a);
   if (range == 0.0) return 0.0;

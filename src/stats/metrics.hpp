@@ -33,6 +33,28 @@ double serial_correlation(std::span<const double> values);
 /// Root mean square error between two equal-length arrays.
 double rmse(std::span<const double> a, std::span<const double> b);
 
+/// Per-class tally of the non-normal values in a sample.
+struct NonfiniteCensus {
+  std::size_t nans = 0;
+  std::size_t pos_infs = 0;
+  std::size_t neg_infs = 0;
+  std::size_t denormals = 0;  ///< subnormal (finite, counted separately)
+
+  std::size_t nonfinite() const noexcept { return nans + pos_infs + neg_infs; }
+};
+NonfiniteCensus nonfinite_census(std::span<const double> values);
+
+/// RMSE over the positions where a[i] is finite.  A nonfinite b[i] at such
+/// a position is an unbounded error and yields +infinity; 0 if no position
+/// qualifies.  The guard layer's bound verification and the quality report
+/// use these so a NaN in the input cannot poison the whole metric.
+double finite_rmse(std::span<const double> a, std::span<const double> b);
+
+/// Max |a[i] - b[i]| over the positions where a[i] is finite (+infinity if
+/// b is nonfinite at any such position; 0 if none qualify).
+double finite_max_abs_error(std::span<const double> a,
+                            std::span<const double> b);
+
 /// RMSE normalized by the value range of `a` (0 if the range is 0).
 double nrmse(std::span<const double> a, std::span<const double> b);
 

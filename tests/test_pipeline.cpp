@@ -6,6 +6,7 @@
 #include "compress/factory.hpp"
 #include "core/model_select.hpp"
 #include "core/pipeline.hpp"
+#include "core/precond_error.hpp"
 #include "sim/heat.hpp"
 #include "stats/metrics.hpp"
 
@@ -97,11 +98,29 @@ TEST(ModelSelect, RmseBudgetFiltersCandidates) {
   options.rmse_budget = 1e9;  // everything qualifies
   const auto loose = select_best_model(f, codecs.pair(), options);
   EXPECT_FALSE(loose.best.empty());
+  EXPECT_FALSE(loose.fell_back);
 
-  options.rmse_budget = 0.0;  // nothing qualifies (lossy codecs)
+  // Nothing qualifies (lossy codecs): the selector degrades to the
+  // identity baseline with the rejection reasons on record instead of
+  // throwing for a data-shaped outcome.
+  options.rmse_budget = 0.0;
   options.candidates = {"pca"};
-  EXPECT_THROW(select_best_model(f, codecs.pair(), options),
-               std::runtime_error);
+  const auto strict = select_best_model(f, codecs.pair(), options);
+  EXPECT_EQ(strict.best, "identity");
+  EXPECT_TRUE(strict.fell_back);
+  ASSERT_FALSE(strict.rejections.empty());
+  EXPECT_NE(strict.rejections.front().find("pca"), std::string::npos);
+}
+
+TEST(ModelSelect, EmptyFieldIsATypedError) {
+  Codecs codecs;
+  const sim::Field empty(0, 0, 0);
+  try {
+    select_best_model(empty, codecs.pair());
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    EXPECT_EQ(e.code(), PrecondErrc::kDegenerateInput);
+  }
 }
 
 TEST(ModelSelect, HonorsCandidateList) {

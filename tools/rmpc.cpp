@@ -3,9 +3,10 @@
 // interchange format for scientific data dumps.
 //
 //   rmpc compress   <in.f64> <out.rmp> --dims NX[,NY[,NZ]]
-//                   [--method identity|one-base|multi-base|duomodel|pca|
+//                   [--method identity|raw|one-base|multi-base|duomodel|pca|
 //                             svd|wavelet|pca-part|tucker|auto|a>b]
 //                   [--codec sz|zfp] [--no-parity]
+//                   [--guard] [--verify-bound EPS]
 //   rmpc decompress <in.rmp> <out.f64> [--codec sz|zfp] [--best-effort]
 //   rmpc info       <in.rmp>
 //   rmpc predict    <in.f64> --dims NX[,NY[,NZ]]
@@ -16,12 +17,18 @@
 //   rmpc repair     <in.rmp> <out.rmp>
 //
 // `--method auto` runs the predictive selector (no trial compression).
-// `stats` prints the Fig. 1 data characteristics (byte entropy / mean /
-// serial correlation) plus a coarse CDF.  `verify` with --dims runs the
-// full compress + reconstruct round trip and prints a quality report;
-// without --dims it checks an archive's integrity (checksums + parity)
-// and exits non-zero when sections are unrecoverable.  `repair` rewrites
-// a damaged-but-recoverable archive as a clean v3 file with parity.
+// `--guard` routes the compression through the guard layer: pre-flight
+// data audit, NaN/Inf masking into a losslessly stored nanmask section,
+// post-encode verification, and graceful demotion down to lossless `raw`
+// with the reasons recorded in the archive.  `--verify-bound EPS` (implies
+// --guard) additionally demotes any model whose pointwise error on finite
+// cells exceeds EPS.  `stats` prints the Fig. 1 data characteristics (byte
+// entropy / mean / serial correlation) plus a coarse CDF.  `verify` with
+// --dims runs the full compress + reconstruct round trip and prints a
+// quality report; without --dims it checks an archive's integrity
+// (checksums + parity), prints guard provenance when present, and exits
+// non-zero when sections are unrecoverable.  `repair` rewrites a
+// damaged-but-recoverable archive as a clean v3 file with parity.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -30,6 +37,7 @@
 #include <vector>
 
 #include "compress/factory.hpp"
+#include "core/guard.hpp"
 #include "core/model_predict.hpp"
 #include "core/pipeline.hpp"
 #include "core/quality.hpp"
@@ -44,7 +52,8 @@ using namespace rmp;
   std::fprintf(stderr,
                "usage:\n"
                "  rmpc compress   <in.f64> <out.rmp> --dims NX[,NY[,NZ]] "
-               "[--method NAME|auto] [--codec sz|zfp] [--no-parity]\n"
+               "[--method NAME|auto] [--codec sz|zfp] [--no-parity] "
+               "[--guard] [--verify-bound EPS]\n"
                "  rmpc decompress <in.rmp> <out.f64> [--codec sz|zfp] "
                "[--best-effort]\n"
                "  rmpc info       <in.rmp>\n"
@@ -92,6 +101,8 @@ struct Args {
   std::string codec = "sz";
   bool no_parity = false;
   bool best_effort = false;
+  bool guard = false;
+  std::optional<double> verify_bound;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -112,6 +123,18 @@ Args parse_args(int argc, char** argv) {
       args.no_parity = true;
     } else if (arg == "--best-effort") {
       args.best_effort = true;
+    } else if (arg == "--guard") {
+      args.guard = true;
+    } else if (arg == "--verify-bound") {
+      char* end = nullptr;
+      const std::string value = next();
+      const double bound = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || !(bound >= 0.0)) {
+        std::fprintf(stderr, "rmpc: bad --verify-bound %s\n", value.c_str());
+        usage_and_exit();
+      }
+      args.verify_bound = bound;
+      args.guard = true;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "rmpc: unknown flag %s\n", arg.c_str());
       usage_and_exit();
@@ -171,11 +194,27 @@ int cmd_compress(const Args& args) {
                 prediction.features.pc1_proportion);
   }
 
+  io::SerializeOptions options;
+  options.with_parity = !args.no_parity;
+
+  if (args.guard) {
+    core::GuardOptions guard_options;
+    guard_options.method = method;
+    guard_options.error_bound = args.verify_bound;
+    const auto result = core::guarded_encode(field, pair, guard_options);
+    io::write_container(args.positional[1], result.container, options);
+    std::printf("%s: %zu -> %zu bytes (%.2fx) via %s+%s%s (guarded)\n",
+                args.positional[1].c_str(), result.stats.original_bytes,
+                result.stats.total_bytes, result.stats.compression_ratio,
+                result.provenance.actual.c_str(), args.codec.c_str(),
+                args.no_parity ? "" : " (+parity)");
+    std::fputs(core::format_provenance(result.provenance).c_str(), stdout);
+    return 0;
+  }
+
   const auto preconditioner = core::make_preconditioner(method);
   core::EncodeStats stats;
   const auto container = preconditioner->encode(field, pair, &stats);
-  io::SerializeOptions options;
-  options.with_parity = !args.no_parity;
   io::write_container(args.positional[1], container, options);
   std::printf("%s: %zu -> %zu bytes (%.2fx) via %s+%s%s\n",
               args.positional[1].c_str(), stats.original_bytes,
@@ -227,6 +266,14 @@ int cmd_info(const Args& args) {
     std::printf("  %-12s %10zu bytes\n", section.name.c_str(),
                 section.bytes.size());
   }
+  if (const io::Section* mask = container.find(core::kNanMaskSection)) {
+    const auto nanmask = core::nanmask_from_bytes(mask->bytes);
+    std::printf("nanmask: %zu nonfinite cell(s) stored losslessly\n",
+                nanmask.size());
+  }
+  if (const auto provenance = core::read_provenance(container)) {
+    std::fputs(core::format_provenance(*provenance).c_str(), stdout);
+  }
   return 0;
 }
 
@@ -261,8 +308,9 @@ const char* section_state_name(io::SectionState state) {
 /// every checksum, attempts parity repair, and reports per-section state.
 int cmd_verify_archive(const Args& args) {
   io::ReadReport report;
+  io::Container container;
   try {
-    io::read_container_salvage(args.positional[0], &report);
+    container = io::read_container_salvage(args.positional[0], &report);
   } catch (const io::ContainerError& e) {
     std::printf("%s: UNREADABLE (%s)\n", args.positional[0].c_str(), e.what());
     return 1;
@@ -276,6 +324,9 @@ int cmd_verify_archive(const Args& args) {
     std::printf("  %-12s %10llu bytes  %s\n", section.name.c_str(),
                 static_cast<unsigned long long>(section.bytes),
                 section_state_name(section.state));
+  }
+  if (const auto provenance = core::read_provenance(container)) {
+    std::fputs(core::format_provenance(*provenance).c_str(), stdout);
   }
   if (report.complete()) {
     std::printf(report.repaired() ? "verify: OK (parity repair applied)\n"
