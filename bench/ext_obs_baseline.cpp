@@ -1,0 +1,125 @@
+// ext_obs_baseline -- unified bench baseline over dataset x preconditioner
+// x codec, emitted as machine-readable JSON (schema rmp-bench-core-v1)
+// with the full observability registry embedded.  CI runs this, validates
+// the result with `rmpc stats <file>`, and uploads it as the BENCH_core
+// artifact; a checked-in snapshot lives at the repo root.
+//
+//   ext_obs_baseline [scale] [out.json]
+//
+// Default scale comes from RMP_BENCH_SCALE or 0.4; default output is
+// BENCH_core.json in the working directory.
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "obs/obs.hpp"
+#include "sim/datasets.hpp"
+
+namespace {
+
+using namespace rmp;
+
+double finite_or_zero(double v) { return std::isfinite(v) ? v : 0.0; }
+
+void append_number(std::string& out, double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", finite_or_zero(v));
+  out += buffer;
+}
+
+struct Run {
+  std::string dataset, method, codec;
+  core::PipelineResult result;
+};
+
+void append_run(std::string& out, const Run& run) {
+  out += "    {\"dataset\": \"" + run.dataset + "\", \"method\": \"" +
+         run.method + "\", \"codec\": \"" + run.codec + "\", ";
+  out += "\"ratio\": ";
+  append_number(out, run.result.stats.compression_ratio);
+  out += ", \"rmse\": ";
+  append_number(out, run.result.rmse);
+  out += ", \"max_error\": ";
+  append_number(out, run.result.max_error);
+  out += ", \"encode_seconds\": ";
+  append_number(out, run.result.encode_seconds);
+  out += ", \"decode_seconds\": ";
+  append_number(out, run.result.decode_seconds);
+  out += ", \"original_bytes\": ";
+  append_number(out, static_cast<double>(run.result.stats.original_bytes));
+  out += ", \"compressed_bytes\": ";
+  append_number(out, static_cast<double>(run.result.stats.total_bytes));
+  out += "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = bench::parse_scale(argc, argv, 0.4);
+  const std::string out_path = argc > 2 ? argv[2] : "BENCH_core.json";
+
+  const std::vector<sim::DatasetId> datasets = {
+      sim::DatasetId::kHeat3d, sim::DatasetId::kSedovPres,
+      sim::DatasetId::kYf17Temp};
+  const std::vector<std::string> methods = {"identity", "one-base", "pca",
+                                            "wavelet"};
+
+  bench::SzCodecs sz;
+  bench::ZfpCodecs zfp;
+  const std::vector<std::pair<std::string, core::CodecPair>> codecs = {
+      {"sz", sz.pair()}, {"zfp", zfp.pair()}};
+
+  bench::print_header("ext_obs_baseline",
+                      "dataset x method x codec sweep with obs stats");
+  std::vector<Run> runs;
+  for (const auto id : datasets) {
+    const auto dataset = sim::make_dataset(id, scale);
+    for (const auto& method : methods) {
+      const auto preconditioner = core::make_preconditioner(method);
+      for (const auto& [codec_name, pair] : codecs) {
+        Run run;
+        run.dataset = dataset.name;
+        run.method = method;
+        run.codec = codec_name;
+        run.result = core::run_pipeline(*preconditioner, dataset.full, pair);
+        std::printf("%-12s %-10s %-4s ratio %8.2f  rmse %10.3e  enc %7.4fs  "
+                    "dec %7.4fs\n",
+                    run.dataset.c_str(), method.c_str(), codec_name.c_str(),
+                    run.result.stats.compression_ratio, run.result.rmse,
+                    run.result.encode_seconds, run.result.decode_seconds);
+        runs.push_back(std::move(run));
+      }
+    }
+  }
+
+  std::string json = "{\n  \"schema\": \"rmp-bench-core-v1\",\n  \"scale\": ";
+  append_number(json, scale);
+  json += ",\n  \"runs\": [\n";
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    append_run(json, runs[r]);
+    json += r + 1 < runs.size() ? ",\n" : "\n";
+  }
+  json += "  ],\n  \"obs\": ";
+  json += obs::Registry::global().to_json();
+  json += "\n}\n";
+
+  std::FILE* file = std::fopen(out_path.c_str(), "wb");
+  if (file == nullptr) {
+    std::fprintf(stderr, "ext_obs_baseline: cannot write %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), file);
+  std::fclose(file);
+  std::printf("wrote %s (%zu runs)\n", out_path.c_str(), runs.size());
+
+  const auto validation = obs::validate_stats_json(json);
+  if (!validation.ok) {
+    std::fprintf(stderr, "ext_obs_baseline: self-validation failed: %s\n",
+                 validation.error.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace rmp::compress {
 namespace {
 
@@ -70,6 +72,8 @@ FpcCompressor::FpcCompressor(FpcOptions options) : options_(options) {
 
 std::vector<std::uint8_t> FpcCompressor::compress(std::span<const double> data,
                                                   const Dims& dims) const {
+  const obs::ScopedSpan span("codec/fpc");
+  obs::count("codec.fpc.bytes_in", data.size() * sizeof(double));
   if (data.size() != dims.count()) {
     throw std::invalid_argument("FpcCompressor: data size does not match dims");
   }
@@ -125,11 +129,13 @@ std::vector<std::uint8_t> FpcCompressor::compress(std::span<const double> data,
   out.insert(out.end(), cb, cb + sizeof(code_bytes));
   out.insert(out.end(), codes.begin(), codes.end());
   out.insert(out.end(), residuals.begin(), residuals.end());
+  obs::count("codec.fpc.bytes_out", out.size());
   return out;
 }
 
 std::vector<double> FpcCompressor::decompress(
     std::span<const std::uint8_t> stream) const {
+  const obs::ScopedSpan span("codec/fpc");
   if (stream.size() < sizeof(Header) + sizeof(std::uint64_t)) {
     throw std::runtime_error("FPC decode: truncated stream");
   }

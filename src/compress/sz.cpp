@@ -8,6 +8,7 @@
 #include "compress/bitstream.hpp"
 #include "compress/huffman.hpp"
 #include "compress/lossless.hpp"
+#include "obs/obs.hpp"
 
 namespace rmp::compress {
 namespace {
@@ -512,6 +513,8 @@ std::string SzCompressor::name() const {
 
 std::vector<std::uint8_t> SzCompressor::compress(std::span<const double> data,
                                                  const Dims& dims) const {
+  const obs::ScopedSpan span("codec/sz");
+  obs::count("codec.sz.bytes_in", data.size() * sizeof(double));
   if (data.size() != dims.count()) {
     throw std::invalid_argument("SzCompressor: data size does not match dims");
   }
@@ -610,11 +613,14 @@ std::vector<std::uint8_t> SzCompressor::compress(std::span<const double> data,
     append_bytes(payload, exact_val.data(), exact_val.size() * sizeof(double));
   }
 
-  return lossless_compress(payload);
+  auto out = lossless_compress(payload);
+  obs::count("codec.sz.bytes_out", out.size());
+  return out;
 }
 
 std::vector<double> SzCompressor::decompress(
     std::span<const std::uint8_t> stream) const {
+  const obs::ScopedSpan span("codec/sz");
   const auto payload = lossless_decompress(stream);
   ByteCursor cursor(payload);
 

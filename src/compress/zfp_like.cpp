@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "compress/bitstream.hpp"
+#include "obs/obs.hpp"
 
 namespace rmp::compress {
 namespace {
@@ -355,6 +356,8 @@ std::string ZfpCompressor::name() const {
 
 std::vector<std::uint8_t> ZfpCompressor::compress(std::span<const double> data,
                                                   const Dims& dims) const {
+  const obs::ScopedSpan span("codec/zfp");
+  obs::count("codec.zfp.bytes_in", data.size() * sizeof(double));
   if (data.size() != dims.count()) {
     throw std::invalid_argument("ZfpCompressor: data size does not match dims");
   }
@@ -435,11 +438,14 @@ std::vector<std::uint8_t> ZfpCompressor::compress(std::span<const double> data,
       }
     }
   }
-  return writer.take();
+  auto out = writer.take();
+  obs::count("codec.zfp.bytes_out", out.size());
+  return out;
 }
 
 std::vector<double> ZfpCompressor::decompress(
     std::span<const std::uint8_t> stream) const {
+  const obs::ScopedSpan span("codec/zfp");
   BitReader reader(stream);
   Header header;
   auto* hb = reinterpret_cast<std::uint8_t*>(&header);

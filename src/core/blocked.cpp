@@ -4,6 +4,7 @@
 
 #include "core/reshape.hpp"
 #include "core/serialize.hpp"
+#include "obs/obs.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace rmp::core {
@@ -41,6 +42,7 @@ BlockedPreconditioner::BlockedPreconditioner(const std::string& inner,
 io::Container BlockedPreconditioner::encode(const sim::Field& field,
                                             const CodecPair& codecs,
                                             EncodeStats* stats) const {
+  const obs::ScopedSpan span("precondition/blocked");
   const auto [rows, cols] = matrix_shape(field);
   const std::size_t count = std::min(partitions_, rows);
   const auto blocks = make_blocks(rows, count);
@@ -87,6 +89,7 @@ io::Container BlockedPreconditioner::encode(const sim::Field& field,
 sim::Field BlockedPreconditioner::decode(const io::Container& container,
                                          const CodecPair& codecs,
                                          const sim::Field*) const {
+  const obs::ScopedSpan span("blocked");
   const auto& meta_section = require_section(container, "meta", "blocked");
   const auto meta = bytes_to_u64s(meta_section.bytes);
   const std::size_t count = meta.at(0);

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace rmp::core {
@@ -57,6 +58,7 @@ CascadePreconditioner::CascadePreconditioner(const std::string& first,
 io::Container CascadePreconditioner::encode(const sim::Field& field,
                                             const CodecPair& codecs,
                                             EncodeStats* stats) const {
+  const obs::ScopedSpan span("precondition/cascade");
   // Stage 1 stores only its reduced representation: its delta codec is a
   // null codec (stores the count, decodes zeros), so decoding stage 1
   // yields the pure reduced-model reconstruction.  Stage 2 then
@@ -92,6 +94,7 @@ io::Container CascadePreconditioner::encode(const sim::Field& field,
 sim::Field CascadePreconditioner::decode(const io::Container& container,
                                          const CodecPair& codecs,
                                          const sim::Field*) const {
+  const obs::ScopedSpan span("cascade");
   const auto& stage1 = require_section(container, "stage1", "cascade");
   const auto& stage2 = require_section(container, "stage2", "cascade");
   const CodecPair first_codecs{codecs.reduced, &kNullCodec};

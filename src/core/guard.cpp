@@ -10,6 +10,7 @@
 #include "compress/lossless.hpp"
 #include "core/pipeline.hpp"
 #include "core/serialize.hpp"
+#include "obs/obs.hpp"
 #include "stats/metrics.hpp"
 
 namespace rmp::core {
@@ -301,16 +302,21 @@ GuardedEncodeResult guarded_encode(const sim::Field& field,
                              };
 
   GuardedEncodeResult result;
-  result.audit = audit_field(field);
+  {
+    const obs::ScopedSpan span("audit");
+    result.audit = audit_field(field);
+  }
   result.provenance.requested = options.method;
 
   // Mask: the chain below only ever sees finite data.
   sim::Field masked = field;
   NanMask mask;
   if (options.mask_nonfinite && result.audit.nonfinite() > 0) {
+    const obs::ScopedSpan span("mask");
     mask = extract_nonfinite(masked);
   }
   result.provenance.masked_cells = mask.size();
+  if (!mask.empty()) obs::count("guard.masked_cells", mask.size());
 
   // Build the chain: requested method, then the fallbacks, deduplicated,
   // with the lossless terminal always present.
@@ -367,11 +373,15 @@ GuardedEncodeResult guarded_encode(const sim::Field& field,
             "injected via RMP_GUARD_INJECT for fault testing");
       }
       EncodeStats stats;
-      io::Container container =
-          preconditioners[c]->encode(masked, codecs, &stats);
+      io::Container container;
+      {
+        const obs::ScopedSpan span("precondition");
+        container = preconditioners[c]->encode(masked, codecs, &stats);
+      }
 
       // Mandatory post-encode verification: decode back and measure the
       // pointwise error on every cell that was finite in the original.
+      const obs::ScopedSpan verify_span("verify");
       const sim::Field decoded = preconditioners[c]->decode(container, codecs);
       double max_error =
           stats::finite_max_abs_error(field.flat(), decoded.flat());
@@ -381,6 +391,8 @@ GuardedEncodeResult guarded_encode(const sim::Field& field,
       const bool bound_ok =
           !options.error_bound.has_value() || max_error <= *options.error_bound;
       if (!bound_ok && !terminal) {
+        obs::count("guard.bound_failures");
+        obs::count("guard.demotions");
         result.provenance.demotions.push_back(
             {name, "bound verification failed: max error " +
                        format_double(max_error) + " > bound " +
@@ -403,6 +415,7 @@ GuardedEncodeResult guarded_encode(const sim::Field& field,
       // a real bug and must surface.
       if (terminal) throw;
       result.provenance.demotions.push_back({name, e.what()});
+      obs::count("guard.demotions");
     }
   }
 

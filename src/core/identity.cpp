@@ -4,6 +4,7 @@
 
 #include "compress/lossless.hpp"
 #include "core/serialize.hpp"
+#include "obs/obs.hpp"
 
 namespace rmp::core {
 namespace {
@@ -20,13 +21,15 @@ io::Container IdentityPreconditioner::encode(const sim::Field& field,
   if (codecs.reduced == nullptr) {
     throw std::invalid_argument("identity encode: reduced codec required");
   }
+  const obs::ScopedSpan span("precondition/identity");
   io::Container container;
   container.method = name();
   container.nx = field.nx();
   container.ny = field.ny();
   container.nz = field.nz();
   container.add("data",
-                codecs.reduced->compress(field.flat(), field_dims(field)));
+                traced_compress(*codecs.reduced, "delta-compress",
+                                field.flat(), field_dims(field)));
   fill_stats(container, field.size(), stats);
   if (stats != nullptr) {
     // The whole payload is "delta" in the identity case: there is no
@@ -49,6 +52,7 @@ sim::Field IdentityPreconditioner::decode(const io::Container& container,
 io::Container RawPreconditioner::encode(const sim::Field& field,
                                         const CodecPair&,
                                         EncodeStats* stats) const {
+  const obs::ScopedSpan span("precondition/raw");
   io::Container container;
   container.method = name();
   container.nx = field.nx();

@@ -3,6 +3,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "parallel/decomposition.hpp"
 
 namespace rmp::core {
@@ -38,6 +39,7 @@ std::size_t DistributedOneBaseResult::total_bytes() const {
 DistributedOneBaseResult one_base_encode_parallel(const sim::Field& field,
                                                   const CodecPair& codecs,
                                                   int ranks) {
+  const obs::ScopedSpan span("precondition/one-base-parallel");
   if (field.rank() != 3) {
     throw std::invalid_argument("one_base_encode_parallel: field must be 3D");
   }
@@ -120,6 +122,7 @@ DistributedOneBaseResult one_base_encode_parallel(const sim::Field& field,
 
 sim::Field one_base_decode_parallel(const DistributedOneBaseResult& encoded,
                                     const CodecPair& codecs, int ranks) {
+  const obs::ScopedSpan span("one-base-parallel");
   if (encoded.rank_containers.size() != static_cast<std::size_t>(ranks)) {
     throw std::invalid_argument(
         "one_base_decode_parallel: rank count does not match containers");

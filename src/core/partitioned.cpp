@@ -8,6 +8,7 @@
 #include "core/serialize.hpp"
 #include "la/covariance.hpp"
 #include "la/eigen.hpp"
+#include "obs/obs.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace rmp::core {
@@ -52,6 +53,7 @@ PartitionedPcaPreconditioner::PartitionedPcaPreconditioner(
 io::Container PartitionedPcaPreconditioner::encode(const sim::Field& field,
                                                    const CodecPair& codecs,
                                                    EncodeStats* stats) const {
+  const obs::ScopedSpan span("precondition/pca-part");
   const la::Matrix a = as_matrix(field);
   const std::size_t count = std::min(options_.partitions, a.rows());
   const auto blocks = make_blocks(a.rows(), count);
@@ -128,8 +130,8 @@ io::Container PartitionedPcaPreconditioner::encode(const sim::Field& field,
       field,
       matrix_to_field(reconstruction, field.nx(), field.ny(), field.nz()));
   container.add("delta",
-                codecs.delta->compress(
-                    delta.flat(), {field.nx(), field.ny(), field.nz()}));
+                traced_compress(*codecs.delta, "delta-compress", delta.flat(),
+                                {field.nx(), field.ny(), field.nz()}));
   container.add("meta", u64s_to_bytes(meta));
 
   fill_stats(container, field.size(), stats);
@@ -143,6 +145,7 @@ io::Container PartitionedPcaPreconditioner::encode(const sim::Field& field,
 sim::Field PartitionedPcaPreconditioner::decode(
     const io::Container& container, const CodecPair& codecs,
     const sim::Field*) const {
+  const obs::ScopedSpan span("pca-part");
   const auto& meta_section = require_section(container, "meta", "pca-part");
   const auto& delta_section = require_section(container, "delta", "pca-part");
   const auto meta = bytes_to_u64s(meta_section.bytes);

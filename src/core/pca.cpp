@@ -8,6 +8,7 @@
 #include "core/serialize.hpp"
 #include "la/covariance.hpp"
 #include "la/eigen.hpp"
+#include "obs/obs.hpp"
 
 namespace rmp::core {
 namespace {
@@ -65,6 +66,7 @@ PcaPreconditioner::PcaPreconditioner(PcaOptions options) : options_(options) {
 io::Container PcaPreconditioner::encode(const sim::Field& field,
                                         const CodecPair& codecs,
                                         EncodeStats* stats) const {
+  const obs::ScopedSpan span("precondition/pca");
   la::Matrix a = as_matrix(field);
   const auto means = la::column_means(a);
   la::Matrix centered = a;
@@ -94,8 +96,9 @@ io::Container PcaPreconditioner::encode(const sim::Field& field,
   const la::Matrix basis = leading_columns(eig.vectors, k);  // n x k
   const la::Matrix scores = centered * basis;                // m x k
 
-  const auto scores_bytes = codecs.reduced->compress(
-      scores.flat(), compress::Dims::d2(scores.rows(), scores.cols()));
+  const auto scores_bytes =
+      traced_compress(*codecs.reduced, "reduced-compress", scores.flat(),
+                      compress::Dims::d2(scores.rows(), scores.cols()));
 
   // Reconstruction used for the delta: clean scores by default (the
   // paper's pipeline), decoded scores when the ablation flag is set.
@@ -120,8 +123,8 @@ io::Container PcaPreconditioner::encode(const sim::Field& field,
   container.add("basis", matrix_to_bytes(basis));
   container.add("means", doubles_to_bytes(means));
   container.add("delta",
-                codecs.delta->compress(
-                    delta.flat(), {field.nx(), field.ny(), field.nz()}));
+                traced_compress(*codecs.delta, "delta-compress", delta.flat(),
+                                {field.nx(), field.ny(), field.nz()}));
   const std::uint64_t meta[2] = {k, scores.rows()};
   container.add("meta", u64s_to_bytes(meta));
 
@@ -138,6 +141,7 @@ io::Container PcaPreconditioner::encode(const sim::Field& field,
 sim::Field PcaPreconditioner::decode(const io::Container& container,
                                      const CodecPair& codecs,
                                      const sim::Field*) const {
+  const obs::ScopedSpan span("pca");
   const auto& scores_section = require_section(container, "scores", "pca");
   const auto& basis_section = require_section(container, "basis", "pca");
   const auto& means_section = require_section(container, "means", "pca");

@@ -1,19 +1,13 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
-#include <chrono>
 
 #include "core/guard.hpp"
+#include "obs/obs.hpp"
 #include "stats/metrics.hpp"
 
 namespace rmp::core {
 namespace {
-
-double seconds_since(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
 
 std::string join(const std::vector<std::string>& names) {
   std::string out;
@@ -32,14 +26,20 @@ PipelineResult run_pipeline(const Preconditioner& preconditioner,
   PipelineResult result;
   result.method = preconditioner.name();
 
-  const auto encode_start = std::chrono::steady_clock::now();
-  result.container = preconditioner.encode(field, codecs, &result.stats);
-  result.encode_seconds = seconds_since(encode_start);
+  {
+    const obs::ScopedSpan span("pipeline/encode");
+    result.container = preconditioner.encode(field, codecs, &result.stats);
+    result.encode_seconds = span.elapsed_seconds();
+  }
+  obs::count("pipeline.encodes");
+  obs::count("pipeline.bytes.original", result.stats.original_bytes);
+  obs::count("pipeline.bytes.compressed", result.stats.total_bytes);
 
-  const auto decode_start = std::chrono::steady_clock::now();
+  const obs::ScopedSpan decode_span("pipeline/decode");
   const sim::Field decoded =
       preconditioner.decode(result.container, codecs, external_reduced);
-  result.decode_seconds = seconds_since(decode_start);
+  result.decode_seconds = decode_span.elapsed_seconds();
+  obs::count("pipeline.decodes");
 
   result.rmse = stats::rmse(field.flat(), decoded.flat());
   result.max_error = stats::max_abs_error(field.flat(), decoded.flat());
@@ -48,6 +48,7 @@ PipelineResult run_pipeline(const Preconditioner& preconditioner,
 
 sim::Field reconstruct(const io::Container& container, const CodecPair& codecs,
                        const sim::Field* external_reduced) {
+  const obs::ScopedSpan span("pipeline/reconstruct");
   const auto preconditioner = make_preconditioner(container.method);
   sim::Field field =
       preconditioner->decode(container, codecs, external_reduced);

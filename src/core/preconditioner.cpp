@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 #include "core/blocked.hpp"
 #include "core/cascade.hpp"
 #include "core/identity.hpp"
@@ -54,6 +56,24 @@ const io::Section& require_section(const io::Container& container,
                              name);
   }
   return *section;
+}
+
+std::vector<std::uint8_t> traced_compress(const compress::Compressor& codec,
+                                          const char* stage,
+                                          std::span<const double> data,
+                                          const compress::Dims& dims) {
+  const obs::ScopedSpan span(stage);
+  auto bytes = codec.compress(data, dims);
+  obs::count(std::string("encode.bytes.") + stage, bytes.size());
+  return bytes;
+}
+
+std::vector<double> traced_decompress(const compress::Compressor& codec,
+                                      const char* stage,
+                                      std::span<const std::uint8_t> bytes) {
+  const obs::ScopedSpan span(stage);
+  obs::count(std::string("decode.bytes.") + stage, bytes.size());
+  return codec.decompress(bytes);
 }
 
 void fill_stats(const io::Container& container, std::size_t element_count,

@@ -76,4 +76,15 @@ const io::Section& require_section(const io::Container& container,
                                    const std::string& name,
                                    const char* decoder);
 
+/// Codec calls under an obs stage span ("reduced-compress",
+/// "delta-compress", ...) with byte accounting, so per-stage cost shows up
+/// in `rmpc --stats` regardless of which preconditioner ran the codec.
+std::vector<std::uint8_t> traced_compress(const compress::Compressor& codec,
+                                          const char* stage,
+                                          std::span<const double> data,
+                                          const compress::Dims& dims);
+std::vector<double> traced_decompress(const compress::Compressor& codec,
+                                      const char* stage,
+                                      std::span<const std::uint8_t> bytes);
+
 }  // namespace rmp::core

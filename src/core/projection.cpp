@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/serialize.hpp"
+#include "obs/obs.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace rmp::core {
@@ -61,6 +62,7 @@ std::vector<Slab> make_slabs(std::size_t nz, std::size_t count) {
 io::Container OneBasePreconditioner::encode(const sim::Field& field,
                                             const CodecPair& codecs,
                                             EncodeStats* stats) const {
+  const obs::ScopedSpan span("precondition/one-base");
   require_3d(field, "one-base");
   const std::size_t mid = field.nz() / 2;
   const sim::Field plane = extract_z_plane(field, mid);
@@ -84,11 +86,12 @@ io::Container OneBasePreconditioner::encode(const sim::Field& field,
   io::Container container;
   container.method = name();
   base_container(container, field);
-  container.add("reduced", codecs.reduced->compress(
-                               plane.flat(), dims3(field.nx(), field.ny(), 1)));
-  container.add("delta", codecs.delta->compress(
-                             delta.flat(),
-                             dims3(field.nx(), field.ny(), field.nz())));
+  container.add("reduced",
+                traced_compress(*codecs.reduced, "reduced-compress",
+                                plane.flat(), dims3(field.nx(), field.ny(), 1)));
+  container.add("delta",
+                traced_compress(*codecs.delta, "delta-compress", delta.flat(),
+                                dims3(field.nx(), field.ny(), field.nz())));
   const std::uint64_t meta[1] = {mid};
   container.add("meta", u64s_to_bytes(meta));
 
@@ -103,6 +106,7 @@ io::Container OneBasePreconditioner::encode(const sim::Field& field,
 sim::Field OneBasePreconditioner::decode(const io::Container& container,
                                          const CodecPair& codecs,
                                          const sim::Field*) const {
+  const obs::ScopedSpan span("one-base");
   const auto& reduced = require_section(container, "reduced", "one-base");
   const auto& delta_section = require_section(container, "delta", "one-base");
   const auto plane_values = codecs.reduced->decompress(reduced.bytes);
@@ -148,6 +152,7 @@ MultiBasePreconditioner::MultiBasePreconditioner(std::size_t slabs)
 io::Container MultiBasePreconditioner::encode(const sim::Field& field,
                                               const CodecPair& codecs,
                                               EncodeStats* stats) const {
+  const obs::ScopedSpan span("precondition/multi-base");
   require_3d(field, "multi-base");
   const std::size_t count = std::min(slabs_, field.nz());
   const auto slabs = make_slabs(field.nz(), count);
@@ -184,11 +189,12 @@ io::Container MultiBasePreconditioner::encode(const sim::Field& field,
   container.method = name();
   base_container(container, field);
   container.add("reduced",
-                codecs.reduced->compress(
-                    planes.flat(), dims3(field.nx(), field.ny(), count)));
-  container.add("delta", codecs.delta->compress(
-                             delta.flat(),
-                             dims3(field.nx(), field.ny(), field.nz())));
+                traced_compress(*codecs.reduced, "reduced-compress",
+                                planes.flat(),
+                                dims3(field.nx(), field.ny(), count)));
+  container.add("delta",
+                traced_compress(*codecs.delta, "delta-compress", delta.flat(),
+                                dims3(field.nx(), field.ny(), field.nz())));
   const std::uint64_t meta[1] = {count};
   container.add("meta", u64s_to_bytes(meta));
 
@@ -203,6 +209,7 @@ io::Container MultiBasePreconditioner::encode(const sim::Field& field,
 sim::Field MultiBasePreconditioner::decode(const io::Container& container,
                                            const CodecPair& codecs,
                                            const sim::Field*) const {
+  const obs::ScopedSpan span("multi-base");
   const auto& reduced = require_section(container, "reduced", "multi-base");
   const auto& delta_section =
       require_section(container, "delta", "multi-base");
@@ -266,6 +273,7 @@ io::Container DuoModelPreconditioner::encode(const sim::Field& field,
 io::Container DuoModelPreconditioner::encode_with_reduced(
     const sim::Field& field, const sim::Field& reduced,
     const CodecPair& codecs, EncodeStats* stats) const {
+  const obs::ScopedSpan span("precondition/duomodel");
   const sim::Field reconstruction =
       upsample_linear(reduced, field.nx(), field.ny(), field.nz());
   const sim::Field delta = subtract(field, reconstruction);
@@ -273,13 +281,13 @@ io::Container DuoModelPreconditioner::encode_with_reduced(
   io::Container container;
   container.method = name();
   base_container(container, field);
-  container.add("delta", codecs.delta->compress(
-                             delta.flat(),
-                             dims3(field.nx(), field.ny(), field.nz())));
+  container.add("delta",
+                traced_compress(*codecs.delta, "delta-compress", delta.flat(),
+                                dims3(field.nx(), field.ny(), field.nz())));
   if (store_reduced_) {
     container.add("reduced",
-                  codecs.reduced->compress(
-                      reduced.flat(),
+                  traced_compress(
+                      *codecs.reduced, "reduced-compress", reduced.flat(),
                       dims3(reduced.nx(), reduced.ny(), reduced.nz())));
   }
   const std::uint64_t meta[5] = {reduced.nx(), reduced.ny(), reduced.nz(),
@@ -298,6 +306,7 @@ io::Container DuoModelPreconditioner::encode_with_reduced(
 sim::Field DuoModelPreconditioner::decode(
     const io::Container& container, const CodecPair& codecs,
     const sim::Field* external_reduced) const {
+  const obs::ScopedSpan span("duomodel");
   const auto& delta_section = require_section(container, "delta", "duomodel");
   const auto& meta = require_section(container, "meta", "duomodel");
   const auto meta_values = bytes_to_u64s(meta.bytes);

@@ -1,17 +1,8 @@
 #include "core/staging.hpp"
 
-#include <chrono>
+#include "obs/obs.hpp"
 
 namespace rmp::core {
-namespace {
-
-double seconds_since(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
-
-}  // namespace
 
 StagingNode::StagingNode(const core::CodecPair& codecs, StagingOptions options)
     : codecs_(codecs), options_(std::move(options)) {
@@ -29,7 +20,7 @@ StagingNode::~StagingNode() {
 }
 
 std::size_t StagingNode::submit(sim::Field field) {
-  const auto start = std::chrono::steady_clock::now();
+  const obs::ScopedSpan span("staging/submit");
   std::unique_lock lock(mutex_);
   space_ready_.wait(lock, [this] {
     return queue_.size() < options_.max_queue || stopping_;
@@ -39,7 +30,10 @@ std::size_t StagingNode::submit(sim::Field field) {
   }
   const std::size_t id = stats_.fields_submitted++;
   stats_.bytes_in += field.size() * sizeof(double);
-  stats_.submit_block_seconds += seconds_since(start);
+  stats_.submit_block_seconds += span.elapsed_seconds();
+  obs::count("staging.fields_submitted");
+  obs::count("staging.bytes_in", field.size() * sizeof(double));
+  obs::gauge_max("staging.queue_depth", queue_.size() + 1);
   queue_.emplace_back(id, std::move(field));
   ++in_flight_;
   lock.unlock();
@@ -73,11 +67,16 @@ void StagingNode::worker_loop() {
     }
     space_ready_.notify_one();
 
-    const auto start = std::chrono::steady_clock::now();
     core::EncodeStats encode_stats;
-    io::Container container =
-        preconditioner->encode(item.second, codecs_, &encode_stats);
-    const double elapsed = seconds_since(start);
+    io::Container container;
+    double elapsed = 0.0;
+    {
+      const obs::ScopedSpan span("staging/encode");
+      container = preconditioner->encode(item.second, codecs_, &encode_stats);
+      elapsed = span.elapsed_seconds();
+    }
+    obs::count("staging.fields_completed");
+    obs::count("staging.bytes_out", encode_stats.total_bytes);
 
     if (options_.output_dir) {
       io::write_container(*options_.output_dir /

@@ -8,6 +8,7 @@
 #include "core/reshape.hpp"
 #include "core/serialize.hpp"
 #include "la/svd.hpp"
+#include "obs/obs.hpp"
 
 namespace rmp::core {
 namespace {
@@ -61,6 +62,7 @@ SvdPreconditioner::SvdPreconditioner(SvdOptionsPre options)
 io::Container SvdPreconditioner::encode(const sim::Field& field,
                                         const CodecPair& codecs,
                                         EncodeStats* stats) const {
+  const obs::ScopedSpan span("precondition/svd");
   const la::Matrix a = as_matrix(field);
   const auto svd = la::jacobi_svd(a, options_.svd);
   if (!svd.converged) {
@@ -83,8 +85,9 @@ io::Container SvdPreconditioner::encode(const sim::Field& field,
   const la::Matrix p = scaled_leading(svd, k);  // (rows of internal U) x k
   const la::Matrix vk = leading_v(svd, k);
 
-  const auto p_bytes = codecs.reduced->compress(
-      p.flat(), compress::Dims::d2(p.rows(), p.cols()));
+  const auto p_bytes =
+      traced_compress(*codecs.reduced, "reduced-compress", p.flat(),
+                      compress::Dims::d2(p.rows(), p.cols()));
 
   la::Matrix recon_p = p;
   if (options_.delta_against_decoded) {
@@ -106,8 +109,8 @@ io::Container SvdPreconditioner::encode(const sim::Field& field,
   container.add("u_sigma", p_bytes);
   container.add("v", matrix_to_bytes(vk));
   container.add("delta",
-                codecs.delta->compress(
-                    delta.flat(), {field.nx(), field.ny(), field.nz()}));
+                traced_compress(*codecs.delta, "delta-compress", delta.flat(),
+                                {field.nx(), field.ny(), field.nz()}));
   const std::uint64_t meta[3] = {k, p.rows(), svd.transposed ? 1u : 0u};
   container.add("meta", u64s_to_bytes(meta));
 
@@ -123,6 +126,7 @@ io::Container SvdPreconditioner::encode(const sim::Field& field,
 sim::Field SvdPreconditioner::decode(const io::Container& container,
                                      const CodecPair& codecs,
                                      const sim::Field*) const {
+  const obs::ScopedSpan span("svd");
   const auto& p_section = require_section(container, "u_sigma", "svd");
   const auto& v_section = require_section(container, "v", "svd");
   const auto& delta_section = require_section(container, "delta", "svd");

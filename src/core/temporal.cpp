@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace rmp::core {
 namespace {
 
@@ -45,6 +47,7 @@ std::size_t TemporalSequence::total_bytes() const {
 TemporalSequence temporal_encode(const std::vector<sim::Field>& snapshots,
                                  const CodecPair& codecs,
                                  const TemporalOptions& options) {
+  const obs::ScopedSpan span("temporal/encode");
   TemporalSequence sequence;
   if (snapshots.empty()) return sequence;
   for (const auto& snapshot : snapshots) {
@@ -85,6 +88,7 @@ TemporalSequence temporal_encode(const std::vector<sim::Field>& snapshots,
 
 std::vector<sim::Field> temporal_decode(const TemporalSequence& sequence,
                                         const CodecPair& codecs) {
+  const obs::ScopedSpan span("temporal/decode");
   std::vector<sim::Field> snapshots;
   snapshots.reserve(sequence.steps.size());
   sim::Field reference;

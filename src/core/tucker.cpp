@@ -9,6 +9,7 @@
 #include "core/reshape.hpp"
 #include "core/serialize.hpp"
 #include "la/eigen.hpp"
+#include "obs/obs.hpp"
 
 namespace rmp::core {
 namespace {
@@ -152,6 +153,7 @@ TuckerPreconditioner::TuckerPreconditioner(TuckerOptions options)
 io::Container TuckerPreconditioner::encode(const sim::Field& field,
                                            const CodecPair& codecs,
                                            EncodeStats* stats) const {
+  const obs::ScopedSpan span("precondition/tucker");
   const Shape3 shape = canonical_shape(field);
   std::vector<double> tensor(field.flat().begin(), field.flat().end());
 
@@ -194,8 +196,9 @@ io::Container TuckerPreconditioner::encode(const sim::Field& field,
     core_shape = next;
   }
 
-  const auto core_bytes = codecs.reduced->compress(
-      core, {core_shape.d0, core_shape.d1, core_shape.d2});
+  const auto core_bytes =
+      traced_compress(*codecs.reduced, "reduced-compress", core,
+                      {core_shape.d0, core_shape.d1, core_shape.d2});
 
   // Reconstruction (clean core, paper-style) and delta.
   Shape3 recon_shape = core_shape;
@@ -222,8 +225,8 @@ io::Container TuckerPreconditioner::encode(const sim::Field& field,
   container.add("u1", matrix_to_bytes(factors[1]));
   container.add("u2", matrix_to_bytes(factors[2]));
   container.add("delta",
-                codecs.delta->compress(
-                    delta.flat(), {field.nx(), field.ny(), field.nz()}));
+                traced_compress(*codecs.delta, "delta-compress", delta.flat(),
+                                {field.nx(), field.ny(), field.nz()}));
   const std::uint64_t meta[6] = {ranks[0], ranks[1], ranks[2],
                                  shape.d0,  shape.d1, shape.d2};
   container.add("meta", u64s_to_bytes(meta));
@@ -242,6 +245,7 @@ io::Container TuckerPreconditioner::encode(const sim::Field& field,
 sim::Field TuckerPreconditioner::decode(const io::Container& container,
                                         const CodecPair& codecs,
                                         const sim::Field*) const {
+  const obs::ScopedSpan span("tucker");
   const auto& core_section = require_section(container, "core", "tucker");
   const auto& delta_section = require_section(container, "delta", "tucker");
   const auto& meta_section = require_section(container, "meta", "tucker");

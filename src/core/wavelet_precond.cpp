@@ -6,6 +6,7 @@
 #include "core/reshape.hpp"
 #include "core/serialize.hpp"
 #include "la/sparse.hpp"
+#include "obs/obs.hpp"
 #include "wavelet/haar.hpp"
 
 namespace rmp::core {
@@ -20,6 +21,7 @@ WaveletPreconditioner::WaveletPreconditioner(WaveletOptions options)
 io::Container WaveletPreconditioner::encode(const sim::Field& field,
                                             const CodecPair& codecs,
                                             EncodeStats* stats) const {
+  const obs::ScopedSpan span("precondition/wavelet");
   const bool use_3d = options_.transform_3d && field.rank() == 3;
   la::Matrix coeffs = as_matrix(field);
   if (use_3d) {
@@ -32,7 +34,7 @@ io::Container WaveletPreconditioner::encode(const sim::Field& field,
   }
 
   const double theta =
-      options_.threshold_fraction * wavelet::max_abs_coefficient(coeffs);
+      wavelet::threshold_for_fraction(coeffs, options_.threshold_fraction);
   wavelet::threshold_coefficients(coeffs, theta);
 
   const la::CsrMatrix sparse = la::CsrMatrix::from_dense(coeffs);
@@ -56,8 +58,8 @@ io::Container WaveletPreconditioner::encode(const sim::Field& field,
   container.nz = field.nz();
   container.add("sparse", sparse_bytes);
   container.add("delta",
-                codecs.delta->compress(
-                    delta.flat(), {field.nx(), field.ny(), field.nz()}));
+                traced_compress(*codecs.delta, "delta-compress", delta.flat(),
+                                {field.nx(), field.ny(), field.nz()}));
   const std::uint64_t meta[1] = {use_3d ? 1u : 0u};
   container.add("meta", u64s_to_bytes(meta));
 
@@ -72,6 +74,7 @@ io::Container WaveletPreconditioner::encode(const sim::Field& field,
 sim::Field WaveletPreconditioner::decode(const io::Container& container,
                                          const CodecPair& codecs,
                                          const sim::Field*) const {
+  const obs::ScopedSpan span("wavelet");
   const auto& sparse_section = require_section(container, "sparse", "wavelet");
   const auto& delta_section = require_section(container, "delta", "wavelet");
   const auto raw = compress::lossless_decompress(sparse_section.bytes);

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "io/checksum.hpp"
+#include "obs/obs.hpp"
 
 namespace rmp::io {
 namespace {
@@ -240,9 +241,16 @@ ParsedV3 read_v3(std::span<const std::uint8_t> bytes, bool strict) {
 
   std::vector<bool> intact(header.dir.size(), true);
   std::size_t damaged_count = 0;
-  for (std::size_t s = 0; s < header.dir.size(); ++s) {
-    intact[s] = crc32(payloads[s]) == header.dir[s].crc;
-    if (!intact[s]) ++damaged_count;
+  {
+    const obs::ScopedSpan span("crc-verify");
+    for (std::size_t s = 0; s < header.dir.size(); ++s) {
+      intact[s] = crc32(payloads[s]) == header.dir[s].crc;
+      if (!intact[s]) ++damaged_count;
+    }
+  }
+  obs::count("io.container.sections_verified", header.dir.size());
+  if (damaged_count > 0) {
+    obs::count("io.container.sections_damaged", damaged_count);
   }
 
   // A single damaged section can be rebuilt from parity XOR the others.
@@ -261,6 +269,7 @@ ParsedV3 read_v3(std::span<const std::uint8_t> bytes, bool strict) {
     repaired_bytes.resize(static_cast<std::size_t>(header.dir[target].size));
     if (crc32(repaired_bytes) == header.dir[target].crc) {
       repaired_index = target;
+      obs::count("io.container.parity_repairs");
     }
   }
 
@@ -428,6 +437,7 @@ std::vector<std::string> ReadReport::damaged() const {
 
 std::vector<std::uint8_t> serialize(const Container& container,
                                     const SerializeOptions& options) {
+  const obs::ScopedSpan span("container-serialize");
   // Parity = byte-wise XOR of all payloads, each zero-padded to the size
   // of the largest section; XOR-ing parity with all-but-one payload
   // reconstructs the missing one.
@@ -531,7 +541,9 @@ std::optional<std::size_t> probe_container(
 void write_container(const std::filesystem::path& path,
                      const Container& container,
                      const SerializeOptions& options) {
+  const obs::ScopedSpan span("container-write");
   const auto bytes = serialize(container, options);
+  obs::count("io.container.bytes_written", bytes.size());
   std::filesystem::path tmp = path;
   tmp += ".tmp";
   {
@@ -559,13 +571,18 @@ void write_container(const std::filesystem::path& path,
 }
 
 Container read_container(const std::filesystem::path& path) {
-  return deserialize(read_file_bytes(path, "read_container"));
+  const obs::ScopedSpan span("container-read");
+  const auto bytes = read_file_bytes(path, "read_container");
+  obs::count("io.container.bytes_read", bytes.size());
+  return deserialize(bytes);
 }
 
 Container read_container_salvage(const std::filesystem::path& path,
                                  ReadReport* report) {
-  return deserialize_salvage(read_file_bytes(path, "read_container_salvage"),
-                             report);
+  const obs::ScopedSpan span("container-read");
+  const auto bytes = read_file_bytes(path, "read_container_salvage");
+  obs::count("io.container.bytes_read", bytes.size());
+  return deserialize_salvage(bytes, report);
 }
 
 }  // namespace rmp::io

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/obs.hpp"
+
 namespace rmp::io {
 namespace {
 
@@ -54,6 +56,8 @@ std::size_t SequenceWriter::append(const Container& container) {
                          "SequenceWriter: write failed");
   }
   index_.push_back({offset, bytes.size()});
+  obs::count("io.sequence.steps_written");
+  obs::count("io.sequence.bytes_written", bytes.size());
   return index_.size() - 1;
 }
 
@@ -140,6 +144,7 @@ SequenceReader::SequenceReader(const std::filesystem::path& path,
     }
     rebuild_index(file_size);
     rebuilt_ = true;
+    obs::count("io.sequence.index_rebuilds");
   }
 }
 
@@ -221,9 +226,11 @@ std::vector<Container> SequenceReader::read_all_salvage(
     try {
       containers.push_back(read_step(s));
       health.ok = true;
+      obs::count("io.sequence.steps_salvaged");
     } catch (const std::exception& e) {
       health.ok = false;
       health.error = e.what();
+      obs::count("io.sequence.steps_lost");
     }
     if (report != nullptr) report->steps.push_back(std::move(health));
   }

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <exception>
 
+#include "obs/obs.hpp"
+
 namespace rmp::parallel {
 namespace {
 
@@ -41,10 +43,14 @@ ThreadPool::~ThreadPool() {
 std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   auto future = packaged.get_future();
+  std::size_t depth = 0;
   {
     std::lock_guard lock(mutex_);
     tasks_.push(std::move(packaged));
+    depth = tasks_.size();
   }
+  obs::count("pool.tasks_submitted");
+  obs::gauge_max("pool.queue_depth", depth);
   ready_.notify_one();
   return future;
 }
@@ -108,7 +114,10 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    const obs::Clock::time_point start = obs::now();
     task();
+    obs::observe("pool.task_seconds", obs::seconds_since(start));
+    obs::count("pool.tasks_completed");
   }
 }
 

@@ -246,4 +246,15 @@ double max_abs_coefficient(const rmp::la::Matrix& m) {
   return mx;
 }
 
+double threshold_for_fraction(const rmp::la::Matrix& m, double fraction) {
+  if (!(fraction > 0.0)) return 0.0;
+  double mx = 0.0;
+  for (double v : m.flat()) {
+    const double a = std::fabs(v);
+    if (std::isfinite(a) && a > mx) mx = a;
+  }
+  if (mx == 0.0) return 0.0;
+  return fraction * mx;
+}
+
 }  // namespace rmp::wavelet

@@ -42,9 +42,18 @@ void haar_inverse_3d(std::span<double> data, std::size_t nx, std::size_t ny,
                      std::size_t nz);
 
 /// Zero every entry with |value| <= threshold; returns how many survive.
+/// A NaN threshold keeps every entry (nothing compares <= NaN).
 std::size_t threshold_coefficients(rmp::la::Matrix& m, double threshold);
 
 /// Largest absolute coefficient (0 for an empty matrix).
 double max_abs_coefficient(const rmp::la::Matrix& m);
+
+/// Threshold theta = fraction * max|coefficient|, made well-defined on
+/// degenerate inputs: the maximum is taken over *finite* coefficients
+/// only, and when it is zero (all-zero or all-equal-to-zero coefficient
+/// planes, or no finite coefficient at all) the result is 0.0 so that
+/// thresholding keeps every nonzero coefficient instead of becoming a
+/// NaN/Inf comparison. fraction <= 0 also yields 0.0 (thresholding off).
+double threshold_for_fraction(const rmp::la::Matrix& m, double fraction);
 
 }  // namespace rmp::wavelet

@@ -3,12 +3,15 @@
 // the round trip on disk.  RMPC_BINARY is injected by CMake.
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -243,6 +246,79 @@ TEST_F(CliTest, BestEffortDecompressSurvivesDeltaLoss) {
     max_err = std::max(max_err, std::abs(decoded[i] - data_[i]));
   }
   EXPECT_LT(max_err, 40.0);
+}
+
+TEST_F(CliTest, MalformedNumericFlagsAreTypedUsageErrors) {
+  const std::string compress_prefix = "compress " + quoted(input_) + " " +
+                                      quoted(dir_ / "x.rmp") + " ";
+  // Every malformed numeric value must exit with the usage status (2,
+  // i.e. nonzero), never an uncaught exception (which would abort).
+  for (const std::string bad :
+       {std::string("--dims 16,16,16 --error-bound=abc"),
+        std::string("--dims 16,16,16 --error-bound="),
+        std::string("--dims 16,16,16 --error-bound -1"),
+        std::string("--dims 16,16,16 --error-bound nan"),
+        std::string("--dims 16,16,16 --verify-bound bogus"),
+        std::string("--dims abc"), std::string("--dims ''"),
+        std::string("--dims 16,-2,16"), std::string("--dims 0,16,16"),
+        std::string("--dims 16,16,16,16"), std::string("--dims 16,,16"),
+        std::string("--dims 16.5"), std::string("--dims 16x16x16")}) {
+    const int status = run_rmpc(compress_prefix + bad);
+    EXPECT_NE(status, 0) << bad;
+    // std::system reports abnormal termination (uncaught throw -> abort)
+    // as a non-exited status; a typed usage error always exits cleanly.
+    EXPECT_TRUE(WIFEXITED(status)) << bad;
+  }
+}
+
+TEST_F(CliTest, EqualsFlagSyntaxWorks) {
+  const fs::path archive = dir_ / "eq.rmp";
+  EXPECT_EQ(run_rmpc("compress " + quoted(input_) + " " + quoted(archive) +
+                     " --dims=16,16,16 --method=pca --codec=sz"
+                     " --error-bound=0.5"),
+            0);
+  EXPECT_TRUE(fs::exists(archive));
+}
+
+TEST_F(CliTest, StatsFlagEmitsValidJson) {
+  const fs::path archive = dir_ / "stats.rmp";
+  const fs::path stats = dir_ / "stats.json";
+  ASSERT_EQ(run_rmpc("compress " + quoted(input_) + " " + quoted(archive) +
+                     " --dims 16,16,16 --method pca --stats=" +
+                     stats.string()),
+            0);
+  ASSERT_TRUE(fs::exists(stats));
+  // The emitted report must pass its own schema validator.
+  EXPECT_EQ(run_rmpc("stats " + quoted(stats)), 0);
+}
+
+TEST_F(CliTest, StatsValidationRejectsBadJson) {
+  const fs::path bogus = dir_ / "bogus.json";
+  std::ofstream(bogus) << "{\"schema\": \"rmp-obs-v1\"}";
+  EXPECT_NE(run_rmpc("stats " + quoted(bogus)), 0);
+  const fs::path garbage = dir_ / "garbage.json";
+  std::ofstream(garbage) << "not json";
+  EXPECT_NE(run_rmpc("stats " + quoted(garbage)), 0);
+  EXPECT_NE(run_rmpc("stats " + quoted(dir_ / "missing.json")), 0);
+}
+
+TEST_F(CliTest, ArchivesAreByteIdenticalWithObsOnAndOff) {
+  const fs::path with_obs = dir_ / "obs_on.rmp";
+  const fs::path without_obs = dir_ / "obs_off.rmp";
+  const std::string tail = " --dims 16,16,16 --method pca --codec sz";
+  const std::string on = "RMP_OBS=1 " + std::string(RMPC_BINARY) +
+                         " compress " + quoted(input_) + " " +
+                         quoted(with_obs) + tail + " --stats > /dev/null 2>&1";
+  const std::string off = "RMP_OBS=0 " + std::string(RMPC_BINARY) +
+                          " compress " + quoted(input_) + " " +
+                          quoted(without_obs) + tail + " > /dev/null 2>&1";
+  ASSERT_EQ(std::system(on.c_str()), 0);
+  ASSERT_EQ(std::system(off.c_str()), 0);
+  std::ifstream a(with_obs, std::ios::binary);
+  std::ifstream b(without_obs, std::ios::binary);
+  const std::vector<char> bytes_a{std::istreambuf_iterator<char>(a), {}};
+  const std::vector<char> bytes_b{std::istreambuf_iterator<char>(b), {}};
+  EXPECT_EQ(bytes_a, bytes_b);
 }
 
 TEST_F(CliTest, ZfpCodecPathWorks) {

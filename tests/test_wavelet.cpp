@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <random>
 
 namespace rmp::wavelet {
@@ -157,6 +158,55 @@ TEST(Haar, MaxAbsCoefficient) {
   m(0, 0) = -7.0;
   m(1, 2) = 3.0;
   EXPECT_DOUBLE_EQ(max_abs_coefficient(m), 7.0);
+}
+
+TEST(Haar, ThresholdForFractionNormalCase) {
+  Matrix m(2, 2);
+  m(0, 0) = -10.0;
+  m(0, 1) = 2.0;
+  EXPECT_DOUBLE_EQ(threshold_for_fraction(m, 0.05), 0.5);
+}
+
+TEST(Haar, ThresholdForFractionZeroMaxIsZero) {
+  // All-zero coefficient planes (e.g. an all-equal field after the detail
+  // pass): theta must be exactly 0, not NaN or a sign-dependent value.
+  Matrix m(3, 3);
+  EXPECT_DOUBLE_EQ(threshold_for_fraction(m, 0.05), 0.0);
+  EXPECT_EQ(threshold_coefficients(m, 0.0), 0u);  // all zeros stay zero
+}
+
+TEST(Haar, ThresholdForFractionIgnoresNonfiniteCoefficients) {
+  Matrix m(2, 2);
+  m(0, 0) = std::numeric_limits<double>::infinity();
+  m(0, 1) = std::nan("");
+  m(1, 0) = 4.0;
+  // The fractional maximum is taken over finite entries only; an Inf
+  // coefficient must not produce theta = Inf (which would zero the whole
+  // matrix).
+  EXPECT_DOUBLE_EQ(threshold_for_fraction(m, 0.5), 2.0);
+}
+
+TEST(Haar, ThresholdForFractionAllNonfiniteIsZero) {
+  Matrix m(1, 2);
+  m(0, 0) = std::nan("");
+  m(0, 1) = std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(threshold_for_fraction(m, 0.05), 0.0);
+}
+
+TEST(Haar, ThresholdForFractionDisabledFraction) {
+  Matrix m(1, 2);
+  m(0, 0) = 3.0;
+  EXPECT_DOUBLE_EQ(threshold_for_fraction(m, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(threshold_for_fraction(m, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(threshold_for_fraction(m, std::nan("")), 0.0);
+}
+
+TEST(Haar, NanThresholdKeepsEverything) {
+  Matrix m(1, 2);
+  m(0, 0) = 1.0;
+  m(0, 1) = 0.0;
+  EXPECT_EQ(threshold_coefficients(m, std::nan("")), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
 }
 
 TEST(Haar3d, PerfectReconstruction) {

@@ -29,10 +29,14 @@
 // (checksums + parity), prints guard provenance when present, and exits
 // non-zero when sections are unrecoverable.  `repair` rewrites a
 // damaged-but-recoverable archive as a clean v3 file with parity.
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -42,6 +46,7 @@
 #include "core/pipeline.hpp"
 #include "core/quality.hpp"
 #include "io/container.hpp"
+#include "obs/obs.hpp"
 #include "stats/metrics.hpp"
 
 namespace {
@@ -53,17 +58,95 @@ using namespace rmp;
                "usage:\n"
                "  rmpc compress   <in.f64> <out.rmp> --dims NX[,NY[,NZ]] "
                "[--method NAME|auto] [--codec sz|zfp] [--no-parity] "
-               "[--guard] [--verify-bound EPS]\n"
+               "[--guard] [--verify-bound EPS] [--error-bound EPS]\n"
                "  rmpc decompress <in.rmp> <out.f64> [--codec sz|zfp] "
                "[--best-effort]\n"
                "  rmpc info       <in.rmp>\n"
                "  rmpc predict    <in.f64> --dims NX[,NY[,NZ]]\n"
                "  rmpc stats      <in.f64> --dims NX[,NY[,NZ]]\n"
+               "  rmpc stats      <report.json>   (schema validation)\n"
                "  rmpc verify     <in.f64> --dims NX[,NY[,NZ]] "
                "[--method NAME] [--codec sz|zfp]\n"
                "  rmpc verify     <in.rmp>\n"
-               "  rmpc repair     <in.rmp> <out.rmp>\n");
+               "  rmpc repair     <in.rmp> <out.rmp>\n"
+               "\n"
+               "  --stats[=FILE]  dump observability counters/spans as JSON\n"
+               "                  (stdout, or FILE when given)\n");
   std::exit(2);
+}
+
+/// Typed usage error for a malformed flag value: names the flag, echoes
+/// the offending value, and exits with the usage status -- malformed
+/// numeric input must never surface as an uncaught exception.
+[[noreturn]] void flag_error(const std::string& flag, const std::string& value,
+                             const char* expected) {
+  std::fprintf(stderr, "rmpc: invalid value for %s: \"%s\" (expected %s)\n",
+               flag.c_str(), value.c_str(), expected);
+  std::exit(2);
+}
+
+/// Strict non-negative double: the whole string must parse and the result
+/// must be finite and >= 0.
+double parse_double_flag(const std::string& flag, const std::string& value,
+                         const char* expected) {
+  if (value.empty()) flag_error(flag, value, expected);
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0' || errno == ERANGE ||
+      !(parsed >= 0.0) || parsed > std::numeric_limits<double>::max()) {
+    flag_error(flag, value, expected);
+  }
+  return parsed;
+}
+
+/// Strict positive integer component (no sign, no trailing garbage).
+std::size_t parse_size_component(const std::string& flag,
+                                 const std::string& whole,
+                                 const std::string& component,
+                                 const char* expected) {
+  if (component.empty() || component[0] == '-' || component[0] == '+') {
+    flag_error(flag, whole, expected);
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(component.c_str(), &end, 10);
+  if (end == component.c_str() || *end != '\0' || errno == ERANGE ||
+      parsed == 0) {
+    flag_error(flag, whole, expected);
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+struct ParsedDims {
+  std::size_t nx = 0, ny = 1, nz = 1;
+};
+
+/// "NX[,NY[,NZ]]" with every component a positive integer; anything else
+/// (empty, negative, non-numeric, a fourth component) is a typed usage
+/// error naming --dims.
+ParsedDims parse_dims(const std::string& value) {
+  constexpr const char* kExpected = "NX[,NY[,NZ]] with positive integers";
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = value.find(',', start);
+    parts.push_back(value.substr(start, comma - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (parts.empty() || parts.size() > 3) {
+    flag_error("--dims", value, kExpected);
+  }
+  ParsedDims dims;
+  dims.nx = parse_size_component("--dims", value, parts[0], kExpected);
+  if (parts.size() > 1) {
+    dims.ny = parse_size_component("--dims", value, parts[1], kExpected);
+  }
+  if (parts.size() > 2) {
+    dims.nz = parse_size_component("--dims", value, parts[2], kExpected);
+  }
+  return dims;
 }
 
 std::vector<double> read_doubles(const std::string& path) {
@@ -96,45 +179,66 @@ void write_doubles(const std::string& path, const std::vector<double>& data) {
 
 struct Args {
   std::vector<std::string> positional;
-  std::optional<std::string> dims;
+  std::optional<ParsedDims> dims;
   std::string method = "pca";
   std::string codec = "sz";
   bool no_parity = false;
   bool best_effort = false;
   bool guard = false;
   std::optional<double> verify_bound;
+  bool emit_stats = false;
+  std::string stats_path;  ///< empty = stdout
 };
 
 Args parse_args(int argc, char** argv) {
   Args args;
   for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
+    std::string arg = argv[i];
+    // Both "--flag value" and "--flag=value" spellings are accepted.
+    std::optional<std::string> inline_value;
+    if (arg.rfind("--", 0) == 0) {
+      const std::size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg = arg.substr(0, eq);
+      }
+    }
     auto next = [&]() -> std::string {
-      if (i + 1 >= argc) usage_and_exit();
+      if (inline_value) return *inline_value;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "rmpc: %s needs a value\n", arg.c_str());
+        usage_and_exit();
+      }
       return argv[++i];
     };
+    auto no_value = [&]() {
+      if (inline_value) {
+        std::fprintf(stderr, "rmpc: %s does not take a value\n", arg.c_str());
+        usage_and_exit();
+      }
+    };
     if (arg == "--dims") {
-      args.dims = next();
+      args.dims = parse_dims(next());
     } else if (arg == "--method") {
       args.method = next();
     } else if (arg == "--codec") {
       args.codec = next();
     } else if (arg == "--no-parity") {
+      no_value();
       args.no_parity = true;
     } else if (arg == "--best-effort") {
+      no_value();
       args.best_effort = true;
     } else if (arg == "--guard") {
+      no_value();
       args.guard = true;
-    } else if (arg == "--verify-bound") {
-      char* end = nullptr;
-      const std::string value = next();
-      const double bound = std::strtod(value.c_str(), &end);
-      if (end == value.c_str() || *end != '\0' || !(bound >= 0.0)) {
-        std::fprintf(stderr, "rmpc: bad --verify-bound %s\n", value.c_str());
-        usage_and_exit();
-      }
-      args.verify_bound = bound;
+    } else if (arg == "--verify-bound" || arg == "--error-bound") {
+      args.verify_bound = parse_double_flag(
+          arg, next(), "a non-negative finite error bound");
       args.guard = true;
+    } else if (arg == "--stats") {
+      args.emit_stats = true;
+      if (inline_value) args.stats_path = *inline_value;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "rmpc: unknown flag %s\n", arg.c_str());
       usage_and_exit();
@@ -145,20 +249,15 @@ Args parse_args(int argc, char** argv) {
   return args;
 }
 
-sim::Field field_from_file(const std::string& path, const std::string& dims) {
-  std::size_t nx = 0, ny = 1, nz = 1;
-  if (std::sscanf(dims.c_str(), "%zu,%zu,%zu", &nx, &ny, &nz) < 1) {
-    std::fprintf(stderr, "rmpc: bad --dims %s\n", dims.c_str());
-    std::exit(1);
-  }
+sim::Field field_from_file(const std::string& path, const ParsedDims& dims) {
   auto data = read_doubles(path);
-  if (data.size() != nx * ny * nz) {
+  if (data.size() != dims.nx * dims.ny * dims.nz) {
     std::fprintf(stderr,
                  "rmpc: %s holds %zu doubles but --dims says %zux%zux%zu\n",
-                 path.c_str(), data.size(), nx, ny, nz);
+                 path.c_str(), data.size(), dims.nx, dims.ny, dims.nz);
     std::exit(1);
   }
-  return sim::Field::from_data(nx, ny, nz, std::move(data));
+  return sim::Field::from_data(dims.nx, dims.ny, dims.nz, std::move(data));
 }
 
 struct Codecs {
@@ -277,8 +376,32 @@ int cmd_info(const Args& args) {
   return 0;
 }
 
+/// `rmpc stats <report.json>`: schema-validate an observability or bench
+/// report (rmp-obs-v1 / rmp-bench-core-v1).  Used by CI to gate
+/// BENCH_core.json.
+int cmd_stats_validate(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    std::fprintf(stderr, "rmpc: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+  const auto result = obs::validate_stats_json(text.str());
+  if (!result.ok) {
+    std::printf("%s: INVALID (%s)\n", path.c_str(), result.error.c_str());
+    return 1;
+  }
+  std::printf("%s: valid %s\n", path.c_str(), result.schema.c_str());
+  return 0;
+}
+
 int cmd_stats(const Args& args) {
-  if (args.positional.size() != 1 || !args.dims) usage_and_exit();
+  if (args.positional.size() != 1) usage_and_exit();
+  if (!args.dims) {
+    // Without --dims the positional is a JSON report, not a raw field.
+    return cmd_stats_validate(args.positional[0]);
+  }
   const sim::Field field = field_from_file(args.positional[0], *args.dims);
   const auto c = stats::byte_characteristics(field.flat());
   std::printf("byte entropy:       %.6f\n", c.entropy);
@@ -389,6 +512,36 @@ int cmd_predict(const Args& args) {
   return 0;
 }
 
+/// --stats[=FILE]: dump the process-wide observability registry as JSON
+/// once the command has run (stdout, or FILE when given).
+void emit_stats(const Args& args) {
+  if (!args.emit_stats) return;
+  const std::string json = obs::Registry::global().to_json();
+  if (args.stats_path.empty()) {
+    std::fputs(json.c_str(), stdout);
+    std::fputc('\n', stdout);
+    return;
+  }
+  std::ofstream file(args.stats_path, std::ios::binary | std::ios::trunc);
+  file << json << '\n';
+  if (!file) {
+    std::fprintf(stderr, "rmpc: cannot write stats to %s\n",
+                 args.stats_path.c_str());
+    std::exit(1);
+  }
+}
+
+int run_command(const std::string& command, const Args& args) {
+  if (command == "compress") return cmd_compress(args);
+  if (command == "decompress") return cmd_decompress(args);
+  if (command == "info") return cmd_info(args);
+  if (command == "predict") return cmd_predict(args);
+  if (command == "stats") return cmd_stats(args);
+  if (command == "verify") return cmd_verify(args);
+  if (command == "repair") return cmd_repair(args);
+  usage_and_exit();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -396,16 +549,11 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const Args args = parse_args(argc, argv);
   try {
-    if (command == "compress") return cmd_compress(args);
-    if (command == "decompress") return cmd_decompress(args);
-    if (command == "info") return cmd_info(args);
-    if (command == "predict") return cmd_predict(args);
-    if (command == "stats") return cmd_stats(args);
-    if (command == "verify") return cmd_verify(args);
-    if (command == "repair") return cmd_repair(args);
+    const int status = run_command(command, args);
+    emit_stats(args);
+    return status;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "rmpc: %s\n", e.what());
     return 1;
   }
-  usage_and_exit();
 }
