@@ -1,0 +1,50 @@
+// libFuzzer target: throw arbitrary bytes at the sequence-journal scanner
+// that crash recovery trusts (scan_sequence_journal) and then at the
+// container parser for every step the scan claims is committed.  The
+// contract: the scan itself never throws and never reads out of bounds,
+// its claimed entries always lie inside the buffer, and a committed entry
+// -- whose payload CRC the scan just verified -- must deserialize without
+// a crash (typed rejection is tolerated, silent memory errors are not).
+//
+// Build:  cmake -B build-fuzz -S . -DCMAKE_CXX_COMPILER=clang++ \
+//             -DRMP_FUZZ=ON -DRMP_BUILD_TESTS=OFF -DRMP_BUILD_BENCH=OFF \
+//             -DRMP_BUILD_EXAMPLES=OFF
+//         ./build-fuzz/fuzz/fuzz_sequence corpus/ -max_total_time=60
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <span>
+
+#include "io/container.hpp"
+#include "io/sequence_file.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::span<const std::uint8_t> bytes(data, size);
+
+  const rmp::io::JournalScan scan = rmp::io::scan_sequence_journal(bytes);
+
+  // The committed prefix must be internally consistent: entries in order,
+  // inside the buffer, and jointly bounded by committed_bytes.
+  if (scan.committed_bytes > bytes.size()) __builtin_trap();
+  if (scan.committed_bytes + scan.torn_bytes != bytes.size()) __builtin_trap();
+  std::uint64_t cursor = 0;
+  for (const auto& entry : scan.entries) {
+    if (entry.offset != cursor) __builtin_trap();
+    if (entry.size > bytes.size() - entry.offset) __builtin_trap();
+    cursor = entry.offset + entry.size + rmp::io::kSequenceCommitMarkerBytes;
+  }
+  if (cursor != scan.committed_bytes) __builtin_trap();
+
+  for (const auto& entry : scan.entries) {
+    const auto step = bytes.subspan(entry.offset, entry.size);
+    try {
+      rmp::io::ReadReport report;
+      (void)rmp::io::deserialize_salvage(step, &report);
+    } catch (const std::exception&) {
+      // A CRC-valid step can still carry a hostile envelope (e.g. an
+      // implausible shape); a typed throw is an acceptable verdict.
+    }
+  }
+  return 0;
+}

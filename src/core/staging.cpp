@@ -67,31 +67,46 @@ void StagingNode::worker_loop() {
     }
     space_ready_.notify_one();
 
-    core::EncodeStats encode_stats;
-    io::Container container;
-    double elapsed = 0.0;
-    {
-      const obs::ScopedSpan span("staging/encode");
-      container = preconditioner->encode(item.second, codecs_, &encode_stats);
-      elapsed = span.elapsed_seconds();
-    }
-    obs::count("staging.fields_completed");
-    obs::count("staging.bytes_out", encode_stats.total_bytes);
+    // A failed encode or write must not escape the worker thread (that
+    // would std::terminate the process mid-simulation): record it, keep
+    // draining the queue, and let the application read the verdict from
+    // stats().  write_container's durable atomic publish guarantees a
+    // failed write leaves no torn archive behind.
+    try {
+      core::EncodeStats encode_stats;
+      io::Container container;
+      double elapsed = 0.0;
+      {
+        const obs::ScopedSpan span("staging/encode");
+        container = preconditioner->encode(item.second, codecs_, &encode_stats);
+        elapsed = span.elapsed_seconds();
+      }
+      obs::count("staging.fields_completed");
+      obs::count("staging.bytes_out", encode_stats.total_bytes);
 
-    if (options_.output_dir) {
-      io::write_container(*options_.output_dir /
-                          ("field_" + std::to_string(item.first) + ".rmp"),
-                      container);
-    }
+      if (options_.output_dir) {
+        io::write_container(*options_.output_dir /
+                            ("field_" + std::to_string(item.first) + ".rmp"),
+                        container);
+      }
 
+      {
+        std::lock_guard lock(mutex_);
+        stats_.fields_completed++;
+        stats_.bytes_out += encode_stats.total_bytes;
+        stats_.total_compress_seconds += elapsed;
+        if (!options_.output_dir) {
+          results_.push_back(std::move(container));
+        }
+      }
+    } catch (const std::exception& e) {
+      obs::count("staging.fields_failed");
+      std::lock_guard lock(mutex_);
+      stats_.fields_failed++;
+      stats_.last_error = e.what();
+    }
     {
       std::lock_guard lock(mutex_);
-      stats_.fields_completed++;
-      stats_.bytes_out += encode_stats.total_bytes;
-      stats_.total_compress_seconds += elapsed;
-      if (!options_.output_dir) {
-        results_.push_back(std::move(container));
-      }
       --in_flight_;
     }
     drained_.notify_all();

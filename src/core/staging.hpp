@@ -33,12 +33,18 @@ struct StagingOptions {
 struct StagingStats {
   std::size_t fields_submitted = 0;
   std::size_t fields_completed = 0;
+  /// Fields whose encode or durable write failed.  The worker records the
+  /// failure and keeps serving the queue: one full disk must not take the
+  /// whole staging service (and the submitting simulation) down with it.
+  std::size_t fields_failed = 0;
   std::size_t bytes_in = 0;
   std::size_t bytes_out = 0;
   double total_compress_seconds = 0.0;
   /// Wall time the *submitter* spent blocked in submit() -- the only cost
   /// on the application's critical path.
   double submit_block_seconds = 0.0;
+  /// what() of the most recent failure; empty when fields_failed == 0.
+  std::string last_error;
 };
 
 class StagingNode {

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "io/checksum.hpp"
+#include "io/file_ops.hpp"
 #include "obs/obs.hpp"
 
 namespace rmp::io {
@@ -544,30 +545,11 @@ void write_container(const std::filesystem::path& path,
   const obs::ScopedSpan span("container-write");
   const auto bytes = serialize(container, options);
   obs::count("io.container.bytes_written", bytes.size());
-  std::filesystem::path tmp = path;
-  tmp += ".tmp";
-  {
-    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
-    if (!file) {
-      throw ContainerError(ContainerErrc::kIoError,
-                           "write_container: cannot open " + tmp.string());
-    }
-    file.write(reinterpret_cast<const char*>(bytes.data()),
-               static_cast<std::streamsize>(bytes.size()));
-    file.flush();
-    if (!file) {
-      throw ContainerError(ContainerErrc::kIoError,
-                           "write_container: write failed on " + tmp.string());
-    }
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    std::filesystem::remove(tmp, ec);
-    throw ContainerError(ContainerErrc::kIoError,
-                         "write_container: cannot rename into " +
-                             path.string());
-  }
+  // Durable atomic publish (DESIGN.md §10): unique temp next to `path`,
+  // write (transient errors retried), fsync, rename, fsync parent dir.
+  // The temp is removed on every failure path and errors carry the OS
+  // error text.
+  atomic_publish_bytes(path, bytes, "write_container");
 }
 
 Container read_container(const std::filesystem::path& path) {

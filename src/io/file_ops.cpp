@@ -1,0 +1,465 @@
+#include "io/file_ops.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <charconv>
+#include <cstdlib>
+#include <system_error>
+#include <thread>
+
+#include "obs/obs.hpp"
+
+namespace rmp::io {
+namespace {
+
+std::string errno_text(int err) {
+  return std::error_code(err, std::generic_category()).message();
+}
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kEintr: return "eintr";
+    case FaultKind::kEagain: return "eagain";
+    case FaultKind::kShort: return "short";
+    case FaultKind::kEnospc: return "enospc";
+    case FaultKind::kKill: return "kill";
+    case FaultKind::kTorn: return "torn";
+  }
+  return "unknown";
+}
+
+class RealFileOps final : public FileOps {
+ public:
+  int open(const std::string& path, int flags,
+           unsigned mode) noexcept override {
+    const int fd = ::open(path.c_str(), flags, static_cast<mode_t>(mode));
+    return fd >= 0 ? fd : -errno;
+  }
+  long write(int fd, const void* data, std::size_t size) noexcept override {
+    const ssize_t n = ::write(fd, data, size);
+    return n >= 0 ? static_cast<long>(n) : -errno;
+  }
+  int fsync(int fd) noexcept override {
+    return ::fsync(fd) == 0 ? 0 : -errno;
+  }
+  int close(int fd) noexcept override {
+    return ::close(fd) == 0 ? 0 : -errno;
+  }
+  int rename(const std::string& from, const std::string& to) noexcept override {
+    return ::rename(from.c_str(), to.c_str()) == 0 ? 0 : -errno;
+  }
+  int unlink(const std::string& path) noexcept override {
+    return ::unlink(path.c_str()) == 0 ? 0 : -errno;
+  }
+  int ftruncate(int fd, std::uint64_t size) noexcept override {
+    return ::ftruncate(fd, static_cast<off_t>(size)) == 0 ? 0 : -errno;
+  }
+};
+
+/// Resolved once from RMP_IO_INJECT; lives for the process.
+FileOps& default_file_ops() noexcept {
+  static RealFileOps real;
+  static FileOps* resolved = [] {
+    const char* env = std::getenv("RMP_IO_INJECT");
+    if (env != nullptr && *env != '\0') {
+      if (const auto spec = FaultSpec::parse(env)) {
+        static FaultInjectingFileOps injected(*spec, real);
+        return static_cast<FileOps*>(&injected);
+      }
+    }
+    return static_cast<FileOps*>(&real);
+  }();
+  return *resolved;
+}
+
+std::atomic<FileOps*> g_override{nullptr};
+
+}  // namespace
+
+FileOps& real_file_ops() noexcept {
+  static RealFileOps real;
+  return real;
+}
+
+FileOps& file_ops() noexcept {
+  FileOps* ops = g_override.load(std::memory_order_acquire);
+  return ops != nullptr ? *ops : default_file_ops();
+}
+
+FileOps* set_file_ops(FileOps* ops) noexcept {
+  return g_override.exchange(ops, std::memory_order_acq_rel);
+}
+
+// ---------------------------------------------------------------------------
+// FaultSpec
+
+std::optional<FaultSpec> FaultSpec::parse(std::string_view text) noexcept {
+  const std::size_t at_pos = text.find('@');
+  if (at_pos == std::string_view::npos) return std::nullopt;
+  const std::string_view kind_text = text.substr(0, at_pos);
+  std::string_view rest = text.substr(at_pos + 1);
+
+  FaultSpec spec;
+  if (kind_text == "none") spec.kind = FaultKind::kNone;
+  else if (kind_text == "eintr") spec.kind = FaultKind::kEintr;
+  else if (kind_text == "eagain") spec.kind = FaultKind::kEagain;
+  else if (kind_text == "short") spec.kind = FaultKind::kShort;
+  else if (kind_text == "enospc") spec.kind = FaultKind::kEnospc;
+  else if (kind_text == "kill") spec.kind = FaultKind::kKill;
+  else if (kind_text == "torn") spec.kind = FaultKind::kTorn;
+  else return std::nullopt;
+
+  std::uint64_t repeat = 1;
+  const std::size_t x_pos = rest.find('x');
+  if (x_pos != std::string_view::npos) {
+    const std::string_view repeat_text = rest.substr(x_pos + 1);
+    const auto* begin = repeat_text.data();
+    const auto* end = begin + repeat_text.size();
+    const auto result = std::from_chars(begin, end, repeat);
+    if (result.ec != std::errc{} || result.ptr != end || repeat == 0) {
+      return std::nullopt;
+    }
+    rest = rest.substr(0, x_pos);
+  }
+  const auto* begin = rest.data();
+  const auto* end = begin + rest.size();
+  const auto result = std::from_chars(begin, end, spec.at);
+  if (result.ec != std::errc{} || result.ptr != end || spec.at == 0) {
+    return std::nullopt;
+  }
+  spec.repeat = repeat;
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectingFileOps
+
+std::optional<int> FaultInjectingFileOps::fault_for_op() noexcept {
+  if (dead_) return -EIO;
+  const std::uint64_t op = ++ops_;
+  // kShort and kTorn only distort write(); kNone only counts.
+  if (spec_.kind == FaultKind::kNone || spec_.kind == FaultKind::kTorn ||
+      spec_.kind == FaultKind::kShort) {
+    return std::nullopt;
+  }
+  if (op < spec_.at || op >= spec_.at + spec_.repeat) return std::nullopt;
+  ++faults_;
+  obs::count("io.fault.injected");
+  obs::count(std::string("io.fault.") + fault_kind_name(spec_.kind));
+  switch (spec_.kind) {
+    case FaultKind::kEintr: return -EINTR;
+    case FaultKind::kEagain: return -EAGAIN;
+    case FaultKind::kEnospc: return -ENOSPC;
+    case FaultKind::kKill:
+      dead_ = true;
+      return -EIO;
+    default:
+      return std::nullopt;
+  }
+}
+
+int FaultInjectingFileOps::open(const std::string& path, int flags,
+                                unsigned mode) noexcept {
+  if (const auto fault = fault_for_op()) return *fault;
+  return base_.open(path, flags, mode);
+}
+
+long FaultInjectingFileOps::write(int fd, const void* data,
+                                  std::size_t size) noexcept {
+  if (const auto fault = fault_for_op()) return *fault;
+  const std::uint64_t op = ops_;  // the number fault_for_op just assigned
+  std::size_t effective = size;
+  if (spec_.kind == FaultKind::kShort && op >= spec_.at &&
+      op < spec_.at + spec_.repeat && size > 1) {
+    effective = size / 2;
+    ++faults_;
+    obs::count("io.fault.injected");
+    obs::count("io.fault.short");
+  }
+  if (spec_.kind == FaultKind::kTorn) {
+    // Byte budget: the write that crosses it lands only partially on
+    // disk, then the "process" is dead.
+    if (bytes_ + effective > spec_.at) {
+      effective = static_cast<std::size_t>(spec_.at - bytes_);
+      dead_ = true;
+      ++faults_;
+      obs::count("io.fault.injected");
+      obs::count("io.fault.torn");
+      if (effective == 0) return -EIO;
+    }
+  }
+  const long n = base_.write(fd, data, effective);
+  if (n > 0) bytes_ += static_cast<std::uint64_t>(n);
+  return n;
+}
+
+int FaultInjectingFileOps::fsync(int fd) noexcept {
+  if (const auto fault = fault_for_op()) return *fault;
+  return base_.fsync(fd);
+}
+
+int FaultInjectingFileOps::close(int fd) noexcept {
+  if (dead_) {
+    // Still release the descriptor: the simulated process is gone, but
+    // the test harness must not leak fds across thousands of kill points.
+    base_.close(fd);
+    return -EIO;
+  }
+  return base_.close(fd);
+}
+
+int FaultInjectingFileOps::rename(const std::string& from,
+                                  const std::string& to) noexcept {
+  if (const auto fault = fault_for_op()) return *fault;
+  return base_.rename(from, to);
+}
+
+int FaultInjectingFileOps::unlink(const std::string& path) noexcept {
+  if (dead_) return -EIO;
+  return base_.unlink(path);
+}
+
+int FaultInjectingFileOps::ftruncate(int fd, std::uint64_t size) noexcept {
+  if (dead_) return -EIO;
+  return base_.ftruncate(fd, size);
+}
+
+// ---------------------------------------------------------------------------
+// RetryPolicy
+
+std::chrono::microseconds RetryPolicy::delay_for(int attempt) const noexcept {
+  std::uint64_t delay = static_cast<std::uint64_t>(base_delay.count());
+  for (int i = 1; i < attempt && delay < static_cast<std::uint64_t>(
+                                             max_delay.count());
+       ++i) {
+    delay *= 2;
+  }
+  delay = std::min(delay, static_cast<std::uint64_t>(max_delay.count()));
+  // Deterministic jitter (golden-ratio hash of the attempt number):
+  // +-25% spread without a global RNG, so test runs are reproducible.
+  const std::uint64_t hash =
+      static_cast<std::uint64_t>(attempt) * 0x9E3779B97F4A7C15ULL;
+  const std::uint64_t jitter = (hash >> 32) % (delay / 2 + 1);
+  return std::chrono::microseconds(delay * 3 / 4 + jitter);
+}
+
+bool is_transient_io_error(int err) noexcept {
+  return err == EINTR || err == EAGAIN;
+}
+
+namespace {
+
+void sleep_for(const RetryPolicy& policy, int attempt) {
+  const auto delay = policy.delay_for(attempt);
+  if (policy.sleeper != nullptr) {
+    policy.sleeper(delay);
+  } else {
+    std::this_thread::sleep_for(delay);
+  }
+}
+
+[[noreturn]] void throw_io_error(const char* who, const std::string& action,
+                                 const std::filesystem::path& path, int err) {
+  throw ContainerError(ContainerErrc::kIoError,
+                       std::string(who) + ": " + action + " failed on " +
+                           path.string() + ": " + errno_text(err));
+}
+
+/// Run `op` (returning 0/fd on success, -errno on failure) with bounded
+/// retries on transient errors.  Returns the final op result.
+template <typename Op>
+long with_retries(Op&& op, const RetryPolicy& policy) {
+  long result = op();
+  for (int attempt = 1;
+       result < 0 && is_transient_io_error(static_cast<int>(-result)) &&
+       attempt < policy.max_attempts;
+       ++attempt) {
+    obs::count("io.retry.attempts");
+    sleep_for(policy, attempt);
+    result = op();
+  }
+  if (result < 0 && is_transient_io_error(static_cast<int>(-result))) {
+    obs::count("io.retry.exhausted");
+  }
+  return result;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DurableFile
+
+DurableFile::DurableFile(int fd, std::filesystem::path path, const char* who,
+                         RetryPolicy policy) noexcept
+    : fd_(fd), path_(std::move(path)), who_(who), policy_(policy) {}
+
+DurableFile::DurableFile(DurableFile&& other) noexcept
+    : fd_(other.fd_),
+      path_(std::move(other.path_)),
+      who_(other.who_),
+      policy_(other.policy_) {
+  other.fd_ = -1;
+}
+
+DurableFile::~DurableFile() {
+  if (fd_ >= 0) file_ops().close(fd_);
+}
+
+DurableFile DurableFile::create_truncate(const std::filesystem::path& path,
+                                         const char* who,
+                                         const RetryPolicy& policy) {
+  const long fd = with_retries(
+      [&] { return static_cast<long>(file_ops().open(
+                path.string(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                0644)); },
+      policy);
+  if (fd < 0) throw_io_error(who, "open", path, static_cast<int>(-fd));
+  return DurableFile(static_cast<int>(fd), path, who, policy);
+}
+
+DurableFile DurableFile::create_exclusive(const std::filesystem::path& path,
+                                          const char* who,
+                                          const RetryPolicy& policy) {
+  // O_APPEND keeps writes glued to end-of-file even after a failed append
+  // is truncated away, matching the journal's committed-prefix invariant.
+  const long fd = with_retries(
+      [&] { return static_cast<long>(file_ops().open(
+                path.string(),
+                O_WRONLY | O_CREAT | O_EXCL | O_APPEND | O_CLOEXEC, 0644)); },
+      policy);
+  if (fd < 0) {
+    const int err = static_cast<int>(-fd);
+    std::string action = "exclusive create";
+    if (err == EEXIST) {
+      action += " (already exists -- another writer is active, or a "
+                "crashed run left it behind; resume or remove it)";
+    }
+    throw_io_error(who, action, path, err);
+  }
+  return DurableFile(static_cast<int>(fd), path, who, policy);
+}
+
+DurableFile DurableFile::open_append(const std::filesystem::path& path,
+                                     const char* who,
+                                     const RetryPolicy& policy) {
+  const long fd = with_retries(
+      [&] { return static_cast<long>(file_ops().open(
+                path.string(), O_WRONLY | O_APPEND | O_CLOEXEC, 0644)); },
+      policy);
+  if (fd < 0) throw_io_error(who, "open for append", path, static_cast<int>(-fd));
+  return DurableFile(static_cast<int>(fd), path, who, policy);
+}
+
+void DurableFile::write_all(std::span<const std::uint8_t> bytes) {
+  std::size_t written = 0;
+  int failures = 0;
+  while (written < bytes.size()) {
+    const long n = file_ops().write(fd_, bytes.data() + written,
+                                    bytes.size() - written);
+    if (n < 0) {
+      const int err = static_cast<int>(-n);
+      if (is_transient_io_error(err) && failures + 1 < policy_.max_attempts) {
+        ++failures;
+        obs::count("io.retry.attempts");
+        sleep_for(policy_, failures);
+        continue;
+      }
+      if (is_transient_io_error(err)) obs::count("io.retry.exhausted");
+      throw_io_error(who_, "write", path_, err);
+    }
+    if (static_cast<std::size_t>(n) < bytes.size() - written) {
+      // Short write: not an error, but worth a counter -- the loop simply
+      // continues from where the kernel stopped.
+      obs::count("io.retry.short_writes");
+    }
+    written += static_cast<std::size_t>(n);
+    failures = 0;  // progress resets the transient-failure budget
+  }
+}
+
+void DurableFile::sync() {
+  const long result =
+      with_retries([&] { return static_cast<long>(file_ops().fsync(fd_)); },
+                   policy_);
+  if (result < 0) throw_io_error(who_, "fsync", path_, static_cast<int>(-result));
+}
+
+void DurableFile::truncate(std::uint64_t size) {
+  const int result = file_ops().ftruncate(fd_, size);
+  if (result < 0) throw_io_error(who_, "ftruncate", path_, -result);
+}
+
+void DurableFile::close() {
+  if (fd_ < 0) return;
+  const int fd = fd_;
+  fd_ = -1;
+  const int result = file_ops().close(fd);
+  if (result < 0) throw_io_error(who_, "close", path_, -result);
+}
+
+// ---------------------------------------------------------------------------
+// Durable helpers
+
+std::filesystem::path unique_tmp_path(const std::filesystem::path& dest) {
+  static std::atomic<std::uint64_t> counter{0};
+  std::filesystem::path tmp = dest;
+  tmp += ".tmp." + std::to_string(::getpid()) + "." +
+         std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+  return tmp;
+}
+
+void fsync_parent_dir(const std::filesystem::path& path, const char* who,
+                      const RetryPolicy& policy) {
+  std::filesystem::path dir = path.parent_path();
+  if (dir.empty()) dir = ".";
+  const long fd = with_retries(
+      [&] { return static_cast<long>(file_ops().open(
+                dir.string(), O_RDONLY | O_DIRECTORY | O_CLOEXEC, 0)); },
+      policy);
+  if (fd < 0) throw_io_error(who, "open parent dir", dir, static_cast<int>(-fd));
+  const long synced = with_retries(
+      [&] { return static_cast<long>(file_ops().fsync(static_cast<int>(fd))); },
+      policy);
+  file_ops().close(static_cast<int>(fd));
+  if (synced < 0) {
+    throw_io_error(who, "fsync parent dir", dir, static_cast<int>(-synced));
+  }
+}
+
+void durable_rename(const std::filesystem::path& from,
+                    const std::filesystem::path& to, const char* who,
+                    const RetryPolicy& policy) {
+  const long renamed = with_retries(
+      [&] { return static_cast<long>(
+                file_ops().rename(from.string(), to.string())); },
+      policy);
+  if (renamed < 0) {
+    throw_io_error(who, "rename into " + to.string(), from,
+                   static_cast<int>(-renamed));
+  }
+  fsync_parent_dir(to, who, policy);
+}
+
+void atomic_publish_bytes(const std::filesystem::path& path,
+                          std::span<const std::uint8_t> bytes, const char* who,
+                          const RetryPolicy& policy) {
+  const std::filesystem::path tmp = unique_tmp_path(path);
+  try {
+    DurableFile file = DurableFile::create_truncate(tmp, who, policy);
+    file.write_all(bytes);
+    file.sync();
+    file.close();
+    durable_rename(tmp, path, who, policy);
+  } catch (...) {
+    // The staging file must never outlive a failed publish; the original
+    // error (with its errno text) is what propagates.
+    file_ops().unlink(tmp.string());
+    throw;
+  }
+}
+
+}  // namespace rmp::io

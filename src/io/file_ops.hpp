@@ -1,0 +1,215 @@
+// Virtual-filesystem seam for every durable write the archive layer
+// performs.  All container and sequence writes funnel through a FileOps
+// instance, so tests (and the RMP_IO_INJECT environment hook) can swap in
+// a fault-injecting implementation that produces short writes, EINTR,
+// ENOSPC, a hard "process died" kill at the Nth syscall, or a torn write
+// cut at byte K -- the failure modes a long-running simulation actually
+// meets in production (DESIGN.md §10).
+//
+// The interface is deliberately POSIX-shaped (fd + errno) rather than
+// iostream-shaped: durability needs fsync on the file *and* on the parent
+// directory after a rename, which iostreams cannot express.  Methods are
+// noexcept and return -errno on failure; the durable helpers below
+// translate failures into typed ContainerError{kIoError} with the OS
+// error text attached.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "io/container_error.hpp"
+
+namespace rmp::io {
+
+class FileOps {
+ public:
+  virtual ~FileOps() = default;
+
+  /// open(2): returns a file descriptor >= 0, or -errno.
+  virtual int open(const std::string& path, int flags,
+                   unsigned mode) noexcept = 0;
+  /// write(2): returns bytes written (possibly short), or -errno.
+  virtual long write(int fd, const void* data, std::size_t size) noexcept = 0;
+  virtual int fsync(int fd) noexcept = 0;
+  virtual int close(int fd) noexcept = 0;
+  virtual int rename(const std::string& from,
+                     const std::string& to) noexcept = 0;
+  virtual int unlink(const std::string& path) noexcept = 0;
+  virtual int ftruncate(int fd, std::uint64_t size) noexcept = 0;
+};
+
+/// The pass-through POSIX implementation.
+FileOps& real_file_ops() noexcept;
+
+/// The process-wide instance all durable writes go through.  On first use
+/// this consults RMP_IO_INJECT: when set to a valid fault spec, a
+/// fault-injecting wrapper around the real ops is installed, so any CLI
+/// invocation can be chaos-tested without recompiling.
+FileOps& file_ops() noexcept;
+
+/// Install `ops` (tests); nullptr restores the default (env-resolved)
+/// instance.  Returns the previous override, or nullptr.
+FileOps* set_file_ops(FileOps* ops) noexcept;
+
+// ---------------------------------------------------------------------------
+// Fault injection
+
+enum class FaultKind : std::uint8_t {
+  kNone,    ///< count ops, inject nothing (crash-harness calibration)
+  kEintr,   ///< the scheduled op fails with EINTR (transient)
+  kEagain,  ///< the scheduled op fails with EAGAIN (transient)
+  kShort,   ///< the scheduled write writes only half its bytes
+  kEnospc,  ///< the scheduled op fails with ENOSPC (permanent)
+  kKill,    ///< the scheduled op and every later op fail with EIO
+  kTorn,    ///< after K total payload bytes, cut mid-write and kill
+};
+
+/// One injected fault: `kind` strikes at 1-based op number `at` (ops =
+/// open/write/fsync/rename) and repeats for `repeat` consecutive ops.
+/// For kTorn, `at` is a byte budget over write payloads instead.
+///
+/// RMP_IO_INJECT grammar: "kind@n" with optional "xK" repeat, e.g.
+///   RMP_IO_INJECT=enospc@3     third op fails with ENOSPC
+///   RMP_IO_INJECT=eintr@2x3    ops 2-4 fail with EINTR, then succeed
+///   RMP_IO_INJECT=short@5      fifth op is a half-length write
+///   RMP_IO_INJECT=kill@7       op 7 onward all fail (simulated crash)
+///   RMP_IO_INJECT=torn@512     writes die mid-syscall after 512 bytes
+struct FaultSpec {
+  FaultKind kind = FaultKind::kNone;
+  std::uint64_t at = 0;
+  std::uint64_t repeat = 1;
+
+  static std::optional<FaultSpec> parse(std::string_view text) noexcept;
+};
+
+/// Deterministic fault-injecting wrapper.  Counts faultable ops (open,
+/// write, fsync, rename) and applies the spec; unlink/ftruncate/close
+/// pass through so cleanup paths stay observable.  Injections are
+/// recorded under obs counters "io.fault.injected" and
+/// "io.fault.<kind>".
+class FaultInjectingFileOps : public FileOps {
+ public:
+  explicit FaultInjectingFileOps(FaultSpec spec,
+                                 FileOps& base = real_file_ops()) noexcept
+      : base_(base), spec_(spec) {}
+
+  int open(const std::string& path, int flags, unsigned mode) noexcept override;
+  long write(int fd, const void* data, std::size_t size) noexcept override;
+  int fsync(int fd) noexcept override;
+  int close(int fd) noexcept override;
+  int rename(const std::string& from, const std::string& to) noexcept override;
+  int unlink(const std::string& path) noexcept override;
+  int ftruncate(int fd, std::uint64_t size) noexcept override;
+
+  std::uint64_t ops_seen() const noexcept { return ops_; }
+  std::uint64_t faults_injected() const noexcept { return faults_; }
+
+ private:
+  /// nullopt = op proceeds; otherwise the negative errno to return.
+  std::optional<int> fault_for_op() noexcept;
+
+  FileOps& base_;
+  FaultSpec spec_;
+  std::uint64_t ops_ = 0;          ///< faultable ops seen so far
+  std::uint64_t bytes_ = 0;        ///< payload bytes written (kTorn budget)
+  std::uint64_t faults_ = 0;
+  bool dead_ = false;              ///< kKill/kTorn tripped: all ops fail
+};
+
+// ---------------------------------------------------------------------------
+// Retry policy (transient failures only: EINTR / EAGAIN)
+
+struct RetryPolicy {
+  int max_attempts = 5;  ///< per syscall, counting the first try
+  std::chrono::microseconds base_delay{100};
+  std::chrono::microseconds max_delay{20'000};
+  /// Injectable sleeper so tests do not pay real backoff time; nullptr
+  /// sleeps for real.
+  void (*sleeper)(std::chrono::microseconds) = nullptr;
+
+  /// Backoff before retry `attempt` (1-based): bounded exponential with
+  /// deterministic jitter, so behaviour is reproducible under test.
+  std::chrono::microseconds delay_for(int attempt) const noexcept;
+};
+
+/// True for errno values worth retrying with backoff.
+bool is_transient_io_error(int err) noexcept;
+
+// ---------------------------------------------------------------------------
+// Durable file helpers (all routed through file_ops())
+
+/// RAII file descriptor with retrying full-write semantics.  Every method
+/// throws ContainerError{kIoError} carrying the OS error text on
+/// permanent failure; transient errors are retried per `policy` and
+/// counted under "io.retry.*".
+class DurableFile {
+ public:
+  /// O_WRONLY|O_CREAT|O_TRUNC -- staging files with unique names.
+  static DurableFile create_truncate(const std::filesystem::path& path,
+                                     const char* who,
+                                     const RetryPolicy& policy = {});
+  /// O_WRONLY|O_CREAT|O_EXCL -- refuses to clobber a concurrent writer's
+  /// (or crashed predecessor's) file.
+  static DurableFile create_exclusive(const std::filesystem::path& path,
+                                      const char* who,
+                                      const RetryPolicy& policy = {});
+  /// O_WRONLY|O_APPEND on an existing file (journal resume).
+  static DurableFile open_append(const std::filesystem::path& path,
+                                 const char* who,
+                                 const RetryPolicy& policy = {});
+
+  DurableFile(DurableFile&& other) noexcept;
+  DurableFile& operator=(DurableFile&&) = delete;
+  DurableFile(const DurableFile&) = delete;
+  DurableFile& operator=(const DurableFile&) = delete;
+  /// Best-effort close; use close() to surface errors.
+  ~DurableFile();
+
+  void write_all(std::span<const std::uint8_t> bytes);
+  void sync();
+  void truncate(std::uint64_t size);
+  void close();
+
+  bool is_open() const noexcept { return fd_ >= 0; }
+  const std::filesystem::path& path() const noexcept { return path_; }
+
+ private:
+  DurableFile(int fd, std::filesystem::path path, const char* who,
+              RetryPolicy policy) noexcept;
+
+  int fd_ = -1;
+  std::filesystem::path path_;
+  const char* who_ = "";
+  RetryPolicy policy_;
+};
+
+/// Unique staging-file name next to `dest`: "<dest>.tmp.<pid>.<counter>",
+/// so concurrent writers to the same destination never share a temp file.
+std::filesystem::path unique_tmp_path(const std::filesystem::path& dest);
+
+/// fsync the directory containing `path`, making a just-renamed entry
+/// durable.  Throws ContainerError{kIoError} on failure.
+void fsync_parent_dir(const std::filesystem::path& path, const char* who,
+                      const RetryPolicy& policy = {});
+
+/// rename(from, to) with transient-error retries, then fsync the parent
+/// directory of `to` so the new entry survives power loss.  Throws
+/// ContainerError{kIoError} with the OS error text; `from` is left in
+/// place on failure.
+void durable_rename(const std::filesystem::path& from,
+                    const std::filesystem::path& to, const char* who,
+                    const RetryPolicy& policy = {});
+
+/// The full durable atomic-publish protocol: write `bytes` to a unique
+/// temp next to `path`, flush, fsync, rename over `path`, fsync the
+/// parent directory.  The temp file is removed on every failure path; the
+/// destination is only ever the old content or the complete new bytes.
+void atomic_publish_bytes(const std::filesystem::path& path,
+                          std::span<const std::uint8_t> bytes, const char* who,
+                          const RetryPolicy& policy = {});
+
+}  // namespace rmp::io

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "io/checksum.hpp"
 #include "obs/obs.hpp"
 
 namespace rmp::io {
@@ -14,6 +15,58 @@ constexpr std::uint64_t kSequenceMagic = 0x51455351504D5252ULL;  // "RRMPQSEQ"
 // 0x50434D52), used by the forward-scan index rebuild.
 constexpr std::uint8_t kContainerMagicBytes[4] = {0x52, 0x4D, 0x43, 0x50};
 
+// Commit-marker magic ("RMSEQCM1" little-endian).  Chosen so its byte
+// pattern cannot be mistaken for a container header by the forward scan.
+constexpr std::uint64_t kCommitMagic = 0x314D435145534D52ULL;
+
+// Marker layout: magic u64 | step u64 | size u64 | payload crc32 | marker
+// crc32 (over the preceding 28 bytes).  Everything needed to decide "is
+// the container right before me complete and uncorrupted" without any
+// out-of-band state.
+struct CommitMarker {
+  std::uint64_t magic = kCommitMagic;
+  std::uint64_t step = 0;
+  std::uint64_t size = 0;
+  std::uint32_t payload_crc = 0;
+  std::uint32_t marker_crc = 0;
+};
+static_assert(sizeof(std::uint64_t) * 3 + sizeof(std::uint32_t) * 2 ==
+              kSequenceCommitMarkerBytes);
+
+std::vector<std::uint8_t> encode_marker(std::uint64_t step, std::uint64_t size,
+                                        std::uint32_t payload_crc) {
+  std::vector<std::uint8_t> bytes(kSequenceCommitMarkerBytes);
+  std::uint8_t* out = bytes.data();
+  auto put = [&out](const void* p, std::size_t n) {
+    std::memcpy(out, p, n);
+    out += n;
+  };
+  put(&kCommitMagic, 8);
+  put(&step, 8);
+  put(&size, 8);
+  put(&payload_crc, 4);
+  const std::uint32_t marker_crc =
+      crc32(std::span<const std::uint8_t>(bytes.data(), 28));
+  put(&marker_crc, 4);
+  return bytes;
+}
+
+bool decode_marker(std::span<const std::uint8_t> bytes, CommitMarker* marker) {
+  if (bytes.size() < kSequenceCommitMarkerBytes) return false;
+  const std::uint8_t* in = bytes.data();
+  auto get = [&in](void* p, std::size_t n) {
+    std::memcpy(p, in, n);
+    in += n;
+  };
+  get(&marker->magic, 8);
+  get(&marker->step, 8);
+  get(&marker->size, 8);
+  get(&marker->payload_crc, 4);
+  get(&marker->marker_crc, 4);
+  return marker->magic == kCommitMagic &&
+         marker->marker_crc == crc32(bytes.first(28));
+}
+
 }  // namespace
 
 std::size_t SequenceScanReport::ok_count() const {
@@ -22,24 +75,104 @@ std::size_t SequenceScanReport::ok_count() const {
                     [](const StepHealth& s) { return s.ok; }));
 }
 
-SequenceWriter::SequenceWriter(const std::filesystem::path& path,
-                               const SerializeOptions& options)
-    : path_(path), tmp_path_(path), options_(options) {
-  tmp_path_ += ".tmp";
-  file_.open(tmp_path_, std::ios::binary | std::ios::trunc);
-  if (!file_) {
-    throw ContainerError(ContainerErrc::kIoError,
-                         "SequenceWriter: cannot open " + tmp_path_.string());
-  }
+std::filesystem::path sequence_journal_path(
+    const std::filesystem::path& path) {
+  std::filesystem::path journal = path;
+  journal += ".part";
+  return journal;
 }
 
-SequenceWriter::~SequenceWriter() {
-  if (!finished_) {
-    try {
-      finish();
-    } catch (...) {
-      // Destructors must not throw; an explicit finish() surfaces errors.
+JournalScan scan_sequence_journal(
+    std::span<const std::uint8_t> bytes) noexcept {
+  JournalScan scan;
+  std::size_t pos = 0;
+  std::uint64_t step = 0;
+  while (pos < bytes.size()) {
+    const auto sub = bytes.subspan(pos);
+    const auto size = probe_container(sub);
+    if (!size) break;
+    if (*size > sub.size() ||
+        sub.size() - *size < kSequenceCommitMarkerBytes) {
+      break;  // container or its marker runs past the end: torn append
     }
+    CommitMarker marker;
+    if (!decode_marker(sub.subspan(*size), &marker)) break;
+    if (marker.step != step || marker.size != *size ||
+        marker.payload_crc != crc32(sub.first(*size))) {
+      break;
+    }
+    scan.entries.push_back({pos, *size});
+    pos += *size + kSequenceCommitMarkerBytes;
+    ++step;
+  }
+  scan.committed_bytes = pos;
+  scan.torn_bytes = bytes.size() - pos;
+  return scan;
+}
+
+SequenceWriter::SequenceWriter(const std::filesystem::path& path,
+                               const SerializeOptions& options)
+    : file_(DurableFile::create_exclusive(sequence_journal_path(path),
+                                          "SequenceWriter")),
+      path_(path),
+      journal_path_(sequence_journal_path(path)),
+      options_(options) {}
+
+SequenceWriter::SequenceWriter(ResumeTag, const std::filesystem::path& path,
+                               const SerializeOptions& options)
+    : file_(DurableFile::open_append(sequence_journal_path(path),
+                                     "SequenceWriter::resume")),
+      path_(path),
+      journal_path_(sequence_journal_path(path)),
+      options_(options) {
+  // Validate the committed prefix and drop any torn tail the crashed run
+  // left behind (a half-written append or a partial trailer).
+  std::vector<std::uint8_t> bytes;
+  {
+    std::ifstream in(journal_path_, std::ios::binary | std::ios::ate);
+    if (!in) {
+      throw ContainerError(ContainerErrc::kIoError,
+                           "SequenceWriter::resume: cannot read journal " +
+                               journal_path_.string());
+    }
+    bytes.resize(static_cast<std::size_t>(in.tellg()));
+    in.seekg(0);
+    in.read(reinterpret_cast<char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+    if (!in) {
+      throw ContainerError(ContainerErrc::kIoError,
+                           "SequenceWriter::resume: cannot read journal " +
+                               journal_path_.string());
+    }
+  }
+  const JournalScan scan = scan_sequence_journal(bytes);
+  if (scan.torn_bytes > 0) {
+    file_.truncate(scan.committed_bytes);
+    obs::count("io.sequence.resume_truncated_bytes", scan.torn_bytes);
+  }
+  index_ = scan.entries;
+  committed_bytes_ = scan.committed_bytes;
+  obs::count("io.sequence.resumes");
+}
+
+SequenceWriter SequenceWriter::resume(const std::filesystem::path& path,
+                                      const SerializeOptions& options) {
+  return SequenceWriter(ResumeTag{}, path, options);
+}
+
+SequenceWriter::SequenceWriter(SequenceWriter&& other) noexcept = default;
+
+SequenceWriter::~SequenceWriter() {
+  if (finished_ || !file_.is_open()) return;
+  // Commit the prefix instead of attempting a full publish: every append
+  // already fsync'd its commit marker, so closing the journal is enough
+  // for an abandoned writer to leave a resumable file -- never a
+  // half-written destination.  Failures cannot escape a destructor; they
+  // are recorded instead.
+  try {
+    file_.close();
+  } catch (...) {
+    obs::count("io.sequence.destructor_finish_failures");
   }
 }
 
@@ -47,15 +180,33 @@ std::size_t SequenceWriter::append(const Container& container) {
   if (finished_) {
     throw std::logic_error("SequenceWriter: append after finish");
   }
-  const auto bytes = serialize(container, options_);
-  const auto offset = static_cast<std::uint64_t>(file_.tellp());
-  file_.write(reinterpret_cast<const char*>(bytes.data()),
-              static_cast<std::streamsize>(bytes.size()));
-  if (!file_) {
+  if (failed_) {
     throw ContainerError(ContainerErrc::kIoError,
-                         "SequenceWriter: write failed");
+                         "SequenceWriter: earlier write failure on " +
+                             journal_path_.string() +
+                             "; reopen with SequenceWriter::resume");
   }
-  index_.push_back({offset, bytes.size()});
+  const auto bytes = serialize(container, options_);
+  const auto marker =
+      encode_marker(index_.size(), bytes.size(), crc32(bytes));
+  try {
+    file_.write_all(bytes);
+    file_.write_all(marker);
+    // The fsync IS the commit: once it returns, this step survives any
+    // crash.  A failure before it leaves a torn tail that resume() (or
+    // the truncate below) discards.
+    file_.sync();
+  } catch (...) {
+    failed_ = true;
+    try {
+      file_.truncate(committed_bytes_);
+    } catch (...) {
+      // Best effort: resume() re-derives the committed prefix anyway.
+    }
+    throw;
+  }
+  index_.push_back({committed_bytes_, bytes.size()});
+  committed_bytes_ += bytes.size() + kSequenceCommitMarkerBytes;
   obs::count("io.sequence.steps_written");
   obs::count("io.sequence.bytes_written", bytes.size());
   return index_.size() - 1;
@@ -63,29 +214,38 @@ std::size_t SequenceWriter::append(const Container& container) {
 
 void SequenceWriter::finish() {
   if (finished_) return;
+  if (failed_) {
+    throw ContainerError(ContainerErrc::kIoError,
+                         "SequenceWriter: earlier write failure on " +
+                             journal_path_.string() +
+                             "; reopen with SequenceWriter::resume");
+  }
+  std::vector<std::uint8_t> trailer;
+  trailer.reserve(index_.size() * 16 + 16);
+  auto put_u64 = [&trailer](std::uint64_t v) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    trailer.insert(trailer.end(), p, p + 8);
+  };
+  for (const JournalScan::Entry& entry : index_) {
+    put_u64(entry.offset);
+    put_u64(entry.size);
+  }
+  put_u64(index_.size());
+  put_u64(kSequenceMagic);
+  try {
+    file_.write_all(trailer);
+    file_.sync();
+    file_.close();
+    // Atomic durable publish: rename the journal over the destination and
+    // fsync the parent directory so the new entry survives power loss.
+    // On failure the journal stays put -- it is the resumable artifact,
+    // not a disposable temp.
+    durable_rename(journal_path_, path_, "SequenceWriter::finish");
+  } catch (...) {
+    failed_ = true;
+    throw;
+  }
   finished_ = true;
-  for (const Entry& entry : index_) {
-    file_.write(reinterpret_cast<const char*>(&entry.offset), 8);
-    file_.write(reinterpret_cast<const char*>(&entry.size), 8);
-  }
-  const std::uint64_t count = index_.size();
-  file_.write(reinterpret_cast<const char*>(&count), 8);
-  file_.write(reinterpret_cast<const char*>(&kSequenceMagic), 8);
-  file_.flush();
-  if (!file_) {
-    throw ContainerError(ContainerErrc::kIoError,
-                         "SequenceWriter: finish failed");
-  }
-  file_.close();
-  // Atomic publish: the destination either keeps its previous content or
-  // becomes the complete new archive, never a torn intermediate.
-  std::error_code ec;
-  std::filesystem::rename(tmp_path_, path_, ec);
-  if (ec) {
-    throw ContainerError(ContainerErrc::kIoError,
-                         "SequenceWriter: cannot rename " +
-                             tmp_path_.string() + " into " + path_.string());
-  }
 }
 
 SequenceReader::SequenceReader(const std::filesystem::path& path,
@@ -158,7 +318,19 @@ void SequenceReader::rebuild_index(std::uint64_t file_size) {
                          "SequenceReader: cannot read file for index rebuild");
   }
   const std::span<const std::uint8_t> span(bytes);
-  std::size_t pos = 0;
+
+  // A journaled file (crashed writer, or a trailer chopped off) carries a
+  // validated commit marker after every step: trust that chain first.
+  const JournalScan scan = scan_sequence_journal(span);
+  for (const auto& entry : scan.entries) {
+    index_.push_back({entry.offset, entry.size});
+  }
+
+  // Fall back to (or continue with) the magic-byte scan past the
+  // committed prefix: recovers marker-less files written by older
+  // versions and steps whose own marker was damaged but whose container
+  // still decodes.
+  std::size_t pos = static_cast<std::size_t>(scan.committed_bytes);
   while (pos + sizeof(kContainerMagicBytes) <= bytes.size()) {
     const auto it = std::search(bytes.begin() + static_cast<std::ptrdiff_t>(pos),
                                 bytes.end(), std::begin(kContainerMagicBytes),

@@ -3,62 +3,120 @@
 // with a trailing index, so individual steps can be read back without
 // scanning the whole file.
 //
-// Layout:  [container 0][container 1]...[index][index size u64][magic]
-// The index is a list of (offset, size) pairs.  Each embedded container
-// carries its own integrity metadata (io/container.cpp), so corruption is
-// detected -- and, with parity, repaired -- at step granularity.
+// Layout:  [step 0][commit 0][step 1][commit 1]...[index][count u64][magic]
+// Each step is a serialized container followed by a 32-byte CRC'd commit
+// marker; the trailing index is a list of (offset, size) pairs addressing
+// the containers.  Each embedded container carries its own integrity
+// metadata (io/container.cpp), so corruption is detected -- and, with
+// parity, repaired -- at step granularity.
 //
-// Robustness: the writer stages everything in a temp file and renames it
-// into place on finish(), so a crashed writer never leaves a torn archive
-// at the destination.  The reader, when the trailer is missing or the
-// index is implausible (e.g. a recovered temp file from a crashed
-// writer), rebuilds the index by forward-scanning for container headers,
-// and read_all_salvage() skips-and-reports corrupt steps instead of
-// aborting.
+// Durability (DESIGN.md §10): the writer journals into `<path>.part` and
+// fsyncs after every commit marker, so every *completed* append survives
+// a crash; finish() writes the trailer, fsyncs, renames the journal over
+// the destination and fsyncs the parent directory.  The destination is
+// therefore always either the previous complete archive or the new
+// complete archive, and the journal is always a resumable prefix.
+// SequenceWriter::resume() reopens a crashed run's journal, validates the
+// committed prefix, truncates any torn tail, and continues appending.
+// The reader, when the trailer is missing or the index is implausible
+// (e.g. a recovered journal), rebuilds the index by forward-scanning for
+// container headers, and read_all_salvage() skips-and-reports corrupt
+// steps instead of aborting.
 #pragma once
 
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "io/container.hpp"
+#include "io/file_ops.hpp"
 
 namespace rmp::io {
 
+/// Bytes of the per-step commit marker: magic u64, step u64, size u64,
+/// payload CRC-32, marker CRC-32 (see sequence_file.cpp).
+inline constexpr std::size_t kSequenceCommitMarkerBytes = 8 + 8 + 8 + 4 + 4;
+
+/// Where SequenceWriter journals steps before publishing: "<path>.part".
+/// Deliberately deterministic (unlike write_container's unique temps) so
+/// a later `resume` can find it; exclusive creation keeps two concurrent
+/// writers from clobbering each other.
+std::filesystem::path sequence_journal_path(const std::filesystem::path& path);
+
+/// Committed-prefix scan of a journal (or any byte buffer): entries for
+/// every [container][valid commit marker] pair from offset 0, stopping at
+/// the first break in the chain.  `committed_bytes` is where the valid
+/// prefix ends; anything beyond it is a torn tail from a crashed append
+/// (or a partially written trailer).  Never throws.
+struct JournalScan {
+  struct Entry {
+    std::uint64_t offset = 0;  ///< of the container, not the marker
+    std::uint64_t size = 0;
+  };
+  std::vector<Entry> entries;
+  std::uint64_t committed_bytes = 0;
+  std::uint64_t torn_bytes = 0;  ///< bytes past the committed prefix
+};
+JournalScan scan_sequence_journal(std::span<const std::uint8_t> bytes) noexcept;
+
 class SequenceWriter {
  public:
-  /// Opens (truncates) a staging temp file; throws on failure.  The
-  /// destination only appears once finish() renames the temp over it.
+  /// Starts a fresh journal at `<path>.part` (exclusive creation: throws
+  /// ContainerError{kIoError} if one already exists, instead of silently
+  /// clobbering a concurrent or crashed writer's work).  The destination
+  /// only changes once finish() renames the journal over it.
   explicit SequenceWriter(const std::filesystem::path& path,
                           const SerializeOptions& options = {});
-  ~SequenceWriter();
 
+  /// Reopens a crashed run's journal: validates the committed prefix,
+  /// truncates any torn tail, and returns a writer that continues
+  /// appending after the last committed step.  `options` must match the
+  /// original run for the final archive to be byte-identical to an
+  /// uninterrupted one.  Throws ContainerError{kIoError} when no journal
+  /// exists.
+  static SequenceWriter resume(const std::filesystem::path& path,
+                               const SerializeOptions& options = {});
+
+  SequenceWriter(SequenceWriter&& other) noexcept;
   SequenceWriter(const SequenceWriter&) = delete;
   SequenceWriter& operator=(const SequenceWriter&) = delete;
+  SequenceWriter& operator=(SequenceWriter&&) = delete;
 
-  /// Append one container; returns its step index.
+  /// Commits the prefix: the journal keeps every completed append and
+  /// stays on disk for resume().  finish() failures are recorded under
+  /// the obs counter "io.sequence.destructor_finish_failures"; only an
+  /// explicit finish() publishes and surfaces errors.
+  ~SequenceWriter();
+
+  /// Append one container and fsync its commit marker; returns its step
+  /// index.  On failure the journal is truncated back to the committed
+  /// prefix (best effort) and a typed error with the OS error text is
+  /// thrown -- previously committed steps are never lost.
   std::size_t append(const Container& container);
 
-  /// Write the trailing index, close, and atomically rename into place.
-  /// Called by the destructor if not done explicitly; explicit calls
-  /// surface errors.
+  /// Write the trailing index, fsync, atomically rename the journal over
+  /// the destination, and fsync the parent directory.
   void finish();
 
+  /// Steps committed to the journal (including any resumed prefix).
   std::size_t steps_written() const noexcept { return index_.size(); }
 
  private:
-  struct Entry {
-    std::uint64_t offset;
-    std::uint64_t size;
-  };
-  std::ofstream file_;
+  struct ResumeTag {};
+  SequenceWriter(ResumeTag, const std::filesystem::path& path,
+                 const SerializeOptions& options);
+
+  DurableFile file_;
   std::filesystem::path path_;
-  std::filesystem::path tmp_path_;
+  std::filesystem::path journal_path_;
   SerializeOptions options_;
-  std::vector<Entry> index_;
+  std::vector<JournalScan::Entry> index_;
+  std::uint64_t committed_bytes_ = 0;
   bool finished_ = false;
+  bool failed_ = false;
 };
 
 struct SequenceReadOptions {

@@ -1,18 +1,52 @@
 // Deterministic fault-injection helpers for the robustness suites: seeded
 // bit flips, truncations and targeted section corruption against the v3
 // container layout (payloads concatenated at the end of the buffer, parity
-// block last).
+// block last), plus RAII hooks into the io::FileOps VFS seam for syscall-
+// level faults (ENOSPC, EINTR, short writes, kill-at-Nth-op, torn writes).
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <random>
 #include <span>
 #include <vector>
 
 #include "io/container.hpp"
+#include "io/file_ops.hpp"
 
 namespace rmp::testing {
+
+/// Installs a FaultInjectingFileOps over the global seam for the current
+/// scope; restores the previous ops on destruction.  Not nestable across
+/// threads -- intended for single-threaded test bodies (the staging test
+/// installs it before starting the worker).
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(io::FaultSpec spec)
+      : ops_(spec), previous_(io::set_file_ops(&ops_)) {}
+  ~ScopedFaultInjection() { io::set_file_ops(previous_); }
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+  std::uint64_t ops_seen() const noexcept { return ops_.ops_seen(); }
+  std::uint64_t faults_injected() const noexcept {
+    return ops_.faults_injected();
+  }
+
+ private:
+  io::FaultInjectingFileOps ops_;
+  io::FileOps* previous_;
+};
+
+/// A retry policy whose backoff costs no wall time (tests sweep hundreds
+/// of fault points; real exponential sleeps would dominate the suite).
+inline io::RetryPolicy instant_retry_policy() {
+  io::RetryPolicy policy;
+  policy.sleeper = [](std::chrono::microseconds) {};
+  return policy;
+}
 
 inline void flip_bit(std::vector<std::uint8_t>& bytes, std::size_t bit) {
   bytes.at(bit / 8) ^= static_cast<std::uint8_t>(1u << (bit % 8));

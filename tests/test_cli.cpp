@@ -321,6 +321,91 @@ TEST_F(CliTest, ArchivesAreByteIdenticalWithObsOnAndOff) {
   EXPECT_EQ(bytes_a, bytes_b);
 }
 
+int run_rmpc_env(const std::string& env, const std::string& args) {
+  const std::string command = env + " " + std::string(RMPC_BINARY) + " " +
+                              args + " > /dev/null 2>&1";
+  return std::system(command.c_str());
+}
+
+std::vector<char> slurp_bytes(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), {}};
+}
+
+TEST_F(CliTest, SequenceWriteAndResumeAfterInjectedCrash) {
+  const fs::path ref = dir_ / "ref.rmps";
+  const fs::path out = dir_ / "out.rmps";
+  const std::string inputs =
+      quoted(input_) + " " + quoted(input_) + " " + quoted(input_);
+  const std::string tail = " --dims 16,16,16 --method pca --codec sz";
+
+  ASSERT_EQ(run_rmpc("sequence " + inputs + " " + quoted(ref) + tail), 0);
+  ASSERT_TRUE(fs::exists(ref));
+
+  // Simulated crash partway through the third step's write: the run must
+  // exit with a typed error (not a signal) and leave a resumable journal,
+  // never a torn destination.
+  const int status = run_rmpc_env("RMP_IO_INJECT=kill@8",
+                                  "sequence " + inputs + " " + quoted(out) +
+                                      tail);
+  ASSERT_NE(status, 0);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_FALSE(fs::exists(out));
+  EXPECT_TRUE(fs::exists(dir_ / "out.rmps.part"));
+
+  ASSERT_EQ(run_rmpc("resume " + inputs + " " + quoted(out) + tail), 0);
+  ASSERT_TRUE(fs::exists(out));
+  EXPECT_FALSE(fs::exists(dir_ / "out.rmps.part"));
+  EXPECT_EQ(slurp_bytes(out), slurp_bytes(ref));
+}
+
+TEST_F(CliTest, ResumeOnCompleteArchiveIsANoOp) {
+  const fs::path out = dir_ / "done.rmps";
+  const std::string inputs = quoted(input_) + " " + quoted(input_);
+  const std::string tail = " --dims 16,16,16 --method pca";
+  ASSERT_EQ(run_rmpc("sequence " + inputs + " " + quoted(out) + tail), 0);
+  const auto before = slurp_bytes(out);
+  EXPECT_EQ(run_rmpc("resume " + inputs + " " + quoted(out) + tail), 0);
+  EXPECT_EQ(slurp_bytes(out), before);
+}
+
+TEST_F(CliTest, InjectedDiskFullIsATypedErrorNotACrash) {
+  const fs::path archive = dir_ / "full_disk.rmp";
+  const int status = run_rmpc_env(
+      "RMP_IO_INJECT=enospc@2",
+      "compress " + quoted(input_) + " " + quoted(archive) +
+          " --dims 16,16,16 --method pca");
+  ASSERT_TRUE(WIFEXITED(status)) << "rmpc crashed instead of reporting";
+  EXPECT_EQ(WEXITSTATUS(status), 1);
+  EXPECT_FALSE(fs::exists(archive));
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    EXPECT_EQ(entry.path().filename().string().find(".tmp."),
+              std::string::npos)
+        << "leaked staging file " << entry.path();
+  }
+}
+
+TEST_F(CliTest, InjectedTransientFaultIsRetriedToByteIdenticalOutput) {
+  const fs::path clean = dir_ / "clean.rmp";
+  const fs::path faulted = dir_ / "faulted.rmp";
+  const fs::path stats = dir_ / "stats.json";
+  const std::string tail = " --dims 16,16,16 --method pca --codec sz";
+  ASSERT_EQ(run_rmpc("compress " + quoted(input_) + " " + quoted(clean) +
+                     tail),
+            0);
+  ASSERT_EQ(run_rmpc_env("RMP_IO_INJECT=eintr@2",
+                         "compress " + quoted(input_) + " " +
+                             quoted(faulted) + tail + " --stats=" +
+                             stats.string()),
+            0);
+  EXPECT_EQ(slurp_bytes(faulted), slurp_bytes(clean));
+  // The retry must be visible in the observability report.
+  const std::string report(slurp_bytes(stats).data(),
+                           slurp_bytes(stats).size());
+  EXPECT_NE(report.find("io.retry.attempts"), std::string::npos);
+  EXPECT_NE(report.find("io.fault.eintr"), std::string::npos);
+}
+
 TEST_F(CliTest, ZfpCodecPathWorks) {
   const fs::path archive = dir_ / "zfp.rmp";
   const fs::path output = dir_ / "zfp_out.f64";

@@ -1,0 +1,250 @@
+// Crash-consistency harness for the journaled sequence writer
+// (DESIGN.md §10).  A 3-step sequence write is replayed once per possible
+// crash point -- a hard kill at every faultable syscall, and a torn write
+// cut at every byte boundary -- and after each simulated death the disk
+// state must be classifiable as exactly one of:
+//
+//   old-complete      the destination is untouched (here: absent) and the
+//                     journal holds a valid committed prefix, or nothing
+//                     was created at all;
+//   new-complete      the rename landed, so the destination is the full,
+//                     byte-identical archive;
+//   resumable-prefix  the journal's committed prefix decodes to the first
+//                     m reference steps, the tail past it is discardable.
+//
+// Never a torn destination, and never a committed step that fails to
+// decode.  Each replay then finishes the run through resume() and must
+// produce a final archive byte-identical to an uninterrupted one.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fault_injection.hpp"
+#include "io/container.hpp"
+#include "io/sequence_file.hpp"
+#include "obs/obs.hpp"
+
+namespace rmp::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr int kSteps = 3;
+
+Container sample(int i) {
+  Container c;
+  c.method = "crash_step" + std::to_string(i);
+  c.nx = static_cast<std::uint64_t>(i + 1);
+  c.ny = 2;
+  c.add("data", std::vector<std::uint8_t>(static_cast<std::size_t>(24 + 7 * i),
+                                          static_cast<std::uint8_t>(0x40 + i)));
+  c.add("meta", std::vector<std::uint8_t>{1, 2, 3, 4});
+  return c;
+}
+
+std::vector<char> slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  std::vector<char> bytes(static_cast<std::size_t>(in.tellg()));
+  in.seekg(0);
+  in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return bytes;
+}
+
+std::vector<std::uint8_t> slurp_u8(const fs::path& path) {
+  const auto chars = slurp(path);
+  return {chars.begin(), chars.end()};
+}
+
+class CrashConsistencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("rmp_crash_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+    dest_ = dir_ / "run.rmps";
+    journal_ = sequence_journal_path(dest_);
+    obs::set_enabled(true);
+
+    // The uninterrupted reference archive every replay must converge to.
+    const auto ref = dir_ / "reference.rmps";
+    write_full_sequence(ref);
+    reference_ = slurp(ref);
+    ASSERT_FALSE(reference_.empty());
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  static void write_full_sequence(const fs::path& path) {
+    SequenceWriter writer(path);
+    for (int i = 0; i < kSteps; ++i) writer.append(sample(i));
+    writer.finish();
+  }
+
+  /// Runs the full 3-step write against the currently installed FileOps,
+  /// swallowing the typed error a mid-run fault produces.  Returns true
+  /// when the run completed.  The writer's destructor executes while the
+  /// injector is still live, exactly like an in-process crash unwinding.
+  bool attempt_run() {
+    try {
+      write_full_sequence(dest_);
+      return true;
+    } catch (const ContainerError&) {
+      return false;
+    }
+  }
+
+  /// Classify the post-crash disk state and drive it to completion.
+  /// Returns which of the three legal states the crash left behind.
+  enum class State { kOldComplete, kNewComplete, kResumablePrefix };
+  State verify_and_complete(std::uint64_t crash_point) {
+    const std::string where = "crash point " + std::to_string(crash_point);
+
+    if (fs::exists(dest_)) {
+      // The rename landed: nothing less than the full archive may ever
+      // appear under the destination name.
+      EXPECT_EQ(slurp(dest_), reference_) << where << ": torn destination";
+      EXPECT_FALSE(fs::exists(journal_))
+          << where << ": journal outlived its rename";
+      return State::kNewComplete;
+    }
+
+    if (!fs::exists(journal_)) {
+      // Death before the journal was even created: rerun from scratch.
+      write_full_sequence(dest_);
+      EXPECT_EQ(slurp(dest_), reference_) << where;
+      return State::kOldComplete;
+    }
+
+    // Journal on disk: its committed prefix must decode to exactly the
+    // first m reference steps -- never a torn or reordered one.
+    const auto journal_bytes = slurp_u8(journal_);
+    const JournalScan scan = scan_sequence_journal(journal_bytes);
+    EXPECT_LE(scan.entries.size(), static_cast<std::size_t>(kSteps)) << where;
+    for (std::size_t s = 0; s < scan.entries.size(); ++s) {
+      const auto& entry = scan.entries[s];
+      const std::span<const std::uint8_t> step_bytes(
+          journal_bytes.data() + entry.offset, entry.size);
+      try {
+        const Container decoded = deserialize(step_bytes);
+        EXPECT_EQ(decoded.method, "crash_step" + std::to_string(s)) << where;
+      } catch (const std::exception& e) {
+        ADD_FAILURE() << where << ": committed step " << s
+                      << " does not decode: " << e.what();
+      }
+    }
+
+    auto writer = SequenceWriter::resume(dest_);
+    EXPECT_EQ(writer.steps_written(), scan.entries.size()) << where;
+    for (auto s = writer.steps_written(); s < kSteps; ++s) {
+      writer.append(sample(static_cast<int>(s)));
+    }
+    writer.finish();
+    EXPECT_EQ(slurp(dest_), reference_)
+        << where << ": resumed archive differs from uninterrupted one";
+    return State::kResumablePrefix;
+  }
+
+  void reset_attempt_state() {
+    fs::remove(dest_);
+    fs::remove(journal_);
+  }
+
+  fs::path dir_;
+  fs::path dest_;
+  fs::path journal_;
+  std::vector<char> reference_;
+};
+
+TEST_F(CrashConsistencyTest, KillAtEverySyscallLeavesRecoverableState) {
+  // Calibrate: count the faultable ops one uninterrupted run performs.
+  std::uint64_t total_ops = 0;
+  {
+    testing::ScopedFaultInjection probe({FaultKind::kNone, 1});
+    ASSERT_TRUE(attempt_run());
+    total_ops = probe.ops_seen();
+  }
+  ASSERT_GT(total_ops, 10u) << "op count implausibly small; seam bypassed?";
+  reset_attempt_state();
+
+  std::array<int, 3> seen{};  // old-complete / new-complete / resumable
+  for (std::uint64_t k = 1; k <= total_ops; ++k) {
+    bool completed = false;
+    {
+      testing::ScopedFaultInjection inject({FaultKind::kKill, k});
+      completed = attempt_run();
+    }
+    ASSERT_FALSE(completed) << "kill@" << k << " did not stop the run";
+    const State state = verify_and_complete(k);
+    ++seen[static_cast<std::size_t>(state)];
+    reset_attempt_state();
+  }
+  // The sweep must actually exercise all three recovery shapes: death
+  // before journal creation, death mid-journal, and death after rename.
+  EXPECT_GT(seen[0], 0) << "no kill point hit the pre-journal window";
+  EXPECT_GT(seen[2], 0) << "no kill point left a resumable prefix";
+  EXPECT_GT(seen[1], 0) << "no kill point landed after the rename";
+}
+
+TEST_F(CrashConsistencyTest, TornWriteAtEveryByteLeavesRecoverableState) {
+  // The torn-write budget covers every byte the run ever hands to
+  // write(): steps, commit markers and trailer -- i.e. the journal's
+  // final size, which equals the published file's size.
+  const auto total_bytes = static_cast<std::uint64_t>(reference_.size());
+  ASSERT_GT(total_bytes, 0u);
+
+  bool saw_resumable = false;
+  for (std::uint64_t budget = 1; budget < total_bytes; ++budget) {
+    bool completed = false;
+    {
+      testing::ScopedFaultInjection inject({FaultKind::kTorn, budget});
+      completed = attempt_run();
+    }
+    ASSERT_FALSE(completed) << "torn@" << budget << " did not stop the run";
+    const State state = verify_and_complete(budget);
+    saw_resumable = saw_resumable || state == State::kResumablePrefix;
+    reset_attempt_state();
+  }
+  EXPECT_TRUE(saw_resumable);
+}
+
+TEST_F(CrashConsistencyTest, RepeatedCrashesDuringResumeStillConverge) {
+  // A resumed run can die too.  Crash the original run, then crash every
+  // following resume attempt at a shifting op, until one completes; the
+  // survivor must still be byte-identical to the uninterrupted archive.
+  {
+    testing::ScopedFaultInjection inject({FaultKind::kKill, 6});
+    ASSERT_FALSE(attempt_run());
+  }
+  bool completed = false;
+  for (std::uint64_t k = 2; !completed && k < 64; k += 3) {
+    try {
+      testing::ScopedFaultInjection inject({FaultKind::kKill, k});
+      std::optional<SequenceWriter> writer;
+      if (fs::exists(journal_)) {
+        writer.emplace(SequenceWriter::resume(dest_));
+      } else if (!fs::exists(dest_)) {
+        writer.emplace(dest_);
+      } else {
+        completed = true;  // a previous round already published
+        break;
+      }
+      for (auto s = writer->steps_written(); s < kSteps; ++s) {
+        writer->append(sample(static_cast<int>(s)));
+      }
+      writer->finish();
+      completed = true;
+    } catch (const ContainerError&) {
+      // Died again; next round resumes further along.
+    }
+  }
+  ASSERT_TRUE(completed) << "no resume attempt survived";
+  EXPECT_EQ(slurp(dest_), reference_);
+}
+
+}  // namespace
+}  // namespace rmp::io

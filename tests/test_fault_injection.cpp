@@ -6,6 +6,8 @@
 
 #include <cmath>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <random>
 
 #include "compress/factory.hpp"
@@ -13,6 +15,8 @@
 #include "fault_injection.hpp"
 #include "io/checksum.hpp"
 #include "io/container.hpp"
+#include "io/sequence_file.hpp"
+#include "obs/obs.hpp"
 
 namespace rmp::core {
 namespace {
@@ -290,6 +294,176 @@ TEST(FaultInjectionV2Compat, LegacyArchivesStillRoundTrip) {
       ASSERT_EQ(baseline.flat()[n], roundtrip.flat()[n]) << method;
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Syscall-level faults through the io::FileOps seam: durable writes must
+// either complete byte-identically (transient faults, short writes) or
+// fail with a typed error carrying the OS text, leaving no torn
+// destination and no stray staging file (DESIGN.md §10).
+
+namespace fs = std::filesystem;
+
+class VfsFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("rmp_vfs_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+    obs::set_enabled(true);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  static io::Container sample(int i) {
+    io::Container c;
+    c.method = "vfs_step" + std::to_string(i);
+    c.nx = static_cast<std::uint64_t>(i + 1);
+    c.add("data", std::vector<std::uint8_t>(static_cast<std::size_t>(16 + i),
+                                            static_cast<std::uint8_t>(i)));
+    return c;
+  }
+
+  static std::vector<char> slurp(const fs::path& path) {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    std::vector<char> bytes(static_cast<std::size_t>(in.tellg()));
+    in.seekg(0);
+    in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    return bytes;
+  }
+
+  std::size_t stray_tmp_count() const {
+    std::size_t strays = 0;
+    for (const auto& entry : fs::directory_iterator(dir_)) {
+      if (entry.path().filename().string().find(".tmp.") !=
+          std::string::npos) {
+        ++strays;
+      }
+    }
+    return strays;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(VfsFaultTest, WriteContainerEnospcFailsTypedAndCleansUp) {
+  const auto dest = dir_ / "out.rmp";
+  try {
+    // Op 1 opens the staging temp; op 2 is the first payload write.
+    testing::ScopedFaultInjection inject({io::FaultKind::kEnospc, 2});
+    io::write_container(dest, sample(0));
+    FAIL() << "full-disk write reported success";
+  } catch (const io::ContainerError& e) {
+    EXPECT_EQ(e.code(), io::ContainerErrc::kIoError);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("write_container"), std::string::npos) << what;
+    EXPECT_NE(what.find("No space left"), std::string::npos) << what;
+  }
+  EXPECT_FALSE(fs::exists(dest));
+  EXPECT_EQ(stray_tmp_count(), 0u);
+}
+
+TEST_F(VfsFaultTest, WriteContainerRetriesTransientEintr) {
+  const auto clean_dest = dir_ / "clean.rmp";
+  const auto dest = dir_ / "out.rmp";
+  io::write_container(clean_dest, sample(1));
+
+  const auto before = obs::Registry::global().counter_value("io.retry.attempts");
+  {
+    testing::ScopedFaultInjection inject({io::FaultKind::kEintr, 2, 3});
+    io::write_container(dest, sample(1));
+    EXPECT_EQ(inject.faults_injected(), 3u);
+  }
+  EXPECT_EQ(obs::Registry::global().counter_value("io.retry.attempts"),
+            before + 3);
+  EXPECT_EQ(slurp(dest), slurp(clean_dest));
+  EXPECT_EQ(stray_tmp_count(), 0u);
+}
+
+TEST_F(VfsFaultTest, WriteContainerSurvivesShortWrites) {
+  const auto clean_dest = dir_ / "clean.rmp";
+  const auto dest = dir_ / "out.rmp";
+  io::write_container(clean_dest, sample(2));
+
+  const auto before =
+      obs::Registry::global().counter_value("io.retry.short_writes");
+  {
+    testing::ScopedFaultInjection inject({io::FaultKind::kShort, 2, 4});
+    io::write_container(dest, sample(2));
+    EXPECT_GE(inject.faults_injected(), 1u);
+  }
+  EXPECT_GT(obs::Registry::global().counter_value("io.retry.short_writes"),
+            before);
+  EXPECT_EQ(slurp(dest), slurp(clean_dest));
+  EXPECT_EQ(stray_tmp_count(), 0u);
+}
+
+TEST_F(VfsFaultTest, ExhaustedTransientRetriesBecomeTyped) {
+  const auto dest = dir_ / "out.rmp";
+  const auto before =
+      obs::Registry::global().counter_value("io.retry.exhausted");
+  try {
+    // More consecutive EINTRs than the policy's attempt budget.
+    testing::ScopedFaultInjection inject({io::FaultKind::kEintr, 2, 64});
+    io::write_container(dest, sample(3));
+    FAIL() << "endless EINTR stream reported success";
+  } catch (const io::ContainerError& e) {
+    EXPECT_EQ(e.code(), io::ContainerErrc::kIoError);
+  }
+  EXPECT_GT(obs::Registry::global().counter_value("io.retry.exhausted"),
+            before);
+  EXPECT_FALSE(fs::exists(dest));
+  EXPECT_EQ(stray_tmp_count(), 0u);
+}
+
+TEST_F(VfsFaultTest, SequenceAppendEnospcKeepsCommittedPrefix) {
+  const auto dest = dir_ / "seq.rmps";
+  {
+    io::SequenceWriter writer(dest);
+    writer.append(sample(0));
+    try {
+      // Every faultable op fails while installed: the append must surface
+      // a typed error without damaging the committed first step.
+      testing::ScopedFaultInjection inject({io::FaultKind::kEnospc, 1, 1u << 20});
+      writer.append(sample(1));
+      FAIL() << "append on a full disk reported success";
+    } catch (const io::ContainerError& e) {
+      EXPECT_EQ(e.code(), io::ContainerErrc::kIoError);
+      EXPECT_NE(std::string(e.what()).find("No space left"), std::string::npos);
+    }
+    // The writer is poisoned: later appends point the caller at resume.
+    EXPECT_THROW(writer.append(sample(1)), io::ContainerError);
+  }
+  auto writer = io::SequenceWriter::resume(dest);
+  ASSERT_EQ(writer.steps_written(), 1u);
+  writer.append(sample(1));
+  writer.finish();
+
+  io::SequenceReader reader(dest);
+  ASSERT_EQ(reader.step_count(), 2u);
+  EXPECT_EQ(reader.read_step(0).method, "vfs_step0");
+  EXPECT_EQ(reader.read_step(1).method, "vfs_step1");
+}
+
+TEST(VfsFaultSpec, ParsesTheDocumentedGrammar) {
+  const auto enospc = io::FaultSpec::parse("enospc@3");
+  ASSERT_TRUE(enospc.has_value());
+  EXPECT_EQ(enospc->kind, io::FaultKind::kEnospc);
+  EXPECT_EQ(enospc->at, 3u);
+  EXPECT_EQ(enospc->repeat, 1u);
+
+  const auto eintr = io::FaultSpec::parse("eintr@2x5");
+  ASSERT_TRUE(eintr.has_value());
+  EXPECT_EQ(eintr->kind, io::FaultKind::kEintr);
+  EXPECT_EQ(eintr->at, 2u);
+  EXPECT_EQ(eintr->repeat, 5u);
+
+  EXPECT_FALSE(io::FaultSpec::parse("").has_value());
+  EXPECT_FALSE(io::FaultSpec::parse("enospc").has_value());
+  EXPECT_FALSE(io::FaultSpec::parse("enospc@0").has_value());
+  EXPECT_FALSE(io::FaultSpec::parse("enospc@x").has_value());
+  EXPECT_FALSE(io::FaultSpec::parse("lightning@3").has_value());
+  EXPECT_FALSE(io::FaultSpec::parse("eintr@2x0").has_value());
 }
 
 TEST(FaultInjectionV2Compat, FlippedV2ByteStillDetected) {

@@ -20,8 +20,15 @@ class SequenceFileTest : public ::testing::Test {
   void SetUp() override {
     path_ = fs::temp_directory_path() /
             ("rmp_seq_" + std::to_string(::getpid()) + ".rmps");
+    ref_path_ = fs::temp_directory_path() /
+                ("rmp_seq_ref_" + std::to_string(::getpid()) + ".rmps");
   }
-  void TearDown() override { fs::remove(path_); }
+  void TearDown() override {
+    fs::remove(path_);
+    fs::remove(sequence_journal_path(path_));
+    fs::remove(ref_path_);
+    fs::remove(sequence_journal_path(ref_path_));
+  }
 
   static Container sample(int i) {
     Container c;
@@ -32,7 +39,16 @@ class SequenceFileTest : public ::testing::Test {
     return c;
   }
 
+  static std::vector<char> slurp(const fs::path& path) {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    std::vector<char> bytes(static_cast<std::size_t>(in.tellg()));
+    in.seekg(0);
+    in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    return bytes;
+  }
+
   fs::path path_;
+  fs::path ref_path_;
 };
 
 TEST_F(SequenceFileTest, WriteReadRoundTrip) {
@@ -76,10 +92,88 @@ TEST_F(SequenceFileTest, EmptySequence) {
   EXPECT_TRUE(reader.read_all().empty());
 }
 
-TEST_F(SequenceFileTest, DestructorFinishes) {
+TEST_F(SequenceFileTest, DestructorCommitsPrefixForResume) {
+  // An abandoned writer must never half-publish: the destination stays
+  // untouched and the journal keeps the committed steps for resume().
   { SequenceWriter writer(path_); writer.append(sample(1)); }
+  EXPECT_FALSE(fs::exists(path_));
+  ASSERT_TRUE(fs::exists(sequence_journal_path(path_)));
+
+  auto writer = SequenceWriter::resume(path_);
+  EXPECT_EQ(writer.steps_written(), 1u);
+  writer.finish();
   SequenceReader reader(path_);
-  EXPECT_EQ(reader.step_count(), 1u);
+  ASSERT_EQ(reader.step_count(), 1u);
+  EXPECT_EQ(reader.read_step(0).method, "step1");
+}
+
+TEST_F(SequenceFileTest, ResumeProducesByteIdenticalArchive) {
+  {
+    SequenceWriter writer(ref_path_);
+    for (int i = 0; i < 3; ++i) writer.append(sample(i));
+    writer.finish();
+  }
+  {
+    SequenceWriter writer(path_);
+    writer.append(sample(0));
+    writer.append(sample(1));
+    // Abandoned here: destructor commits the two-step prefix.
+  }
+  auto writer = SequenceWriter::resume(path_);
+  ASSERT_EQ(writer.steps_written(), 2u);
+  writer.append(sample(2));
+  writer.finish();
+  EXPECT_EQ(slurp(path_), slurp(ref_path_));
+  EXPECT_FALSE(fs::exists(sequence_journal_path(path_)));
+}
+
+TEST_F(SequenceFileTest, ResumeTruncatesTornTail) {
+  { SequenceWriter writer(path_); writer.append(sample(4)); }
+  // Simulate a crash mid-append: garbage glued after the committed step.
+  {
+    std::ofstream tail(sequence_journal_path(path_),
+                       std::ios::binary | std::ios::app);
+    tail << "half-written step from a run that died mid-write";
+  }
+  auto writer = SequenceWriter::resume(path_);
+  EXPECT_EQ(writer.steps_written(), 1u);
+  writer.append(sample(5));
+  writer.finish();
+
+  SequenceReader reader(path_);
+  ASSERT_EQ(reader.step_count(), 2u);
+  EXPECT_EQ(reader.read_step(0).method, "step4");
+  EXPECT_EQ(reader.read_step(1).method, "step5");
+}
+
+TEST_F(SequenceFileTest, ResumeWithoutJournalThrows) {
+  try {
+    auto writer = SequenceWriter::resume(path_);
+    FAIL() << "resume invented a journal out of thin air";
+  } catch (const ContainerError& e) {
+    EXPECT_EQ(e.code(), ContainerErrc::kIoError);
+  }
+}
+
+TEST_F(SequenceFileTest, SecondWriterOnSamePathIsRejected) {
+  SequenceWriter first(path_);
+  try {
+    SequenceWriter second(path_);
+    FAIL() << "two writers shared one journal";
+  } catch (const ContainerError& e) {
+    EXPECT_EQ(e.code(), ContainerErrc::kIoError);
+    EXPECT_NE(std::string(e.what()).find("already exists"), std::string::npos);
+  }
+  first.finish();
+}
+
+TEST_F(SequenceFileTest, ScanJournalToleratesGarbage) {
+  const std::vector<std::uint8_t> junk(513, 0xA5);
+  const JournalScan scan = scan_sequence_journal(junk);
+  EXPECT_TRUE(scan.entries.empty());
+  EXPECT_EQ(scan.committed_bytes, 0u);
+  EXPECT_EQ(scan.torn_bytes, junk.size());
+  EXPECT_TRUE(scan_sequence_journal({}).entries.empty());
 }
 
 TEST_F(SequenceFileTest, AppendAfterFinishThrows) {
@@ -128,9 +222,7 @@ TEST_F(SequenceFileTest, WriterLeavesNoTempFileBehind) {
     writer.finish();
   }
   EXPECT_TRUE(fs::exists(path_));
-  fs::path tmp = path_;
-  tmp += ".tmp";
-  EXPECT_FALSE(fs::exists(tmp));
+  EXPECT_FALSE(fs::exists(sequence_journal_path(path_)));
 }
 
 TEST_F(SequenceFileTest, MissingTrailerIndexIsRebuilt) {
@@ -175,7 +267,9 @@ TEST_F(SequenceFileTest, CorruptMiddleStepIsSkippedAndReported) {
   }
   // Flip the last payload byte of step 1 (v3 keeps payloads at the end of
   // each serialized container, so the step's final byte is section data).
-  const auto step0_size = serialize(sample(1)).size();
+  // Each on-disk step is the container plus its commit marker.
+  const auto step0_size =
+      serialize(sample(1)).size() + kSequenceCommitMarkerBytes;
   const auto step1_size = serialize(sample(2)).size();
   {
     std::fstream file(path_, std::ios::binary | std::ios::in | std::ios::out);

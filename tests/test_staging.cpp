@@ -7,6 +7,7 @@
 
 #include "compress/factory.hpp"
 #include "core/pipeline.hpp"
+#include "fault_injection.hpp"
 #include "stats/metrics.hpp"
 
 namespace rmp::core {
@@ -97,6 +98,46 @@ TEST(Staging, StatsTrackCompressionTime) {
   node.submit(wavy(12, 0.5));
   node.drain();
   EXPECT_GT(node.stats().total_compress_seconds, 0.0);
+}
+
+TEST(Staging, WriteFailureIsRecordedNotFatal) {
+  // A full disk on the staging node must not terminate the process (an
+  // escaped exception in the worker thread would): the failure lands in
+  // stats and later submissions keep flowing.
+  Codecs codecs;
+  const auto dir = fs::temp_directory_path() / "rmp_staging_fail_test";
+  fs::create_directories(dir);
+  {
+    StagingNode node(codecs.pair(), {.method = "identity", .output_dir = dir});
+    {
+      // Every durable-write syscall fails while installed; the injector
+      // stays alive until the poisoned submission has fully drained.
+      testing::ScopedFaultInjection inject(
+          {io::FaultKind::kEnospc, 1, 1u << 20});
+      node.submit(wavy(8, 0.3));
+      node.drain();
+    }
+    node.submit(wavy(8, 0.9));
+    node.drain();
+
+    const auto stats = node.stats();
+    EXPECT_EQ(stats.fields_submitted, 2u);
+    EXPECT_EQ(stats.fields_failed, 1u);
+    EXPECT_EQ(stats.fields_completed, 1u);
+    EXPECT_NE(stats.last_error.find("No space left"), std::string::npos)
+        << stats.last_error;
+  }
+  // The surviving submission published; the failed one left no debris.
+  std::size_t archives = 0, strays = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".rmp") ++archives;
+    if (entry.path().filename().string().find(".tmp.") != std::string::npos) {
+      ++strays;
+    }
+  }
+  EXPECT_EQ(archives, 1u);
+  EXPECT_EQ(strays, 0u);
+  fs::remove_all(dir);
 }
 
 TEST(Staging, DrainOnEmptyNodeReturnsImmediately) {

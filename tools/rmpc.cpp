@@ -15,7 +15,17 @@
 //                   [--codec sz|zfp]
 //   rmpc verify     <in.rmp>
 //   rmpc repair     <in.rmp> <out.rmp>
+//   rmpc sequence   <in1.f64> [<in2.f64> ...] <out.rmps> --dims NX[,NY[,NZ]]
+//                   [--method NAME] [--codec sz|zfp] [--no-parity]
+//   rmpc resume     <in1.f64> [<in2.f64> ...] <out.rmps> --dims NX[,NY[,NZ]]
+//                   [--method NAME] [--codec sz|zfp] [--no-parity]
 //
+// `sequence` compresses each input field as one step of a journaled
+// multi-step archive (crash-durable: every completed step is fsync'd
+// behind a commit marker before the next begins).  `resume` takes the
+// same arguments after a crash or fault-aborted run: it validates the
+// committed prefix in `<out.rmps>.part`, re-encodes only the missing
+// steps, and publishes an archive byte-identical to an uninterrupted run.
 // `--method auto` runs the predictive selector (no trial compression).
 // `--guard` routes the compression through the guard layer: pre-flight
 // data audit, NaN/Inf masking into a losslessly stored nanmask section,
@@ -46,6 +56,7 @@
 #include "core/pipeline.hpp"
 #include "core/quality.hpp"
 #include "io/container.hpp"
+#include "io/sequence_file.hpp"
 #include "obs/obs.hpp"
 #include "stats/metrics.hpp"
 
@@ -69,6 +80,12 @@ using namespace rmp;
                "[--method NAME] [--codec sz|zfp]\n"
                "  rmpc verify     <in.rmp>\n"
                "  rmpc repair     <in.rmp> <out.rmp>\n"
+               "  rmpc sequence   <in1.f64> [<in2.f64> ...] <out.rmps> "
+               "--dims NX[,NY[,NZ]] [--method NAME] [--codec sz|zfp] "
+               "[--no-parity]\n"
+               "  rmpc resume     <in1.f64> [<in2.f64> ...] <out.rmps> "
+               "--dims NX[,NY[,NZ]] [--method NAME] [--codec sz|zfp] "
+               "[--no-parity]\n"
                "\n"
                "  --stats[=FILE]  dump observability counters/spans as JSON\n"
                "                  (stdout, or FILE when given)\n");
@@ -498,6 +515,89 @@ int cmd_repair(const Args& args) {
   return 0;
 }
 
+/// `rmpc sequence` (resume_mode=false) / `rmpc resume` (resume_mode=true):
+/// one journaled multi-step archive from N raw fields.  Resume picks up a
+/// crashed run's journal, validates the committed prefix, and re-encodes
+/// only the missing steps; the published archive is byte-identical to an
+/// uninterrupted run when invoked with the same inputs and flags.
+int cmd_sequence(const Args& args, bool resume_mode) {
+  namespace fs = std::filesystem;
+  if (args.positional.size() < 2 || !args.dims) usage_and_exit();
+  const std::string out = args.positional.back();
+  const std::size_t total_steps = args.positional.size() - 1;
+  const Codecs codecs = make_codecs(args.codec);
+  const core::CodecPair pair{codecs.reduced.get(), codecs.delta.get()};
+  io::SerializeOptions options;
+  options.with_parity = !args.no_parity;
+
+  std::optional<io::SequenceWriter> writer;
+  std::size_t committed = 0;
+  const fs::path journal = io::sequence_journal_path(out);
+  if (resume_mode && fs::exists(journal)) {
+    writer.emplace(io::SequenceWriter::resume(out, options));
+    committed = writer->steps_written();
+    if (committed > total_steps) {
+      std::fprintf(stderr,
+                   "rmpc: %s already holds %zu committed step(s) but only "
+                   "%zu input(s) were given\n",
+                   journal.string().c_str(), committed, total_steps);
+      return 1;
+    }
+    std::printf("resume %s: %zu of %zu step(s) already committed\n",
+                out.c_str(), committed, total_steps);
+  } else if (resume_mode && fs::exists(out)) {
+    // No journal: the previous run either finished (archive is complete)
+    // or never started.  Completed archives are left untouched.
+    io::SequenceReader reader(out);
+    if (reader.step_count() == total_steps) {
+      std::printf("%s: already complete (%zu step(s)); nothing to resume\n",
+                  out.c_str(), total_steps);
+      return 0;
+    }
+    std::fprintf(stderr,
+                 "rmpc: %s is a published archive with %zu step(s), not a "
+                 "resumable journal for %zu input(s)\n",
+                 out.c_str(), reader.step_count(), total_steps);
+    return 1;
+  } else {
+    writer.emplace(out, options);
+    if (resume_mode) {
+      std::printf("resume %s: no journal found, starting fresh\n",
+                  out.c_str());
+    }
+  }
+
+  std::string method = args.method;
+  if (method == "auto") {
+    // Pin the selector's choice from the first field so every step of the
+    // sequence (and any later resume) uses the same model.
+    const std::size_t probe = committed < total_steps ? committed : 0;
+    const auto prediction = core::predict_best_model(
+        field_from_file(args.positional[probe], *args.dims));
+    method = prediction.method;
+    std::printf("auto-selected method: %s\n", method.c_str());
+  }
+  const auto preconditioner = core::make_preconditioner(method);
+
+  std::size_t appended_bytes = 0;
+  for (std::size_t step = committed; step < total_steps; ++step) {
+    const sim::Field field = field_from_file(args.positional[step], *args.dims);
+    core::EncodeStats stats;
+    const auto container = preconditioner->encode(field, pair, &stats);
+    writer->append(container);
+    appended_bytes += stats.total_bytes;
+    std::printf("step %zu/%zu: %s -> %zu bytes\n", step + 1, total_steps,
+                args.positional[step].c_str(), stats.total_bytes);
+  }
+  writer->finish();
+  std::printf("%s: %zu step(s) via %s+%s%s (%zu resumed, %zu appended, "
+              "%zu payload bytes this run)\n",
+              out.c_str(), total_steps, method.c_str(), args.codec.c_str(),
+              args.no_parity ? "" : " (+parity)", committed,
+              total_steps - committed, appended_bytes);
+  return 0;
+}
+
 int cmd_predict(const Args& args) {
   if (args.positional.size() != 1 || !args.dims) usage_and_exit();
   const sim::Field field = field_from_file(args.positional[0], *args.dims);
@@ -539,6 +639,8 @@ int run_command(const std::string& command, const Args& args) {
   if (command == "stats") return cmd_stats(args);
   if (command == "verify") return cmd_verify(args);
   if (command == "repair") return cmd_repair(args);
+  if (command == "sequence") return cmd_sequence(args, /*resume_mode=*/false);
+  if (command == "resume") return cmd_sequence(args, /*resume_mode=*/true);
   usage_and_exit();
 }
 
