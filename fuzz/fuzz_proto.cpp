@@ -1,0 +1,92 @@
+// libFuzzer target: throw arbitrary bytes at the rmpd wire-frame
+// deserializer (net::FrameDecoder) and, for every frame it yields, at the
+// payload codec matching the frame's message type.  The contract
+// (DESIGN.md §11): no crash, no hang, no over-allocation, every rejection
+// is a typed net::NetError, and once the decoder throws it stays poisoned
+// -- a corrupt TCP stream must never be resynchronized into phantom
+// frames.  The input's first byte picks a chunking pattern so the
+// incremental feed()/next() reassembly paths get exercised, not just the
+// whole-buffer one.
+//
+// Build:  cmake -B build-fuzz -S . -DCMAKE_CXX_COMPILER=clang++ \
+//             -DRMP_FUZZ=ON -DRMP_BUILD_TESTS=OFF -DRMP_BUILD_BENCH=OFF \
+//             -DRMP_BUILD_EXAMPLES=OFF
+//         ./build-fuzz/fuzz/fuzz_proto corpus/ -max_total_time=60
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/net_error.hpp"
+#include "net/protocol.hpp"
+
+namespace {
+
+// A small cap keeps the fuzzer in the parser's state space: declared
+// sizes above it must be rejected before any allocation happens.
+constexpr std::size_t kMaxPayload = 1u << 16;
+
+void decode_payload(const rmp::net::Frame& frame) {
+  using rmp::net::MsgType;
+  const std::span<const std::uint8_t> payload(frame.payload);
+  switch (frame.header.type) {
+    case MsgType::kEncode:
+      (void)rmp::net::EncodeRequest::decode(payload);
+      break;
+    case MsgType::kDecode:
+      (void)rmp::net::DecodeRequest::decode(payload);
+      break;
+    case MsgType::kVerify:
+      (void)rmp::net::VerifyRequest::decode(payload);
+      break;
+    case MsgType::kEncodeResult:
+      (void)rmp::net::EncodeResponse::decode(payload);
+      break;
+    case MsgType::kDecodeResult:
+      (void)rmp::net::DecodeResponse::decode(payload);
+      break;
+    case MsgType::kVerifyResult:
+      (void)rmp::net::VerifyResponse::decode(payload);
+      break;
+    case MsgType::kStatsResult:
+      (void)rmp::net::StatsResponse::decode(payload);
+      break;
+    case MsgType::kError:
+      (void)rmp::net::ErrorResponse::decode(payload);
+      break;
+    default:
+      break;  // ping/pong/stats carry no payload contract
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  // First byte selects the feed chunking: 0 -> whole buffer, otherwise
+  // chunks of that many bytes (1 = byte-by-byte torn-frame reassembly).
+  const std::size_t chunk = data[0] == 0 ? size : data[0];
+  const std::span<const std::uint8_t> stream(data + 1, size - 1);
+
+  rmp::net::FrameDecoder decoder(kMaxPayload);
+  bool poisoned = false;
+  for (std::size_t offset = 0; offset < stream.size(); offset += chunk) {
+    const std::size_t n = std::min(chunk, stream.size() - offset);
+    decoder.feed(stream.subspan(offset, n));
+    try {
+      while (const auto frame = decoder.next()) {
+        if (poisoned) __builtin_trap();  // frames after poison = resync bug
+        try {
+          decode_payload(*frame);
+        } catch (const rmp::net::NetError&) {
+          // Typed rejection of a malformed payload is the contract.
+        }
+      }
+    } catch (const rmp::net::NetError&) {
+      poisoned = true;
+      if (!decoder.poisoned()) __builtin_trap();  // throw must poison
+    }
+  }
+  return 0;
+}

@@ -1,5 +1,8 @@
 #include "core/staging.hpp"
 
+#include <map>
+
+#include "core/precond_error.hpp"
 #include "obs/obs.hpp"
 
 namespace rmp::core {
@@ -19,7 +22,30 @@ StagingNode::~StagingNode() {
   worker_.join();
 }
 
+std::size_t StagingNode::enqueue_locked(std::unique_lock<std::mutex>& lock,
+                                        StagingJob&& job) {
+  const std::size_t id = stats_.fields_submitted++;
+  const std::size_t bytes_in =
+      job.field ? job.field->size() * sizeof(double)
+                : (job.container ? job.container->payload_bytes() : 0);
+  stats_.bytes_in += bytes_in;
+  obs::count("staging.fields_submitted");
+  obs::count("staging.bytes_in", bytes_in);
+  obs::gauge_max("staging.queue_depth", queue_.size() + 1);
+  queue_.emplace_back(id, std::move(job));
+  ++in_flight_;
+  lock.unlock();
+  work_ready_.notify_one();
+  return id;
+}
+
 std::size_t StagingNode::submit(sim::Field field) {
+  StagingJob job;
+  job.field = std::move(field);
+  return submit(std::move(job));
+}
+
+std::size_t StagingNode::submit(StagingJob job) {
   const obs::ScopedSpan span("staging/submit");
   std::unique_lock lock(mutex_);
   space_ready_.wait(lock, [this] {
@@ -28,17 +54,21 @@ std::size_t StagingNode::submit(sim::Field field) {
   if (stopping_) {
     throw std::runtime_error("StagingNode: submit after shutdown");
   }
-  const std::size_t id = stats_.fields_submitted++;
-  stats_.bytes_in += field.size() * sizeof(double);
   stats_.submit_block_seconds += span.elapsed_seconds();
-  obs::count("staging.fields_submitted");
-  obs::count("staging.bytes_in", field.size() * sizeof(double));
-  obs::gauge_max("staging.queue_depth", queue_.size() + 1);
-  queue_.emplace_back(id, std::move(field));
-  ++in_flight_;
-  lock.unlock();
-  work_ready_.notify_one();
-  return id;
+  return enqueue_locked(lock, std::move(job));
+}
+
+std::optional<std::size_t> StagingNode::try_submit(StagingJob job) {
+  std::unique_lock lock(mutex_);
+  if (stopping_) {
+    throw std::runtime_error("StagingNode: submit after shutdown");
+  }
+  if (queue_.size() >= options_.max_queue) {
+    ++stats_.fields_rejected;
+    obs::count("staging.rejected");
+    return std::nullopt;
+  }
+  return enqueue_locked(lock, std::move(job));
 }
 
 void StagingNode::drain() {
@@ -51,10 +81,38 @@ StagingStats StagingNode::stats() const {
   return stats_;
 }
 
+namespace {
+
+StagingErrorKind classify_failure(const std::exception& e) {
+  if (const auto* container_error = dynamic_cast<const io::ContainerError*>(&e)) {
+    if (container_error->code() == io::ContainerErrc::kDeadlineExceeded) {
+      return StagingErrorKind::kDeadlineExceeded;
+    }
+    return StagingErrorKind::kIoError;
+  }
+  if (dynamic_cast<const PreconditionError*>(&e) != nullptr) {
+    return StagingErrorKind::kPrecondition;
+  }
+  return StagingErrorKind::kOther;
+}
+
+}  // namespace
+
 void StagingNode::worker_loop() {
-  const auto preconditioner = core::make_preconditioner(options_.method);
+  // Preconditioners are cached per method: the common case is one method
+  // for the whole run, but daemon jobs may override per request.
+  std::map<std::string, std::unique_ptr<Preconditioner>> preconditioners;
+  const auto preconditioner_for =
+      [&](const std::string& name) -> Preconditioner& {
+    auto it = preconditioners.find(name);
+    if (it == preconditioners.end()) {
+      it = preconditioners.emplace(name, core::make_preconditioner(name)).first;
+    }
+    return *it->second;
+  };
+
   for (;;) {
-    std::pair<std::size_t, sim::Field> item;
+    std::pair<std::size_t, StagingJob> item;
     {
       std::unique_lock lock(mutex_);
       work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -67,44 +125,76 @@ void StagingNode::worker_loop() {
     }
     space_ready_.notify_one();
 
+    StagingJob& job = item.second;
+    StagingJobResult result;
+    result.id = item.first;
+
     // A failed encode or write must not escape the worker thread (that
     // would std::terminate the process mid-simulation): record it, keep
     // draining the queue, and let the application read the verdict from
-    // stats().  write_container's durable atomic publish guarantees a
-    // failed write leaves no torn archive behind.
+    // stats() or the job callback.  write_container's durable atomic
+    // publish guarantees a failed write leaves no torn archive behind.
     try {
-      core::EncodeStats encode_stats;
+      const obs::ScopedSpan span("staging/encode");
       io::Container container;
-      double elapsed = 0.0;
-      {
-        const obs::ScopedSpan span("staging/encode");
-        container = preconditioner->encode(item.second, codecs_, &encode_stats);
-        elapsed = span.elapsed_seconds();
+      std::size_t bytes_out = 0;
+      if (job.field) {
+        core::EncodeStats encode_stats;
+        const std::string& method =
+            job.method.empty() ? options_.method : job.method;
+        container =
+            preconditioner_for(method).encode(*job.field, codecs_,
+                                              &encode_stats);
+        bytes_out = encode_stats.total_bytes;
+        result.method = method;
+      } else if (job.container) {
+        container = std::move(*job.container);
+        bytes_out = container.payload_bytes();
+        result.method = container.method;
+      } else {
+        throw std::runtime_error("StagingNode: job carries neither field "
+                                 "nor container");
       }
-      obs::count("staging.fields_completed");
-      obs::count("staging.bytes_out", encode_stats.total_bytes);
+      obs::count("staging.bytes_out", bytes_out);
 
       if (options_.output_dir) {
-        io::write_container(*options_.output_dir /
-                            ("field_" + std::to_string(item.first) + ".rmp"),
-                        container);
+        io::SerializeOptions serialize = options_.serialize;
+        if (job.retry) serialize.retry = *job.retry;
+        const std::string name =
+            job.name.empty() ? "field_" + std::to_string(item.first) + ".rmp"
+                             : job.name;
+        result.path = *options_.output_dir / name;
+        io::write_container(result.path, container, serialize);
       }
+
+      result.ok = true;
+      result.bytes_out = bytes_out;
+      result.seconds = span.elapsed_seconds();
+      obs::count("staging.fields_completed");
 
       {
         std::lock_guard lock(mutex_);
         stats_.fields_completed++;
-        stats_.bytes_out += encode_stats.total_bytes;
-        stats_.total_compress_seconds += elapsed;
+        stats_.bytes_out += bytes_out;
+        stats_.total_compress_seconds += result.seconds;
         if (!options_.output_dir) {
           results_.push_back(std::move(container));
         }
       }
     } catch (const std::exception& e) {
       obs::count("staging.fields_failed");
+      result.ok = false;
+      result.error = e.what();
+      result.error_kind = classify_failure(e);
       std::lock_guard lock(mutex_);
       stats_.fields_failed++;
       stats_.last_error = e.what();
     }
+
+    // The callback runs before the job is counted out of in_flight_, so
+    // drain() returning guarantees every completion has been delivered.
+    if (job.on_complete) job.on_complete(result);
+
     {
       std::lock_guard lock(mutex_);
       --in_flight_;

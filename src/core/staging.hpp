@@ -4,12 +4,23 @@
 // and "writes" (via the storage model or a real directory) off the
 // critical path.  This is the working-code counterpart of
 // make_staging_row()'s arithmetic.
+//
+// The node is also rmpd's in-process write-behind worker: jobs may carry
+// an already-encoded container (the daemon encodes on the compute pool,
+// then stages only the durable write), a target name, a per-job
+// io::RetryPolicy (threading the request deadline into disk backoff
+// loops) and a completion callback invoked once the write is durable --
+// which is what lets the daemon answer a store request only after the
+// bytes actually survive a crash.  try_submit() is the non-blocking
+// admission flavour: a full queue yields rejection (the caller sheds
+// load with a typed BUSY) instead of blocking the session thread.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <filesystem>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -17,6 +28,7 @@
 #include <vector>
 
 #include "core/preconditioner.hpp"
+#include "io/container.hpp"
 #include "sim/field.hpp"
 
 namespace rmp::core {
@@ -28,6 +40,49 @@ struct StagingOptions {
   std::optional<std::filesystem::path> output_dir;
   /// Backpressure: enqueue blocks once this many fields are waiting.
   std::size_t max_queue = 8;
+  /// Serialization (parity, default retry policy) for durable writes.
+  io::SerializeOptions serialize;
+};
+
+/// Coarse classification of a failed job, so callers (the daemon's
+/// response path) can map failures onto their own taxonomy without
+/// string-matching the error text.
+enum class StagingErrorKind : std::uint8_t {
+  kNone = 0,
+  kIoError,           ///< durable write failed (disk full, EIO, ...)
+  kDeadlineExceeded,  ///< the job's retry deadline ran out mid-write
+  kPrecondition,      ///< model failure (eigen/SVD non-convergence, ...)
+  kOther,
+};
+
+/// Completion record handed to a job's on_complete callback (and, for
+/// failures, summarized in StagingStats).
+struct StagingJobResult {
+  std::size_t id = 0;
+  bool ok = false;
+  StagingErrorKind error_kind = StagingErrorKind::kNone;
+  std::string error;  ///< what() of the failure; empty when ok
+  std::string method;  ///< preconditioner that ran (field jobs)
+  std::size_t bytes_out = 0;
+  std::filesystem::path path;  ///< where the container landed, if written
+  double seconds = 0.0;        ///< encode + write wall time
+};
+
+/// One unit of staging work.  Exactly one of `field` (encode + write) or
+/// `container` (write only) must be set.
+struct StagingJob {
+  std::optional<sim::Field> field;
+  std::optional<io::Container> container;
+  /// Output file name (sanitized by the caller); empty = "field_<id>.rmp".
+  std::string name;
+  /// Preconditioner override for field jobs; empty = StagingOptions.method.
+  std::string method;
+  /// Per-job retry/deadline policy for the durable write; overrides the
+  /// node-level StagingOptions.serialize.retry.
+  std::optional<io::RetryPolicy> retry;
+  /// Invoked from the worker thread after the job completes (durably, for
+  /// written jobs) or fails.  Must not throw.  May be empty.
+  std::function<void(const StagingJobResult&)> on_complete;
 };
 
 struct StagingStats {
@@ -37,6 +92,8 @@ struct StagingStats {
   /// failure and keeps serving the queue: one full disk must not take the
   /// whole staging service (and the submitting simulation) down with it.
   std::size_t fields_failed = 0;
+  /// try_submit() calls refused because the queue was at capacity.
+  std::size_t fields_rejected = 0;
   std::size_t bytes_in = 0;
   std::size_t bytes_out = 0;
   double total_compress_seconds = 0.0;
@@ -60,6 +117,14 @@ class StagingNode {
   /// Blocks only when the queue is full (backpressure).
   std::size_t submit(sim::Field field);
 
+  /// General form: blocks when the queue is full.
+  std::size_t submit(StagingJob job);
+
+  /// Non-blocking admission: nullopt when the queue is at capacity (the
+  /// rejection is counted under fields_rejected / staging.rejected).
+  /// Throws only after shutdown.
+  std::optional<std::size_t> try_submit(StagingJob job);
+
   /// Wait until every submitted field has been processed.
   void drain();
 
@@ -72,6 +137,8 @@ class StagingNode {
 
  private:
   void worker_loop();
+  std::size_t enqueue_locked(std::unique_lock<std::mutex>& lock,
+                             StagingJob&& job);
 
   const core::CodecPair codecs_;
   StagingOptions options_;
@@ -80,7 +147,7 @@ class StagingNode {
   std::condition_variable work_ready_;
   std::condition_variable space_ready_;
   std::condition_variable drained_;
-  std::deque<std::pair<std::size_t, sim::Field>> queue_;
+  std::deque<std::pair<std::size_t, StagingJob>> queue_;
   bool stopping_ = false;
   std::size_t in_flight_ = 0;
 

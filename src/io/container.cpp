@@ -549,7 +549,7 @@ void write_container(const std::filesystem::path& path,
   // write (transient errors retried), fsync, rename, fsync parent dir.
   // The temp is removed on every failure path and errors carry the OS
   // error text.
-  atomic_publish_bytes(path, bytes, "write_container");
+  atomic_publish_bytes(path, bytes, "write_container", options.retry);
 }
 
 Container read_container(const std::filesystem::path& path) {

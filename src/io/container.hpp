@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "io/container_error.hpp"
+#include "io/file_ops.hpp"
 
 namespace rmp::io {
 
@@ -45,6 +46,11 @@ struct SerializeOptions {
   /// Append an XOR-parity block (sized like the largest section) that can
   /// reconstruct any single corrupted section payload.
   bool with_parity = false;
+  /// Retry/backoff policy (including the optional wall-clock deadline)
+  /// applied to every durable write this archive performs.  Affects only
+  /// I/O behaviour, never the serialized bytes, so archives stay
+  /// byte-identical across policies.
+  RetryPolicy retry;
 };
 
 enum class SectionState : std::uint8_t {

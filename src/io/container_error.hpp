@@ -23,6 +23,7 @@ enum class ContainerErrc : std::uint8_t {
   kIndexCorrupt,         ///< sequence trailer/index unusable and rebuild failed
   kTrailingGarbage,      ///< buffer extends past the container footprint
   kUnrecoverable,        ///< best-effort salvage could not produce any field
+  kDeadlineExceeded,     ///< the operation's wall-clock budget ran out
 };
 
 inline const char* to_string(ContainerErrc code) {
@@ -39,6 +40,7 @@ inline const char* to_string(ContainerErrc code) {
     case ContainerErrc::kIndexCorrupt: return "index-corrupt";
     case ContainerErrc::kTrailingGarbage: return "trailing-garbage";
     case ContainerErrc::kUnrecoverable: return "unrecoverable";
+    case ContainerErrc::kDeadlineExceeded: return "deadline-exceeded";
   }
   return "unknown";
 }

@@ -251,6 +251,10 @@ bool is_transient_io_error(int err) noexcept {
   return err == EINTR || err == EAGAIN;
 }
 
+bool RetryPolicy::expired() const noexcept {
+  return deadline && std::chrono::steady_clock::now() >= *deadline;
+}
+
 namespace {
 
 void sleep_for(const RetryPolicy& policy, int attempt) {
@@ -262,22 +266,42 @@ void sleep_for(const RetryPolicy& policy, int attempt) {
   }
 }
 
+/// The deadline verdict for one more attempt (or backoff sleep): false
+/// means proceed.  ETIMEDOUT is the in-band marker the throw path below
+/// turns into ContainerError{kDeadlineExceeded} -- real disk syscalls
+/// never produce it, so the two error streams cannot collide.
+bool retry_deadline_spent(const RetryPolicy& policy) {
+  if (!policy.expired()) return false;
+  obs::count("io.retry.deadline_exceeded");
+  return true;
+}
+
 [[noreturn]] void throw_io_error(const char* who, const std::string& action,
                                  const std::filesystem::path& path, int err) {
+  if (err == ETIMEDOUT) {
+    throw ContainerError(ContainerErrc::kDeadlineExceeded,
+                         std::string(who) + ": " + action + " on " +
+                             path.string() +
+                             " abandoned: wall-clock deadline exceeded");
+  }
   throw ContainerError(ContainerErrc::kIoError,
                        std::string(who) + ": " + action + " failed on " +
                            path.string() + ": " + errno_text(err));
 }
 
 /// Run `op` (returning 0/fd on success, -errno on failure) with bounded
-/// retries on transient errors.  Returns the final op result.
+/// retries on transient errors.  Returns the final op result.  Both the
+/// attempt bound and the policy's wall-clock deadline cap the loop; a
+/// spent deadline yields -ETIMEDOUT without starting another attempt.
 template <typename Op>
 long with_retries(Op&& op, const RetryPolicy& policy) {
+  if (retry_deadline_spent(policy)) return -ETIMEDOUT;
   long result = op();
   for (int attempt = 1;
        result < 0 && is_transient_io_error(static_cast<int>(-result)) &&
        attempt < policy.max_attempts;
        ++attempt) {
+    if (retry_deadline_spent(policy)) return -ETIMEDOUT;
     obs::count("io.retry.attempts");
     sleep_for(policy, attempt);
     result = op();
@@ -355,6 +379,9 @@ DurableFile DurableFile::open_append(const std::filesystem::path& path,
 }
 
 void DurableFile::write_all(std::span<const std::uint8_t> bytes) {
+  if (retry_deadline_spent(policy_)) {
+    throw_io_error(who_, "write", path_, ETIMEDOUT);
+  }
   std::size_t written = 0;
   int failures = 0;
   while (written < bytes.size()) {
@@ -363,6 +390,9 @@ void DurableFile::write_all(std::span<const std::uint8_t> bytes) {
     if (n < 0) {
       const int err = static_cast<int>(-n);
       if (is_transient_io_error(err) && failures + 1 < policy_.max_attempts) {
+        if (retry_deadline_spent(policy_)) {
+          throw_io_error(who_, "write", path_, ETIMEDOUT);
+        }
         ++failures;
         obs::count("io.retry.attempts");
         sleep_for(policy_, failures);

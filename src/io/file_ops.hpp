@@ -130,10 +130,21 @@ struct RetryPolicy {
   /// Injectable sleeper so tests do not pay real backoff time; nullptr
   /// sleeps for real.
   void (*sleeper)(std::chrono::microseconds) = nullptr;
+  /// Total wall-clock budget: when set, no attempt starts (and no backoff
+  /// sleep begins) at or past this instant.  The attempt bound caps how
+  /// *often* we retry; the deadline caps how *long* -- so a request-level
+  /// deadline threaded down here keeps disk backoff loops from outliving
+  /// the request.  Exceeding it raises
+  /// ContainerError{kDeadlineExceeded} and counts
+  /// "io.retry.deadline_exceeded".
+  std::optional<std::chrono::steady_clock::time_point> deadline;
 
   /// Backoff before retry `attempt` (1-based): bounded exponential with
   /// deterministic jitter, so behaviour is reproducible under test.
   std::chrono::microseconds delay_for(int attempt) const noexcept;
+
+  /// True once the wall-clock budget (if any) is spent.
+  bool expired() const noexcept;
 };
 
 /// True for errno values worth retrying with backoff.
@@ -176,6 +187,11 @@ class DurableFile {
 
   bool is_open() const noexcept { return fd_ >= 0; }
   const std::filesystem::path& path() const noexcept { return path_; }
+
+  /// Swap the retry policy for subsequent operations -- how a request
+  /// deadline is threaded into a long-lived file (e.g. a sequence
+  /// journal) that outlives any single request.
+  void set_policy(const RetryPolicy& policy) noexcept { policy_ = policy; }
 
  private:
   DurableFile(int fd, std::filesystem::path path, const char* who,

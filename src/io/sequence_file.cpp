@@ -113,7 +113,7 @@ JournalScan scan_sequence_journal(
 SequenceWriter::SequenceWriter(const std::filesystem::path& path,
                                const SerializeOptions& options)
     : file_(DurableFile::create_exclusive(sequence_journal_path(path),
-                                          "SequenceWriter")),
+                                          "SequenceWriter", options.retry)),
       path_(path),
       journal_path_(sequence_journal_path(path)),
       options_(options) {}
@@ -121,7 +121,8 @@ SequenceWriter::SequenceWriter(const std::filesystem::path& path,
 SequenceWriter::SequenceWriter(ResumeTag, const std::filesystem::path& path,
                                const SerializeOptions& options)
     : file_(DurableFile::open_append(sequence_journal_path(path),
-                                     "SequenceWriter::resume")),
+                                     "SequenceWriter::resume",
+                                     options.retry)),
       path_(path),
       journal_path_(sequence_journal_path(path)),
       options_(options) {
@@ -186,6 +187,17 @@ std::size_t SequenceWriter::append(const Container& container) {
                              journal_path_.string() +
                              "; reopen with SequenceWriter::resume");
   }
+  // A deadline spent before any byte is written is NOT a write failure:
+  // nothing is torn, so the writer stays serviceable for the next caller
+  // (rmpd threads per-request deadlines through set_retry and the writer
+  // outlives each request).
+  if (options_.retry.expired()) {
+    obs::count("io.retry.deadline_exceeded");
+    throw ContainerError(ContainerErrc::kDeadlineExceeded,
+                         "SequenceWriter: append on " +
+                             journal_path_.string() +
+                             " abandoned: wall-clock deadline exceeded");
+  }
   const auto bytes = serialize(container, options_);
   const auto marker =
       encode_marker(index_.size(), bytes.size(), crc32(bytes));
@@ -240,7 +252,8 @@ void SequenceWriter::finish() {
     // fsync the parent directory so the new entry survives power loss.
     // On failure the journal stays put -- it is the resumable artifact,
     // not a disposable temp.
-    durable_rename(journal_path_, path_, "SequenceWriter::finish");
+    durable_rename(journal_path_, path_, "SequenceWriter::finish",
+                   options_.retry);
   } catch (...) {
     failed_ = true;
     throw;

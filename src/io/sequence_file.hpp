@@ -104,6 +104,15 @@ class SequenceWriter {
   /// Steps committed to the journal (including any resumed prefix).
   std::size_t steps_written() const noexcept { return index_.size(); }
 
+  /// Swap the retry policy applied to subsequent appends and to
+  /// finish().  Long-lived writers (rmpd's named sequences) use this to
+  /// thread each request's wall-clock deadline into the journal's disk
+  /// retries.  Never alters the serialized bytes.
+  void set_retry(const RetryPolicy& policy) noexcept {
+    options_.retry = policy;
+    file_.set_policy(policy);
+  }
+
  private:
   struct ResumeTag {};
   SequenceWriter(ResumeTag, const std::filesystem::path& path,

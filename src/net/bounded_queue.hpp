@@ -1,0 +1,118 @@
+// Bounded MPMC queue with explicit admission control -- the backpressure
+// primitive between rmpd's session threads and its worker pool.
+//
+// The crucial property is that try_push never blocks and never buffers
+// past the capacity: when the queue is full the caller gets kBusy
+// *immediately* and turns it into a typed BUSY response, so a saturated
+// server sheds load instead of accumulating unbounded memory (DESIGN.md
+// §11).  pop() blocks; close() switches the queue into drain mode, where
+// producers are refused (kClosed) but consumers keep draining until the
+// queue is empty, after which pop() returns nullopt to every waiter.
+//
+// The admission / rejection / drain state machine is unit-tested under
+// saturation in tests/test_net_queue.cpp.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace rmp::net {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  enum class Push : std::uint8_t {
+    kAccepted,  ///< item enqueued
+    kBusy,      ///< queue at capacity -- caller must shed the item
+    kClosed,    ///< queue draining/closed -- no new work accepted
+  };
+
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Non-blocking admission: full -> kBusy, closed -> kClosed.
+  Push try_push(T item) {
+    std::unique_lock lock(mutex_);
+    if (closed_) {
+      ++rejected_closed_;
+      return Push::kClosed;
+    }
+    if (items_.size() >= capacity_) {
+      ++rejected_busy_;
+      return Push::kBusy;
+    }
+    items_.push_back(std::move(item));
+    ++accepted_;
+    if (items_.size() > peak_depth_) peak_depth_ = items_.size();
+    lock.unlock();
+    ready_.notify_one();
+    return Push::kAccepted;
+  }
+
+  /// Blocking consume.  Returns nullopt only once the queue is closed
+  /// *and* empty -- every accepted item is handed to exactly one consumer
+  /// even during a drain.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    ++popped_;
+    return item;
+  }
+
+  /// Enter drain mode: refuse new producers, wake every consumer.
+  /// Idempotent.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+  std::size_t depth() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  struct Stats {
+    std::uint64_t accepted = 0;
+    std::uint64_t popped = 0;
+    std::uint64_t rejected_busy = 0;
+    std::uint64_t rejected_closed = 0;
+    std::size_t peak_depth = 0;
+  };
+  Stats stats() const {
+    std::lock_guard lock(mutex_);
+    return {accepted_, popped_, rejected_busy_, rejected_closed_, peak_depth_};
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t popped_ = 0;
+  std::uint64_t rejected_busy_ = 0;
+  std::uint64_t rejected_closed_ = 0;
+  std::size_t peak_depth_ = 0;
+};
+
+}  // namespace rmp::net

@@ -1,0 +1,169 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+namespace rmp::net {
+
+namespace {
+
+std::string errno_text(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+bool is_unavailable_errno(int err) noexcept {
+  return err == ECONNREFUSED || err == EHOSTUNREACH || err == ENETUNREACH ||
+         err == ETIMEDOUT;
+}
+
+}  // namespace
+
+Client::Client(ClientOptions options) : options_(std::move(options)) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw NetError(NetErrc::kIoError, errno_text("socket"));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw NetError(NetErrc::kIoError,
+                   "bad server address '" + options_.host + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    const std::string where =
+        options_.host + ":" + std::to_string(options_.port);
+    if (is_unavailable_errno(err))
+      throw NetError(NetErrc::kBusy, "server unavailable at " + where + " (" +
+                                         std::strerror(err) + ")");
+    throw NetError(NetErrc::kIoError,
+                   "connect to " + where + ": " + std::strerror(err));
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Frame Client::call(MsgType type, std::span<const std::uint8_t> payload) {
+  if (fd_ < 0)
+    throw NetError(NetErrc::kConnectionClosed, "client connection is closed");
+
+  using Clock = std::chrono::steady_clock;
+  std::optional<Clock::time_point> deadline;
+  std::uint32_t deadline_ms = 0;
+  if (options_.deadline.count() > 0) {
+    deadline = Clock::now() + options_.deadline;
+    deadline_ms = static_cast<std::uint32_t>(options_.deadline.count());
+  }
+
+  const std::uint64_t request_id = next_id_++;
+  const auto bytes = encode_frame(type, request_id, deadline_ms, payload);
+  std::size_t offset = 0;
+  while (offset < bytes.size()) {
+    const auto n = ::send(fd_, bytes.data() + offset, bytes.size() - offset,
+                          MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET)
+        throw NetError(NetErrc::kConnectionClosed,
+                       "server closed the connection mid-request");
+      throw NetError(NetErrc::kIoError, errno_text("send"));
+    }
+    offset += static_cast<std::size_t>(n);
+  }
+
+  std::vector<std::uint8_t> buffer(64 * 1024);
+  for (;;) {
+    if (auto frame = decoder_.next()) {
+      if (frame->header.request_id != request_id)
+        throw NetError(NetErrc::kMalformedPayload,
+                       "response for a different request id");
+      if (frame->header.type == MsgType::kError) {
+        const auto error = ErrorResponse::decode(frame->payload);
+        throw RemoteError(frame->header.status, error.message);
+      }
+      return std::move(*frame);
+    }
+
+    int timeout_ms = -1;
+    if (deadline) {
+      const auto remaining = std::chrono::duration_cast<
+          std::chrono::milliseconds>(*deadline - Clock::now());
+      if (remaining.count() <= 0)
+        throw NetError(NetErrc::kDeadlineExceeded,
+                       "no response within the deadline");
+      timeout_ms = static_cast<int>(remaining.count());
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw NetError(NetErrc::kIoError, errno_text("poll"));
+    }
+    if (rc == 0)
+      throw NetError(NetErrc::kDeadlineExceeded,
+                     "no response within the deadline");
+    const auto n = ::recv(fd_, buffer.data(), buffer.size(), 0);
+    if (n == 0)
+      throw NetError(NetErrc::kConnectionClosed,
+                     decoder_.buffered() > 0
+                         ? "server hung up mid-frame"
+                         : "server closed the connection");
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      if (errno == ECONNRESET)
+        throw NetError(NetErrc::kConnectionClosed,
+                       "connection reset by the server");
+      throw NetError(NetErrc::kIoError, errno_text("recv"));
+    }
+    decoder_.feed({buffer.data(), static_cast<std::size_t>(n)});
+  }
+}
+
+EncodeResponse Client::encode(const EncodeRequest& request) {
+  const Frame frame = call(MsgType::kEncode, request.encode());
+  if (frame.header.type != MsgType::kEncodeResult)
+    throw NetError(NetErrc::kMalformedPayload, "expected an encode result");
+  return EncodeResponse::decode(frame.payload);
+}
+
+DecodeResponse Client::decode(const DecodeRequest& request) {
+  const Frame frame = call(MsgType::kDecode, request.encode());
+  if (frame.header.type != MsgType::kDecodeResult)
+    throw NetError(NetErrc::kMalformedPayload, "expected a decode result");
+  return DecodeResponse::decode(frame.payload);
+}
+
+VerifyResponse Client::verify(const VerifyRequest& request) {
+  const Frame frame = call(MsgType::kVerify, request.encode());
+  if (frame.header.type != MsgType::kVerifyResult)
+    throw NetError(NetErrc::kMalformedPayload, "expected a verify result");
+  return VerifyResponse::decode(frame.payload);
+}
+
+StatsResponse Client::stats() {
+  const Frame frame = call(MsgType::kStats, {});
+  if (frame.header.type != MsgType::kStatsResult)
+    throw NetError(NetErrc::kMalformedPayload, "expected a stats result");
+  return StatsResponse::decode(frame.payload);
+}
+
+void Client::ping() {
+  const Frame frame = call(MsgType::kPing, {});
+  if (frame.header.type != MsgType::kPong)
+    throw NetError(NetErrc::kMalformedPayload, "expected a pong");
+}
+
+}  // namespace rmp::net

@@ -1,0 +1,79 @@
+// Blocking rmpd client: one TCP connection, synchronous request/response
+// round trips, with the request deadline enforced on *both* sides -- it
+// travels in the frame header for the server to honor, and the client's
+// own receive loop gives up (NetError{kDeadlineExceeded}) when the budget
+// runs out locally, so a hung server cannot wedge the caller.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "net/protocol.hpp"
+
+namespace rmp::net {
+
+/// A failure the *server* reported (an kError frame), carrying the wire
+/// Status so callers -- the rmpc exit-code table above all -- can map the
+/// rejection class without string-matching.
+class RemoteError : public NetError {
+ public:
+  RemoteError(Status status, const std::string& detail)
+      : NetError(status_to_errc(status), detail), status_(status) {}
+
+  Status status() const noexcept { return status_; }
+
+  static NetErrc status_to_errc(Status status) noexcept {
+    switch (status) {
+      case Status::kBusy: return NetErrc::kBusy;
+      case Status::kShuttingDown: return NetErrc::kShuttingDown;
+      case Status::kDeadlineExceeded: return NetErrc::kDeadlineExceeded;
+      default: return NetErrc::kRemoteError;
+    }
+  }
+
+ private:
+  Status status_;
+};
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Wall-clock budget per call(); zero = unbounded.  Sent to the server
+  /// as the frame's deadline_ms and enforced locally on the receive path.
+  std::chrono::milliseconds deadline{0};
+  std::size_t max_payload = kDefaultMaxPayload;
+};
+
+class Client {
+ public:
+  /// Connects eagerly.  ECONNREFUSED (and friends) throw
+  /// NetError{kBusy}: "server unavailable" is the same exit-code class as
+  /// a BUSY rejection -- retry later.  Other socket failures are
+  /// NetError{kIoError}.
+  explicit Client(ClientOptions options);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// One request/response round trip.  Throws RemoteError for kError
+  /// frames, NetError{kDeadlineExceeded} on a local timeout,
+  /// NetError{kConnectionClosed} when the server hangs up mid-response.
+  Frame call(MsgType type, std::span<const std::uint8_t> payload);
+
+  EncodeResponse encode(const EncodeRequest& request);
+  DecodeResponse decode(const DecodeRequest& request);
+  VerifyResponse verify(const VerifyRequest& request);
+  StatsResponse stats();
+  void ping();
+
+ private:
+  ClientOptions options_;
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace rmp::net

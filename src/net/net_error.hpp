@@ -1,0 +1,62 @@
+// Typed error taxonomy for the network layer (rmpd daemon, rmpc client,
+// wire protocol).  Mirrors io::ContainerError's shape: every failure mode
+// of the framing, the session or the transport maps to a NetErrc so
+// callers (server sessions, the CLI exit-code table, tests, fuzzers) can
+// dispatch on *what* went wrong instead of string-matching.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace rmp::net {
+
+enum class NetErrc : std::uint8_t {
+  kBadMagic = 1,       ///< frame does not start with the protocol magic
+  kBadVersion,         ///< protocol version this peer does not speak
+  kBadType,            ///< message type outside the known range
+  kFrameTooLarge,      ///< declared payload exceeds the decoder's cap
+  kHeaderCorrupt,      ///< header CRC mismatch or reserved bits set
+  kPayloadCorrupt,     ///< payload CRC mismatch
+  kMalformedPayload,   ///< payload does not parse as its message type
+  kConnectionClosed,   ///< peer hung up (possibly mid-frame)
+  kIoError,            ///< socket syscall failed
+  kDeadlineExceeded,   ///< request deadline elapsed before a response
+  kBusy,               ///< server rejected admission (queue full)
+  kShuttingDown,       ///< server is draining and takes no new work
+  kRemoteError,        ///< server answered with a non-retryable error status
+};
+
+inline const char* to_string(NetErrc code) {
+  switch (code) {
+    case NetErrc::kBadMagic: return "bad-magic";
+    case NetErrc::kBadVersion: return "bad-version";
+    case NetErrc::kBadType: return "bad-type";
+    case NetErrc::kFrameTooLarge: return "frame-too-large";
+    case NetErrc::kHeaderCorrupt: return "header-corrupt";
+    case NetErrc::kPayloadCorrupt: return "payload-corrupt";
+    case NetErrc::kMalformedPayload: return "malformed-payload";
+    case NetErrc::kConnectionClosed: return "connection-closed";
+    case NetErrc::kIoError: return "io-error";
+    case NetErrc::kDeadlineExceeded: return "deadline-exceeded";
+    case NetErrc::kBusy: return "busy";
+    case NetErrc::kShuttingDown: return "shutting-down";
+    case NetErrc::kRemoteError: return "remote-error";
+  }
+  return "unknown";
+}
+
+class NetError : public std::runtime_error {
+ public:
+  NetError(NetErrc code, const std::string& detail)
+      : std::runtime_error(std::string("net[") + to_string(code) +
+                           "]: " + detail),
+        code_(code) {}
+
+  NetErrc code() const noexcept { return code_; }
+
+ private:
+  NetErrc code_;
+};
+
+}  // namespace rmp::net

@@ -1,0 +1,940 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "compress/factory.hpp"
+#include "core/guard.hpp"
+#include "core/pipeline.hpp"
+#include "core/precond_error.hpp"
+#include "core/staging.hpp"
+#include "io/container.hpp"
+#include "io/container_error.hpp"
+#include "io/sequence_file.hpp"
+#include "obs/obs.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace rmp::net {
+
+namespace {
+
+std::string errno_text(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// Store names become file names under the server's output directory;
+/// anything that could escape it (separators, dot-prefixed names) is a
+/// malformed request, not an I/O error.
+void validate_store_name(const std::string& name) {
+  if (name.empty())
+    throw NetError(NetErrc::kMalformedPayload, "store request without a name");
+  if (name.find('/') != std::string::npos ||
+      name.find('\\') != std::string::npos || name.front() == '.')
+    throw NetError(NetErrc::kMalformedPayload,
+                   "store name '" + name +
+                       "' must be a plain file name (no separators, no "
+                       "leading dot)");
+}
+
+struct CodecSet {
+  std::unique_ptr<compress::Compressor> reduced;
+  std::unique_ptr<compress::Compressor> delta;
+  core::CodecPair pair() const { return {reduced.get(), delta.get()}; }
+};
+
+CodecSet make_codecs(const std::string& name) {
+  if (name == "sz")
+    return {compress::make_sz_original(), compress::make_sz_delta()};
+  if (name == "zfp")
+    return {compress::make_zfp_original(), compress::make_zfp_delta()};
+  throw NetError(NetErrc::kMalformedPayload,
+                 "unknown codec '" + name + "' (expected sz or zfp)");
+}
+
+const char* section_state_name(io::SectionState state) {
+  switch (state) {
+    case io::SectionState::kOk: return "ok";
+    case io::SectionState::kRepaired: return "repaired";
+    case io::SectionState::kDamaged: return "damaged";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+/// Per-connection state.  The session thread is the only reader of the
+/// socket; writes (responses, possibly from worker threads or staging
+/// callbacks) serialize through write_mutex.  The fd is closed by the
+/// destructor, i.e. only after every in-flight job's response attempt has
+/// released its shared_ptr -- a mid-request disconnect never yields a
+/// write to a recycled descriptor.
+struct Server::Session {
+  int fd = -1;
+  std::uint64_t id = 0;
+  std::thread thread;
+  std::mutex write_mutex;
+  std::atomic<bool> alive{true};
+  std::atomic<bool> done{false};
+
+  ~Session() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), queue_(options_.queue_capacity) {}
+
+Server::~Server() {
+  if (running_.load(std::memory_order_acquire)) {
+    request_drain();
+    drain();
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void Server::start() {
+  if (running_.exchange(true))
+    throw std::logic_error("Server::start called twice");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    throw NetError(NetErrc::kIoError, errno_text("socket"));
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw NetError(NetErrc::kIoError,
+                   "bad bind address '" + options_.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string text = errno_text("bind");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw NetError(NetErrc::kIoError, text);
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const std::string text = errno_text("listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw NetError(NetErrc::kIoError, text);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0)
+    port_ = ntohs(bound.sin_port);
+
+  if (options_.output_dir) {
+    std::filesystem::create_directories(*options_.output_dir);
+    staging_reduced_ = compress::make_sz_original();
+    staging_delta_ = compress::make_sz_delta();
+    core::StagingOptions staging_options;
+    staging_options.output_dir = options_.output_dir;
+    staging_options.max_queue = options_.staging_queue;
+    staging_options.serialize.with_parity = options_.with_parity;
+    staging_ = std::make_unique<core::StagingNode>(
+        core::CodecPair{staging_reduced_.get(), staging_delta_.get()},
+        staging_options);
+  }
+
+  std::size_t workers = options_.workers != 0
+                            ? options_.workers
+                            : std::min<std::size_t>(
+                                  4, parallel::default_thread_count());
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::request_drain() noexcept {
+  // Called from signal handlers: a lock-free atomic store only.  The
+  // accept and session loops run on short poll ticks and observe it.
+  draining_.store(true, std::memory_order_release);
+}
+
+void Server::wait_until_drained() {
+  while (!draining_.load(std::memory_order_acquire))
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  drain();
+}
+
+void Server::drain() {
+  std::lock_guard call_guard(drain_call_mutex_);
+  if (drained_.load(std::memory_order_acquire) ||
+      !running_.load(std::memory_order_acquire))
+    return;
+  draining_.store(true, std::memory_order_release);
+
+  // 1. Stop accepting connections.
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  // 2. Finish every admitted request (queued, executing, or awaiting a
+  //    staging callback).  Sessions that race past the draining check are
+  //    covered: they bump outstanding_ *before* try_push.
+  {
+    std::unique_lock lock(drain_mutex_);
+    drain_cv_.wait(lock, [this] {
+      return outstanding_.load(std::memory_order_acquire) == 0;
+    });
+  }
+
+  // 3. Retire the workers (pop() drains any stragglers, then nullopt).
+  queue_.close();
+  for (auto& worker : workers_)
+    if (worker.joinable()) worker.join();
+  workers_.clear();
+
+  // 4. Flush the write-behind store and publish journaled sequences via
+  //    the durable rename path.
+  if (staging_) staging_->drain();
+  finish_sequences();
+
+  // 5. Tear down sessions.  No jobs remain, so no response can race the
+  //    teardown; fds close when the last shared_ptr drops.
+  stop_sessions_.store(true, std::memory_order_release);
+  std::vector<std::shared_ptr<Session>> sessions;
+  {
+    std::lock_guard lock(sessions_mutex_);
+    sessions.swap(sessions_);
+  }
+  for (auto& session : sessions)
+    if (session->thread.joinable()) session->thread.join();
+  sessions.clear();
+
+  drained_.store(true, std::memory_order_release);
+  running_.store(false, std::memory_order_release);
+  obs::count("net.drains");
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard lock(stats_mutex_);
+  return stats_;
+}
+
+// ---------------------------------------------------------------------------
+// Accept / session plumbing
+
+void Server::accept_loop() {
+  while (!draining()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 200);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (rc == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN)
+        continue;
+      break;
+    }
+    if (draining()) {
+      ::close(fd);
+      continue;
+    }
+
+    std::lock_guard lock(sessions_mutex_);
+    // Reap sessions whose loop has exited, so a long-lived server does
+    // not accumulate joinable threads.
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      if ((*it)->done.load(std::memory_order_acquire)) {
+        if ((*it)->thread.joinable()) (*it)->thread.join();
+        it = sessions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (sessions_.size() >= options_.max_sessions) {
+      // Typed rejection, then close: the client learns *why*.
+      const auto bytes = encode_frame(MsgType::kError, 0, 0,
+                                      ErrorResponse{"session limit reached"}
+                                          .encode(),
+                                      Status::kBusy);
+      (void)::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+      ::close(fd);
+      {
+        std::lock_guard stats_lock(stats_mutex_);
+        ++stats_.rejected_busy;
+      }
+      obs::count("net.sessions_rejected");
+      continue;
+    }
+    auto session = std::make_shared<Session>();
+    session->fd = fd;
+    session->id = ++session_counter_;
+    {
+      std::lock_guard stats_lock(stats_mutex_);
+      ++stats_.sessions_total;
+      ++stats_.sessions_active;
+    }
+    obs::count("net.sessions");
+    sessions_.push_back(session);
+    session->thread =
+        std::thread([this, session] { session_loop(session); });
+  }
+}
+
+void Server::session_loop(const std::shared_ptr<Session>& session) {
+  obs::ScopedSpan span("rmpd/session");
+  FrameDecoder decoder;
+  std::vector<std::uint8_t> buffer(64 * 1024);
+  bool torn = false;
+  bool failed = false;
+  while (!stop_sessions_.load(std::memory_order_acquire) &&
+         session->alive.load(std::memory_order_acquire)) {
+    pollfd pfd{session->fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 200);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      failed = true;
+      break;
+    }
+    if (rc == 0) continue;
+    const auto n =
+        ::recv(session->fd, buffer.data(), buffer.size(), 0);
+    if (n == 0) {
+      // Clean EOF: the client is done sending.  A partial frame left in
+      // the decoder is a torn frame (mid-request disconnect); responses
+      // for already-admitted requests still go out below.
+      torn = decoder.buffered() > 0;
+      break;
+    }
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      failed = true;
+      break;
+    }
+    try {
+      decoder.feed({buffer.data(), static_cast<std::size_t>(n)});
+      while (auto frame = decoder.next())
+        handle_frame(session, std::move(*frame));
+    } catch (const NetError& e) {
+      // Malformed bytes poison the decoder; answer with a typed error
+      // (best effort) and tear the session down -- resynchronizing
+      // inside a corrupt stream risks misparsing payloads as frames.
+      {
+        std::lock_guard lock(stats_mutex_);
+        ++stats_.protocol_errors;
+      }
+      obs::count("net.protocol_errors");
+      send_error(session, 0, Status::kBadRequest, e.what());
+      failed = true;
+      break;
+    }
+  }
+  if (torn) {
+    {
+      std::lock_guard lock(stats_mutex_);
+      ++stats_.protocol_errors;
+    }
+    obs::count("net.torn_frames");
+  }
+  if (failed || torn) {
+    session->alive.store(false, std::memory_order_release);
+    ::shutdown(session->fd, SHUT_RDWR);
+  }
+  {
+    std::lock_guard lock(stats_mutex_);
+    --stats_.sessions_active;
+  }
+  session->done.store(true, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------------
+// Admission
+
+void Server::handle_frame(const std::shared_ptr<Session>& session,
+                          Frame frame) {
+  const FrameHeader header = frame.header;
+  switch (header.type) {
+    case MsgType::kPing:
+      send_frame(session, MsgType::kPong, header.request_id, {});
+      return;
+    case MsgType::kStats:
+      send_stats(session, header.request_id);
+      return;
+    case MsgType::kEncode:
+    case MsgType::kDecode:
+    case MsgType::kVerify:
+      break;
+    default: {
+      std::lock_guard lock(stats_mutex_);
+      ++stats_.protocol_errors;
+    }
+      send_error(session, header.request_id, Status::kBadRequest,
+                 std::string("unexpected ") + to_string(header.type) +
+                     " frame on the server side");
+      return;
+  }
+
+  if (draining()) {
+    {
+      std::lock_guard lock(stats_mutex_);
+      ++stats_.rejected_shutdown;
+    }
+    obs::count("net.rejected_shutdown");
+    send_error(session, header.request_id, Status::kShuttingDown,
+               "server is draining and accepts no new work");
+    return;
+  }
+
+  Job job;
+  job.session = session;
+  if (header.deadline_ms > 0)
+    job.deadline = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(header.deadline_ms);
+  job.frame = std::move(frame);
+
+  // outstanding_ rises before admission so drain()'s wait covers a job
+  // even in the instant between push and pop.
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  switch (queue_.try_push(std::move(job))) {
+    case BoundedQueue<Job>::Push::kAccepted: {
+      {
+        std::lock_guard lock(stats_mutex_);
+        ++stats_.accepted;
+      }
+      obs::count("net.accepted");
+      obs::gauge_max("net.queue_peak", queue_.depth());
+      return;
+    }
+    case BoundedQueue<Job>::Push::kBusy: {
+      {
+        std::lock_guard lock(stats_mutex_);
+        ++stats_.rejected_busy;
+      }
+      obs::count("net.rejected_busy");
+      send_error(session, header.request_id, Status::kBusy,
+                 "request queue full (" +
+                     std::to_string(queue_.capacity()) + " deep); retry");
+      release_outstanding();
+      return;
+    }
+    case BoundedQueue<Job>::Push::kClosed: {
+      {
+        std::lock_guard lock(stats_mutex_);
+        ++stats_.rejected_shutdown;
+      }
+      obs::count("net.rejected_shutdown");
+      send_error(session, header.request_id, Status::kShuttingDown,
+                 "server is draining and accepts no new work");
+      release_outstanding();
+      return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Workers
+
+void Server::worker_loop() {
+  while (auto job = queue_.pop()) {
+    if (options_.debug_stall.count() > 0)
+      std::this_thread::sleep_for(options_.debug_stall);
+    process_job(*job);
+  }
+}
+
+void Server::process_job(Job& job) {
+  const FrameHeader& header = job.frame.header;
+  obs::ScopedSpan span(std::string("rmpd/request/") + to_string(header.type));
+
+  if (job.deadline && std::chrono::steady_clock::now() >= *job.deadline) {
+    {
+      std::lock_guard lock(stats_mutex_);
+      ++stats_.deadline_missed;
+    }
+    obs::count("net.deadline_missed");
+    send_error(job.session, header.request_id, Status::kDeadlineExceeded,
+               "deadline expired before the request started");
+    job_finished(false);
+    return;
+  }
+
+  try {
+    switch (header.type) {
+      case MsgType::kEncode:
+        handle_encode(job);  // owns its completion (async store path)
+        return;
+      case MsgType::kDecode:
+        handle_decode(job);
+        break;
+      case MsgType::kVerify:
+        handle_verify(job);
+        break;
+      default:
+        send_error(job.session, header.request_id, Status::kBadRequest,
+                   "unhandled request type");
+        job_finished(false);
+        return;
+    }
+    job_finished(true);
+  } catch (const NetError& e) {
+    send_error(job.session, header.request_id, Status::kBadRequest, e.what());
+    job_finished(false);
+  } catch (const io::ContainerError& e) {
+    Status status = Status::kIntegrityError;
+    if (e.code() == io::ContainerErrc::kDeadlineExceeded) {
+      status = Status::kDeadlineExceeded;
+      {
+        std::lock_guard lock(stats_mutex_);
+        ++stats_.deadline_missed;
+      }
+      obs::count("net.deadline_missed");
+    } else if (e.code() == io::ContainerErrc::kIoError) {
+      status = Status::kIoError;
+    }
+    send_error(job.session, header.request_id, status, e.what());
+    job_finished(false);
+  } catch (const core::PreconditionError& e) {
+    send_error(job.session, header.request_id, Status::kPreconditionError,
+               e.what());
+    job_finished(false);
+  } catch (const std::invalid_argument& e) {
+    send_error(job.session, header.request_id, Status::kBadRequest, e.what());
+    job_finished(false);
+  } catch (const std::exception& e) {
+    send_error(job.session, header.request_id, Status::kInternalError,
+               e.what());
+    job_finished(false);
+  }
+}
+
+void Server::handle_encode(Job& job) {
+  const std::uint64_t request_id = job.frame.header.request_id;
+  EncodeRequest request = EncodeRequest::decode(job.frame.payload);
+  const CodecSet codecs = make_codecs(request.codec);
+  const std::uint64_t original_bytes = request.data.size() * sizeof(double);
+  sim::Field field = sim::Field::from_data(request.nx, request.ny, request.nz,
+                                           std::move(request.data));
+
+  io::Container container;
+  std::string method_ran = request.method;
+  if (request.guard || request.error_bound) {
+    core::GuardOptions guard_options;
+    guard_options.method = request.method;
+    guard_options.error_bound = request.error_bound;
+    auto result = core::guarded_encode(field, codecs.pair(), guard_options);
+    container = std::move(result.container);
+    method_ran = result.provenance.actual;
+  } else {
+    const auto preconditioner = core::make_preconditioner(request.method);
+    container = preconditioner->encode(field, codecs.pair());
+  }
+
+  io::RetryPolicy retry;
+  retry.deadline = job.deadline;
+
+  EncodeResponse response;
+  response.method = method_ran;
+  response.original_bytes = original_bytes;
+
+  switch (request.store) {
+    case StoreMode::kReturn: {
+      io::SerializeOptions serialize_options;
+      serialize_options.with_parity = options_.with_parity;
+      auto bytes = io::serialize(container, serialize_options);
+      response.stored_bytes = bytes.size();
+      response.container = std::move(bytes);
+      send_frame(job.session, MsgType::kEncodeResult, request_id,
+                 response.encode());
+      job_finished(true);
+      return;
+    }
+    case StoreMode::kFile: {
+      if (!staging_)
+        throw NetError(NetErrc::kMalformedPayload,
+                       "store requested but the server has no --output-dir");
+      validate_store_name(request.store_name);
+      response.stored = true;
+      core::StagingJob staging_job;
+      staging_job.container = std::move(container);
+      staging_job.name = request.store_name;
+      staging_job.retry = retry;
+      auto session = job.session;
+      staging_job.on_complete =
+          [this, session, request_id, response = std::move(response)](
+              const core::StagingJobResult& result) mutable {
+            if (result.ok) {
+              response.stored_bytes = result.bytes_out;
+              response.stored_path = result.path.string();
+              send_frame(session, MsgType::kEncodeResult, request_id,
+                         response.encode());
+              job_finished(true);
+              return;
+            }
+            Status status = Status::kInternalError;
+            switch (result.error_kind) {
+              case core::StagingErrorKind::kDeadlineExceeded:
+                status = Status::kDeadlineExceeded;
+                {
+                  std::lock_guard lock(stats_mutex_);
+                  ++stats_.deadline_missed;
+                }
+                obs::count("net.deadline_missed");
+                break;
+              case core::StagingErrorKind::kIoError:
+                status = Status::kIoError;
+                break;
+              case core::StagingErrorKind::kPrecondition:
+                status = Status::kPreconditionError;
+                break;
+              default:
+                break;
+            }
+            send_error(session, request_id, status, result.error);
+            job_finished(false);
+          };
+      // Blocking submit is safe here: only worker threads reach this, and
+      // the staging queue bound is the write-behind backpressure.
+      staging_->submit(std::move(staging_job));
+      return;  // completion rides the callback
+    }
+    case StoreMode::kSequence: {
+      if (!options_.output_dir)
+        throw NetError(NetErrc::kMalformedPayload,
+                       "store requested but the server has no --output-dir");
+      validate_store_name(request.store_name);
+      std::size_t step = 0;
+      std::filesystem::path destination;
+      {
+        std::lock_guard lock(sequences_mutex_);
+        io::SequenceWriter& writer = sequence_writer(request.store_name);
+        writer.set_retry(retry);
+        step = writer.append(container);
+        destination = *options_.output_dir / request.store_name;
+      }
+      response.stored = true;
+      response.stored_bytes = container.payload_bytes();
+      response.stored_path = destination.string();
+      send_frame(job.session, MsgType::kEncodeResult, request_id,
+                 response.encode());
+      obs::gauge_max("net.sequence_steps", step + 1);
+      job_finished(true);
+      return;
+    }
+  }
+  throw NetError(NetErrc::kMalformedPayload, "unknown store mode");
+}
+
+void Server::handle_decode(Job& job) {
+  DecodeRequest request = DecodeRequest::decode(job.frame.payload);
+  const CodecSet codecs = make_codecs(request.codec);
+  DecodeResponse response;
+  if (request.best_effort) {
+    auto result = core::reconstruct_best_effort(
+        std::span<const std::uint8_t>(request.container), codecs.pair());
+    response.nx = result.field.nx();
+    response.ny = result.field.ny();
+    response.nz = result.field.nz();
+    if (!result.exact) response.detail = result.detail;
+    response.data = std::move(result.field.storage());
+  } else {
+    const io::Container container = io::deserialize(request.container);
+    sim::Field field = core::reconstruct(container, codecs.pair());
+    response.nx = field.nx();
+    response.ny = field.ny();
+    response.nz = field.nz();
+    response.data = std::move(field.storage());
+  }
+  send_frame(job.session, MsgType::kDecodeResult, job.frame.header.request_id,
+             response.encode());
+}
+
+void Server::handle_verify(Job& job) {
+  const VerifyRequest request = VerifyRequest::decode(job.frame.payload);
+  io::ReadReport report;
+  io::deserialize_salvage(request.container, &report);
+  VerifyResponse response;
+  response.complete = report.complete();
+  response.repaired = report.repaired();
+  response.version = report.version;
+  std::string detail;
+  for (const auto& section : report.sections) {
+    detail += section.name;
+    detail += ' ';
+    detail += std::to_string(section.bytes);
+    detail += ' ';
+    detail += section_state_name(section.state);
+    detail += '\n';
+  }
+  response.detail = std::move(detail);
+  send_frame(job.session, MsgType::kVerifyResult, job.frame.header.request_id,
+             response.encode());
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+
+void Server::send_stats(const std::shared_ptr<Session>& session,
+                        std::uint64_t request_id) {
+  StatsResponse response;
+  {
+    std::lock_guard lock(stats_mutex_);
+    response.accepted = stats_.accepted;
+    response.rejected_busy = stats_.rejected_busy;
+    response.rejected_shutdown = stats_.rejected_shutdown;
+    response.deadline_missed = stats_.deadline_missed;
+    response.completed = stats_.completed;
+    response.failed = stats_.failed;
+    response.sessions_active = stats_.sessions_active;
+    response.sessions_total = stats_.sessions_total;
+    response.protocol_errors = stats_.protocol_errors;
+  }
+  response.queue_depth = queue_.depth();
+  response.queue_capacity = queue_.capacity();
+  response.obs_json = obs::Registry::global().to_json();
+  send_frame(session, MsgType::kStatsResult, request_id, response.encode());
+}
+
+void Server::send_error(const std::shared_ptr<Session>& session,
+                        std::uint64_t request_id, Status status,
+                        const std::string& message) {
+  send_frame(session, MsgType::kError, request_id,
+             ErrorResponse{message}.encode(), status);
+}
+
+void Server::send_frame(const std::shared_ptr<Session>& session, MsgType type,
+                        std::uint64_t request_id,
+                        std::span<const std::uint8_t> payload, Status status) {
+  if (!session) return;
+  const auto bytes = encode_frame(type, request_id, 0, payload, status);
+  std::lock_guard lock(session->write_mutex);
+  if (!session->alive.load(std::memory_order_acquire)) return;
+  std::size_t offset = 0;
+  while (offset < bytes.size()) {
+    const auto n = ::send(session->fd, bytes.data() + offset,
+                          bytes.size() - offset, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // Mid-response disconnect: mark the session dead so later
+      // responses stop trying, and account for it.  Never throws -- a
+      // gone client must not take a worker down.
+      session->alive.store(false, std::memory_order_release);
+      {
+        std::lock_guard stats_lock(stats_mutex_);
+        ++stats_.send_failures;
+      }
+      obs::count("net.send_failures");
+      return;
+    }
+    offset += static_cast<std::size_t>(n);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Durable sequences + bookkeeping
+
+io::SequenceWriter& Server::sequence_writer(const std::string& name) {
+  auto it = sequences_.find(name);
+  if (it == sequences_.end()) {
+    io::SerializeOptions serialize_options;
+    serialize_options.with_parity = options_.with_parity;
+    auto writer = std::make_unique<io::SequenceWriter>(
+        *options_.output_dir / name, serialize_options);
+    it = sequences_.emplace(name, std::move(writer)).first;
+  }
+  return *it->second;
+}
+
+void Server::finish_sequences() {
+  std::lock_guard lock(sequences_mutex_);
+  for (auto& [name, writer] : sequences_) {
+    try {
+      // Clear any stale per-request deadline: the final publish runs on
+      // the drain's budget, not a long-finished request's.
+      writer->set_retry(io::RetryPolicy{});
+      writer->finish();
+    } catch (const std::exception& e) {
+      obs::count("net.sequence_finish_failures");
+      std::fprintf(stderr, "rmpd: publishing sequence '%s' failed: %s\n",
+                   name.c_str(), e.what());
+    }
+  }
+  sequences_.clear();
+}
+
+void Server::job_finished(bool ok) {
+  {
+    std::lock_guard lock(stats_mutex_);
+    if (ok)
+      ++stats_.completed;
+    else
+      ++stats_.failed;
+  }
+  obs::count(ok ? "net.completed" : "net.failed");
+  release_outstanding();
+}
+
+void Server::release_outstanding() {
+  if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    {
+      std::lock_guard lock(drain_mutex_);
+    }
+    drain_cv_.notify_all();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Daemon front end
+
+namespace {
+
+std::atomic<Server*> g_drain_target{nullptr};
+
+void drain_signal_handler(int) {
+  // Async-signal-safe: request_drain is a lock-free atomic store.
+  if (Server* server = g_drain_target.load()) server->request_drain();
+}
+
+}  // namespace
+
+int run_daemon(const ServerOptions& options,
+               const std::optional<std::filesystem::path>& port_file) {
+  std::signal(SIGPIPE, SIG_IGN);
+
+  Server server(options);
+  server.start();
+  std::printf("rmpd: listening on %s:%u\n", options.bind_address.c_str(),
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+  if (port_file) {
+    // Written atomically so a harness polling the file never reads an
+    // empty or partial port number.
+    std::filesystem::path tmp = *port_file;
+    tmp += ".tmp";
+    {
+      std::ofstream out(tmp);
+      out << server.port() << "\n";
+    }
+    std::filesystem::rename(tmp, *port_file);
+  }
+
+  g_drain_target.store(&server);
+  struct sigaction action {};
+  action.sa_handler = drain_signal_handler;
+  sigemptyset(&action.sa_mask);
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+
+  server.wait_until_drained();
+
+  g_drain_target.store(nullptr);
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+  std::printf("rmpd: drained cleanly\n");
+  std::fflush(stdout);
+  return 0;
+}
+
+std::optional<std::string> parse_server_flags(
+    const std::vector<std::string>& args, ServerOptions& options,
+    std::optional<std::filesystem::path>& port_file,
+    std::vector<std::string>* unparsed) {
+  auto parse_u64 = [](const std::string& text,
+                      std::uint64_t& out) -> bool {
+    try {
+      std::size_t used = 0;
+      out = std::stoull(text, &used);
+      return used == text.size();
+    } catch (const std::exception&) {
+      return false;
+    }
+  };
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    std::string value;
+    // Accepts both "--flag=value" and "--flag value".
+    const auto match = [&](const char* name) -> int {
+      const std::string prefix = std::string(name) + "=";
+      if (arg.rfind(prefix, 0) == 0) {
+        value = arg.substr(prefix.size());
+        return 1;
+      }
+      if (arg == name) {
+        if (i + 1 >= args.size()) return -1;
+        value = args[++i];
+        return 1;
+      }
+      return 0;
+    };
+    const auto numeric = [&](const char* name,
+                             std::uint64_t max_value,
+                             std::uint64_t& out) -> std::optional<int> {
+      const int m = match(name);
+      if (m == 0) return std::nullopt;
+      if (m < 0) return -1;
+      std::uint64_t parsed = 0;
+      if (!parse_u64(value, parsed) || parsed > max_value) return -1;
+      out = parsed;
+      return 1;
+    };
+
+    std::uint64_t number = 0;
+    if (auto m = numeric("--port", 65535, number)) {
+      if (*m < 0) return "--port expects a number in [0, 65535]";
+      options.port = static_cast<std::uint16_t>(number);
+    } else if (match("--bind") == 1) {
+      options.bind_address = value;
+    } else if (match("--bind") == -1) {
+      return "--bind expects an address";
+    } else if (auto m2 = numeric("--queue", 1u << 20, number)) {
+      if (*m2 < 0) return "--queue expects a positive number";
+      options.queue_capacity = static_cast<std::size_t>(number);
+    } else if (auto m3 = numeric("--workers", 1024, number)) {
+      if (*m3 < 0) return "--workers expects a number in [0, 1024]";
+      options.workers = static_cast<std::size_t>(number);
+    } else if (auto m4 = numeric("--max-sessions", 1u << 20, number)) {
+      if (*m4 < 0) return "--max-sessions expects a positive number";
+      options.max_sessions = static_cast<std::size_t>(number);
+    } else if (match("--output-dir") == 1) {
+      options.output_dir = std::filesystem::path(value);
+    } else if (match("--output-dir") == -1) {
+      return "--output-dir expects a directory";
+    } else if (arg == "--no-parity") {
+      options.with_parity = false;
+    } else if (auto m5 = numeric("--staging-queue", 1u << 20, number)) {
+      if (*m5 < 0) return "--staging-queue expects a positive number";
+      options.staging_queue = static_cast<std::size_t>(number);
+    } else if (match("--port-file") == 1) {
+      port_file = std::filesystem::path(value);
+    } else if (match("--port-file") == -1) {
+      return "--port-file expects a path";
+    } else if (auto m6 = numeric("--debug-stall-ms", 600'000, number)) {
+      if (*m6 < 0) return "--debug-stall-ms expects milliseconds";
+      options.debug_stall = std::chrono::milliseconds(number);
+    } else if (unparsed != nullptr) {
+      unparsed->push_back(arg);
+    } else {
+      return "unknown flag '" + arg + "'";
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace rmp::net

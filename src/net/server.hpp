@@ -1,0 +1,224 @@
+// rmpd -- the fault-tolerant concurrent compression service (DESIGN.md
+// §11).  A TCP daemon serving encode/decode/verify/stats requests over
+// the length-prefixed binary protocol in net/protocol.hpp, built for the
+// in-situ HPC setting where the compressor sits on the simulation's
+// critical path and must keep accepting fields even when clients
+// misbehave, disks stall, or the process is killed.
+//
+// Robustness model:
+//  * Admission control: every work request passes through a bounded
+//    queue (net/bounded_queue.hpp).  A full queue is answered with a
+//    typed BUSY rejection immediately -- the server never buffers
+//    unboundedly and a slow disk cannot OOM it.
+//  * Deadlines end-to-end: the client grants a wall-clock budget per
+//    request; the server stamps an absolute deadline on receipt, refuses
+//    to *start* work past it, and threads it into io::RetryPolicy so
+//    disk-retry backoff loops cannot outlive the request.
+//  * Connection-level fault tolerance: torn frames, oversized or garbage
+//    headers, CRC mismatches and mid-request disconnects produce typed
+//    errors and a clean session teardown -- never a crash or a leaked
+//    worker thread.
+//  * Graceful drain: request_drain() (wired to SIGTERM by run_daemon)
+//    stops accepting, answers new requests with SHUTTING_DOWN, finishes
+//    every admitted request, flushes journaled sequences via the
+//    durable-publish path, then returns.  A SIGKILL instead leaves no
+//    torn archives: stored containers are atomic publishes and sequence
+//    appends are fsync'd behind commit markers (DESIGN.md §10).
+//
+// Work placement: session threads only parse frames and do admission;
+// compute runs on a small set of worker threads that fan numeric kernels
+// out onto parallel::global_pool, and durable store writes ride the
+// reused core::StagingNode write-behind worker, whose completion
+// callback is what releases the client's response -- a store request is
+// only ever answered after its bytes are durable.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/bounded_queue.hpp"
+#include "net/protocol.hpp"
+
+namespace rmp::compress {
+class Compressor;
+}
+namespace rmp::core {
+class StagingNode;
+}
+namespace rmp::io {
+class SequenceWriter;
+}
+
+namespace rmp::net {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; see Server::port()
+  /// Admission bound: requests queued awaiting a worker.  Beyond this,
+  /// clients get typed BUSY rejections.
+  std::size_t queue_capacity = 64;
+  /// Dedicated compute workers popping the request queue (each fans out
+  /// onto parallel::global_pool); 0 = min(4, default_thread_count()).
+  std::size_t workers = 0;
+  /// Concurrent sessions; connections beyond this are answered with a
+  /// BUSY frame and closed.
+  std::size_t max_sessions = 64;
+  /// Enables kFile/kSequence store requests; unset = bytes-only service.
+  std::optional<std::filesystem::path> output_dir;
+  /// Parity protection for stored archives.
+  bool with_parity = true;
+  /// Write-behind queue depth for store requests (StagingNode bound).
+  std::size_t staging_queue = 8;
+  /// Test hook: hold each worker for this long before it starts a job,
+  /// so saturation/deadline behaviour is deterministic under test.
+  std::chrono::milliseconds debug_stall{0};
+};
+
+/// Monotonic counters (authoritative, independent of RMP_OBS).
+struct ServerStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_busy = 0;
+  std::uint64_t rejected_shutdown = 0;
+  std::uint64_t deadline_missed = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t sessions_total = 0;
+  std::uint64_t sessions_active = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t send_failures = 0;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  /// Joins everything; drains first if still running.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen + start accepting.  Throws NetError{kIoError} when the
+  /// socket cannot be bound.
+  void start();
+
+  /// The actually-bound port (useful with options.port == 0).
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Async-signal-safe-ish drain trigger: flips the draining flag and
+  /// wakes the accept loop.  Returns immediately; pair with drain() or
+  /// wait_until_drained().
+  void request_drain() noexcept;
+
+  /// Graceful shutdown: stop accepting, answer queued-but-unstarted and
+  /// new requests per the drain policy, finish all admitted work, flush
+  /// and publish journaled sequences, tear down sessions.  Idempotent.
+  void drain();
+
+  /// Block until someone (a signal handler, another thread) calls
+  /// request_drain(), then perform the drain.
+  void wait_until_drained();
+
+  bool draining() const noexcept {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  ServerStats stats() const;
+  std::size_t queue_depth() const { return queue_.depth(); }
+
+ private:
+  struct Session;
+  struct Job {
+    Frame frame;
+    std::shared_ptr<Session> session;
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+  };
+
+  void accept_loop();
+  void session_loop(const std::shared_ptr<Session>& session);
+  void worker_loop();
+  void handle_frame(const std::shared_ptr<Session>& session, Frame frame);
+  void process_job(Job& job);
+  void handle_encode(Job& job);
+  void handle_decode(Job& job);
+  void handle_verify(Job& job);
+  void send_stats(const std::shared_ptr<Session>& session,
+                  std::uint64_t request_id);
+  void send_error(const std::shared_ptr<Session>& session,
+                  std::uint64_t request_id, Status status,
+                  const std::string& message);
+  void send_frame(const std::shared_ptr<Session>& session, MsgType type,
+                  std::uint64_t request_id,
+                  std::span<const std::uint8_t> payload,
+                  Status status = Status::kOk);
+  /// Caller must hold sequences_mutex_.
+  io::SequenceWriter& sequence_writer(const std::string& name);
+  void finish_sequences();
+  void job_finished(bool ok);
+  void release_outstanding();
+
+  ServerOptions options_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stop_sessions_{false};
+  std::atomic<bool> drained_{false};
+
+  BoundedQueue<Job> queue_;
+  std::vector<std::thread> workers_;
+  std::thread accept_thread_;
+
+  std::mutex sessions_mutex_;
+  std::vector<std::shared_ptr<Session>> sessions_;
+  std::uint64_t session_counter_ = 0;  ///< under sessions_mutex_
+
+  /// Outstanding admitted jobs (queued + executing + awaiting the staging
+  /// callback); drain() waits for this to hit zero.
+  std::atomic<std::uint64_t> outstanding_{0};
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+  std::mutex drain_call_mutex_;  ///< serializes drain() itself
+
+  /// Codecs backing the staging node (CodecPair holds raw pointers).
+  std::unique_ptr<compress::Compressor> staging_reduced_;
+  std::unique_ptr<compress::Compressor> staging_delta_;
+  std::unique_ptr<core::StagingNode> staging_;
+  std::mutex sequences_mutex_;
+  std::map<std::string, std::unique_ptr<io::SequenceWriter>> sequences_;
+
+  mutable std::mutex stats_mutex_;
+  ServerStats stats_;
+};
+
+/// Daemon front end shared by `rmpd` and `rmpc serve`: installs
+/// SIGTERM/SIGINT handlers that trigger a graceful drain, ignores
+/// SIGPIPE, starts the server, announces "rmpd: listening on HOST:PORT"
+/// on stdout (and writes the port to `port_file` when given, for test
+/// harnesses that pass port 0), then blocks until drained.  Returns the
+/// process exit code (0 after a clean drain).
+int run_daemon(const ServerOptions& options,
+               const std::optional<std::filesystem::path>& port_file = {});
+
+/// Parse shared daemon flags ("--port N", "--bind ADDR", "--queue N",
+/// "--workers N", "--max-sessions N", "--output-dir DIR", "--no-parity",
+/// "--staging-queue N", "--port-file PATH") from argv-style args.
+/// Returns an error message naming the offending flag, or std::nullopt on
+/// success.  Unrecognized flags are left for the caller in `unparsed`.
+std::optional<std::string> parse_server_flags(
+    const std::vector<std::string>& args, ServerOptions& options,
+    std::optional<std::filesystem::path>& port_file,
+    std::vector<std::string>* unparsed = nullptr);
+
+}  // namespace rmp::net

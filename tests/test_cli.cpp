@@ -4,15 +4,19 @@
 #include <gtest/gtest.h>
 
 #include <sys/wait.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace {
@@ -376,7 +380,8 @@ TEST_F(CliTest, InjectedDiskFullIsATypedErrorNotACrash) {
       "compress " + quoted(input_) + " " + quoted(archive) +
           " --dims 16,16,16 --method pca");
   ASSERT_TRUE(WIFEXITED(status)) << "rmpc crashed instead of reporting";
-  EXPECT_EQ(WEXITSTATUS(status), 1);
+  // ENOSPC is an I/O failure: exit code 3 per the documented table.
+  EXPECT_EQ(WEXITSTATUS(status), 3);
   EXPECT_FALSE(fs::exists(archive));
   for (const auto& entry : fs::directory_iterator(dir_)) {
     EXPECT_EQ(entry.path().filename().string().find(".tmp."),
@@ -405,6 +410,155 @@ TEST_F(CliTest, InjectedTransientFaultIsRetriedToByteIdenticalOutput) {
   EXPECT_NE(report.find("io.retry.attempts"), std::string::npos);
   EXPECT_NE(report.find("io.fault.eintr"), std::string::npos);
 }
+
+// The exit-code table in README.md ("Exit codes") is a contract: shell
+// scripts dispatch on these numbers, so each class is locked down here.
+TEST_F(CliTest, UsageErrorsExitWithCode2) {
+  int status = run_rmpc("compress " + quoted(input_) + " " +
+                        quoted(dir_ / "u.rmp") + " --dims banana");
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 2);
+  status = run_rmpc("compress " + quoted(input_) + " " +
+                    quoted(dir_ / "u.rmp") + " --dims 16,16,16 --codec gzip");
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 2);
+  // dims/size mismatch is a usage error, not an I/O error.
+  status = run_rmpc("compress " + quoted(input_) + " " +
+                    quoted(dir_ / "u.rmp") + " --dims 7,7,7");
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 2);
+  status = run_rmpc("frobnicate x y");
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 2);
+}
+
+TEST_F(CliTest, IoErrorsExitWithCode3) {
+  const int status = run_rmpc("compress " + quoted(dir_ / "missing.f64") +
+                              " " + quoted(dir_ / "io.rmp") +
+                              " --dims 16,16,16");
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 3);
+}
+
+TEST_F(CliTest, IntegrityFailuresExitWithCode4) {
+  const fs::path archive = dir_ / "broken.rmp";
+  ASSERT_EQ(run_rmpc("compress " + quoted(input_) + " " + quoted(archive) +
+                     " --dims 16,16,16 --method pca --no-parity"),
+            0);
+  corrupt_byte(archive, fs::file_size(archive) - 20);  // delta payload
+  int status = run_rmpc("verify " + quoted(archive));
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 4);
+  status = run_rmpc("decompress " + quoted(archive) + " " +
+                    quoted(dir_ / "broken.f64"));
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 4);
+}
+
+#ifdef RMPD_BINARY
+pid_t spawn_rmpd(const std::vector<std::string>& extra_args) {
+  const pid_t pid = fork();
+  if (pid != 0) return pid;
+  // Child: silence output and become the daemon.
+  std::freopen("/dev/null", "w", stdout);
+  std::freopen("/dev/null", "w", stderr);
+  std::vector<char*> argv;
+  static std::string binary = RMPD_BINARY;
+  argv.push_back(binary.data());
+  std::vector<std::string> owned = extra_args;
+  for (auto& arg : owned) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+  execv(RMPD_BINARY, argv.data());
+  _exit(127);
+}
+
+std::string wait_for_port(const fs::path& port_file) {
+  for (int i = 0; i < 400; ++i) {
+    std::ifstream in(port_file);
+    std::string port;
+    if (in >> port && !port.empty()) return port;
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  return "";
+}
+
+TEST_F(CliTest, DaemonServesClientsAndDrainsCleanlyOnSigterm) {
+  const fs::path port_file = dir_ / "port";
+  const fs::path served = dir_ / "served";
+  const pid_t pid = spawn_rmpd({"--port", "0", "--port-file",
+                                port_file.string(), "--output-dir",
+                                served.string()});
+  ASSERT_GT(pid, 0);
+  const std::string port = wait_for_port(port_file);
+  ASSERT_FALSE(port.empty()) << "daemon never published its port";
+  const std::string net = " --port " + port;
+
+  EXPECT_EQ(run_rmpc("client ping" + net), 0);
+
+  // Inline encode/decode round trip through the daemon.
+  const fs::path archive = dir_ / "remote.rmp";
+  const fs::path output = dir_ / "remote.f64";
+  ASSERT_EQ(run_rmpc("client encode " + quoted(input_) + " " +
+                     quoted(archive) + " --dims 16,16,16 --method pca" + net),
+            0);
+  ASSERT_TRUE(fs::exists(archive));
+  ASSERT_EQ(run_rmpc("client decode " + quoted(archive) + " " +
+                     quoted(output) + net),
+            0);
+  const auto decoded = read_back(output);
+  ASSERT_EQ(decoded.size(), data_.size());
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    ASSERT_NEAR(decoded[i], data_[i], 0.05) << i;
+  }
+  EXPECT_EQ(run_rmpc("client verify " + quoted(archive) + net), 0);
+
+  // Server-side durable store and a journaled sequence step.
+  EXPECT_EQ(run_rmpc("client encode " + quoted(input_) +
+                     " --dims 16,16,16 --store stored.rmp" + net),
+            0);
+  EXPECT_TRUE(fs::exists(served / "stored.rmp"));
+  EXPECT_EQ(run_rmpc("client encode " + quoted(input_) +
+                     " --dims 16,16,16 --sequence soak.rmps" + net),
+            0);
+  EXPECT_EQ(run_rmpc("client stats" + net), 0);
+
+  // SIGTERM drains: journaled sequences publish durably, exit status 0.
+  ASSERT_EQ(kill(pid, SIGTERM), 0);
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status)) << "daemon died of a signal";
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  EXPECT_TRUE(fs::exists(served / "soak.rmps"));
+  EXPECT_FALSE(fs::exists(served / "soak.rmps.part"));
+  EXPECT_EQ(run_rmpc("verify " + quoted(served / "stored.rmp")), 0);
+
+  // With the daemon gone, clients get the "unavailable" exit code.
+  const int refused = run_rmpc("client ping" + net);
+  ASSERT_TRUE(WIFEXITED(refused));
+  EXPECT_EQ(WEXITSTATUS(refused), 7);
+}
+
+TEST_F(CliTest, DaemonDeadlineExpiryYieldsExitCode6) {
+  const fs::path port_file = dir_ / "port";
+  // Every job stalls 400 ms in the worker; a 50 ms deadline must lose.
+  const pid_t pid = spawn_rmpd({"--port", "0", "--port-file",
+                                port_file.string(), "--debug-stall-ms",
+                                "400"});
+  ASSERT_GT(pid, 0);
+  const std::string port = wait_for_port(port_file);
+  ASSERT_FALSE(port.empty());
+  const int status =
+      run_rmpc("client encode " + quoted(input_) + " " +
+               quoted(dir_ / "late.rmp") +
+               " --dims 16,16,16 --deadline-ms 50 --port " + port);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 6);
+  ASSERT_EQ(kill(pid, SIGTERM), 0);
+  int wait_status = 0;
+  ASSERT_EQ(waitpid(pid, &wait_status, 0), pid);
+  EXPECT_EQ(WEXITSTATUS(wait_status), 0);
+}
+#endif
 
 TEST_F(CliTest, ZfpCodecPathWorks) {
   const fs::path archive = dir_ / "zfp.rmp";

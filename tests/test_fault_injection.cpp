@@ -445,6 +445,76 @@ TEST_F(VfsFaultTest, SequenceAppendEnospcKeepsCommittedPrefix) {
   EXPECT_EQ(reader.read_step(1).method, "vfs_step1");
 }
 
+TEST_F(VfsFaultTest, AlreadyExpiredDeadlineRefusesToStartWriting) {
+  const auto dest = dir_ / "late.rmp";
+  io::SerializeOptions options;
+  options.retry.deadline = std::chrono::steady_clock::now() -
+                           std::chrono::milliseconds(1);
+  const auto before =
+      obs::Registry::global().counter_value("io.retry.deadline_exceeded");
+  try {
+    io::write_container(dest, sample(4), options);
+    FAIL() << "expired deadline still wrote";
+  } catch (const io::ContainerError& e) {
+    EXPECT_EQ(e.code(), io::ContainerErrc::kDeadlineExceeded);
+    EXPECT_NE(std::string(e.what()).find("deadline"), std::string::npos);
+  }
+  EXPECT_GT(
+      obs::Registry::global().counter_value("io.retry.deadline_exceeded"),
+      before);
+  EXPECT_FALSE(fs::exists(dest));
+  EXPECT_EQ(stray_tmp_count(), 0u);
+}
+
+TEST_F(VfsFaultTest, DeadlineCapsTransientRetryLoops) {
+  // A generous attempt budget but a tiny wall-clock budget: the endless
+  // EINTR stream must be abandoned as kDeadlineExceeded (the deadline
+  // caps how *long*), not retried to attempt exhaustion.
+  const auto dest = dir_ / "capped.rmp";
+  io::SerializeOptions options;
+  options.retry.max_attempts = 1'000'000;
+  options.retry.base_delay = std::chrono::microseconds(200);
+  options.retry.deadline = std::chrono::steady_clock::now() +
+                           std::chrono::milliseconds(50);
+  try {
+    testing::ScopedFaultInjection inject({io::FaultKind::kEintr, 1, 1u << 20});
+    io::write_container(dest, sample(5), options);
+    FAIL() << "deadline never fired";
+  } catch (const io::ContainerError& e) {
+    EXPECT_EQ(e.code(), io::ContainerErrc::kDeadlineExceeded) << e.what();
+  }
+  EXPECT_FALSE(fs::exists(dest));
+  EXPECT_EQ(stray_tmp_count(), 0u);
+}
+
+TEST_F(VfsFaultTest, SequenceWriterHonorsThreadedDeadline) {
+  // set_retry is how rmpd threads a per-request deadline into a
+  // long-lived journal writer; clearing it afterwards must restore the
+  // writer to normal service for the next request.
+  const auto dest = dir_ / "deadline.rmps";
+  io::SequenceWriter writer(dest);
+  writer.append(sample(0));
+
+  io::RetryPolicy expired;
+  expired.deadline = std::chrono::steady_clock::now() -
+                     std::chrono::milliseconds(1);
+  writer.set_retry(expired);
+  try {
+    writer.append(sample(1));
+    FAIL() << "append past the deadline succeeded";
+  } catch (const io::ContainerError& e) {
+    EXPECT_EQ(e.code(), io::ContainerErrc::kDeadlineExceeded) << e.what();
+  }
+
+  // A pre-write deadline expiry must NOT poison the writer: nothing was
+  // torn, so clearing the deadline restores normal service.
+  writer.set_retry(io::RetryPolicy{});
+  writer.append(sample(1));
+  writer.finish();
+  io::SequenceReader reader(dest);
+  EXPECT_EQ(reader.step_count(), 2u);
+}
+
 TEST(VfsFaultSpec, ParsesTheDocumentedGrammar) {
   const auto enospc = io::FaultSpec::parse("enospc@3");
   ASSERT_TRUE(enospc.has_value());

@@ -1,0 +1,162 @@
+// BoundedQueue admission / rejection / drain under saturation -- the
+// backpressure state machine rmpd's admission control is built on
+// (DESIGN.md §11).  The invariants under test:
+//   * try_push never blocks: full -> kBusy immediately, closed -> kClosed.
+//   * Every accepted item is handed to exactly one consumer, including
+//     items still queued when close() flips the queue into drain mode.
+//   * pop() returns nullopt only once the queue is closed AND empty.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "net/bounded_queue.hpp"
+
+namespace {
+
+using rmp::net::BoundedQueue;
+using Push = rmp::net::BoundedQueue<int>::Push;
+
+TEST(NetQueue, AcceptsUntilCapacityThenBusy) {
+  BoundedQueue<int> queue(3);
+  EXPECT_EQ(queue.try_push(1), Push::kAccepted);
+  EXPECT_EQ(queue.try_push(2), Push::kAccepted);
+  EXPECT_EQ(queue.try_push(3), Push::kAccepted);
+  EXPECT_EQ(queue.try_push(4), Push::kBusy);
+  EXPECT_EQ(queue.depth(), 3u);
+
+  // Popping one frees exactly one admission slot.
+  EXPECT_EQ(queue.pop(), 1);
+  EXPECT_EQ(queue.try_push(5), Push::kAccepted);
+  EXPECT_EQ(queue.try_push(6), Push::kBusy);
+
+  const auto stats = queue.stats();
+  EXPECT_EQ(stats.accepted, 4u);
+  EXPECT_EQ(stats.rejected_busy, 2u);
+  EXPECT_EQ(stats.peak_depth, 3u);
+}
+
+TEST(NetQueue, ZeroCapacityIsClampedToOne) {
+  BoundedQueue<int> queue(0);
+  EXPECT_EQ(queue.capacity(), 1u);
+  EXPECT_EQ(queue.try_push(1), Push::kAccepted);
+  EXPECT_EQ(queue.try_push(2), Push::kBusy);
+}
+
+TEST(NetQueue, CloseRefusesProducersButDrainsConsumers) {
+  BoundedQueue<int> queue(8);
+  ASSERT_EQ(queue.try_push(10), Push::kAccepted);
+  ASSERT_EQ(queue.try_push(11), Push::kAccepted);
+  queue.close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_EQ(queue.try_push(12), Push::kClosed);
+
+  // Items admitted before the close still drain, in order.
+  EXPECT_EQ(queue.pop(), 10);
+  EXPECT_EQ(queue.pop(), 11);
+  EXPECT_EQ(queue.pop(), std::nullopt);
+  EXPECT_EQ(queue.pop(), std::nullopt);  // idempotent once drained
+
+  const auto stats = queue.stats();
+  EXPECT_EQ(stats.rejected_closed, 1u);
+  EXPECT_EQ(stats.popped, 2u);
+}
+
+TEST(NetQueue, CloseWakesBlockedConsumers) {
+  BoundedQueue<int> queue(4);
+  std::atomic<int> woke{0};
+  std::vector<std::thread> consumers;
+  for (int i = 0; i < 3; ++i) {
+    consumers.emplace_back([&] {
+      while (queue.pop().has_value()) {
+      }
+      woke.fetch_add(1);
+    });
+  }
+  // Give the consumers a moment to block inside pop().
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  queue.close();
+  for (auto& thread : consumers) thread.join();
+  EXPECT_EQ(woke.load(), 3);
+}
+
+TEST(NetQueue, SaturationDeliversEveryAcceptedItemExactlyOnce) {
+  // Many producers hammer a tiny queue while consumers drain it; pushes
+  // rejected kBusy are retried so every value eventually lands.  The
+  // consumers' union must be exactly the produced set, no dupes.
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  BoundedQueue<int> queue(2);
+
+  std::mutex seen_mutex;
+  std::set<int> seen;
+  std::atomic<std::size_t> popped{0};
+  std::atomic<std::uint64_t> busy_rejections{0};
+
+  std::vector<std::thread> consumers;
+  for (int i = 0; i < 3; ++i) {
+    consumers.emplace_back([&] {
+      while (const auto item = queue.pop()) {
+        std::lock_guard lock(seen_mutex);
+        EXPECT_TRUE(seen.insert(*item).second) << "duplicate " << *item;
+        popped.fetch_add(1);
+      }
+    });
+  }
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int value = p * kPerProducer + i;
+        while (true) {
+          const auto result = queue.try_push(value);
+          ASSERT_NE(result, Push::kClosed);
+          if (result == Push::kAccepted) break;
+          busy_rejections.fetch_add(1);
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& thread : producers) thread.join();
+  queue.close();
+  for (auto& thread : consumers) thread.join();
+
+  EXPECT_EQ(popped.load(), static_cast<std::size_t>(kProducers) * kPerProducer);
+  EXPECT_EQ(seen.size(), popped.load());
+  // With capacity 2 and four producers, backpressure must actually bite.
+  EXPECT_GT(busy_rejections.load(), 0u);
+  const auto stats = queue.stats();
+  EXPECT_EQ(stats.accepted, stats.popped);
+  EXPECT_LE(stats.peak_depth, 2u);
+}
+
+TEST(NetQueue, DrainRaceNeverLosesItems) {
+  // close() racing try_push: an item is either admitted (and then must be
+  // popped) or typed-rejected -- never silently dropped.
+  for (int round = 0; round < 50; ++round) {
+    BoundedQueue<int> queue(16);
+    std::atomic<int> admitted{0};
+    std::thread producer([&] {
+      for (int i = 0; i < 16; ++i) {
+        if (queue.try_push(i) == Push::kAccepted) admitted.fetch_add(1);
+      }
+    });
+    std::thread closer([&] { queue.close(); });
+    producer.join();
+    closer.join();
+
+    int drained = 0;
+    while (queue.pop().has_value()) ++drained;
+    EXPECT_EQ(drained, admitted.load()) << "round " << round;
+  }
+}
+
+}  // namespace

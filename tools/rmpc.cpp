@@ -19,6 +19,22 @@
 //                   [--method NAME] [--codec sz|zfp] [--no-parity]
 //   rmpc resume     <in1.f64> [<in2.f64> ...] <out.rmps> --dims NX[,NY[,NZ]]
 //                   [--method NAME] [--codec sz|zfp] [--no-parity]
+//   rmpc serve      [--port N] [--bind ADDR] [--queue N] [--workers N]
+//                   [--max-sessions N] [--output-dir DIR] [--no-parity]
+//                   [--staging-queue N] [--port-file PATH]
+//   rmpc client     ping|stats --port N [--host H] [--deadline-ms N]
+//   rmpc client     encode <in.f64> [<out.rmp>] --dims NX[,NY[,NZ]] --port N
+//                   [--method NAME] [--codec sz|zfp] [--guard]
+//                   [--error-bound EPS] [--store NAME | --sequence NAME]
+//                   [--deadline-ms N]
+//   rmpc client     decode <in.rmp> <out.f64> --port N [--codec sz|zfp]
+//                   [--best-effort]
+//   rmpc client     verify <in.rmp> --port N
+//
+// Exit codes (shared with rmpd, locked down in tests/test_cli.cpp):
+//   0 success        1 internal error   2 usage error       3 I/O error
+//   4 integrity      5 model failure    6 deadline exceeded
+//   7 busy/unavailable                  8 protocol error
 //
 // `sequence` compresses each input field as one step of a journaled
 // multi-step archive (crash-durable: every completed step is fsync'd
@@ -40,6 +56,7 @@
 // non-zero when sections are unrecoverable.  `repair` rewrites a
 // damaged-but-recoverable archive as a clean v3 file with parity.
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -49,6 +66,11 @@
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "exit_codes.hpp"
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
 
 #include "compress/factory.hpp"
 #include "core/guard.hpp"
@@ -86,10 +108,19 @@ using namespace rmp;
                "  rmpc resume     <in1.f64> [<in2.f64> ...] <out.rmps> "
                "--dims NX[,NY[,NZ]] [--method NAME] [--codec sz|zfp] "
                "[--no-parity]\n"
+               "  rmpc serve      [--port N] [--bind ADDR] [--queue N] "
+               "[--workers N] [--max-sessions N] [--output-dir DIR] "
+               "[--no-parity] [--staging-queue N] [--port-file PATH]\n"
+               "  rmpc client     ping|stats|encode|decode|verify ... "
+               "--port N [--host H] [--deadline-ms N]\n"
                "\n"
                "  --stats[=FILE]  dump observability counters/spans as JSON\n"
-               "                  (stdout, or FILE when given)\n");
-  std::exit(2);
+               "                  (stdout, or FILE when given)\n"
+               "\n"
+               "exit codes: 0 ok, 1 internal, 2 usage, 3 I/O, 4 integrity,\n"
+               "            5 model, 6 deadline, 7 busy/unavailable, "
+               "8 protocol\n");
+  std::exit(tools::kExitUsage);
 }
 
 /// Typed usage error for a malformed flag value: names the flag, echoes
@@ -99,7 +130,7 @@ using namespace rmp;
                              const char* expected) {
   std::fprintf(stderr, "rmpc: invalid value for %s: \"%s\" (expected %s)\n",
                flag.c_str(), value.c_str(), expected);
-  std::exit(2);
+  std::exit(tools::kExitUsage);
 }
 
 /// Strict non-negative double: the whole string must parse and the result
@@ -170,12 +201,12 @@ std::vector<double> read_doubles(const std::string& path) {
   std::ifstream file(path, std::ios::binary | std::ios::ate);
   if (!file) {
     std::fprintf(stderr, "rmpc: cannot open %s\n", path.c_str());
-    std::exit(1);
+    std::exit(tools::kExitIo);
   }
   const auto bytes = static_cast<std::size_t>(file.tellg());
   if (bytes % sizeof(double) != 0) {
     std::fprintf(stderr, "rmpc: %s is not a float64 array\n", path.c_str());
-    std::exit(1);
+    std::exit(tools::kExitIo);
   }
   std::vector<double> data(bytes / sizeof(double));
   file.seekg(0);
@@ -188,10 +219,34 @@ void write_doubles(const std::string& path, const std::vector<double>& data) {
   std::ofstream file(path, std::ios::binary | std::ios::trunc);
   if (!file) {
     std::fprintf(stderr, "rmpc: cannot write %s\n", path.c_str());
-    std::exit(1);
+    std::exit(tools::kExitIo);
   }
   file.write(reinterpret_cast<const char*>(data.data()),
              static_cast<std::streamsize>(data.size() * sizeof(double)));
+}
+
+std::vector<std::uint8_t> read_bytes(const std::string& path) {
+  std::ifstream file(path, std::ios::binary | std::ios::ate);
+  if (!file) {
+    std::fprintf(stderr, "rmpc: cannot open %s\n", path.c_str());
+    std::exit(tools::kExitIo);
+  }
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(file.tellg()));
+  file.seekg(0);
+  file.read(reinterpret_cast<char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return bytes;
+}
+
+void write_bytes(const std::string& path,
+                 const std::vector<std::uint8_t>& bytes) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  file.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  if (!file) {
+    std::fprintf(stderr, "rmpc: cannot write %s\n", path.c_str());
+    std::exit(tools::kExitIo);
+  }
 }
 
 struct Args {
@@ -205,6 +260,12 @@ struct Args {
   std::optional<double> verify_bound;
   bool emit_stats = false;
   std::string stats_path;  ///< empty = stdout
+  // Client-mode flags (`rmpc client ...`).
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::uint64_t deadline_ms = 0;
+  std::string store_name;     ///< --store NAME: durable file on the server
+  std::string sequence_name;  ///< --sequence NAME: journaled sequence step
 };
 
 Args parse_args(int argc, char** argv) {
@@ -256,6 +317,24 @@ Args parse_args(int argc, char** argv) {
     } else if (arg == "--stats") {
       args.emit_stats = true;
       if (inline_value) args.stats_path = *inline_value;
+    } else if (arg == "--host") {
+      args.host = next();
+    } else if (arg == "--port") {
+      const std::string value = next();
+      const std::size_t port = parse_size_component(
+          "--port", value, value, "a port number in [1, 65535]");
+      if (port > 65535) {
+        flag_error("--port", value, "a port number in [1, 65535]");
+      }
+      args.port = static_cast<std::uint16_t>(port);
+    } else if (arg == "--deadline-ms") {
+      const std::string value = next();
+      args.deadline_ms = parse_size_component(
+          "--deadline-ms", value, value, "a positive millisecond budget");
+    } else if (arg == "--store") {
+      args.store_name = next();
+    } else if (arg == "--sequence") {
+      args.sequence_name = next();
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "rmpc: unknown flag %s\n", arg.c_str());
       usage_and_exit();
@@ -272,7 +351,7 @@ sim::Field field_from_file(const std::string& path, const ParsedDims& dims) {
     std::fprintf(stderr,
                  "rmpc: %s holds %zu doubles but --dims says %zux%zux%zu\n",
                  path.c_str(), data.size(), dims.nx, dims.ny, dims.nz);
-    std::exit(1);
+    std::exit(tools::kExitUsage);
   }
   return sim::Field::from_data(dims.nx, dims.ny, dims.nz, std::move(data));
 }
@@ -290,7 +369,7 @@ Codecs make_codecs(const std::string& name) {
     return {compress::make_zfp_original(), compress::make_zfp_delta()};
   }
   std::fprintf(stderr, "rmpc: unknown codec %s (want sz|zfp)\n", name.c_str());
-  std::exit(1);
+  std::exit(tools::kExitUsage);
 }
 
 int cmd_compress(const Args& args) {
@@ -400,14 +479,14 @@ int cmd_stats_validate(const std::string& path) {
   std::ifstream file(path, std::ios::binary);
   if (!file) {
     std::fprintf(stderr, "rmpc: cannot open %s\n", path.c_str());
-    return 1;
+    return tools::kExitIo;
   }
   std::ostringstream text;
   text << file.rdbuf();
   const auto result = obs::validate_stats_json(text.str());
   if (!result.ok) {
     std::printf("%s: INVALID (%s)\n", path.c_str(), result.error.c_str());
-    return 1;
+    return tools::kExitIntegrity;
   }
   std::printf("%s: valid %s\n", path.c_str(), result.schema.c_str());
   return 0;
@@ -453,7 +532,7 @@ int cmd_verify_archive(const Args& args) {
     container = io::read_container_salvage(args.positional[0], &report);
   } catch (const io::ContainerError& e) {
     std::printf("%s: UNREADABLE (%s)\n", args.positional[0].c_str(), e.what());
-    return 1;
+    return tools::kExitIntegrity;
   }
   std::printf("%s: container v%u, parity %s\n", args.positional[0].c_str(),
               report.version,
@@ -475,7 +554,7 @@ int cmd_verify_archive(const Args& args) {
   }
   std::printf("verify: FAILED (%zu unrecoverable section(s))\n",
               report.damaged().size());
-  return 1;
+  return tools::kExitIntegrity;
 }
 
 int cmd_verify(const Args& args) {
@@ -504,7 +583,7 @@ int cmd_repair(const Args& args) {
     for (const auto& name : report.damaged()) {
       std::fprintf(stderr, "  damaged: %s\n", name.c_str());
     }
-    return 1;
+    return tools::kExitIntegrity;
   }
   io::SerializeOptions options;
   options.with_parity = !args.no_parity;
@@ -541,7 +620,7 @@ int cmd_sequence(const Args& args, bool resume_mode) {
                    "rmpc: %s already holds %zu committed step(s) but only "
                    "%zu input(s) were given\n",
                    journal.string().c_str(), committed, total_steps);
-      return 1;
+      return tools::kExitIntegrity;
     }
     std::printf("resume %s: %zu of %zu step(s) already committed\n",
                 out.c_str(), committed, total_steps);
@@ -558,7 +637,7 @@ int cmd_sequence(const Args& args, bool resume_mode) {
                  "rmpc: %s is a published archive with %zu step(s), not a "
                  "resumable journal for %zu input(s)\n",
                  out.c_str(), reader.step_count(), total_steps);
-    return 1;
+    return tools::kExitIntegrity;
   } else {
     writer.emplace(out, options);
     if (resume_mode) {
@@ -627,8 +706,161 @@ void emit_stats(const Args& args) {
   if (!file) {
     std::fprintf(stderr, "rmpc: cannot write stats to %s\n",
                  args.stats_path.c_str());
-    std::exit(1);
+    std::exit(tools::kExitIo);
   }
+}
+
+// ---------------------------------------------------------------------------
+// rmpd front end: `rmpc serve` and `rmpc client`
+
+/// `rmpc serve [server flags]`: run the rmpd daemon in-process (same code
+/// path as the rmpd binary), so a single installed tool covers both ends.
+int cmd_serve(int argc, char** argv) {
+  const std::vector<std::string> raw(argv + 2, argv + argc);
+  net::ServerOptions options;
+  std::optional<std::filesystem::path> port_file;
+  if (const auto error =
+          net::parse_server_flags(raw, options, port_file)) {
+    std::fprintf(stderr, "rmpc: %s\n", error->c_str());
+    usage_and_exit();
+  }
+  return net::run_daemon(options, port_file);
+}
+
+int cmd_client_encode(const Args& args, net::Client& client) {
+  if (args.positional.size() < 2 || !args.dims) usage_and_exit();
+  if (!args.store_name.empty() && !args.sequence_name.empty()) {
+    std::fprintf(stderr, "rmpc: --store and --sequence are exclusive\n");
+    usage_and_exit();
+  }
+  net::EncodeRequest request;
+  request.method = args.method;
+  request.codec = args.codec;
+  request.guard = args.guard;
+  request.error_bound = args.verify_bound;
+  request.nx = args.dims->nx;
+  request.ny = args.dims->ny;
+  request.nz = args.dims->nz;
+  request.data = read_doubles(args.positional[1]);
+  if (request.data.size() != args.dims->nx * args.dims->ny * args.dims->nz) {
+    std::fprintf(stderr,
+                 "rmpc: %s holds %zu doubles but --dims says %zux%zux%zu\n",
+                 args.positional[1].c_str(), request.data.size(),
+                 args.dims->nx, args.dims->ny, args.dims->nz);
+    std::exit(tools::kExitUsage);
+  }
+  if (!args.store_name.empty()) {
+    request.store = net::StoreMode::kFile;
+    request.store_name = args.store_name;
+  } else if (!args.sequence_name.empty()) {
+    request.store = net::StoreMode::kSequence;
+    request.store_name = args.sequence_name;
+  } else if (args.positional.size() != 3) {
+    // Inline mode returns container bytes; an output path is required.
+    usage_and_exit();
+  }
+
+  const auto response = client.encode(request);
+  if (response.stored) {
+    std::printf("%s: %llu -> %llu bytes via %s (stored on server)\n",
+                response.stored_path.c_str(),
+                static_cast<unsigned long long>(response.original_bytes),
+                static_cast<unsigned long long>(response.stored_bytes),
+                response.method.c_str());
+    return tools::kExitOk;
+  }
+  write_bytes(args.positional[2], response.container);
+  std::printf("%s: %llu -> %llu bytes via %s\n", args.positional[2].c_str(),
+              static_cast<unsigned long long>(response.original_bytes),
+              static_cast<unsigned long long>(response.stored_bytes),
+              response.method.c_str());
+  return tools::kExitOk;
+}
+
+int cmd_client_decode(const Args& args, net::Client& client) {
+  if (args.positional.size() != 3) usage_and_exit();
+  net::DecodeRequest request;
+  request.codec = args.codec;
+  request.best_effort = args.best_effort;
+  request.container = read_bytes(args.positional[1]);
+  const auto response = client.decode(request);
+  write_doubles(args.positional[2], response.data);
+  std::printf("%s: %llux%llux%llu doubles%s%s\n", args.positional[2].c_str(),
+              static_cast<unsigned long long>(response.nx),
+              static_cast<unsigned long long>(response.ny),
+              static_cast<unsigned long long>(response.nz),
+              response.detail.empty() ? "" : " -- ",
+              response.detail.c_str());
+  return tools::kExitOk;
+}
+
+int cmd_client_verify(const Args& args, net::Client& client) {
+  if (args.positional.size() != 2) usage_and_exit();
+  net::VerifyRequest request;
+  request.container = read_bytes(args.positional[1]);
+  const auto response = client.verify(request);
+  std::printf("%s: container v%u\n", args.positional[1].c_str(),
+              response.version);
+  std::fputs(response.detail.c_str(), stdout);
+  if (response.complete) {
+    std::printf(response.repaired ? "verify: OK (parity repair applied)\n"
+                                  : "verify: OK\n");
+    return tools::kExitOk;
+  }
+  std::printf("verify: FAILED\n");
+  return tools::kExitIntegrity;
+}
+
+int cmd_client_stats(net::Client& client) {
+  const auto stats = client.stats();
+  std::printf("queue:             %llu / %llu\n",
+              static_cast<unsigned long long>(stats.queue_depth),
+              static_cast<unsigned long long>(stats.queue_capacity));
+  std::printf("accepted:          %llu\n",
+              static_cast<unsigned long long>(stats.accepted));
+  std::printf("rejected busy:     %llu\n",
+              static_cast<unsigned long long>(stats.rejected_busy));
+  std::printf("rejected shutdown: %llu\n",
+              static_cast<unsigned long long>(stats.rejected_shutdown));
+  std::printf("deadline missed:   %llu\n",
+              static_cast<unsigned long long>(stats.deadline_missed));
+  std::printf("completed:         %llu\n",
+              static_cast<unsigned long long>(stats.completed));
+  std::printf("failed:            %llu\n",
+              static_cast<unsigned long long>(stats.failed));
+  std::printf("sessions:          %llu active, %llu total\n",
+              static_cast<unsigned long long>(stats.sessions_active),
+              static_cast<unsigned long long>(stats.sessions_total));
+  std::printf("protocol errors:   %llu\n",
+              static_cast<unsigned long long>(stats.protocol_errors));
+  return tools::kExitOk;
+}
+
+/// `rmpc client <action> ...`: talk to a running rmpd.  Every typed
+/// failure (BUSY, deadline, integrity, ...) surfaces as the documented
+/// exit code via tools::exit_code_for.
+int cmd_client(const Args& args) {
+  if (args.positional.empty()) usage_and_exit();
+  const std::string& action = args.positional[0];
+  if (args.port == 0) {
+    std::fprintf(stderr, "rmpc: client needs --port\n");
+    usage_and_exit();
+  }
+  net::ClientOptions options;
+  options.host = args.host;
+  options.port = args.port;
+  options.deadline = std::chrono::milliseconds(args.deadline_ms);
+  net::Client client(options);
+  if (action == "ping") {
+    client.ping();
+    std::printf("pong\n");
+    return tools::kExitOk;
+  }
+  if (action == "stats") return cmd_client_stats(client);
+  if (action == "encode") return cmd_client_encode(args, client);
+  if (action == "decode") return cmd_client_decode(args, client);
+  if (action == "verify") return cmd_client_verify(args, client);
+  usage_and_exit();
 }
 
 int run_command(const std::string& command, const Args& args) {
@@ -641,6 +873,7 @@ int run_command(const std::string& command, const Args& args) {
   if (command == "repair") return cmd_repair(args);
   if (command == "sequence") return cmd_sequence(args, /*resume_mode=*/false);
   if (command == "resume") return cmd_sequence(args, /*resume_mode=*/true);
+  if (command == "client") return cmd_client(args);
   usage_and_exit();
 }
 
@@ -649,13 +882,15 @@ int run_command(const std::string& command, const Args& args) {
 int main(int argc, char** argv) {
   if (argc < 2) usage_and_exit();
   const std::string command = argv[1];
-  const Args args = parse_args(argc, argv);
   try {
+    // serve has its own flag grammar (shared with the rmpd binary).
+    if (command == "serve") return cmd_serve(argc, argv);
+    const Args args = parse_args(argc, argv);
     const int status = run_command(command, args);
     emit_stats(args);
     return status;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "rmpc: %s\n", e.what());
-    return 1;
+    return tools::exit_code_for(e);
   }
 }

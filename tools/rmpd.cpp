@@ -1,0 +1,54 @@
+// rmpd -- the fault-tolerant concurrent compression daemon (DESIGN.md
+// §11).  Serves encode/decode/verify/stats requests over the
+// length-prefixed binary protocol, with bounded-queue admission control,
+// end-to-end deadlines and a graceful SIGTERM drain.
+//
+//   rmpd [--port N] [--bind ADDR] [--queue N] [--workers N]
+//        [--max-sessions N] [--output-dir DIR] [--no-parity]
+//        [--staging-queue N] [--port-file PATH] [--debug-stall-ms N]
+//
+// With --port 0 (the default) an ephemeral port is chosen; harnesses pass
+// --port-file to learn it.  SIGTERM/SIGINT trigger the drain: stop
+// accepting, finish every admitted request, publish journaled sequences
+// durably, exit 0.
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "exit_codes.hpp"
+#include "net/server.hpp"
+
+namespace {
+
+void usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: rmpd [--port N] [--bind ADDR] [--queue N] "
+               "[--workers N] [--max-sessions N] [--output-dir DIR] "
+               "[--no-parity] [--staging-queue N] [--port-file PATH] "
+               "[--debug-stall-ms N]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.size() == 1 && (args[0] == "--help" || args[0] == "-h")) {
+    usage(stdout);
+    return rmp::tools::kExitOk;
+  }
+  rmp::net::ServerOptions options;
+  std::optional<std::filesystem::path> port_file;
+  if (const auto error =
+          rmp::net::parse_server_flags(args, options, port_file)) {
+    std::fprintf(stderr, "rmpd: %s\n", error->c_str());
+    usage(stderr);
+    return rmp::tools::kExitUsage;
+  }
+  try {
+    return rmp::net::run_daemon(options, port_file);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rmpd: %s\n", e.what());
+    return rmp::tools::exit_code_for(e);
+  }
+}
