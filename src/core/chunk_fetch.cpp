@@ -1,0 +1,232 @@
+#include "core/chunk_fetch.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace rmp::core {
+
+// ---------------------------------------------------------------------------
+// ChunkCache
+
+ChunkPtr ChunkCache::get(std::size_t key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) return nullptr;
+  order_.splice(order_.begin(), order_, it->second.position);
+  return it->second.value;
+}
+
+void ChunkCache::put(std::size_t key, ChunkPtr value) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second.value = std::move(value);
+    order_.splice(order_.begin(), order_, it->second.position);
+    return;
+  }
+  while (map_.size() >= capacity_) {
+    map_.erase(order_.back());
+    order_.pop_back();
+  }
+  order_.push_front(key);
+  map_.emplace(key, Slot{std::move(value), order_.begin()});
+}
+
+bool ChunkCache::contains(std::size_t key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return map_.find(key) != map_.end();
+}
+
+std::size_t ChunkCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return map_.size();
+}
+
+// ---------------------------------------------------------------------------
+// SequentialPrefetcher
+
+std::vector<std::size_t> SequentialPrefetcher::on_access(std::size_t index,
+                                                         std::size_t total) {
+  if (last_ != static_cast<std::size_t>(-1) && index == last_ + 1) {
+    window_ = std::min(window_ * 2, max_window_);
+  } else if (index != last_) {
+    window_ = 1;
+  }
+  last_ = index;
+  std::vector<std::size_t> ahead;
+  if (max_window_ == 0) return ahead;
+  ahead.reserve(window_);
+  for (std::size_t k = 1; k <= window_ && index + k < total; ++k) {
+    ahead.push_back(index + k);
+  }
+  return ahead;
+}
+
+// ---------------------------------------------------------------------------
+// ChunkFetcher
+
+ChunkFetcher::ChunkFetcher(std::size_t chunk_count, Loader loader,
+                           const ChunkFetchOptions& options)
+    : chunk_count_(chunk_count),
+      loader_(std::move(loader)),
+      options_(options),
+      cache_(options.cache_chunks),
+      // A cache-less fetcher has nowhere to keep prefetched chunks, so
+      // scheduling them would be pure wasted decode work.
+      prefetcher_(options.cache_chunks == 0 ? 0 : options.prefetch_window) {}
+
+ChunkFetcher::~ChunkFetcher() { drain(); }
+
+void ChunkFetcher::drain() {
+  std::unique_lock<std::mutex> lock(drain_mutex_);
+  drain_cv_.wait(lock, [this] { return pending_tasks_ == 0; });
+}
+
+ChunkPtr ChunkFetcher::load_and_publish(
+    std::size_t index, const std::shared_ptr<InFlight>& entry) {
+  ChunkPtr chunk;
+  try {
+    const obs::ScopedSpan span("chunk-decode");
+    chunk = loader_(index);
+  } catch (...) {
+    entry->promise.set_exception(std::current_exception());
+    {
+      // Failed loads must not pin the entry: a later demand for the same
+      // chunk deserves a fresh attempt (transient I/O errors heal).
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = in_flight_.find(index);
+      if (it != in_flight_.end() && it->second == entry) in_flight_.erase(it);
+    }
+    throw;
+  }
+  cache_.put(index, chunk);
+  entry->promise.set_value(chunk);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = in_flight_.find(index);
+    if (it != in_flight_.end() && it->second == entry) in_flight_.erase(it);
+  }
+  return chunk;
+}
+
+void ChunkFetcher::schedule_prefetch(const std::vector<std::size_t>& indices) {
+  for (const std::size_t index : indices) {
+    std::shared_ptr<InFlight> entry;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (in_flight_.find(index) != in_flight_.end()) continue;
+      if (cache_.contains(index)) continue;
+      entry = std::make_shared<InFlight>();
+      entry->future = entry->promise.get_future().share();
+      in_flight_.emplace(index, entry);
+    }
+    {
+      std::lock_guard<std::mutex> lock(drain_mutex_);
+      ++pending_tasks_;
+    }
+    obs::count("chunk.prefetch.issued");
+    try {
+      parallel::active_pool().submit([this, index, entry] {
+        // Claim or concede: a demand thread may have stolen this chunk
+        // between scheduling and execution.
+        int expected = 0;
+        if (entry->state.compare_exchange_strong(expected, 1)) {
+          try {
+            load_and_publish(index, entry);
+          } catch (...) {
+            // Already delivered through the entry's promise; nothing to
+            // do here -- a background task has no caller to rethrow to.
+          }
+        } else {
+          obs::count("chunk.prefetch.wasted");
+        }
+        std::lock_guard<std::mutex> lock(drain_mutex_);
+        --pending_tasks_;
+        drain_cv_.notify_all();
+      });
+    } catch (...) {
+      // submit() failed (e.g. pool shutting down): roll the bookkeeping
+      // back and forget the entry; the chunk will load on demand.
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = in_flight_.find(index);
+        if (it != in_flight_.end() && it->second == entry) {
+          in_flight_.erase(it);
+        }
+      }
+      std::lock_guard<std::mutex> lock(drain_mutex_);
+      --pending_tasks_;
+      drain_cv_.notify_all();
+    }
+  }
+}
+
+ChunkPtr ChunkFetcher::get(std::size_t index) {
+  if (index >= chunk_count_) {
+    throw std::out_of_range("ChunkFetcher: chunk index out of range");
+  }
+  std::vector<std::size_t> ahead;
+  std::shared_ptr<InFlight> entry;
+  ChunkPtr hit;
+  bool claimed = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ahead = prefetcher_.on_access(index, chunk_count_);
+    hit = cache_.get(index);
+    if (hit != nullptr) {
+      obs::count("chunk.cache.hits");
+    } else {
+      obs::count("chunk.cache.misses");
+      const auto it = in_flight_.find(index);
+      if (it != in_flight_.end()) {
+        entry = it->second;
+      } else {
+        entry = std::make_shared<InFlight>();
+        entry->future = entry->promise.get_future().share();
+        entry->state.store(1, std::memory_order_relaxed);  // born claimed
+        in_flight_.emplace(index, entry);
+        claimed = true;
+      }
+    }
+  }
+  schedule_prefetch(ahead);
+  if (hit != nullptr) return hit;
+  if (!claimed) {
+    // Steal the queued task if it has not started: blocking on work that
+    // is stuck *behind us* in the pool queue would deadlock the pool.
+    int expected = 0;
+    claimed = entry->state.compare_exchange_strong(expected, 1);
+    if (!claimed) obs::count("chunk.prefetch.joined");
+  }
+  if (claimed) return load_and_publish(index, entry);
+  return entry->future.get();  // actively decoding elsewhere: safe to wait
+}
+
+// ---------------------------------------------------------------------------
+// Conveniences
+
+ChunkFetcher make_sequence_fetcher(const io::SequenceReader& reader,
+                                   const ChunkFetchOptions& options) {
+  return ChunkFetcher(
+      reader.step_count(),
+      [&reader](std::size_t step) {
+        return std::make_shared<const io::Container>(reader.read_step(step));
+      },
+      options);
+}
+
+std::vector<ChunkPtr> fetch_all(ChunkFetcher& fetcher) {
+  const obs::ScopedSpan span("chunk-fetch-all");
+  std::vector<ChunkPtr> chunks(fetcher.chunk_count());
+  // Disjoint scatter: element c is only touched by the body for c.
+  parallel::parallel_for(
+      fetcher.chunk_count(), [&](std::size_t c) { chunks[c] = fetcher.get(c); },
+      /*grain=*/1);
+  return chunks;
+}
+
+}  // namespace rmp::core

@@ -1,0 +1,165 @@
+// Chunked parallel read pipeline for seekable archives (DESIGN.md §12).
+//
+// The rapidgzip decomposition, adapted to containers: a **fetcher** that
+// serves chunk N on demand, a **sequential prefetcher** that watches the
+// access pattern and schedules upcoming chunks onto the shared thread
+// pool before they are asked for, and a **bounded LRU cache** holding
+// decoded chunks so repeated and near-past accesses are free.  A "chunk"
+// here is one independently-decodable io::Container -- a step of a
+// sequence archive, or any unit a custom loader produces.
+//
+// Concurrency model: one ChunkFetcher is shared by N threads.  Demand
+// fetches never block on a *queued-but-unstarted* background task (the
+// classic pool deadlock when every worker waits on work stuck behind it
+// in the queue); instead the demand thread atomically claims the pending
+// entry and decodes it inline, and the background task, finding its work
+// claimed, simply exits.  Waiting happens only on chunks that are
+// actively being decoded on another thread.  Results are byte-identical
+// to serial decode: the cache stores immutable decoded containers and
+// claim/steal only changes *who* decodes, never *what*.
+//
+// Obs counters: "chunk.cache.hits", "chunk.cache.misses",
+// "chunk.prefetch.issued", "chunk.prefetch.wasted".
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "io/container.hpp"
+#include "io/sequence_file.hpp"
+
+namespace rmp::core {
+
+using ChunkPtr = std::shared_ptr<const io::Container>;
+
+struct ChunkFetchOptions {
+  /// Decoded chunks the LRU cache retains.  0 disables caching (every
+  /// get decodes; prefetch is disabled too, having nowhere to land).
+  std::size_t cache_chunks = 32;
+  /// Upper bound on chunks scheduled ahead of a sequential reader.  The
+  /// live window starts at 1 and doubles per confirmed sequential access
+  /// up to this cap; any non-sequential access collapses it back.
+  std::size_t prefetch_window = 8;
+};
+
+/// Bounded LRU of decoded chunks, keyed by chunk index.  Thread-safe.
+class ChunkCache {
+ public:
+  explicit ChunkCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// nullptr on miss; refreshes recency on hit.
+  ChunkPtr get(std::size_t key);
+  void put(std::size_t key, ChunkPtr value);
+  bool contains(std::size_t key) const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  /// Most-recent at the front; evictions pop the back.
+  std::list<std::size_t> order_;
+  struct Slot {
+    ChunkPtr value;
+    std::list<std::size_t>::iterator position;
+  };
+  std::unordered_map<std::size_t, Slot> map_;
+};
+
+/// Streak detector: feeds on the sequence of demanded chunk indices and
+/// answers "which chunks should be scheduled ahead right now".  A run of
+/// consecutive indices doubles the window (1, 2, 4, ... up to the cap);
+/// a random access resets it.  Not thread-safe by itself -- ChunkFetcher
+/// calls it under its own lock.
+class SequentialPrefetcher {
+ public:
+  explicit SequentialPrefetcher(std::size_t max_window)
+      : max_window_(max_window) {}
+
+  /// Record a demand for `index` (of `total` chunks) and return the
+  /// indices worth prefetching, nearest first.  Never includes `index`.
+  std::vector<std::size_t> on_access(std::size_t index, std::size_t total);
+
+  std::size_t window() const noexcept { return window_; }
+
+ private:
+  std::size_t max_window_;
+  std::size_t window_ = 1;
+  std::size_t last_ = static_cast<std::size_t>(-1);
+};
+
+/// Fetcher + prefetcher + cache over `chunk_count` chunks produced by
+/// `loader(index)`.  The loader must be thread-safe (it is called
+/// concurrently from pool workers and demand threads) and must be pure:
+/// same index, same bytes.  The destructor drains outstanding background
+/// work, so references captured by the loader must outlive the fetcher --
+/// never the other way around.
+class ChunkFetcher {
+ public:
+  using Loader = std::function<ChunkPtr(std::size_t)>;
+
+  ChunkFetcher(std::size_t chunk_count, Loader loader,
+               const ChunkFetchOptions& options = {});
+  ~ChunkFetcher();
+
+  ChunkFetcher(const ChunkFetcher&) = delete;
+  ChunkFetcher& operator=(const ChunkFetcher&) = delete;
+
+  /// Serve chunk `index`: cache hit, join an in-flight decode, or decode
+  /// inline.  Feeds the prefetcher.  Throws std::out_of_range for a bad
+  /// index; loader exceptions propagate (and are rethrown to every
+  /// waiter of that chunk).
+  ChunkPtr get(std::size_t index);
+
+  std::size_t chunk_count() const noexcept { return chunk_count_; }
+
+  /// Block until every issued background task has finished or been
+  /// claimed.  Called by the destructor.
+  void drain();
+
+ private:
+  struct InFlight {
+    /// 0 = scheduled, not started; 1 = claimed (someone is decoding).
+    std::atomic<int> state{0};
+    std::promise<ChunkPtr> promise;
+    std::shared_future<ChunkPtr> future;
+  };
+
+  /// Decode `index` on the calling thread and publish the result (cache
+  /// + promise).  Entry must already be claimed by this caller.
+  ChunkPtr load_and_publish(std::size_t index,
+                            const std::shared_ptr<InFlight>& entry);
+  void schedule_prefetch(const std::vector<std::size_t>& indices);
+
+  std::size_t chunk_count_;
+  Loader loader_;
+  ChunkFetchOptions options_;
+  ChunkCache cache_;
+
+  std::mutex mutex_;  ///< guards in_flight_ and prefetcher_
+  std::unordered_map<std::size_t, std::shared_ptr<InFlight>> in_flight_;
+  SequentialPrefetcher prefetcher_;
+
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+  std::size_t pending_tasks_ = 0;
+};
+
+/// Fetcher over an open sequence archive: chunk K = decoded step K.  The
+/// reader must outlive the fetcher (thread-safe by construction: all
+/// SequenceReader reads are stateless positional reads).
+ChunkFetcher make_sequence_fetcher(const io::SequenceReader& reader,
+                                   const ChunkFetchOptions& options = {});
+
+/// Decode every chunk concurrently on the active thread pool and return
+/// them in order.  Byte-identical to calling loader(0..n-1) serially.
+std::vector<ChunkPtr> fetch_all(ChunkFetcher& fetcher);
+
+}  // namespace rmp::core

@@ -15,6 +15,7 @@ namespace {
 constexpr std::uint32_t kMagic = 0x50434D52;  // "RMCP"
 constexpr std::uint32_t kVersionV2 = 2;       // whole-file CRC trailer
 constexpr std::uint32_t kVersionV3 = 3;       // per-section CRC + parity
+constexpr std::uint32_t kVersionV4 = 4;       // v3 + explicit chunk index
 constexpr std::uint32_t kFlagParity = 1u << 0;
 
 void append_bytes(std::vector<std::uint8_t>& out, const void* p, std::size_t n) {
@@ -111,14 +112,19 @@ std::size_t max_section_size(const Container& container) {
 // v3: [magic, version, flags, method, dims, count,
 //      directory {name, size, crc}*, (parity_size, parity_crc)?, header_crc]
 //     [payload 0]...[payload n-1][parity bytes?]
+// v4: identical except each directory entry is {name, offset, size, crc}
+//     with `offset` relative to the first payload byte -- the chunk index
+//     that lets a seekable reader pread one section without a scan.
 
 struct DirEntry {
   std::string name;
+  std::uint64_t offset = 0;  ///< payload-relative; implicit (cumulative) in v3
   std::uint64_t size = 0;
   std::uint32_t crc = 0;
 };
 
 struct HeaderV3 {
+  std::uint32_t version = 0;
   Container shell;  ///< method + dims, sections empty
   std::vector<DirEntry> dir;
   bool parity = false;
@@ -128,15 +134,23 @@ struct HeaderV3 {
   std::size_t total_size = 0;      ///< full container footprint
 };
 
-HeaderV3 parse_v3_header(std::span<const std::uint8_t> bytes) {
+/// Shared v3/v4 header parse.  `bytes` may be a prefix of the archive
+/// (ContainerFileReader grows its read window on kTruncated); `available`
+/// is the full archive footprint budget the payloads are validated
+/// against -- bytes.size() for in-memory parses, the file size for
+/// seekable reads.
+HeaderV3 parse_v34_header(std::span<const std::uint8_t> bytes,
+                          std::uint64_t available) {
   Cursor cursor(bytes);
   if (cursor.read_u32() != kMagic) {
     throw ContainerError(ContainerErrc::kBadMagic, "bad magic");
   }
-  if (cursor.read_u32() != kVersionV3) {
-    throw ContainerError(ContainerErrc::kBadVersion, "not a v3 container");
-  }
   HeaderV3 header;
+  header.version = cursor.read_u32();
+  if (header.version != kVersionV3 && header.version != kVersionV4) {
+    throw ContainerError(ContainerErrc::kBadVersion,
+                         "not a v3/v4 container");
+  }
   const std::uint32_t flags = cursor.read_u32();
   if ((flags & ~kFlagParity) != 0) {
     throw ContainerError(ContainerErrc::kHeaderCorrupt,
@@ -148,18 +162,40 @@ HeaderV3 parse_v3_header(std::span<const std::uint8_t> bytes) {
   header.shell.ny = cursor.read_u64();
   header.shell.nz = cursor.read_u64();
   const std::uint32_t count = cursor.read_u32();
-  // A directory entry occupies at least 16 bytes, so a count that cannot
-  // fit in the remaining input is corruption -- reject before reserving.
-  if (count > cursor.remaining() / 16) {
+  // A directory entry occupies at least 16 bytes (24 in v4), so a count
+  // that cannot fit in the remaining input is corruption -- reject before
+  // reserving.
+  const std::size_t min_entry = header.version == kVersionV4 ? 24 : 16;
+  if (count > cursor.remaining() / min_entry) {
     throw ContainerError(ContainerErrc::kTruncated,
                          "section directory larger than input");
   }
   header.dir.reserve(count);
+  std::uint64_t running = 0;
   for (std::uint32_t s = 0; s < count; ++s) {
     DirEntry entry;
     entry.name = cursor.read_string();
+    if (header.version == kVersionV4) {
+      entry.offset = cursor.read_u64();
+      // The chunk index must describe exactly the contiguous layout the
+      // serializer emits: gaps or overlaps would let a corrupt entry
+      // alias another section's bytes past its CRC domain.
+      if (entry.offset != running) {
+        throw ContainerError(ContainerErrc::kIndexCorrupt,
+                             "chunk index offset mismatch for section",
+                             entry.name);
+      }
+    } else {
+      entry.offset = running;
+    }
     entry.size = cursor.read_u64();
     entry.crc = cursor.read_u32();
+    constexpr std::uint64_t kMaxU64 = std::numeric_limits<std::uint64_t>::max();
+    if (entry.size > kMaxU64 - running) {
+      throw ContainerError(ContainerErrc::kTruncated,
+                           "section sizes overflow");
+    }
+    running += entry.size;
     header.dir.push_back(std::move(entry));
   }
   if (header.parity) {
@@ -176,14 +212,7 @@ HeaderV3 parse_v3_header(std::span<const std::uint8_t> bytes) {
 
   // Overflow-safe footprint: sizes are attacker-controlled u64s.
   constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
-  std::uint64_t need = 0;
-  for (const DirEntry& entry : header.dir) {
-    if (entry.size > kMax - need) {
-      throw ContainerError(ContainerErrc::kTruncated,
-                           "section sizes overflow");
-    }
-    need += entry.size;
-  }
+  std::uint64_t need = running;
   if (header.parity) {
     if (header.parity_size > kMax - need) {
       throw ContainerError(ContainerErrc::kTruncated,
@@ -191,7 +220,8 @@ HeaderV3 parse_v3_header(std::span<const std::uint8_t> bytes) {
     }
     need += header.parity_size;
   }
-  if (need > bytes.size() - header.payload_offset) {
+  if (header.payload_offset > available ||
+      need > available - header.payload_offset) {
     throw ContainerError(ContainerErrc::kTruncated,
                          "payloads extend past end of input");
   }
@@ -204,10 +234,11 @@ struct ParsedV3 {
   ReadReport report;
 };
 
-/// Shared strict/salvage v3 reader.  In strict mode an unrepaired section
-/// throws; in salvage mode it is dropped and recorded in the report.
+/// Shared strict/salvage v3/v4 reader.  In strict mode an unrepaired
+/// section throws; in salvage mode it is dropped and recorded in the
+/// report.
 ParsedV3 read_v3(std::span<const std::uint8_t> bytes, bool strict) {
-  const HeaderV3 header = parse_v3_header(bytes);
+  const HeaderV3 header = parse_v34_header(bytes, bytes.size());
   if (bytes.size() < header.total_size) {
     throw ContainerError(ContainerErrc::kTruncated,
                          "input shorter than container footprint");
@@ -223,7 +254,9 @@ ParsedV3 read_v3(std::span<const std::uint8_t> bytes, bool strict) {
   std::size_t expected_parity = 0;
   for (const DirEntry& entry : header.dir) {
     payloads.push_back(
-        bytes.subspan(offset, static_cast<std::size_t>(entry.size)));
+        bytes.subspan(header.payload_offset +
+                          static_cast<std::size_t>(entry.offset),
+                      static_cast<std::size_t>(entry.size)));
     offset += static_cast<std::size_t>(entry.size);
     expected_parity =
         std::max(expected_parity, static_cast<std::size_t>(entry.size));
@@ -234,7 +267,7 @@ ParsedV3 read_v3(std::span<const std::uint8_t> bytes, bool strict) {
           : std::span<const std::uint8_t>{};
 
   ParsedV3 result;
-  result.report.version = kVersionV3;
+  result.report.version = header.version;
   result.report.parity_present = header.parity;
   result.report.parity_valid =
       header.parity && header.parity_size == expected_parity &&
@@ -454,15 +487,20 @@ std::vector<std::uint8_t> serialize(const Container& container,
 
   std::vector<std::uint8_t> out;
   append_u32(out, kMagic);
-  append_u32(out, kVersionV3);
+  append_u32(out, options.with_chunk_index ? kVersionV4 : kVersionV3);
   append_u32(out, options.with_parity ? kFlagParity : 0u);
   append_string(out, container.method);
   append_u64(out, container.nx);
   append_u64(out, container.ny);
   append_u64(out, container.nz);
   append_u32(out, static_cast<std::uint32_t>(container.sections.size()));
+  std::uint64_t payload_cursor = 0;
   for (const auto& section : container.sections) {
     append_string(out, section.name);
+    if (options.with_chunk_index) {
+      append_u64(out, payload_cursor);
+      payload_cursor += section.bytes.size();
+    }
     append_u64(out, section.bytes.size());
     append_u32(out, crc32(section.bytes));
   }
@@ -483,7 +521,7 @@ Container deserialize(std::span<const std::uint8_t> bytes,
                       ReadReport* report) {
   const std::uint32_t version = peek_version(bytes);
   if (version == kVersionV2) return deserialize_v2(bytes, report);
-  if (version == kVersionV3) {
+  if (version == kVersionV3 || version == kVersionV4) {
     ParsedV3 parsed = read_v3(bytes, /*strict=*/true);
     if (report != nullptr) *report = std::move(parsed.report);
     return std::move(parsed.container);
@@ -498,7 +536,7 @@ Container deserialize_salvage(std::span<const std::uint8_t> bytes,
   // v2 has a single integrity domain: a checksum mismatch cannot be
   // localized, so salvage degenerates to the strict read.
   if (version == kVersionV2) return deserialize_v2(bytes, report);
-  if (version == kVersionV3) {
+  if (version == kVersionV3 || version == kVersionV4) {
     ParsedV3 parsed = read_v3(bytes, /*strict=*/false);
     if (report != nullptr) *report = std::move(parsed.report);
     return std::move(parsed.container);
@@ -511,8 +549,8 @@ std::optional<std::size_t> probe_container(
     std::span<const std::uint8_t> bytes) noexcept {
   try {
     const std::uint32_t version = peek_version(bytes);
-    if (version == kVersionV3) {
-      return parse_v3_header(bytes).total_size;
+    if (version == kVersionV3 || version == kVersionV4) {
+      return parse_v34_header(bytes, bytes.size()).total_size;
     }
     if (version == kVersionV2) {
       // Walk the structure to find the candidate end, then demand the
@@ -565,6 +603,104 @@ Container read_container_salvage(const std::filesystem::path& path,
   const auto bytes = read_file_bytes(path, "read_container_salvage");
   obs::count("io.container.bytes_read", bytes.size());
   return deserialize_salvage(bytes, report);
+}
+
+// ---------------------------------------------------------------------------
+// ContainerFileReader
+
+ContainerFileReader::ContainerFileReader(const std::filesystem::path& path,
+                                         const RetryPolicy& policy)
+    : file_(ReadFile::open(path, "ContainerFileReader", policy)) {
+  const obs::ScopedSpan span("container-open-seekable");
+  const std::uint64_t size = file_.size();
+  if (size == 0) {
+    throw ContainerError(ContainerErrc::kTruncated,
+                         path.string() + " is empty");
+  }
+  // The header length is not known until it parses; read a window and
+  // double it on kTruncated until the parse fits (or the window is the
+  // whole file, at which point kTruncated is real).
+  std::vector<std::uint8_t> prefix;
+  std::size_t window =
+      static_cast<std::size_t>(std::min<std::uint64_t>(size, 4096));
+  HeaderV3 header;
+  for (;;) {
+    prefix.resize(window);
+    file_.read_exact_at(0, prefix.data(), window);
+    try {
+      if (peek_version(prefix) == kVersionV2) {
+        throw ContainerError(
+            ContainerErrc::kBadVersion,
+            "v2 containers have one whole-file integrity domain and "
+            "cannot be read seekably; use read_container");
+      }
+      header = parse_v34_header(prefix, size);
+      break;
+    } catch (const ContainerError& error) {
+      if (error.code() == ContainerErrc::kTruncated && window < size) {
+        window = static_cast<std::size_t>(
+            std::min<std::uint64_t>(size, std::uint64_t{window} * 2));
+        continue;
+      }
+      throw;
+    }
+  }
+  if (size > header.total_size) {
+    throw ContainerError(ContainerErrc::kTrailingGarbage,
+                         "file extends past container footprint");
+  }
+  version_ = header.version;
+  shell_ = std::move(header.shell);
+  sections_.reserve(header.dir.size());
+  for (const DirEntry& entry : header.dir) {
+    sections_.push_back({entry.name, header.payload_offset + entry.offset,
+                         entry.size, entry.crc});
+  }
+}
+
+const SectionInfo* ContainerFileReader::find(
+    const std::string& name) const noexcept {
+  for (const auto& info : sections_) {
+    if (info.name == name) return &info;
+  }
+  return nullptr;
+}
+
+std::vector<std::uint8_t> ContainerFileReader::read_section(
+    const SectionInfo& info) const {
+  // Re-validate against the file footprint: the caller may hand us a
+  // SectionInfo it fabricated, not one of ours.
+  if (info.offset > file_.size() || info.size > file_.size() - info.offset) {
+    throw ContainerError(ContainerErrc::kTruncated,
+                         "section extends past end of file", info.name);
+  }
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(info.size));
+  file_.read_exact_at(info.offset, bytes.data(), bytes.size());
+  obs::count("io.container.sections_verified");
+  if (crc32(bytes) != info.crc) {
+    obs::count("io.container.sections_damaged");
+    throw ContainerError(ContainerErrc::kSectionCorrupt,
+                         "payload checksum mismatch", info.name);
+  }
+  return bytes;
+}
+
+std::vector<std::uint8_t> ContainerFileReader::read_section(
+    const std::string& name) const {
+  const SectionInfo* info = find(name);
+  if (info == nullptr) {
+    throw ContainerError(ContainerErrc::kMissingSection,
+                         "no such section in chunk index", name);
+  }
+  return read_section(*info);
+}
+
+Container ContainerFileReader::read_all() const {
+  Container container = shell_;
+  for (const auto& info : sections_) {
+    container.add(info.name, read_section(info));
+  }
+  return container;
 }
 
 }  // namespace rmp::io

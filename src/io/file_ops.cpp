@@ -1,6 +1,7 @@
 #include "io/file_ops.hpp"
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -42,6 +43,16 @@ class RealFileOps final : public FileOps {
   long write(int fd, const void* data, std::size_t size) noexcept override {
     const ssize_t n = ::write(fd, data, size);
     return n >= 0 ? static_cast<long>(n) : -errno;
+  }
+  long pread(int fd, void* data, std::size_t size,
+             std::uint64_t offset) noexcept override {
+    const ssize_t n = ::pread(fd, data, size, static_cast<off_t>(offset));
+    return n >= 0 ? static_cast<long>(n) : -errno;
+  }
+  long fsize(int fd) noexcept override {
+    struct stat st;
+    if (::fstat(fd, &st) != 0) return -errno;
+    return static_cast<long>(st.st_size);
   }
   int fsync(int fd) noexcept override {
     return ::fsync(fd) == 0 ? 0 : -errno;
@@ -195,6 +206,19 @@ long FaultInjectingFileOps::write(int fd, const void* data,
   const long n = base_.write(fd, data, effective);
   if (n > 0) bytes_ += static_cast<std::uint64_t>(n);
   return n;
+}
+
+long FaultInjectingFileOps::pread(int fd, void* data, std::size_t size,
+                                  std::uint64_t offset) noexcept {
+  // Reads are deliberately not faultable ops (see header): a decode in
+  // the same process as a kill@N write sweep must not shift op numbers.
+  if (dead_) return -EIO;
+  return base_.pread(fd, data, size, offset);
+}
+
+long FaultInjectingFileOps::fsize(int fd) noexcept {
+  if (dead_) return -EIO;
+  return base_.fsize(fd);
 }
 
 int FaultInjectingFileOps::fsync(int fd) noexcept {
@@ -429,6 +453,88 @@ void DurableFile::close() {
   fd_ = -1;
   const int result = file_ops().close(fd);
   if (result < 0) throw_io_error(who_, "close", path_, -result);
+}
+
+// ---------------------------------------------------------------------------
+// ReadFile
+
+ReadFile::ReadFile(int fd, std::uint64_t size, std::filesystem::path path,
+                   const char* who, RetryPolicy policy) noexcept
+    : fd_(fd),
+      size_(size),
+      path_(std::move(path)),
+      who_(who),
+      policy_(policy) {}
+
+ReadFile::ReadFile(ReadFile&& other) noexcept
+    : fd_(other.fd_),
+      size_(other.size_),
+      path_(std::move(other.path_)),
+      who_(other.who_),
+      policy_(other.policy_) {
+  other.fd_ = -1;
+  other.size_ = 0;
+}
+
+ReadFile::~ReadFile() {
+  if (fd_ >= 0) file_ops().close(fd_);
+}
+
+ReadFile ReadFile::open(const std::filesystem::path& path, const char* who,
+                        const RetryPolicy& policy) {
+  const long fd = with_retries(
+      [&] { return static_cast<long>(file_ops().open(
+                path.string(), O_RDONLY | O_CLOEXEC, 0)); },
+      policy);
+  if (fd < 0) {
+    throw_io_error(who, "open for read", path, static_cast<int>(-fd));
+  }
+  const long size = file_ops().fsize(static_cast<int>(fd));
+  if (size < 0) {
+    file_ops().close(static_cast<int>(fd));
+    throw_io_error(who, "stat", path, static_cast<int>(-size));
+  }
+  return ReadFile(static_cast<int>(fd), static_cast<std::uint64_t>(size),
+                  path, who, policy);
+}
+
+std::size_t ReadFile::read_at(std::uint64_t offset, void* dst,
+                              std::size_t size) const {
+  std::size_t done = 0;
+  int failures = 0;
+  while (done < size) {
+    const long n =
+        file_ops().pread(fd_, static_cast<std::uint8_t*>(dst) + done,
+                         size - done, offset + done);
+    if (n < 0) {
+      const int err = static_cast<int>(-n);
+      if (is_transient_io_error(err) && failures + 1 < policy_.max_attempts) {
+        ++failures;
+        obs::count("io.retry.attempts");
+        sleep_for(policy_, failures);
+        continue;
+      }
+      if (is_transient_io_error(err)) obs::count("io.retry.exhausted");
+      throw_io_error(who_, "read", path_, err);
+    }
+    if (n == 0) break;  // EOF
+    done += static_cast<std::size_t>(n);
+    failures = 0;
+  }
+  if (done > 0) obs::count("io.bytes_read", done);
+  return done;
+}
+
+void ReadFile::read_exact_at(std::uint64_t offset, void* dst,
+                             std::size_t size) const {
+  const std::size_t got = read_at(offset, dst, size);
+  if (got != size) {
+    throw ContainerError(
+        ContainerErrc::kTruncated,
+        std::string(who_) + ": unexpected end of file in " + path_.string() +
+            " reading " + std::to_string(size) + " bytes at offset " +
+            std::to_string(offset) + " (got " + std::to_string(got) + ")");
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -34,6 +34,13 @@ class FileOps {
                    unsigned mode) noexcept = 0;
   /// write(2): returns bytes written (possibly short), or -errno.
   virtual long write(int fd, const void* data, std::size_t size) noexcept = 0;
+  /// pread(2): positional read, no shared file offset -- the primitive
+  /// that makes one reader shareable by N threads.  Returns bytes read
+  /// (possibly short, 0 at EOF), or -errno.
+  virtual long pread(int fd, void* data, std::size_t size,
+                     std::uint64_t offset) noexcept = 0;
+  /// fstat(2) st_size: returns the file size in bytes, or -errno.
+  virtual long fsize(int fd) noexcept = 0;
   virtual int fsync(int fd) noexcept = 0;
   virtual int close(int fd) noexcept = 0;
   virtual int rename(const std::string& from,
@@ -88,9 +95,13 @@ struct FaultSpec {
 
 /// Deterministic fault-injecting wrapper.  Counts faultable ops (open,
 /// write, fsync, rename) and applies the spec; unlink/ftruncate/close
-/// pass through so cleanup paths stay observable.  Injections are
-/// recorded under obs counters "io.fault.injected" and
-/// "io.fault.<kind>".
+/// pass through so cleanup paths stay observable.  Reads (pread/fsize)
+/// are NOT faultable ops -- they pass through untouched (except after a
+/// kill/torn trip, where the dead "process" answers EIO like every other
+/// call) so the kill@every-op crash sweeps keep stable op numbering no
+/// matter how many reads a decode path issues.  Read-failure tests use a
+/// bespoke FileOps subclass instead.  Injections are recorded under obs
+/// counters "io.fault.injected" and "io.fault.<kind>".
 class FaultInjectingFileOps : public FileOps {
  public:
   explicit FaultInjectingFileOps(FaultSpec spec,
@@ -99,6 +110,9 @@ class FaultInjectingFileOps : public FileOps {
 
   int open(const std::string& path, int flags, unsigned mode) noexcept override;
   long write(int fd, const void* data, std::size_t size) noexcept override;
+  long pread(int fd, void* data, std::size_t size,
+             std::uint64_t offset) noexcept override;
+  long fsize(int fd) noexcept override;
   int fsync(int fd) noexcept override;
   int close(int fd) noexcept override;
   int rename(const std::string& from, const std::string& to) noexcept override;
@@ -198,6 +212,53 @@ class DurableFile {
               RetryPolicy policy) noexcept;
 
   int fd_ = -1;
+  std::filesystem::path path_;
+  const char* who_ = "";
+  RetryPolicy policy_;
+};
+
+/// RAII read-only file with stateless positional reads.  Unlike an
+/// ifstream there is no seek cursor: every read names its own offset and
+/// goes through FileOps::pread, so one ReadFile is safely shared by any
+/// number of threads (the read methods are const and touch no mutable
+/// state).  Transient errors (EINTR/EAGAIN) are retried per `policy`;
+/// permanent failures throw ContainerError{kIoError} with the OS error
+/// text.  Bytes read are counted under "io.bytes_read".
+class ReadFile {
+ public:
+  /// O_RDONLY open; caches the file size (see size()).
+  static ReadFile open(const std::filesystem::path& path, const char* who,
+                       const RetryPolicy& policy = {});
+
+  ReadFile() = default;
+  ReadFile(ReadFile&& other) noexcept;
+  ReadFile& operator=(ReadFile&&) = delete;
+  ReadFile(const ReadFile&) = delete;
+  ReadFile& operator=(const ReadFile&) = delete;
+  ~ReadFile();
+
+  /// Read exactly `size` bytes at `offset`.  EOF before `size` bytes
+  /// throws ContainerError{kTruncated}.  Thread-safe.
+  void read_exact_at(std::uint64_t offset, void* dst, std::size_t size) const;
+
+  /// Read up to `size` bytes at `offset`; returns the count actually
+  /// read (short only at EOF).  Thread-safe.  Callers that must treat
+  /// truncation as data (e.g. trailer probing) use this and check the
+  /// count instead of catching.
+  std::size_t read_at(std::uint64_t offset, void* dst,
+                      std::size_t size) const;
+
+  /// File size at open time (archives are immutable once published).
+  std::uint64_t size() const noexcept { return size_; }
+  bool is_open() const noexcept { return fd_ >= 0; }
+  const std::filesystem::path& path() const noexcept { return path_; }
+
+ private:
+  ReadFile(int fd, std::uint64_t size, std::filesystem::path path,
+           const char* who, RetryPolicy policy) noexcept;
+
+  int fd_ = -1;
+  std::uint64_t size_ = 0;
   std::filesystem::path path_;
   const char* who_ = "";
   RetryPolicy policy_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <fstream>
 
 #include "io/checksum.hpp"
 #include "obs/obs.hpp"
@@ -9,7 +10,11 @@
 namespace rmp::io {
 namespace {
 
+// Legacy trailer magic: 16-byte index entries (offset, size), no CRC.
 constexpr std::uint64_t kSequenceMagic = 0x51455351504D5252ULL;  // "RRMPQSEQ"
+// Current trailer magic: 20-byte entries (offset, size, crc32) -- the
+// sequence-level chunk index.  Legacy archives still read back.
+constexpr std::uint64_t kSequenceMagicV2 = 0x32455351504D5252ULL;  // ..."QSE2"
 
 // Little-endian byte pattern of the container magic ("RMCP" as u32
 // 0x50434D52), used by the forward-scan index rebuild.
@@ -101,7 +106,7 @@ JournalScan scan_sequence_journal(
         marker.payload_crc != crc32(sub.first(*size))) {
       break;
     }
-    scan.entries.push_back({pos, *size});
+    scan.entries.push_back({pos, *size, marker.payload_crc});
     pos += *size + kSequenceCommitMarkerBytes;
     ++step;
   }
@@ -199,8 +204,8 @@ std::size_t SequenceWriter::append(const Container& container) {
                              " abandoned: wall-clock deadline exceeded");
   }
   const auto bytes = serialize(container, options_);
-  const auto marker =
-      encode_marker(index_.size(), bytes.size(), crc32(bytes));
+  const std::uint32_t payload_crc = crc32(bytes);
+  const auto marker = encode_marker(index_.size(), bytes.size(), payload_crc);
   try {
     file_.write_all(bytes);
     file_.write_all(marker);
@@ -217,7 +222,7 @@ std::size_t SequenceWriter::append(const Container& container) {
     }
     throw;
   }
-  index_.push_back({committed_bytes_, bytes.size()});
+  index_.push_back({committed_bytes_, bytes.size(), payload_crc});
   committed_bytes_ += bytes.size() + kSequenceCommitMarkerBytes;
   obs::count("io.sequence.steps_written");
   obs::count("io.sequence.bytes_written", bytes.size());
@@ -233,17 +238,22 @@ void SequenceWriter::finish() {
                              "; reopen with SequenceWriter::resume");
   }
   std::vector<std::uint8_t> trailer;
-  trailer.reserve(index_.size() * 16 + 16);
+  trailer.reserve(index_.size() * 20 + 16);
   auto put_u64 = [&trailer](std::uint64_t v) {
     const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
     trailer.insert(trailer.end(), p, p + 8);
   };
+  auto put_u32 = [&trailer](std::uint32_t v) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    trailer.insert(trailer.end(), p, p + 4);
+  };
   for (const JournalScan::Entry& entry : index_) {
     put_u64(entry.offset);
     put_u64(entry.size);
+    put_u32(entry.crc);
   }
   put_u64(index_.size());
-  put_u64(kSequenceMagic);
+  put_u64(kSequenceMagicV2);
   try {
     file_.write_all(trailer);
     file_.sync();
@@ -263,70 +273,86 @@ void SequenceWriter::finish() {
 
 SequenceReader::SequenceReader(const std::filesystem::path& path,
                                const SequenceReadOptions& options)
-    : file_(path, std::ios::binary | std::ios::ate) {
-  if (!file_) {
-    throw ContainerError(ContainerErrc::kIoError,
-                         "SequenceReader: cannot open " + path.string());
-  }
-  const auto file_size = static_cast<std::uint64_t>(file_.tellg());
+    : file_(ReadFile::open(path, "SequenceReader")) {
+  const std::uint64_t file_size = file_.size();
 
   // Try the trailing index first; fall back to a forward scan whenever it
   // is missing or implausible (crashed writer, truncated copy, corrupt
-  // trailer bytes).
+  // trailer bytes).  Every read here checks its actual byte count: a file
+  // truncated *inside* the trailer must land in the rebuild path below,
+  // never produce an index built from stale or partial buffer contents.
   std::string index_problem;
   if (file_size < 16) {
     index_problem = "file too small for a trailer";
   } else {
-    file_.seekg(static_cast<std::streamoff>(file_size - 16));
+    std::uint8_t tail[16];
     std::uint64_t count = 0, magic = 0;
-    file_.read(reinterpret_cast<char*>(&count), 8);
-    file_.read(reinterpret_cast<char*>(&magic), 8);
-    if (!file_ || magic != kSequenceMagic) {
-      index_problem = "bad trailer magic";
-    } else if (count > (file_size - 16) / 16) {
-      index_problem = "index count larger than file";
+    if (file_.read_at(file_size - 16, tail, sizeof(tail)) != sizeof(tail)) {
+      index_problem = "trailer read came up short";
     } else {
-      const std::uint64_t index_bytes = count * 16;
-      const std::uint64_t data_end = file_size - 16 - index_bytes;
-      file_.seekg(static_cast<std::streamoff>(data_end));
-      index_.resize(count);
-      for (auto& entry : index_) {
-        file_.read(reinterpret_cast<char*>(&entry.offset), 8);
-        file_.read(reinterpret_cast<char*>(&entry.size), 8);
-      }
-      if (!file_) {
-        index_problem = "index read failed";
-        index_.clear();
+      std::memcpy(&count, tail, 8);
+      std::memcpy(&magic, tail + 8, 8);
+      // Entry stride by trailer generation: 20 bytes with the CRC column,
+      // 16 before it.
+      std::size_t stride = 0;
+      if (magic == kSequenceMagicV2) {
+        stride = 20;
+      } else if (magic == kSequenceMagic) {
+        stride = 16;
       } else {
-        // Every entry must lie inside the data region (overflow-safe).
-        for (const Entry& entry : index_) {
-          if (entry.offset > data_end || entry.size > data_end - entry.offset) {
-            index_problem = "index entry out of bounds";
-            index_.clear();
-            break;
+        index_problem = "bad trailer magic";
+      }
+      if (stride != 0) {
+        if (count > (file_size - 16) / stride) {
+          index_problem = "index count larger than file";
+        } else {
+          const std::uint64_t index_bytes = count * stride;
+          const std::uint64_t data_end = file_size - 16 - index_bytes;
+          std::vector<std::uint8_t> raw(
+              static_cast<std::size_t>(index_bytes));
+          if (file_.read_at(data_end, raw.data(), raw.size()) != raw.size()) {
+            index_problem = "index read came up short";
+          } else {
+            index_.resize(static_cast<std::size_t>(count));
+            const std::uint8_t* p = raw.data();
+            for (auto& entry : index_) {
+              std::memcpy(&entry.offset, p, 8);
+              std::memcpy(&entry.size, p + 8, 8);
+              if (stride == 20) {
+                std::memcpy(&entry.crc, p + 16, 4);
+                entry.has_crc = true;
+              }
+              p += stride;
+            }
+            // Every entry must lie inside the data region (overflow-safe).
+            for (const StepInfo& entry : index_) {
+              if (entry.offset > data_end ||
+                  entry.size > data_end - entry.offset) {
+                index_problem = "index entry out of bounds";
+                index_.clear();
+                break;
+              }
+            }
           }
         }
       }
     }
   }
   if (!index_problem.empty()) {
-    file_.clear();
+    index_.clear();
     if (!options.allow_index_rebuild) {
       throw ContainerError(ContainerErrc::kIndexCorrupt,
                            "SequenceReader: " + index_problem);
     }
-    rebuild_index(file_size);
+    rebuild_index();
     rebuilt_ = true;
     obs::count("io.sequence.index_rebuilds");
   }
 }
 
-void SequenceReader::rebuild_index(std::uint64_t file_size) {
-  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(file_size));
-  file_.seekg(0);
-  file_.read(reinterpret_cast<char*>(bytes.data()),
-             static_cast<std::streamsize>(bytes.size()));
-  if (!file_) {
+void SequenceReader::rebuild_index() {
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(file_.size()));
+  if (file_.read_at(0, bytes.data(), bytes.size()) != bytes.size()) {
     throw ContainerError(ContainerErrc::kIoError,
                          "SequenceReader: cannot read file for index rebuild");
   }
@@ -336,7 +362,7 @@ void SequenceReader::rebuild_index(std::uint64_t file_size) {
   // validated commit marker after every step: trust that chain first.
   const JournalScan scan = scan_sequence_journal(span);
   for (const auto& entry : scan.entries) {
-    index_.push_back({entry.offset, entry.size});
+    index_.push_back({entry.offset, entry.size, entry.crc, true});
   }
 
   // Fall back to (or continue with) the magic-byte scan past the
@@ -367,28 +393,47 @@ void SequenceReader::rebuild_index(std::uint64_t file_size) {
   }
 }
 
-std::vector<std::uint8_t> SequenceReader::read_step_bytes(std::size_t step) {
+const StepInfo& SequenceReader::step_info(std::size_t step) const {
   if (step >= index_.size()) {
     throw std::out_of_range("SequenceReader: step out of range");
   }
-  const Entry& entry = index_[step];
-  file_.seekg(static_cast<std::streamoff>(entry.offset));
-  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(entry.size));
-  file_.read(reinterpret_cast<char*>(bytes.data()),
-             static_cast<std::streamsize>(bytes.size()));
-  if (!file_) {
-    file_.clear();
-    throw ContainerError(ContainerErrc::kIoError,
-                         "SequenceReader: step read failed");
+  return index_[step];
+}
+
+std::vector<std::uint8_t> SequenceReader::read_step_bytes(
+    std::size_t step) const {
+  const StepInfo& entry = step_info(step);
+  // Cap the allocation against the file footprint *before* reserving
+  // anything: trailer entries are validated at open, but a rebuilt index
+  // or a fabricated trailer must still fail typed here, not by bad_alloc.
+  if (entry.offset > file_.size() ||
+      entry.size > file_.size() - entry.offset) {
+    throw ContainerError(ContainerErrc::kIndexCorrupt,
+                         "SequenceReader: step " + std::to_string(step) +
+                             " entry (offset " + std::to_string(entry.offset) +
+                             ", size " + std::to_string(entry.size) +
+                             ") extends past the " +
+                             std::to_string(file_.size()) + "-byte file");
   }
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(entry.size));
+  file_.read_exact_at(entry.offset, bytes.data(), bytes.size());
+  obs::count("io.sequence.bytes_read", bytes.size());
   return bytes;
 }
 
-Container SequenceReader::read_step(std::size_t step) {
-  return deserialize(read_step_bytes(step));
+Container SequenceReader::read_step(std::size_t step) const {
+  const StepInfo& entry = step_info(step);
+  auto bytes = read_step_bytes(step);
+  if (entry.has_crc && crc32(bytes) != entry.crc) {
+    // The chunk CRC localizes damage to this step, but deserialize() is
+    // the authority: it can still repair single-section corruption via
+    // parity, so record the mismatch and let it decide.
+    obs::count("io.sequence.step_crc_mismatch");
+  }
+  return deserialize(bytes);
 }
 
-std::vector<Container> SequenceReader::read_all() {
+std::vector<Container> SequenceReader::read_all() const {
   std::vector<Container> containers;
   containers.reserve(index_.size());
   for (std::size_t s = 0; s < index_.size(); ++s) {
@@ -398,7 +443,7 @@ std::vector<Container> SequenceReader::read_all() {
 }
 
 std::vector<Container> SequenceReader::read_all_salvage(
-    SequenceScanReport* report) {
+    SequenceScanReport* report) const {
   if (report != nullptr) {
     *report = SequenceScanReport{};
     report->index_rebuilt = rebuilt_;

@@ -5,10 +5,15 @@
 //
 // Layout:  [step 0][commit 0][step 1][commit 1]...[index][count u64][magic]
 // Each step is a serialized container followed by a 32-byte CRC'd commit
-// marker; the trailing index is a list of (offset, size) pairs addressing
-// the containers.  Each embedded container carries its own integrity
-// metadata (io/container.cpp), so corruption is detected -- and, with
-// parity, repaired -- at step granularity.
+// marker; the trailing index is a list of (offset, size, crc32) triples
+// addressing (and checksumming) the containers -- the sequence-level
+// chunk index that makes any step O(1) addressable and lets a fetcher
+// validate a chunk without deserializing it (DESIGN.md §12).  Archives
+// written before the CRC column (magic kSequenceMagic rather than
+// kSequenceMagicV2) still read back unchanged.  Each embedded container
+// additionally carries its own integrity metadata (io/container.cpp), so
+// corruption is detected -- and, with parity, repaired -- at step
+// granularity.
 //
 // Durability (DESIGN.md §10): the writer journals into `<path>.part` and
 // fsyncs after every commit marker, so every *completed* append survives
@@ -26,7 +31,6 @@
 
 #include <cstdint>
 #include <filesystem>
-#include <fstream>
 #include <span>
 #include <string>
 #include <vector>
@@ -55,6 +59,7 @@ struct JournalScan {
   struct Entry {
     std::uint64_t offset = 0;  ///< of the container, not the marker
     std::uint64_t size = 0;
+    std::uint32_t crc = 0;  ///< payload CRC-32 (from the commit marker)
   };
   std::vector<Entry> entries;
   std::uint64_t committed_bytes = 0;
@@ -148,6 +153,23 @@ struct SequenceScanReport {
   std::size_t ok_count() const;
 };
 
+/// One sequence-level chunk-index entry: where step K lives, and (for
+/// archives with the CRC'd trailer) its payload checksum.
+struct StepInfo {
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+  std::uint32_t crc = 0;
+  /// False for legacy (pre-CRC) trailers and magic-scan-recovered steps,
+  /// where no chunk checksum is available.
+  bool has_crc = false;
+};
+
+/// Thread-safe random-access reader.  All read methods are const and go
+/// through stateless positional reads (io::ReadFile / FileOps::pread) --
+/// there is no shared stream cursor, so ONE SequenceReader instance may
+/// be shared by any number of threads decoding disjoint (or identical)
+/// steps concurrently.  Reading step K costs O(step K's bytes): the
+/// trailer parse at open touches only the index, never the step data.
 class SequenceReader {
  public:
   explicit SequenceReader(const std::filesystem::path& path,
@@ -159,29 +181,34 @@ class SequenceReader {
   /// reconstructed by forward-scanning the file.
   bool index_rebuilt() const noexcept { return rebuilt_; }
 
+  /// Chunk-index entry for one step (offset/size/crc).  Throws
+  /// std::out_of_range on a bad step number.
+  const StepInfo& step_info(std::size_t step) const;
+
+  /// Raw serialized bytes of one step.  The entry's size is validated
+  /// against the file footprint *before* allocating, so a hostile or
+  /// stale trailer cannot force a multi-GB allocation (typed
+  /// ContainerError{kIndexCorrupt}, never bad_alloc).
+  std::vector<std::uint8_t> read_step_bytes(std::size_t step) const;
+
   /// Read one step (random access).  Throws ContainerError on corruption
   /// (repairing single-section damage via parity when present) and
   /// std::out_of_range on a bad step number.
-  Container read_step(std::size_t step);
+  Container read_step(std::size_t step) const;
 
   /// Read all steps in order; throws on the first unreadable step.
-  std::vector<Container> read_all();
+  std::vector<Container> read_all() const;
 
   /// Read every step that can be decoded, skipping corrupt ones.  The
   /// optional report records a verdict for each step.
-  std::vector<Container> read_all_salvage(SequenceScanReport* report = nullptr);
+  std::vector<Container> read_all_salvage(
+      SequenceScanReport* report = nullptr) const;
 
  private:
-  struct Entry {
-    std::uint64_t offset;
-    std::uint64_t size;
-  };
+  void rebuild_index();
 
-  std::vector<std::uint8_t> read_step_bytes(std::size_t step);
-  void rebuild_index(std::uint64_t file_size);
-
-  std::ifstream file_;
-  std::vector<Entry> index_;
+  ReadFile file_;
+  std::vector<StepInfo> index_;
   bool rebuilt_ = false;
 };
 

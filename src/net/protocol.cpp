@@ -415,6 +415,8 @@ std::vector<std::uint8_t> DecodeRequest::encode() const {
   PayloadWriter w;
   w.str(codec);
   w.u8(best_effort ? 1 : 0);
+  w.str(store_name);
+  w.u64(step);
   w.bytes(container);
   return w.take();
 }
@@ -424,8 +426,15 @@ DecodeRequest DecodeRequest::decode(std::span<const std::uint8_t> payload) {
   DecodeRequest req;
   req.codec = r.str(kMaxNameBytes);
   req.best_effort = r.u8() != 0;
+  req.store_name = r.str(kMaxStoreNameBytes);
+  req.step = r.u64();
   req.container = r.bytes();
   r.finish();
+  if (!req.store_name.empty() && !req.container.empty()) {
+    throw NetError(NetErrc::kMalformedPayload,
+                   "decode request carries both inline bytes and a store "
+                   "name; pick one");
+  }
   return req;
 }
 

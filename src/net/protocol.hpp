@@ -37,7 +37,10 @@
 namespace rmp::net {
 
 inline constexpr std::uint8_t kMagic[4] = {'R', 'M', 'P', 'N'};
-inline constexpr std::uint16_t kProtocolVersion = 1;
+/// v2: DecodeRequest grew store_name/step (server-side store reads).
+/// Mismatched peers are rejected at the frame layer, so v1 clients get a
+/// typed version error rather than a payload misparse.
+inline constexpr std::uint16_t kProtocolVersion = 2;
 inline constexpr std::size_t kFrameHeaderBytes = 36;
 /// Default payload cap: a 256^3 float64 field plus headroom.
 inline constexpr std::size_t kDefaultMaxPayload = 160u << 20;
@@ -167,8 +170,17 @@ struct EncodeResponse {
 
 struct DecodeRequest {
   std::string codec = "sz";
-  std::vector<std::uint8_t> container;
+  std::vector<std::uint8_t> container;  ///< inline archive bytes
   bool best_effort = false;
+  /// Server-side store read: when non-empty, the archive named here under
+  /// the server's --output-dir is decoded instead of inline bytes (which
+  /// must then be absent).  Works for single containers and for sequence
+  /// archives; the server shares one seekable reader + chunk fetcher per
+  /// store name, so N clients decoding disjoint steps read concurrently.
+  std::string store_name;
+  /// Step to decode when the named store is a sequence archive; ignored
+  /// for single containers and inline bytes.
+  std::uint64_t step = 0;
 
   std::vector<std::uint8_t> encode() const;
   static DecodeRequest decode(std::span<const std::uint8_t> payload);

@@ -11,10 +11,12 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <stdexcept>
 #include <utility>
 
 #include "compress/factory.hpp"
+#include "core/chunk_fetch.hpp"
 #include "core/guard.hpp"
 #include "core/pipeline.hpp"
 #include "core/precond_error.hpp"
@@ -72,6 +74,23 @@ const char* section_state_name(io::SectionState state) {
 }
 
 }  // namespace
+
+/// Shared read-side state for one published store: a seekable sequence
+/// reader plus a chunk fetcher whose cache is shared by every decode
+/// request naming this store.  Member order matters -- the fetcher is
+/// destroyed first, draining its background prefetch tasks while the
+/// reader they capture is still alive.
+struct StoreReadCache {
+  std::uint64_t file_size = 0;
+  io::SequenceReader reader;
+  core::ChunkFetcher fetcher;
+
+  StoreReadCache(std::uint64_t size, const std::filesystem::path& path)
+      : file_size(size),
+        reader(path,
+               io::SequenceReadOptions{.allow_index_rebuild = false}),
+        fetcher(core::make_sequence_fetcher(reader)) {}
+};
 
 /// Per-connection state.  The session thread is the only reader of the
 /// socket; writes (responses, possibly from worker threads or staging
@@ -641,10 +660,92 @@ void Server::handle_encode(Job& job) {
   throw NetError(NetErrc::kMalformedPayload, "unknown store mode");
 }
 
+std::shared_ptr<StoreReadCache> Server::store_read_cache(
+    const std::string& name, const std::filesystem::path& path) {
+  std::error_code ec;
+  const std::uint64_t size = std::filesystem::file_size(path, ec);
+  if (ec)
+    throw NetError(NetErrc::kIoError,
+                   "store '" + name + "': " + ec.message());
+  std::lock_guard lock(store_readers_mutex_);
+  auto it = store_readers_.find(name);
+  if (it != store_readers_.end() && it->second->file_size == size)
+    return it->second;
+  // New store, or a writer re-published it (size changed): (re)open.  A
+  // file without a sequence trailer is a plain container store, not an
+  // error -- signalled by nullptr so the caller takes the whole-file
+  // decode path.
+  try {
+    auto cache = std::make_shared<StoreReadCache>(size, path);
+    store_readers_[name] = cache;
+    return cache;
+  } catch (const io::ContainerError& error) {
+    if (error.code() == io::ContainerErrc::kIndexCorrupt) {
+      store_readers_.erase(name);
+      return nullptr;
+    }
+    throw;
+  }
+}
+
 void Server::handle_decode(Job& job) {
   DecodeRequest request = DecodeRequest::decode(job.frame.payload);
   const CodecSet codecs = make_codecs(request.codec);
   DecodeResponse response;
+
+  // Resolve the archive bytes: inline in the request, or a server-side
+  // store read (seekable, chunk-cached for sequence archives).
+  if (!request.store_name.empty()) {
+    if (!options_.output_dir)
+      throw NetError(NetErrc::kMalformedPayload,
+                     "store read requested but the server has no "
+                     "--output-dir");
+    validate_store_name(request.store_name);
+    const std::filesystem::path path =
+        *options_.output_dir / request.store_name;
+    const auto cache = store_read_cache(request.store_name, path);
+    if (cache) {
+      if (request.step >= cache->reader.step_count())
+        throw NetError(NetErrc::kMalformedPayload,
+                       "store '" + request.store_name + "' has " +
+                           std::to_string(cache->reader.step_count()) +
+                           " steps; step " + std::to_string(request.step) +
+                           " requested");
+      if (request.best_effort) {
+        const auto bytes =
+            cache->reader.read_step_bytes(
+                static_cast<std::size_t>(request.step));
+        auto result = core::reconstruct_best_effort(
+            std::span<const std::uint8_t>(bytes), codecs.pair());
+        response.nx = result.field.nx();
+        response.ny = result.field.ny();
+        response.nz = result.field.nz();
+        if (!result.exact) response.detail = result.detail;
+        response.data = std::move(result.field.storage());
+      } else {
+        const core::ChunkPtr chunk =
+            cache->fetcher.get(static_cast<std::size_t>(request.step));
+        sim::Field field = core::reconstruct(*chunk, codecs.pair());
+        response.nx = field.nx();
+        response.ny = field.ny();
+        response.nz = field.nz();
+        response.data = std::move(field.storage());
+      }
+      send_frame(job.session, MsgType::kDecodeResult,
+                 job.frame.header.request_id, response.encode());
+      return;
+    }
+    // Plain container store: read the whole file and fall through to the
+    // inline-bytes decode below.
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+      throw NetError(NetErrc::kIoError,
+                     "store '" + request.store_name + "': cannot open " +
+                         path.string());
+    request.container.assign(std::istreambuf_iterator<char>(in),
+                             std::istreambuf_iterator<char>());
+  }
+
   if (request.best_effort) {
     auto result = core::reconstruct_best_effort(
         std::span<const std::uint8_t>(request.container), codecs.pair());

@@ -164,6 +164,12 @@ class Server {
   /// Caller must hold sequences_mutex_.
   io::SequenceWriter& sequence_writer(const std::string& name);
   void finish_sequences();
+  /// Shared seekable reader + chunk fetcher for a published sequence
+  /// archive under the output dir.  Returns nullptr when the file is not
+  /// a sequence archive (plain container store).  Entries are rebuilt
+  /// when the published file's size changes (a writer re-published it).
+  std::shared_ptr<struct StoreReadCache> store_read_cache(
+      const std::string& name, const std::filesystem::path& path);
   void job_finished(bool ok);
   void release_outstanding();
 
@@ -197,6 +203,12 @@ class Server {
   std::unique_ptr<core::StagingNode> staging_;
   std::mutex sequences_mutex_;
   std::map<std::string, std::unique_ptr<io::SequenceWriter>> sequences_;
+  /// Store-read side (decode-from-store requests): one shared reader +
+  /// fetcher per published sequence, so concurrent decode requests hit
+  /// the chunk cache instead of re-reading the archive.
+  std::mutex store_readers_mutex_;
+  std::map<std::string, std::shared_ptr<struct StoreReadCache>>
+      store_readers_;
 
   mutable std::mutex stats_mutex_;
   ServerStats stats_;

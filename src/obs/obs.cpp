@@ -653,6 +653,40 @@ void validate_bench_core_v1(const JsonValue& v, ValidationResult* result) {
   }
 }
 
+void validate_bench_seek_v1(const JsonValue& v, ValidationResult* result) {
+  require(has_number(v, "scale"), "\"scale\" must be a number", result);
+  require(has_number(v, "steps"), "\"steps\" must be a number", result);
+  require(has_number(v, "step_bytes"), "\"step_bytes\" must be a number",
+          result);
+  const JsonValue* runs = v.find("runs");
+  if (require(runs != nullptr && runs->type == JsonValue::Type::kArray &&
+                  !runs->array.empty(),
+              "\"runs\" must be a non-empty array", result)) {
+    for (std::size_t i = 0; i < runs->array.size(); ++i) {
+      const JsonValue& run = runs->array[i];
+      require(has_number(run, "threads") && has_number(run, "seconds") &&
+                  has_number(run, "throughput_bytes_per_second"),
+              "runs[" + std::to_string(i) +
+                  "] needs numeric threads/seconds/"
+                  "throughput_bytes_per_second",
+              result);
+    }
+  }
+  const JsonValue* seek = v.find("single_step");
+  if (require(seek != nullptr && seek->type == JsonValue::Type::kObject,
+              "\"single_step\" must be an object", result)) {
+    require(has_number(*seek, "step") && has_number(*seek, "seconds") &&
+                has_number(*seek, "bytes_read"),
+            "\"single_step\" needs numeric step/seconds/bytes_read", result);
+  }
+  const JsonValue* obs_report = v.find("obs");
+  if (require(obs_report != nullptr &&
+                  obs_report->type == JsonValue::Type::kObject,
+              "\"obs\" must be an embedded rmp-obs-v1 object", result)) {
+    validate_obs_v1(*obs_report, result);
+  }
+}
+
 }  // namespace
 
 ValidationResult validate_stats_json(const JsonValue& value) {
@@ -671,6 +705,8 @@ ValidationResult validate_stats_json(const JsonValue& value) {
     validate_obs_v1(value, &result);
   } else if (schema->string == "rmp-bench-core-v1") {
     validate_bench_core_v1(value, &result);
+  } else if (schema->string == "rmp-bench-seek-v1") {
+    validate_bench_seek_v1(value, &result);
   } else {
     require(false, "unknown schema \"" + schema->string + "\"", &result);
   }

@@ -161,8 +161,9 @@ struct ValidationResult {
 };
 
 /// Validate a parsed document against the schemas this repo emits:
-/// "rmp-obs-v1" (Registry::to_json) and "rmp-bench-core-v1"
-/// (bench/ext_obs_baseline).  Unknown schema names fail.
+/// "rmp-obs-v1" (Registry::to_json), "rmp-bench-core-v1"
+/// (bench/ext_obs_baseline), and "rmp-bench-seek-v1"
+/// (bench/ext_seek_decode).  Unknown schema names fail.
 ValidationResult validate_stats_json(const JsonValue& value);
 
 /// Convenience: parse + validate raw text (parse errors land in .error).

@@ -134,16 +134,12 @@ ThreadPool& global_pool() {
   return pool;
 }
 
-namespace {
-
 ThreadPool& active_pool() {
   if (ThreadPool* override_pool = g_pool_override.load(std::memory_order_acquire)) {
     return *override_pool;
   }
   return global_pool();
 }
-
-}  // namespace
 
 void parallel_for(std::size_t count,
                   const std::function<void(std::size_t)>& body,

@@ -373,6 +373,55 @@ TEST_F(CliTest, ResumeOnCompleteArchiveIsANoOp) {
   EXPECT_EQ(slurp_bytes(out), before);
 }
 
+TEST_F(CliTest, SeekableSequenceStepDecodeAndTornTrailerSalvage) {
+  const fs::path seq = dir_ / "steps.rmps";
+  const std::string inputs =
+      quoted(input_) + " " + quoted(input_) + " " + quoted(input_);
+  ASSERT_EQ(run_rmpc("sequence " + inputs + " " + quoted(seq) +
+                     " --dims 16,16,16 --method pca --seekable"),
+            0);
+
+  // Whole-sequence decode (parallel chunked path) = 3 concatenated steps.
+  const fs::path all = dir_ / "all.f64";
+  ASSERT_EQ(run_rmpc("decompress " + quoted(seq) + " " + quoted(all)), 0);
+  const auto whole = read_back(all);
+  ASSERT_EQ(whole.size(), data_.size() * 3);
+
+  // --step K (0-based: step 0 must parse) decodes exactly slice K.
+  for (const std::size_t step : {std::size_t{0}, std::size_t{2}}) {
+    const fs::path one = dir_ / ("step" + std::to_string(step) + ".f64");
+    ASSERT_EQ(run_rmpc("decompress " + quoted(seq) + " " + quoted(one) +
+                       " --step " + std::to_string(step)),
+              0);
+    const auto decoded = read_back(one);
+    ASSERT_EQ(decoded.size(), data_.size());
+    EXPECT_TRUE(std::equal(decoded.begin(), decoded.end(),
+                           whole.begin() + static_cast<std::ptrdiff_t>(
+                                               step * data_.size())))
+        << "step " << step;
+  }
+
+  // A trailer torn by truncation must route to the index rebuild, and
+  // the salvaged decode must match the clean one.
+  const fs::path torn = dir_ / "torn.rmps";
+  fs::copy_file(seq, torn);
+  fs::resize_file(torn, fs::file_size(torn) - 5);
+  const fs::path salvaged = dir_ / "salvaged.f64";
+  ASSERT_EQ(run_rmpc("decompress " + quoted(torn) + " " + quoted(salvaged)),
+            0);
+  EXPECT_EQ(slurp_bytes(salvaged), slurp_bytes(all));
+
+  // --step on a plain (non-sequence) container stays a usage error.
+  const fs::path archive = dir_ / "plain.rmp";
+  ASSERT_EQ(run_rmpc("compress " + quoted(input_) + " " + quoted(archive) +
+                     " --dims 16,16,16 --method pca"),
+            0);
+  const int status = run_rmpc("decompress " + quoted(archive) + " " +
+                              quoted(dir_ / "x.f64") + " --step 0");
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 2);
+}
+
 TEST_F(CliTest, InjectedDiskFullIsATypedErrorNotACrash) {
   const fs::path archive = dir_ / "full_disk.rmp";
   const int status = run_rmpc_env(

@@ -231,9 +231,10 @@ TEST_F(SequenceFileTest, MissingTrailerIndexIsRebuilt) {
     for (int i = 0; i < 4; ++i) writer.append(sample(i));
     writer.finish();
   }
-  // Chop off the index + trailer, as if the writer crashed mid-finish.
+  // Chop off the index + trailer (count/magic plus four 20-byte
+  // offset/size/crc entries), as if the writer crashed mid-finish.
   const auto full = fs::file_size(path_);
-  fs::resize_file(path_, full - (16 + 4 * 16));
+  fs::resize_file(path_, full - (16 + 4 * 20));
 
   SequenceReader reader(path_);
   EXPECT_TRUE(reader.index_rebuilt());
@@ -250,7 +251,7 @@ TEST_F(SequenceFileTest, RebuildCanBeDisabled) {
     writer.append(sample(1));
     writer.finish();
   }
-  fs::resize_file(path_, fs::file_size(path_) - (16 + 16));
+  fs::resize_file(path_, fs::file_size(path_) - (16 + 20));
   try {
     SequenceReader reader(path_, {.allow_index_rebuild = false});
     FAIL() << "reader accepted a trailer-less file with rebuild disabled";

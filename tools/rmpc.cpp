@@ -8,6 +8,8 @@
 //                   [--codec sz|zfp] [--no-parity]
 //                   [--guard] [--verify-bound EPS]
 //   rmpc decompress <in.rmp> <out.f64> [--codec sz|zfp] [--best-effort]
+//                   [--step K]   (sequence archives; omitting --step decodes
+//                                 every step in parallel and concatenates)
 //   rmpc info       <in.rmp>
 //   rmpc predict    <in.f64> --dims NX[,NY[,NZ]]
 //   rmpc stats      <in.f64> --dims NX[,NY[,NZ]]
@@ -16,9 +18,10 @@
 //   rmpc verify     <in.rmp>
 //   rmpc repair     <in.rmp> <out.rmp>
 //   rmpc sequence   <in1.f64> [<in2.f64> ...] <out.rmps> --dims NX[,NY[,NZ]]
-//                   [--method NAME] [--codec sz|zfp] [--no-parity]
+//                   [--method NAME] [--codec sz|zfp] [--no-parity] [--seekable]
 //   rmpc resume     <in1.f64> [<in2.f64> ...] <out.rmps> --dims NX[,NY[,NZ]]
-//                   [--method NAME] [--codec sz|zfp] [--no-parity]
+//                   [--method NAME] [--codec sz|zfp] [--no-parity] [--seekable]
+//   rmpc bench-gate <baseline.json> <candidate.json> [--threshold PCT]
 //   rmpc serve      [--port N] [--bind ADDR] [--queue N] [--workers N]
 //                   [--max-sessions N] [--output-dir DIR] [--no-parity]
 //                   [--staging-queue N] [--port-file PATH]
@@ -29,6 +32,8 @@
 //                   [--deadline-ms N]
 //   rmpc client     decode <in.rmp> <out.f64> --port N [--codec sz|zfp]
 //                   [--best-effort]
+//   rmpc client     decode <out.f64> --store NAME [--step K] --port N
+//                   [--codec sz|zfp] [--best-effort]
 //   rmpc client     verify <in.rmp> --port N
 //
 // Exit codes (shared with rmpd, locked down in tests/test_cli.cpp):
@@ -42,6 +47,14 @@
 // same arguments after a crash or fault-aborted run: it validates the
 // committed prefix in `<out.rmps>.part`, re-encodes only the missing
 // steps, and publishes an archive byte-identical to an uninterrupted run.
+// `--seekable` embeds the v4 per-section chunk index in every written
+// container, so later readers can address any slab without loading the
+// whole archive (DESIGN.md §12); `decompress` on a sequence archive
+// decodes either one step (`--step K`, reading only that step's bytes)
+// or every step concurrently through the chunk fetcher.  `bench-gate`
+// compares two rmp-bench-core-v1 reports and fails (exit 1) when the
+// candidate's aggregate encode or decode throughput regressed by more
+// than the threshold (default 15%) -- the CI perf gate.
 // `--method auto` runs the predictive selector (no trial compression).
 // `--guard` routes the compression through the guard layer: pre-flight
 // data audit, NaN/Inf masking into a losslessly stored nanmask section,
@@ -63,6 +76,7 @@
 #include <fstream>
 #include <limits>
 #include <optional>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -73,11 +87,13 @@
 #include "net/server.hpp"
 
 #include "compress/factory.hpp"
+#include "core/chunk_fetch.hpp"
 #include "core/guard.hpp"
 #include "core/model_predict.hpp"
 #include "core/pipeline.hpp"
 #include "core/quality.hpp"
 #include "io/container.hpp"
+#include "io/container_error.hpp"
 #include "io/sequence_file.hpp"
 #include "obs/obs.hpp"
 #include "stats/metrics.hpp"
@@ -93,7 +109,7 @@ using namespace rmp;
                "[--method NAME|auto] [--codec sz|zfp] [--no-parity] "
                "[--guard] [--verify-bound EPS] [--error-bound EPS]\n"
                "  rmpc decompress <in.rmp> <out.f64> [--codec sz|zfp] "
-               "[--best-effort]\n"
+               "[--best-effort] [--step K]\n"
                "  rmpc info       <in.rmp>\n"
                "  rmpc predict    <in.f64> --dims NX[,NY[,NZ]]\n"
                "  rmpc stats      <in.f64> --dims NX[,NY[,NZ]]\n"
@@ -104,10 +120,12 @@ using namespace rmp;
                "  rmpc repair     <in.rmp> <out.rmp>\n"
                "  rmpc sequence   <in1.f64> [<in2.f64> ...] <out.rmps> "
                "--dims NX[,NY[,NZ]] [--method NAME] [--codec sz|zfp] "
-               "[--no-parity]\n"
+               "[--no-parity] [--seekable]\n"
                "  rmpc resume     <in1.f64> [<in2.f64> ...] <out.rmps> "
                "--dims NX[,NY[,NZ]] [--method NAME] [--codec sz|zfp] "
-               "[--no-parity]\n"
+               "[--no-parity] [--seekable]\n"
+               "  rmpc bench-gate <baseline.json> <candidate.json> "
+               "[--threshold PCT]\n"
                "  rmpc serve      [--port N] [--bind ADDR] [--queue N] "
                "[--workers N] [--max-sessions N] [--output-dir DIR] "
                "[--no-parity] [--staging-queue N] [--port-file PATH]\n"
@@ -256,6 +274,9 @@ struct Args {
   std::string codec = "sz";
   bool no_parity = false;
   bool best_effort = false;
+  bool seekable = false;  ///< --seekable: embed the v4 chunk index
+  std::optional<std::uint64_t> step;  ///< --step K: one sequence step
+  double threshold = 15.0;  ///< --threshold PCT for bench-gate
   bool guard = false;
   std::optional<double> verify_bound;
   bool emit_stats = false;
@@ -307,6 +328,28 @@ Args parse_args(int argc, char** argv) {
     } else if (arg == "--best-effort") {
       no_value();
       args.best_effort = true;
+    } else if (arg == "--seekable") {
+      no_value();
+      args.seekable = true;
+    } else if (arg == "--step") {
+      // Step indices start at 0, unlike the size-shaped flags that share
+      // parse_size_component (which rejects zero).
+      const std::string value = next();
+      if (value.empty() || value[0] == '-' || value[0] == '+') {
+        flag_error("--step", value, "a non-negative step index");
+      }
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long long parsed =
+          std::strtoull(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || errno == ERANGE) {
+        flag_error("--step", value, "a non-negative step index");
+      }
+      args.step = parsed;
+    } else if (arg == "--threshold") {
+      const double pct = parse_double_flag(
+          arg, next(), "a non-negative regression percentage");
+      args.threshold = pct;
     } else if (arg == "--guard") {
       no_value();
       args.guard = true;
@@ -391,6 +434,7 @@ int cmd_compress(const Args& args) {
 
   io::SerializeOptions options;
   options.with_parity = !args.no_parity;
+  options.with_chunk_index = args.seekable;
 
   if (args.guard) {
     core::GuardOptions guard_options;
@@ -418,8 +462,110 @@ int cmd_compress(const Args& args) {
   return 0;
 }
 
+/// Sequence-archive decompress: `--step K` reads and decodes exactly one
+/// step (touching only that step's bytes plus the trailer -- O(step K)
+/// I/O); without `--step`, every step is decoded concurrently through
+/// the chunk fetcher and the fields are concatenated into the output.
+int cmd_decompress_sequence(const Args& args,
+                            const io::SequenceReader& reader) {
+  const Codecs codecs = make_codecs(args.codec);
+  const core::CodecPair pair{codecs.reduced.get(), codecs.delta.get()};
+  const std::string& out = args.positional[1];
+
+  if (args.step) {
+    if (*args.step >= reader.step_count()) {
+      std::fprintf(stderr, "rmpc: %s has %zu step(s); --step %llu is out "
+                   "of range\n",
+                   args.positional[0].c_str(), reader.step_count(),
+                   static_cast<unsigned long long>(*args.step));
+      std::exit(tools::kExitUsage);
+    }
+    const auto step = static_cast<std::size_t>(*args.step);
+    if (args.best_effort) {
+      const auto bytes = reader.read_step_bytes(step);
+      const auto result = core::reconstruct_best_effort(
+          std::span<const std::uint8_t>(bytes), pair);
+      write_doubles(out, {result.field.flat().begin(),
+                          result.field.flat().end()});
+      std::printf("%s: step %zu, %zux%zux%zu doubles (%s)\n", out.c_str(),
+                  step, result.field.nx(), result.field.ny(),
+                  result.field.nz(), result.detail.c_str());
+      return 0;
+    }
+    const io::Container container = reader.read_step(step);
+    const sim::Field field = core::reconstruct(container, pair);
+    write_doubles(out, {field.flat().begin(), field.flat().end()});
+    std::printf("%s: step %zu of %zu, %zux%zux%zu doubles via %s\n",
+                out.c_str(), step, reader.step_count(), field.nx(),
+                field.ny(), field.nz(), container.method.c_str());
+    return 0;
+  }
+
+  // Whole-sequence decode: chunk fetcher + thread pool; the decoded
+  // fields are concatenated in step order, bit-identical to reading each
+  // step serially.
+  core::ChunkFetcher fetcher = core::make_sequence_fetcher(reader);
+  const auto chunks = core::fetch_all(fetcher);
+  std::vector<double> all;
+  for (std::size_t step = 0; step < chunks.size(); ++step) {
+    const sim::Field field = core::reconstruct(*chunks[step], pair);
+    if (step == 0) all.reserve(field.flat().size() * chunks.size());
+    all.insert(all.end(), field.flat().begin(), field.flat().end());
+  }
+  write_doubles(out, all);
+  std::printf("%s: %zu step(s), %zu doubles total\n", out.c_str(),
+              chunks.size(), all.size());
+  return 0;
+}
+
 int cmd_decompress(const Args& args) {
   if (args.positional.size() != 2) usage_and_exit();
+
+  // Sequence archives are detected by their trailing index; anything
+  // without one (including plain v2/v3/v4 containers) falls through to
+  // the single-container path below.
+  bool index_corrupt = false;
+  {
+    std::optional<io::SequenceReader> reader;
+    try {
+      reader.emplace(args.positional[0],
+                     io::SequenceReadOptions{.allow_index_rebuild = false});
+    } catch (const io::ContainerError& error) {
+      if (error.code() != io::ContainerErrc::kIndexCorrupt) throw;
+      index_corrupt = true;
+    }
+    if (reader) return cmd_decompress_sequence(args, *reader);
+  }
+  if (index_corrupt) {
+    // An unusable trailer is either a plain container (no trailer at
+    // all) or a sequence whose trailer is torn/corrupt.  Rebuild the
+    // index and look for sequence evidence the rebuild alone cannot
+    // fake on a plain container: more than one step, or a step located
+    // via its CRC'd commit marker.  A lone magic-scan step is just the
+    // container itself -- fall through so plain archives keep their
+    // exact error/usage behavior.
+    std::optional<io::SequenceReader> rebuilt;
+    try {
+      rebuilt.emplace(args.positional[0]);
+    } catch (const io::ContainerError&) {
+      // No recoverable steps either; let the container path produce its
+      // typed error (bad-magic, truncated, ...).
+    }
+    if (rebuilt &&
+        (rebuilt->step_count() > 1 || (rebuilt->step_count() == 1 &&
+                                       rebuilt->step_info(0).has_crc))) {
+      std::fprintf(stderr,
+                   "rmpc: %s: trailing index unusable; rebuilt from step "
+                   "markers (%zu step(s) recovered)\n",
+                   args.positional[0].c_str(), rebuilt->step_count());
+      return cmd_decompress_sequence(args, *rebuilt);
+    }
+  }
+  if (args.step) {
+    std::fprintf(stderr,
+                 "rmpc: --step only applies to sequence archives\n");
+    usage_and_exit();
+  }
   const Codecs codecs = make_codecs(args.codec);
   const core::CodecPair pair{codecs.reduced.get(), codecs.delta.get()};
 
@@ -608,6 +754,7 @@ int cmd_sequence(const Args& args, bool resume_mode) {
   const core::CodecPair pair{codecs.reduced.get(), codecs.delta.get()};
   io::SerializeOptions options;
   options.with_parity = !args.no_parity;
+  options.with_chunk_index = args.seekable;
 
   std::optional<io::SequenceWriter> writer;
   std::size_t committed = 0;
@@ -675,6 +822,88 @@ int cmd_sequence(const Args& args, bool resume_mode) {
               args.no_parity ? "" : " (+parity)", committed,
               total_steps - committed, appended_bytes);
   return 0;
+}
+
+/// One side of the bench-gate comparison: total bytes pushed through
+/// encode/decode and the seconds they took, summed over every run in an
+/// rmp-bench-core-v1 report.  Gating on the aggregate (not per-run)
+/// throughput keeps the CI signal stable -- individual sub-millisecond
+/// runs are too noisy for a percentage threshold.
+struct BenchAggregate {
+  double bytes = 0;
+  double encode_seconds = 0;
+  double decode_seconds = 0;
+  std::size_t runs = 0;
+
+  double encode_throughput() const {
+    return encode_seconds > 0 ? bytes / encode_seconds : 0;
+  }
+  double decode_throughput() const {
+    return decode_seconds > 0 ? bytes / decode_seconds : 0;
+  }
+};
+
+BenchAggregate load_bench_report(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    std::fprintf(stderr, "rmpc: cannot open %s\n", path.c_str());
+    std::exit(tools::kExitIo);
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const std::string text = buffer.str();
+  const auto validation = obs::validate_stats_json(text);
+  if (!validation.ok || validation.schema != "rmp-bench-core-v1") {
+    std::fprintf(stderr, "rmpc: %s is not a valid rmp-bench-core-v1 "
+                 "report: %s\n",
+                 path.c_str(),
+                 validation.ok ? ("schema is " + validation.schema).c_str()
+                               : validation.error.c_str());
+    std::exit(tools::kExitIntegrity);
+  }
+  const obs::JsonValue doc = obs::json_parse(text);
+  BenchAggregate aggregate;
+  const obs::JsonValue* runs = doc.find("runs");
+  for (const auto& run : runs->array) {
+    aggregate.bytes += run.find("original_bytes")->number;
+    aggregate.encode_seconds += run.find("encode_seconds")->number;
+    aggregate.decode_seconds += run.find("decode_seconds")->number;
+    ++aggregate.runs;
+  }
+  return aggregate;
+}
+
+/// `rmpc bench-gate <baseline.json> <candidate.json> [--threshold PCT]`:
+/// the CI perf-regression gate.  Exit 0 when the candidate's aggregate
+/// encode AND decode throughput are within PCT percent of the baseline
+/// (default 15); exit 1 naming the regressed direction otherwise.
+int cmd_bench_gate(const Args& args) {
+  if (args.positional.size() != 2) usage_and_exit();
+  const BenchAggregate base = load_bench_report(args.positional[0]);
+  const BenchAggregate cand = load_bench_report(args.positional[1]);
+
+  bool failed = false;
+  const auto gate = [&](const char* what, double base_tp, double cand_tp) {
+    const double drop =
+        base_tp > 0 ? (base_tp - cand_tp) / base_tp * 100.0 : 0.0;
+    std::printf("%s throughput: baseline %.3f MB/s, candidate %.3f MB/s "
+                "(%+.1f%%)\n",
+                what, base_tp / 1e6, cand_tp / 1e6, -drop);
+    if (drop > args.threshold) {
+      std::fprintf(stderr,
+                   "rmpc: %s throughput regressed %.1f%% "
+                   "(threshold %.1f%%)\n",
+                   what, drop, args.threshold);
+      failed = true;
+    }
+  };
+  gate("encode", base.encode_throughput(), cand.encode_throughput());
+  gate("decode", base.decode_throughput(), cand.decode_throughput());
+  if (failed) return tools::kExitInternal;
+  std::printf("bench-gate: OK (%zu baseline runs vs %zu candidate runs, "
+              "threshold %.1f%%)\n",
+              base.runs, cand.runs, args.threshold);
+  return tools::kExitOk;
 }
 
 int cmd_predict(const Args& args) {
@@ -778,14 +1007,25 @@ int cmd_client_encode(const Args& args, net::Client& client) {
 }
 
 int cmd_client_decode(const Args& args, net::Client& client) {
-  if (args.positional.size() != 3) usage_and_exit();
   net::DecodeRequest request;
   request.codec = args.codec;
   request.best_effort = args.best_effort;
-  request.container = read_bytes(args.positional[1]);
+  std::string out;
+  if (!args.store_name.empty()) {
+    // Server-side store read: the archive stays on the server; only the
+    // decoded doubles travel.  `--step K` picks one step of a sequence.
+    if (args.positional.size() != 2) usage_and_exit();
+    request.store_name = args.store_name;
+    request.step = args.step.value_or(0);
+    out = args.positional[1];
+  } else {
+    if (args.positional.size() != 3) usage_and_exit();
+    request.container = read_bytes(args.positional[1]);
+    out = args.positional[2];
+  }
   const auto response = client.decode(request);
-  write_doubles(args.positional[2], response.data);
-  std::printf("%s: %llux%llux%llu doubles%s%s\n", args.positional[2].c_str(),
+  write_doubles(out, response.data);
+  std::printf("%s: %llux%llux%llu doubles%s%s\n", out.c_str(),
               static_cast<unsigned long long>(response.nx),
               static_cast<unsigned long long>(response.ny),
               static_cast<unsigned long long>(response.nz),
@@ -873,6 +1113,7 @@ int run_command(const std::string& command, const Args& args) {
   if (command == "repair") return cmd_repair(args);
   if (command == "sequence") return cmd_sequence(args, /*resume_mode=*/false);
   if (command == "resume") return cmd_sequence(args, /*resume_mode=*/true);
+  if (command == "bench-gate") return cmd_bench_gate(args);
   if (command == "client") return cmd_client(args);
   usage_and_exit();
 }
