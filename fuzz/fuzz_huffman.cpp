@@ -1,0 +1,41 @@
+// libFuzzer target: throw arbitrary bytes at huffman_decode.  The hardened
+// contract (DESIGN.md §13): every input either decodes or fails with a
+// typed CodecError -- no other exception type, no crash, no sanitizer
+// finding, and no allocation beyond what the input length itself bounds.
+// When a decode succeeds, re-encoding the symbols and decoding again must
+// reproduce them (the codec is self-consistent on its own output).
+//
+// Build:  cmake -B build-fuzz -S . -DCMAKE_CXX_COMPILER=clang++ \
+//             -DRMP_FUZZ=ON -DRMP_BUILD_TESTS=OFF -DRMP_BUILD_BENCH=OFF \
+//             -DRMP_BUILD_EXAMPLES=OFF
+//         ./build-fuzz/fuzz/fuzz_huffman corpus/ -max_total_time=60
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "compress/codec_error.hpp"
+#include "compress/huffman.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::span<const std::uint8_t> bytes(data, size);
+
+  std::vector<std::uint32_t> symbols;
+  try {
+    symbols = rmp::compress::huffman_decode(bytes);
+  } catch (const rmp::compress::CodecError&) {
+    return 0;  // typed rejection is the contract
+  }
+  // Any other exception escapes and crashes the fuzzer: that is the point.
+
+  // Self-consistency on accepted inputs (bounded so giant synthetic
+  // streams don't stall the fuzzer).
+  if (symbols.size() <= (1u << 16)) {
+    const auto reencoded = rmp::compress::huffman_encode(symbols);
+    if (rmp::compress::huffman_decode(reencoded) != symbols) {
+      __builtin_trap();
+    }
+  }
+  return 0;
+}

@@ -50,6 +50,12 @@ class BitReader {
   /// Bits consumed so far.
   std::size_t bit_position() const noexcept { return bit_pos_; }
 
+  /// Bits left to read (including any encoder zero-padding).
+  std::size_t remaining_bits() const noexcept {
+    const std::size_t total = bytes_.size() * 8;
+    return bit_pos_ < total ? total - bit_pos_ : 0;
+  }
+
   /// True if fewer than `count` bits remain.
   bool exhausted(unsigned count = 1) const noexcept {
     return bit_pos_ + count > bytes_.size() * 8;

@@ -2,14 +2,18 @@
 
 #include <algorithm>
 #include <cstddef>
-#include <map>
 #include <queue>
 #include <stdexcept>
+#include <utility>
+
+#include "compress/codec_error.hpp"
 
 namespace rmp::compress {
 namespace {
 
 constexpr unsigned kMaxCodeLength = 58;  // keeps codes within one uint64 write
+// Serialized size of one table entry: 32-bit symbol + 6-bit length.
+constexpr unsigned kTableEntryBits = 38;
 
 struct TreeNode {
   std::uint64_t weight;
@@ -20,45 +24,113 @@ struct TreeNode {
   std::int32_t right = -1;
 };
 
-// Compute code lengths from a frequency map via an explicit Huffman tree.
-// If the tree depth exceeds kMaxCodeLength, frequencies are flattened
-// (halved, floored at 1) and the tree rebuilt; this terminates because the
-// distribution converges to uniform.
-std::map<std::uint32_t, std::uint8_t> code_lengths(
-    std::map<std::uint32_t, std::uint64_t> freq) {
+using FrequencyTable = std::vector<std::pair<std::uint32_t, std::uint64_t>>;
+
+// Histogram of `symbols`, returned sorted by symbol value.  A dense
+// counting pass covers the common compact alphabets (quantization codes,
+// LZ tokens); sparse huge alphabets ({0, 0xffffffff}) sort-and-run-length
+// instead of allocating a range-sized table.  Sorted output keeps the
+// tree construction order -- and therefore the emitted code table --
+// identical to the historical std::map-based implementation.
+FrequencyTable count_frequencies(std::span<const std::uint32_t> symbols) {
+  FrequencyTable freq;
+  if (symbols.empty()) return freq;
+  std::uint32_t lo = symbols[0], hi = symbols[0];
+  for (std::uint32_t s : symbols) {
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  const std::uint64_t range = std::uint64_t{hi} - lo + 1;
+  if (range <= 4 * static_cast<std::uint64_t>(symbols.size()) + 65536) {
+    std::vector<std::uint64_t> hist(static_cast<std::size_t>(range), 0);
+    for (std::uint32_t s : symbols) ++hist[s - lo];
+    for (std::size_t i = 0; i < hist.size(); ++i) {
+      if (hist[i] > 0) freq.emplace_back(lo + static_cast<std::uint32_t>(i), hist[i]);
+    }
+  } else {
+    std::vector<std::uint32_t> sorted(symbols.begin(), symbols.end());
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 0; i < sorted.size();) {
+      std::size_t j = i;
+      while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+      freq.emplace_back(sorted[i], j - i);
+      i = j;
+    }
+  }
+  return freq;
+}
+
+// Compute code lengths from a symbol-sorted frequency table via an
+// explicit Huffman tree.  If the tree depth exceeds kMaxCodeLength,
+// frequencies are flattened (halved, floored at 1) and the tree rebuilt;
+// this terminates because the distribution converges to uniform.
+std::vector<std::pair<std::uint32_t, std::uint8_t>> code_lengths(
+    FrequencyTable freq) {
   if (freq.empty()) return {};
-  if (freq.size() == 1) return {{freq.begin()->first, 1}};
+  if (freq.size() == 1) return {{freq.front().first, 1}};
 
   for (;;) {
+    // Two-queue Huffman merge instead of a binary heap.  Leaves sorted by
+    // (weight, symbol) form one queue; internal nodes are created with
+    // nondecreasing (weight, tiebreak), so a FIFO of them stays sorted
+    // too.  Popping whichever front compares smaller by (weight, tiebreak)
+    // therefore visits nodes in exactly the order the historical
+    // priority_queue did, producing the identical tree in O(n log n) sort
+    // plus O(n) merge.
     std::vector<TreeNode> nodes;
     nodes.reserve(freq.size() * 2);
-    using QueueItem = std::pair<std::pair<std::uint64_t, std::uint32_t>, std::int32_t>;
-    std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> queue;
-    for (const auto& [symbol, count] : freq) {
-      nodes.push_back({count, symbol, static_cast<std::int64_t>(symbol)});
-      queue.push({{count, symbol}, static_cast<std::int32_t>(nodes.size() - 1)});
+    std::vector<std::int32_t> leaf_order(freq.size());
+    for (std::size_t i = 0; i < freq.size(); ++i) {
+      nodes.push_back({freq[i].second, freq[i].first,
+                       static_cast<std::int64_t>(freq[i].first)});
+      leaf_order[i] = static_cast<std::int32_t>(i);
     }
+    std::sort(leaf_order.begin(), leaf_order.end(),
+              [&](std::int32_t x, std::int32_t y) {
+                return nodes[x].weight != nodes[y].weight
+                           ? nodes[x].weight < nodes[y].weight
+                           : nodes[x].tiebreak < nodes[y].tiebreak;
+              });
+    std::size_t leaf_head = 0;
+    std::vector<std::int32_t> merged;
+    merged.reserve(freq.size());
+    std::size_t merged_head = 0;
     std::uint32_t internal_tiebreak = 0;
-    while (queue.size() > 1) {
-      const auto a = queue.top(); queue.pop();
-      const auto b = queue.top(); queue.pop();
-      nodes.push_back({a.first.first + b.first.first, internal_tiebreak++, -1,
-                       a.second, b.second});
-      queue.push({{nodes.back().weight, nodes.back().tiebreak},
-                  static_cast<std::int32_t>(nodes.size() - 1)});
+    auto pop_min = [&]() -> std::int32_t {
+      const bool have_leaf = leaf_head < leaf_order.size();
+      const bool have_merged = merged_head < merged.size();
+      if (have_leaf && have_merged) {
+        const TreeNode& a = nodes[leaf_order[leaf_head]];
+        const TreeNode& b = nodes[merged[merged_head]];
+        const bool leaf_first = a.weight != b.weight
+                                    ? a.weight < b.weight
+                                    : a.tiebreak < b.tiebreak;
+        return leaf_first ? leaf_order[leaf_head++] : merged[merged_head++];
+      }
+      return have_leaf ? leaf_order[leaf_head++] : merged[merged_head++];
+    };
+    std::int32_t root = leaf_order.front();
+    while ((leaf_order.size() - leaf_head) + (merged.size() - merged_head) > 1) {
+      const std::int32_t a = pop_min();
+      const std::int32_t b = pop_min();
+      nodes.push_back({nodes[a].weight + nodes[b].weight, internal_tiebreak++,
+                       -1, a, b});
+      merged.push_back(static_cast<std::int32_t>(nodes.size() - 1));
+      root = merged.back();
     }
 
-    std::map<std::uint32_t, std::uint8_t> lengths;
+    std::vector<std::pair<std::uint32_t, std::uint8_t>> lengths;
+    lengths.reserve(freq.size());
     unsigned max_depth = 0;
     // Iterative DFS to assign depths.
-    std::vector<std::pair<std::int32_t, unsigned>> stack{{queue.top().second, 0}};
+    std::vector<std::pair<std::int32_t, unsigned>> stack{{root, 0}};
     while (!stack.empty()) {
       const auto [index, depth] = stack.back();
       stack.pop_back();
       const TreeNode& node = nodes[index];
       if (node.symbol >= 0) {
-        lengths[static_cast<std::uint32_t>(node.symbol)] =
-            static_cast<std::uint8_t>(std::max(1u, depth));
+        lengths.emplace_back(static_cast<std::uint32_t>(node.symbol),
+                             static_cast<std::uint8_t>(std::max(1u, depth)));
         max_depth = std::max(max_depth, std::max(1u, depth));
       } else {
         stack.push_back({node.left, depth + 1});
@@ -70,27 +142,36 @@ std::map<std::uint32_t, std::uint8_t> code_lengths(
   }
 }
 
+// Bit-reverse the low `length` bits of `code`.
+std::uint64_t reverse_code(std::uint64_t code, unsigned length) {
+  std::uint64_t reversed = 0;
+  for (unsigned b = 0; b < length; ++b) {
+    reversed |= ((code >> b) & 1u) << (length - 1 - b);
+  }
+  return reversed;
+}
+
 }  // namespace
 
 HuffmanEncoder::HuffmanEncoder(std::span<const std::uint32_t> symbols) {
-  std::map<std::uint32_t, std::uint64_t> freq;
-  for (std::uint32_t s : symbols) ++freq[s];
-  const auto lengths = code_lengths(freq);
+  const auto lengths = code_lengths(count_frequencies(symbols));
 
   entries_.reserve(lengths.size());
   for (const auto& [symbol, length] : lengths) {
-    entries_.push_back({symbol, length, 0});
+    entries_.push_back({symbol, length, 0, 0});
   }
   std::sort(entries_.begin(), entries_.end(), [](const Entry& a, const Entry& b) {
     return a.length != b.length ? a.length < b.length : a.symbol < b.symbol;
   });
 
-  // Assign canonical codes.
+  // Assign canonical codes.  The pre-reversed copy lets write_symbol emit
+  // the whole MSB-first code as one LSB-first put_bits batch.
   std::uint64_t code = 0;
   std::uint8_t previous_length = entries_.empty() ? 0 : entries_.front().length;
   for (Entry& e : entries_) {
     code <<= (e.length - previous_length);
     e.code = code++;
+    e.reversed = reverse_code(e.code, e.length);
     previous_length = e.length;
     max_length_ = std::max<unsigned>(max_length_, e.length);
   }
@@ -105,7 +186,10 @@ HuffmanEncoder::HuffmanEncoder(std::span<const std::uint32_t> symbols) {
       hi = std::max(hi, e.symbol);
     }
     const std::uint64_t range = std::uint64_t{hi} - lo + 1;
-    if (range <= 4 * entries_.size() + 1024) {
+    // The 64 KiB floor keeps every 16-bit-quantizer alphabet on the O(1)
+    // dense path; beyond it the table must still be within a small factor
+    // of the alphabet so {0, 0xffffffff} stays sparse.
+    if (range <= 4 * entries_.size() + 65536) {
       lookup_base_ = lo;
       lookup_.assign(static_cast<std::size_t>(range), -1);
       for (std::size_t i = 0; i < entries_.size(); ++i) {
@@ -152,22 +236,45 @@ void HuffmanEncoder::write_symbol(BitWriter& writer, std::uint32_t symbol) const
   if (e == nullptr) {
     throw std::out_of_range("HuffmanEncoder: symbol not in code table");
   }
-  // Codes are canonical MSB-first; emit bits from the top.
-  for (int bit = e->length - 1; bit >= 0; --bit) {
-    writer.put_bit((e->code >> bit) & 1);
-  }
+  // Codes are canonical MSB-first; the stored bit-reversed copy emitted
+  // LSB-first reproduces exactly the bits the historical per-bit loop
+  // wrote, in one batched call.
+  writer.put_bits(e->reversed, e->length);
 }
 
 HuffmanDecoder::HuffmanDecoder(BitReader& reader) {
-  const auto count = static_cast<std::size_t>(reader.get_bits(32));
+  if (reader.exhausted(32)) {
+    throw CodecError(CodecErrc::kTruncated, "huffman: table size truncated");
+  }
+  const std::uint64_t count64 = reader.get_bits(32);
+  // Size cap before allocation: every serialized entry costs 38 bits, so
+  // a count the remaining input cannot hold is hostile.  Reject with a
+  // typed error instead of letting vector(count) die with bad_alloc.
+  if (count64 > reader.remaining_bits() / kTableEntryBits) {
+    throw CodecError(CodecErrc::kCountOverflow,
+                     "huffman: table entry count exceeds input budget");
+  }
+  const auto count = static_cast<std::size_t>(count64);
   struct Pair {
     std::uint32_t symbol;
     std::uint8_t length;
   };
   std::vector<Pair> pairs(count);
+  std::uint64_t kraft = 0;
   for (auto& p : pairs) {
     p.symbol = static_cast<std::uint32_t>(reader.get_bits(32));
     p.length = static_cast<std::uint8_t>(reader.get_bits(6));
+    if (p.length == 0 || p.length > kMaxCodeLength) {
+      throw CodecError(CodecErrc::kMalformedTable,
+                       "huffman: code length outside [1, 58]");
+    }
+    // Kraft sum in units of 2^-kMaxCodeLength: an overfull table would
+    // corrupt the canonical-code reconstruction below.
+    kraft += std::uint64_t{1} << (kMaxCodeLength - p.length);
+    if (kraft > (std::uint64_t{1} << kMaxCodeLength)) {
+      throw CodecError(CodecErrc::kMalformedTable,
+                       "huffman: code lengths violate the Kraft inequality");
+    }
     max_length_ = std::max<unsigned>(max_length_, p.length);
   }
   std::sort(pairs.begin(), pairs.end(), [](const Pair& a, const Pair& b) {
@@ -175,6 +282,10 @@ HuffmanDecoder::HuffmanDecoder(BitReader& reader) {
   });
 
   if (count == 1) {
+    if (pairs.front().length != 1) {
+      throw CodecError(CodecErrc::kMalformedTable,
+                       "huffman: single-symbol table must use length 1");
+    }
     single_symbol_ = true;
     only_symbol_ = pairs.front().symbol;
   }
@@ -207,14 +318,30 @@ HuffmanDecoder::HuffmanDecoder(BitReader& reader) {
       const std::uint64_t code_value = canonical++;
       if (p.length > kFastBits) continue;
       // LSB-first index prefix = bit-reverse of the MSB-first code.
-      std::uint64_t reversed = 0;
-      for (unsigned b = 0; b < p.length; ++b) {
-        reversed |= ((code_value >> (p.length - 1 - b)) & 1u) << b;
-      }
+      const std::uint64_t reversed = reverse_code(code_value, p.length);
       const std::size_t suffixes = std::size_t{1}
                                    << (kFastBits - p.length);
       for (std::size_t s = 0; s < suffixes; ++s) {
-        fast_table_[reversed | (s << p.length)] = {p.symbol, p.length};
+        FastEntry& entry = fast_table_[reversed | (s << p.length)];
+        entry.symbol0 = p.symbol;
+        entry.length0 = p.length;
+        entry.total_bits = p.length;
+        entry.count = 1;
+      }
+    }
+    // Second pass: chain a second symbol into every window with room.
+    // fast_table_[w >> length0] describes the window that starts after
+    // the first code; its own first code is trustworthy only when it
+    // fits inside the remaining real bits (the shifted-in high zeros are
+    // not stream bits).
+    for (std::size_t w = 0; w < fast_table_.size(); ++w) {
+      FastEntry& entry = fast_table_[w];
+      if (entry.count != 1 || entry.length0 >= kFastBits) continue;
+      const FastEntry& next = fast_table_[w >> entry.length0];
+      if (next.count >= 1 && next.length0 <= kFastBits - entry.length0) {
+        entry.symbol1 = next.symbol0;
+        entry.total_bits = static_cast<std::uint8_t>(entry.length0 + next.length0);
+        entry.count = 2;
       }
     }
   }
@@ -222,25 +349,78 @@ HuffmanDecoder::HuffmanDecoder(BitReader& reader) {
 
 std::uint32_t HuffmanDecoder::read_symbol(BitReader& reader) const {
   if (single_symbol_) {
-    reader.get_bit();  // consume the 1-bit placeholder code
+    if (reader.exhausted(1)) {
+      throw CodecError(CodecErrc::kTruncated, "huffman: stream ends mid-code");
+    }
+    reader.skip_bits(1);  // the 1-bit placeholder code
     return only_symbol_;
   }
   if (!fast_table_.empty()) {
     const auto prefix =
         static_cast<std::size_t>(reader.peek_bits(kFastBits));
     const FastEntry& entry = fast_table_[prefix];
-    if (entry.length > 0) {
-      reader.skip_bits(entry.length);
-      return entry.symbol;
+    if (entry.count != 0) {
+      // peek_bits zero-fills past the end, so a truncated stream could
+      // otherwise match a zero-prefixed code and fabricate symbols.
+      if (reader.exhausted(entry.length0)) {
+        throw CodecError(CodecErrc::kTruncated, "huffman: stream ends mid-code");
+      }
+      reader.skip_bits(entry.length0);
+      return entry.symbol0;
     }
   }
   return read_symbol_slow(reader);
 }
 
+unsigned HuffmanDecoder::read_symbol_pair(BitReader& reader,
+                                          std::uint32_t out[2]) const {
+  if (single_symbol_) {
+    if (!reader.exhausted(2)) {
+      reader.skip_bits(2);
+      out[0] = only_symbol_;
+      out[1] = only_symbol_;
+      return 2;
+    }
+    out[0] = read_symbol(reader);  // typed-checks the final placeholder bit
+    return 1;
+  }
+  if (!fast_table_.empty()) {
+    const auto prefix =
+        static_cast<std::size_t>(reader.peek_bits(kFastBits));
+    const FastEntry& entry = fast_table_[prefix];
+    if (entry.count == 2 && !reader.exhausted(entry.total_bits)) {
+      reader.skip_bits(entry.total_bits);
+      out[0] = entry.symbol0;
+      out[1] = entry.symbol1;
+      return 2;
+    }
+    if (entry.count != 0) {
+      if (reader.exhausted(entry.length0)) {
+        throw CodecError(CodecErrc::kTruncated, "huffman: stream ends mid-code");
+      }
+      reader.skip_bits(entry.length0);
+      out[0] = entry.symbol0;
+      return 1;
+    }
+  }
+  out[0] = read_symbol_slow(reader);
+  return 1;
+}
+
 std::uint32_t HuffmanDecoder::read_symbol_slow(BitReader& reader) const {
+  // One zero-filled peek replaces the historical per-bit reads; the reader
+  // position still advances exactly as the bit-by-bit walk did on every
+  // outcome, including the throwing ones.
+  const std::size_t remaining = reader.remaining_bits();
+  const std::uint64_t window = reader.peek_bits(static_cast<unsigned>(
+      std::min<std::size_t>(kMaxCodeLength, remaining)));
   std::uint64_t code = 0;
   for (unsigned len = 1; len <= max_length_; ++len) {
-    code = (code << 1) | (reader.get_bit() ? 1 : 0);
+    if (len > remaining) {
+      reader.skip_bits(static_cast<unsigned>(len - 1));
+      throw CodecError(CodecErrc::kTruncated, "huffman: stream ends mid-code");
+    }
+    code = (code << 1) | ((window >> (len - 1)) & 1u);
     // A code of length `len` is valid when it falls inside this length's
     // canonical range.
     const std::uint64_t offset = code - first_code_[len];
@@ -248,10 +428,12 @@ std::uint32_t HuffmanDecoder::read_symbol_slow(BitReader& reader) const {
         (len < max_length_ ? first_index_[len + 1] : symbols_.size()) -
         first_index_[len];
     if (code >= first_code_[len] && offset < available) {
+      reader.skip_bits(len);
       return symbols_[first_index_[len] + offset];
     }
   }
-  throw std::runtime_error("HuffmanDecoder: invalid code in stream");
+  reader.skip_bits(max_length_);
+  throw CodecError(CodecErrc::kInvalidCode, "huffman: invalid code in stream");
 }
 
 std::vector<std::uint8_t> huffman_encode(std::span<const std::uint32_t> symbols) {
@@ -267,14 +449,31 @@ std::vector<std::uint8_t> huffman_encode(std::span<const std::uint32_t> symbols)
 
 std::vector<std::uint32_t> huffman_decode(std::span<const std::uint8_t> bytes) {
   BitReader reader(bytes);
-  const auto count = static_cast<std::size_t>(reader.get_bits(64));
+  if (reader.exhausted(64)) {
+    throw CodecError(CodecErrc::kTruncated, "huffman: symbol count truncated");
+  }
+  const std::uint64_t count64 = reader.get_bits(64);
+  // Size cap before allocation: every coded symbol costs at least one
+  // bit, so a count beyond the remaining bit budget is hostile.
+  if (count64 > reader.remaining_bits()) {
+    throw CodecError(CodecErrc::kCountOverflow,
+                     "huffman: symbol count exceeds input budget");
+  }
+  const auto count = static_cast<std::size_t>(count64);
   std::vector<std::uint32_t> symbols;
-  symbols.reserve(count);
   if (count > 0) {
     HuffmanDecoder decoder(reader);
-    for (std::size_t i = 0; i < count; ++i) {
-      symbols.push_back(decoder.read_symbol(reader));
+    symbols.resize(count);
+    std::uint32_t* out = symbols.data();
+    std::size_t i = 0;
+    std::uint32_t pair[2];
+    while (i + 2 <= count) {
+      const unsigned got = decoder.read_symbol_pair(reader, pair);
+      out[i] = pair[0];
+      if (got == 2) out[i + 1] = pair[1];
+      i += got;
     }
+    for (; i < count; ++i) out[i] = decoder.read_symbol(reader);
   }
   return symbols;
 }

@@ -7,6 +7,16 @@
 // The code table is serialized as (symbol, length) pairs for the symbols
 // actually present, and rebuilt canonically on decode, so skewed sparse
 // alphabets cost little header space.
+//
+// Hot-path design (DESIGN.md §13):
+//  * encode: codes are pre-reversed at table build so each symbol is one
+//    batched BitWriter::put_bits call, not a per-bit loop;
+//  * decode: a rapidgzip-style multi-symbol fast table resolves up to two
+//    complete codes per kFastBits-wide peek; longer codes fall back to the
+//    canonical bit-by-bit walk;
+//  * hostile streams fail with compress::CodecError (typed), never with
+//    bad_alloc from stream-controlled allocations and never by fabricating
+//    symbols past end-of-stream.
 #pragma once
 
 #include <cstdint>
@@ -37,7 +47,9 @@ class HuffmanEncoder {
   struct Entry {
     std::uint32_t symbol;
     std::uint8_t length;
-    std::uint64_t code;  // canonical, MSB-first
+    std::uint64_t code;      // canonical, MSB-first
+    std::uint64_t reversed;  // same code bit-reversed: emitting it LSB-first
+                             // via put_bits reproduces the MSB-first stream
   };
   std::vector<Entry> entries_;          // sorted by (length, symbol)
   // Dense lookup when the symbol range is compact; otherwise a sorted
@@ -54,9 +66,23 @@ class HuffmanEncoder {
 class HuffmanDecoder {
  public:
   /// Read the serialized code table produced by HuffmanEncoder::write_table.
+  /// Throws CodecError{kCountOverflow} when the declared entry count
+  /// exceeds what the remaining input bytes could possibly hold, and
+  /// CodecError{kMalformedTable} for zero/oversized code lengths or a
+  /// Kraft-sum-violating (non-canonical) table.
   explicit HuffmanDecoder(BitReader& reader);
 
+  /// Decode one symbol.  Throws CodecError{kTruncated} when the stream
+  /// ends mid-code and CodecError{kInvalidCode} when no canonical code
+  /// matches.
   std::uint32_t read_symbol(BitReader& reader) const;
+
+  /// Decode one or two symbols in a single fast-table probe, appending
+  /// them to `out`.  Returns the number decoded (1 or 2; 2 only when both
+  /// codes resolved inside one kFastBits window).  Error contract matches
+  /// read_symbol.  Callers that interleave other bit reads between
+  /// symbols (the LZ token stream) must use read_symbol instead.
+  unsigned read_symbol_pair(BitReader& reader, std::uint32_t out[2]) const;
 
  private:
   // Canonical decode tables indexed by code length.
@@ -68,12 +94,18 @@ class HuffmanDecoder {
   std::uint32_t only_symbol_ = 0;
 
   // Fast path: table indexed by the next kFastBits stream bits
-  // (LSB-first, as peek_bits returns them); entry length 0 means "code
-  // longer than kFastBits, take the bit-by-bit path".
+  // (LSB-first, as peek_bits returns them).  Each entry caches up to two
+  // complete codes that fit inside the window: count == 0 means "first
+  // code longer than kFastBits, take the bit-by-bit path"; count == 1
+  // consumes length0 bits; count == 2 consumes total_bits for both
+  // symbols at once.
   static constexpr unsigned kFastBits = 12;
   struct FastEntry {
-    std::uint32_t symbol = 0;
-    std::uint8_t length = 0;
+    std::uint32_t symbol0 = 0;
+    std::uint32_t symbol1 = 0;
+    std::uint8_t length0 = 0;
+    std::uint8_t total_bits = 0;
+    std::uint8_t count = 0;
   };
   std::vector<FastEntry> fast_table_;
 
@@ -81,6 +113,8 @@ class HuffmanDecoder {
 };
 
 /// One-call helpers: encode a symbol sequence to bytes and back.
+/// huffman_decode validates every stream-declared count against the input
+/// byte budget before allocating and throws CodecError on hostile input.
 std::vector<std::uint8_t> huffman_encode(std::span<const std::uint32_t> symbols);
 std::vector<std::uint32_t> huffman_decode(std::span<const std::uint8_t> bytes);
 

@@ -1,9 +1,12 @@
 #include "compress/lossless.hpp"
 
+#include <bit>
 #include <cstring>
+#include <limits>
 #include <stdexcept>
 
 #include "compress/bitstream.hpp"
+#include "compress/codec_error.hpp"
 #include "compress/huffman.hpp"
 
 namespace rmp::compress {
@@ -42,13 +45,38 @@ std::uint32_t hash3(const std::uint8_t* p) {
   return (v * 2654435761u) >> 16;
 }
 
-std::vector<Token> parse_tokens(std::span<const std::uint8_t> input,
-                                const LosslessOptions& opts) {
+// Length of the common prefix of a[0..limit) and b[0..limit): the same
+// first-mismatch the historical byte loop found, located eight bytes per
+// probe on little-endian hosts.
+std::size_t match_length(const std::uint8_t* a, const std::uint8_t* b,
+                         std::size_t limit) {
+  std::size_t len = 0;
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  while (len + 8 <= limit) {
+    std::uint64_t wa, wb;
+    std::memcpy(&wa, a + len, 8);
+    std::memcpy(&wb, b + len, 8);
+    const std::uint64_t diff = wa ^ wb;
+    if (diff != 0) {
+      return len + (static_cast<std::size_t>(std::countr_zero(diff)) >> 3);
+    }
+    len += 8;
+  }
+#endif
+  while (len < limit && a[len] == b[len]) ++len;
+  return len;
+}
+
+// Index is int32 for inputs that fit (halves the hash-table footprint and
+// the per-call zero-fill) and int64 beyond that.
+template <typename Index>
+std::vector<Token> parse_tokens_impl(std::span<const std::uint8_t> input,
+                                     const LosslessOptions& opts) {
   std::vector<Token> tokens;
   const std::size_t n = input.size();
   // Hash-head + chain tables for match search.
-  std::vector<std::int64_t> head(1 << 16, -1);
-  std::vector<std::int64_t> prev(n, -1);
+  std::vector<Index> head(1 << 16, Index{-1});
+  std::vector<Index> prev(n, Index{-1});
 
   std::size_t i = 0;
   while (i < n) {
@@ -56,17 +84,24 @@ std::vector<Token> parse_tokens(std::span<const std::uint8_t> input,
     std::size_t best_dist = 0;
     if (i + 3 <= n) {
       const std::uint32_t h = hash3(input.data() + i);
-      std::int64_t candidate = head[h];
+      Index candidate = head[h];
       std::uint32_t probes = 0;
+      const std::size_t limit = n - i;
+      const std::uint8_t* here = input.data() + i;
       while (candidate >= 0 && probes < opts.max_chain &&
              i - static_cast<std::size_t>(candidate) <= opts.window) {
         const std::size_t pos = static_cast<std::size_t>(candidate);
-        std::size_t len = 0;
-        const std::size_t limit = n - i;
-        while (len < limit && input[pos + len] == input[i + len]) ++len;
-        if (len > best_len) {
-          best_len = len;
-          best_dist = i - pos;
+        // A candidate can only beat best_len if it also matches at index
+        // best_len; one byte-compare rejects most losers without a scan.
+        // Selection is unchanged: ties keep the earlier (nearer) match.
+        if (best_len >= limit) break;
+        const std::uint8_t* there = input.data() + pos;
+        if (there[best_len] == here[best_len]) {
+          const std::size_t len = match_length(there, here, limit);
+          if (len > best_len) {
+            best_len = len;
+            best_dist = i - pos;
+          }
         }
         candidate = prev[pos];
         ++probes;
@@ -88,7 +123,7 @@ std::vector<Token> parse_tokens(std::span<const std::uint8_t> input,
         if (i + 3 <= n) {
           const std::uint32_t h = hash3(input.data() + i);
           prev[i] = head[h];
-          head[h] = static_cast<std::int64_t>(i);
+          head[h] = static_cast<Index>(i);
         }
         ++i;
       }
@@ -97,13 +132,22 @@ std::vector<Token> parse_tokens(std::span<const std::uint8_t> input,
       if (i + 3 <= n) {
         const std::uint32_t h = hash3(input.data() + i);
         prev[i] = head[h];
-        head[h] = static_cast<std::int64_t>(i);
+        head[h] = static_cast<Index>(i);
       }
       ++i;
     }
   }
   tokens.push_back({kEndOfStream, 0, 0, 0});
   return tokens;
+}
+
+std::vector<Token> parse_tokens(std::span<const std::uint8_t> input,
+                                const LosslessOptions& opts) {
+  if (input.size() < static_cast<std::size_t>(
+                         std::numeric_limits<std::int32_t>::max())) {
+    return parse_tokens_impl<std::int32_t>(input, opts);
+  }
+  return parse_tokens_impl<std::int64_t>(input, opts);
 }
 
 }  // namespace
@@ -157,29 +201,42 @@ std::vector<std::uint8_t> lossless_compress(std::span<const std::uint8_t> input,
 }
 
 std::vector<std::uint8_t> lossless_decompress(std::span<const std::uint8_t> input) {
-  if (input.empty()) throw std::runtime_error("lossless_decompress: empty input");
+  if (input.empty()) {
+    throw CodecError(CodecErrc::kTruncated, "lossless_decompress: empty input");
+  }
   const std::uint8_t mode = input[0];
   const auto payload = input.subspan(1);
 
   if (mode == kModeRaw) {
     if (payload.size() < 8) {
-      throw std::runtime_error("lossless_decompress: truncated raw header");
+      throw CodecError(CodecErrc::kTruncated,
+                       "lossless_decompress: truncated raw header");
     }
     std::uint64_t size = 0;
     std::memcpy(&size, payload.data(), 8);
     if (payload.size() - 8 < size) {
-      throw std::runtime_error("lossless_decompress: truncated raw payload");
+      throw CodecError(CodecErrc::kTruncated,
+                       "lossless_decompress: truncated raw payload");
     }
     return {payload.begin() + 8, payload.begin() + 8 + size};
   }
   if (mode != kModeLz) {
-    throw std::runtime_error("lossless_decompress: unknown mode byte");
+    throw CodecError(CodecErrc::kMalformedStream,
+                     "lossless_decompress: unknown mode byte");
   }
 
   BitReader reader(payload);
+  if (reader.exhausted(64 + 8)) {
+    throw CodecError(CodecErrc::kTruncated,
+                     "lossless_decompress: truncated LZ header");
+  }
   const auto original_size = static_cast<std::size_t>(reader.get_bits(64));
   std::vector<std::uint8_t> out;
-  out.reserve(original_size);
+  // The declared size is stream-controlled: cap the upfront reservation so
+  // a hostile header cannot force a huge allocation before any token is
+  // validated.  LZ can legitimately expand far beyond the input, so the
+  // decode itself still honors original_size -- the vector just grows.
+  out.reserve(std::min<std::size_t>(original_size, payload.size() * 64 + 4096));
   if (original_size == 0) return out;
   const auto min_match = static_cast<std::uint32_t>(reader.get_bits(8));
 
@@ -192,23 +249,44 @@ std::vector<std::uint8_t> lossless_decompress(std::span<const std::uint8_t> inpu
       continue;
     }
     const unsigned bucket = symbol - kMatchBase;
+    if (reader.exhausted(bucket + 5)) {
+      throw CodecError(CodecErrc::kTruncated,
+                       "lossless_decompress: stream ends mid-token");
+    }
     const std::uint32_t extra =
         static_cast<std::uint32_t>(reader.get_bits(bucket));
     const std::uint32_t len_code = (std::uint32_t{1} << bucket) + extra - 1;
     const unsigned dist_bits = static_cast<unsigned>(reader.get_bits(5));
+    if (reader.exhausted(dist_bits)) {
+      throw CodecError(CodecErrc::kTruncated,
+                       "lossless_decompress: stream ends mid-token");
+    }
     const std::uint32_t distance =
         static_cast<std::uint32_t>(reader.get_bits(dist_bits));
     const std::size_t length = len_code + min_match;
     if (distance == 0 || distance > out.size()) {
-      throw std::runtime_error("lossless_decompress: invalid match distance");
+      throw CodecError(CodecErrc::kMalformedStream,
+                       "lossless_decompress: invalid match distance");
+    }
+    if (out.size() + length > original_size) {
+      throw CodecError(CodecErrc::kMalformedStream,
+                       "lossless_decompress: output exceeds declared size");
     }
     const std::size_t start = out.size() - distance;
-    for (std::size_t k = 0; k < length; ++k) {
-      out.push_back(out[start + k]);  // overlapping copies are intentional
+    out.resize(out.size() + length);
+    std::uint8_t* dst = out.data() + start + distance;
+    const std::uint8_t* src = out.data() + start;
+    if (distance >= length) {
+      std::memcpy(dst, src, length);
+    } else {
+      // Overlapping run (e.g. distance 1 = byte fill): byte-serial copy
+      // reproduces the historical push_back semantics exactly.
+      for (std::size_t k = 0; k < length; ++k) dst[k] = src[k];
     }
   }
   if (out.size() != original_size) {
-    throw std::runtime_error("lossless_decompress: size mismatch");
+    throw CodecError(CodecErrc::kMalformedStream,
+                     "lossless_decompress: size mismatch");
   }
   return out;
 }

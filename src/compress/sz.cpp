@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "compress/bitstream.hpp"
+#include "compress/codec_error.hpp"
 #include "compress/huffman.hpp"
 #include "compress/lossless.hpp"
 #include "obs/obs.hpp"
@@ -265,53 +266,189 @@ double bound_at(const BoundTable& table, std::size_t n) {
   return table.at(n);
 }
 
+// Invoke fn(offset_begin, offset_end, bound) over the maximal
+// constant-bound sub-spans of the flat range [n, n + len).  Hoists the
+// per-element `n / block_size` division and bounds lookup out of the
+// quantization kernels: a scalar table yields one span, a block-relative
+// table one span per 1024-element block crossing.
+template <typename F>
+void for_bound_segments(const BoundTable& table, std::size_t n,
+                        std::size_t len, F&& fn) {
+  if (table.block_size == 0) {
+    fn(std::size_t{0}, len, table.bounds[0]);
+    return;
+  }
+  std::size_t off = 0;
+  while (off < len) {
+    const std::size_t block = (n + off) / table.block_size;
+    const std::size_t end =
+        std::min(len, (block + 1) * table.block_size - n);
+    fn(off, end, table.bounds[block]);
+    off = end;
+  }
+}
+
 // Quantize `data` against the bound table, producing codes and the
 // decoded surrogate (needed because prediction runs on decoded values).
 // `model`, when non-null, supplies regression predictions for the blocks
 // it marked (SZ 2.x hybrid mode).
+//
+// The Lorenzo paths below are restructured into per-row kernels: the
+// boundary cases (first plane / row / element) and the bound lookup are
+// hoisted out, so interior spans run with no per-element predictor
+// branches.  Every kernel evaluates the predictor with the exact same
+// floating-point expression (including the literal 0.0 neighbor terms at
+// boundaries) and the same left-to-right association as the historical
+// per-element lorenzo_predict, so codes -- and therefore archive bytes --
+// are bit-identical.
 QuantizedStream quantize(std::span<const double> data, const Dims& dims,
                          const BoundTable& table, unsigned quant_bits,
                          std::vector<double>& decoded,
                          const RegressionModel* model = nullptr) {
   QuantizedStream out;
-  out.codes.reserve(data.size());
+  out.codes.resize(data.size());
   decoded.assign(data.size(), 0.0);
 
   const std::int64_t radius = std::int64_t{1} << (quant_bits - 1);
+  const double radius_d = static_cast<double>(radius);
+  double* u = decoded.data();
+  std::uint32_t* codes = out.codes.data();
 
-  std::size_t n = 0;
-  for (std::size_t i = 0; i < dims.nx; ++i) {
-    for (std::size_t j = 0; j < dims.ny; ++j) {
-      for (std::size_t k = 0; k < dims.nz; ++k, ++n) {
-        const double v = data[n];
-        const double bound = table.at(n);
-        const double step = 2.0 * bound;
-        double pred;
-        if (model != nullptr) {
-          const std::size_t block = model->block_of(i, j, k);
-          pred = model->use_regression[block]
-                     ? model->predict(i, j, k, block)
-                     : lorenzo_predict(decoded, i, j, k, dims);
-        } else {
-          pred = lorenzo_predict(decoded, i, j, k, dims);
-        }
-        const double diff = v - pred;
-        const double qd = std::round(diff / step);
-        bool hit = std::fabs(qd) < static_cast<double>(radius) &&
-                   std::isfinite(qd);
-        if (hit) {
-          const auto q = static_cast<std::int64_t>(qd);
-          const double rec = pred + static_cast<double>(q) * step;
-          if (std::fabs(rec - v) <= bound && std::isfinite(rec)) {
-            out.codes.push_back(static_cast<std::uint32_t>(q + radius));
-            decoded[n] = rec;
-            continue;
-          }
-        }
-        out.codes.push_back(0);  // miss: store verbatim
-        out.outliers.push_back(v);
-        decoded[n] = v;
+  // One quantization decision; identical arithmetic to the historical
+  // per-element body (step == 2.0 * bound is hoisted per segment).
+  auto quantize_one = [&](std::size_t n, double pred, double bound,
+                          double step) {
+    const double v = data[n];
+    const double diff = v - pred;
+    const double qd = std::round(diff / step);
+    if (std::fabs(qd) < radius_d && std::isfinite(qd)) {
+      const auto q = static_cast<std::int64_t>(qd);
+      const double rec = pred + static_cast<double>(q) * step;
+      if (std::fabs(rec - v) <= bound && std::isfinite(rec)) {
+        codes[n] = static_cast<std::uint32_t>(q + radius);
+        u[n] = rec;
+        return;
       }
+    }
+    codes[n] = 0;  // miss: store verbatim
+    out.outliers.push_back(v);
+    u[n] = v;
+  };
+
+  if (model != nullptr) {
+    // Hybrid mode keeps the straightforward per-element walk: regression
+    // blocks interleave with Lorenzo blocks, so rows do not decompose
+    // into long branch-free spans.
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < dims.nx; ++i) {
+      for (std::size_t j = 0; j < dims.ny; ++j) {
+        for (std::size_t k = 0; k < dims.nz; ++k, ++n) {
+          const double bound = table.at(n);
+          const std::size_t block = model->block_of(i, j, k);
+          const double pred = model->use_regression[block]
+                                  ? model->predict(i, j, k, block)
+                                  : lorenzo_predict(decoded, i, j, k, dims);
+          quantize_one(n, pred, bound, 2.0 * bound);
+        }
+      }
+    }
+    return out;
+  }
+
+  switch (dims.rank()) {
+    case 1: {
+      for_bound_segments(table, 0, data.size(),
+                         [&](std::size_t s0, std::size_t s1, double bound) {
+        const double step = 2.0 * bound;
+        std::size_t n = s0;
+        if (n == 0 && n < s1) quantize_one(n++, 0.0, bound, step);
+        if (n == 1 && n < s1) quantize_one(n++, u[0], bound, step);
+        for (; n < s1; ++n) {
+          quantize_one(n, 2.0 * u[n - 1] - u[n - 2], bound, step);
+        }
+      });
+      break;
+    }
+    case 2: {
+      const std::size_t ny = dims.ny;
+      std::size_t n = 0;
+      for (std::size_t i = 0; i < dims.nx; ++i, n += ny) {
+        double* cur = u + n;
+        const double* up = i > 0 ? cur - ny : nullptr;
+        for_bound_segments(table, n, ny,
+                           [&](std::size_t j0, std::size_t j1, double bound) {
+          const double step = 2.0 * bound;
+          std::size_t j = j0;
+          if (j == 0 && j < j1) {
+            const double pred = 0.0 + (up != nullptr ? up[0] : 0.0) - 0.0;
+            quantize_one(n, pred, bound, step);
+            j = 1;
+          }
+          if (up != nullptr) {
+            for (; j < j1; ++j) {
+              quantize_one(n + j, cur[j - 1] + up[j] - up[j - 1], bound, step);
+            }
+          } else {
+            for (; j < j1; ++j) {
+              quantize_one(n + j, cur[j - 1] + 0.0 - 0.0, bound, step);
+            }
+          }
+        });
+      }
+      break;
+    }
+    default: {
+      const std::size_t ny = dims.ny, nz = dims.nz;
+      const std::size_t plane = ny * nz;
+      std::size_t n = 0;
+      for (std::size_t i = 0; i < dims.nx; ++i) {
+        for (std::size_t j = 0; j < ny; ++j, n += nz) {
+          double* cur = u + n;
+          const double* pi = i > 0 ? cur - plane : nullptr;
+          const double* pj = j > 0 ? cur - nz : nullptr;
+          const double* pij = (pi != nullptr && pj != nullptr)
+                                  ? cur - plane - nz
+                                  : nullptr;
+          for_bound_segments(table, n, nz,
+                             [&](std::size_t k0, std::size_t k1, double bound) {
+            const double step = 2.0 * bound;
+            std::size_t k = k0;
+            if (k == 0 && k < k1) {
+              const double x = pi != nullptr ? pi[0] : 0.0;
+              const double y = pj != nullptr ? pj[0] : 0.0;
+              const double xy = pij != nullptr ? pij[0] : 0.0;
+              quantize_one(n, x + y + 0.0 - xy - 0.0 - 0.0 + 0.0, bound, step);
+              k = 1;
+            }
+            if (pij != nullptr) {
+              for (; k < k1; ++k) {
+                const double pred = pi[k] + pj[k] + cur[k - 1] - pij[k] -
+                                    pi[k - 1] - pj[k - 1] + pij[k - 1];
+                quantize_one(n + k, pred, bound, step);
+              }
+            } else if (pi != nullptr) {
+              for (; k < k1; ++k) {
+                const double pred = pi[k] + 0.0 + cur[k - 1] - 0.0 -
+                                    pi[k - 1] - 0.0 + 0.0;
+                quantize_one(n + k, pred, bound, step);
+              }
+            } else if (pj != nullptr) {
+              for (; k < k1; ++k) {
+                const double pred = 0.0 + pj[k] + cur[k - 1] - 0.0 - 0.0 -
+                                    pj[k - 1] + 0.0;
+                quantize_one(n + k, pred, bound, step);
+              }
+            } else {
+              for (; k < k1; ++k) {
+                const double pred =
+                    0.0 + 0.0 + cur[k - 1] - 0.0 - 0.0 - 0.0 + 0.0;
+                quantize_one(n + k, pred, bound, step);
+              }
+            }
+          });
+        }
+      }
+      break;
     }
   }
   return out;
@@ -322,43 +459,147 @@ std::vector<double> dequantize(const QuantizedStream& qs, const Dims& dims,
                                const RegressionModel* model = nullptr) {
   std::vector<double> decoded(dims.count(), 0.0);
   const std::int64_t radius = std::int64_t{1} << (quant_bits - 1);
-
-  std::size_t n = 0;
+  double* u = decoded.data();
+  const std::uint32_t* codes = qs.codes.data();
   std::size_t outlier_index = 0;
-  for (std::size_t i = 0; i < dims.nx; ++i) {
-    for (std::size_t j = 0; j < dims.ny; ++j) {
-      for (std::size_t k = 0; k < dims.nz; ++k, ++n) {
-        const std::uint32_t code = qs.codes[n];
-        if (code == 0) {
-          if (outlier_index >= qs.outliers.size()) {
-            throw std::runtime_error("SZ decode: outlier list exhausted");
-          }
-          decoded[n] = qs.outliers[outlier_index++];
-        } else {
-          const double step = 2.0 * table.at(n);
-          double pred;
-          if (model != nullptr) {
-            const std::size_t block = model->block_of(i, j, k);
-            pred = model->use_regression[block]
-                       ? model->predict(i, j, k, block)
-                       : lorenzo_predict(decoded, i, j, k, dims);
-          } else {
-            pred = lorenzo_predict(decoded, i, j, k, dims);
-          }
-          const auto q = static_cast<std::int64_t>(code) - radius;
-          decoded[n] = pred + static_cast<double>(q) * step;
+
+  // `pred` is speculatively computed from already-decoded neighbors; it
+  // is ignored on the outlier path, so hoisting it costs nothing
+  // semantically.
+  auto dequantize_one = [&](std::size_t n, double pred, double step) {
+    const std::uint32_t code = codes[n];
+    if (code == 0) {
+      if (outlier_index >= qs.outliers.size()) {
+        throw CodecError(CodecErrc::kMalformedStream,
+                         "SZ decode: outlier list exhausted");
+      }
+      u[n] = qs.outliers[outlier_index++];
+    } else {
+      const auto q = static_cast<std::int64_t>(code) - radius;
+      u[n] = pred + static_cast<double>(q) * step;
+    }
+  };
+
+  if (model != nullptr) {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < dims.nx; ++i) {
+      for (std::size_t j = 0; j < dims.ny; ++j) {
+        for (std::size_t k = 0; k < dims.nz; ++k, ++n) {
+          const std::size_t block = model->block_of(i, j, k);
+          const double pred = model->use_regression[block]
+                                  ? model->predict(i, j, k, block)
+                                  : lorenzo_predict(decoded, i, j, k, dims);
+          dequantize_one(n, pred, 2.0 * table.at(n));
         }
       }
+    }
+    return decoded;
+  }
+
+  switch (dims.rank()) {
+    case 1: {
+      for_bound_segments(table, 0, decoded.size(),
+                         [&](std::size_t s0, std::size_t s1, double bound) {
+        const double step = 2.0 * bound;
+        std::size_t n = s0;
+        if (n == 0 && n < s1) dequantize_one(n++, 0.0, step);
+        if (n == 1 && n < s1) dequantize_one(n++, u[0], step);
+        for (; n < s1; ++n) {
+          dequantize_one(n, 2.0 * u[n - 1] - u[n - 2], step);
+        }
+      });
+      break;
+    }
+    case 2: {
+      const std::size_t ny = dims.ny;
+      std::size_t n = 0;
+      for (std::size_t i = 0; i < dims.nx; ++i, n += ny) {
+        double* cur = u + n;
+        const double* up = i > 0 ? cur - ny : nullptr;
+        for_bound_segments(table, n, ny,
+                           [&](std::size_t j0, std::size_t j1, double bound) {
+          const double step = 2.0 * bound;
+          std::size_t j = j0;
+          if (j == 0 && j < j1) {
+            dequantize_one(n, 0.0 + (up != nullptr ? up[0] : 0.0) - 0.0, step);
+            j = 1;
+          }
+          if (up != nullptr) {
+            for (; j < j1; ++j) {
+              dequantize_one(n + j, cur[j - 1] + up[j] - up[j - 1], step);
+            }
+          } else {
+            for (; j < j1; ++j) {
+              dequantize_one(n + j, cur[j - 1] + 0.0 - 0.0, step);
+            }
+          }
+        });
+      }
+      break;
+    }
+    default: {
+      const std::size_t ny = dims.ny, nz = dims.nz;
+      const std::size_t plane = ny * nz;
+      std::size_t n = 0;
+      for (std::size_t i = 0; i < dims.nx; ++i) {
+        for (std::size_t j = 0; j < ny; ++j, n += nz) {
+          double* cur = u + n;
+          const double* pi = i > 0 ? cur - plane : nullptr;
+          const double* pj = j > 0 ? cur - nz : nullptr;
+          const double* pij = (pi != nullptr && pj != nullptr)
+                                  ? cur - plane - nz
+                                  : nullptr;
+          for_bound_segments(table, n, nz,
+                             [&](std::size_t k0, std::size_t k1, double bound) {
+            const double step = 2.0 * bound;
+            std::size_t k = k0;
+            if (k == 0 && k < k1) {
+              const double x = pi != nullptr ? pi[0] : 0.0;
+              const double y = pj != nullptr ? pj[0] : 0.0;
+              const double xy = pij != nullptr ? pij[0] : 0.0;
+              dequantize_one(n, x + y + 0.0 - xy - 0.0 - 0.0 + 0.0, step);
+              k = 1;
+            }
+            if (pij != nullptr) {
+              for (; k < k1; ++k) {
+                const double pred = pi[k] + pj[k] + cur[k - 1] - pij[k] -
+                                    pi[k - 1] - pj[k - 1] + pij[k - 1];
+                dequantize_one(n + k, pred, step);
+              }
+            } else if (pi != nullptr) {
+              for (; k < k1; ++k) {
+                const double pred = pi[k] + 0.0 + cur[k - 1] - 0.0 -
+                                    pi[k - 1] - 0.0 + 0.0;
+                dequantize_one(n + k, pred, step);
+              }
+            } else if (pj != nullptr) {
+              for (; k < k1; ++k) {
+                const double pred = 0.0 + pj[k] + cur[k - 1] - 0.0 - 0.0 -
+                                    pj[k - 1] + 0.0;
+                dequantize_one(n + k, pred, step);
+              }
+            } else {
+              for (; k < k1; ++k) {
+                const double pred =
+                    0.0 + 0.0 + cur[k - 1] - 0.0 - 0.0 - 0.0 + 0.0;
+                dequantize_one(n + k, pred, step);
+              }
+            }
+          });
+        }
+      }
+      break;
     }
   }
   return decoded;
 }
 
 // Model (de)serialization: edge, block grid, flag bitmap, then 4 doubles
-// per regression block in block order.
+// per regression block in block order.  read_model validates the declared
+// geometry against `dims` before allocating anything block-count-sized.
 void append_model(std::vector<std::uint8_t>& payload,
                   const RegressionModel& model);
-RegressionModel read_model(class ByteCursor& cursor);
+RegressionModel read_model(class ByteCursor& cursor, const Dims& dims);
 
 // Block-relative bound table: eb_block = rel * max|v| over each block of
 // kRelBlockSize values.  All-zero blocks fall back to the global range so
@@ -402,8 +643,8 @@ class ByteCursor {
   explicit ByteCursor(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
 
   void read(void* p, std::size_t n) {
-    if (offset_ + n > bytes_.size()) {
-      throw std::runtime_error("SZ decode: truncated stream");
+    if (n > remaining()) {
+      throw CodecError(CodecErrc::kTruncated, "SZ decode: truncated stream");
     }
     if (n > 0) std::memcpy(p, bytes_.data() + offset_, n);
     offset_ += n;
@@ -414,13 +655,16 @@ class ByteCursor {
     return v;
   }
   std::span<const std::uint8_t> read_block(std::size_t n) {
-    if (offset_ + n > bytes_.size()) {
-      throw std::runtime_error("SZ decode: truncated block");
+    if (n > remaining()) {
+      throw CodecError(CodecErrc::kTruncated, "SZ decode: truncated block");
     }
     auto s = bytes_.subspan(offset_, n);
     offset_ += n;
     return s;
   }
+  /// Bytes left; stream-declared element counts are capped against this
+  /// before any allocation.
+  std::size_t remaining() const noexcept { return bytes_.size() - offset_; }
 
  private:
   std::span<const std::uint8_t> bytes_;
@@ -465,7 +709,7 @@ void append_model(std::vector<std::uint8_t>& payload,
   }
 }
 
-RegressionModel read_model(ByteCursor& cursor) {
+RegressionModel read_model(ByteCursor& cursor, const Dims& dims) {
   RegressionModel model;
   std::uint64_t header[4];
   cursor.read(header, sizeof(header));
@@ -473,6 +717,15 @@ RegressionModel read_model(ByteCursor& cursor) {
   model.blocks_x = header[1];
   model.blocks_y = header[2];
   model.blocks_z = header[3];
+  // The block grid is fully determined by dims and edge; a mismatched
+  // declaration is hostile and must not size any allocation.
+  if (model.edge == 0 ||
+      model.blocks_x != (dims.nx + model.edge - 1) / model.edge ||
+      model.blocks_y != (dims.ny + model.edge - 1) / model.edge ||
+      model.blocks_z != (dims.nz + model.edge - 1) / model.edge) {
+    throw CodecError(CodecErrc::kMalformedStream,
+                     "SZ decode: regression model geometry mismatch");
+  }
   const std::size_t count = model.block_count();
   const auto flag_bytes = cursor.read_block((count + 7) / 8);
   const auto flags = unpack_bits(flag_bytes, count);
@@ -569,11 +822,18 @@ std::vector<std::uint8_t> SzCompressor::compress(std::span<const double> data,
   }
 
   std::vector<double> decoded;
-  const QuantizedStream qs =
-      quantize(to_quantize, dims, table, options_.quant_bits, decoded,
-               hybrid ? &model : nullptr);
+  QuantizedStream qs;
+  {
+    const obs::ScopedSpan qspan("codec/sz/quantize");
+    qs = quantize(to_quantize, dims, table, options_.quant_bits, decoded,
+                  hybrid ? &model : nullptr);
+  }
 
-  const auto code_bytes = huffman_encode(qs.codes);
+  std::vector<std::uint8_t> code_bytes;
+  {
+    const obs::ScopedSpan hspan("codec/sz/huffman");
+    code_bytes = huffman_encode(qs.codes);
+  }
   append_u64(payload, code_bytes.size());
   append_bytes(payload, code_bytes.data(), code_bytes.size());
 
@@ -613,7 +873,11 @@ std::vector<std::uint8_t> SzCompressor::compress(std::span<const double> data,
     append_bytes(payload, exact_val.data(), exact_val.size() * sizeof(double));
   }
 
-  auto out = lossless_compress(payload);
+  std::vector<std::uint8_t> out;
+  {
+    const obs::ScopedSpan lspan("codec/sz/lossless");
+    out = lossless_compress(payload);
+  }
   obs::count("codec.sz.bytes_out", out.size());
   return out;
 }
@@ -621,25 +885,50 @@ std::vector<std::uint8_t> SzCompressor::compress(std::span<const double> data,
 std::vector<double> SzCompressor::decompress(
     std::span<const std::uint8_t> stream) const {
   const obs::ScopedSpan span("codec/sz");
-  const auto payload = lossless_decompress(stream);
+  std::vector<std::uint8_t> payload;
+  {
+    const obs::ScopedSpan lspan("codec/sz/unlossless");
+    payload = lossless_decompress(stream);
+  }
   ByteCursor cursor(payload);
 
   Header header;
   cursor.read(&header, sizeof(header));
   if (header.magic != kMagic) {
-    throw std::runtime_error("SZ decode: bad magic");
+    throw CodecError(CodecErrc::kMalformedStream, "SZ decode: bad magic");
   }
   const Dims dims{header.nx, header.ny, header.nz};
+  // Overflow-check nx*ny*nz: a wrapped product would pass the code-count
+  // equality below while the decode loops walk the true (huge) extent.
+  if (dims.ny != 0 && dims.nx > std::numeric_limits<std::size_t>::max() / dims.ny) {
+    throw CodecError(CodecErrc::kMalformedStream, "SZ decode: dims overflow");
+  }
+  const std::size_t plane = dims.nx * dims.ny;
+  if (dims.nz != 0 && plane > std::numeric_limits<std::size_t>::max() / dims.nz) {
+    throw CodecError(CodecErrc::kMalformedStream, "SZ decode: dims overflow");
+  }
   const auto mode = static_cast<SzMode>(header.mode);
   const unsigned quant_bits = header.quant_bits;
+  if (quant_bits < 2 || quant_bits > 30) {
+    throw CodecError(CodecErrc::kMalformedStream,
+                     "SZ decode: quant_bits out of range");
+  }
 
   QuantizedStream qs;
   const std::size_t code_size = cursor.read_u64();
-  qs.codes = huffman_decode(cursor.read_block(code_size));
+  {
+    const obs::ScopedSpan hspan("codec/sz/unhuffman");
+    qs.codes = huffman_decode(cursor.read_block(code_size));
+  }
   if (qs.codes.size() != dims.count()) {
-    throw std::runtime_error("SZ decode: code count mismatch");
+    throw CodecError(CodecErrc::kMalformedStream,
+                     "SZ decode: code count mismatch");
   }
   const std::size_t outlier_count = cursor.read_u64();
+  if (outlier_count > cursor.remaining() / sizeof(double)) {
+    throw CodecError(CodecErrc::kCountOverflow,
+                     "SZ decode: outlier count exceeds input budget");
+  }
   qs.outliers.resize(outlier_count);
   cursor.read(qs.outliers.data(), outlier_count * sizeof(double));
 
@@ -649,6 +938,17 @@ std::vector<double> SzCompressor::decompress(
     table.bounds = {std::log2(1.0 + header.bound)};
   } else if (mode == SzMode::kBlockRelative) {
     const std::size_t bound_count = cursor.read_u64();
+    if (bound_count > cursor.remaining() / sizeof(double)) {
+      throw CodecError(CodecErrc::kCountOverflow,
+                       "SZ decode: bound count exceeds input budget");
+    }
+    // Every element indexes bounds[n / kRelBlockSize]: an undersized
+    // table would read out of range during dequantization.
+    if (bound_count < (dims.count() + kRelBlockSize - 1) / kRelBlockSize ||
+        bound_count == 0) {
+      throw CodecError(CodecErrc::kMalformedStream,
+                       "SZ decode: bound table does not cover the grid");
+    }
     table.bounds.resize(bound_count);
     cursor.read(table.bounds.data(), bound_count * sizeof(double));
     table.block_size = kRelBlockSize;
@@ -657,18 +957,35 @@ std::vector<double> SzCompressor::decompress(
   const bool hybrid =
       static_cast<SzPredictor>(header.reserved) == SzPredictor::kHybrid;
   if (hybrid) {
-    model = read_model(cursor);
+    model = read_model(cursor, dims);
   }
 
-  std::vector<double> decoded =
-      dequantize(qs, dims, table, quant_bits, hybrid ? &model : nullptr);
+  std::vector<double> decoded;
+  {
+    const obs::ScopedSpan qspan("codec/sz/dequantize");
+    decoded = dequantize(qs, dims, table, quant_bits, hybrid ? &model : nullptr);
+  }
 
   if (mode == SzMode::kPointwiseRelative) {
+    const std::size_t mask_bytes = (dims.count() + 7) / 8;
     const std::size_t zero_size = cursor.read_u64();
+    if (zero_size < mask_bytes) {
+      throw CodecError(CodecErrc::kMalformedStream,
+                       "SZ decode: zero mask does not cover the grid");
+    }
     const auto zero_mask = unpack_bits(cursor.read_block(zero_size), dims.count());
     const std::size_t sign_size = cursor.read_u64();
+    if (sign_size < mask_bytes) {
+      throw CodecError(CodecErrc::kMalformedStream,
+                       "SZ decode: sign mask does not cover the grid");
+    }
     const auto sign_mask = unpack_bits(cursor.read_block(sign_size), dims.count());
     const std::size_t exact_count = cursor.read_u64();
+    if (exact_count >
+        cursor.remaining() / (sizeof(std::uint64_t) + sizeof(double))) {
+      throw CodecError(CodecErrc::kCountOverflow,
+                       "SZ decode: exception count exceeds input budget");
+    }
     std::vector<std::uint64_t> exact_pos(exact_count);
     cursor.read(exact_pos.data(), exact_count * sizeof(std::uint64_t));
     std::vector<double> exact_val(exact_count);
@@ -685,6 +1002,10 @@ std::vector<double> SzCompressor::decompress(
       }
     }
     for (std::size_t e = 0; e < exact_count; ++e) {
+      if (exact_pos[e] >= decoded.size()) {
+        throw CodecError(CodecErrc::kMalformedStream,
+                         "SZ decode: exception position out of range");
+      }
       decoded[exact_pos[e]] = exact_val[e];
     }
   }

@@ -18,8 +18,13 @@ double off_diagonal_norm(const Matrix& a) {
   return std::sqrt(sum);
 }
 
-// One Jacobi rotation zeroing a(p,q); updates A (both sides) and V (right).
-void rotate(Matrix& a, Matrix& v, std::size_t p, std::size_t q) {
+// One Jacobi rotation zeroing a(p,q); updates A (both sides) and the
+// accumulated eigenvector basis.  `vt` holds V transposed, so the V
+// column pair (p,q) is two contiguous rows and the accumulation streams
+// over cache lines; the A row-pair update is contiguous as well, leaving
+// only the unavoidable strided column-pair walk.  Operand order matches
+// the historical code exactly, so the result is bit-identical.
+void rotate(Matrix& a, Matrix& vt, std::size_t p, std::size_t q) {
   const double apq = a(p, q);
   if (apq == 0.0) return;
   const double app = a(p, p);
@@ -32,23 +37,30 @@ void rotate(Matrix& a, Matrix& v, std::size_t p, std::size_t q) {
   const double s = t * c;
 
   const std::size_t n = a.rows();
-  for (std::size_t k = 0; k < n; ++k) {
-    const double akp = a(k, p);
-    const double akq = a(k, q);
-    a(k, p) = c * akp - s * akq;
-    a(k, q) = s * akp + c * akq;
+  double* base = a.flat().data();
+  double* cp = base + p;
+  double* cq = base + q;
+  for (std::size_t k = 0; k < n; ++k, cp += n, cq += n) {
+    const double akp = *cp;
+    const double akq = *cq;
+    *cp = c * akp - s * akq;
+    *cq = s * akp + c * akq;
   }
+  double* rp = base + p * n;
+  double* rq = base + q * n;
   for (std::size_t k = 0; k < n; ++k) {
-    const double apk = a(p, k);
-    const double aqk = a(q, k);
-    a(p, k) = c * apk - s * aqk;
-    a(q, k) = s * apk + c * aqk;
+    const double apk = rp[k];
+    const double aqk = rq[k];
+    rp[k] = c * apk - s * aqk;
+    rq[k] = s * apk + c * aqk;
   }
+  double* vp = vt.row(p).data();
+  double* vq = vt.row(q).data();
   for (std::size_t k = 0; k < n; ++k) {
-    const double vkp = v(k, p);
-    const double vkq = v(k, q);
-    v(k, p) = c * vkp - s * vkq;
-    v(k, q) = s * vkp + c * vkq;
+    const double vkp = vp[k];
+    const double vkq = vq[k];
+    vp[k] = c * vkp - s * vkq;
+    vq[k] = s * vkp + c * vkq;
   }
 }
 
@@ -60,7 +72,9 @@ EigenDecomposition jacobi_eigen(const Matrix& input, const JacobiOptions& opts) 
   }
   const std::size_t n = input.rows();
   Matrix a = input;
-  Matrix v = Matrix::identity(n);
+  // V is accumulated transposed (identity is symmetric, so the seed needs
+  // no transpose); rotate() updates its column pairs as contiguous rows.
+  Matrix vt = Matrix::identity(n);
 
   const double norm = a.frobenius_norm();
   const double threshold = opts.tolerance * std::max(norm, 1e-300);
@@ -70,7 +84,7 @@ EigenDecomposition jacobi_eigen(const Matrix& input, const JacobiOptions& opts) 
        ++sweep) {
     for (std::size_t p = 0; p + 1 < n; ++p) {
       for (std::size_t q = p + 1; q < n; ++q) {
-        rotate(a, v, p, q);
+        rotate(a, vt, p, q);
       }
     }
     off = off_diagonal_norm(a);
@@ -89,8 +103,9 @@ EigenDecomposition jacobi_eigen(const Matrix& input, const JacobiOptions& opts) 
   out.vectors = Matrix(n, n);
   for (std::size_t j = 0; j < n; ++j) {
     out.values[j] = a(order[j], order[j]);
+    const double* vrow = vt.row(order[j]).data();
     for (std::size_t i = 0; i < n; ++i) {
-      out.vectors(i, j) = v(i, order[j]);
+      out.vectors(i, j) = vrow[i];
     }
   }
   return out;

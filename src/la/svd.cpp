@@ -7,13 +7,31 @@
 namespace rmp::la {
 namespace {
 
-// One-sided Jacobi: rotate columns j,k of `a` (and of the accumulating `v`)
-// so that they become orthogonal.  Returns the off-orthogonality |a_j.a_k|
-// measured before rotation, normalized by the column norms.
-double orthogonalize_pair(Matrix& a, Matrix& v, std::size_t j, std::size_t k) {
-  const double ajk = column_dot(a, j, k);
-  const double ajj = column_dot(a, j, j);
-  const double akk = column_dot(a, k, k);
+// The sweep works on A^T and V^T: a *column* pair of A/V becomes a pair of
+// contiguous rows, so every dot product and plane rotation below streams
+// over cache lines instead of striding by the column count.  The
+// arithmetic (operands, operation order, accumulation order) is exactly
+// the historical column-wise code's, so results are bit-identical.
+
+// Dot product of rows j and k, accumulated in index order (matches
+// column_dot on the untransposed matrix).
+double row_dot(const Matrix& at, std::size_t j, std::size_t k) {
+  const double* a = at.row(j).data();
+  const double* b = at.row(k).data();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < at.cols(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+// One-sided Jacobi on the transposed working set: rotate rows j,k of `at`
+// (and of the accumulating `vt`) so the corresponding columns of A become
+// orthogonal.  Returns the off-orthogonality |a_j.a_k| measured before
+// rotation, normalized by the column norms.
+double orthogonalize_pair(Matrix& at, Matrix& vt, std::size_t j,
+                          std::size_t k) {
+  const double ajk = row_dot(at, j, k);
+  const double ajj = row_dot(at, j, j);
+  const double akk = row_dot(at, k, k);
   const double denom = std::sqrt(ajj * akk);
   if (denom == 0.0 || ajk == 0.0) return 0.0;
 
@@ -24,17 +42,21 @@ double orthogonalize_pair(Matrix& a, Matrix& v, std::size_t j, std::size_t k) {
   const double c = 1.0 / std::sqrt(1.0 + t * t);
   const double s = t * c;
 
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double aij = a(i, j);
-    const double aik = a(i, k);
-    a(i, j) = c * aij - s * aik;
-    a(i, k) = s * aij + c * aik;
+  double* aj = at.row(j).data();
+  double* ak = at.row(k).data();
+  for (std::size_t i = 0; i < at.cols(); ++i) {
+    const double aij = aj[i];
+    const double aik = ak[i];
+    aj[i] = c * aij - s * aik;
+    ak[i] = s * aij + c * aik;
   }
-  for (std::size_t i = 0; i < v.rows(); ++i) {
-    const double vij = v(i, j);
-    const double vik = v(i, k);
-    v(i, j) = c * vij - s * vik;
-    v(i, k) = s * vij + c * vik;
+  double* vj = vt.row(j).data();
+  double* vk = vt.row(k).data();
+  for (std::size_t i = 0; i < vt.cols(); ++i) {
+    const double vij = vj[i];
+    const double vik = vk[i];
+    vj[i] = c * vij - s * vik;
+    vk[i] = s * vij + c * vik;
   }
   return off;
 }
@@ -48,15 +70,18 @@ SvdResult jacobi_svd(const Matrix& input, const SvdOptions& opts) {
     a = a.transposed();
     out.transposed = true;
   }
+  const std::size_t m = a.rows();
   const std::size_t n = a.cols();
-  Matrix v = Matrix::identity(n);
+  // Transposed working copies: row j of `at` is column j of A.
+  Matrix at = a.transposed();
+  Matrix vt = Matrix::identity(n);
 
   bool settled = n < 2;
   for (std::size_t sweep = 0; sweep < opts.max_sweeps && !settled; ++sweep) {
     double max_off = 0.0;
     for (std::size_t j = 0; j + 1 < n; ++j) {
       for (std::size_t k = j + 1; k < n; ++k) {
-        max_off = std::max(max_off, orthogonalize_pair(a, v, j, k));
+        max_off = std::max(max_off, orthogonalize_pair(at, vt, j, k));
       }
     }
     settled = max_off <= opts.tolerance;
@@ -67,12 +92,12 @@ SvdResult jacobi_svd(const Matrix& input, const SvdOptions& opts) {
   // least as orthogonal); when the sweep budget ran out, re-measure.
   double residual = 0.0;
   for (std::size_t j = 0; j + 1 < n; ++j) {
-    const double ajj = column_dot(a, j, j);
+    const double ajj = row_dot(at, j, j);
     for (std::size_t k = j + 1; k < n; ++k) {
-      const double akk = column_dot(a, k, k);
+      const double akk = row_dot(at, k, k);
       const double denom = std::sqrt(ajj * akk);
       if (denom == 0.0) continue;
-      residual = std::max(residual, std::fabs(column_dot(a, j, k)) / denom);
+      residual = std::max(residual, std::fabs(row_dot(at, j, k)) / denom);
     }
   }
   out.max_off_orthogonality = residual;
@@ -80,7 +105,7 @@ SvdResult jacobi_svd(const Matrix& input, const SvdOptions& opts) {
 
   // Column norms are the singular values; normalized columns form U.
   std::vector<double> sigma(n);
-  for (std::size_t j = 0; j < n; ++j) sigma[j] = column_norm(a, j);
+  for (std::size_t j = 0; j < n; ++j) sigma[j] = std::sqrt(row_dot(at, j, j));
 
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
@@ -88,15 +113,22 @@ SvdResult jacobi_svd(const Matrix& input, const SvdOptions& opts) {
             [&](std::size_t x, std::size_t y) { return sigma[x] > sigma[y]; });
 
   out.sigma.resize(n);
-  out.u = Matrix(a.rows(), n);
-  out.v = Matrix(n, n);
+  // Assemble U^T / V^T row-contiguously, then transpose once.
+  Matrix ut(n, m);
+  Matrix vout_t(n, n);
   for (std::size_t j = 0; j < n; ++j) {
     const std::size_t src = order[j];
     out.sigma[j] = sigma[src];
     const double inv = (sigma[src] > 0.0) ? 1.0 / sigma[src] : 0.0;
-    for (std::size_t i = 0; i < a.rows(); ++i) out.u(i, j) = a(i, src) * inv;
-    for (std::size_t i = 0; i < n; ++i) out.v(i, j) = v(i, src);
+    const double* arow = at.row(src).data();
+    double* urow = ut.row(j).data();
+    for (std::size_t i = 0; i < m; ++i) urow[i] = arow[i] * inv;
+    const double* vrow = vt.row(src).data();
+    double* orow = vout_t.row(j).data();
+    for (std::size_t i = 0; i < n; ++i) orow[i] = vrow[i];
   }
+  out.u = ut.transposed();
+  out.v = vout_t.transposed();
   return out;
 }
 

@@ -687,6 +687,26 @@ void validate_bench_seek_v1(const JsonValue& v, ValidationResult* result) {
   }
 }
 
+void validate_bench_codec_v1(const JsonValue& v, ValidationResult* result) {
+  require(has_number(v, "scale"), "\"scale\" must be a number", result);
+  require(has_number(v, "reps"), "\"reps\" must be a number", result);
+  require(has_number(v, "huffman_encode_mb_s") &&
+              has_number(v, "huffman_decode_mb_s") &&
+              has_number(v, "lorenzo_quantize_melem_s") &&
+              has_number(v, "lorenzo_dequantize_melem_s") &&
+              has_number(v, "sz_encode_mb_s") && has_number(v, "sz_decode_mb_s"),
+          "codec bench needs numeric huffman_encode_mb_s/huffman_decode_mb_s/"
+          "lorenzo_quantize_melem_s/lorenzo_dequantize_melem_s/"
+          "sz_encode_mb_s/sz_decode_mb_s",
+          result);
+  const JsonValue* obs_report = v.find("obs");
+  if (require(obs_report != nullptr &&
+                  obs_report->type == JsonValue::Type::kObject,
+              "\"obs\" must be an embedded rmp-obs-v1 object", result)) {
+    validate_obs_v1(*obs_report, result);
+  }
+}
+
 }  // namespace
 
 ValidationResult validate_stats_json(const JsonValue& value) {
@@ -705,6 +725,8 @@ ValidationResult validate_stats_json(const JsonValue& value) {
     validate_obs_v1(value, &result);
   } else if (schema->string == "rmp-bench-core-v1") {
     validate_bench_core_v1(value, &result);
+  } else if (schema->string == "rmp-bench-codec-v1") {
+    validate_bench_codec_v1(value, &result);
   } else if (schema->string == "rmp-bench-seek-v1") {
     validate_bench_seek_v1(value, &result);
   } else {

@@ -125,7 +125,7 @@ using namespace rmp;
                "--dims NX[,NY[,NZ]] [--method NAME] [--codec sz|zfp] "
                "[--no-parity] [--seekable]\n"
                "  rmpc bench-gate <baseline.json> <candidate.json> "
-               "[--threshold PCT]\n"
+               "[--threshold PCT] [--codec NAME] [--min-speedup X]\n"
                "  rmpc serve      [--port N] [--bind ADDR] [--queue N] "
                "[--workers N] [--max-sessions N] [--output-dir DIR] "
                "[--no-parity] [--staging-queue N] [--port-file PATH]\n"
@@ -277,6 +277,10 @@ struct Args {
   bool seekable = false;  ///< --seekable: embed the v4 chunk index
   std::optional<std::uint64_t> step;  ///< --step K: one sequence step
   double threshold = 15.0;  ///< --threshold PCT for bench-gate
+  bool codec_given = false;  ///< --codec was passed explicitly
+  /// --min-speedup X for bench-gate: require candidate aggregate
+  /// encode+decode throughput >= X times the baseline's.
+  std::optional<double> min_speedup;
   bool guard = false;
   std::optional<double> verify_bound;
   bool emit_stats = false;
@@ -322,6 +326,11 @@ Args parse_args(int argc, char** argv) {
       args.method = next();
     } else if (arg == "--codec") {
       args.codec = next();
+      args.codec_given = true;
+    } else if (arg == "--min-speedup") {
+      const double factor = parse_double_flag(
+          arg, next(), "a positive speedup factor");
+      args.min_speedup = factor;
     } else if (arg == "--no-parity") {
       no_value();
       args.no_parity = true;
@@ -841,9 +850,16 @@ struct BenchAggregate {
   double decode_throughput() const {
     return decode_seconds > 0 ? bytes / decode_seconds : 0;
   }
+  /// One number for the whole round trip: bytes over encode+decode wall
+  /// time.  This is what --min-speedup gates.
+  double combined_throughput() const {
+    const double total = encode_seconds + decode_seconds;
+    return total > 0 ? bytes / total : 0;
+  }
 };
 
-BenchAggregate load_bench_report(const std::string& path) {
+BenchAggregate load_bench_report(const std::string& path,
+                                 const std::string& codec_filter) {
   std::ifstream file(path, std::ios::binary);
   if (!file) {
     std::fprintf(stderr, "rmpc: cannot open %s\n", path.c_str());
@@ -865,22 +881,36 @@ BenchAggregate load_bench_report(const std::string& path) {
   BenchAggregate aggregate;
   const obs::JsonValue* runs = doc.find("runs");
   for (const auto& run : runs->array) {
+    if (!codec_filter.empty()) {
+      const obs::JsonValue* codec = run.find("codec");
+      if (codec == nullptr || codec->string != codec_filter) continue;
+    }
     aggregate.bytes += run.find("original_bytes")->number;
     aggregate.encode_seconds += run.find("encode_seconds")->number;
     aggregate.decode_seconds += run.find("decode_seconds")->number;
     ++aggregate.runs;
   }
+  if (!codec_filter.empty() && aggregate.runs == 0) {
+    std::fprintf(stderr, "rmpc: %s has no runs with codec \"%s\"\n",
+                 path.c_str(), codec_filter.c_str());
+    std::exit(tools::kExitIntegrity);
+  }
   return aggregate;
 }
 
-/// `rmpc bench-gate <baseline.json> <candidate.json> [--threshold PCT]`:
-/// the CI perf-regression gate.  Exit 0 when the candidate's aggregate
-/// encode AND decode throughput are within PCT percent of the baseline
-/// (default 15); exit 1 naming the regressed direction otherwise.
+/// `rmpc bench-gate <baseline.json> <candidate.json> [--threshold PCT]
+/// [--codec NAME] [--min-speedup X]`: the CI perf gate.  Exit 0 when the
+/// candidate's aggregate encode AND decode throughput are within PCT
+/// percent of the baseline (default 15); exit 1 naming the regressed
+/// direction otherwise.  `--codec` restricts both reports to runs of one
+/// codec; `--min-speedup X` additionally requires the candidate's combined
+/// encode+decode throughput to be at least X times the baseline's (the
+/// SZ-hot-path criterion of DESIGN.md §13).
 int cmd_bench_gate(const Args& args) {
   if (args.positional.size() != 2) usage_and_exit();
-  const BenchAggregate base = load_bench_report(args.positional[0]);
-  const BenchAggregate cand = load_bench_report(args.positional[1]);
+  const std::string filter = args.codec_given ? args.codec : std::string();
+  const BenchAggregate base = load_bench_report(args.positional[0], filter);
+  const BenchAggregate cand = load_bench_report(args.positional[1], filter);
 
   bool failed = false;
   const auto gate = [&](const char* what, double base_tp, double cand_tp) {
@@ -899,10 +929,26 @@ int cmd_bench_gate(const Args& args) {
   };
   gate("encode", base.encode_throughput(), cand.encode_throughput());
   gate("decode", base.decode_throughput(), cand.decode_throughput());
+  if (args.min_speedup) {
+    const double base_tp = base.combined_throughput();
+    const double cand_tp = cand.combined_throughput();
+    const double speedup = base_tp > 0 ? cand_tp / base_tp : 0.0;
+    std::printf("combined throughput: baseline %.3f MB/s, candidate "
+                "%.3f MB/s (%.2fx, required >= %.2fx)\n",
+                base_tp / 1e6, cand_tp / 1e6, speedup, *args.min_speedup);
+    if (speedup < *args.min_speedup) {
+      std::fprintf(stderr,
+                   "rmpc: combined throughput speedup %.2fx is below the "
+                   "required %.2fx\n",
+                   speedup, *args.min_speedup);
+      failed = true;
+    }
+  }
   if (failed) return tools::kExitInternal;
   std::printf("bench-gate: OK (%zu baseline runs vs %zu candidate runs, "
-              "threshold %.1f%%)\n",
-              base.runs, cand.runs, args.threshold);
+              "threshold %.1f%%%s)\n",
+              base.runs, cand.runs, args.threshold,
+              filter.empty() ? "" : (", codec " + filter).c_str());
   return tools::kExitOk;
 }
 
