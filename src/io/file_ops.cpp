@@ -445,6 +445,13 @@ void DurableFile::sync() {
 void DurableFile::truncate(std::uint64_t size) {
   const int result = file_ops().ftruncate(fd_, size);
   if (result < 0) throw_io_error(who_, "ftruncate", path_, -result);
+  // ftruncate does not move the write cursor: without the reposition a
+  // later write on a non-O_APPEND fd would land past the new end and
+  // leave a zero-filled hole (O_APPEND fds ignore the offset, so this
+  // is harmless there).  Pure fd-state manipulation, not a disk op, so
+  // it stays outside the FileOps fault seam.
+  if (::lseek(fd_, static_cast<off_t>(size), SEEK_SET) < 0)
+    throw_io_error(who_, "lseek", path_, errno);
 }
 
 void DurableFile::close() {

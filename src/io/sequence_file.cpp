@@ -72,6 +72,28 @@ bool decode_marker(std::span<const std::uint8_t> bytes, CommitMarker* marker) {
          marker->marker_crc == crc32(bytes.first(28));
 }
 
+std::vector<std::uint8_t> encode_trailer(
+    const std::vector<JournalScan::Entry>& index) {
+  std::vector<std::uint8_t> trailer;
+  trailer.reserve(index.size() * 20 + 16);
+  auto put_u64 = [&trailer](std::uint64_t v) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    trailer.insert(trailer.end(), p, p + 8);
+  };
+  auto put_u32 = [&trailer](std::uint32_t v) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    trailer.insert(trailer.end(), p, p + 4);
+  };
+  for (const JournalScan::Entry& entry : index) {
+    put_u64(entry.offset);
+    put_u64(entry.size);
+    put_u32(entry.crc);
+  }
+  put_u64(index.size());
+  put_u64(kSequenceMagicV2);
+  return trailer;
+}
+
 }  // namespace
 
 std::size_t SequenceScanReport::ok_count() const {
@@ -237,23 +259,7 @@ void SequenceWriter::finish() {
                              journal_path_.string() +
                              "; reopen with SequenceWriter::resume");
   }
-  std::vector<std::uint8_t> trailer;
-  trailer.reserve(index_.size() * 20 + 16);
-  auto put_u64 = [&trailer](std::uint64_t v) {
-    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
-    trailer.insert(trailer.end(), p, p + 8);
-  };
-  auto put_u32 = [&trailer](std::uint32_t v) {
-    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
-    trailer.insert(trailer.end(), p, p + 4);
-  };
-  for (const JournalScan::Entry& entry : index_) {
-    put_u64(entry.offset);
-    put_u64(entry.size);
-    put_u32(entry.crc);
-  }
-  put_u64(index_.size());
-  put_u64(kSequenceMagicV2);
+  const std::vector<std::uint8_t> trailer = encode_trailer(index_);
   try {
     file_.write_all(trailer);
     file_.sync();
@@ -269,6 +275,30 @@ void SequenceWriter::finish() {
     throw;
   }
   finished_ = true;
+}
+
+void write_sequence_archive(
+    const std::filesystem::path& path,
+    const std::vector<std::vector<std::uint8_t>>& steps,
+    const RetryPolicy& policy) {
+  std::vector<JournalScan::Entry> index;
+  index.reserve(steps.size());
+  std::size_t total = 16;
+  for (const auto& step : steps)
+    total += step.size() + kSequenceCommitMarkerBytes + 20;
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(total);
+  for (std::size_t s = 0; s < steps.size(); ++s) {
+    const auto& step = steps[s];
+    const std::uint32_t payload_crc = crc32(step);
+    index.push_back({bytes.size(), step.size(), payload_crc});
+    bytes.insert(bytes.end(), step.begin(), step.end());
+    const auto marker = encode_marker(s, step.size(), payload_crc);
+    bytes.insert(bytes.end(), marker.begin(), marker.end());
+  }
+  const auto trailer = encode_trailer(index);
+  bytes.insert(bytes.end(), trailer.begin(), trailer.end());
+  atomic_publish_bytes(path, bytes, "write_sequence_archive", policy);
 }
 
 SequenceReader::SequenceReader(const std::filesystem::path& path,

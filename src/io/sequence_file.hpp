@@ -133,6 +133,17 @@ class SequenceWriter {
   bool failed_ = false;
 };
 
+/// Atomically (re)write a sequence archive from raw per-step container
+/// bytes: commit markers and the CRC'd trailing index are regenerated,
+/// the bytes are staged in a unique temp next to `path` and durably
+/// renamed over it.  The integrity scrubber uses this to replace
+/// damaged-but-parity-repairable steps while keeping intact steps
+/// byte-identical; a crash mid-rewrite leaves the old archive untouched.
+void write_sequence_archive(
+    const std::filesystem::path& path,
+    const std::vector<std::vector<std::uint8_t>>& steps,
+    const RetryPolicy& policy = {});
+
 struct SequenceReadOptions {
   /// When the trailing index is missing or implausible, forward-scan the
   /// file for container headers instead of failing (crashed-writer

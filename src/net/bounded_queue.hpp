@@ -9,8 +9,23 @@
 // producers are refused (kClosed) but consumers keep draining until the
 // queue is empty, after which pop() returns nullopt to every waiter.
 //
+// Accounting is conservative by construction: every try_push increments
+// exactly one of accepted / rejected_busy / rejected_closed under the
+// same lock that decided the outcome, so even a close() racing a storm of
+// concurrent producers satisfies
+//
+//   attempts == accepted + rejected_busy + rejected_closed
+//
+// at every observable instant -- a rejection can never be lost or
+// double-counted across the open->closed transition.  A push that finds
+// the queue both closed *and* full is a kClosed rejection (drain wins):
+// during a drain the caller must answer SHUTTING_DOWN, not BUSY, or a
+// well-behaved client would retry against a server that will never
+// accept.
+//
 // The admission / rejection / drain state machine is unit-tested under
-// saturation in tests/test_net_queue.cpp.
+// saturation (including a close-while-full hammer) in
+// tests/test_net_queue.cpp.
 #pragma once
 
 #include <condition_variable>
@@ -38,9 +53,11 @@ class BoundedQueue {
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
-  /// Non-blocking admission: full -> kBusy, closed -> kClosed.
+  /// Non-blocking admission: full -> kBusy, closed -> kClosed (closed
+  /// takes precedence over full -- see the conservation note above).
   Push try_push(T item) {
     std::unique_lock lock(mutex_);
+    ++attempts_;
     if (closed_) {
       ++rejected_closed_;
       return Push::kClosed;
@@ -71,13 +88,17 @@ class BoundedQueue {
   }
 
   /// Enter drain mode: refuse new producers, wake every consumer.
-  /// Idempotent.
-  void close() {
+  /// Idempotent.  Returns the backlog depth at the instant of closing --
+  /// the number of already-accepted items consumers will still drain.
+  std::size_t close() {
+    std::size_t backlog = 0;
     {
       std::lock_guard lock(mutex_);
       closed_ = true;
+      backlog = items_.size();
     }
     ready_.notify_all();
+    return backlog;
   }
 
   bool closed() const {
@@ -91,15 +112,20 @@ class BoundedQueue {
   std::size_t capacity() const noexcept { return capacity_; }
 
   struct Stats {
+    std::uint64_t attempts = 0;  ///< every try_push, whatever its verdict
     std::uint64_t accepted = 0;
     std::uint64_t popped = 0;
     std::uint64_t rejected_busy = 0;
     std::uint64_t rejected_closed = 0;
     std::size_t peak_depth = 0;
   };
+  /// One consistent snapshot: taken under the admission lock, so the
+  /// conservation law attempts == accepted + rejected_busy +
+  /// rejected_closed holds in every snapshot, mid-race included.
   Stats stats() const {
     std::lock_guard lock(mutex_);
-    return {accepted_, popped_, rejected_busy_, rejected_closed_, peak_depth_};
+    return {attempts_, accepted_,        popped_,
+            rejected_busy_, rejected_closed_, peak_depth_};
   }
 
  private:
@@ -108,6 +134,7 @@ class BoundedQueue {
   std::condition_variable ready_;
   std::deque<T> items_;
   bool closed_ = false;
+  std::uint64_t attempts_ = 0;
   std::uint64_t accepted_ = 0;
   std::uint64_t popped_ = 0;
   std::uint64_t rejected_busy_ = 0;

@@ -6,8 +6,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <mutex>
+#include <random>
+#include <thread>
 #include <vector>
 
 namespace rmp::net {
@@ -23,9 +27,60 @@ bool is_unavailable_errno(int err) noexcept {
          err == ETIMEDOUT;
 }
 
+// A retry only makes sense when the failure is transient *and* the
+// request could not have been half-applied in a way a re-send would
+// compound: BUSY / SHUTTING_DOWN rejections did no work, and a lost
+// connection is exactly what request tokens exist for.
+bool is_retryable(NetErrc code) noexcept {
+  return code == NetErrc::kBusy || code == NetErrc::kShuttingDown ||
+         code == NetErrc::kConnectionClosed;
+}
+
+constexpr std::chrono::milliseconds kBackoffCap{2000};
+
+std::chrono::milliseconds backoff_delay(std::chrono::milliseconds base,
+                                        std::size_t attempt,
+                                        std::uint32_t server_hint_ms) {
+  if (base.count() <= 0) base = std::chrono::milliseconds{1};
+  auto delay = base;
+  for (std::size_t i = 0; i < attempt && delay < kBackoffCap; ++i) delay *= 2;
+  delay = std::min(delay, kBackoffCap);
+  return std::max(delay, std::chrono::milliseconds{server_hint_ms});
+}
+
 }  // namespace
 
+std::uint64_t Client::make_request_token() {
+  static std::mutex mutex;
+  static std::mt19937_64 rng{std::random_device{}()};
+  std::lock_guard lock(mutex);
+  std::uint64_t token = 0;
+  while (token == 0) token = rng();
+  return token;
+}
+
 Client::Client(ClientOptions options) : options_(std::move(options)) {
+  // The initial connect honors the retry budget too: "daemon still
+  // booting" and "daemon restarting" look identical from here, and both
+  // are the cases --retries exists for.
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      connect_socket();
+      return;
+    } catch (const NetError& error) {
+      if (error.code() != NetErrc::kBusy || attempt >= options_.max_retries)
+        throw;
+      std::this_thread::sleep_for(
+          backoff_delay(options_.retry_backoff, attempt, 0));
+    }
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Client::connect_socket() {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) throw NetError(NetErrc::kIoError, errno_text("socket"));
 
@@ -52,11 +107,44 @@ Client::Client(ClientOptions options) : options_(std::move(options)) {
   }
 }
 
-Client::~Client() {
-  if (fd_ >= 0) ::close(fd_);
+void Client::reconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  // A stale half-frame from the torn connection must not be spliced
+  // onto the new stream.
+  decoder_ = FrameDecoder{};
+  connect_socket();
 }
 
 Frame Client::call(MsgType type, std::span<const std::uint8_t> payload) {
+  // One id per *logical* call: every attempt re-sends under the same
+  // request id (and whatever token the payload carries), so the server
+  // can recognize the retry.
+  const std::uint64_t request_id = next_id_++;
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      if (fd_ < 0) reconnect();
+      return call_once(type, request_id, payload);
+    } catch (const NetError& error) {
+      if (!is_retryable(error.code()) || attempt >= options_.max_retries)
+        throw;
+      std::uint32_t hint_ms = 0;
+      if (const auto* remote = dynamic_cast<const RemoteError*>(&error))
+        hint_ms = remote->retry_after_ms();
+      if (error.code() == NetErrc::kConnectionClosed && fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+      }
+      std::this_thread::sleep_for(
+          backoff_delay(options_.retry_backoff, attempt, hint_ms));
+    }
+  }
+}
+
+Frame Client::call_once(MsgType type, std::uint64_t request_id,
+                        std::span<const std::uint8_t> payload) {
   if (fd_ < 0)
     throw NetError(NetErrc::kConnectionClosed, "client connection is closed");
 
@@ -68,7 +156,6 @@ Frame Client::call(MsgType type, std::span<const std::uint8_t> payload) {
     deadline_ms = static_cast<std::uint32_t>(options_.deadline.count());
   }
 
-  const std::uint64_t request_id = next_id_++;
   const auto bytes = encode_frame(type, request_id, deadline_ms, payload);
   std::size_t offset = 0;
   while (offset < bytes.size()) {
@@ -92,7 +179,8 @@ Frame Client::call(MsgType type, std::span<const std::uint8_t> payload) {
                        "response for a different request id");
       if (frame->header.type == MsgType::kError) {
         const auto error = ErrorResponse::decode(frame->payload);
-        throw RemoteError(frame->header.status, error.message);
+        throw RemoteError(frame->header.status, error.message,
+                          error.retry_after_ms);
       }
       return std::move(*frame);
     }
@@ -133,6 +221,17 @@ Frame Client::call(MsgType type, std::span<const std::uint8_t> payload) {
 }
 
 EncodeResponse Client::encode(const EncodeRequest& request) {
+  // Retried encodes must be idempotent: without a token the server
+  // cannot tell "retry of a landed append" from "new append", so mint
+  // one when the caller enabled retries and did not bring their own.
+  if (options_.max_retries > 0 && request.request_token == 0) {
+    EncodeRequest tokened = request;
+    tokened.request_token = make_request_token();
+    const Frame frame = call(MsgType::kEncode, tokened.encode());
+    if (frame.header.type != MsgType::kEncodeResult)
+      throw NetError(NetErrc::kMalformedPayload, "expected an encode result");
+    return EncodeResponse::decode(frame.payload);
+  }
   const Frame frame = call(MsgType::kEncode, request.encode());
   if (frame.header.type != MsgType::kEncodeResult)
     throw NetError(NetErrc::kMalformedPayload, "expected an encode result");
@@ -158,6 +257,13 @@ StatsResponse Client::stats() {
   if (frame.header.type != MsgType::kStatsResult)
     throw NetError(NetErrc::kMalformedPayload, "expected a stats result");
   return StatsResponse::decode(frame.payload);
+}
+
+ScrubResponse Client::scrub() {
+  const Frame frame = call(MsgType::kScrub, {});
+  if (frame.header.type != MsgType::kScrubResult)
+    throw NetError(NetErrc::kMalformedPayload, "expected a scrub result");
+  return ScrubResponse::decode(frame.payload);
 }
 
 void Client::ping() {

@@ -19,10 +19,18 @@ namespace rmp::net {
 /// rejection class without string-matching.
 class RemoteError : public NetError {
  public:
-  RemoteError(Status status, const std::string& detail)
-      : NetError(status_to_errc(status), detail), status_(status) {}
+  RemoteError(Status status, const std::string& detail,
+              std::uint32_t retry_after_ms = 0)
+      : NetError(status_to_errc(status), detail),
+        status_(status),
+        retry_after_ms_(retry_after_ms) {}
 
   Status status() const noexcept { return status_; }
+
+  /// Server's backoff hint from a BUSY rejection (0 = none given).  The
+  /// client's own retry loop honors it; callers doing manual retries
+  /// should too.
+  std::uint32_t retry_after_ms() const noexcept { return retry_after_ms_; }
 
   static NetErrc status_to_errc(Status status) noexcept {
     switch (status) {
@@ -35,15 +43,27 @@ class RemoteError : public NetError {
 
  private:
   Status status_;
+  std::uint32_t retry_after_ms_ = 0;
 };
 
 struct ClientOptions {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
-  /// Wall-clock budget per call(); zero = unbounded.  Sent to the server
-  /// as the frame's deadline_ms and enforced locally on the receive path.
+  /// Wall-clock budget per *attempt* of call(); zero = unbounded.  Sent
+  /// to the server as the frame's deadline_ms and enforced locally on
+  /// the receive path.
   std::chrono::milliseconds deadline{0};
   std::size_t max_payload = kDefaultMaxPayload;
+  /// Extra attempts after a retryable failure (BUSY, SHUTTING_DOWN,
+  /// connection lost / refused).  0 = the historical fail-fast client.
+  /// Retries reconnect the socket and re-send under the *same* request
+  /// id; pair with a nonzero request_token (Client::encode generates
+  /// one automatically when retries are on) so a sequence append is
+  /// applied exactly once even if the first attempt actually landed.
+  std::size_t max_retries = 0;
+  /// Backoff base for attempt N: min(retry_backoff << N, 2s), raised to
+  /// the server's retry_after_ms hint when one arrived with the BUSY.
+  std::chrono::milliseconds retry_backoff{50};
 };
 
 class Client {
@@ -58,18 +78,31 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  /// One request/response round trip.  Throws RemoteError for kError
-  /// frames, NetError{kDeadlineExceeded} on a local timeout,
-  /// NetError{kConnectionClosed} when the server hangs up mid-response.
+  /// One logical request/response round trip: up to 1 + max_retries
+  /// attempts, reconnecting between them.  Throws RemoteError for
+  /// kError frames, NetError{kDeadlineExceeded} on a local timeout,
+  /// NetError{kConnectionClosed} when the server hangs up mid-response
+  /// -- after retries, if any, are exhausted.
   Frame call(MsgType type, std::span<const std::uint8_t> payload);
 
   EncodeResponse encode(const EncodeRequest& request);
   DecodeResponse decode(const DecodeRequest& request);
   VerifyResponse verify(const VerifyRequest& request);
   StatsResponse stats();
+  ScrubResponse scrub();
   void ping();
 
+  /// A fresh nonzero idempotency token (process-wide PRNG).  Exposed so
+  /// callers doing their own retry orchestration can mint tokens the
+  /// same way Client::encode does.
+  static std::uint64_t make_request_token();
+
  private:
+  void connect_socket();
+  void reconnect();
+  Frame call_once(MsgType type, std::uint64_t request_id,
+                  std::span<const std::uint8_t> payload);
+
   ClientOptions options_;
   int fd_ = -1;
   std::uint64_t next_id_ = 1;

@@ -1,0 +1,101 @@
+// Bounded idempotency window: request-token -> cached response, FIFO
+// evicted.  The server half of exactly-once retries (DESIGN.md §14): a
+// client retrying a tokened request after a timeout, reconnect, or
+// daemon restart gets the original outcome replayed instead of the
+// side-effect re-executed.  For durable sequence appends the entries are
+// additionally rebuilt at startup from the fsync'd request log, so the
+// window survives a SIGKILL; for stateless responses it is in-memory
+// only (a restart forgets them -- re-execution is then harmless because
+// those requests carry no server-side state).
+//
+// The window is bounded by construction: eviction is strictly FIFO by
+// insertion order, so memory is O(capacity * response size) no matter
+// how many tokens a client burns.  An evicted token's retry re-executes
+// -- the documented contract is exactly-once only while the token is
+// within the window (capacity is a server flag; retries arrive within
+// seconds, eviction takes thousands of intervening requests).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "obs/obs.hpp"
+
+namespace rmp::net {
+
+class DedupWindow {
+ public:
+  struct CachedResponse {
+    MsgType type = MsgType::kError;
+    Status status = Status::kOk;
+    std::vector<std::uint8_t> payload;
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t entries = 0;
+  };
+
+  explicit DedupWindow(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  DedupWindow(const DedupWindow&) = delete;
+  DedupWindow& operator=(const DedupWindow&) = delete;
+
+  /// The completed outcome for `token`, if still within the window.
+  /// Counts a hit -- callers replay the response verbatim.
+  std::optional<CachedResponse> lookup(std::uint64_t token) {
+    if (token == 0) return std::nullopt;
+    std::lock_guard lock(mutex_);
+    const auto it = entries_.find(token);
+    if (it == entries_.end()) return std::nullopt;
+    ++hits_;
+    obs::count("net.dedup.hits");
+    return it->second;
+  }
+
+  /// Record `token`'s outcome, evicting the oldest entry when full.  A
+  /// re-insert of a live token refreshes the payload without growing the
+  /// window.
+  void insert(std::uint64_t token, CachedResponse response) {
+    if (token == 0) return;
+    std::lock_guard lock(mutex_);
+    const auto it = entries_.find(token);
+    if (it != entries_.end()) {
+      it->second = std::move(response);
+      return;
+    }
+    while (entries_.size() >= capacity_ && !order_.empty()) {
+      entries_.erase(order_.front());
+      order_.pop_front();
+      ++evictions_;
+      obs::count("net.dedup.evictions");
+    }
+    order_.push_back(token);
+    entries_.emplace(token, std::move(response));
+  }
+
+  Stats stats() const {
+    std::lock_guard lock(mutex_);
+    return {hits_, evictions_, entries_.size()};
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::deque<std::uint64_t> order_;
+  std::unordered_map<std::uint64_t, CachedResponse> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace rmp::net

@@ -173,7 +173,7 @@ class PayloadReader {
 
 bool is_known_type(std::uint16_t type) noexcept {
   return type >= static_cast<std::uint16_t>(MsgType::kPing) &&
-         type <= static_cast<std::uint16_t>(MsgType::kError);
+         type <= static_cast<std::uint16_t>(MsgType::kScrubResult);
 }
 
 bool is_request_type(MsgType type) noexcept {
@@ -183,6 +183,7 @@ bool is_request_type(MsgType type) noexcept {
     case MsgType::kDecode:
     case MsgType::kVerify:
     case MsgType::kStats:
+    case MsgType::kScrub:
       return true;
     default:
       return false;
@@ -202,6 +203,8 @@ const char* to_string(MsgType type) noexcept {
     case MsgType::kVerifyResult: return "verify-result";
     case MsgType::kStatsResult: return "stats-result";
     case MsgType::kError: return "error";
+    case MsgType::kScrub: return "scrub";
+    case MsgType::kScrubResult: return "scrub-result";
   }
   return "unknown";
 }
@@ -346,6 +349,7 @@ std::vector<std::uint8_t> EncodeRequest::encode() const {
   w.u64(nx);
   w.u64(ny);
   w.u64(nz);
+  w.u64(request_token);
   w.doubles(data);
   return w.take();
 }
@@ -369,6 +373,7 @@ EncodeRequest EncodeRequest::decode(std::span<const std::uint8_t> payload) {
   req.nx = r.u64();
   req.ny = r.u64();
   req.nz = r.u64();
+  req.request_token = r.u64();
   req.data = r.doubles();
   r.finish();
   if (req.nx == 0 || req.ny == 0 || req.nz == 0) {
@@ -494,6 +499,30 @@ VerifyResponse VerifyResponse::decode(std::span<const std::uint8_t> payload) {
   return resp;
 }
 
+std::vector<std::uint8_t> ScrubResponse::encode() const {
+  PayloadWriter w;
+  w.u64(files_checked);
+  w.u64(sections_checked);
+  w.u64(sections_repaired);
+  w.u64(files_repaired);
+  w.u64(files_quarantined);
+  w.str(detail);
+  return w.take();
+}
+
+ScrubResponse ScrubResponse::decode(std::span<const std::uint8_t> payload) {
+  PayloadReader r(payload);
+  ScrubResponse resp;
+  resp.files_checked = r.u64();
+  resp.sections_checked = r.u64();
+  resp.sections_repaired = r.u64();
+  resp.files_repaired = r.u64();
+  resp.files_quarantined = r.u64();
+  resp.detail = r.str(kMaxDetailBytes);
+  r.finish();
+  return resp;
+}
+
 std::vector<std::uint8_t> StatsResponse::encode() const {
   PayloadWriter w;
   w.u64(queue_depth);
@@ -507,6 +536,21 @@ std::vector<std::uint8_t> StatsResponse::encode() const {
   w.u64(sessions_active);
   w.u64(sessions_total);
   w.u64(protocol_errors);
+  w.u64(recovery_journals_resumed);
+  w.u64(recovery_steps_recovered);
+  w.u64(recovery_files_repaired);
+  w.u64(recovery_files_quarantined);
+  w.u64(scrub_passes);
+  w.u64(scrub_sections_checked);
+  w.u64(scrub_sections_repaired);
+  w.u64(scrub_quarantined);
+  w.u64(dedup_hits);
+  w.u64(dedup_evictions);
+  w.u64(dedup_entries);
+  w.u64(inflight_bytes);
+  w.u64(max_inflight_bytes);
+  w.u64(admission_bytes_rejected);
+  w.u64(stalled_sessions);
   w.str(obs_json);
   return w.take();
 }
@@ -525,6 +569,21 @@ StatsResponse StatsResponse::decode(std::span<const std::uint8_t> payload) {
   resp.sessions_active = r.u64();
   resp.sessions_total = r.u64();
   resp.protocol_errors = r.u64();
+  resp.recovery_journals_resumed = r.u64();
+  resp.recovery_steps_recovered = r.u64();
+  resp.recovery_files_repaired = r.u64();
+  resp.recovery_files_quarantined = r.u64();
+  resp.scrub_passes = r.u64();
+  resp.scrub_sections_checked = r.u64();
+  resp.scrub_sections_repaired = r.u64();
+  resp.scrub_quarantined = r.u64();
+  resp.dedup_hits = r.u64();
+  resp.dedup_evictions = r.u64();
+  resp.dedup_entries = r.u64();
+  resp.inflight_bytes = r.u64();
+  resp.max_inflight_bytes = r.u64();
+  resp.admission_bytes_rejected = r.u64();
+  resp.stalled_sessions = r.u64();
   resp.obs_json = r.str(kMaxDetailBytes * 16);
   r.finish();
   return resp;
@@ -533,6 +592,7 @@ StatsResponse StatsResponse::decode(std::span<const std::uint8_t> payload) {
 std::vector<std::uint8_t> ErrorResponse::encode() const {
   PayloadWriter w;
   w.str(message);
+  w.u32(retry_after_ms);
   return w.take();
 }
 
@@ -540,6 +600,7 @@ ErrorResponse ErrorResponse::decode(std::span<const std::uint8_t> payload) {
   PayloadReader r(payload);
   ErrorResponse resp;
   resp.message = r.str(kMaxMessageBytes);
+  resp.retry_after_ms = r.u32();
   r.finish();
   return resp;
 }

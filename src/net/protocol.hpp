@@ -38,9 +38,13 @@ namespace rmp::net {
 
 inline constexpr std::uint8_t kMagic[4] = {'R', 'M', 'P', 'N'};
 /// v2: DecodeRequest grew store_name/step (server-side store reads).
-/// Mismatched peers are rejected at the frame layer, so v1 clients get a
-/// typed version error rather than a payload misparse.
-inline constexpr std::uint16_t kProtocolVersion = 2;
+/// v3: self-healing service surface -- EncodeRequest carries an
+/// idempotency token, BUSY error frames carry a retry_after_ms hint,
+/// kScrub triggers an on-demand integrity pass, and StatsResponse grew
+/// the recovery/scrub/dedup/admission counter block.
+/// Mismatched peers are rejected at the frame layer, so v1/v2 clients get
+/// a typed version error rather than a payload misparse.
+inline constexpr std::uint16_t kProtocolVersion = 3;
 inline constexpr std::size_t kFrameHeaderBytes = 36;
 /// Default payload cap: a 256^3 float64 field plus headroom.
 inline constexpr std::size_t kDefaultMaxPayload = 160u << 20;
@@ -57,6 +61,8 @@ enum class MsgType : std::uint16_t {
   kVerifyResult = 9,
   kStatsResult = 10,
   kError = 11,
+  kScrub = 12,  ///< trigger one integrity-scrub pass over the store dir
+  kScrubResult = 13,
 };
 
 bool is_known_type(std::uint16_t type) noexcept;
@@ -150,6 +156,12 @@ struct EncodeRequest {
   StoreMode store = StoreMode::kReturn;
   std::string store_name;  ///< archive/sequence name for kFile/kSequence
   std::uint64_t nx = 0, ny = 1, nz = 1;
+  /// Idempotency token (0 = none).  A retried encode resends the same
+  /// token; the server's dedup window replays the cached result instead
+  /// of re-executing, so a retry never double-appends to a sequence.
+  /// Sequence appends additionally journal the token in a fsync'd
+  /// request log, making the guarantee hold across a daemon crash.
+  std::uint64_t request_token = 0;
   std::vector<double> data;
 
   std::vector<std::uint8_t> encode() const;
@@ -212,6 +224,21 @@ struct VerifyResponse {
   static VerifyResponse decode(std::span<const std::uint8_t> payload);
 };
 
+/// One integrity-scrub pass over the server's store directory (manual
+/// trigger via kScrub, or the background scrubber's cumulative totals in
+/// StatsResponse).
+struct ScrubResponse {
+  std::uint64_t files_checked = 0;
+  std::uint64_t sections_checked = 0;
+  std::uint64_t sections_repaired = 0;
+  std::uint64_t files_repaired = 0;     ///< rewritten via parity repair
+  std::uint64_t files_quarantined = 0;  ///< moved to quarantine/ + manifest
+  std::string detail;  ///< per-file findings, human-readable
+
+  std::vector<std::uint8_t> encode() const;
+  static ScrubResponse decode(std::span<const std::uint8_t> payload);
+};
+
 /// Server-side counters a client can poll without parsing obs JSON.
 struct StatsResponse {
   std::uint64_t queue_depth = 0;
@@ -225,6 +252,23 @@ struct StatsResponse {
   std::uint64_t sessions_active = 0;
   std::uint64_t sessions_total = 0;
   std::uint64_t protocol_errors = 0;
+  // Self-healing surface (v3): startup recovery, background scrub, the
+  // idempotent-retry dedup window, and byte-budget admission control.
+  std::uint64_t recovery_journals_resumed = 0;
+  std::uint64_t recovery_steps_recovered = 0;
+  std::uint64_t recovery_files_repaired = 0;
+  std::uint64_t recovery_files_quarantined = 0;
+  std::uint64_t scrub_passes = 0;
+  std::uint64_t scrub_sections_checked = 0;
+  std::uint64_t scrub_sections_repaired = 0;
+  std::uint64_t scrub_quarantined = 0;
+  std::uint64_t dedup_hits = 0;
+  std::uint64_t dedup_evictions = 0;
+  std::uint64_t dedup_entries = 0;
+  std::uint64_t inflight_bytes = 0;
+  std::uint64_t max_inflight_bytes = 0;  ///< 0 = unlimited
+  std::uint64_t admission_bytes_rejected = 0;
+  std::uint64_t stalled_sessions = 0;
   std::string obs_json;  ///< full rmp-obs-v1 registry dump
 
   std::vector<std::uint8_t> encode() const;
@@ -233,6 +277,9 @@ struct StatsResponse {
 
 struct ErrorResponse {
   std::string message;
+  /// For kBusy rejections: how long the client should back off before
+  /// retrying (0 = no hint).  Derived from queue pressure server-side.
+  std::uint32_t retry_after_ms = 0;
 
   std::vector<std::uint8_t> encode() const;
   static ErrorResponse decode(std::span<const std::uint8_t> payload);

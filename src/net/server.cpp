@@ -24,6 +24,7 @@
 #include "io/container.hpp"
 #include "io/container_error.hpp"
 #include "io/sequence_file.hpp"
+#include "io/store_health.hpp"
 #include "obs/obs.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -47,6 +48,15 @@ void validate_store_name(const std::string& name) {
                    "store name '" + name +
                        "' must be a plain file name (no separators, no "
                        "leading dot)");
+  // Names the self-healing machinery owns inside the store directory:
+  // "quarantine" is the damaged-file vault, ".part"/".reqs" suffixes are
+  // journal and request-log sidecars, ".tmp." marks staging temps.
+  if (name == "quarantine" || name.ends_with(".part") ||
+      name.ends_with(".reqs") || name.find(".tmp.") != std::string::npos)
+    throw NetError(NetErrc::kMalformedPayload,
+                   "store name '" + name +
+                       "' is reserved for store maintenance "
+                       "(quarantine/, *.part, *.reqs, *.tmp.*)");
 }
 
 struct CodecSet {
@@ -111,8 +121,21 @@ struct Server::Session {
   }
 };
 
+/// One live journaled sequence: the writer plus its request log.  The
+/// log is opened lazily on the first tokened append -- untokened flows
+/// never grow a sidecar.  `fresh_journal` records whether this
+/// generation created the journal (a fresh log must not inherit a
+/// predecessor's intents) or adopted it from startup recovery.
+struct Server::SequenceState {
+  std::unique_ptr<io::SequenceWriter> writer;
+  std::unique_ptr<io::RequestLog> log;
+  bool fresh_journal = true;
+};
+
 Server::Server(ServerOptions options)
-    : options_(std::move(options)), queue_(options_.queue_capacity) {}
+    : options_(std::move(options)),
+      queue_(options_.queue_capacity),
+      dedup_(options_.dedup_window) {}
 
 Server::~Server() {
   if (running_.load(std::memory_order_acquire)) {
@@ -163,6 +186,7 @@ void Server::start() {
 
   if (options_.output_dir) {
     std::filesystem::create_directories(*options_.output_dir);
+    if (options_.recover_on_start) recover_store_on_start();
     staging_reduced_ = compress::make_sz_original();
     staging_delta_ = compress::make_sz_delta();
     core::StagingOptions staging_options;
@@ -172,6 +196,8 @@ void Server::start() {
     staging_ = std::make_unique<core::StagingNode>(
         core::CodecPair{staging_reduced_.get(), staging_delta_.get()},
         staging_options);
+    if (options_.scrub_interval.count() > 0)
+      scrub_thread_ = std::thread([this] { scrub_loop(); });
   }
 
   std::size_t workers = options_.workers != 0
@@ -203,12 +229,19 @@ void Server::drain() {
     return;
   draining_.store(true, std::memory_order_release);
 
-  // 1. Stop accepting connections.
+  // 1. Stop accepting connections, and retire the background scrubber
+  //    so no repair pass races the final sequence publishes.
   if (accept_thread_.joinable()) accept_thread_.join();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
+  {
+    std::lock_guard lock(scrub_mutex_);
+    scrub_stop_ = true;
+  }
+  scrub_cv_.notify_all();
+  if (scrub_thread_.joinable()) scrub_thread_.join();
 
   // 2. Finish every admitted request (queued, executing, or awaiting a
   //    staging callback).  Sessions that race past the draining check are
@@ -251,6 +284,131 @@ void Server::drain() {
 ServerStats Server::stats() const {
   std::lock_guard lock(stats_mutex_);
   return stats_;
+}
+
+// ---------------------------------------------------------------------------
+// Self-healing: startup recovery + integrity scrubbing
+
+void Server::recover_store_on_start() {
+  io::SerializeOptions serialize_options;
+  serialize_options.with_parity = options_.with_parity;
+  io::RecoveryResult recovery =
+      io::recover_store(*options_.output_dir, serialize_options);
+
+  // Adopt the resumed journals as live writers: the next append to the
+  // same store name continues byte-identically after the last committed
+  // step, and the request log keeps extending the surviving intents.
+  {
+    std::lock_guard lock(sequences_mutex_);
+    for (auto& [name, recovered] : recovery.sequences) {
+      auto state = std::make_unique<SequenceState>();
+      state->writer = std::move(recovered.writer);
+      state->fresh_journal = false;
+      sequences_[name] = std::move(state);
+    }
+  }
+
+  // Seed the dedup window with the durable proofs: a client retrying a
+  // tokened append across the crash replays the committed outcome.  The
+  // replayed response reports the serialized step size and no method
+  // name (the original computed values died with the old process) --
+  // the documented contract is "applied exactly once", not "response
+  // byte-identical".
+  for (const auto& [token, replay] : recovery.replayable) {
+    EncodeResponse response;
+    response.stored = true;
+    response.stored_bytes = replay.stored_bytes;
+    response.stored_path = (*options_.output_dir / replay.sequence).string();
+    dedup_.insert(token, DedupWindow::CachedResponse{
+                             MsgType::kEncodeResult, Status::kOk,
+                             response.encode()});
+  }
+
+  {
+    std::lock_guard lock(stats_mutex_);
+    stats_.recovery_journals_resumed = recovery.report.journals_resumed;
+    stats_.recovery_steps_recovered = recovery.report.steps_recovered;
+    stats_.recovery_files_repaired = recovery.report.scrub.files_repaired;
+    stats_.recovery_files_quarantined =
+        recovery.report.journals_quarantined +
+        recovery.report.scrub.files_quarantined;
+    stats_.scrub_sections_checked = recovery.report.scrub.sections_checked;
+    stats_.scrub_sections_repaired = recovery.report.scrub.sections_repaired;
+    stats_.scrub_quarantined = recovery.report.scrub.files_quarantined;
+  }
+  for (const auto& note : recovery.report.notes)
+    std::fprintf(stderr, "rmpd: recovery: %s\n", note.c_str());
+  for (const auto& note : recovery.report.scrub.notes)
+    std::fprintf(stderr, "rmpd: recovery: %s\n", note.c_str());
+}
+
+ScrubResponse Server::run_scrub_pass() {
+  ScrubResponse response;
+  if (!options_.output_dir) {
+    response.detail = "server has no --output-dir; nothing to scrub";
+    return response;
+  }
+  io::ScrubOptions scrub_options;
+  {
+    // Live sequences are the writer's territory: their journal is the
+    // authoritative copy and the destination (if present) is the
+    // previous complete archive -- skip both.
+    std::lock_guard lock(sequences_mutex_);
+    for (const auto& [name, state] : sequences_)
+      scrub_options.skip.push_back(name);
+  }
+  const io::ScrubReport report =
+      io::scrub_store(*options_.output_dir, scrub_options);
+
+  response.files_checked = report.files_checked;
+  response.sections_checked = report.sections_checked;
+  response.sections_repaired = report.sections_repaired;
+  response.files_repaired = report.files_repaired;
+  response.files_quarantined = report.files_quarantined;
+  // Cap the detail well under the wire limit (protocol.cpp caps decode
+  // at 1 MiB); a huge store's notes are summarized, not truncated
+  // mid-line.
+  constexpr std::size_t kDetailCap = 256 * 1024;
+  std::string detail;
+  for (const auto& note : report.notes) {
+    if (detail.size() + note.size() > kDetailCap) {
+      detail += "... (more notes elided)\n";
+      break;
+    }
+    detail += note;
+    detail += '\n';
+  }
+  response.detail = std::move(detail);
+
+  {
+    std::lock_guard lock(stats_mutex_);
+    ++stats_.scrub_passes;
+    stats_.scrub_sections_checked += report.sections_checked;
+    stats_.scrub_sections_repaired += report.sections_repaired;
+    stats_.scrub_quarantined += report.files_quarantined;
+  }
+  obs::count("scrub.passes");
+  return response;
+}
+
+void Server::scrub_loop() {
+  obs::ScopedSpan span("rmpd/scrubber");
+  std::unique_lock lock(scrub_mutex_);
+  while (!scrub_stop_) {
+    if (scrub_cv_.wait_for(lock, options_.scrub_interval,
+                           [this] { return scrub_stop_; }))
+      return;
+    lock.unlock();
+    try {
+      run_scrub_pass();
+    } catch (const std::exception& e) {
+      // A failing pass must never take the scrubber (or server) down;
+      // the next interval retries.
+      obs::count("scrub.pass_failures");
+      std::fprintf(stderr, "rmpd: scrub pass failed: %s\n", e.what());
+    }
+    lock.lock();
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -323,6 +481,8 @@ void Server::session_loop(const std::shared_ptr<Session>& session) {
   std::vector<std::uint8_t> buffer(64 * 1024);
   bool torn = false;
   bool failed = false;
+  bool stalled = false;
+  auto last_progress = std::chrono::steady_clock::now();
   while (!stop_sessions_.load(std::memory_order_acquire) &&
          session->alive.load(std::memory_order_acquire)) {
     pollfd pfd{session->fd, POLLIN, 0};
@@ -332,7 +492,19 @@ void Server::session_loop(const std::shared_ptr<Session>& session) {
       failed = true;
       break;
     }
-    if (rc == 0) continue;
+    if (rc == 0) {
+      // Slowloris defense: an idle connection is fine, but a connection
+      // holding a HALF-READ frame hostage pins decoder memory and (at
+      // the session cap) an admission slot.  No progress on a partial
+      // frame within the deadline tears the session down.
+      if (options_.read_stall_timeout.count() > 0 && decoder.buffered() > 0 &&
+          std::chrono::steady_clock::now() - last_progress >=
+              options_.read_stall_timeout) {
+        stalled = true;
+        break;
+      }
+      continue;
+    }
     const auto n =
         ::recv(session->fd, buffer.data(), buffer.size(), 0);
     if (n == 0) {
@@ -347,6 +519,7 @@ void Server::session_loop(const std::shared_ptr<Session>& session) {
       failed = true;
       break;
     }
+    last_progress = std::chrono::steady_clock::now();
     try {
       decoder.feed({buffer.data(), static_cast<std::size_t>(n)});
       while (auto frame = decoder.next())
@@ -372,7 +545,19 @@ void Server::session_loop(const std::shared_ptr<Session>& session) {
     }
     obs::count("net.torn_frames");
   }
-  if (failed || torn) {
+  if (stalled) {
+    {
+      std::lock_guard lock(stats_mutex_);
+      ++stats_.stalled_sessions;
+      ++stats_.protocol_errors;
+    }
+    obs::count("net.stalled_sessions");
+    // Best effort: the half-frame has no request id, so the teardown
+    // notice goes out unaddressed before the close.
+    send_error(session, 0, Status::kBadRequest,
+               "read stalled mid-frame; closing session");
+  }
+  if (failed || torn || stalled) {
     session->alive.store(false, std::memory_order_release);
     ::shutdown(session->fd, SHUT_RDWR);
   }
@@ -399,6 +584,7 @@ void Server::handle_frame(const std::shared_ptr<Session>& session,
     case MsgType::kEncode:
     case MsgType::kDecode:
     case MsgType::kVerify:
+    case MsgType::kScrub:
       break;
     default: {
       std::lock_guard lock(stats_mutex_);
@@ -421,12 +607,43 @@ void Server::handle_frame(const std::shared_ptr<Session>& session,
     return;
   }
 
+  // Byte-budget admission: the second shedding axis.  queue_capacity
+  // bounds request *count*; this bounds the *payload bytes* buffered in
+  // queued and executing jobs, so a burst of huge encodes is shed with a
+  // typed BUSY (plus a backoff hint) instead of ballooning memory.
+  const std::uint64_t payload_bytes = frame.payload.size();
+  if (options_.max_inflight_bytes > 0 && payload_bytes > 0) {
+    const std::uint64_t inflight =
+        inflight_bytes_.fetch_add(payload_bytes, std::memory_order_acq_rel) +
+        payload_bytes;
+    if (inflight > options_.max_inflight_bytes) {
+      inflight_bytes_.fetch_sub(payload_bytes, std::memory_order_acq_rel);
+      {
+        std::lock_guard lock(stats_mutex_);
+        ++stats_.rejected_busy;
+        stats_.admission_bytes_rejected += payload_bytes;
+      }
+      obs::count("net.rejected_busy");
+      obs::count("admission.bytes_rejected", payload_bytes);
+      send_error(session, header.request_id, Status::kBusy,
+                 std::to_string(payload_bytes) +
+                     " payload bytes would exceed the in-flight budget (" +
+                     std::to_string(options_.max_inflight_bytes) +
+                     "); retry",
+                 retry_after_hint());
+      return;
+    }
+    obs::gauge_max("net.inflight_bytes_peak", inflight);
+  }
+
   Job job;
   job.session = session;
   if (header.deadline_ms > 0)
     job.deadline = std::chrono::steady_clock::now() +
                    std::chrono::milliseconds(header.deadline_ms);
   job.frame = std::move(frame);
+  job.bytes = options_.max_inflight_bytes > 0 ? payload_bytes : 0;
+  const std::uint64_t charged = job.bytes;
 
   // outstanding_ rises before admission so drain()'s wait covers a job
   // even in the instant between push and pop.
@@ -449,7 +666,10 @@ void Server::handle_frame(const std::shared_ptr<Session>& session,
       obs::count("net.rejected_busy");
       send_error(session, header.request_id, Status::kBusy,
                  "request queue full (" +
-                     std::to_string(queue_.capacity()) + " deep); retry");
+                     std::to_string(queue_.capacity()) + " deep); retry",
+                 retry_after_hint());
+      if (charged > 0)
+        inflight_bytes_.fetch_sub(charged, std::memory_order_acq_rel);
       release_outstanding();
       return;
     }
@@ -461,10 +681,21 @@ void Server::handle_frame(const std::shared_ptr<Session>& session,
       obs::count("net.rejected_shutdown");
       send_error(session, header.request_id, Status::kShuttingDown,
                  "server is draining and accepts no new work");
+      if (charged > 0)
+        inflight_bytes_.fetch_sub(charged, std::memory_order_acq_rel);
       release_outstanding();
       return;
     }
   }
+}
+
+std::uint32_t Server::retry_after_hint() const noexcept {
+  // Scale the hint with load so a fleet of rejected clients spreads its
+  // retries instead of stampeding back in lockstep.
+  const std::uint64_t backlog =
+      outstanding_.load(std::memory_order_acquire) + 1;
+  return static_cast<std::uint32_t>(std::min<std::uint64_t>(25 * backlog,
+                                                            5'000));
 }
 
 // ---------------------------------------------------------------------------
@@ -490,7 +721,7 @@ void Server::process_job(Job& job) {
     obs::count("net.deadline_missed");
     send_error(job.session, header.request_id, Status::kDeadlineExceeded,
                "deadline expired before the request started");
-    job_finished(false);
+    job_finished(false, job.bytes);
     return;
   }
 
@@ -505,16 +736,19 @@ void Server::process_job(Job& job) {
       case MsgType::kVerify:
         handle_verify(job);
         break;
+      case MsgType::kScrub:
+        handle_scrub(job);
+        break;
       default:
         send_error(job.session, header.request_id, Status::kBadRequest,
                    "unhandled request type");
-        job_finished(false);
+        job_finished(false, job.bytes);
         return;
     }
-    job_finished(true);
+    job_finished(true, job.bytes);
   } catch (const NetError& e) {
     send_error(job.session, header.request_id, Status::kBadRequest, e.what());
-    job_finished(false);
+    job_finished(false, job.bytes);
   } catch (const io::ContainerError& e) {
     Status status = Status::kIntegrityError;
     if (e.code() == io::ContainerErrc::kDeadlineExceeded) {
@@ -528,24 +762,45 @@ void Server::process_job(Job& job) {
       status = Status::kIoError;
     }
     send_error(job.session, header.request_id, status, e.what());
-    job_finished(false);
+    job_finished(false, job.bytes);
   } catch (const core::PreconditionError& e) {
     send_error(job.session, header.request_id, Status::kPreconditionError,
                e.what());
-    job_finished(false);
+    job_finished(false, job.bytes);
   } catch (const std::invalid_argument& e) {
     send_error(job.session, header.request_id, Status::kBadRequest, e.what());
-    job_finished(false);
+    job_finished(false, job.bytes);
   } catch (const std::exception& e) {
     send_error(job.session, header.request_id, Status::kInternalError,
                e.what());
-    job_finished(false);
+    job_finished(false, job.bytes);
   }
+}
+
+void Server::handle_scrub(Job& job) {
+  const ScrubResponse response = run_scrub_pass();
+  send_frame(job.session, MsgType::kScrubResult, job.frame.header.request_id,
+             response.encode());
 }
 
 void Server::handle_encode(Job& job) {
   const std::uint64_t request_id = job.frame.header.request_id;
   EncodeRequest request = EncodeRequest::decode(job.frame.payload);
+
+  // Idempotent retry: a token we already completed replays the cached
+  // outcome -- the side effect (most importantly a sequence append)
+  // happened exactly once.  For sequence stores the authoritative
+  // re-check runs under sequences_mutex_ below; this early check spares
+  // the whole encode pipeline for the common retry.
+  if (request.request_token != 0) {
+    if (auto cached = dedup_.lookup(request.request_token)) {
+      send_frame(job.session, cached->type, request_id, cached->payload,
+                 cached->status);
+      job_finished(true, job.bytes);
+      return;
+    }
+  }
+
   const CodecSet codecs = make_codecs(request.codec);
   const std::uint64_t original_bytes = request.data.size() * sizeof(double);
   sim::Field field = sim::Field::from_data(request.nx, request.ny, request.nz,
@@ -579,9 +834,16 @@ void Server::handle_encode(Job& job) {
       auto bytes = io::serialize(container, serialize_options);
       response.stored_bytes = bytes.size();
       response.container = std::move(bytes);
-      send_frame(job.session, MsgType::kEncodeResult, request_id,
-                 response.encode());
-      job_finished(true);
+      const auto payload = response.encode();
+      // In-memory-only dedup for stateless responses: re-execution after
+      // a restart is harmless (no server-side state), so these entries
+      // need no durable intent log (DESIGN.md §14 non-guarantees).
+      if (request.request_token != 0)
+        dedup_.insert(request.request_token,
+                      DedupWindow::CachedResponse{MsgType::kEncodeResult,
+                                                  Status::kOk, payload});
+      send_frame(job.session, MsgType::kEncodeResult, request_id, payload);
+      job_finished(true, job.bytes);
       return;
     }
     case StoreMode::kFile: {
@@ -595,15 +857,27 @@ void Server::handle_encode(Job& job) {
       staging_job.name = request.store_name;
       staging_job.retry = retry;
       auto session = job.session;
+      const std::uint64_t job_bytes = job.bytes;
+      const std::uint64_t token = request.request_token;
       staging_job.on_complete =
-          [this, session, request_id, response = std::move(response)](
+          [this, session, request_id, job_bytes, token,
+           response = std::move(response)](
               const core::StagingJobResult& result) mutable {
             if (result.ok) {
               response.stored_bytes = result.bytes_out;
               response.stored_path = result.path.string();
+              const auto payload = response.encode();
+              // kFile stores are atomic re-publishes of a whole file --
+              // a re-executed retry overwrites with identical content,
+              // so the in-memory window is a fast path, not a
+              // correctness requirement (unlike sequence appends).
+              if (token != 0)
+                dedup_.insert(token, DedupWindow::CachedResponse{
+                                         MsgType::kEncodeResult, Status::kOk,
+                                         payload});
               send_frame(session, MsgType::kEncodeResult, request_id,
-                         response.encode());
-              job_finished(true);
+                         payload);
+              job_finished(true, job_bytes);
               return;
             }
             Status status = Status::kInternalError;
@@ -626,7 +900,7 @@ void Server::handle_encode(Job& job) {
                 break;
             }
             send_error(session, request_id, status, result.error);
-            job_finished(false);
+            job_finished(false, job_bytes);
           };
       // Blocking submit is safe here: only worker threads reach this, and
       // the staging queue bound is the write-behind backpressure.
@@ -638,22 +912,62 @@ void Server::handle_encode(Job& job) {
         throw NetError(NetErrc::kMalformedPayload,
                        "store requested but the server has no --output-dir");
       validate_store_name(request.store_name);
+      const std::uint64_t token = request.request_token;
       std::size_t step = 0;
-      std::filesystem::path destination;
+      const std::filesystem::path destination =
+          *options_.output_dir / request.store_name;
+      std::vector<std::uint8_t> payload;
       {
+        // Everything that makes a tokened append exactly-once runs under
+        // this lock: the window re-check (coalesces a concurrent
+        // duplicate), the fsync'd intent, the append, and the window
+        // insert.
         std::lock_guard lock(sequences_mutex_);
-        io::SequenceWriter& writer = sequence_writer(request.store_name);
-        writer.set_retry(retry);
-        step = writer.append(container);
-        destination = *options_.output_dir / request.store_name;
+        if (token != 0) {
+          if (auto cached = dedup_.lookup(token)) {
+            send_frame(job.session, cached->type, request_id,
+                       cached->payload, cached->status);
+            job_finished(true, job.bytes);
+            return;
+          }
+        }
+        SequenceState& state = sequence_state(request.store_name);
+        state.writer->set_retry(retry);
+        if (token != 0) {
+          if (!state.log) {
+            state.log = std::make_unique<io::RequestLog>(io::RequestLog::open(
+                destination, state.fresh_journal, retry));
+            state.fresh_journal = false;
+          } else {
+            state.log->set_retry(retry);
+          }
+          // Intent BEFORE append: if we die between the two, recovery
+          // sees step == committed count and drops the intent (the retry
+          // re-executes); if we die after the append's commit fsync, it
+          // sees step < committed and replays.  Either way: exactly
+          // once.
+          state.log->record(token, state.writer->steps_written());
+        }
+        try {
+          step = state.writer->append(container);
+        } catch (...) {
+          // The append did not commit; withdraw the intent so the step
+          // index cannot be aliased by a later request's append.
+          if (token != 0 && state.log) state.log->rollback_last();
+          throw;
+        }
+        response.stored = true;
+        response.stored_bytes = container.payload_bytes();
+        response.stored_path = destination.string();
+        payload = response.encode();
+        if (token != 0)
+          dedup_.insert(token, DedupWindow::CachedResponse{
+                                   MsgType::kEncodeResult, Status::kOk,
+                                   payload});
       }
-      response.stored = true;
-      response.stored_bytes = container.payload_bytes();
-      response.stored_path = destination.string();
-      send_frame(job.session, MsgType::kEncodeResult, request_id,
-                 response.encode());
+      send_frame(job.session, MsgType::kEncodeResult, request_id, payload);
       obs::gauge_max("net.sequence_steps", step + 1);
-      job_finished(true);
+      job_finished(true, job.bytes);
       return;
     }
   }
@@ -808,15 +1122,36 @@ void Server::send_stats(const std::shared_ptr<Session>& session,
   }
   response.queue_depth = queue_.depth();
   response.queue_capacity = queue_.capacity();
+  {
+    std::lock_guard lock(stats_mutex_);
+    response.recovery_journals_resumed = stats_.recovery_journals_resumed;
+    response.recovery_steps_recovered = stats_.recovery_steps_recovered;
+    response.recovery_files_repaired = stats_.recovery_files_repaired;
+    response.recovery_files_quarantined = stats_.recovery_files_quarantined;
+    response.scrub_passes = stats_.scrub_passes;
+    response.scrub_sections_checked = stats_.scrub_sections_checked;
+    response.scrub_sections_repaired = stats_.scrub_sections_repaired;
+    response.scrub_quarantined = stats_.scrub_quarantined;
+    response.admission_bytes_rejected = stats_.admission_bytes_rejected;
+    response.stalled_sessions = stats_.stalled_sessions;
+  }
+  const DedupWindow::Stats dedup = dedup_.stats();
+  response.dedup_hits = dedup.hits;
+  response.dedup_evictions = dedup.evictions;
+  response.dedup_entries = dedup.entries;
+  response.inflight_bytes = inflight_bytes_.load(std::memory_order_acquire);
+  response.max_inflight_bytes = options_.max_inflight_bytes;
   response.obs_json = obs::Registry::global().to_json();
   send_frame(session, MsgType::kStatsResult, request_id, response.encode());
 }
 
 void Server::send_error(const std::shared_ptr<Session>& session,
                         std::uint64_t request_id, Status status,
-                        const std::string& message) {
-  send_frame(session, MsgType::kError, request_id,
-             ErrorResponse{message}.encode(), status);
+                        const std::string& message,
+                        std::uint32_t retry_after_ms) {
+  ErrorResponse error{message};
+  error.retry_after_ms = retry_after_ms;
+  send_frame(session, MsgType::kError, request_id, error.encode(), status);
 }
 
 void Server::send_frame(const std::shared_ptr<Session>& session, MsgType type,
@@ -850,26 +1185,37 @@ void Server::send_frame(const std::shared_ptr<Session>& session, MsgType type,
 // ---------------------------------------------------------------------------
 // Durable sequences + bookkeeping
 
-io::SequenceWriter& Server::sequence_writer(const std::string& name) {
+Server::SequenceState& Server::sequence_state(const std::string& name) {
   auto it = sequences_.find(name);
   if (it == sequences_.end()) {
     io::SerializeOptions serialize_options;
     serialize_options.with_parity = options_.with_parity;
-    auto writer = std::make_unique<io::SequenceWriter>(
+    auto state = std::make_unique<SequenceState>();
+    state->writer = std::make_unique<io::SequenceWriter>(
         *options_.output_dir / name, serialize_options);
-    it = sequences_.emplace(name, std::move(writer)).first;
+    state->fresh_journal = true;
+    it = sequences_.emplace(name, std::move(state)).first;
   }
   return *it->second;
 }
 
 void Server::finish_sequences() {
   std::lock_guard lock(sequences_mutex_);
-  for (auto& [name, writer] : sequences_) {
+  for (auto& [name, state] : sequences_) {
     try {
       // Clear any stale per-request deadline: the final publish runs on
       // the drain's budget, not a long-finished request's.
-      writer->set_retry(io::RetryPolicy{});
-      writer->finish();
+      state->writer->set_retry(io::RetryPolicy{});
+      state->writer->finish();
+      // The archive is published: its request log's intents are all
+      // provable from the archive itself, and a clean shutdown ends the
+      // retry window -- retire the sidecar.
+      if (state->log) {
+        state->log.reset();
+        std::error_code ec;
+        std::filesystem::remove(
+            io::request_log_path(*options_.output_dir / name), ec);
+      }
     } catch (const std::exception& e) {
       obs::count("net.sequence_finish_failures");
       std::fprintf(stderr, "rmpd: publishing sequence '%s' failed: %s\n",
@@ -879,7 +1225,7 @@ void Server::finish_sequences() {
   sequences_.clear();
 }
 
-void Server::job_finished(bool ok) {
+void Server::job_finished(bool ok, std::uint64_t bytes) {
   {
     std::lock_guard lock(stats_mutex_);
     if (ok)
@@ -888,6 +1234,7 @@ void Server::job_finished(bool ok) {
       ++stats_.failed;
   }
   obs::count(ok ? "net.completed" : "net.failed");
+  if (bytes > 0) inflight_bytes_.fetch_sub(bytes, std::memory_order_acq_rel);
   release_outstanding();
 }
 
@@ -1029,6 +1376,22 @@ std::optional<std::string> parse_server_flags(
     } else if (auto m6 = numeric("--debug-stall-ms", 600'000, number)) {
       if (*m6 < 0) return "--debug-stall-ms expects milliseconds";
       options.debug_stall = std::chrono::milliseconds(number);
+    } else if (auto m7 = numeric("--max-bytes",
+                                 std::uint64_t{1} << 40, number)) {
+      if (*m7 < 0) return "--max-bytes expects a byte count (0 = unlimited)";
+      options.max_inflight_bytes = number;
+    } else if (auto m8 = numeric("--read-timeout-ms", 86'400'000, number)) {
+      if (*m8 < 0) return "--read-timeout-ms expects milliseconds (0 = off)";
+      options.read_stall_timeout = std::chrono::milliseconds(number);
+    } else if (auto m9 = numeric("--dedup-window", 1u << 24, number)) {
+      if (*m9 < 0) return "--dedup-window expects an entry count";
+      options.dedup_window = static_cast<std::size_t>(number);
+    } else if (auto m10 = numeric("--scrub-interval-ms", 86'400'000, number)) {
+      if (*m10 < 0) return "--scrub-interval-ms expects milliseconds (0 = "
+                           "manual only)";
+      options.scrub_interval = std::chrono::milliseconds(number);
+    } else if (arg == "--no-recover") {
+      options.recover_on_start = false;
     } else if (unparsed != nullptr) {
       unparsed->push_back(arg);
     } else {

@@ -18,6 +18,12 @@
 //    headers, CRC mismatches and mid-request disconnects produce typed
 //    errors and a clean session teardown -- never a crash or a leaked
 //    worker thread.
+//  * Self-healing (DESIGN.md §14): startup recovery resumes torn
+//    sequence journals and quarantines what cannot be made whole; a
+//    background scrubber re-verifies published archives and repairs
+//    parity-recoverable damage; tokened requests are deduplicated
+//    through a bounded window backed by an fsync'd intent log, so a
+//    retry -- even across a SIGKILL -- applies exactly once.
 //  * Graceful drain: request_drain() (wired to SIGTERM by run_daemon)
 //    stops accepting, answers new requests with SHUTTING_DOWN, finishes
 //    every admitted request, flushes journaled sequences via the
@@ -48,6 +54,7 @@
 #include <vector>
 
 #include "net/bounded_queue.hpp"
+#include "net/dedup_window.hpp"
 #include "net/protocol.hpp"
 
 namespace rmp::compress {
@@ -83,6 +90,25 @@ struct ServerOptions {
   /// Test hook: hold each worker for this long before it starts a job,
   /// so saturation/deadline behaviour is deterministic under test.
   std::chrono::milliseconds debug_stall{0};
+  /// Byte-budget admission: total request-payload bytes in flight
+  /// (queued + executing).  A request that would exceed it gets a typed
+  /// BUSY with a retry_after_ms hint instead of being buffered -- the
+  /// second shedding axis next to queue_capacity (counts requests, this
+  /// counts bytes).  0 = unlimited.
+  std::uint64_t max_inflight_bytes = 256ull << 20;
+  /// Slowloris defense: a session holding a half-read frame without
+  /// delivering a byte for this long is torn down.  0 disables.
+  std::chrono::milliseconds read_stall_timeout{30'000};
+  /// Idempotency window: completed request tokens whose responses are
+  /// cached for replay (net/dedup_window.hpp).
+  std::size_t dedup_window = 256;
+  /// Background integrity-scrub cadence over output_dir; 0 = on-demand
+  /// only (rmpc client scrub).
+  std::chrono::milliseconds scrub_interval{0};
+  /// Run startup recovery over output_dir before accepting: resume torn
+  /// journals, verify/repair/quarantine published files, reload the
+  /// dedup window's durable intents (io/store_health.hpp).
+  bool recover_on_start = true;
 };
 
 /// Monotonic counters (authoritative, independent of RMP_OBS).
@@ -97,6 +123,17 @@ struct ServerStats {
   std::uint64_t sessions_active = 0;
   std::uint64_t protocol_errors = 0;
   std::uint64_t send_failures = 0;
+  // Self-healing (DESIGN.md §14).
+  std::uint64_t recovery_journals_resumed = 0;
+  std::uint64_t recovery_steps_recovered = 0;
+  std::uint64_t recovery_files_repaired = 0;
+  std::uint64_t recovery_files_quarantined = 0;
+  std::uint64_t scrub_passes = 0;
+  std::uint64_t scrub_sections_checked = 0;
+  std::uint64_t scrub_sections_repaired = 0;
+  std::uint64_t scrub_quarantined = 0;
+  std::uint64_t admission_bytes_rejected = 0;
+  std::uint64_t stalled_sessions = 0;
 };
 
 class Server {
@@ -138,31 +175,45 @@ class Server {
 
  private:
   struct Session;
+  struct SequenceState;
   struct Job {
     Frame frame;
     std::shared_ptr<Session> session;
     std::optional<std::chrono::steady_clock::time_point> deadline;
+    /// Payload bytes charged against max_inflight_bytes; released by
+    /// job_finished.
+    std::uint64_t bytes = 0;
   };
 
   void accept_loop();
   void session_loop(const std::shared_ptr<Session>& session);
   void worker_loop();
+  void scrub_loop();
   void handle_frame(const std::shared_ptr<Session>& session, Frame frame);
   void process_job(Job& job);
   void handle_encode(Job& job);
   void handle_decode(Job& job);
   void handle_verify(Job& job);
+  void handle_scrub(Job& job);
+  /// One verify/repair/quarantine pass over the store, skipping live
+  /// sequences; folds the result into stats_.  Returns the wire summary.
+  ScrubResponse run_scrub_pass();
+  /// Startup recovery over output_dir (start() calls this before
+  /// accepting): adopt resumed journals, seed the dedup window.
+  void recover_store_on_start();
   void send_stats(const std::shared_ptr<Session>& session,
                   std::uint64_t request_id);
   void send_error(const std::shared_ptr<Session>& session,
                   std::uint64_t request_id, Status status,
-                  const std::string& message);
+                  const std::string& message, std::uint32_t retry_after_ms = 0);
   void send_frame(const std::shared_ptr<Session>& session, MsgType type,
                   std::uint64_t request_id,
                   std::span<const std::uint8_t> payload,
                   Status status = Status::kOk);
+  /// Backoff hint attached to BUSY rejections, scaled by current load.
+  std::uint32_t retry_after_hint() const noexcept;
   /// Caller must hold sequences_mutex_.
-  io::SequenceWriter& sequence_writer(const std::string& name);
+  SequenceState& sequence_state(const std::string& name);
   void finish_sequences();
   /// Shared seekable reader + chunk fetcher for a published sequence
   /// archive under the output dir.  Returns nullptr when the file is not
@@ -170,7 +221,9 @@ class Server {
   /// when the published file's size changes (a writer re-published it).
   std::shared_ptr<struct StoreReadCache> store_read_cache(
       const std::string& name, const std::filesystem::path& path);
-  void job_finished(bool ok);
+  /// Completes one admitted job: accounts the outcome, releases its byte
+  /// budget, and drops outstanding_.
+  void job_finished(bool ok, std::uint64_t bytes);
   void release_outstanding();
 
   ServerOptions options_;
@@ -202,7 +255,11 @@ class Server {
   std::unique_ptr<compress::Compressor> staging_delta_;
   std::unique_ptr<core::StagingNode> staging_;
   std::mutex sequences_mutex_;
-  std::map<std::string, std::unique_ptr<io::SequenceWriter>> sequences_;
+  /// Writer + request log per live sequence.  The dedup check, intent
+  /// record, append, and window insert for one sequence all run under
+  /// sequences_mutex_, which is what coalesces concurrent duplicates of
+  /// the same tokened append.
+  std::map<std::string, std::unique_ptr<SequenceState>> sequences_;
   /// Store-read side (decode-from-store requests): one shared reader +
   /// fetcher per published sequence, so concurrent decode requests hit
   /// the chunk cache instead of re-reading the archive.
@@ -212,6 +269,17 @@ class Server {
 
   mutable std::mutex stats_mutex_;
   ServerStats stats_;
+
+  /// Idempotent-retry window (tokened requests).
+  DedupWindow dedup_;
+  /// Request-payload bytes admitted and not yet completed.
+  std::atomic<std::uint64_t> inflight_bytes_{0};
+
+  /// Background integrity scrubber (options_.scrub_interval > 0).
+  std::thread scrub_thread_;
+  std::mutex scrub_mutex_;
+  std::condition_variable scrub_cv_;
+  bool scrub_stop_ = false;
 };
 
 /// Daemon front end shared by `rmpd` and `rmpc serve`: installs
@@ -225,7 +293,9 @@ int run_daemon(const ServerOptions& options,
 
 /// Parse shared daemon flags ("--port N", "--bind ADDR", "--queue N",
 /// "--workers N", "--max-sessions N", "--output-dir DIR", "--no-parity",
-/// "--staging-queue N", "--port-file PATH") from argv-style args.
+/// "--staging-queue N", "--port-file PATH", "--max-bytes N",
+/// "--read-timeout-ms N", "--dedup-window N", "--scrub-interval-ms N",
+/// "--no-recover") from argv-style args.
 /// Returns an error message naming the offending flag, or std::nullopt on
 /// success.  Unrecognized flags are left for the caller in `unparsed`.
 std::optional<std::string> parse_server_flags(

@@ -565,6 +565,34 @@ bool is_number_object_map(const JsonValue& v) {
   });
 }
 
+// Counter/gauge names are dot-separated lowercase tokens
+// ("net.dedup.hits", "scrub.sections_repaired",
+// "admission.bytes_rejected").  The dashboards key on exact names, so a
+// report that smuggles in arbitrary strings fails validation instead of
+// silently charting nothing.
+bool is_metric_name(std::string_view name) {
+  if (name.empty() || name.front() == '.' || name.back() == '.') return false;
+  bool prev_dot = false;
+  for (const char c : name) {
+    if (c == '.') {
+      if (prev_dot) return false;
+      prev_dot = true;
+      continue;
+    }
+    prev_dot = false;
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool all_metric_names(const JsonValue& v) {
+  return std::all_of(v.object.begin(), v.object.end(), [](const auto& kv) {
+    return is_metric_name(kv.first);
+  });
+}
+
 bool has_number(const JsonValue& v, std::string_view key) {
   const JsonValue* member = v.find(key);
   return member != nullptr && member->type == JsonValue::Type::kNumber;
@@ -577,11 +605,22 @@ bool has_string(const JsonValue& v, std::string_view key) {
 
 void validate_obs_v1(const JsonValue& v, ValidationResult* result) {
   const JsonValue* counters = v.find("counters");
-  require(counters != nullptr && is_number_object_map(*counters),
-          "\"counters\" must be an object of non-negative numbers", result);
+  if (require(counters != nullptr && is_number_object_map(*counters),
+              "\"counters\" must be an object of non-negative numbers",
+              result)) {
+    require(all_metric_names(*counters),
+            "counter names must be dot-separated [a-z0-9_-] tokens "
+            "(e.g. \"net.dedup.hits\", \"scrub.sections_repaired\", "
+            "\"admission.bytes_rejected\")",
+            result);
+  }
   const JsonValue* gauges = v.find("gauges");
-  require(gauges != nullptr && is_number_object_map(*gauges),
-          "\"gauges\" must be an object of non-negative numbers", result);
+  if (require(gauges != nullptr && is_number_object_map(*gauges),
+              "\"gauges\" must be an object of non-negative numbers",
+              result)) {
+    require(all_metric_names(*gauges),
+            "gauge names must be dot-separated [a-z0-9_-] tokens", result);
+  }
 
   const JsonValue* spans = v.find("spans");
   if (require(spans != nullptr && spans->type == JsonValue::Type::kObject,

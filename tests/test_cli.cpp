@@ -19,6 +19,8 @@
 #include <thread>
 #include <vector>
 
+#include "tools/exit_codes.hpp"
+
 namespace {
 
 namespace fs = std::filesystem;
@@ -504,6 +506,31 @@ TEST_F(CliTest, IntegrityFailuresExitWithCode4) {
   EXPECT_EQ(WEXITSTATUS(status), 4);
 }
 
+// Exit code 9 (server shutting down) is distinct from the transient
+// BUSY class 7: scripts wait for a restart on 9 but back off and retry
+// on 7.  The full mapping is locked at the unit level since timing a
+// live daemon's drain window from a shell is inherently racy.
+TEST(CliExitCodes, ShutdownAndBusyAreDistinctCodes) {
+  using rmp::net::NetErrc;
+  using rmp::net::NetError;
+  using rmp::net::RemoteError;
+  using rmp::net::Status;
+  EXPECT_EQ(rmp::tools::kExitShuttingDown, 9);
+  EXPECT_EQ(rmp::tools::exit_code_for_status(Status::kShuttingDown), 9);
+  EXPECT_EQ(rmp::tools::exit_code_for_status(Status::kBusy), 7);
+  EXPECT_EQ(rmp::tools::exit_code_for(
+                RemoteError(Status::kShuttingDown, "draining")),
+            9);
+  EXPECT_EQ(rmp::tools::exit_code_for(
+                NetError(NetErrc::kShuttingDown, "draining")),
+            9);
+  EXPECT_EQ(
+      rmp::tools::exit_code_for(NetError(NetErrc::kBusy, "unavailable")), 7);
+  EXPECT_EQ(rmp::tools::exit_code_for(
+                RemoteError(Status::kDeadlineExceeded, "late")),
+            6);
+}
+
 #ifdef RMPD_BINARY
 pid_t spawn_rmpd(const std::vector<std::string>& extra_args) {
   const pid_t pid = fork();
@@ -585,6 +612,56 @@ TEST_F(CliTest, DaemonServesClientsAndDrainsCleanlyOnSigterm) {
   const int refused = run_rmpc("client ping" + net);
   ASSERT_TRUE(WIFEXITED(refused));
   EXPECT_EQ(WEXITSTATUS(refused), 7);
+}
+
+TEST_F(CliTest, DaemonScrubAndRecoveryStatsAreReachableFromTheCli) {
+  const fs::path port_file = dir_ / "port";
+  const fs::path served = dir_ / "served";
+  fs::create_directories(served);
+  // Garbage planted before boot: startup recovery quarantines it.
+  {
+    std::ofstream out(served / "preboot_junk.rmp", std::ios::binary);
+    const std::vector<char> garbage(96, '\x33');
+    out.write(garbage.data(), static_cast<std::streamsize>(garbage.size()));
+  }
+  const pid_t pid = spawn_rmpd({"--port", "0", "--port-file",
+                                port_file.string(), "--output-dir",
+                                served.string()});
+  ASSERT_GT(pid, 0);
+  const std::string port = wait_for_port(port_file);
+  ASSERT_FALSE(port.empty());
+  const std::string net = " --port " + port;
+
+  EXPECT_FALSE(fs::exists(served / "preboot_junk.rmp"));
+  EXPECT_TRUE(fs::exists(served / "quarantine" / "preboot_junk.rmp"));
+  EXPECT_TRUE(fs::exists(served / "quarantine" / "manifest.json"));
+
+  // A clean store scrubs clean (exit 0); planting more garbage makes the
+  // on-demand scrub quarantine it and report via exit code 4.
+  EXPECT_EQ(run_rmpc("client scrub" + net), 0);
+  {
+    std::ofstream out(served / "postboot_junk.rmp", std::ios::binary);
+    const std::vector<char> garbage(96, '\x44');
+    out.write(garbage.data(), static_cast<std::streamsize>(garbage.size()));
+  }
+  const int scrub_status = run_rmpc("client scrub" + net);
+  ASSERT_TRUE(WIFEXITED(scrub_status));
+  EXPECT_EQ(WEXITSTATUS(scrub_status), 4);
+  EXPECT_TRUE(fs::exists(served / "quarantine" / "postboot_junk.rmp"));
+
+  // Retry flags parse and the tokened encode path works end to end.
+  EXPECT_EQ(run_rmpc("client encode " + quoted(input_) +
+                     " --dims 16,16,16 --sequence steps.rmps --retries 3 "
+                     "--token 77" +
+                     net),
+            0);
+  EXPECT_EQ(run_rmpc("client stats" + net), 0);
+
+  ASSERT_EQ(kill(pid, SIGTERM), 0);
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  EXPECT_TRUE(fs::exists(served / "steps.rmps"));
 }
 
 TEST_F(CliTest, DaemonDeadlineExpiryYieldsExitCode6) {

@@ -138,6 +138,87 @@ TEST(NetQueue, SaturationDeliversEveryAcceptedItemExactlyOnce) {
   EXPECT_LE(stats.peak_depth, 2u);
 }
 
+TEST(NetQueue, CloseWhileFullHammerConservesEveryRejection) {
+  // The close-while-full race: producers hammer a tiny (often-full) queue
+  // while close() fires mid-storm.  Every single try_push must land in
+  // exactly one accounting bucket -- the conservation law
+  //   attempts == accepted + rejected_busy + rejected_closed
+  // must hold in the final stats AND in every mid-race snapshot, and the
+  // producers' own tallies must agree with the queue's.
+  constexpr int kProducers = 6;
+  constexpr int kPerProducer = 400;
+  for (int round = 0; round < 20; ++round) {
+    BoundedQueue<int> queue(2);
+    std::atomic<std::uint64_t> my_accepted{0}, my_busy{0}, my_closed{0};
+
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&] {
+        for (int i = 0; i < kPerProducer; ++i) {
+          switch (queue.try_push(i)) {
+            case Push::kAccepted: my_accepted.fetch_add(1); break;
+            case Push::kBusy: my_busy.fetch_add(1); break;
+            case Push::kClosed: my_closed.fetch_add(1); break;
+          }
+        }
+      });
+    }
+    // A consumer keeps slots churning so the queue oscillates across the
+    // full boundary, and a snapshot thread checks the invariant mid-race.
+    std::atomic<bool> stop_snapshots{false};
+    std::thread snapshots([&] {
+      while (!stop_snapshots.load()) {
+        const auto s = queue.stats();
+        EXPECT_EQ(s.attempts,
+                  s.accepted + s.rejected_busy + s.rejected_closed);
+        std::this_thread::yield();
+      }
+    });
+    std::atomic<std::uint64_t> drained{0};
+    std::thread consumer([&] {
+      while (queue.pop().has_value()) drained.fetch_add(1);
+    });
+    // Close mid-storm: the queue is capacity-2 under six producers, so
+    // the close lands while it is (almost certainly) full.
+    std::this_thread::yield();
+    queue.close();
+
+    for (auto& thread : producers) thread.join();
+    consumer.join();
+    stop_snapshots.store(true);
+    snapshots.join();
+
+    const auto stats = queue.stats();
+    EXPECT_EQ(stats.attempts,
+              static_cast<std::uint64_t>(kProducers) * kPerProducer)
+        << "round " << round;
+    EXPECT_EQ(stats.attempts,
+              stats.accepted + stats.rejected_busy + stats.rejected_closed)
+        << "round " << round;
+    EXPECT_EQ(stats.accepted, my_accepted.load()) << "round " << round;
+    EXPECT_EQ(stats.rejected_busy, my_busy.load()) << "round " << round;
+    EXPECT_EQ(stats.rejected_closed, my_closed.load()) << "round " << round;
+    // Every accepted item was drained by the consumer -- close() loses
+    // nothing that was admitted.
+    EXPECT_EQ(stats.popped, stats.accepted) << "round " << round;
+    EXPECT_EQ(drained.load(), stats.accepted) << "round " << round;
+    // Once closed, producers must see kClosed even when the queue is
+    // full: drain rejections and busy rejections never alias.
+    EXPECT_EQ(queue.try_push(-1), Push::kClosed);
+  }
+}
+
+TEST(NetQueue, CloseReportsBacklogDepth) {
+  BoundedQueue<int> queue(8);
+  ASSERT_EQ(queue.try_push(1), Push::kAccepted);
+  ASSERT_EQ(queue.try_push(2), Push::kAccepted);
+  ASSERT_EQ(queue.try_push(3), Push::kAccepted);
+  EXPECT_EQ(queue.close(), 3u);
+  EXPECT_EQ(queue.close(), 3u);  // idempotent, backlog unchanged
+  EXPECT_EQ(queue.pop(), 1);
+  EXPECT_EQ(queue.close(), 2u);
+}
+
 TEST(NetQueue, DrainRaceNeverLosesItems) {
   // close() racing try_push: an item is either admitted (and then must be
   // popped) or typed-rejected -- never silently dropped.

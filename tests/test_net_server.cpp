@@ -11,16 +11,22 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <functional>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "io/container.hpp"
+#include "io/sequence_file.hpp"
+#include "io/store_health.hpp"
 #include "net/client.hpp"
 #include "net/net_error.hpp"
 #include "net/protocol.hpp"
@@ -450,6 +456,270 @@ TEST(NetServer, ManyConcurrentClientsAllComplete) {
   }));
   EXPECT_EQ(server.stats().failed, 0u);
   server.drain();
+}
+
+// ---------------------------------------------------------------------------
+// Self-healing surface (DESIGN.md §14)
+
+TEST(NetServer, ByteBudgetAdmissionShedsWithRetryAfterHint) {
+  // A budget that fits one 32 KiB encode payload but not two: the second
+  // concurrent request must be shed with a typed BUSY carrying a
+  // retry_after_ms hint, while the queue (counting requests) still has
+  // plenty of room.
+  ServerOptions options;
+  options.workers = 1;
+  options.queue_capacity = 16;
+  // The stall is the window in which the first request pins the budget;
+  // it must outlast client b's connect+send even on a loaded CI box, or
+  // the budget frees early and nothing is shed.
+  options.debug_stall = 1000ms;
+  options.max_inflight_bytes = 40'000;
+  Server server(options);
+  server.start();
+
+  const auto request = small_encode_request();
+  Client a(client_options(server));
+  std::thread first([&] { (void)a.encode(request); });
+  ASSERT_TRUE(wait_for([&] { return server.stats().accepted >= 1; }));
+
+  Client b(client_options(server));
+  bool shed = false;
+  try {
+    (void)b.encode(request);
+  } catch (const RemoteError& e) {
+    shed = e.status() == Status::kBusy;
+    EXPECT_GT(e.retry_after_ms(), 0u) << "BUSY came without a backoff hint";
+  }
+  first.join();
+  EXPECT_TRUE(shed) << "over-budget request was buffered, not shed";
+  EXPECT_GE(server.stats().admission_bytes_rejected, 1u);
+
+  // With the budget free again, the same request is admitted.  The
+  // release happens just *after* the first response is sent
+  // (job_finished), so an instant resubmit can race it by microseconds
+  // -- a real client retries, and so do we.
+  net::EncodeResponse response;
+  ASSERT_TRUE(wait_for([&] {
+    try {
+      response = b.encode(request);
+      return true;
+    } catch (const RemoteError&) {
+      return false;
+    }
+  }));
+  EXPECT_FALSE(response.container.empty());
+  server.drain();
+}
+
+TEST(NetServer, StalledHalfFrameSessionIsTornDown) {
+  ServerOptions options;
+  options.read_stall_timeout = 100ms;
+  Server server(options);
+  server.start();
+
+  RawConn conn(server.port());
+  ASSERT_TRUE(conn.connected());
+  // Ten bytes of a 36-byte header, then silence: a slowloris hold.
+  conn.send(std::vector<std::uint8_t>(10, 0x42));
+  ASSERT_TRUE(wait_for([&] { return server.stats().stalled_sessions >= 1; }))
+      << "stalled session was never torn down";
+  bool closed = false;
+  (void)conn.recv_until_close(&closed);
+  EXPECT_TRUE(closed);
+
+  // An honest client on a fresh connection is unaffected.
+  Client client(client_options(server));
+  client.ping();
+  server.drain();
+}
+
+TEST(NetServer, ClientRetriesRideOutSaturation) {
+  // One worker, one queue slot, every job stalled: bursts of three
+  // concurrent encodes guarantee BUSY rejections, and clients configured
+  // to retry must all converge to success without surfacing one.
+  ServerOptions options;
+  options.workers = 1;
+  options.queue_capacity = 1;
+  options.debug_stall = 150ms;
+  Server server(options);
+  server.start();
+
+  std::atomic<int> ok{0};
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 3; ++i) {
+    clients.emplace_back([&] {
+      ClientOptions copts = client_options(server);
+      copts.max_retries = 20;
+      copts.retry_backoff = 25ms;
+      Client client(copts);
+      const auto response = client.encode(small_encode_request());
+      if (!response.container.empty()) ok.fetch_add(1);
+    });
+  }
+  for (auto& thread : clients) thread.join();
+  EXPECT_EQ(ok.load(), 3);
+  server.drain();
+}
+
+TEST(NetServer, TokenedEncodeReplaysAcrossReconnect) {
+  const fs::path dir = fs::temp_directory_path() / "rmpd_dedup_test" /
+                       std::to_string(::getpid());
+  fs::remove_all(dir.parent_path());
+  ServerOptions options;
+  options.output_dir = dir;
+  Server server(options);
+  server.start();
+
+  auto request = small_encode_request();
+  request.store = net::StoreMode::kSequence;
+  request.store_name = "steps.rmps";
+  request.request_token = 0xD00DFEEDu;
+
+  net::EncodeResponse first;
+  {
+    Client client(client_options(server));
+    first = client.encode(request);
+    EXPECT_TRUE(first.stored);
+  }
+  // A new connection retrying the same token gets the original outcome
+  // replayed -- not a second append.
+  Client retry_client(client_options(server));
+  const auto second = retry_client.encode(request);
+  EXPECT_TRUE(second.stored);
+  EXPECT_EQ(second.stored_bytes, first.stored_bytes);
+  EXPECT_EQ(second.stored_path, first.stored_path);
+  const auto stats = retry_client.stats();
+  EXPECT_GE(stats.dedup_hits, 1u);
+  EXPECT_GE(stats.dedup_entries, 1u);
+
+  server.drain();
+  io::SequenceReader reader(dir / "steps.rmps");
+  EXPECT_EQ(reader.step_count(), 1u)
+      << "retried token double-appended";
+  fs::remove_all(dir.parent_path());
+}
+
+TEST(NetServer, RecoversCrashedStoreAndReplaysTokensAcrossRestart) {
+  const fs::path dir = fs::temp_directory_path() / "rmpd_recover_test" /
+                       std::to_string(::getpid());
+  fs::remove_all(dir.parent_path());
+  fs::create_directories(dir);
+
+  // A crashed daemon's disk state, built through the same io layer the
+  // server uses: one committed sequence step whose intent is in the
+  // request log, journal never published, nothing cleaned up.
+  constexpr std::uint64_t kTokenApplied = 0xFEEDFACEu;
+  {
+    io::Container step;
+    step.method = "crashed_step";
+    step.nx = 4;
+    step.add("data", std::vector<std::uint8_t>(40, 0x7E));
+    auto log = io::RequestLog::open(dir / "run.rmps", /*fresh=*/true);
+    io::SequenceWriter writer(dir / "run.rmps");
+    log.record(kTokenApplied, 0);
+    writer.append(step);
+    // Abandoned: destructors leave a resumable journal + intent log.
+  }
+  ASSERT_TRUE(fs::exists(dir / "run.rmps.part"));
+
+  ServerOptions options;
+  options.output_dir = dir;
+  Server server(options);  // recover_on_start is the default
+  server.start();
+  EXPECT_EQ(server.stats().recovery_journals_resumed, 1u);
+  EXPECT_EQ(server.stats().recovery_steps_recovered, 1u);
+
+  Client client(client_options(server));
+  auto request = small_encode_request();
+  request.store = net::StoreMode::kSequence;
+  request.store_name = "run.rmps";
+  request.request_token = kTokenApplied;
+  // The retry of the pre-crash request replays: applied exactly once.
+  const auto replayed = client.encode(request);
+  EXPECT_TRUE(replayed.stored);
+  EXPECT_GE(client.stats().dedup_hits, 1u);
+
+  // A fresh token appends for real, resuming the recovered journal.
+  request.request_token = 0xF0E1D2C3u;
+  const auto appended = client.encode(request);
+  EXPECT_TRUE(appended.stored);
+
+  server.drain();
+  io::SequenceReader reader(dir / "run.rmps");
+  EXPECT_EQ(reader.step_count(), 2u)
+      << "recovered sequence lost or duplicated a step";
+  fs::remove_all(dir.parent_path());
+}
+
+TEST(NetServer, ScrubRpcQuarantinesGarbageFromTheStore) {
+  const fs::path dir = fs::temp_directory_path() / "rmpd_scrub_test" /
+                       std::to_string(::getpid());
+  fs::remove_all(dir.parent_path());
+  ServerOptions options;
+  options.output_dir = dir;
+  Server server(options);
+  server.start();
+
+  // Plant an unreadable archive after startup recovery already ran.
+  {
+    std::ofstream out(dir / "junk.rmp", std::ios::binary);
+    const std::vector<char> garbage(128, '\x5A');
+    out.write(garbage.data(), static_cast<std::streamsize>(garbage.size()));
+  }
+
+  Client client(client_options(server));
+  const auto report = client.scrub();
+  EXPECT_GE(report.files_checked, 1u);
+  EXPECT_EQ(report.files_quarantined, 1u);
+  EXPECT_FALSE(fs::exists(dir / "junk.rmp"));
+  EXPECT_TRUE(fs::exists(io::quarantine_dir(dir) / "junk.rmp"));
+  EXPECT_TRUE(fs::exists(io::quarantine_manifest_path(dir)));
+
+  // A second pass over the clean store is a no-op, and the pass counter
+  // advances.
+  const auto again = client.scrub();
+  EXPECT_EQ(again.files_quarantined, 0u);
+  EXPECT_GE(client.stats().scrub_passes, 2u);
+  server.drain();
+  fs::remove_all(dir.parent_path());
+}
+
+TEST(NetServer, ClientReconnectsAcrossServerRestart) {
+  const fs::path dir = fs::temp_directory_path() / "rmpd_restart_test" /
+                       std::to_string(::getpid());
+  fs::remove_all(dir.parent_path());
+  ServerOptions options;
+  options.output_dir = dir;
+  auto first = std::make_unique<Server>(options);
+  first->start();
+  const std::uint16_t port = first->port();
+
+  ClientOptions copts;
+  copts.port = port;
+  copts.max_retries = 30;
+  copts.retry_backoff = 50ms;
+  Client client(copts);
+  client.ping();
+
+  // Restart the daemon on the same port while the client holds its
+  // (now dead) connection.
+  first->drain();
+  first.reset();
+  options.port = port;
+  Server second(options);
+  second.start();
+
+  // The same logical client rides the retry loop onto the new
+  // incarnation -- reconnect, re-send, succeed.
+  auto request = small_encode_request();
+  request.store = net::StoreMode::kSequence;
+  request.store_name = "again.rmps";
+  request.request_token = 0xAB12CD34u;
+  const auto response = client.encode(request);
+  EXPECT_TRUE(response.stored);
+  second.drain();
+  EXPECT_TRUE(fs::exists(dir / "again.rmps"));
+  fs::remove_all(dir.parent_path());
 }
 
 }  // namespace

@@ -211,6 +211,50 @@ TEST_F(ObsTest, ValidatorRejectsMalformedDocuments) {
                    .ok);
 }
 
+// The self-healing counters (rmpd recovery/scrub/dedup/admission) are
+// part of the rmp-obs-v1 surface: they must survive a JSON round trip
+// and validate, and the validator must reject counter names outside the
+// dot-separated token grammar they follow.
+TEST_F(ObsTest, SelfHealingCountersRoundTripAndValidate) {
+  obs::count("net.dedup.hits", 3);
+  obs::count("net.dedup.evictions");
+  obs::count("scrub.sections_checked", 128);
+  obs::count("scrub.sections_repaired", 2);
+  obs::count("scrub.files_quarantined");
+  obs::count("admission.bytes_rejected", 1 << 20);
+
+  const std::string json = obs::Registry::global().to_json();
+  const auto result = obs::validate_stats_json(json);
+  EXPECT_TRUE(result.ok) << result.error;
+
+  const auto doc = obs::json_parse(json);
+  const auto* counters = doc.find("counters");
+  ASSERT_NE(counters, nullptr);
+  for (const auto& [name, value] :
+       {std::pair<const char*, double>{"net.dedup.hits", 3.0},
+        {"scrub.sections_checked", 128.0},
+        {"admission.bytes_rejected", double{1 << 20}}}) {
+    const auto* counter = counters->find(name);
+    ASSERT_NE(counter, nullptr) << name;
+    EXPECT_EQ(counter->number, value) << name;
+  }
+}
+
+TEST_F(ObsTest, ValidatorRejectsMalformedCounterNames) {
+  auto doc_with_counter = [](const std::string& name) {
+    return "{\"schema\": \"rmp-obs-v1\", \"counters\": {\"" + name +
+           "\": 1}, \"gauges\": {}, \"spans\": {}, \"histograms\": {}}";
+  };
+  EXPECT_TRUE(obs::validate_stats_json(doc_with_counter("net.dedup.hits")).ok);
+  EXPECT_TRUE(
+      obs::validate_stats_json(doc_with_counter("scrub.pass_failures")).ok);
+  EXPECT_FALSE(obs::validate_stats_json(doc_with_counter("Net.Dedup")).ok);
+  EXPECT_FALSE(obs::validate_stats_json(doc_with_counter(".leading")).ok);
+  EXPECT_FALSE(obs::validate_stats_json(doc_with_counter("trailing.")).ok);
+  EXPECT_FALSE(obs::validate_stats_json(doc_with_counter("twin..dots")).ok);
+  EXPECT_FALSE(obs::validate_stats_json(doc_with_counter("has space")).ok);
+}
+
 TEST_F(ObsTest, JsonParserRejectsTrailingGarbage) {
   EXPECT_THROW(obs::json_parse("{\"a\": 1} extra"), std::runtime_error);
   EXPECT_THROW(obs::json_parse("{\"a\": }"), std::runtime_error);

@@ -29,16 +29,20 @@ inline constexpr int kExitIntegrity = 4;
 inline constexpr int kExitModel = 5;
 /// The request's wall-clock deadline ran out.
 inline constexpr int kExitDeadline = 6;
-/// Server busy, draining, or unreachable -- retry later.
+/// Server busy or unreachable -- retry soon (honor any retry-after hint).
 inline constexpr int kExitUnavailable = 7;
 /// Wire-protocol violation (bad frames, version mismatch, torn stream).
 inline constexpr int kExitProtocol = 8;
+/// Server is draining for shutdown: not coming back on this incarnation,
+/// so "wait for the restart" is the right script reaction, distinct
+/// from the transient BUSY backpressure of kExitUnavailable.
+inline constexpr int kExitShuttingDown = 9;
 
 inline int exit_code_for_status(net::Status status) noexcept {
   switch (status) {
     case net::Status::kOk: return kExitOk;
-    case net::Status::kBusy:
-    case net::Status::kShuttingDown: return kExitUnavailable;
+    case net::Status::kBusy: return kExitUnavailable;
+    case net::Status::kShuttingDown: return kExitShuttingDown;
     case net::Status::kDeadlineExceeded: return kExitDeadline;
     case net::Status::kBadRequest: return kExitUsage;
     case net::Status::kIntegrityError: return kExitIntegrity;
@@ -55,8 +59,8 @@ inline int exit_code_for(const std::exception& error) noexcept {
     return exit_code_for_status(remote->status());
   if (const auto* net_error = dynamic_cast<const net::NetError*>(&error)) {
     switch (net_error->code()) {
-      case net::NetErrc::kBusy:
-      case net::NetErrc::kShuttingDown: return kExitUnavailable;
+      case net::NetErrc::kBusy: return kExitUnavailable;
+      case net::NetErrc::kShuttingDown: return kExitShuttingDown;
       case net::NetErrc::kDeadlineExceeded: return kExitDeadline;
       case net::NetErrc::kIoError: return kExitIo;
       default: return kExitProtocol;

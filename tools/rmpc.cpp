@@ -129,15 +129,23 @@ using namespace rmp;
                "  rmpc serve      [--port N] [--bind ADDR] [--queue N] "
                "[--workers N] [--max-sessions N] [--output-dir DIR] "
                "[--no-parity] [--staging-queue N] [--port-file PATH]\n"
-               "  rmpc client     ping|stats|encode|decode|verify ... "
+               "  rmpc client     ping|stats|scrub|encode|decode|verify ... "
                "--port N [--host H] [--deadline-ms N]\n"
+               "                  [--retries N] [--retry-backoff-ms N] "
+               "[--token T]\n"
                "\n"
                "  --stats[=FILE]  dump observability counters/spans as JSON\n"
                "                  (stdout, or FILE when given)\n"
+               "  --retries N     retry BUSY / lost-connection failures up "
+               "to N times\n"
+               "                  (reconnecting; encodes get an idempotency "
+               "token)\n"
+               "  --token T       explicit nonzero request token for encode\n"
                "\n"
                "exit codes: 0 ok, 1 internal, 2 usage, 3 I/O, 4 integrity,\n"
                "            5 model, 6 deadline, 7 busy/unavailable, "
-               "8 protocol\n");
+               "8 protocol,\n"
+               "            9 server shutting down\n");
   std::exit(tools::kExitUsage);
 }
 
@@ -291,6 +299,9 @@ struct Args {
   std::uint64_t deadline_ms = 0;
   std::string store_name;     ///< --store NAME: durable file on the server
   std::string sequence_name;  ///< --sequence NAME: journaled sequence step
+  std::uint64_t retries = 0;  ///< --retries N: client-side retry budget
+  std::uint64_t retry_backoff_ms = 50;  ///< --retry-backoff-ms N
+  std::uint64_t request_token = 0;      ///< --token T: idempotency token
 };
 
 Args parse_args(int argc, char** argv) {
@@ -387,6 +398,31 @@ Args parse_args(int argc, char** argv) {
       args.store_name = next();
     } else if (arg == "--sequence") {
       args.sequence_name = next();
+    } else if (arg == "--retries") {
+      // Zero is a legal spelling of "no retries", so parse it directly
+      // instead of through parse_size_component (which rejects 0).
+      const std::string value = next();
+      if (value.empty() || value[0] == '-' || value[0] == '+') {
+        flag_error("--retries", value, "a non-negative retry count");
+      }
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long long parsed =
+          std::strtoull(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || errno == ERANGE ||
+          parsed > 1000) {
+        flag_error("--retries", value, "a retry count in [0, 1000]");
+      }
+      args.retries = parsed;
+    } else if (arg == "--retry-backoff-ms") {
+      const std::string value = next();
+      args.retry_backoff_ms = parse_size_component(
+          "--retry-backoff-ms", value, value,
+          "a positive millisecond backoff base");
+    } else if (arg == "--token") {
+      const std::string value = next();
+      args.request_token = parse_size_component(
+          "--token", value, value, "a nonzero request token");
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "rmpc: unknown flag %s\n", arg.c_str());
       usage_and_exit();
@@ -1012,6 +1048,7 @@ int cmd_client_encode(const Args& args, net::Client& client) {
   request.method = args.method;
   request.codec = args.codec;
   request.guard = args.guard;
+  request.request_token = args.request_token;
   request.error_bound = args.verify_bound;
   request.nx = args.dims->nx;
   request.ny = args.dims->ny;
@@ -1119,7 +1156,55 @@ int cmd_client_stats(net::Client& client) {
               static_cast<unsigned long long>(stats.sessions_total));
   std::printf("protocol errors:   %llu\n",
               static_cast<unsigned long long>(stats.protocol_errors));
+  std::printf("recovery:          %llu journals resumed, %llu steps, "
+              "%llu repaired, %llu quarantined\n",
+              static_cast<unsigned long long>(stats.recovery_journals_resumed),
+              static_cast<unsigned long long>(stats.recovery_steps_recovered),
+              static_cast<unsigned long long>(stats.recovery_files_repaired),
+              static_cast<unsigned long long>(
+                  stats.recovery_files_quarantined));
+  std::printf("scrub:             %llu passes, %llu sections checked, "
+              "%llu repaired, %llu quarantined\n",
+              static_cast<unsigned long long>(stats.scrub_passes),
+              static_cast<unsigned long long>(stats.scrub_sections_checked),
+              static_cast<unsigned long long>(stats.scrub_sections_repaired),
+              static_cast<unsigned long long>(stats.scrub_quarantined));
+  std::printf("dedup window:      %llu entries, %llu hits, %llu evictions\n",
+              static_cast<unsigned long long>(stats.dedup_entries),
+              static_cast<unsigned long long>(stats.dedup_hits),
+              static_cast<unsigned long long>(stats.dedup_evictions));
+  if (stats.max_inflight_bytes > 0) {
+    std::printf("inflight bytes:    %llu / %llu (%llu rejected)\n",
+                static_cast<unsigned long long>(stats.inflight_bytes),
+                static_cast<unsigned long long>(stats.max_inflight_bytes),
+                static_cast<unsigned long long>(
+                    stats.admission_bytes_rejected));
+  } else {
+    std::printf("inflight bytes:    %llu (unlimited)\n",
+                static_cast<unsigned long long>(stats.inflight_bytes));
+  }
+  std::printf("stalled sessions:  %llu\n",
+              static_cast<unsigned long long>(stats.stalled_sessions));
   return tools::kExitOk;
+}
+
+/// `rmpc client scrub`: run one on-demand integrity pass over the
+/// server's store and report what it checked, repaired, quarantined.
+int cmd_client_scrub(net::Client& client) {
+  const auto report = client.scrub();
+  std::printf("scrub: %llu files, %llu sections checked\n",
+              static_cast<unsigned long long>(report.files_checked),
+              static_cast<unsigned long long>(report.sections_checked));
+  std::printf("scrub: %llu sections repaired, %llu files rewritten, "
+              "%llu quarantined\n",
+              static_cast<unsigned long long>(report.sections_repaired),
+              static_cast<unsigned long long>(report.files_repaired),
+              static_cast<unsigned long long>(report.files_quarantined));
+  if (!report.detail.empty()) std::fputs(report.detail.c_str(), stdout);
+  // Quarantine means data needed hands-on attention; surface that in the
+  // exit code so cron-driven scrubs page someone.
+  return report.files_quarantined > 0 ? tools::kExitIntegrity
+                                      : tools::kExitOk;
 }
 
 /// `rmpc client <action> ...`: talk to a running rmpd.  Every typed
@@ -1136,6 +1221,8 @@ int cmd_client(const Args& args) {
   options.host = args.host;
   options.port = args.port;
   options.deadline = std::chrono::milliseconds(args.deadline_ms);
+  options.max_retries = static_cast<std::size_t>(args.retries);
+  options.retry_backoff = std::chrono::milliseconds(args.retry_backoff_ms);
   net::Client client(options);
   if (action == "ping") {
     client.ping();
@@ -1143,6 +1230,7 @@ int cmd_client(const Args& args) {
     return tools::kExitOk;
   }
   if (action == "stats") return cmd_client_stats(client);
+  if (action == "scrub") return cmd_client_scrub(client);
   if (action == "encode") return cmd_client_encode(args, client);
   if (action == "decode") return cmd_client_decode(args, client);
   if (action == "verify") return cmd_client_verify(args, client);

@@ -6,6 +6,8 @@
 //   rmpd [--port N] [--bind ADDR] [--queue N] [--workers N]
 //        [--max-sessions N] [--output-dir DIR] [--no-parity]
 //        [--staging-queue N] [--port-file PATH] [--debug-stall-ms N]
+//        [--max-bytes N] [--read-timeout-ms N] [--dedup-window N]
+//        [--scrub-interval-ms N] [--no-recover]
 //
 // With --port 0 (the default) an ephemeral port is chosen; harnesses pass
 // --port-file to learn it.  SIGTERM/SIGINT trigger the drain: stop
@@ -26,7 +28,8 @@ void usage(std::FILE* out) {
                "usage: rmpd [--port N] [--bind ADDR] [--queue N] "
                "[--workers N] [--max-sessions N] [--output-dir DIR] "
                "[--no-parity] [--staging-queue N] [--port-file PATH] "
-               "[--debug-stall-ms N]\n");
+               "[--debug-stall-ms N] [--max-bytes N] [--read-timeout-ms N] "
+               "[--dedup-window N] [--scrub-interval-ms N] [--no-recover]\n");
 }
 
 }  // namespace
